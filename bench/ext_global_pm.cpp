@@ -1,0 +1,52 @@
+// Extension (§VII "New Hardware and System Design"): global power
+// management across GPUs. Compares today's uniform per-GPU caps against
+// an equal-frequency coordinator that uses exposed PM information, at the
+// same cluster power envelope.
+#include "bench_util.hpp"
+
+using namespace gpuvar;
+
+int main() {
+  bench::print_header("Extension", "global power management (SVII)");
+  Cluster vortex(vortex_spec());
+  const auto kernel = make_sgemm_kernel(25536);
+  const auto workload = sgemm_workload(25536, bench::sgemm_reps() / 2 + 3);
+
+  std::printf("%10s %14s | %10s %8s | %10s %8s | %s\n", "envelope",
+              "W/GPU", "uniform ms", "var %", "coord ms", "var %",
+              "target MHz");
+  for (double per_gpu : {290.0, 275.0, 260.0, 240.0, 220.0}) {
+    const Watts envelope = per_gpu * static_cast<double>(vortex.size());
+    const auto uni = analyze_variability(
+        run_under_assignment(vortex, workload,
+                             uniform_assignment(vortex, envelope))
+            .records);
+    const auto assignment =
+        equal_frequency_assignment(vortex, envelope, kernel);
+    const auto coord = analyze_variability(
+        run_under_assignment(vortex, workload, assignment).records);
+    std::printf("%9.0fW %13.0fW | %10.0f %8.2f | %10.0f %8.2f | %7.0f\n",
+                envelope, per_gpu, uni.perf.box.median,
+                uni.perf.variation_pct, coord.perf.box.median,
+                coord.perf.variation_pct, assignment.target_freq);
+  }
+
+  std::printf(
+      "\nReading the table: at every envelope the coordinator collapses "
+      "the performance spread (bulk-synchronous jobs pay for the slowest "
+      "GPU, so uniform-cap clusters effectively run at their worst bin). "
+      "The median barely moves — the win is uniformity, not peak speed.\n");
+
+  print_section(std::cout, "per-GPU budget redistribution");
+  const Watts envelope = 275.0 * static_cast<double>(vortex.size());
+  const auto a = equal_frequency_assignment(vortex, envelope, kernel);
+  double lo = 1e18, hi = 0.0;
+  for (Watts w : a.limits) {
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  std::printf("  limits span %.0f-%.0f W (best bins donate ~%.0f W to the "
+              "worst bins) at a common %.0f MHz\n",
+              lo, hi, hi - lo, a.target_freq);
+  return 0;
+}

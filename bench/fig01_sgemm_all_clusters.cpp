@@ -1,0 +1,48 @@
+// Figure 1: normalized SGEMM runtime across the five compute clusters.
+// Every cluster shows significant variability (paper: 7-9%) with outliers
+// up to ~1.5x the median GPU.
+#include "bench_util.hpp"
+
+using namespace gpuvar;
+
+int main() {
+  bench::print_header("Figure 1",
+                      "normalized SGEMM runtime across five clusters");
+
+  std::vector<stats::NamedSeries> series;
+  std::printf("%-10s %6s %9s %6s %9s %9s\n", "cluster", "GPUs", "median ms",
+              "var %", "outliers", "worst/med");
+
+  auto add_cluster = [&](const ClusterSpec& spec) {
+    Cluster cluster(spec);
+    const auto result = bench::sgemm_experiment(cluster);
+    const auto gpus = per_gpu_medians(result.records);
+    std::vector<double> perf;
+    perf.reserve(gpus.size());
+    for (const auto& g : gpus) perf.push_back(g.perf_ms);
+    const auto box = stats::box_summary(perf);
+    // Normalize to a median of 1 (the paper's Figure 1 convention).
+    std::vector<double> normalized;
+    normalized.reserve(perf.size());
+    for (double p : perf) normalized.push_back(p / box.median);
+    series.push_back(stats::NamedSeries{spec.name, normalized});
+    std::printf("%-10s %6zu %9.0f %6.1f %9zu %9.2f\n", spec.name.c_str(),
+                gpus.size(), box.median, box.variation() * 100.0,
+                box.outlier_count(), box.max / box.median);
+  };
+
+  add_cluster(longhorn_spec());
+  add_cluster(summit_spec(0x5077, 8, 29, bench::summit_nodes_per_column(), 6));
+  add_cluster(corona_spec());
+  add_cluster(vortex_spec());
+  add_cluster(frontera_spec());
+
+  std::printf("\nnormalized runtime (median = 1.0):\n");
+  stats::BoxChartOptions opts;
+  opts.unit = "x";
+  std::cout << stats::render_box_chart(series, opts);
+  std::printf(
+      "\nPaper shape: 7-9%% variation on every cluster; outliers up to "
+      "~1.5x the median GPU.\n");
+  return 0;
+}

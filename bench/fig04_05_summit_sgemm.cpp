@@ -1,0 +1,42 @@
+// Figures 4 & 5: SGEMM on ORNL Summit, broken down by row.
+//
+// Paper shape: 8% perf variation; ~100 MHz frequency spread per row with
+// outliers below 1300 MHz in rows D/F; power IQRs at 295-300 W with
+// sub-290 W outliers concentrated in rows A and H; a narrow 40-62 C
+// temperature band (water cooling); rho(perf,freq) ~ -0.99 and
+// rho(perf,power) ~ -0.09.
+#include "bench_util.hpp"
+
+using namespace gpuvar;
+
+int main() {
+  bench::print_header("Figures 4-5", "SGEMM on ORNL Summit (by row)");
+  Cluster summit(
+      summit_spec(0x5077, 8, 29, bench::summit_nodes_per_column(), 6));
+  std::printf("(built %zu GPUs; GPUVAR_SUMMIT=18 for the full machine)\n",
+              summit.size());
+  const auto result = bench::sgemm_experiment(summit);
+  bench::print_figure_block(result, GroupBy::kRow);
+
+  print_section(std::cout, "Figure 5 scatter plots");
+  print_scatter(std::cout, result.records, Metric::kFreq, Metric::kPerf);
+  print_scatter(std::cout, result.records, Metric::kPower, Metric::kPerf);
+
+  print_section(std::cout, "power outliers per row (Takeaway 2)");
+  const auto by_row = variability_by_group(result.records, GroupBy::kRow);
+  for (const auto& [row, rep] : by_row) {
+    std::printf("  %s: %3zu power outliers (min %3.0f W), %3zu perf outliers\n",
+                group_label(GroupBy::kRow, row).c_str(),
+                rep.power.box.outlier_count(), rep.power.box.min,
+                rep.perf.box.outlier_count());
+  }
+
+  print_section(std::cout, "scaled-normal projection (SIV-D)");
+  const auto proj = project_to_cluster_size(result.records, 27648);
+  std::printf(
+      "  measured variation at %zu GPUs: %.1f%%; projected at 27648 GPUs: "
+      "%.1f%% (paper projects Longhorn to 9.4%%)\n",
+      proj.source_gpus, proj.source_variation_pct,
+      proj.projected_variation_pct);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figures 9 & 10: SGEMM on SNL Vortex (water-cooled V100s).
+//
+// Paper shape: 9% perf variation; frequencies 1330-1442 MHz; temperature
+// Q1..Q3 spread ~10 C (water); all GPUs within ~5 W of the 300 W TDP;
+// rho(perf,freq) ~ -0.98, rho(perf,temp) ~ 0.04.
+#include "bench_util.hpp"
+
+using namespace gpuvar;
+
+int main() {
+  bench::print_header("Figures 9-10", "SGEMM on SNL Vortex");
+  Cluster vortex(vortex_spec());
+  const auto result = bench::sgemm_experiment(vortex);
+  bench::print_figure_block(result, GroupBy::kCabinet);
+
+  print_section(std::cout, "Figure 10 scatter plots");
+  print_scatter(std::cout, result.records, Metric::kFreq, Metric::kPerf);
+  print_scatter(std::cout, result.records, Metric::kTemp, Metric::kPerf);
+
+  const auto report = analyze_variability(result.records);
+  std::printf(
+      "\nTakeaway 3 check: all GPUs within %.1f W of the %d W limit; "
+      "temperature Q3-Q1 = %.1f C\n",
+      300.0 - report.power.box.min, 300,
+      report.temp.box.q3 - report.temp.box.q1);
+  return 0;
+}

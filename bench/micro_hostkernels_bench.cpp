@@ -1,0 +1,91 @@
+// Micro-benchmarks for the real host kernels (google-benchmark): the
+// measurement path a deployment would time on actual hardware.
+#include <benchmark/benchmark.h>
+
+#include "gpuvar.hpp"
+
+namespace {
+
+using namespace gpuvar;
+using namespace gpuvar::host;
+
+void BM_HostSgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = random_matrix(n, n, rng);
+  const auto b = random_matrix(n, n, rng);
+  Matrix c(n, n, 0.0f);
+  for (auto _ : state) {
+    sgemm(1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      sgemm_flops(n, n, n) * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostSgemm)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HostSgemmSerial(benchmark::State& state) {
+  const std::size_t n = 512;
+  Rng rng(1);
+  const auto a = random_matrix(n, n, rng);
+  const auto b = random_matrix(n, n, rng);
+  Matrix c(n, n, 0.0f);
+  SgemmOptions opts;
+  opts.parallel = false;
+  for (auto _ : state) {
+    sgemm(1.0f, a, b, 0.0f, c, opts);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      sgemm_flops(n, n, n) * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostSgemmSerial)->Unit(benchmark::kMillisecond);
+
+void BM_HostPagerankSpmv(benchmark::State& state) {
+  Rng rng(2);
+  const auto g = circuit_graph(static_cast<std::size_t>(state.range(0)), 4,
+                               1.5, rng);
+  std::vector<double> x(g.n, 1.0 / static_cast<double>(g.n)), y(g.n);
+  for (auto _ : state) {
+    pagerank_spmv(g, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(g.nnz()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostPagerankSpmv)->Arg(100000)->Arg(643994)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HostTriad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n, 1.0), c(n, 2.0);
+  for (auto _ : state) {
+    triad(a, b, c, 3.0);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      triad_bytes(n) * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostTriad)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_HostPagerankFull(benchmark::State& state) {
+  Rng rng(3);
+  const auto g = circuit_graph(100000, 4, 1.5, rng);
+  PageRankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0.0;
+  for (auto _ : state) {
+    const auto res = pagerank(g, opts);
+    benchmark::DoNotOptimize(res.rank.data());
+  }
+}
+BENCHMARK(BM_HostPagerankFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Micro-benchmarks for the statistics kernels (google-benchmark): the
+// analysis pipeline must digest tens of thousands of run records quickly.
+#include <benchmark/benchmark.h>
+
+#include "gpuvar.hpp"
+
+namespace {
+
+std::vector<double> sample(std::size_t n, std::uint64_t seed = 1) {
+  gpuvar::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.normal(2500.0, 40.0));
+  return xs;
+}
+
+void BM_BoxSummary(benchmark::State& state) {
+  const auto xs = sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuvar::stats::box_summary(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BoxSummary)->Range(1 << 8, 1 << 18);
+
+void BM_Quantile(benchmark::State& state) {
+  const auto xs = sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuvar::stats::quantile(xs, 0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Quantile)->Range(1 << 8, 1 << 18);
+
+void BM_Pearson(benchmark::State& state) {
+  const auto xs = sample(static_cast<std::size_t>(state.range(0)), 1);
+  const auto ys = sample(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuvar::stats::pearson(xs, ys));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pearson)->Range(1 << 8, 1 << 18);
+
+void BM_Spearman(benchmark::State& state) {
+  const auto xs = sample(static_cast<std::size_t>(state.range(0)), 1);
+  const auto ys = sample(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuvar::stats::spearman(xs, ys));
+  }
+}
+BENCHMARK(BM_Spearman)->Range(1 << 8, 1 << 16);
+
+void BM_StreamingQuantileAdd(benchmark::State& state) {
+  gpuvar::StreamingQuantile q(0.0, 800.0, 0.1);
+  gpuvar::Rng rng(3);
+  for (auto _ : state) {
+    q.add(rng.uniform(100.0, 400.0), 0.01);
+  }
+  benchmark::DoNotOptimize(q.total_weight());
+}
+BENCHMARK(BM_StreamingQuantileAdd);
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuvar::stats::normal_quantile(p));
+    p += 1e-6;
+    if (p >= 0.999) p = 0.001;
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_RngNormal(benchmark::State& state) {
+  gpuvar::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

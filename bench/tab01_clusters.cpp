@@ -1,0 +1,45 @@
+// Table I: summary of clusters studied.
+#include "bench_util.hpp"
+
+using namespace gpuvar;
+
+int main() {
+  bench::print_header("Table I", "Summary of clusters studied");
+  std::printf("%-10s %-22s %7s %7s %-12s %-8s %s\n", "Cluster", "GPU",
+              "# GPUs", "# Nodes", "Cooling", "TDP (W)", "Faults injected");
+
+  auto row = [](const ClusterSpec& spec) {
+    Cluster cluster(spec);
+    std::printf("%-10s %-22s %7zu %7d %-12s %-8.0f %zu GPUs\n",
+                spec.name.c_str(), spec.sku.name.c_str(), cluster.size(),
+                cluster.node_count(), to_string(spec.cooling.type).c_str(),
+                spec.sku.tdp, cluster.faulty_gpus().size());
+  };
+  row(cloudlab_spec());
+  row(longhorn_spec());
+  row(frontera_spec());
+  row(vortex_spec());
+  row(summit_spec(0x5077, 8, 29, bench::summit_nodes_per_column(), 6));
+  row(corona_spec());
+
+  std::printf(
+      "\n(Summit built with %d nodes/column; set GPUVAR_SUMMIT=18 for the "
+      "full 27k-GPU machine.)\n",
+      bench::summit_nodes_per_column());
+
+  // §III sampling methodology: the recommended sample sizes.
+  bench::print_header("§III", "statistical-significance check (Scogland)");
+  for (const auto& spec : {longhorn_spec(), vortex_spec(), corona_spec()}) {
+    Cluster cluster(spec);
+    // Power CV at TDP is small; 2% is the conservative bound we measured.
+    const auto plan = stats::recommend_sample_size(
+        cluster.size(), 0.02, 0.005, 0.95);
+    const std::size_t measured = cluster.size() * 9 / 10;
+    std::printf(
+        "  %-10s population %4zu  recommended sample %3zu  measured >=%4zu "
+        " oversampling %.1fx\n",
+        spec.name.c_str(), cluster.size(), plan.recommended, measured,
+        stats::oversampling_factor(plan, measured));
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table II: summary of applications studied, plus the profiler-counter
+// footprint used to classify them (§III, §VII).
+#include "bench_util.hpp"
+
+using namespace gpuvar;
+
+int main() {
+  bench::print_header("Table II", "Summary of applications studied");
+  std::printf("%-18s %-6s %-28s %12s %12s\n", "Benchmark", "GPUs", "Metric",
+              "GFLOP/iter", "GB/iter");
+  const auto sku = make_v100_sxm2();
+  SiliconSample typical;
+
+  auto row = [&](const WorkloadSpec& w) {
+    std::printf("%-18s %-6d %-28s %12.1f %12.2f\n", w.name.c_str(),
+                w.gpus_per_job, to_string(w.metric).c_str(),
+                w.iteration_flops() / 1e9, w.iteration_bytes() / 1e9);
+  };
+  row(sgemm_workload());
+  row(resnet50_multi_workload());
+  row(resnet50_single_workload());
+  row(bert_workload());
+  row(lammps_workload());
+  row(pagerank_workload());
+
+  bench::print_header("§III/§VII", "profiler counters & classification");
+  std::printf("%-18s %8s %8s %10s %10s  %-24s %s\n", "Benchmark", "FU util",
+              "DRAM", "mem-stall", "exec-stall", "class",
+              "tolerates variable nodes");
+  auto classify_row = [&](const WorkloadSpec& w) {
+    CounterAccumulator acc;
+    for (const auto& step : w.iteration) {
+      const double t =
+          kernel_time_at(step.kernel, sku, typical, sku.max_mhz);
+      acc.add(step.kernel, t * step.count);
+    }
+    const auto c = acc.aggregate();
+    const auto advice = advise_placement(c);
+    std::printf("%-18s %8.1f %8.2f %9.0f%% %9.0f%%  %-24s %s\n",
+                w.name.c_str(), c.fu_util, c.dram_util,
+                c.mem_stall_frac * 100.0, c.exec_stall_frac * 100.0,
+                to_string(advice.app_class).c_str(),
+                advice.tolerates_variable_nodes ? "yes" : "no");
+  };
+  classify_row(sgemm_workload());
+  classify_row(resnet50_multi_workload());
+  classify_row(bert_workload());
+  classify_row(lammps_workload());
+  classify_row(pagerank_workload());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "cluster/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gpuvar {
+
+ExclusiveAllocator::ExclusiveAllocator(const Cluster& cluster)
+    : cluster_(&cluster) {}
+
+std::vector<NodeAllocation> ExclusiveAllocator::all_nodes() const {
+  std::vector<NodeAllocation> out;
+  out.reserve(static_cast<std::size_t>(cluster_->node_count()));
+  for (int node = 0; node < cluster_->node_count(); ++node) {
+    out.push_back(NodeAllocation{node, cluster_->node_gpus(node)});
+  }
+  return out;
+}
+
+std::vector<NodeAllocation> ExclusiveAllocator::sample_nodes(
+    std::size_t count) const {
+  const auto n = static_cast<std::size_t>(cluster_->node_count());
+  GPUVAR_REQUIRE(count >= 1);
+  if (count >= n) return all_nodes();
+  Rng rng(cluster_->spec().seed, cluster_->name() + "/allocator");
+  auto picks = rng.sample_without_replacement(n, count);
+  std::sort(picks.begin(), picks.end());
+  std::vector<NodeAllocation> out;
+  out.reserve(count);
+  for (auto p : picks) {
+    const int node = static_cast<int>(p);
+    out.push_back(NodeAllocation{node, cluster_->node_gpus(node)});
+  }
+  return out;
+}
+
+std::vector<NodeAllocation> ExclusiveAllocator::sample_coverage(
+    double coverage) const {
+  GPUVAR_REQUIRE(coverage > 0.0 && coverage <= 1.0);
+  const auto n = static_cast<std::size_t>(cluster_->node_count());
+  const auto count = static_cast<std::size_t>(
+      std::ceil(coverage * static_cast<double>(n)));
+  return sample_nodes(std::max<std::size_t>(1, count));
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,38 @@
+// Exclusive-node allocation, matching the paper's measurement discipline:
+// every job owns a whole node (no time-sharing, no spatial interference
+// from co-located jobs). The allocator enumerates node allocations and can
+// subsample the cluster (the paper measured >90% of GPUs, 184 of Vortex's
+// 216, etc.).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace gpuvar {
+
+struct NodeAllocation {
+  int node = 0;
+  std::vector<std::size_t> gpu_indices;  ///< global GPU indices on the node
+};
+
+class ExclusiveAllocator {
+ public:
+  explicit ExclusiveAllocator(const Cluster& cluster);
+
+  /// Every node in the cluster, in order.
+  std::vector<NodeAllocation> all_nodes() const;
+
+  /// A deterministic subsample of `count` nodes (seeded by the cluster's
+  /// own seed, stable across calls).
+  std::vector<NodeAllocation> sample_nodes(std::size_t count) const;
+
+  /// The fraction of nodes needed to cover at least `coverage` of GPUs.
+  std::vector<NodeAllocation> sample_coverage(double coverage) const;
+
+ private:
+  const Cluster* cluster_;
+};
+
+}  // namespace gpuvar

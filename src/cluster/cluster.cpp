@@ -1,0 +1,310 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  spec_.layout.validate();
+  GPUVAR_REQUIRE(spec_.run_noise_sigma >= 0.0);
+
+  const int n_nodes = spec_.layout.nodes;
+  const int n_gpus = spec_.layout.gpus_per_node;
+  gpus_.reserve(static_cast<std::size_t>(n_nodes) * n_gpus);
+
+  // One spatial (hot-aisle) offset per cabinet, shared by its GPUs.
+  const int n_cabinets = spec_.layout.is_row_layout()
+                             ? spec_.layout.rows * spec_.layout.columns
+                             : spec_.layout.cabinets();
+  std::vector<Celsius> cabinet_offsets(static_cast<std::size_t>(n_cabinets));
+  for (int c = 0; c < n_cabinets; ++c) {
+    Rng rng(spec_.seed, spec_.name + "/cabinet:" + std::to_string(c));
+    cabinet_offsets[static_cast<std::size_t>(c)] =
+        sample_cabinet_offset(spec_.cooling, rng);
+  }
+
+  for (int node = 0; node < n_nodes; ++node) {
+    // The interconnect (NVLink topology, NCCL ring) is a node property:
+    // one draw shared by the node's GPUs.
+    double node_interconnect = 1.0;
+    if (spec_.interconnect_sigma > 0.0) {
+      Rng link_rng(spec_.seed,
+                   spec_.name + "/node:" + std::to_string(node) + "/link");
+      node_interconnect = std::exp(link_rng.truncated_normal(
+          0.0, spec_.interconnect_sigma, -2.0 * spec_.interconnect_sigma,
+          3.0 * spec_.interconnect_sigma));
+    }
+    for (int g = 0; g < n_gpus; ++g) {
+      GpuInstance inst;
+      inst.loc = locate(spec_.layout, node, g, spec_.node_label_base);
+
+      const std::string path = spec_.name + "/" + inst.loc.name;
+      Rng silicon_rng(spec_.seed, path + "/silicon");
+      inst.silicon = sample_silicon(spec_.sku, silicon_rng);
+
+      Rng fault_rng(spec_.seed, path + "/faults");
+      inst.faults = apply_faults(spec_.faults, inst.loc, fault_rng);
+
+      // Fault-driven silicon degradation.
+      if (inst.faults.vf_extra > 0.0) {
+        inst.silicon.vf_offset +=
+            inst.faults.vf_extra * spec_.sku.spread.vf_offset_sigma;
+      }
+      inst.silicon.mem_bw_factor *= inst.faults.mem_bw_factor;
+      inst.power_cap = inst.faults.power_cap;
+      inst.interconnect_factor =
+          node_interconnect * inst.faults.interconnect_multiplier;
+
+      CoolingSpec cooling = spec_.cooling;
+      Rng thermal_rng(spec_.seed, path + "/thermal");
+      const Celsius offset =
+          cabinet_offsets[static_cast<std::size_t>(inst.loc.cabinet)] +
+          inst.faults.inlet_delta;
+      inst.thermal = sample_thermal(cooling, offset, thermal_rng);
+      inst.thermal.r_c_per_w *= inst.faults.r_multiplier;
+
+      gpus_.push_back(std::move(inst));
+    }
+  }
+}
+
+const GpuInstance& Cluster::gpu(std::size_t i) const {
+  GPUVAR_REQUIRE(i < gpus_.size());
+  return gpus_[i];
+}
+
+std::size_t Cluster::index_of(int node, int gpu) const {
+  GPUVAR_REQUIRE(node >= 0 && node < spec_.layout.nodes);
+  GPUVAR_REQUIRE(gpu >= 0 && gpu < spec_.layout.gpus_per_node);
+  return static_cast<std::size_t>(node) * spec_.layout.gpus_per_node + gpu;
+}
+
+std::vector<std::size_t> Cluster::node_gpus(int node) const {
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(spec_.layout.gpus_per_node));
+  for (int g = 0; g < spec_.layout.gpus_per_node; ++g) {
+    out.push_back(index_of(node, g));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Cluster::faulty_gpus() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    if (gpus_[i].faults.any()) out.push_back(i);
+  }
+  return out;
+}
+
+std::unique_ptr<SimulatedGpu> Cluster::make_device(
+    std::size_t i, const SimOptions& opts, Watts power_limit_override) const {
+  const GpuInstance& inst = gpu(i);
+  auto dev = std::make_unique<SimulatedGpu>(spec_.sku, inst.silicon,
+                                            inst.thermal, opts);
+  Watts limit = inst.power_cap > 0.0 ? inst.power_cap : spec_.sku.tdp;
+  if (power_limit_override > 0.0) {
+    limit = std::min(limit, power_limit_override);
+  }
+  dev->set_power_limit(limit);
+  return dev;
+}
+
+std::string Cluster::gpu_seed_path(std::size_t i) const {
+  return spec_.name + "/" + gpu(i).loc.name;
+}
+
+// ---------------------------------------------------------------------
+// Factories (Table I), with fault plans reproducing the paper's outliers.
+// ---------------------------------------------------------------------
+
+ClusterSpec longhorn_spec(std::uint64_t seed) {
+  ClusterSpec s;
+  s.name = "longhorn";
+  s.sku = make_v100_sxm2();
+  s.cooling = air_cooling(28.0);
+  s.layout.nodes = 104;
+  s.layout.gpus_per_node = 4;
+  s.layout.nodes_per_cabinet = 8;  // 13 cabinets, coloured in the figures
+  s.run_noise_sigma = 0.0025;
+  s.seed = seed;
+
+  // Cabinet c002: the consistently bad GPUs that show up as SGEMM power
+  // outliers (~250 W) and as ResNet/BERT stragglers (degraded boards).
+  FaultRule c002;
+  c002.kind = FaultKind::kDegradedBoard;
+  c002.cabinets = {2};
+  c002.probability = 0.22;
+  c002.cap_mean = 252.0;
+  c002.cap_sigma = 6.0;
+  c002.mem_bw_factor = 0.22;
+  s.faults.rules.push_back(c002);
+
+  // A sprinkling of cluster-wide power-delivery outliers.
+  FaultRule caps;
+  caps.kind = FaultKind::kPowerCap;
+  caps.probability = 0.012;
+  caps.cap_mean = 262.0;
+  caps.cap_sigma = 9.0;
+  s.faults.rules.push_back(caps);
+
+  // Cabinet c004 sits in a hot aisle: high temperature but healthy
+  // silicon (the paper's "runs hot yet completes fast" example).
+  FaultRule hot;
+  hot.kind = FaultKind::kCoolingDegraded;
+  hot.cabinets = {4};
+  hot.probability = 0.8;
+  hot.r_multiplier = 1.25;
+  hot.inlet_delta = 7.0;
+  s.faults.rules.push_back(hot);
+  return s;
+}
+
+ClusterSpec summit_spec(std::uint64_t seed, int rows, int columns,
+                        int nodes_per_column, int gpus_per_node) {
+  GPUVAR_REQUIRE(rows > 0 && columns > 0 && nodes_per_column > 0);
+  ClusterSpec s;
+  s.name = "summit";
+  s.sku = make_v100_sxm2();
+  s.cooling = water_cooling(26.0);
+  s.layout.rows = rows;
+  s.layout.columns = columns;
+  s.layout.nodes_per_column = nodes_per_column;
+  s.layout.nodes = rows * columns * nodes_per_column;
+  s.layout.gpus_per_node = gpus_per_node;
+  s.run_noise_sigma = 0.001;
+  s.seed = seed;
+
+  // Power outliers concentrated in a few row/column pairs (row H columns
+  // 13, 14, 28, 33, 36 in the paper's Appendix B; rows A and H overall).
+  const int row_a = 0;
+  const int row_h = std::min(7, rows - 1);
+  FaultRule rowh_caps;
+  rowh_caps.kind = FaultKind::kPowerCap;
+  for (int col : {12, 13, 27, 32, 35}) {  // 0-based analogues
+    if (col < columns) rowh_caps.row_columns.emplace_back(row_h, col);
+  }
+  rowh_caps.probability = 0.28;
+  rowh_caps.cap_mean = 268.0;
+  rowh_caps.cap_sigma = 10.0;
+  s.faults.rules.push_back(rowh_caps);
+
+  FaultRule rowa_caps;
+  rowa_caps.kind = FaultKind::kPowerCap;
+  for (int col : {4, 18}) {
+    if (col < columns) rowa_caps.row_columns.emplace_back(row_a, col);
+  }
+  rowa_caps.probability = 0.20;
+  rowa_caps.cap_mean = 272.0;
+  rowa_caps.cap_sigma = 8.0;
+  s.faults.rules.push_back(rowa_caps);
+
+  // Rows D and F: performance/frequency outliers from weak silicon.
+  FaultRule weak;
+  weak.kind = FaultKind::kWeakSilicon;
+  for (int col = 0; col < columns; col += 6) {
+    if (3 < rows) weak.row_columns.emplace_back(3, col);  // row D
+    if (5 < rows) weak.row_columns.emplace_back(5, col);  // row F
+  }
+  weak.probability = 0.10;
+  weak.vf_extra_sigma = 2.5;
+  s.faults.rules.push_back(weak);
+
+  // One node in row H col 36 with temperature-only outliers: water loop
+  // partially clogged (runs up to ~73 °C but silicon is healthy).
+  FaultRule clog;
+  clog.kind = FaultKind::kCoolingDegraded;
+  if (35 < columns) clog.row_columns.emplace_back(row_h, 35);
+  clog.probability = 0.07;
+  clog.r_multiplier = 1.8;
+  clog.inlet_delta = 6.0;
+  s.faults.rules.push_back(clog);
+  return s;
+}
+
+ClusterSpec corona_spec(std::uint64_t seed) {
+  ClusterSpec s;
+  s.name = "corona";
+  s.sku = make_mi60();
+  // Corona's MI60s run close to their (higher) slowdown temperature.
+  s.cooling = air_cooling(30.0);
+  s.cooling.r_mean = 0.185;
+  s.cooling.r_sigma = 0.012;
+  s.cooling.cabinet_sigma = 3.0;
+  s.cooling.gpu_sigma = 3.0;
+  s.layout.nodes = 82;
+  s.layout.gpus_per_node = 4;
+  s.layout.nodes_per_cabinet = 3;  // "cabinets" of 12 GPUs, as in §IV-D
+  // AMD runs show far higher run-to-run noise (Fig. 8: 6.06% median).
+  s.run_noise_sigma = 0.015;
+  s.seed = seed;
+  s.node_label_base = 100;  // nodes print as c100.. (the outlier is c115)
+
+  // Node c115: the severely under-performing GPU drawing only ~165 W.
+  FaultRule c115;
+  c115.kind = FaultKind::kPumpFailure;  // board-level severe cap
+  c115.nodes = {15};
+  c115.probability = 0.6;
+  c115.cap_mean = 165.0;
+  c115.cap_sigma = 4.0;
+  s.faults.rules.push_back(c115);
+  return s;
+}
+
+ClusterSpec vortex_spec(std::uint64_t seed) {
+  ClusterSpec s;
+  s.name = "vortex";
+  s.sku = make_v100_sxm2();
+  s.cooling = water_cooling(22.0);
+  s.cooling.r_mean = 0.075;
+  s.layout.nodes = 54;
+  s.layout.gpus_per_node = 4;
+  s.layout.nodes_per_cabinet = 3;
+  s.run_noise_sigma = 0.002;
+  s.seed = seed;
+  // Vortex showed clean behaviour: all GPUs within ~5 W of TDP.
+  return s;
+}
+
+ClusterSpec frontera_spec(std::uint64_t seed) {
+  ClusterSpec s;
+  s.name = "frontera";
+  s.sku = make_rtx5000();
+  s.cooling = mineral_oil_cooling(48.0);
+  s.layout.nodes = 90;
+  s.layout.gpus_per_node = 4;
+  s.layout.nodes_per_cabinet = 3;
+  s.run_noise_sigma = 0.002;
+  s.seed = seed;
+  s.node_label_base = 190;  // cabinets print as c190.. (outlier: c197)
+
+  // Cabinet c197: degraded oil-circulation pump. The two afflicted GPUs
+  // run 1100-1600 ms slower, ~16 °C cooler and ~59 W below median power —
+  // consistent with a severe enforced power cap.
+  FaultRule pump;
+  pump.kind = FaultKind::kPumpFailure;
+  pump.cabinets = {7};
+  pump.probability = 0.18;
+  pump.cap_mean = 168.0;
+  pump.cap_sigma = 6.0;
+  s.faults.rules.push_back(pump);
+  return s;
+}
+
+ClusterSpec cloudlab_spec(std::uint64_t seed) {
+  ClusterSpec s;
+  s.name = "cloudlab";
+  s.sku = make_v100_sxm2();
+  s.cooling = air_cooling(26.0);
+  s.cooling.cabinet_sigma = 3.0;  // one machine room, less spatial spread
+  s.layout.nodes = 3;
+  s.layout.gpus_per_node = 4;
+  s.layout.nodes_per_cabinet = 1;
+  s.run_noise_sigma = 0.002;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace gpuvar

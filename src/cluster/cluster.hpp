@@ -1,0 +1,103 @@
+// Cluster construction: turns a ClusterSpec into a population of GPU
+// instances with deterministically sampled silicon, thermals and faults,
+// and manufactures simulated devices for them on demand.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/faults.hpp"
+#include "cluster/topology.hpp"
+#include "common/units.hpp"
+#include "gpu/device.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
+#include "thermal/cooling.hpp"
+
+namespace gpuvar {
+
+struct ClusterSpec {
+  std::string name;
+  GpuSku sku;
+  CoolingSpec cooling;
+  ClusterLayout layout;
+  FaultPlan faults;
+  /// σ of the per-run multiplicative runtime noise (transient effects;
+  /// the paper's Fig. 8 shows AMD runs are far noisier than NVIDIA runs).
+  double run_noise_sigma = 0.002;
+  /// σ of the per-node lognormal interconnect (NVLink/NCCL) efficiency
+  /// spread; scales multi-GPU allreduce time.
+  double interconnect_sigma = 0.04;
+  std::uint64_t seed = 0x5EED;
+  int node_label_base = 0;  ///< offset for printed node names
+};
+
+/// One physical GPU: its location and everything sampled for it.
+struct GpuInstance {
+  GpuLocation loc;
+  SiliconSample silicon;   ///< already includes fault-driven degradation
+  ThermalParams thermal;   ///< already includes cooling faults
+  AppliedFaults faults;
+  Watts power_cap = 0.0;   ///< effective limit; 0 = SKU TDP
+  /// Node-shared allreduce-time multiplier (>= ~1; >1 = slower links).
+  double interconnect_factor = 1.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  const GpuSku& sku() const { return spec_.sku; }
+  std::size_t size() const { return gpus_.size(); }
+  int node_count() const { return spec_.layout.nodes; }
+  int gpus_per_node() const { return spec_.layout.gpus_per_node; }
+
+  const GpuInstance& gpu(std::size_t i) const;
+  const std::vector<GpuInstance>& gpus() const { return gpus_; }
+
+  /// Global GPU index of (node, gpu-in-node).
+  std::size_t index_of(int node, int gpu) const;
+  /// All GPU indices on a node.
+  std::vector<std::size_t> node_gpus(int node) const;
+
+  /// Ground truth: indices of GPUs with any injected fault.
+  std::vector<std::size_t> faulty_gpus() const;
+
+  /// Builds a fresh simulated device for GPU i (thermal state at idle
+  /// equilibrium, DVFS at boost, power limit = min(cap, override)).
+  /// `power_limit_override` of 0 keeps the instance's own cap/TDP.
+  std::unique_ptr<SimulatedGpu> make_device(
+      std::size_t i, const SimOptions& opts = {},
+      Watts power_limit_override = 0.0) const;
+
+  /// The seed path prefix identifying GPU i (for run-noise derivation).
+  std::string gpu_seed_path(std::size_t i) const;
+
+ private:
+  ClusterSpec spec_;
+  std::vector<GpuInstance> gpus_;
+};
+
+// --- Factories for the paper's systems (Table I). ---
+
+/// TACC Longhorn: 104 nodes × 4 V100, air-cooled.
+ClusterSpec longhorn_spec(std::uint64_t seed = 0x10A6);
+/// ORNL Summit: water-cooled V100s in rows × columns. `nodes_per_column`
+/// scales the build (18 = full 27,648-GPU machine; benches default lower).
+ClusterSpec summit_spec(std::uint64_t seed = 0x5077, int rows = 8,
+                        int columns = 29, int nodes_per_column = 18,
+                        int gpus_per_node = 6);
+/// LLNL Corona: 82 nodes × 4 MI60, air-cooled.
+ClusterSpec corona_spec(std::uint64_t seed = 0xC060);
+/// SNL Vortex: 54 nodes × 4 V100, water-cooled.
+ClusterSpec vortex_spec(std::uint64_t seed = 0x0642);
+/// TACC Frontera RTX partition: 90 nodes × 4 RTX 5000, mineral oil.
+ClusterSpec frontera_spec(std::uint64_t seed = 0xF207);
+/// NSF CloudLab: 3 nodes × 4 V100, air-cooled, admin-controllable.
+ClusterSpec cloudlab_spec(std::uint64_t seed = 0x22);
+
+}  // namespace gpuvar

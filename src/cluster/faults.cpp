@@ -1,0 +1,98 @@
+#include "cluster/faults.hpp"
+
+#include <algorithm>
+
+#include "cluster/topology.hpp"
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPowerCap:
+      return "power-cap";
+    case FaultKind::kDegradedBoard:
+      return "degraded-board";
+    case FaultKind::kCoolingDegraded:
+      return "cooling-degraded";
+    case FaultKind::kPumpFailure:
+      return "pump-failure";
+    case FaultKind::kWeakSilicon:
+      return "weak-silicon";
+    case FaultKind::kDegradedInterconnect:
+      return "degraded-interconnect";
+  }
+  return "unknown";
+}
+
+bool AppliedFaults::has(FaultKind k) const {
+  return std::find(kinds.begin(), kinds.end(), k) != kinds.end();
+}
+
+namespace {
+
+bool in_scope(const FaultRule& rule, const GpuLocation& loc) {
+  if (rule.cabinets.empty() && rule.row_columns.empty() &&
+      rule.nodes.empty()) {
+    return true;  // cluster-wide rule
+  }
+  if (std::find(rule.cabinets.begin(), rule.cabinets.end(), loc.cabinet) !=
+      rule.cabinets.end()) {
+    return true;
+  }
+  if (std::find(rule.nodes.begin(), rule.nodes.end(), loc.node) !=
+      rule.nodes.end()) {
+    return true;
+  }
+  for (const auto& [row, col] : rule.row_columns) {
+    if (loc.row == row && loc.column == col) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AppliedFaults apply_faults(const FaultPlan& plan, const GpuLocation& loc,
+                           Rng& rng) {
+  AppliedFaults out;
+  for (const auto& rule : plan.rules) {
+    // Consume one Bernoulli draw per rule regardless of scope so that a
+    // GPU's fault outcome is independent of other rules' scopes.
+    const bool hit = rng.bernoulli(rule.probability);
+    if (!in_scope(rule, loc) || !hit) continue;
+
+    out.kinds.push_back(rule.kind);
+    switch (rule.kind) {
+      case FaultKind::kPowerCap:
+      case FaultKind::kPumpFailure: {
+        const Watts cap =
+            std::max(50.0, rng.normal(rule.cap_mean, rule.cap_sigma));
+        out.power_cap = out.power_cap == 0.0 ? cap : std::min(out.power_cap, cap);
+        break;
+      }
+      case FaultKind::kDegradedBoard: {
+        const Watts cap =
+            std::max(50.0, rng.normal(rule.cap_mean, rule.cap_sigma));
+        out.power_cap = out.power_cap == 0.0 ? cap : std::min(out.power_cap, cap);
+        out.mem_bw_factor =
+            std::min(out.mem_bw_factor, std::max(0.05, rule.mem_bw_factor));
+        break;
+      }
+      case FaultKind::kCoolingDegraded:
+        out.r_multiplier = std::max(out.r_multiplier, rule.r_multiplier);
+        out.inlet_delta += rule.inlet_delta;
+        break;
+      case FaultKind::kWeakSilicon:
+        out.vf_extra += rule.vf_extra_sigma;  // scaled by process σ later
+        break;
+      case FaultKind::kDegradedInterconnect:
+        out.interconnect_multiplier =
+            std::max(out.interconnect_multiplier,
+                     rule.interconnect_multiplier);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gpuvar

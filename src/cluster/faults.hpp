@@ -1,0 +1,78 @@
+// Declarative fault injection.
+//
+// The paper's striking outliers all trace to *persistent* hardware
+// conditions: GPUs whose boards cap power below TDP (Summit row H,
+// Longhorn's 250 W outliers), a cabinet whose mineral-oil pump degraded
+// (Frontera c197), one severely under-performing node (Corona c115), and
+// nodes with degraded airflow that run hot. A FaultPlan places such
+// conditions deterministically; the cluster records ground truth so the
+// flagging analysis (src/core/flagging) can be scored against it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace gpuvar {
+
+enum class FaultKind {
+  kPowerCap,        ///< board limits power below TDP (degraded delivery)
+  kDegradedBoard,   ///< power cap + crippled memory bandwidth
+  kCoolingDegraded, ///< higher thermal resistance / hotter inlet
+  kPumpFailure,     ///< cabinet-wide severe power cap (oil pump incident)
+  kWeakSilicon,     ///< extra V/f offset (bottom-of-bin chip escaped QA)
+  kDegradedInterconnect,  ///< slow NVLink/PCIe path (flaky lanes retrain)
+};
+
+std::string to_string(FaultKind k);
+
+/// Scope selection for a rule. A GPU is in scope if it matches *any* listed
+/// cabinet / (row, column) pair, or — when both lists are empty — the whole
+/// cluster. Within scope, each GPU is afflicted independently with
+/// `probability`.
+struct FaultRule {
+  FaultKind kind = FaultKind::kPowerCap;
+  std::vector<int> cabinets;                      ///< cabinet indices
+  std::vector<std::pair<int, int>> row_columns;   ///< (row, column) pairs
+  std::vector<int> nodes;                         ///< explicit node indices
+  double probability = 1.0;
+
+  // Parameters (used according to kind):
+  Watts cap_mean = 260.0;
+  Watts cap_sigma = 8.0;
+  double mem_bw_factor = 0.30;   ///< kDegradedBoard
+  double r_multiplier = 1.5;     ///< kCoolingDegraded
+  Celsius inlet_delta = 6.0;     ///< kCoolingDegraded
+  double vf_extra_sigma = 3.0;   ///< kWeakSilicon: added offset in process σ
+  double interconnect_multiplier = 3.0;  ///< kDegradedInterconnect
+};
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+/// The effect of the applied faults on one GPU.
+struct AppliedFaults {
+  std::vector<FaultKind> kinds;
+  Watts power_cap = 0.0;        ///< 0 = no cap (TDP)
+  double mem_bw_factor = 1.0;   ///< multiplier applied to the chip's factor
+  double r_multiplier = 1.0;
+  Celsius inlet_delta = 0.0;
+  Volts vf_extra = 0.0;
+  double interconnect_multiplier = 1.0;
+
+  bool any() const { return !kinds.empty(); }
+  bool has(FaultKind k) const;
+};
+
+struct GpuLocation;  // cluster/topology.hpp
+
+/// Evaluates the plan for a GPU at `loc`. Deterministic: the rng must be
+/// seeded from the GPU's identity path.
+AppliedFaults apply_faults(const FaultPlan& plan, const GpuLocation& loc,
+                           Rng& rng);
+
+}  // namespace gpuvar

@@ -1,0 +1,159 @@
+#include "cluster/tenancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gpuvar {
+
+double default_coupling(CoolingType type) {
+  switch (type) {
+    case CoolingType::kAir:
+      // Downstream GPUs in a shared air stream pick up a large fraction
+      // of their neighbours' heat: ~15 °C per kW of neighbour power.
+      return 0.015;
+    case CoolingType::kMineralOil:
+      return 0.006;  // the bath integrates heat but circulates
+    case CoolingType::kWater:
+      return 0.002;  // per-device cold plates: nearly decoupled
+  }
+  return 0.0;
+}
+
+std::vector<GpuRunResult> run_on_node_shared(const Cluster& cluster, int node,
+                                             const WorkloadSpec& workload,
+                                             int run_index,
+                                             const RunOptions& opts,
+                                             const TenancyOptions& tenancy) {
+  workload.validate();
+  GPUVAR_REQUIRE_MSG(workload.gpus_per_job == 1,
+                     "shared-node tenancy models one job per GPU");
+  const auto gpu_indices = cluster.node_gpus(node);
+  const double kappa = tenancy.coupling_c_per_w >= 0.0
+                           ? tenancy.coupling_c_per_w
+                           : default_coupling(cluster.spec().cooling.type);
+
+  struct Tenant {
+    std::size_t gpu_index = 0;
+    std::unique_ptr<SimulatedGpu> device;
+    std::unique_ptr<Sampler> sampler;
+    double stall_scale = 1.0;
+    double activity_scale = 1.0;
+    double noise = 1.0;
+    std::vector<double> long_kernel_ms;
+    std::vector<double> iteration_ms;
+    CounterAccumulator counters;
+    Watts mean_power = 0.0;  ///< over the last completed iteration
+  };
+
+  std::vector<Tenant> tenants;
+  tenants.reserve(gpu_indices.size());
+  for (std::size_t gi : gpu_indices) {
+    Tenant t;
+    t.gpu_index = gi;
+    t.device = cluster.make_device(gi, opts.sim, opts.power_limit_override);
+    if (tenancy.previous_job_power > 0.0) {
+      t.device->preheat(tenancy.previous_job_power);
+    }
+    SamplerOptions sampler_opts;
+    sampler_opts.keep_series = false;
+    t.sampler = std::make_unique<Sampler>(sampler_opts);
+    t.stall_scale = gpu_sensitivity_factor(cluster, gi, workload);
+    t.activity_scale = gpu_power_jitter_factor(cluster, gi, workload);
+    {
+      Rng rng(cluster.spec().seed,
+              cluster.gpu_seed_path(gi) + "/wl:" + workload.name +
+                  "/shared-run:" + std::to_string(run_index));
+      const double sigma = cluster.spec().run_noise_sigma;
+      t.noise = sigma > 0.0 ? std::exp(rng.normal(0.0, sigma)) : 1.0;
+    }
+    tenants.push_back(std::move(t));
+  }
+
+  auto update_coupling = [&] {
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      Watts neighbour_heat = 0.0;
+      for (std::size_t j = 0; j < tenants.size(); ++j) {
+        if (j == i) continue;
+        neighbour_heat +=
+            std::max(0.0, tenants[j].mean_power - 40.0 /* ~idle */);
+      }
+      tenants[i].device->set_inlet_delta(kappa * neighbour_heat);
+    }
+  };
+
+  const int total_iters = workload.warmup_iterations + workload.iterations;
+  for (int iter = 0; iter < total_iters; ++iter) {
+    const bool measuring = iter >= workload.warmup_iterations;
+    for (auto& t : tenants) {
+      Sampler* sampler = measuring ? t.sampler.get() : nullptr;
+      const Seconds t0 = t.device->clock();
+      double energy = 0.0;
+      for (const auto& step : workload.iteration) {
+        for (int c = 0; c < step.count; ++c) {
+          const KernelResult kr = t.device->run_kernel(
+              step.kernel, sampler, t.noise, t.stall_scale,
+              t.activity_scale);
+          energy += kr.energy;
+          if (measuring) {
+            if (step.long_kernel) {
+              t.long_kernel_ms.push_back(to_ms(kr.duration));
+            }
+            t.counters.add(step.kernel, kr.duration);
+          }
+          t.device->idle_for(workload.inter_kernel_gap, sampler);
+        }
+      }
+      const Seconds elapsed = t.device->clock() - t0;
+      GPUVAR_ASSERT(elapsed > 0.0);
+      t.mean_power = energy / elapsed;
+      if (measuring) t.iteration_ms.push_back(to_ms(elapsed));
+    }
+    // Neighbour heat from this iteration shapes the next one.
+    update_coupling();
+  }
+
+  std::vector<GpuRunResult> results;
+  results.reserve(tenants.size());
+  for (auto& t : tenants) {
+    GpuRunResult out;
+    out.gpu_index = t.gpu_index;
+    out.run_index = run_index;
+    out.perf_ms =
+        extract_perf_metric(workload, t.long_kernel_ms, t.iteration_ms);
+    out.iteration_ms = std::move(t.iteration_ms);
+    out.telemetry = t.sampler->summary();
+    out.counters = t.counters.aggregate();
+    results.push_back(std::move(out));
+  }
+  return results;
+}
+
+std::vector<TenancyImpact> measure_tenancy_impact(
+    const Cluster& cluster, int node, const WorkloadSpec& workload,
+    const RunOptions& opts, const TenancyOptions& tenancy) {
+  // Exclusive baseline: the paper's methodology (each GPU alone).
+  const auto exclusive = run_on_node(cluster, node, workload, 0, opts);
+  const auto shared =
+      run_on_node_shared(cluster, node, workload, 0, opts, tenancy);
+  GPUVAR_ASSERT(exclusive.size() == shared.size());
+
+  std::vector<TenancyImpact> impacts;
+  impacts.reserve(shared.size());
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    TenancyImpact imp;
+    imp.gpu_index = shared[i].gpu_index;
+    imp.exclusive_perf_ms = exclusive[i].perf_ms;
+    imp.shared_perf_ms = shared[i].perf_ms;
+    imp.slowdown = shared[i].perf_ms / exclusive[i].perf_ms;
+    imp.exclusive_temp = exclusive[i].telemetry.temp.median;
+    imp.shared_temp = shared[i].telemetry.temp.median;
+    impacts.push_back(imp);
+  }
+  return impacts;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,62 @@
+// Spatial and temporal tenancy effects (§VII "Spatial Effects").
+//
+// The paper measured with exclusive nodes, eliminating interference from
+// co-located jobs, and names spatial (neighbour jobs on the same node)
+// and temporal (a preceding job on the same GPU) effects as future work.
+// This module implements both:
+//
+//   * spatial — GPUs in one chassis share airflow/coolant: each GPU's
+//     effective inlet temperature rises with the heat its neighbours
+//     dump into the shared stream. We model this as
+//         inlet_i = baseline_i + κ · Σ_{j≠i} max(0, P_j - P_idle)
+//     with κ per cooling technology (air ≫ water), re-evaluated at every
+//     iteration boundary of a lock-stepped node simulation.
+//   * temporal — a job that starts right after a hot job inherits the
+//     previous occupant's thermal state instead of the idle equilibrium.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "workloads/runner.hpp"
+
+namespace gpuvar {
+
+struct TenancyOptions {
+  /// Inlet-temperature rise per watt of neighbour dissipation (°C/W).
+  /// Defaults are per cooling technology: shared air streams couple
+  /// strongly, pumped loops barely at all.
+  double coupling_c_per_w = -1.0;  ///< <0 = derive from the cooling type
+  /// Sustained power of the job that previously occupied the GPUs (W);
+  /// 0 = cold start (the exclusive-allocation baseline).
+  Watts previous_job_power = 0.0;
+};
+
+double default_coupling(CoolingType type);
+
+/// Runs `workload` on every GPU of `node` *simultaneously* (one job per
+/// GPU, the multi-tenant scenario), with spatial thermal coupling between
+/// the co-located jobs and optional temporal pre-heating. Single-GPU
+/// workloads only. Returns one result per GPU.
+std::vector<GpuRunResult> run_on_node_shared(const Cluster& cluster, int node,
+                                             const WorkloadSpec& workload,
+                                             int run_index,
+                                             const RunOptions& opts,
+                                             const TenancyOptions& tenancy);
+
+/// Convenience: the paper's exclusive baseline vs the shared scenario,
+/// as a per-GPU slowdown factor (shared / exclusive runtime).
+struct TenancyImpact {
+  std::size_t gpu_index = 0;
+  double exclusive_perf_ms = 0.0;
+  double shared_perf_ms = 0.0;
+  double slowdown = 1.0;
+  Celsius exclusive_temp = 0.0;
+  Celsius shared_temp = 0.0;
+};
+
+std::vector<TenancyImpact> measure_tenancy_impact(
+    const Cluster& cluster, int node, const WorkloadSpec& workload,
+    const RunOptions& opts, const TenancyOptions& tenancy);
+
+}  // namespace gpuvar

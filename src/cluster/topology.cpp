@@ -1,0 +1,61 @@
+#include "cluster/topology.hpp"
+
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+int ClusterLayout::cabinets() const {
+  GPUVAR_REQUIRE(nodes_per_cabinet > 0);
+  return (nodes + nodes_per_cabinet - 1) / nodes_per_cabinet;
+}
+
+void ClusterLayout::validate() const {
+  GPUVAR_REQUIRE(nodes > 0);
+  GPUVAR_REQUIRE(gpus_per_node > 0);
+  if (is_row_layout()) {
+    GPUVAR_REQUIRE(columns > 0 && nodes_per_column > 0);
+    GPUVAR_REQUIRE_MSG(nodes == rows * columns * nodes_per_column,
+                       "row layout dimensions must multiply to node count");
+  } else {
+    GPUVAR_REQUIRE(nodes_per_cabinet > 0);
+  }
+}
+
+char row_letter(int row) {
+  GPUVAR_REQUIRE(row >= 0 && row < 26);
+  return static_cast<char>('a' + row);
+}
+
+GpuLocation locate(const ClusterLayout& layout, int node, int gpu,
+                   int node_label_base) {
+  GPUVAR_REQUIRE(node >= 0 && node < layout.nodes);
+  GPUVAR_REQUIRE(gpu >= 0 && gpu < layout.gpus_per_node);
+
+  GpuLocation loc;
+  loc.node = node;
+  loc.gpu = gpu;
+  char buf[64];
+  if (layout.is_row_layout()) {
+    const int nodes_per_row = layout.columns * layout.nodes_per_column;
+    loc.row = node / nodes_per_row;
+    const int in_row = node % nodes_per_row;
+    loc.column = in_row / layout.nodes_per_column;
+    loc.node_in_group = in_row % layout.nodes_per_column;
+    // Cabinet == column group for plotting convenience on row layouts.
+    loc.cabinet = loc.row * layout.columns + loc.column;
+    std::snprintf(buf, sizeof(buf), "row%c-col%02d-n%02d-%d",
+                  row_letter(loc.row), loc.column + 1, loc.node_in_group + 1,
+                  gpu + 1);
+  } else {
+    loc.cabinet = node / layout.nodes_per_cabinet;
+    loc.node_in_group = node % layout.nodes_per_cabinet;
+    std::snprintf(buf, sizeof(buf), "c%03d-%03d-gpu%d",
+                  loc.cabinet + node_label_base, loc.node_in_group + 1, gpu);
+  }
+  loc.name = buf;
+  return loc;
+}
+
+}  // namespace gpuvar

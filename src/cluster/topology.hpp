@@ -1,0 +1,54 @@
+// Cluster topology: where every GPU physically sits.
+//
+// Two layout families cover the paper's systems:
+//   * cabinet-style (Longhorn, Corona, Vortex, Frontera, CloudLab):
+//     nodes grouped into cabinets of a few nodes each; the paper colours
+//     its plots by cabinet.
+//   * row/column-style (Summit): rows A..H of columns of nodes, following
+//     ORNL's floor layout; the paper breaks Summit down by row and drills
+//     into row H, column 36.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gpuvar {
+
+struct ClusterLayout {
+  int nodes = 0;
+  int gpus_per_node = 0;
+  int nodes_per_cabinet = 3;  ///< cabinet-style grouping
+
+  // Row/column layout (Summit). When rows > 0, the cluster is laid out as
+  // rows × columns × nodes_per_column and `nodes` must equal the product.
+  int rows = 0;
+  int columns = 0;
+  int nodes_per_column = 0;
+
+  bool is_row_layout() const { return rows > 0; }
+  int total_gpus() const { return nodes * gpus_per_node; }
+  int cabinets() const;
+
+  void validate() const;
+};
+
+struct GpuLocation {
+  int node = 0;      ///< global node index
+  int gpu = 0;       ///< index within the node
+  int cabinet = 0;   ///< cabinet index (cabinet-style layouts)
+  int row = -1;      ///< row index (row layouts; 0 = 'a')
+  int column = -1;   ///< column index within the row
+  int node_in_group = 0;  ///< node index within its cabinet / column
+  std::string name;  ///< human-readable: "c002-010-gpu2", "rowh-col36-n10-3"
+};
+
+/// Computes the location of (node, gpu) under a layout. `node_label_base`
+/// offsets printed cabinet/node numbers to match each center's naming
+/// convention (e.g. Corona nodes print as c115).
+GpuLocation locate(const ClusterLayout& layout, int node, int gpu,
+                   int node_label_base = 0);
+
+/// Row letter for a row index (0 -> 'a').
+char row_letter(int row);
+
+}  // namespace gpuvar

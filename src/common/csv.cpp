@@ -1,0 +1,85 @@
+#include "common/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  GPUVAR_REQUIRE_MSG(!header_written_, "header already written");
+  GPUVAR_REQUIRE_MSG(rows_ == 0, "header must precede rows");
+  GPUVAR_REQUIRE(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << csv_escape(columns[i]);
+  }
+  *out_ << '\n';
+  header_written_ = true;
+  column_count_ = columns.size();
+}
+
+void CsvWriter::put(std::string_view field) {
+  if (fields_in_row_) *out_ << ',';
+  *out_ << csv_escape(field);
+  ++fields_in_row_;
+  row_started_ = true;
+}
+
+CsvWriter& CsvWriter::add(std::string_view field) {
+  put(field);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s",
+                  std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf"));
+  }
+  put(buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(long long value) {
+  put(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  GPUVAR_REQUIRE_MSG(row_started_, "end_row without fields");
+  if (column_count_ != 0) {
+    GPUVAR_REQUIRE_MSG(fields_in_row_ == column_count_,
+                       "row width does not match header");
+  }
+  *out_ << '\n';
+  row_started_ = false;
+  fields_in_row_ = 0;
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  GPUVAR_REQUIRE(!fields.empty());
+  for (const auto& f : fields) add(f);
+  end_row();
+}
+
+}  // namespace gpuvar

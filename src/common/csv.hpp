@@ -1,0 +1,50 @@
+// Minimal CSV writer for telemetry and experiment exports.
+//
+// Quotes fields per RFC 4180 only when needed (comma, quote, newline).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuvar {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row. Must be called at most once, before any row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Begins a row; append fields with add(), finish with end_row().
+  CsvWriter& add(std::string_view field);
+  CsvWriter& add(double value);
+  CsvWriter& add(long long value);
+  CsvWriter& add(int value) { return add(static_cast<long long>(value)); }
+  CsvWriter& add(std::size_t value) {
+    return add(static_cast<long long>(value));
+  }
+  void end_row();
+
+  /// Writes a full row in one call.
+  void row(const std::vector<std::string>& fields);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void put(std::string_view field);
+
+  std::ostream* out_;
+  bool row_started_ = false;
+  bool header_written_ = false;
+  std::size_t column_count_ = 0;   // 0 until the header is known
+  std::size_t fields_in_row_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Escape a single CSV field (exposed for testing).
+std::string csv_escape(std::string_view field);
+
+}  // namespace gpuvar

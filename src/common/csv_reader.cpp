@@ -1,0 +1,110 @@
+#include "common/csv_reader.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      field.push_back(c);
+    }
+  }
+  GPUVAR_REQUIRE_MSG(!in_quotes, "unterminated quoted CSV field");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+namespace {
+
+/// Reads one logical record (quoted fields may span physical lines).
+bool read_record(std::istream& in, std::string& out) {
+  out.clear();
+  std::string line;
+  bool have_any = false;
+  while (std::getline(in, line)) {
+    have_any = true;
+    if (!out.empty()) out.push_back('\n');
+    out += line;
+    // Balanced quotes -> the record is complete.
+    const auto quotes = std::count(out.begin(), out.end(), '"');
+    if (quotes % 2 == 0) return true;
+  }
+  return have_any;
+}
+
+}  // namespace
+
+CsvReader::CsvReader(std::istream& in) {
+  std::string record;
+  GPUVAR_REQUIRE_MSG(read_record(in, record), "empty CSV input");
+  columns_ = parse_csv_line(record);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i], i);
+  }
+  while (read_record(in, record)) {
+    if (record.empty()) continue;  // tolerate trailing blank lines
+    auto fields = parse_csv_line(record);
+    GPUVAR_REQUIRE_MSG(fields.size() == columns_.size(),
+                       "CSV row width does not match header");
+    rows_.push_back(std::move(fields));
+  }
+}
+
+bool CsvReader::has_column(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+const std::string& CsvReader::field(std::size_t row,
+                                    const std::string& column) const {
+  GPUVAR_REQUIRE(row < rows_.size());
+  const auto it = index_.find(column);
+  GPUVAR_REQUIRE_MSG(it != index_.end(), "unknown CSV column: " + column);
+  return rows_[row][it->second];
+}
+
+double CsvReader::number(std::size_t row, const std::string& column) const {
+  const std::string& s = field(row, column);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  GPUVAR_REQUIRE_MSG(end != s.c_str() && *end == '\0',
+                     "not a number: '" + s + "' in column " + column);
+  return v;
+}
+
+long long CsvReader::integer(std::size_t row,
+                             const std::string& column) const {
+  const std::string& s = field(row, column);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  GPUVAR_REQUIRE_MSG(end != s.c_str() && *end == '\0',
+                     "not an integer: '" + s + "' in column " + column);
+  return v;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,44 @@
+// Minimal CSV reader (RFC 4180 quoting), the inverse of CsvWriter — lets
+// the analysis pipeline consume measurements produced elsewhere (a real
+// NVML collector, the paper artifact's outputs, a previous campaign).
+#pragma once
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpuvar {
+
+class CsvReader {
+ public:
+  /// Parses the whole stream; the first row is the header.
+  /// Throws std::invalid_argument on malformed input (unterminated
+  /// quotes, rows wider than the header).
+  explicit CsvReader(std::istream& in);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t rows() const { return rows_.size(); }
+
+  bool has_column(const std::string& name) const;
+
+  /// Field by row index and column name. Throws on unknown column or
+  /// out-of-range row.
+  const std::string& field(std::size_t row, const std::string& column) const;
+
+  /// Typed accessors; throw std::invalid_argument on parse failure.
+  double number(std::size_t row, const std::string& column) const;
+  long long integer(std::size_t row, const std::string& column) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses one CSV line (exposed for testing). Handles quoted fields with
+/// embedded commas/quotes; `line` must be a complete logical record.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace gpuvar

@@ -1,0 +1,43 @@
+// Precondition checking helpers used across the library.
+//
+// Following the C++ Core Guidelines (I.6: prefer Expects() for
+// preconditions), we centralize precondition checks in one macro that
+// throws std::invalid_argument with a useful message. Internal invariants
+// use GPUVAR_ASSERT, which throws std::logic_error — a violated invariant
+// is a library bug, not a user error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gpuvar {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file,
+                                       int line) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace gpuvar
+
+#define GPUVAR_REQUIRE(expr)                                        \
+  do {                                                              \
+    if (!(expr)) ::gpuvar::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define GPUVAR_REQUIRE_MSG(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) ::gpuvar::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define GPUVAR_ASSERT(expr)                                        \
+  do {                                                             \
+    if (!(expr)) ::gpuvar::assert_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view path) {
+  // FNV-1a over the path bytes.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : path) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  // Mix with the master seed; two rounds of SplitMix to decorrelate.
+  SplitMix64 mixer(master ^ h);
+  mixer.next();
+  return mixer.next();
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 init(seed);
+  for (auto& s : s_) s = init.next();
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  GPUVAR_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  GPUVAR_REQUIRE(n > 0);
+  // Rejection to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller. u1 in (0, 1] to avoid log(0).
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  GPUVAR_REQUIRE(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo,
+                             double hi) {
+  GPUVAR_REQUIRE(lo < hi);
+  if (stddev == 0.0) return std::clamp(mean, lo, hi);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) {
+  GPUVAR_REQUIRE(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  GPUVAR_REQUIRE(k <= n);
+  // Floyd's algorithm: O(k) expected, no O(n) shuffle needed.
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = uniform_index(j + 1);
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace gpuvar

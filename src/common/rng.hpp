@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Every stochastic quantity in the simulator (silicon samples, inlet
+// temperatures, fault placement, workload jitter) is drawn from an Rng
+// seeded by a *derived* seed: a hash of the experiment master seed plus a
+// stable string path such as "longhorn/node:17/gpu:2/silicon". This makes
+// every figure bit-reproducible and independent of iteration order or
+// thread scheduling — adding a node never perturbs another node's draws.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gpuvar {
+
+/// SplitMix64: used for seed scrambling (passes BigCrush for this purpose).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derive a child seed from a master seed and a stable string path.
+/// FNV-1a over the path, mixed with the master seed through SplitMix64.
+std::uint64_t derive_seed(std::uint64_t master, std::string_view path);
+
+/// xoshiro256** — fast, high-quality generator for the simulation itself.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  Rng(std::uint64_t master, std::string_view path)
+      : Rng(derive_seed(master, path)) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box–Muller (cached pair for efficiency).
+  double normal();
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Normal truncated (by rejection) to [lo, hi]. Requires lo < hi and the
+  /// interval to have non-negligible mass; falls back to clamping after
+  /// 1000 rejections to stay total.
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+  /// Log-normal: exp(N(mu, sigma)) where mu/sigma are in log space.
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Sample k distinct indices from [0, n) (Floyd's algorithm).
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace gpuvar

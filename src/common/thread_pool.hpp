@@ -1,0 +1,59 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The experiment runner simulates hundreds to thousands of GPUs; each GPU's
+// simulation is independent, so we parallelize across GPUs with a static
+// block distribution (chunks are contiguous index ranges — good locality,
+// no false sharing on the output vectors, deterministic results because the
+// work items never share mutable state).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuvar {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `n_threads` workers; 0 means hardware_concurrency.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n), blocking until all complete. Exceptions
+  /// thrown by fn are captured; the first one is rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace gpuvar

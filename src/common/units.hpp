@@ -1,0 +1,31 @@
+// Unit conventions used throughout gpuvar.
+//
+// We use plain doubles with suffix-documented aliases rather than strong
+// types: the simulator's inner loop is arithmetic-heavy and the aliases keep
+// signatures self-documenting without wrapper overhead. Conventions:
+//   time        — seconds (s); sampling intervals in seconds as well
+//   frequency   — megahertz (MHz), matching nvidia-smi / rocm-smi output
+//   power       — watts (W)
+//   temperature — degrees Celsius (°C)
+//   voltage     — volts (V)
+//   energy      — joules (J)
+#pragma once
+
+namespace gpuvar {
+
+using Seconds = double;
+using MegaHertz = double;
+using Watts = double;
+using Celsius = double;
+using Volts = double;
+using Joules = double;
+
+/// Minimum sampling interval supported by the vendor profilers the paper
+/// uses (nvprof / rocm-smi): 1 ms. The telemetry sampler enforces this floor.
+inline constexpr Seconds kMinSamplingInterval = 1e-3;
+
+/// Milliseconds helper for reporting (the paper reports runtimes in ms).
+inline constexpr double to_ms(Seconds s) { return s * 1e3; }
+inline constexpr Seconds from_ms(double ms) { return ms * 1e-3; }
+
+}  // namespace gpuvar

@@ -1,0 +1,59 @@
+#include "core/classify.hpp"
+
+namespace gpuvar {
+
+std::string to_string(AppClass c) {
+  switch (c) {
+    case AppClass::kComputeBound:
+      return "compute-bound";
+    case AppClass::kMemoryBandwidthBound:
+      return "memory-bandwidth-bound";
+    case AppClass::kMemoryLatencyBound:
+      return "memory-latency-bound";
+    case AppClass::kBalanced:
+      return "balanced";
+  }
+  return "unknown";
+}
+
+AppClass classify_application(const ProfilerCounters& c) {
+  // Thresholds follow the paper's exemplars: SGEMM (FU 10, stalls 3%) is
+  // compute-bound; LAMMPS (DRAM util ~9, mem stalls 7%) bandwidth-bound;
+  // PageRank (61% memory-dependency stalls, low DRAM util) latency-bound;
+  // ResNet/BERT (FU ~5) balanced.
+  if (c.mem_stall_frac >= 0.40) return AppClass::kMemoryLatencyBound;
+  if (c.dram_util >= 5.0) return AppClass::kMemoryBandwidthBound;
+  if (c.fu_util >= 7.0) return AppClass::kComputeBound;
+  return AppClass::kBalanced;
+}
+
+PlacementAdvice advise_placement(const ProfilerCounters& c) {
+  PlacementAdvice advice;
+  advice.app_class = classify_application(c);
+  switch (advice.app_class) {
+    case AppClass::kComputeBound:
+      advice.tolerates_variable_nodes = false;
+      advice.frequency_sensitivity_pct = 1.0;  // runtime ∝ 1/f
+      advice.note =
+          "runtime tracks the SM clock: schedule on low-variation nodes";
+      break;
+    case AppClass::kBalanced:
+      advice.tolerates_variable_nodes = false;
+      advice.frequency_sensitivity_pct = 0.6;
+      advice.note =
+          "mixed kernels: prefer low-variation nodes, especially for "
+          "bulk-synchronous multi-GPU jobs";
+      break;
+    case AppClass::kMemoryBandwidthBound:
+    case AppClass::kMemoryLatencyBound:
+      advice.tolerates_variable_nodes = true;
+      advice.frequency_sensitivity_pct = 0.1;
+      advice.note =
+          "runtime is clock-insensitive: safe to place on high-variation "
+          "nodes without significant performance loss";
+      break;
+  }
+  return advice;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,37 @@
+// Application classification from profiler counters (§VII
+// "Application-aware Frameworks", after Guerreiro et al.): operators can
+// classify a workload from its FU/DRAM utilization and stall mix, then
+// place it — compute-intensive jobs on low-variation nodes, memory-bound
+// jobs on high-variation nodes where they lose almost nothing.
+#pragma once
+
+#include <string>
+
+#include "telemetry/counters.hpp"
+
+namespace gpuvar {
+
+enum class AppClass {
+  kComputeBound,
+  kMemoryBandwidthBound,
+  kMemoryLatencyBound,
+  kBalanced,
+};
+
+std::string to_string(AppClass c);
+
+AppClass classify_application(const ProfilerCounters& counters);
+
+struct PlacementAdvice {
+  AppClass app_class = AppClass::kBalanced;
+  /// True if the app can run on high-variation nodes without significant
+  /// performance loss (its runtime does not track the SM clock).
+  bool tolerates_variable_nodes = false;
+  /// Expected sensitivity of runtime to a 1% SM-frequency deficit, in %.
+  double frequency_sensitivity_pct = 0.0;
+  std::string note;
+};
+
+PlacementAdvice advise_placement(const ProfilerCounters& counters);
+
+}  // namespace gpuvar

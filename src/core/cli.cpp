@@ -1,0 +1,288 @@
+#include "core/cli.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "core/experiment.hpp"
+#include "core/flagging.hpp"
+#include "core/compare.hpp"
+#include "core/drift.hpp"
+#include "core/markdown_report.hpp"
+#include "core/projection.hpp"
+#include "core/report.hpp"
+#include "core/variability.hpp"
+#include "telemetry/export.hpp"
+#include "workloads/runner.hpp"
+
+namespace gpuvar::cli {
+
+std::vector<std::string> cluster_names() {
+  return {"cloudlab", "longhorn", "frontera", "vortex", "summit", "corona"};
+}
+
+ClusterSpec cluster_by_name(const std::string& name) {
+  if (name == "cloudlab") return cloudlab_spec();
+  if (name == "longhorn") return longhorn_spec();
+  if (name == "frontera") return frontera_spec();
+  if (name == "vortex") return vortex_spec();
+  if (name == "summit") return summit_spec(0x5077, 8, 29, 2, 6);
+  if (name == "summit-full") return summit_spec(0x5077, 8, 29, 18, 6);
+  if (name == "corona") return corona_spec();
+  throw std::invalid_argument("unknown cluster: " + name);
+}
+
+std::vector<std::string> workload_names() {
+  return {"sgemm",  "resnet-multi", "resnet-single",
+          "bert",   "lammps",       "pagerank"};
+}
+
+WorkloadSpec workload_by_name(const std::string& name, int iterations) {
+  const int it = iterations;
+  if (name == "sgemm") return sgemm_workload(25536, it > 0 ? it : 100);
+  if (name == "sgemm-amd") return sgemm_workload(24576, it > 0 ? it : 100);
+  if (name == "resnet-multi") {
+    return resnet50_multi_workload(it > 0 ? it : 500);
+  }
+  if (name == "resnet-single") {
+    return resnet50_single_workload(it > 0 ? it : 500);
+  }
+  if (name == "bert") return bert_workload(it > 0 ? it : 250);
+  if (name == "lammps") return lammps_workload(it > 0 ? it : 10);
+  if (name == "pagerank") return pagerank_workload(it > 0 ? it : 50);
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+namespace {
+
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_num(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    return std::stod(it->second);
+  }
+};
+
+ParsedArgs parse(const std::vector<std::string>& args, std::size_t from) {
+  ParsedArgs out;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) == 0) {
+      GPUVAR_REQUIRE_MSG(i + 1 < args.size(), "missing value for " + a);
+      out.options[a.substr(2)] = args[++i];
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+void usage(std::ostream& err) {
+  err << "usage:\n"
+         "  gpuvar clusters | workloads\n"
+         "  gpuvar simulate --cluster NAME --workload NAME [--runs N]\n"
+         "                  [--reps N] [--coverage F] [--power-limit W]\n"
+         "                  [--out FILE]\n"
+         "  gpuvar analyze FILE.csv [--group cabinet|node|row]\n"
+         "  gpuvar flag FILE.csv [--slowdown-temp T]\n"
+         "  gpuvar project FILE.csv --target N\n"
+         "  gpuvar report FILE.csv [--title T] [--slowdown-temp T]\n"
+         "  gpuvar compare BEFORE.csv AFTER.csv\n"
+         "  gpuvar drift FILE.csv\n";
+}
+
+std::vector<RunRecord> load_records(const std::string& path) {
+  std::ifstream in(path);
+  GPUVAR_REQUIRE_MSG(in.good(), "cannot open " + path);
+  return import_results_csv(in);
+}
+
+int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
+  const std::string cluster_name = args.get("cluster", "cloudlab");
+  std::string workload_name = args.get("workload", "sgemm");
+  Cluster cluster(cluster_by_name(cluster_name));
+  if (workload_name == "sgemm" && cluster.sku().vendor == Vendor::kAmd) {
+    workload_name = "sgemm-amd";
+  }
+  const int reps = static_cast<int>(args.get_num("reps", 0));
+  auto workload = workload_by_name(workload_name, reps);
+
+  ExperimentConfig cfg = default_config(
+      cluster, workload, static_cast<int>(args.get_num("runs", 2)));
+  cfg.node_coverage = args.get_num("coverage", 1.0);
+  cfg.run_options.power_limit_override = args.get_num("power-limit", 0.0);
+
+  out << "simulating " << workload.name << " on " << cluster.name() << " ("
+      << cluster.size() << " GPUs)...\n";
+  const auto result = run_experiment(cluster, cfg);
+  print_section(out, "variability");
+  print_variability_table(out, analyze_variability(result.records));
+
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    // Re-run per node to produce full result rows (all runs) for the CSV.
+    std::vector<GpuRunResult> rows;
+    for (int node = 0; node < cluster.node_count(); ++node) {
+      for (int run = 0; run < cfg.runs_per_gpu; ++run) {
+        for (auto& r :
+             run_on_node(cluster, node, workload, run, cfg.run_options)) {
+          rows.push_back(std::move(r));
+        }
+      }
+    }
+    std::ofstream file(out_path);
+    GPUVAR_REQUIRE_MSG(file.good(), "cannot write " + out_path);
+    export_results_csv(file, cluster, rows);
+    out << "wrote " << rows.size() << " rows to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(!args.positional.empty(), "analyze needs a CSV path");
+  const auto records = load_records(args.positional.front());
+  GPUVAR_REQUIRE_MSG(!records.empty(), "no records in CSV");
+  out << "loaded " << records.size() << " records\n";
+  print_section(out, "variability");
+  print_variability_table(out, analyze_variability(records));
+  print_section(out, "correlations");
+  print_correlation_table(out, correlate_metrics(records));
+
+  const std::string group = args.get("group", "cabinet");
+  const GroupBy g = group == "node"  ? GroupBy::kNode
+                    : group == "row" ? GroupBy::kRow
+                                     : GroupBy::kCabinet;
+  print_section(out, "performance by " + group);
+  print_group_boxes(out, records, Metric::kPerf, g);
+  return 0;
+}
+
+int cmd_flag(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(!args.positional.empty(), "flag needs a CSV path");
+  const auto records = load_records(args.positional.front());
+  FlagOptions opts;
+  opts.slowdown_temp = args.get_num("slowdown-temp", 1e9);
+  print_section(out, "operator early-warning report");
+  print_flags(out, flag_anomalies(records, opts));
+  return 0;
+}
+
+int cmd_project(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(!args.positional.empty(), "project needs a CSV path");
+  const auto target = static_cast<std::size_t>(args.get_num("target", 0));
+  GPUVAR_REQUIRE_MSG(target >= 2, "project needs --target N");
+  const auto records = load_records(args.positional.front());
+  const auto proj = project_to_cluster_size(records, target);
+  out << "measured variation at " << proj.source_gpus
+      << " GPUs: " << proj.source_variation_pct << "%\n"
+      << "projected variation at " << proj.target_gpus
+      << " GPUs: " << proj.projected_variation_pct << "%\n";
+  return 0;
+}
+
+int cmd_report(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(!args.positional.empty(), "report needs a CSV path");
+  const auto records = load_records(args.positional.front());
+  MarkdownReportOptions opts;
+  opts.title = args.get("title", "Variability campaign report");
+  opts.slowdown_temp = args.get_num("slowdown-temp", 1e9);
+  write_markdown_report(out, records, opts);
+  return 0;
+}
+
+int cmd_compare(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(args.positional.size() >= 2,
+                     "compare needs BEFORE.csv AFTER.csv");
+  const auto before = load_records(args.positional[0]);
+  const auto after = load_records(args.positional[1]);
+  const auto cmp = compare_campaigns(before, after);
+  out << "matched " << cmp.matched_gpus << " GPUs (" << cmp.only_before
+      << " only-before, " << cmp.only_after << " only-after)\n"
+      << "population shift: " << cmp.median_delta_pct << "% (noise floor "
+      << cmp.noise_floor_pct << "%)\n";
+  if (cmp.significant.empty()) {
+    out << "no significant per-GPU changes\n";
+  }
+  for (const auto& d : cmp.significant) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s %+7.2f%%  (%.0f -> %.0f ms, %.0f -> %.0f W, "
+                  "%.0f -> %.0f C)\n",
+                  d.name.c_str(), d.delta_pct, d.before_ms, d.after_ms,
+                  d.before_power_w, d.after_power_w, d.before_temp_c,
+                  d.after_temp_c);
+    out << buf;
+  }
+  return 0;
+}
+
+int cmd_drift(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(!args.positional.empty(), "drift needs a CSV path");
+  const auto records = load_records(args.positional.front());
+  // Drift needs a history: at least one GPU with multiple runs.
+  bool has_history = false;
+  std::map<std::string, int> counts;
+  for (const auto& r : records) {
+    if (++counts[r.loc.name] >= 2) has_history = true;
+  }
+  GPUVAR_REQUIRE_MSG(has_history,
+                     "drift needs repeated runs per GPU (a history)");
+  out << "run noise sigma: " << estimate_run_noise_ms(records) << " ms\n";
+  const auto flags = detect_performance_drift(records);
+  if (flags.empty()) {
+    out << "no drift detected\n";
+  }
+  for (const auto& f : flags) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "  DRIFT %-20s %+6.2f%% over %d runs (%.1f sigmas)\n",
+                  f.name.c_str(), f.drift_pct, f.runs, f.noise_sigmas);
+    out << buf;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (args.empty()) {
+      usage(err);
+      return 2;
+    }
+    const std::string& cmd = args.front();
+    const auto parsed = parse(args, 1);
+    if (cmd == "clusters") {
+      for (const auto& n : cluster_names()) out << n << "\n";
+      return 0;
+    }
+    if (cmd == "workloads") {
+      for (const auto& n : workload_names()) out << n << "\n";
+      return 0;
+    }
+    if (cmd == "simulate") return cmd_simulate(parsed, out);
+    if (cmd == "analyze") return cmd_analyze(parsed, out);
+    if (cmd == "flag") return cmd_flag(parsed, out);
+    if (cmd == "project") return cmd_project(parsed, out);
+    if (cmd == "report") return cmd_report(parsed, out);
+    if (cmd == "compare") return cmd_compare(parsed, out);
+    if (cmd == "drift") return cmd_drift(parsed, out);
+    err << "unknown command: " << cmd << "\n";
+    usage(err);
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace gpuvar::cli

@@ -1,0 +1,43 @@
+// The `gpuvar` command-line driver, as a testable library. Subcommands:
+//
+//   clusters                         list the built-in cluster models
+//   workloads                        list the built-in workload models
+//   simulate  --cluster L --workload W [--runs N] [--reps N]
+//             [--coverage F] [--power-limit W] [--out FILE]
+//                                    run a campaign, emit a results CSV
+//   analyze   FILE.csv               variability + correlation report
+//   flag      FILE.csv [--slowdown-temp T]
+//                                    operator early-warning report
+//   project   FILE.csv --target N    scaled-normal cluster-size projection
+//
+// `analyze`, `flag` and `project` consume any CSV with the results schema
+// — including ones collected on real hardware — so the suite works as a
+// standalone fleet-analysis tool, not only with the simulator.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvar::cli {
+
+/// Known cluster names for --cluster.
+std::vector<std::string> cluster_names();
+/// Builds a spec by name; throws std::invalid_argument on unknown names.
+ClusterSpec cluster_by_name(const std::string& name);
+
+/// Known workload names for --workload.
+std::vector<std::string> workload_names();
+/// Builds a workload by name with an iteration/repetition override
+/// (<= 0 keeps the paper's default).
+WorkloadSpec workload_by_name(const std::string& name, int iterations = 0);
+
+/// Entry point. Returns the process exit code; writes human output to
+/// `out` and errors/usage to `err`. Never throws.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace gpuvar::cli

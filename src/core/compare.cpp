@@ -1,0 +1,88 @@
+#include "core/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/require.hpp"
+#include "core/drift.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar {
+
+CampaignComparison compare_campaigns(std::span<const RunRecord> before,
+                                     std::span<const RunRecord> after,
+                                     const CompareOptions& options) {
+  GPUVAR_REQUIRE(!before.empty() && !after.empty());
+  GPUVAR_REQUIRE(options.significance_sigmas > 0.0);
+
+  const auto before_gpus = per_gpu_medians(before);
+  const auto after_gpus = per_gpu_medians(after);
+  std::map<std::string, const GpuAggregate*> by_name;
+  for (const auto& g : before_gpus) by_name.emplace(g.loc.name, &g);
+
+  CampaignComparison cmp;
+
+  // Noise floor: run-to-run noise of whichever campaign has repeats;
+  // fall back to the other, then to zero (single-run campaigns).
+  double noise_ms = 0.0;
+  for (const auto& campaign : {before, after}) {
+    try {
+      noise_ms = std::max(noise_ms, estimate_run_noise_ms(campaign));
+    } catch (const std::invalid_argument&) {
+      // single-run campaign: no successive differences available
+    }
+  }
+
+  std::vector<double> deltas;
+  for (const auto& g : after_gpus) {
+    const auto it = by_name.find(g.loc.name);
+    if (it == by_name.end()) {
+      ++cmp.only_after;
+      continue;
+    }
+    const GpuAggregate& b = *it->second;
+    GpuDelta d;
+    d.name = g.loc.name;
+    d.before_ms = b.perf_ms;
+    d.after_ms = g.perf_ms;
+    GPUVAR_ASSERT(b.perf_ms > 0.0);
+    d.delta_pct = (g.perf_ms - b.perf_ms) / b.perf_ms * 100.0;
+    d.before_power_w = b.power_w;
+    d.after_power_w = g.power_w;
+    d.before_temp_c = b.temp_c;
+    d.after_temp_c = g.temp_c;
+    deltas.push_back(d.delta_pct);
+    cmp.all.push_back(std::move(d));
+    ++cmp.matched_gpus;
+  }
+  cmp.only_before = before_gpus.size() - cmp.matched_gpus;
+  GPUVAR_REQUIRE_MSG(cmp.matched_gpus > 0,
+                     "campaigns share no GPU names");
+
+  cmp.median_delta_pct = stats::median(deltas);
+  const double median_before =
+      stats::median([&] {
+        std::vector<double> v;
+        for (const auto& d : cmp.all) v.push_back(d.before_ms);
+        return v;
+      }());
+  cmp.noise_floor_pct =
+      median_before > 0.0 ? noise_ms / median_before * 100.0 : 0.0;
+
+  const double threshold_pct =
+      std::max(options.significance_sigmas * cmp.noise_floor_pct,
+               options.min_delta_fraction * 100.0);
+  for (const auto& d : cmp.all) {
+    if (std::abs(d.delta_pct) >= threshold_pct) {
+      cmp.significant.push_back(d);
+    }
+  }
+  std::sort(cmp.significant.begin(), cmp.significant.end(),
+            [](const GpuDelta& a, const GpuDelta& b) {
+              return std::abs(a.delta_pct) > std::abs(b.delta_pct);
+            });
+  return cmp;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,31 @@
+#include "core/correlate.hpp"
+
+#include "common/require.hpp"
+#include "stats/correlation.hpp"
+
+namespace gpuvar {
+
+MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,
+                                 Metric y) {
+  GPUVAR_REQUIRE(records.size() >= 2);
+  MetricCorrelation out;
+  out.x = x;
+  out.y = y;
+  const auto xs = metric_column(records, x);
+  const auto ys = metric_column(records, y);
+  out.rho = stats::pearson(xs, ys);
+  out.spearman = stats::spearman(xs, ys);
+  out.strength = stats::correlation_strength(out.rho);
+  return out;
+}
+
+CorrelationReport correlate_metrics(std::span<const RunRecord> records) {
+  CorrelationReport r;
+  r.perf_temp = correlate_pair(records, Metric::kTemp, Metric::kPerf);
+  r.perf_power = correlate_pair(records, Metric::kPower, Metric::kPerf);
+  r.perf_freq = correlate_pair(records, Metric::kFreq, Metric::kPerf);
+  r.power_temp = correlate_pair(records, Metric::kTemp, Metric::kPower);
+  return r;
+}
+
+}  // namespace gpuvar

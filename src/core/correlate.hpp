@@ -1,0 +1,38 @@
+// Metric-pair correlation analysis (the paper's scatter plots).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/record.hpp"
+
+namespace gpuvar {
+
+struct MetricCorrelation {
+  Metric x = Metric::kPerf;
+  Metric y = Metric::kPerf;
+  double rho = 0.0;       ///< Pearson
+  double spearman = 0.0;  ///< rank correlation (robust to outliers)
+  std::string strength;   ///< qualitative label
+};
+
+/// The four pairings the paper reports: perf↔temp, perf↔power, perf↔freq,
+/// power↔temp.
+struct CorrelationReport {
+  MetricCorrelation perf_temp;
+  MetricCorrelation perf_power;
+  MetricCorrelation perf_freq;
+  MetricCorrelation power_temp;
+
+  std::vector<const MetricCorrelation*> all() const {
+    return {&perf_temp, &perf_power, &perf_freq, &power_temp};
+  }
+};
+
+MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,
+                                 Metric y);
+
+CorrelationReport correlate_metrics(std::span<const RunRecord> records);
+
+}  // namespace gpuvar

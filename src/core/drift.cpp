@@ -1,0 +1,92 @@
+#include "core/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/require.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar {
+
+double estimate_run_noise_ms(std::span<const RunRecord> records) {
+  std::map<std::size_t, std::vector<std::pair<int, double>>> by_gpu;
+  for (const auto& r : records) {
+    by_gpu[r.gpu_index].emplace_back(r.run_index, r.perf_ms);
+  }
+  std::vector<double> abs_diffs;
+  for (auto& [gpu, runs] : by_gpu) {
+    std::sort(runs.begin(), runs.end());
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      abs_diffs.push_back(std::abs(runs[i].second - runs[i - 1].second));
+    }
+  }
+  GPUVAR_REQUIRE_MSG(!abs_diffs.empty(),
+                     "need at least one GPU with two runs");
+  // MAD of successive differences -> sigma: each diff is N(0, sqrt(2)·σ),
+  // and median(|N(0,s)|) = s / 1.4826.
+  return stats::median(abs_diffs) * 1.4826 / std::sqrt(2.0);
+}
+
+std::vector<DriftFlag> detect_performance_drift(
+    std::span<const RunRecord> records, const DriftOptions& options) {
+  GPUVAR_REQUIRE(!records.empty());
+  GPUVAR_REQUIRE(options.ewma_alpha > 0.0 && options.ewma_alpha <= 1.0);
+  GPUVAR_REQUIRE(options.baseline_runs >= 1);
+  GPUVAR_REQUIRE(options.min_runs > options.baseline_runs);
+
+  const double noise_sigma = estimate_run_noise_ms(records);
+
+  std::map<std::size_t, std::vector<std::pair<int, double>>> by_gpu;
+  std::map<std::size_t, std::string> names;
+  for (const auto& r : records) {
+    by_gpu[r.gpu_index].emplace_back(r.run_index, r.perf_ms);
+    names[r.gpu_index] = r.loc.name;
+  }
+
+  std::vector<DriftFlag> flags;
+  for (auto& [gpu, runs] : by_gpu) {
+    if (static_cast<int>(runs.size()) < options.min_runs) continue;
+    std::sort(runs.begin(), runs.end());
+
+    std::vector<double> early;
+    for (int i = 0; i < options.baseline_runs; ++i) {
+      early.push_back(runs[static_cast<std::size_t>(i)].second);
+    }
+    const double baseline = stats::median(early);
+    GPUVAR_ASSERT(baseline > 0.0);
+
+    double ewma = baseline;
+    for (std::size_t i = static_cast<std::size_t>(options.baseline_runs);
+         i < runs.size(); ++i) {
+      ewma = options.ewma_alpha * runs[i].second +
+             (1.0 - options.ewma_alpha) * ewma;
+    }
+
+    const double drift = ewma - baseline;
+    // The EWMA of m-effective samples has sd ≈ σ·sqrt(α/(2-α)); be
+    // conservative and compare against one run's σ directly.
+    const double sigmas = noise_sigma > 0.0
+                              ? std::abs(drift) / noise_sigma
+                              : (drift == 0.0 ? 0.0 : 1e18);
+    if (sigmas >= options.threshold_sigmas &&
+        std::abs(drift) / baseline >= options.min_drift_fraction) {
+      DriftFlag f;
+      f.gpu_index = gpu;
+      f.name = names[gpu];
+      f.runs = static_cast<int>(runs.size());
+      f.baseline_ms = baseline;
+      f.recent_ewma_ms = ewma;
+      f.drift_pct = drift / baseline * 100.0;
+      f.noise_sigmas = sigmas;
+      flags.push_back(std::move(f));
+    }
+  }
+  std::sort(flags.begin(), flags.end(),
+            [](const DriftFlag& a, const DriftFlag& b) {
+              return std::abs(a.drift_pct) > std::abs(b.drift_pct);
+            });
+  return flags;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,60 @@
+#include "core/experiment.hpp"
+
+#include "cluster/allocator.hpp"
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpuvar {
+
+ExperimentConfig default_config(const Cluster& cluster, WorkloadSpec workload,
+                                int runs_per_gpu) {
+  ExperimentConfig cfg;
+  cfg.workload = std::move(workload);
+  cfg.runs_per_gpu = runs_per_gpu;
+  cfg.run_options = RunOptions::for_sku(cluster.sku());
+  return cfg;
+}
+
+ExperimentResult run_experiment(const Cluster& cluster,
+                                const ExperimentConfig& config) {
+  config.workload.validate();
+  GPUVAR_REQUIRE(config.runs_per_gpu >= 1);
+
+  ExclusiveAllocator allocator(cluster);
+  const auto allocations = allocator.sample_coverage(config.node_coverage);
+
+  RunOptions opts = config.run_options;
+  // Fold the day tag into seeds so Monday's transients differ from
+  // Tuesday's while the hardware population stays identical.
+  opts.run_salt = config.salt * 101 +
+                  (config.day_of_week >= 0
+                       ? static_cast<std::uint64_t>(config.day_of_week) + 1
+                       : 0);
+
+  // One result bucket per node job: threads never share a bucket.
+  std::vector<std::vector<RunRecord>> buckets(allocations.size());
+  parallel_for(allocations.size(), [&](std::size_t ai) {
+    const auto& alloc = allocations[ai];
+    auto& bucket = buckets[ai];
+    for (int run = 0; run < config.runs_per_gpu; ++run) {
+      const auto results =
+          run_on_node(cluster, alloc.node, config.workload, run, opts);
+      for (const auto& res : results) {
+        bucket.push_back(to_record(cluster, res, config.day_of_week));
+      }
+    }
+  });
+
+  ExperimentResult out;
+  out.nodes_measured = allocations.size();
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.size();
+  out.records.reserve(total);
+  for (auto& b : buckets) {
+    out.records.insert(out.records.end(), b.begin(), b.end());
+  }
+  out.gpus_measured = per_gpu_medians(out.records).size();
+  return out;
+}
+
+}  // namespace gpuvar

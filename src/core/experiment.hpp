@@ -1,0 +1,48 @@
+// The experiment runner: the paper's data-collection campaign in code.
+//
+// For a (cluster, workload) pair it allocates nodes exclusively, performs
+// the configured number of runs per GPU (each preceded by the workload's
+// warm-up), and returns flattened RunRecords. Node jobs are independent,
+// so they execute in parallel on the host thread pool; determinism is
+// preserved because every random draw is keyed by (cluster seed, GPU
+// path, run index), never by scheduling order.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/record.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+
+struct ExperimentConfig {
+  WorkloadSpec workload;
+  int runs_per_gpu = 3;
+  /// Fraction of nodes measured (the paper covers >90% of each cluster).
+  double node_coverage = 1.0;
+  RunOptions run_options;
+  /// Day-of-week tag stamped on the records (-1 = untagged); also folded
+  /// into the run seeds so different days draw fresh transient noise.
+  int day_of_week = -1;
+  /// Extra salt for independent repetitions of the same campaign.
+  std::uint64_t salt = 0;
+};
+
+struct ExperimentResult {
+  std::vector<RunRecord> records;
+  std::size_t gpus_measured = 0;
+  std::size_t nodes_measured = 0;
+};
+
+/// Runs the full campaign. Thread-safe; parallel across nodes.
+ExperimentResult run_experiment(const Cluster& cluster,
+                                const ExperimentConfig& config);
+
+/// Convenience: a ready-to-run config with sensible defaults for a SKU
+/// (tick at the control period, summary-only telemetry).
+ExperimentConfig default_config(const Cluster& cluster,
+                                WorkloadSpec workload, int runs_per_gpu = 3);
+
+}  // namespace gpuvar

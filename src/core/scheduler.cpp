@@ -1,0 +1,194 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "stats/quantile.hpp"
+#include "telemetry/counters.hpp"
+#include "workloads/runner.hpp"
+
+namespace gpuvar {
+
+std::string to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRandom:
+      return "random";
+    case PlacementPolicy::kFastestFirst:
+      return "fastest-first";
+    case PlacementPolicy::kClassAware:
+      return "class-aware";
+  }
+  return "unknown";
+}
+
+std::vector<NodeQuality> profile_node_quality(const Cluster& cluster,
+                                              int canary_reps) {
+  GPUVAR_REQUIRE(canary_reps >= 1);
+  const auto canary = sgemm_workload(
+      cluster.sku().vendor == Vendor::kAmd ? 24576 : 25536, canary_reps);
+  const auto opts = RunOptions::for_sku(cluster.sku());
+
+  std::vector<NodeQuality> quality(
+      static_cast<std::size_t>(cluster.node_count()));
+  parallel_for(quality.size(), [&](std::size_t ni) {
+    const int node = static_cast<int>(ni);
+    const auto results = run_on_node(cluster, node, canary, 0, opts);
+    std::vector<double> freq, perf;
+    for (const auto& r : results) {
+      freq.push_back(r.telemetry.freq.median);
+      perf.push_back(r.perf_ms);
+    }
+    quality[ni] =
+        NodeQuality{node, stats::median(freq), stats::median(perf)};
+  });
+  return quality;
+}
+
+AppClass classify_workload(const GpuSku& sku, const WorkloadSpec& workload) {
+  const SiliconSample typical;
+  CounterAccumulator acc;
+  for (const auto& step : workload.iteration) {
+    acc.add(step.kernel,
+            kernel_time_at(step.kernel, sku, typical, sku.max_mhz) *
+                step.count);
+  }
+  return classify_application(acc.aggregate());
+}
+
+namespace {
+
+struct Placement {
+  std::size_t job_index = 0;  ///< into the flattened copy list
+  int node = 0;
+};
+
+/// Flattened copy list with class annotations.
+struct FlatJob {
+  const SchedulerJob* job = nullptr;
+  AppClass cls = AppClass::kBalanced;
+  bool clock_sensitive = false;
+};
+
+std::vector<int> nodes_best_to_worst(const std::vector<NodeQuality>& q) {
+  std::vector<const NodeQuality*> sorted;
+  sorted.reserve(q.size());
+  for (const auto& n : q) sorted.push_back(&n);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeQuality* a, const NodeQuality* b) {
+              return a->median_freq > b->median_freq;
+            });
+  std::vector<int> out;
+  out.reserve(sorted.size());
+  for (const auto* n : sorted) out.push_back(n->node);
+  return out;
+}
+
+}  // namespace
+
+ScheduleOutcome simulate_schedule(const Cluster& cluster,
+                                  const std::vector<SchedulerJob>& jobs,
+                                  PlacementPolicy policy,
+                                  const std::vector<NodeQuality>& quality,
+                                  std::uint64_t seed) {
+  GPUVAR_REQUIRE(!jobs.empty());
+  GPUVAR_REQUIRE(quality.size() ==
+                 static_cast<std::size_t>(cluster.node_count()));
+
+  std::vector<FlatJob> flat;
+  for (const auto& job : jobs) {
+    GPUVAR_REQUIRE(job.copies >= 1);
+    job.workload.validate();
+    GPUVAR_REQUIRE_MSG(
+        job.workload.gpus_per_job <= cluster.gpus_per_node(),
+        job.name + ": wider than a node");
+    FlatJob fj;
+    fj.job = &job;
+    fj.cls = classify_workload(cluster.sku(), job.workload);
+    fj.clock_sensitive = fj.cls == AppClass::kComputeBound ||
+                         fj.cls == AppClass::kBalanced;
+    for (int c = 0; c < job.copies; ++c) flat.push_back(fj);
+  }
+
+  const auto ranked = nodes_best_to_worst(quality);
+  std::vector<Placement> placements(flat.size());
+
+  switch (policy) {
+    case PlacementPolicy::kRandom: {
+      // Variability-oblivious: spread jobs over nodes in a seeded random
+      // order (what a quality-unaware scheduler effectively does).
+      Rng rng(seed, "scheduler/random");
+      std::vector<int> order(ranked);
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.uniform_index(i)]);
+      }
+      for (std::size_t j = 0; j < flat.size(); ++j) {
+        placements[j] = Placement{j, order[j % order.size()]};
+      }
+      break;
+    }
+    case PlacementPolicy::kFastestFirst: {
+      for (std::size_t j = 0; j < flat.size(); ++j) {
+        placements[j] = Placement{j, ranked[j % ranked.size()]};
+      }
+      break;
+    }
+    case PlacementPolicy::kClassAware: {
+      // Clock-sensitive jobs take nodes from the fast end; clock-
+      // insensitive jobs from the slow end (they lose ~nothing there).
+      std::size_t fast_cursor = 0;
+      std::size_t slow_cursor = 0;
+      for (std::size_t j = 0; j < flat.size(); ++j) {
+        if (flat[j].clock_sensitive) {
+          placements[j] =
+              Placement{j, ranked[fast_cursor++ % ranked.size()]};
+        } else {
+          placements[j] = Placement{
+              j, ranked[ranked.size() - 1 - (slow_cursor++ % ranked.size())]};
+        }
+      }
+      break;
+    }
+  }
+
+  // Each node executes its queue serially (exclusive allocation).
+  std::map<int, std::vector<std::size_t>> queues;
+  for (const auto& p : placements) queues[p.node].push_back(p.job_index);
+
+  std::vector<std::pair<int, std::vector<std::size_t>>> queue_list(
+      queues.begin(), queues.end());
+  std::vector<std::vector<PlacedJob>> results(queue_list.size());
+  const auto opts = RunOptions::for_sku(cluster.sku());
+
+  parallel_for(queue_list.size(), [&](std::size_t qi) {
+    const auto& [node, queue] = queue_list[qi];
+    for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+      const FlatJob& fj = flat[queue[pos]];
+      const auto run = run_on_node(cluster, node, fj.job->workload,
+                                   static_cast<int>(pos), opts);
+      // Wall-clock of the job = sum of its iteration durations.
+      double wall = 0.0;
+      for (double ms : run.front().iteration_ms) wall += ms;
+      results[qi].push_back(
+          PlacedJob{fj.job->name, node, fj.cls, wall});
+    }
+  });
+
+  ScheduleOutcome outcome;
+  outcome.policy = policy;
+  for (auto& node_jobs : results) {
+    double node_total = 0.0;
+    for (auto& pj : node_jobs) {
+      node_total += pj.wall_ms;
+      outcome.total_gpu_ms += pj.wall_ms;
+      outcome.placements.push_back(std::move(pj));
+    }
+    outcome.makespan_ms = std::max(outcome.makespan_ms, node_total);
+  }
+  return outcome;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,70 @@
+// Variability-aware batch scheduling (§VII "Application-aware
+// Frameworks"): profile node quality with a canary, classify applications
+// from their counters, and place clock-sensitive jobs on stable nodes
+// while memory-bound jobs absorb the variable ones. This module simulates
+// whole schedules under three policies so the placement win can be
+// quantified as makespan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/classify.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+
+struct SchedulerJob {
+  std::string name;
+  WorkloadSpec workload;
+  int copies = 1;
+};
+
+enum class PlacementPolicy {
+  kRandom,        ///< variability-oblivious (today's schedulers)
+  kFastestFirst,  ///< all jobs prefer the fastest nodes
+  kClassAware,    ///< compute-bound -> fast nodes, memory-bound -> slow
+};
+
+std::string to_string(PlacementPolicy p);
+
+/// Node quality from a quick SGEMM canary: median settled frequency (the
+/// paper's strongest performance predictor). Runs in parallel.
+struct NodeQuality {
+  int node = 0;
+  MegaHertz median_freq = 0.0;
+  double median_perf_ms = 0.0;
+};
+
+std::vector<NodeQuality> profile_node_quality(const Cluster& cluster,
+                                              int canary_reps = 4);
+
+struct PlacedJob {
+  std::string job;
+  int node = 0;
+  AppClass app_class = AppClass::kBalanced;
+  double wall_ms = 0.0;  ///< simulated wall-clock of the job on that node
+};
+
+struct ScheduleOutcome {
+  PlacementPolicy policy = PlacementPolicy::kRandom;
+  double makespan_ms = 0.0;      ///< max over nodes of their serial queues
+  double total_gpu_ms = 0.0;     ///< sum of all job wall-clocks
+  std::vector<PlacedJob> placements;
+};
+
+/// Classifies a workload from its static kernel mix (time-weighted at the
+/// reference clock).
+AppClass classify_workload(const GpuSku& sku, const WorkloadSpec& workload);
+
+/// Places every job copy on a node per the policy and simulates each
+/// node's queue serially (exclusive allocation, as in the paper).
+ScheduleOutcome simulate_schedule(const Cluster& cluster,
+                                  const std::vector<SchedulerJob>& jobs,
+                                  PlacementPolicy policy,
+                                  const std::vector<NodeQuality>& quality,
+                                  std::uint64_t seed = 1);
+
+}  // namespace gpuvar

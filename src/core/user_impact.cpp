@@ -1,0 +1,86 @@
+#include "core/user_impact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar {
+
+namespace {
+
+/// P(all k draws without replacement land among the first i of n sorted
+/// values) = C(i,k)/C(n,k), computed for all i in one backward sweep:
+/// P_n = 1, P_{i-1} = P_i * (i-k)/i.
+std::vector<double> prefix_containment(std::size_t n, std::size_t k) {
+  GPUVAR_ASSERT(k >= 1 && k <= n);
+  std::vector<double> p(n + 1, 0.0);
+  p[n] = 1.0;
+  for (std::size_t i = n; i > k; --i) {
+    p[i - 1] = p[i] * static_cast<double>(i - k) / static_cast<double>(i);
+  }
+  // p[i] = 0 for i < k already.
+  return p;
+}
+
+}  // namespace
+
+JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,
+                     double slow_threshold) {
+  GPUVAR_REQUIRE(gpus_per_job >= 1);
+  GPUVAR_REQUIRE(slow_threshold > 0.0);
+  const auto gpus = per_gpu_medians(records);
+  const auto n = gpus.size();
+  GPUVAR_REQUIRE_MSG(static_cast<std::size_t>(gpus_per_job) <= n,
+                     "job wider than the measured population");
+
+  std::vector<double> perf;
+  perf.reserve(n);
+  for (const auto& g : gpus) perf.push_back(g.perf_ms);
+  std::sort(perf.begin(), perf.end());
+  const double med = stats::median(perf);
+  GPUVAR_REQUIRE(med > 0.0);
+
+  const auto k = static_cast<std::size_t>(gpus_per_job);
+  const auto p = prefix_containment(n, k);
+
+  JobImpact impact;
+  impact.gpus_per_job = gpus_per_job;
+
+  // E[max] = Σ x_(i) * (P_i - P_{i-1}); P95 = first x_(i) with P_i >= .95.
+  double expectation = 0.0;
+  double p95 = perf.back();
+  bool p95_found = false;
+  for (std::size_t i = k; i <= n; ++i) {
+    const double mass = p[i] - p[i - 1];
+    expectation += perf[i - 1] * mass;
+    if (!p95_found && p[i] >= 0.95) {
+      p95 = perf[i - 1];
+      p95_found = true;
+    }
+  }
+  impact.expected_slowdown = expectation / med;
+  impact.p95_slowdown = p95 / med;
+
+  // P(at least one GPU slower than (1 + threshold) * median): count the
+  // fast subset m; P(none slow) = C(m,k)/C(n,k) = p_fast[m].
+  const double cutoff = med * (1.0 + slow_threshold);
+  const auto m = static_cast<std::size_t>(
+      std::count_if(perf.begin(), perf.end(),
+                    [&](double x) { return x <= cutoff; }));
+  impact.p_any_slow = (m >= k) ? 1.0 - p[m] : 1.0;
+  return impact;
+}
+
+std::vector<JobImpact> impact_table(std::span<const RunRecord> records,
+                                    int max_width, double slow_threshold) {
+  GPUVAR_REQUIRE(max_width >= 1);
+  std::vector<JobImpact> table;
+  for (int k = 1; k <= max_width; k *= 2) {
+    table.push_back(job_impact(records, k, slow_threshold));
+  }
+  return table;
+}
+
+}  // namespace gpuvar

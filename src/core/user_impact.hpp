@@ -1,0 +1,40 @@
+// User-impact quantification (§VII "Impact on Users"): what a submitted
+// job actually experiences on a variable cluster. Beyond the paper's
+// headline probabilities ("18% chance of a slower GPU", "40-50% for
+// 4-GPU jobs"), a user planning a bulk-synchronous job wants the expected
+// *slowdown* — for a k-GPU job that is the expected maximum of k random
+// per-GPU runtimes, which this module computes exactly from the measured
+// per-GPU medians.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/record.hpp"
+
+namespace gpuvar {
+
+struct JobImpact {
+  int gpus_per_job = 1;
+  /// Expected runtime of a random k-GPU bulk-synchronous assignment,
+  /// relative to a job placed entirely on median GPUs.
+  double expected_slowdown = 1.0;
+  /// 95th percentile of the same distribution (the unlucky assignment).
+  double p95_slowdown = 1.0;
+  /// The paper's headline: probability of receiving at least one GPU more
+  /// than `threshold` slower than the median.
+  double p_any_slow = 0.0;
+};
+
+/// Exact expected/quantile slowdown for a k-GPU job assigned uniformly at
+/// random without replacement, computed from per-GPU median runtimes via
+/// order statistics on the empirical distribution.
+JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,
+                     double slow_threshold = 0.06);
+
+/// Impact table for several job widths (1, 2, 4, 8 ... up to max_width).
+std::vector<JobImpact> impact_table(std::span<const RunRecord> records,
+                                    int max_width = 8,
+                                    double slow_threshold = 0.06);
+
+}  // namespace gpuvar

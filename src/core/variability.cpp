@@ -1,0 +1,151 @@
+#include "core/variability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar {
+
+namespace {
+
+MetricVariability analyze_metric(std::span<const RunRecord> records,
+                                 Metric m) {
+  MetricVariability out;
+  out.box = stats::box_summary(metric_column(records, m));
+  out.variation_pct =
+      out.box.median != 0.0 ? out.box.variation() * 100.0 : 0.0;
+  return out;
+}
+
+}  // namespace
+
+VariabilityReport analyze_variability(std::span<const RunRecord> records) {
+  GPUVAR_REQUIRE(!records.empty());
+  VariabilityReport r;
+  r.perf = analyze_metric(records, Metric::kPerf);
+  r.freq = analyze_metric(records, Metric::kFreq);
+  r.power = analyze_metric(records, Metric::kPower);
+  r.temp = analyze_metric(records, Metric::kTemp);
+  r.records = records.size();
+  r.gpus = per_gpu_medians(records).size();
+  return r;
+}
+
+int group_key(const RunRecord& r, GroupBy g) {
+  switch (g) {
+    case GroupBy::kCabinet:
+      return r.loc.cabinet;
+    case GroupBy::kRow:
+      return r.loc.row;
+    case GroupBy::kColumn:
+      return r.loc.column;
+    case GroupBy::kNode:
+      return r.loc.node;
+    case GroupBy::kDayOfWeek:
+      return r.day_of_week;
+  }
+  return 0;
+}
+
+std::string group_label(GroupBy g, int key) {
+  char buf[32];
+  switch (g) {
+    case GroupBy::kCabinet:
+      std::snprintf(buf, sizeof(buf), "c%03d", key);
+      return buf;
+    case GroupBy::kRow:
+      std::snprintf(buf, sizeof(buf), "row %c",
+                    static_cast<char>('A' + std::max(0, key)));
+      return buf;
+    case GroupBy::kColumn:
+      std::snprintf(buf, sizeof(buf), "col %02d", key + 1);
+      return buf;
+    case GroupBy::kNode:
+      std::snprintf(buf, sizeof(buf), "node %03d", key);
+      return buf;
+    case GroupBy::kDayOfWeek: {
+      static const char* days[] = {"Mon", "Tue", "Wed", "Thu",
+                                   "Fri", "Sat", "Sun"};
+      if (key >= 0 && key < 7) return days[key];
+      return "day ?";
+    }
+  }
+  return "?";
+}
+
+std::vector<stats::NamedSeries> series_by_group(
+    std::span<const RunRecord> records, Metric metric, GroupBy group) {
+  std::map<int, std::vector<double>> groups;
+  for (const auto& r : records) {
+    groups[group_key(r, group)].push_back(metric_value(r, metric));
+  }
+  std::vector<stats::NamedSeries> out;
+  out.reserve(groups.size());
+  for (auto& [key, values] : groups) {
+    out.push_back(stats::NamedSeries{group_label(group, key),
+                                     std::move(values)});
+  }
+  return out;
+}
+
+std::map<int, VariabilityReport> variability_by_group(
+    std::span<const RunRecord> records, GroupBy group) {
+  std::map<int, std::vector<RunRecord>> groups;
+  for (const auto& r : records) groups[group_key(r, group)].push_back(r);
+  std::map<int, VariabilityReport> out;
+  for (const auto& [key, rs] : groups) {
+    out.emplace(key, analyze_variability(rs));
+  }
+  return out;
+}
+
+std::vector<GpuRepeatability> per_gpu_repeatability(
+    std::span<const RunRecord> records) {
+  std::map<std::size_t, std::vector<const RunRecord*>> by_gpu;
+  for (const auto& r : records) by_gpu[r.gpu_index].push_back(&r);
+
+  std::vector<GpuRepeatability> out;
+  for (const auto& [gpu, rs] : by_gpu) {
+    if (rs.size() < 2) continue;
+    std::vector<double> perf;
+    perf.reserve(rs.size());
+    for (const RunRecord* r : rs) perf.push_back(r->perf_ms);
+    GpuRepeatability rep;
+    rep.gpu_index = gpu;
+    rep.name = rs.front()->loc.name;
+    rep.runs = static_cast<int>(rs.size());
+    rep.median_perf_ms = stats::median(perf);
+    const double lo = *std::min_element(perf.begin(), perf.end());
+    const double hi = *std::max_element(perf.begin(), perf.end());
+    GPUVAR_ASSERT(rep.median_perf_ms > 0.0);
+    rep.variation_pct = (hi - lo) / rep.median_perf_ms * 100.0;
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+double slow_assignment_probability(std::span<const RunRecord> records,
+                                   int gpus_per_job,
+                                   double slowdown_threshold) {
+  GPUVAR_REQUIRE(gpus_per_job >= 1);
+  GPUVAR_REQUIRE(slowdown_threshold > 0.0);
+  const auto gpus = per_gpu_medians(records);
+  GPUVAR_REQUIRE(!gpus.empty());
+  std::vector<double> perf;
+  perf.reserve(gpus.size());
+  for (const auto& g : gpus) perf.push_back(g.perf_ms);
+  const double med = stats::median(perf);
+  std::size_t slow = 0;
+  for (double p : perf) {
+    if (p > med * (1.0 + slowdown_threshold)) ++slow;
+  }
+  const double p_slow =
+      static_cast<double>(slow) / static_cast<double>(perf.size());
+  // P(at least one of k independent draws is slow).
+  return 1.0 - std::pow(1.0 - p_slow, gpus_per_job);
+}
+
+}  // namespace gpuvar

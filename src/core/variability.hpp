@@ -1,0 +1,73 @@
+// Variability analysis (§III "IQR & Variability"): box summaries per
+// metric, per-group breakdowns (cabinet / row / column / day), and the
+// per-GPU run-to-run repeatability of Figure 8.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/record.hpp"
+#include "stats/ascii_plot.hpp"
+#include "stats/boxplot.hpp"
+
+namespace gpuvar {
+
+struct MetricVariability {
+  stats::BoxSummary box;
+  /// The paper's variation: whisker range / median, as a percentage.
+  double variation_pct = 0.0;
+};
+
+struct VariabilityReport {
+  MetricVariability perf;
+  MetricVariability freq;
+  MetricVariability power;
+  MetricVariability temp;
+  std::size_t records = 0;
+  std::size_t gpus = 0;
+};
+
+/// Full-population variability across all records.
+VariabilityReport analyze_variability(std::span<const RunRecord> records);
+
+/// Grouping keys for breakdowns.
+enum class GroupBy { kCabinet, kRow, kColumn, kNode, kDayOfWeek };
+
+std::string group_label(GroupBy g, int key);
+
+/// Extracts the group key of a record.
+int group_key(const RunRecord& r, GroupBy g);
+
+/// Metric values split by group (ordered by key), ready for box charts.
+std::vector<stats::NamedSeries> series_by_group(
+    std::span<const RunRecord> records, Metric metric, GroupBy group);
+
+/// Per-group variability reports.
+std::map<int, VariabilityReport> variability_by_group(
+    std::span<const RunRecord> records, GroupBy group);
+
+/// Figure 8: per-GPU run-to-run performance variation, (max-min)/median
+/// per GPU, as a percentage. Requires >= 2 runs per GPU (GPUs with fewer
+/// are skipped).
+struct GpuRepeatability {
+  std::size_t gpu_index = 0;
+  std::string name;
+  int runs = 0;
+  double median_perf_ms = 0.0;
+  double variation_pct = 0.0;
+};
+
+std::vector<GpuRepeatability> per_gpu_repeatability(
+    std::span<const RunRecord> records);
+
+/// Inter-experiment user impact (§VII): the probability that a job
+/// requesting `gpus_per_job` GPUs receives at least one GPU slower than
+/// `slowdown_threshold` (fraction above the median, e.g. 0.06 for "6%
+/// slower than median").
+double slow_assignment_probability(std::span<const RunRecord> records,
+                                   int gpus_per_job,
+                                   double slowdown_threshold);
+
+}  // namespace gpuvar

@@ -1,0 +1,70 @@
+// Kernel execution model.
+//
+// A kernel is characterized by its total work (FLOPs and DRAM bytes), its
+// achievable efficiency against the roofline, and its power activity
+// factor. Its instantaneous progress rate at SM frequency f is
+//
+//   rate(f) = 1 / max(t_compute(f), t_memory)            (roofline)
+//
+// where t_compute scales inversely with frequency and t_memory does not —
+// this is precisely why compute-bound kernels inherit the DVFS frequency
+// spread while memory-bound kernels don't (Takeaways 5, 7, 8).
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
+
+namespace gpuvar {
+
+struct KernelSpec {
+  std::string name;
+  double flops = 0.0;          ///< total single-precision FLOPs
+  double bytes = 0.0;          ///< total DRAM traffic, bytes
+  double compute_efficiency = 0.9;  ///< fraction of peak FLOP/s achieved
+  double bw_efficiency = 0.8;       ///< fraction of peak bandwidth achieved
+  double activity = 1.0;       ///< dynamic-power activity factor in [0, 1]
+  /// Residual activity fraction while memory-bound. A streaming,
+  /// bandwidth-bound kernel keeps DRAM/L2 busy (high floor); an irregular
+  /// latency-bound kernel leaves the chip mostly idle (low floor).
+  double stall_activity_floor = 0.30;
+
+  // --- Profiler-counter footprint (nvprof-style, used for workload
+  // classification; §III "Measurement"). ---
+  double fu_util = 0.0;        ///< functional-unit utilization, 0-10 scale
+  double dram_util = 0.0;      ///< DRAM utilization, 0-10 scale
+  double mem_stall_frac = 0.0; ///< fraction of stalls on memory dependencies
+  double exec_stall_frac = 0.0;///< fraction of stalls on execution deps
+
+  /// Validates invariants; throws std::invalid_argument on nonsense.
+  void validate() const;
+};
+
+/// Time the kernel's compute side needs at frequency f on a given chip.
+Seconds compute_time(const KernelSpec& k, const GpuSku& sku, MegaHertz f);
+
+/// Time the kernel's memory side needs on a given chip (f-independent).
+Seconds memory_time(const KernelSpec& k, const GpuSku& sku,
+                    const SiliconSample& chip);
+
+/// Roofline duration at a *fixed* frequency (no DVFS transient).
+Seconds kernel_time_at(const KernelSpec& k, const GpuSku& sku,
+                       const SiliconSample& chip, MegaHertz f);
+
+/// Fraction of the kernel's duration bound by memory at frequency f
+/// (0 = pure compute, 1 = pure memory); reported alongside counters.
+double memory_boundedness(const KernelSpec& k, const GpuSku& sku,
+                          const SiliconSample& chip, MegaHertz f);
+
+/// The *effective* power activity at frequency f: when the kernel is
+/// memory-bound the datapath idles while waiting, so the switching
+/// activity drops proportionally.
+double effective_activity(const KernelSpec& k, const GpuSku& sku,
+                          const SiliconSample& chip, MegaHertz f);
+
+/// Builds the SGEMM kernel for an n×n×n single-precision matrix multiply.
+KernelSpec make_sgemm_kernel(std::size_t n);
+
+}  // namespace gpuvar

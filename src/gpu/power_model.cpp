@@ -1,0 +1,33 @@
+#include "gpu/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+Volts PowerModel::voltage(MegaHertz f) const {
+  return sku_->voltage_at(f) + chip_->vf_offset;
+}
+
+Watts PowerModel::dynamic_power(MegaHertz f, double activity) const {
+  GPUVAR_REQUIRE(activity >= 0.0 && activity <= 1.0);
+  const Volts v = voltage(f);
+  return sku_->c_eff * chip_->efficiency_factor * v * v * f * activity;
+}
+
+Watts PowerModel::leakage_power(Celsius t) const {
+  return sku_->leakage_at_ref * chip_->leakage_factor *
+         std::exp(sku_->leak_temp_coeff * (t - sku_->leak_ref_temp));
+}
+
+Watts PowerModel::total_power(MegaHertz f, double activity, Celsius t) const {
+  return dynamic_power(f, activity) + leakage_power(t) + sku_->idle_power;
+}
+
+Watts PowerModel::idle_power(Celsius t) const {
+  return leakage_power(t) + sku_->idle_power;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,46 @@
+#include "gpu/silicon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpuvar {
+
+double SiliconSample::quality_score(const GpuSku& sku) const {
+  // Normalize each deviation by its process sigma and map the combined
+  // z-score to (0, 1): 0.5 = typical chip, -> 1 best, -> 0 worst.
+  const auto& s = sku.spread;
+  const double z_v = s.vf_offset_sigma > 0 ? vf_offset / s.vf_offset_sigma : 0;
+  const double z_e = s.efficiency_sigma > 0
+                         ? (efficiency_factor - 1.0) / s.efficiency_sigma
+                         : 0;
+  const double z_l = s.leakage_log_sigma > 0
+                         ? std::log(leakage_factor) / s.leakage_log_sigma
+                         : 0;
+  const double z = (z_v + z_e + 0.5 * z_l) / 2.5;
+  return std::clamp(0.5 - z / 6.0, 0.0, 1.0);
+}
+
+SiliconSample sample_silicon(const GpuSku& sku, Rng& rng) {
+  // Truncate at ±3σ: chips beyond that fail binning and are never shipped.
+  // A zero σ (used by ablations) pins the parameter at its nominal value;
+  // the draw is still consumed to keep the stream layout stable.
+  auto draw = [&rng](double mean, double sigma) {
+    const double z = rng.truncated_normal(0.0, 1.0, -3.0, 3.0);
+    return mean + sigma * z;
+  };
+  const auto& s = sku.spread;
+  SiliconSample chip;
+  chip.vf_offset = draw(0.0, s.vf_offset_sigma);
+  chip.efficiency_factor = draw(1.0, s.efficiency_sigma);
+  chip.leakage_factor = std::exp(draw(0.0, s.leakage_log_sigma));
+  chip.mem_bw_factor = draw(1.0, s.mem_bw_sigma);
+  return chip;
+}
+
+SiliconSample sample_silicon(const GpuSku& sku, std::uint64_t master_seed,
+                             const std::string& path) {
+  Rng rng(master_seed, path);
+  return sample_silicon(sku, rng);
+}
+
+}  // namespace gpuvar

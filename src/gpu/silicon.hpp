@@ -1,0 +1,41 @@
+// Per-chip silicon samples: the manufacturing variability at the heart of
+// the paper's observations. Two chips with the same SKU differ in the
+// voltage their V/f curve requires, their switching efficiency, their
+// leakage, and (slightly) their memory subsystem — so under the same TDP
+// their DVFS controllers settle at different frequencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gpu/sku.hpp"
+
+namespace gpuvar {
+
+struct SiliconSample {
+  /// Additive shift of the chip's V/f curve (V). Positive = needs more
+  /// voltage at a given frequency = more dynamic power = worse bin.
+  Volts vf_offset = 0.0;
+  /// Multiplier on effective switching capacitance (~1.0).
+  double efficiency_factor = 1.0;
+  /// Multiplier on static leakage power (lognormal around 1.0).
+  double leakage_factor = 1.0;
+  /// Multiplier on achievable memory bandwidth (~1.0).
+  double mem_bw_factor = 1.0;
+
+  /// A single [0, 1]-ish quality score (1 = best bin); used only for
+  /// reporting, never by the simulation itself.
+  double quality_score(const GpuSku& sku) const;
+};
+
+/// Draws a chip from the SKU's process distribution. Deterministic given
+/// the Rng state; callers seed the Rng from (cluster seed, gpu path).
+SiliconSample sample_silicon(const GpuSku& sku, Rng& rng);
+
+/// Convenience: sample with a derived seed in one call.
+SiliconSample sample_silicon(const GpuSku& sku, std::uint64_t master_seed,
+                             const std::string& path);
+
+}  // namespace gpuvar

@@ -1,0 +1,128 @@
+#include "gpu/sku.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+std::string to_string(Vendor v) {
+  return v == Vendor::kNvidia ? "NVIDIA" : "AMD";
+}
+
+std::vector<MegaHertz> GpuSku::frequency_ladder() const {
+  GPUVAR_REQUIRE(min_mhz > 0 && max_mhz > min_mhz && ladder_step_mhz > 0);
+  std::vector<MegaHertz> ladder;
+  for (MegaHertz f = min_mhz; f < max_mhz + 1e-9; f += ladder_step_mhz) {
+    ladder.push_back(f);
+  }
+  if (std::abs(ladder.back() - max_mhz) > 1e-9) ladder.push_back(max_mhz);
+  return ladder;
+}
+
+double GpuSku::peak_flops(MegaHertz f) const {
+  return static_cast<double>(sm_count) * flops_per_sm_per_cycle * f * 1e6;
+}
+
+Volts GpuSku::voltage_at(MegaHertz f) const {
+  const MegaHertz fc = std::clamp(f, min_mhz, max_mhz);
+  const double t = (fc - min_mhz) / (max_mhz - min_mhz);
+  return v_min + t * (v_max - v_min);
+}
+
+GpuSku make_v100_sxm2() {
+  GpuSku sku;
+  sku.name = "Tesla V100-SXM2-16GB";
+  sku.vendor = Vendor::kNvidia;
+  sku.sm_count = 80;
+  sku.flops_per_sm_per_cycle = 128.0;  // 64 FP32 cores x FMA
+  sku.mem_bw_gbps = 900.0;
+  sku.mem_size_gb = 16.0;
+  // NVIDIA graphics clocks reach far below the base clock; the deep
+  // states matter for the power-limit sweep of SVI-B (100-300 W caps).
+  sku.min_mhz = 540.0;
+  sku.max_mhz = 1530.0;
+  sku.ladder_step_mhz = 7.5;  // fine-grained NVIDIA clock states
+  sku.dvfs_control_period = 0.010;
+  sku.dvfs_up_margin = 8.0;
+  sku.tdp = 300.0;
+  sku.v_min = 0.5786;  // keeps V(1005 MHz) = 0.80 V on the same line
+  sku.v_max = 1.05;
+  // Calibrated so the TDP-constrained DVFS equilibrium of a typical chip
+  // running a full-activity GEMM lands near 1370 MHz (the paper observes
+  // Longhorn V100s settling in the 1300-1440 MHz band).
+  sku.c_eff = 0.198;
+  sku.idle_power = 18.0;
+  sku.leakage_at_ref = 25.0;
+  sku.leak_ref_temp = 60.0;
+  sku.leak_temp_coeff = 0.015;
+  sku.slowdown_temp = 87.0;
+  sku.shutdown_temp = 90.0;
+  sku.max_operating_temp = 83.0;
+  sku.spread = ProcessSpread{0.012, 0.022, 0.18, 0.002};
+  return sku;
+}
+
+GpuSku make_rtx5000() {
+  GpuSku sku;
+  sku.name = "Quadro RTX 5000";
+  sku.vendor = Vendor::kNvidia;
+  sku.sm_count = 48;
+  sku.flops_per_sm_per_cycle = 128.0;
+  sku.mem_bw_gbps = 448.0;
+  sku.mem_size_gb = 16.0;
+  sku.min_mhz = 1350.0;
+  sku.max_mhz = 1905.0;  // Turing boost clocks run higher than Volta
+  sku.ladder_step_mhz = 15.0;
+  sku.dvfs_control_period = 0.010;
+  sku.dvfs_up_margin = 9.0;
+  sku.tdp = 230.0;
+  sku.v_min = 0.75;
+  sku.v_max = 1.05;
+  sku.c_eff = 0.124;
+  sku.idle_power = 12.0;
+  sku.leakage_at_ref = 15.0;
+  sku.leak_ref_temp = 60.0;
+  sku.leak_temp_coeff = 0.015;
+  sku.slowdown_temp = 93.0;
+  sku.shutdown_temp = 96.0;
+  sku.max_operating_temp = 89.0;
+  // Frontera shows a tighter spread (5% performance variation).
+  sku.spread = ProcessSpread{0.009, 0.018, 0.15, 0.002};
+  return sku;
+}
+
+GpuSku make_mi60() {
+  GpuSku sku;
+  sku.name = "Radeon Instinct MI60";
+  sku.vendor = Vendor::kAmd;
+  sku.sm_count = 64;  // compute units
+  sku.flops_per_sm_per_cycle = 128.0;
+  sku.mem_bw_gbps = 1024.0;
+  sku.mem_size_gb = 32.0;
+  sku.min_mhz = 1000.0;
+  sku.max_mhz = 1800.0;
+  // The paper notes MI60s expose much coarser frequency levels than V100s;
+  // the DPM table has ~a dozen states.
+  sku.ladder_step_mhz = 67.0;
+  sku.dvfs_control_period = 0.015;
+  // A coarse ladder needs a wide up-margin or the controller oscillates
+  // over the cap: one 67 MHz step is worth ~26 W near the equilibrium.
+  sku.dvfs_up_margin = 28.0;
+  sku.tdp = 300.0;
+  sku.v_min = 0.75;
+  sku.v_max = 1.08;
+  sku.c_eff = 0.182;
+  sku.idle_power = 20.0;
+  sku.leakage_at_ref = 24.0;
+  sku.leak_ref_temp = 60.0;
+  sku.leak_temp_coeff = 0.012;
+  sku.slowdown_temp = 100.0;
+  sku.shutdown_temp = 105.0;
+  sku.max_operating_temp = 99.0;
+  sku.spread = ProcessSpread{0.013, 0.024, 0.18, 0.002};
+  return sku;
+}
+
+}  // namespace gpuvar

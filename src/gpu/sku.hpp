@@ -1,0 +1,83 @@
+// GPU stock-keeping-unit (SKU) descriptions.
+//
+// A SKU carries everything that is identical across chips of a model:
+// architecture constants, the DVFS frequency ladder, the V/f curve, the
+// TDP and temperature limits, and the *process spread* — the distributions
+// from which each individual chip's silicon parameters are drawn. The
+// values below are calibrated against public datasheets (V100-SXM2,
+// Quadro RTX 5000, Radeon Instinct MI60) and the behaviour reported in the
+// paper (settled frequency bands, temperature limits, power at TDP).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpuvar {
+
+enum class Vendor { kNvidia, kAmd };
+
+std::string to_string(Vendor v);
+
+/// Chip-to-chip manufacturing spread for a SKU's process node.
+struct ProcessSpread {
+  Volts vf_offset_sigma = 0.010;     ///< σ of the V/f curve voltage shift
+  double efficiency_sigma = 0.02;    ///< σ of the switching-capacitance factor
+  double leakage_log_sigma = 0.15;   ///< σ of log(leakage factor)
+  double mem_bw_sigma = 0.01;        ///< σ of the memory-bandwidth factor
+};
+
+struct GpuSku {
+  std::string name;
+  Vendor vendor = Vendor::kNvidia;
+
+  // --- Architecture ---
+  int sm_count = 0;                   ///< SMs (NVIDIA) or CUs (AMD)
+  double flops_per_sm_per_cycle = 0;  ///< single-precision FLOPs/cycle/SM
+  double mem_bw_gbps = 0;             ///< peak DRAM bandwidth, GB/s
+  double mem_size_gb = 0;
+
+  // --- DVFS ---
+  MegaHertz min_mhz = 0;
+  MegaHertz max_mhz = 0;
+  MegaHertz ladder_step_mhz = 0;      ///< spacing of allowed frequency states
+  Seconds dvfs_control_period = 0.01; ///< how often the PM controller acts
+  Watts dvfs_up_margin = 8.0;         ///< step up only if P < cap - margin
+
+  // --- Electrical ---
+  Watts tdp = 0;
+  Volts v_min = 0;                    ///< voltage at min_mhz (typical chip)
+  Volts v_max = 0;                    ///< voltage at max_mhz (typical chip)
+  double c_eff = 0;                   ///< W / (V^2 * MHz) at activity 1
+  Watts idle_power = 0;               ///< board power at idle
+  Watts leakage_at_ref = 0;           ///< static power at leak_ref_temp
+  Celsius leak_ref_temp = 60.0;
+  double leak_temp_coeff = 0.015;     ///< per-°C exponential coefficient
+
+  // --- Thermal limits (per the paper's Methodology section) ---
+  Celsius slowdown_temp = 0;
+  Celsius shutdown_temp = 0;
+  Celsius max_operating_temp = 0;
+
+  // --- Process ---
+  ProcessSpread spread;
+
+  // --- Derived helpers ---
+  /// All allowed frequency states, ascending.
+  std::vector<MegaHertz> frequency_ladder() const;
+  /// Peak single-precision FLOP/s at frequency f (MHz).
+  double peak_flops(MegaHertz f) const;
+  /// Typical-chip voltage at frequency f (linear V/f interpolation,
+  /// clamped to the ladder's range).
+  Volts voltage_at(MegaHertz f) const;
+};
+
+/// NVIDIA Tesla V100-SXM2 16GB (Longhorn, Summit, Vortex, CloudLab).
+GpuSku make_v100_sxm2();
+/// NVIDIA Quadro RTX 5000 (Frontera).
+GpuSku make_rtx5000();
+/// AMD Radeon Instinct MI60 (Corona).
+GpuSku make_mi60();
+
+}  // namespace gpuvar

@@ -1,0 +1,91 @@
+#include "hostbench/graph.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace gpuvar::host {
+
+void CsrGraph::validate() const {
+  GPUVAR_REQUIRE(row_ptr.size() == n + 1);
+  GPUVAR_REQUIRE(row_ptr.front() == 0);
+  GPUVAR_REQUIRE(row_ptr.back() == col_idx.size());
+  GPUVAR_REQUIRE(out_degree.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GPUVAR_REQUIRE(row_ptr[i] <= row_ptr[i + 1]);
+  }
+  for (auto c : col_idx) GPUVAR_REQUIRE(c < n);
+}
+
+CsrGraph csr_from_edges(
+    std::size_t n,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  GPUVAR_REQUIRE(n > 0);
+  // Pull-based: store edge (u -> v) under row v (incoming edges of v).
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  CsrGraph g;
+  g.n = n;
+  g.row_ptr.assign(n + 1, 0);
+  g.col_idx.reserve(edges.size());
+  g.out_degree.assign(n, 0);
+  for (const auto& [u, v] : edges) {
+    GPUVAR_REQUIRE(u < n && v < n);
+    ++g.row_ptr[v + 1];
+    ++g.out_degree[u];
+    g.col_idx.push_back(u);
+  }
+  for (std::size_t i = 0; i < n; ++i) g.row_ptr[i + 1] += g.row_ptr[i];
+  g.validate();
+  return g;
+}
+
+CsrGraph random_graph(std::size_t n, double avg_degree, Rng& rng) {
+  GPUVAR_REQUIRE(n >= 2);
+  GPUVAR_REQUIRE(avg_degree > 0.0);
+  const auto target =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(n));
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(target);
+  for (std::size_t e = 0; e < target; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(n));
+    auto v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    if (u == v) v = (v + 1) % static_cast<std::uint32_t>(n);
+    edges.emplace_back(u, v);
+  }
+  return csr_from_edges(n, std::move(edges));
+}
+
+CsrGraph circuit_graph(std::size_t n, std::size_t band, double fill_degree,
+                       Rng& rng) {
+  GPUVAR_REQUIRE(n >= 2);
+  GPUVAR_REQUIRE(band >= 1);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n * (band + static_cast<std::size_t>(fill_degree) + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    // Banded local connectivity (both directions, like a circuit netlist).
+    for (std::size_t d = 1; d <= band; ++d) {
+      if (i + d < n) {
+        edges.emplace_back(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(i + d));
+        edges.emplace_back(static_cast<std::uint32_t>(i + d),
+                           static_cast<std::uint32_t>(i));
+      }
+    }
+    // Long-range fill-in (global nets: clock, power rails).
+    const auto fills = static_cast<std::size_t>(fill_degree);
+    for (std::size_t f = 0; f < fills; ++f) {
+      auto v = static_cast<std::uint32_t>(rng.uniform_index(n));
+      if (v == i) continue;
+      edges.emplace_back(static_cast<std::uint32_t>(i), v);
+    }
+  }
+  return csr_from_edges(n, std::move(edges));
+}
+
+}  // namespace gpuvar::host

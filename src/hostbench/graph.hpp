@@ -1,0 +1,39 @@
+// Compressed-sparse-row graphs and synthetic generators for the PageRank
+// host path. The "circuit" generator produces rajat30-like structure:
+// a strong banded diagonal (circuit locality) plus sparse random fill-in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpuvar::host {
+
+/// CSR adjacency: edges are (row -> col). For pull-based PageRank the
+/// graph should store *incoming* edges per row.
+struct CsrGraph {
+  std::size_t n = 0;                   ///< vertices
+  std::vector<std::uint32_t> row_ptr;  ///< size n+1
+  std::vector<std::uint32_t> col_idx;  ///< size nnz
+  std::vector<std::uint32_t> out_degree;  ///< per-vertex out-degree
+
+  std::size_t nnz() const { return col_idx.size(); }
+  void validate() const;
+};
+
+/// Builds a CSR graph from an edge list (u -> v), deduplicated and sorted.
+CsrGraph csr_from_edges(std::size_t n,
+                        std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                            edges);
+
+/// Uniform random digraph with expected `avg_degree` edges per vertex.
+CsrGraph random_graph(std::size_t n, double avg_degree, Rng& rng);
+
+/// rajat30-like circuit graph: banded diagonal of half-width `band` plus
+/// `fill_degree` random long-range edges per vertex.
+CsrGraph circuit_graph(std::size_t n, std::size_t band, double fill_degree,
+                       Rng& rng);
+
+}  // namespace gpuvar::host

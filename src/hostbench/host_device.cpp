@@ -1,0 +1,37 @@
+#include "hostbench/host_device.hpp"
+
+#include <chrono>
+
+#include "common/require.hpp"
+
+namespace gpuvar::host {
+
+HostKernelResult measure_kernel(const std::string& name, double flops,
+                                double bytes,
+                                const std::function<void()>& fn) {
+  GPUVAR_REQUIRE(static_cast<bool>(fn));
+  HostKernelResult r;
+  r.name = name;
+  r.work_flops = flops;
+  r.work_bytes = bytes;
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.duration = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+std::vector<HostKernelResult> measure_repeated(
+    const std::string& name, double flops, double bytes, int warmup,
+    int reps, const std::function<void()>& fn) {
+  GPUVAR_REQUIRE(warmup >= 0 && reps >= 1);
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<HostKernelResult> out;
+  out.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    out.push_back(measure_kernel(name, flops, bytes, fn));
+  }
+  return out;
+}
+
+}  // namespace gpuvar::host

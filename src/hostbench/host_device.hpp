@@ -1,0 +1,42 @@
+// The real-hardware measurement path: wall-clock timed kernel runs shaped
+// like the simulator's results so the same statistics/variability pipeline
+// consumes either source. On a real deployment this is where NVML /
+// rocm-smi reads would be plugged in; offline we time host kernels, which
+// still exercises the full collect → record → analyze flow end to end.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpuvar::host {
+
+struct HostKernelResult {
+  std::string name;
+  Seconds duration = 0.0;
+  double work_flops = 0.0;
+  double work_bytes = 0.0;
+
+  double gflops() const {
+    return duration > 0.0 ? work_flops / duration * 1e-9 : 0.0;
+  }
+  double gbytes_per_s() const {
+    return duration > 0.0 ? work_bytes / duration * 1e-9 : 0.0;
+  }
+};
+
+/// Times one invocation of `fn` with a steady clock.
+HostKernelResult measure_kernel(const std::string& name, double flops,
+                                double bytes,
+                                const std::function<void()>& fn);
+
+/// Repeats a kernel `reps` times after `warmup` discarded runs; returns
+/// one result per measured repetition (feed the durations into the stats
+/// pipeline exactly like simulated kernel durations).
+std::vector<HostKernelResult> measure_repeated(
+    const std::string& name, double flops, double bytes, int warmup,
+    int reps, const std::function<void()>& fn);
+
+}  // namespace gpuvar::host

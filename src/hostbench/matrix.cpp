@@ -1,0 +1,33 @@
+#include "hostbench/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar::host {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  GPUVAR_REQUIRE(rows > 0 && cols > 0);
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  GPUVAR_REQUIRE(a.same_shape(b));
+  float worst = 0.0f;
+  const std::size_t n = a.rows() * a.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+}  // namespace gpuvar::host

@@ -1,0 +1,40 @@
+// Dense single-precision matrices for the host SGEMM path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpuvar::host {
+
+/// Row-major dense float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Uniform random matrix in [-1, 1).
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng);
+
+/// Max absolute elementwise difference.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace gpuvar::host

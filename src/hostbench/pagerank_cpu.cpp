@@ -1,0 +1,49 @@
+#include "hostbench/pagerank_cpu.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "hostbench/spmv_cpu.hpp"
+
+namespace gpuvar::host {
+
+PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts) {
+  GPUVAR_REQUIRE(g.n > 0);
+  GPUVAR_REQUIRE(opts.damping > 0.0 && opts.damping < 1.0);
+  GPUVAR_REQUIRE(opts.max_iterations >= 1);
+
+  const double n = static_cast<double>(g.n);
+  PageRankResult res;
+  res.rank.assign(g.n, 1.0 / n);
+  std::vector<double> next(g.n, 0.0);
+
+  // Mass of dangling vertices (out-degree 0) is redistributed uniformly.
+  std::vector<std::size_t> dangling;
+  for (std::size_t v = 0; v < g.n; ++v) {
+    if (g.out_degree[v] == 0) dangling.push_back(v);
+  }
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    pagerank_spmv(g, res.rank, next, opts.parallel);
+    double dangling_mass = 0.0;
+    for (std::size_t v : dangling) dangling_mass += res.rank[v];
+
+    const double base =
+        (1.0 - opts.damping) / n + opts.damping * dangling_mass / n;
+    double delta = 0.0;
+    for (std::size_t v = 0; v < g.n; ++v) {
+      const double updated = base + opts.damping * next[v];
+      delta += std::abs(updated - res.rank[v]);
+      res.rank[v] = updated;
+    }
+    res.iterations = it + 1;
+    res.final_delta = delta;
+    if (delta < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace gpuvar::host

@@ -1,0 +1,26 @@
+// Pull-based PageRank on CSR (the paper's §V-D workload, real version).
+#pragma once
+
+#include <vector>
+
+#include "hostbench/graph.hpp"
+
+namespace gpuvar::host {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-8;  ///< L1 change per sweep to declare convergence
+  int max_iterations = 100;
+  bool parallel = true;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+PageRankResult pagerank(const CsrGraph& g, const PageRankOptions& opts = {});
+
+}  // namespace gpuvar::host

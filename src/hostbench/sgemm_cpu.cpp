@@ -1,0 +1,90 @@
+#include "hostbench/sgemm_cpu.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpuvar::host {
+
+double sgemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+namespace {
+
+/// One M-block of rows: i-k-j loop order so the innermost loop streams
+/// rows of B and C (unit stride, auto-vectorizable).
+void sgemm_block_rows(float alpha, const Matrix& a, const Matrix& b,
+                      Matrix& c, std::size_t i0, std::size_t i1,
+                      const SgemmOptions& opts) {
+  const std::size_t n = b.cols();
+  const std::size_t k = a.cols();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = c.data();
+  for (std::size_t kk = 0; kk < k; kk += opts.block_k) {
+    const std::size_t k1 = std::min(k, kk + opts.block_k);
+    for (std::size_t jj = 0; jj < n; jj += opts.block_n) {
+      const std::size_t j1 = std::min(n, jj + opts.block_n);
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = cd + i * n;
+        const float* arow = ad + i * k;
+        for (std::size_t kx = kk; kx < k1; ++kx) {
+          const float aik = alpha * arow[kx];
+          const float* brow = bd + kx * n;
+          for (std::size_t j = jj; j < j1; ++j) {
+            crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(float alpha, const Matrix& a, const Matrix& b, float beta,
+           Matrix& c, const SgemmOptions& opts) {
+  GPUVAR_REQUIRE(a.cols() == b.rows());
+  GPUVAR_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols());
+  GPUVAR_REQUIRE(opts.block_m > 0 && opts.block_n > 0 && opts.block_k > 0);
+
+  const std::size_t m = a.rows();
+  // Scale C by beta first (single pass).
+  if (beta != 1.0f) {
+    float* cd = c.data();
+    const std::size_t total = c.rows() * c.cols();
+    for (std::size_t i = 0; i < total; ++i) cd[i] *= beta;
+  }
+
+  const std::size_t n_blocks = (m + opts.block_m - 1) / opts.block_m;
+  auto run_block = [&](std::size_t bi) {
+    const std::size_t i0 = bi * opts.block_m;
+    const std::size_t i1 = std::min(m, i0 + opts.block_m);
+    sgemm_block_rows(alpha, a, b, c, i0, i1, opts);
+  };
+  if (opts.parallel && n_blocks > 1) {
+    parallel_for(n_blocks, run_block);
+  } else {
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) run_block(bi);
+  }
+}
+
+void sgemm_naive(float alpha, const Matrix& a, const Matrix& b, float beta,
+                 Matrix& c) {
+  GPUVAR_REQUIRE(a.cols() == b.rows());
+  GPUVAR_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t kx = 0; kx < a.cols(); ++kx) {
+        acc += a.at(i, kx) * b.at(kx, j);
+      }
+      c.at(i, j) = alpha * acc + beta * c.at(i, j);
+    }
+  }
+}
+
+}  // namespace gpuvar::host

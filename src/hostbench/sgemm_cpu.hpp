@@ -1,0 +1,28 @@
+// Cache-blocked, thread-parallel single-precision GEMM: the repo's real
+// (non-simulated) compute kernel, used by the host measurement path and
+// validated against a naive reference in the tests.
+#pragma once
+
+#include "hostbench/matrix.hpp"
+
+namespace gpuvar::host {
+
+struct SgemmOptions {
+  std::size_t block_m = 64;
+  std::size_t block_n = 256;
+  std::size_t block_k = 256;
+  bool parallel = true;  ///< parallelize over row blocks
+};
+
+/// C = alpha·A·B + beta·C. Shapes: A is m×k, B is k×n, C is m×n.
+void sgemm(float alpha, const Matrix& a, const Matrix& b, float beta,
+           Matrix& c, const SgemmOptions& opts = {});
+
+/// Naive triple loop (reference for validation).
+void sgemm_naive(float alpha, const Matrix& a, const Matrix& b, float beta,
+                 Matrix& c);
+
+/// FLOPs of an m×n×k GEMM.
+double sgemm_flops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace gpuvar::host

@@ -1,0 +1,54 @@
+#include "hostbench/spmv_cpu.hpp"
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpuvar::host {
+
+namespace {
+
+template <typename RowFn>
+void over_rows(const CsrGraph& g, bool parallel, RowFn&& fn) {
+  if (!parallel || g.n < 4096) {
+    for (std::size_t v = 0; v < g.n; ++v) fn(v);
+    return;
+  }
+  // Chunked parallel sweep; rows are independent.
+  const std::size_t chunk = 4096;
+  const std::size_t n_chunks = (g.n + chunk - 1) / chunk;
+  gpuvar::parallel_for(n_chunks, [&](std::size_t ci) {
+    const std::size_t lo = ci * chunk;
+    const std::size_t hi = std::min(g.n, lo + chunk);
+    for (std::size_t v = lo; v < hi; ++v) fn(v);
+  });
+}
+
+}  // namespace
+
+void pagerank_spmv(const CsrGraph& g, std::span<const double> x,
+                   std::span<double> y, bool parallel) {
+  GPUVAR_REQUIRE(x.size() == g.n && y.size() == g.n);
+  over_rows(g, parallel, [&](std::size_t v) {
+    double acc = 0.0;
+    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+      const std::uint32_t u = g.col_idx[e];
+      const double deg = static_cast<double>(g.out_degree[u]);
+      if (deg > 0.0) acc += x[u] / deg;
+    }
+    y[v] = acc;
+  });
+}
+
+void spmv(const CsrGraph& g, std::span<const double> x, std::span<double> y,
+          bool parallel) {
+  GPUVAR_REQUIRE(x.size() == g.n && y.size() == g.n);
+  over_rows(g, parallel, [&](std::size_t v) {
+    double acc = 0.0;
+    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+      acc += x[g.col_idx[e]];
+    }
+    y[v] = acc;
+  });
+}
+
+}  // namespace gpuvar::host

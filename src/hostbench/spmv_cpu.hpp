@@ -1,0 +1,20 @@
+// Parallel CSR sparse matrix-vector product (the PageRank inner kernel).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hostbench/graph.hpp"
+
+namespace gpuvar::host {
+
+/// y[v] = sum over incoming edges (u -> v) of x[u] / out_degree(u).
+/// This is the pull-based PageRank contraction. Parallel over rows.
+void pagerank_spmv(const CsrGraph& g, std::span<const double> x,
+                   std::span<double> y, bool parallel = true);
+
+/// Plain CSR SpMV with unit weights: y[v] = Σ x[col].
+void spmv(const CsrGraph& g, std::span<const double> x, std::span<double> y,
+          bool parallel = true);
+
+}  // namespace gpuvar::host

@@ -1,0 +1,48 @@
+#include "hostbench/stream_cpu.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpuvar::host {
+
+namespace {
+
+template <typename Fn>
+void over_range(std::size_t n, bool parallel, Fn&& fn) {
+  constexpr std::size_t kChunk = 1 << 16;
+  if (!parallel || n < 2 * kChunk) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
+  gpuvar::parallel_for(n_chunks, [&](std::size_t ci) {
+    const std::size_t lo = ci * kChunk;
+    fn(lo, std::min(n, lo + kChunk));
+  });
+}
+
+}  // namespace
+
+void triad(std::span<double> a, std::span<const double> b,
+           std::span<const double> c, double scalar, bool parallel) {
+  GPUVAR_REQUIRE(a.size() == b.size() && a.size() == c.size());
+  over_range(a.size(), parallel, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + scalar * c[i];
+  });
+}
+
+void stream_copy(std::span<double> a, std::span<const double> b,
+                 bool parallel) {
+  GPUVAR_REQUIRE(a.size() == b.size());
+  over_range(a.size(), parallel, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) a[i] = b[i];
+  });
+}
+
+double triad_bytes(std::size_t n) {
+  return static_cast<double>(n) * 3.0 * sizeof(double);
+}
+
+}  // namespace gpuvar::host

@@ -1,0 +1,20 @@
+// STREAM-style bandwidth kernels (the memory-bound end of the host path).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gpuvar::host {
+
+/// a[i] = b[i] + scalar * c[i] (STREAM triad). Parallel over chunks.
+void triad(std::span<double> a, std::span<const double> b,
+           std::span<const double> c, double scalar, bool parallel = true);
+
+/// a[i] = b[i] (STREAM copy).
+void stream_copy(std::span<double> a, std::span<const double> b,
+                 bool parallel = true);
+
+/// Bytes moved by one triad sweep of length n.
+double triad_bytes(std::size_t n);
+
+}  // namespace gpuvar::host

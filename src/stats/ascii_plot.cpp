@@ -1,0 +1,203 @@
+#include "stats/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace gpuvar::stats {
+
+namespace {
+
+int to_col(double x, double lo, double hi, int width) {
+  if (hi <= lo) return 0;
+  const double t = (x - lo) / (hi - lo);
+  return std::clamp(static_cast<int>(std::lround(t * (width - 1))), 0,
+                    width - 1);
+}
+
+std::string format_value(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_box_chart(std::span<const NamedSeries> series,
+                             const BoxChartOptions& opts) {
+  GPUVAR_REQUIRE(!series.empty());
+  GPUVAR_REQUIRE(opts.width >= 20);
+
+  // Shared axis spanning all data (including outliers).
+  double lo = series[0].values.empty() ? 0.0 : series[0].values[0];
+  double hi = lo;
+  std::vector<BoxSummary> boxes;
+  boxes.reserve(series.size());
+  std::size_t name_w = 4;
+  for (const auto& s : series) {
+    GPUVAR_REQUIRE_MSG(!s.values.empty(), "empty series: " + s.name);
+    boxes.push_back(box_summary(s.values));
+    lo = std::min(lo, std::min(boxes.back().min, boxes.back().lo_whisker));
+    hi = std::max(hi, std::max(boxes.back().max, boxes.back().hi_whisker));
+    name_w = std::max(name_w, s.name.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::string out;
+  char line[64];
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& b = boxes[i];
+    std::string row(static_cast<std::size_t>(opts.width), ' ');
+    auto put = [&](double v, char c) {
+      row[static_cast<std::size_t>(to_col(v, lo, hi, opts.width))] = c;
+    };
+    // whisker shaft
+    const int wl = to_col(std::max(b.lo_whisker, b.min), lo, hi, opts.width);
+    const int wr = to_col(std::min(b.hi_whisker, b.max), lo, hi, opts.width);
+    for (int c = wl; c <= wr; ++c) row[static_cast<std::size_t>(c)] = '-';
+    // box body
+    const int bl = to_col(b.q1, lo, hi, opts.width);
+    const int br = to_col(b.q3, lo, hi, opts.width);
+    for (int c = bl; c <= br; ++c) row[static_cast<std::size_t>(c)] = ':';
+    put(std::max(b.lo_whisker, b.min), '|');
+    put(std::min(b.hi_whisker, b.max), '|');
+    put(b.q1, '[');
+    put(b.q3, ']');
+    put(b.median, 'M');
+    for (std::size_t oi : b.outlier_indices) {
+      put(series[i].values[oi], 'o');
+    }
+
+    out += series[i].name;
+    out.append(name_w - series[i].name.size() + 1, ' ');
+    out += row;
+    if (opts.show_variation && b.median != 0.0) {
+      std::snprintf(line, sizeof(line), "  var=%5.1f%% n=%zu out=%zu",
+                    b.variation() * 100.0, b.count, b.outlier_count());
+      out += line;
+    }
+    out.push_back('\n');
+  }
+  // Axis line.
+  out.append(name_w + 1, ' ');
+  std::string axis(static_cast<std::size_t>(opts.width), '-');
+  axis.front() = '+';
+  axis.back() = '+';
+  out += axis;
+  out.push_back('\n');
+  out.append(name_w + 1, ' ');
+  const std::string lo_s = format_value(lo) + (opts.unit.empty() ? "" : " " + opts.unit);
+  const std::string hi_s = format_value(hi) + (opts.unit.empty() ? "" : " " + opts.unit);
+  out += lo_s;
+  const int pad = opts.width - static_cast<int>(lo_s.size()) -
+                  static_cast<int>(hi_s.size());
+  out.append(static_cast<std::size_t>(std::max(1, pad)), ' ');
+  out += hi_s;
+  out.push_back('\n');
+  return out;
+}
+
+std::string render_scatter(std::span<const double> xs,
+                           std::span<const double> ys,
+                           const ScatterOptions& opts) {
+  GPUVAR_REQUIRE(xs.size() == ys.size());
+  GPUVAR_REQUIRE(xs.size() >= 2);
+  GPUVAR_REQUIRE(opts.width >= 10 && opts.height >= 4);
+
+  const double xlo = min_of(xs), xhi_raw = max_of(xs);
+  const double ylo = min_of(ys), yhi_raw = max_of(ys);
+  const double xhi = (xhi_raw > xlo) ? xhi_raw : xlo + 1.0;
+  const double yhi = (yhi_raw > ylo) ? yhi_raw : ylo + 1.0;
+
+  std::vector<int> grid(static_cast<std::size_t>(opts.width) *
+                            static_cast<std::size_t>(opts.height),
+                        0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const int cx = to_col(xs[i], xlo, xhi, opts.width);
+    const int cy = to_col(ys[i], ylo, yhi, opts.height);
+    ++grid[static_cast<std::size_t>(cy) * opts.width + cx];
+  }
+
+  const double rho = pearson(xs, ys);
+  char head[160];
+  std::snprintf(head, sizeof(head), "%s vs %s   (Pearson rho = %+.2f, %s)\n",
+                opts.y_label.c_str(), opts.x_label.c_str(), rho,
+                correlation_strength(rho).c_str());
+  std::string out = head;
+  for (int r = opts.height - 1; r >= 0; --r) {
+    out += (r == opts.height - 1) ? format_value(yhi)
+           : (r == 0)             ? format_value(ylo)
+                                  : std::string();
+    out.push_back('|');
+    // Right-align the prefix: simpler to pad after-the-fact; rebuild row.
+    std::string row;
+    for (int c = 0; c < opts.width; ++c) {
+      const int n = grid[static_cast<std::size_t>(r) * opts.width + c];
+      row.push_back(n == 0 ? ' ' : (n == 1 ? '.' : (n < 5 ? ':' : '#')));
+    }
+    out += row;
+    out.push_back('\n');
+  }
+  out.push_back('+');
+  out.append(static_cast<std::size_t>(opts.width), '-');
+  out.push_back('\n');
+  out += format_value(xlo);
+  out += " .. ";
+  out += format_value(xhi);
+  out += "  (";
+  out += opts.x_label;
+  out += ")\n";
+  return out;
+}
+
+std::string render_line_chart(std::span<const double> ts,
+                              std::span<const double> ys,
+                              const LineChartOptions& opts) {
+  GPUVAR_REQUIRE(ts.size() == ys.size());
+  GPUVAR_REQUIRE(ts.size() >= 2);
+  const double tlo = min_of(ts), thi_raw = max_of(ts);
+  const double ylo = min_of(ys), yhi_raw = max_of(ys);
+  const double thi = (thi_raw > tlo) ? thi_raw : tlo + 1.0;
+  const double yhi = (yhi_raw > ylo) ? yhi_raw : ylo + 1.0;
+
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(opts.height),
+      std::string(static_cast<std::size_t>(opts.width), ' '));
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const int cx = to_col(ts[i], tlo, thi, opts.width);
+    const int cy = to_col(ys[i], ylo, yhi, opts.height);
+    rows[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = '*';
+  }
+  std::string out;
+  if (!opts.y_label.empty()) {
+    out += opts.y_label;
+    out += "  [";
+    out += format_value(ylo);
+    out += " .. ";
+    out += format_value(yhi);
+    out += "]\n";
+  }
+  for (int r = opts.height - 1; r >= 0; --r) {
+    out.push_back('|');
+    out += rows[static_cast<std::size_t>(r)];
+    out.push_back('\n');
+  }
+  out.push_back('+');
+  out.append(static_cast<std::size_t>(opts.width), '-');
+  out += "\nt = ";
+  out += format_value(tlo);
+  out += " .. ";
+  out += format_value(thi);
+  out += " s\n";
+  return out;
+}
+
+}  // namespace gpuvar::stats

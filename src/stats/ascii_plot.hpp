@@ -1,0 +1,56 @@
+// Terminal renderings of the paper's figures: grouped box-and-whisker
+// charts and scatter plots. The bench binaries use these so each figure
+// can be eyeballed directly from the harness output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/boxplot.hpp"
+
+namespace gpuvar::stats {
+
+struct NamedSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct BoxChartOptions {
+  int width = 72;           ///< characters for the value axis
+  std::string unit;         ///< appended to the axis labels
+  bool show_variation = true;
+};
+
+/// Renders one horizontal box-and-whisker row per series, sharing a common
+/// axis. Glyphs: '|' whisker ends, '-' whisker shaft, '[' Q1, ']' Q3,
+/// ':' box body, 'M' median, 'o' outliers.
+std::string render_box_chart(std::span<const NamedSeries> series,
+                             const BoxChartOptions& opts = {});
+
+struct ScatterOptions {
+  int width = 72;
+  int height = 20;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders an ASCII density scatter of (x, y) pairs; cells show '.'/':'/'#'
+/// by point count. Includes the Pearson rho in the title line.
+std::string render_scatter(std::span<const double> xs,
+                           std::span<const double> ys,
+                           const ScatterOptions& opts = {});
+
+/// Renders a time series as a single line chart (used for the DVFS traces
+/// of Figure 11 / Figure 25).
+struct LineChartOptions {
+  int width = 78;
+  int height = 16;
+  std::string y_label;
+};
+
+std::string render_line_chart(std::span<const double> ts,
+                              std::span<const double> ys,
+                              const LineChartOptions& opts = {});
+
+}  // namespace gpuvar::stats

@@ -1,0 +1,48 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "stats/boxplot.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar::stats {
+
+BootstrapCI bootstrap_ci(std::span<const double> xs,
+                         const Statistic& statistic, int resamples,
+                         double confidence, std::uint64_t seed) {
+  GPUVAR_REQUIRE(xs.size() >= 2);
+  GPUVAR_REQUIRE(resamples >= 50);
+  GPUVAR_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  GPUVAR_REQUIRE(static_cast<bool>(statistic));
+
+  BootstrapCI ci;
+  ci.confidence = confidence;
+  ci.point = statistic(xs);
+
+  Rng rng(seed);
+  const std::size_t n = xs.size();
+  std::vector<double> resample(n);
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resample[i] = xs[rng.uniform_index(n)];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = quantile(estimates, alpha);
+  ci.hi = quantile(estimates, 1.0 - alpha);
+  return ci;
+}
+
+double variation_pct_statistic(std::span<const double> xs) {
+  const auto box = box_summary(xs);
+  if (box.median == 0.0) return 0.0;
+  return box.variation() * 100.0;
+}
+
+}  // namespace gpuvar::stats

@@ -1,0 +1,36 @@
+// Bootstrap confidence intervals. The paper reports point estimates of
+// variation; a reproduction should also say how certain they are —
+// especially when comparing clusters whose estimates differ by a point or
+// two. Percentile bootstrap over GPU-level resamples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace gpuvar::stats {
+
+using Statistic = std::function<double(std::span<const double>)>;
+
+struct BootstrapCI {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  double confidence = 0.0;
+
+  bool contains(double x) const { return x >= lo && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Percentile bootstrap of `statistic` over `xs`. Deterministic for a
+/// given seed. Requires |xs| >= 2 and resamples >= 50.
+BootstrapCI bootstrap_ci(std::span<const double> xs,
+                         const Statistic& statistic, int resamples = 1000,
+                         double confidence = 0.95,
+                         std::uint64_t seed = 0xB0075);
+
+/// The paper's variation statistic (whisker range / median, %), ready to
+/// pass to bootstrap_ci.
+double variation_pct_statistic(std::span<const double> xs);
+
+}  // namespace gpuvar::stats

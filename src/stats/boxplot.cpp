@@ -1,0 +1,47 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar::stats {
+
+double BoxSummary::variation() const {
+  GPUVAR_REQUIRE_MSG(median != 0.0, "variation undefined for zero median");
+  return range / std::abs(median);
+}
+
+BoxSummary box_summary(std::span<const double> xs) {
+  GPUVAR_REQUIRE(!xs.empty());
+  const auto sorted = sorted_copy(xs);
+
+  BoxSummary b;
+  b.count = xs.size();
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.5);
+  b.q3 = quantile_sorted(sorted, 0.75);
+  b.iqr = b.q3 - b.q1;
+  b.lo_whisker = b.q1 - 1.5 * b.iqr;
+  b.hi_whisker = b.q3 + 1.5 * b.iqr;
+  b.range = b.hi_whisker - b.lo_whisker;
+  b.min = sorted.front();
+  b.max = sorted.back();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (b.is_outlier_value(xs[i])) b.outlier_indices.push_back(i);
+  }
+  return b;
+}
+
+std::vector<double> without_outliers(std::span<const double> xs,
+                                     const BoxSummary& box) {
+  std::vector<double> out;
+  out.reserve(xs.size() - box.outlier_indices.size());
+  for (double x : xs) {
+    if (!box.is_outlier_value(x)) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace gpuvar::stats

@@ -1,0 +1,51 @@
+// Box-and-whisker summaries with the paper's exact conventions (§III):
+//
+//   * box spans Q1..Q3, center line at the median (Q2)
+//   * IQR = Q3 - Q1
+//   * upper whisker value = Q3 + 1.5·IQR, lower = Q1 - 1.5·IQR
+//   * range     = upper whisker - lower whisker
+//   * variation = range / Q2            (reported as a percentage)
+//   * outliers  = data points outside the whiskers; they are *excluded*
+//     from the variation figure (the paper's variance calculations do the
+//     same)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpuvar::stats {
+
+struct BoxSummary {
+  std::size_t count = 0;
+  double q1 = 0.0;
+  double median = 0.0;  ///< Q2
+  double q3 = 0.0;
+  double iqr = 0.0;
+  double lo_whisker = 0.0;  ///< Q1 - 1.5·IQR
+  double hi_whisker = 0.0;  ///< Q3 + 1.5·IQR
+  double range = 0.0;       ///< hi_whisker - lo_whisker
+  double min = 0.0;         ///< sample min (may lie below the whisker)
+  double max = 0.0;         ///< sample max (may lie above the whisker)
+  std::vector<std::size_t> outlier_indices;  ///< indices into the input
+
+  /// The paper's variation metric: range / median. Returns the *fraction*
+  /// (multiply by 100 for a percentage). Requires median != 0.
+  double variation() const;
+
+  std::size_t outlier_count() const { return outlier_indices.size(); }
+
+  /// True if xs[i] falls strictly outside [lo_whisker, hi_whisker].
+  bool is_outlier_value(double x) const {
+    return x < lo_whisker || x > hi_whisker;
+  }
+};
+
+/// Computes the box summary of a sample. Requires a non-empty sample.
+BoxSummary box_summary(std::span<const double> xs);
+
+/// Values with the summary's outliers removed (order preserved).
+std::vector<double> without_outliers(std::span<const double> xs,
+                                     const BoxSummary& box);
+
+}  // namespace gpuvar::stats

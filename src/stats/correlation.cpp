@@ -1,0 +1,76 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace gpuvar::stats {
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  GPUVAR_REQUIRE(xs.size() == ys.size());
+  GPUVAR_REQUIRE(xs.size() >= 2);
+  const std::size_t n = xs.size();
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  const double rho = sxy / std::sqrt(sxx * syy);
+  // Guard against floating point drift just past ±1.
+  return std::clamp(rho, -1.0, 1.0);
+}
+
+namespace {
+
+std::vector<double> fractional_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank for the tie group [i, j] (1-based ranks).
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  GPUVAR_REQUIRE(xs.size() == ys.size());
+  GPUVAR_REQUIRE(xs.size() >= 2);
+  const auto rx = fractional_ranks(xs);
+  const auto ry = fractional_ranks(ys);
+  return pearson(rx, ry);
+}
+
+std::string correlation_strength(double rho) {
+  const double a = std::abs(rho);
+  if (a >= 0.9) return "strong";
+  if (a >= 0.6) return "moderate";
+  if (a >= 0.3) return "weak";
+  return "uncorrelated";
+}
+
+}  // namespace gpuvar::stats

@@ -1,0 +1,22 @@
+// Correlation coefficients used by the paper's scatter-plot analysis.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace gpuvar::stats {
+
+/// Pearson product-moment correlation. Requires equal sizes >= 2 and
+/// non-zero variance in both samples (returns 0 when either is constant,
+/// matching the convention of treating a flat series as uncorrelated).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over fractional ranks; ties get the
+/// average rank).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Qualitative label matching the paper's prose: |rho| >= 0.9 "strong",
+/// >= 0.6 "moderate", >= 0.3 "weak", else "uncorrelated".
+std::string correlation_strength(double rho);
+
+}  // namespace gpuvar::stats

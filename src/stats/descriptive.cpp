@@ -1,0 +1,53 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar::stats {
+
+Descriptive describe(std::span<const double> xs) {
+  GPUVAR_REQUIRE(!xs.empty());
+  Descriptive d;
+  d.count = xs.size();
+  d.min = xs[0];
+  d.max = xs[0];
+  // Welford's online algorithm for mean and M2.
+  double mean_acc = 0.0;
+  double m2 = 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    sum += x;
+    const double delta = x - mean_acc;
+    mean_acc += delta / static_cast<double>(n);
+    m2 += delta * (x - mean_acc);
+    d.min = std::min(d.min, x);
+    d.max = std::max(d.max, x);
+  }
+  d.sum = sum;
+  d.mean = mean_acc;
+  d.variance = (n > 1) ? m2 / static_cast<double>(n - 1) : 0.0;
+  d.stddev = std::sqrt(d.variance);
+  return d;
+}
+
+double mean(std::span<const double> xs) { return describe(xs).mean; }
+double sample_variance(std::span<const double> xs) {
+  return describe(xs).variance;
+}
+double sample_stddev(std::span<const double> xs) {
+  return describe(xs).stddev;
+}
+double min_of(std::span<const double> xs) {
+  GPUVAR_REQUIRE(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+double max_of(std::span<const double> xs) {
+  GPUVAR_REQUIRE(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace gpuvar::stats

@@ -1,0 +1,40 @@
+// Normal-distribution utilities: CDF, quantile function, moment fitting,
+// and the paper's "scaled normal" projection (§IV-D): given the measured
+// spread on one cluster, project the expected variability on a cluster
+// with a different GPU count via expected extreme order statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gpuvar::stats {
+
+struct NormalFit {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Moment fit of a normal distribution (requires n >= 2).
+NormalFit fit_normal(std::span<const double> xs);
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+
+/// Standard normal quantile Φ⁻¹(p), p in (0, 1). Acklam's rational
+/// approximation refined with one Halley step (|error| < 1e-12).
+double normal_quantile(double p);
+
+/// Expected value of the maximum of n i.i.d. standard normals
+/// (Blom's approximation: Φ⁻¹((n - 0.375) / (n + 0.25))).
+double expected_normal_max(std::size_t n);
+
+/// The scaled-normal projection: fit N(μ, σ) to `xs` (one run-summary value
+/// per GPU) and return the projected variability fraction
+/// E[range of target_size samples] / μ = 2σ·Φ⁻¹((n-0.375)/(n+0.25)) / μ
+/// for a cluster with `target_size` GPUs. Requires μ != 0.
+double project_variability(std::span<const double> xs, std::size_t target_size);
+
+/// Same projection from an explicit fit.
+double project_variability(const NormalFit& fit, std::size_t target_size);
+
+}  // namespace gpuvar::stats

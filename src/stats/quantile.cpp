@@ -1,0 +1,45 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  GPUVAR_REQUIRE(!sorted.empty());
+  GPUVAR_REQUIRE(q >= 0.0 && q <= 1.0);
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  // R type 7: h = (n-1)q; interpolate between floor(h) and floor(h)+1.
+  const double h = static_cast<double>(n - 1) * q;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  const auto v = sorted_copy(xs);
+  return quantile_sorted(v, q);
+}
+
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs) {
+  const auto v = sorted_copy(xs);
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(v, q));
+  return out;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+}  // namespace gpuvar::stats

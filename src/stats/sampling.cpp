@@ -1,0 +1,42 @@
+#include "stats/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "stats/normal.hpp"
+
+namespace gpuvar::stats {
+
+double z_for_confidence(double confidence) {
+  GPUVAR_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  return normal_quantile(0.5 + confidence / 2.0);
+}
+
+SampleSizePlan recommend_sample_size(std::size_t population, double cv,
+                                     double lambda, double confidence) {
+  GPUVAR_REQUIRE(population >= 1);
+  GPUVAR_REQUIRE(cv >= 0.0);
+  GPUVAR_REQUIRE(lambda > 0.0);
+
+  SampleSizePlan plan;
+  plan.population = population;
+  plan.relative_accuracy = lambda;
+  plan.confidence = confidence;
+  plan.coefficient_of_variation = cv;
+
+  const double z = z_for_confidence(confidence);
+  const double n0 = std::pow(z * cv / lambda, 2.0);
+  // Finite-population correction.
+  const double n = n0 / (1.0 + (n0 - 1.0) / static_cast<double>(population));
+  plan.recommended = std::min<std::size_t>(
+      population, static_cast<std::size_t>(std::ceil(std::max(1.0, n))));
+  return plan;
+}
+
+double oversampling_factor(const SampleSizePlan& plan, std::size_t actual) {
+  GPUVAR_REQUIRE(plan.recommended >= 1);
+  return static_cast<double>(actual) / static_cast<double>(plan.recommended);
+}
+
+}  // namespace gpuvar::stats

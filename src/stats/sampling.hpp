@@ -1,0 +1,34 @@
+// Statistical-significance methodology from Scogland et al., "A
+// Power-Measurement Methodology for Large-Scale, High-Performance
+// Computing" (ICPE '14), which the paper follows (§III): compute the
+// number of GPUs that must be sampled so the estimated mean power is
+// within a relative accuracy λ of the true mean at a given confidence.
+#pragma once
+
+#include <cstddef>
+
+namespace gpuvar::stats {
+
+struct SampleSizePlan {
+  std::size_t population = 0;        ///< GPUs in the cluster
+  std::size_t recommended = 0;       ///< minimum GPUs to sample
+  double relative_accuracy = 0.0;    ///< λ (e.g. 0.005 for 0.5%)
+  double confidence = 0.0;           ///< e.g. 0.95
+  double coefficient_of_variation = 0.0;
+};
+
+/// Recommended sample size for estimating a mean with relative accuracy
+/// `lambda` at `confidence`, given the population's coefficient of
+/// variation (σ/μ). Applies the finite-population correction:
+///   n0 = (z·CV/λ)²,  n = n0 / (1 + (n0 - 1)/N), rounded up.
+SampleSizePlan recommend_sample_size(std::size_t population, double cv,
+                                     double lambda, double confidence);
+
+/// Ratio of an actual sample size to the recommendation (the paper reports
+/// sampling 2.9× more GPUs than the worst-case recommendation).
+double oversampling_factor(const SampleSizePlan& plan, std::size_t actual);
+
+/// Two-sided z value for a confidence level (e.g. 0.95 -> 1.9600).
+double z_for_confidence(double confidence);
+
+}  // namespace gpuvar::stats

@@ -1,0 +1,26 @@
+#include "telemetry/counters.hpp"
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+void CounterAccumulator::add(const KernelSpec& kernel, Seconds duration) {
+  GPUVAR_REQUIRE(duration >= 0.0);
+  fu_ += kernel.fu_util * duration;
+  dram_ += kernel.dram_util * duration;
+  mem_stall_ += kernel.mem_stall_frac * duration;
+  exec_stall_ += kernel.exec_stall_frac * duration;
+  total_time_ += duration;
+}
+
+ProfilerCounters CounterAccumulator::aggregate() const {
+  ProfilerCounters c;
+  if (total_time_ <= 0.0) return c;
+  c.fu_util = fu_ / total_time_;
+  c.dram_util = dram_ / total_time_;
+  c.mem_stall_frac = mem_stall_ / total_time_;
+  c.exec_stall_frac = exec_stall_ / total_time_;
+  return c;
+}
+
+}  // namespace gpuvar

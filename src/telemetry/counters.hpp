@@ -1,0 +1,33 @@
+// Profiler counters used to classify applications (§III, §VII): functional
+// unit utilization (nvprof's 0-10 scale), DRAM utilization, and stall
+// breakdowns. Aggregated across a run by time-weighting each kernel's
+// static footprint.
+#pragma once
+
+#include <span>
+
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
+
+namespace gpuvar {
+
+struct ProfilerCounters {
+  double fu_util = 0.0;         ///< 0-10
+  double dram_util = 0.0;       ///< 0-10
+  double mem_stall_frac = 0.0;  ///< [0, 1]
+  double exec_stall_frac = 0.0; ///< [0, 1]
+};
+
+/// Accumulates time-weighted counters across kernels.
+class CounterAccumulator {
+ public:
+  void add(const KernelSpec& kernel, Seconds duration);
+  ProfilerCounters aggregate() const;
+  Seconds total_time() const { return total_time_; }
+
+ private:
+  double fu_ = 0.0, dram_ = 0.0, mem_stall_ = 0.0, exec_stall_ = 0.0;
+  Seconds total_time_ = 0.0;
+};
+
+}  // namespace gpuvar

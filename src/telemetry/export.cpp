@@ -1,0 +1,88 @@
+#include "telemetry/export.hpp"
+
+#include "common/csv.hpp"
+#include "common/csv_reader.hpp"
+#include "common/rng.hpp"
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+void export_results_csv(std::ostream& out, const Cluster& cluster,
+                        std::span<const GpuRunResult> results) {
+  CsvWriter csv(out);
+  csv.header({"cluster", "gpu", "node", "cabinet", "run", "perf_ms",
+              "freq_mhz_median", "freq_mhz_min", "freq_mhz_max",
+              "power_w_median", "power_w_min", "power_w_max",
+              "temp_c_median", "temp_c_min", "temp_c_max", "energy_j",
+              "fu_util", "dram_util", "mem_stall_frac", "exec_stall_frac"});
+  for (const auto& r : results) {
+    const auto& inst = cluster.gpu(r.gpu_index);
+    csv.add(cluster.name())
+        .add(inst.loc.name)
+        .add(static_cast<long long>(inst.loc.node))
+        .add(static_cast<long long>(inst.loc.cabinet))
+        .add(static_cast<long long>(r.run_index))
+        .add(r.perf_ms)
+        .add(r.telemetry.freq.median)
+        .add(r.telemetry.freq.min)
+        .add(r.telemetry.freq.max)
+        .add(r.telemetry.power.median)
+        .add(r.telemetry.power.min)
+        .add(r.telemetry.power.max)
+        .add(r.telemetry.temp.median)
+        .add(r.telemetry.temp.min)
+        .add(r.telemetry.temp.max)
+        .add(r.telemetry.energy)
+        .add(r.counters.fu_util)
+        .add(r.counters.dram_util)
+        .add(r.counters.mem_stall_frac)
+        .add(r.counters.exec_stall_frac);
+    csv.end_row();
+  }
+}
+
+void export_series_csv(std::ostream& out, const TimeSeries& series) {
+  CsvWriter csv(out);
+  csv.header({"t_s", "freq_mhz", "power_w", "temp_c"});
+  for (const auto& s : series.samples()) {
+    csv.add(s.t).add(s.freq).add(s.power).add(s.temp);
+    csv.end_row();
+  }
+}
+
+std::vector<RunRecord> import_results_csv(std::istream& in) {
+  CsvReader csv(in);
+  for (const char* col :
+       {"gpu", "node", "cabinet", "run", "perf_ms", "freq_mhz_median",
+        "power_w_median", "temp_c_median"}) {
+    GPUVAR_REQUIRE_MSG(csv.has_column(col),
+                       std::string("results CSV missing column: ") + col);
+  }
+  std::vector<RunRecord> records;
+  records.reserve(csv.rows());
+  for (std::size_t row = 0; row < csv.rows(); ++row) {
+    RunRecord r;
+    r.loc.name = csv.field(row, "gpu");
+    r.loc.node = static_cast<int>(csv.integer(row, "node"));
+    r.loc.cabinet = static_cast<int>(csv.integer(row, "cabinet"));
+    // Synthesize a stable per-name GPU index: (node, name hash) suffices
+    // for grouping since names are unique per GPU.
+    r.gpu_index = static_cast<std::size_t>(
+        derive_seed(0x6B5, r.loc.name) % (1ull << 48));
+    r.run_index = static_cast<int>(csv.integer(row, "run"));
+    r.perf_ms = csv.number(row, "perf_ms");
+    r.freq_mhz = csv.number(row, "freq_mhz_median");
+    r.power_w = csv.number(row, "power_w_median");
+    r.temp_c = csv.number(row, "temp_c_median");
+    if (csv.has_column("fu_util")) {
+      r.counters.fu_util = csv.number(row, "fu_util");
+      r.counters.dram_util = csv.number(row, "dram_util");
+      r.counters.mem_stall_frac = csv.number(row, "mem_stall_frac");
+      r.counters.exec_stall_frac = csv.number(row, "exec_stall_frac");
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,31 @@
+// CSV export of run results and time series — the interchange format for
+// feeding the suite's measurements into external analysis pipelines
+// (pandas/R), mirroring the paper artifact's per-application CSV outputs.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include <istream>
+
+#include "cluster/cluster.hpp"
+#include "core/record.hpp"
+#include "workloads/runner.hpp"
+
+namespace gpuvar {
+
+/// One row per run result: location, performance metric, and the median /
+/// mean / min / max of frequency, power and temperature.
+void export_results_csv(std::ostream& out, const Cluster& cluster,
+                        std::span<const GpuRunResult> results);
+
+/// One row per telemetry sample of one run's series.
+void export_series_csv(std::ostream& out, const TimeSeries& series);
+
+/// Parses run records back from a results CSV (the inverse of
+/// export_results_csv, and the entry point for measurements collected on
+/// real hardware). Only the columns the analyses use are required:
+/// gpu, node, cabinet, run, perf_ms, freq/power/temp medians.
+std::vector<RunRecord> import_results_csv(std::istream& in);
+
+}  // namespace gpuvar

@@ -1,0 +1,17 @@
+#include "telemetry/pmapi.hpp"
+
+namespace gpuvar {
+
+std::string to_string(ThrottleReason r) {
+  switch (r) {
+    case ThrottleReason::kNone:
+      return "none";
+    case ThrottleReason::kPowerCap:
+      return "power-cap";
+    case ThrottleReason::kThermal:
+      return "thermal";
+  }
+  return "unknown";
+}
+
+}  // namespace gpuvar

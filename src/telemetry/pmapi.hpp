@@ -1,0 +1,74 @@
+// A vendor-neutral power-management introspection interface.
+//
+// The paper's closing argument (§VII "New Hardware and System Design"):
+// "we will need to design a standard for accelerators to expose PM
+// information from the hardware to the software and runtime." This header
+// is that standard, sized for the study's needs: a point-in-time snapshot
+// (what state is the controller in, and *why*) plus cumulative residency
+// accounting (how long has the chip been throttled, and by what). The
+// simulated device implements it; a real deployment would back it with
+// NVML / rocm-smi plus the extra fields vendors do not expose today.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace gpuvar {
+
+enum class ThrottleReason {
+  kNone,      ///< at the requested/boost clock
+  kPowerCap,  ///< held below boost by the power limit
+  kThermal,   ///< held down by the slowdown-temperature protection
+};
+
+std::string to_string(ThrottleReason r);
+
+/// Point-in-time controller state.
+struct PmSnapshot {
+  MegaHertz sm_freq = 0.0;
+  MegaHertz max_freq = 0.0;
+  Watts power = 0.0;
+  Watts power_limit = 0.0;
+  Celsius temperature = 0.0;
+  Celsius slowdown_temp = 0.0;
+  ThrottleReason reason = ThrottleReason::kNone;
+
+  /// Headroom to the cap (negative while over it).
+  Watts power_headroom() const { return power_limit - power; }
+  /// Fraction of the boost clock currently delivered.
+  double clock_residency() const {
+    return max_freq > 0.0 ? sm_freq / max_freq : 0.0;
+  }
+};
+
+/// Cumulative residency accounting since construction/reset.
+struct ThrottleAccounting {
+  Seconds total = 0.0;           ///< busy time accounted
+  Seconds at_max_clock = 0.0;    ///< time at the boost state
+  Seconds power_limited = 0.0;   ///< time below boost due to the cap
+  Seconds thermal_limited = 0.0; ///< time in thermal slowdown
+  long down_steps = 0;           ///< controller down-transitions
+  long up_steps = 0;             ///< controller up-transitions
+
+  double max_clock_residency() const {
+    return total > 0.0 ? at_max_clock / total : 0.0;
+  }
+  double power_limited_residency() const {
+    return total > 0.0 ? power_limited / total : 0.0;
+  }
+  double thermal_limited_residency() const {
+    return total > 0.0 ? thermal_limited / total : 0.0;
+  }
+};
+
+/// The introspection interface itself. Anything that exposes these two
+/// calls can feed the suite's analyses — simulated or physical.
+class PmIntrospection {
+ public:
+  virtual ~PmIntrospection() = default;
+  virtual PmSnapshot pm_snapshot() const = 0;
+  virtual ThrottleAccounting pm_accounting() const = 0;
+};
+
+}  // namespace gpuvar

@@ -1,0 +1,41 @@
+#include "telemetry/timeseries.hpp"
+
+namespace gpuvar {
+
+std::vector<double> TimeSeries::times() const {
+  std::vector<double> v;
+  v.reserve(samples_.size());
+  for (const auto& s : samples_) v.push_back(s.t);
+  return v;
+}
+
+std::vector<double> TimeSeries::freqs() const {
+  std::vector<double> v;
+  v.reserve(samples_.size());
+  for (const auto& s : samples_) v.push_back(s.freq);
+  return v;
+}
+
+std::vector<double> TimeSeries::powers() const {
+  std::vector<double> v;
+  v.reserve(samples_.size());
+  for (const auto& s : samples_) v.push_back(s.power);
+  return v;
+}
+
+std::vector<double> TimeSeries::temps() const {
+  std::vector<double> v;
+  v.reserve(samples_.size());
+  for (const auto& s : samples_) v.push_back(s.temp);
+  return v;
+}
+
+TimeSeries TimeSeries::slice(Seconds t0, Seconds t1) const {
+  TimeSeries out;
+  for (const auto& s : samples_) {
+    if (s.t >= t0 && s.t < t1) out.push(s);
+  }
+  return out;
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,42 @@
+// Telemetry sample containers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpuvar {
+
+/// One profiler sample, matching the paper's four collected metrics
+/// (§III Measurement): time, SM/CU frequency, board power, junction temp.
+struct Sample {
+  Seconds t = 0.0;
+  MegaHertz freq = 0.0;
+  Watts power = 0.0;
+  Celsius temp = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void push(const Sample& s) { samples_.push_back(s); }
+  void clear() { samples_.clear(); }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Column extractors (for plotting / correlation).
+  std::vector<double> times() const;
+  std::vector<double> freqs() const;
+  std::vector<double> powers() const;
+  std::vector<double> temps() const;
+
+  /// Samples within [t0, t1).
+  TimeSeries slice(Seconds t0, Seconds t1) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace gpuvar

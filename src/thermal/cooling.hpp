@@ -1,0 +1,53 @@
+// Cooling-loop descriptions and per-GPU thermal sampling.
+//
+// The paper contrasts three cooling technologies:
+//   air         — wide inlet-temperature spread across cabinets (hot
+//                 aisles, rack position), ≥30 °C observed temperature range
+//   water       — narrow spread, low coolant temperature
+//   mineral oil — narrow spread but a high bath temperature; pumps can
+//                 degrade per cabinet (the Frontera c197 incident)
+//
+// A CoolingSpec holds the *distributions*; each GPU draws its own
+// ThermalParams from them, with a shared per-cabinet spatial offset so
+// physical neighbours correlate (as the paper's cabinet-coloured plots
+// show).
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "thermal/thermal.hpp"
+
+namespace gpuvar {
+
+enum class CoolingType { kAir, kWater, kMineralOil };
+
+std::string to_string(CoolingType t);
+
+struct CoolingSpec {
+  CoolingType type = CoolingType::kAir;
+  Celsius coolant_base = 25.0;   ///< nominal inlet / loop temperature
+  Celsius cabinet_sigma = 0.0;   ///< spatial spread across cabinets
+  Celsius gpu_sigma = 0.0;       ///< residual spread within a node
+  double r_mean = 0.10;          ///< mean thermal resistance, °C/W
+  double r_sigma = 0.0;
+  double c_mean = 80.0;         ///< thermal capacitance, J/°C
+  double c_sigma = 8.0;
+};
+
+/// Default parameterizations per technology, calibrated to the paper's
+/// observed temperature medians and IQRs.
+CoolingSpec air_cooling(Celsius inlet_base = 28.0);
+CoolingSpec water_cooling(Celsius loop_temp = 24.0);
+CoolingSpec mineral_oil_cooling(Celsius bath_temp = 48.0);
+
+/// Draws the per-cabinet spatial offset (hot-aisle effect). One draw per
+/// cabinet, shared by every GPU in it.
+Celsius sample_cabinet_offset(const CoolingSpec& spec, Rng& rng);
+
+/// Draws one GPU's thermal parameters given its cabinet's offset.
+ThermalParams sample_thermal(const CoolingSpec& spec, Celsius cabinet_offset,
+                             Rng& rng);
+
+}  // namespace gpuvar

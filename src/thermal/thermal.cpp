@@ -1,0 +1,36 @@
+#include "thermal/thermal.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+ThermalModel::ThermalModel(const ThermalParams& params) : params_(params) {
+  GPUVAR_REQUIRE(params.r_c_per_w > 0.0);
+  GPUVAR_REQUIRE(params.c_j_per_c > 0.0);
+  temp_ = params.coolant;
+}
+
+Seconds ThermalModel::time_constant() const {
+  return params_.r_c_per_w * params_.c_j_per_c;
+}
+
+void ThermalModel::step(Seconds dt, Watts p) {
+  GPUVAR_REQUIRE(dt >= 0.0);
+  // Exact solution of the linear ODE over dt (unconditionally stable,
+  // exact for constant p): T(t+dt) = Teq + (T - Teq)·exp(-dt/τ).
+  const Celsius teq = equilibrium(p);
+  const double decay = std::exp(-dt / time_constant());
+  temp_ = teq + (temp_ - teq) * decay;
+}
+
+Celsius ThermalModel::equilibrium(Watts p) const {
+  return params_.coolant + p * params_.r_c_per_w;
+}
+
+void ThermalModel::settle(Watts p) { temp_ = equilibrium(p); }
+
+void ThermalModel::reset(Watts idle_power) { settle(idle_power); }
+
+}  // namespace gpuvar

@@ -1,0 +1,105 @@
+// ResNet-50 training (§V-A).
+//
+// A real iteration launches ~2,600 kernels from ~85 unique ones; 75% run
+// under 2 ms. We aggregate them into three phases with the time/energy
+// footprint the paper profiles: convolutions (compute-heavy, the SGEMM-like
+// part), dense GEMMs, and the elementwise/batch-norm/pooling tail
+// (streaming, memory-side). The per-kernel counters are calibrated to the
+// paper's measurements: average FU utilization ≈ 5.4 (vs 10 for SGEMM) and
+// DRAM utilization ≈ 1/42 of LAMMPS'.
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+
+namespace {
+
+// Phase builder: pick FLOPs/bytes so a healthy V100 at max clocks spends
+// roughly `target_ms` in the phase. (Workload models are defined against
+// the V100 reference; on other SKUs durations scale with the roofline.)
+KernelSpec conv_phase(double target_ms) {
+  KernelSpec k;
+  k.name = "resnet_conv";
+  k.compute_efficiency = 0.55;  // implicit-GEMM convs, fp32
+  k.bw_efficiency = 0.75;
+  // 80 SMs * 128 flop/cycle * 1530 MHz * 0.55 eff = 8.61e12 flop/s.
+  k.flops = target_ms * 1e-3 * 8.61e12;
+  k.bytes = k.flops / 40.0;  // high arithmetic intensity, cache-resident
+  k.activity = 0.72;
+  k.fu_util = 7.5;
+  k.dram_util = 0.20;
+  k.mem_stall_frac = 0.06;
+  k.exec_stall_frac = 0.30;
+  k.validate();
+  return k;
+}
+
+KernelSpec gemm_phase(double target_ms) {
+  KernelSpec k;
+  k.name = "resnet_gemm";
+  k.compute_efficiency = 0.80;
+  k.bw_efficiency = 0.80;
+  k.flops = target_ms * 1e-3 * 1.253e13;  // 1.566e13 * 0.80
+  k.bytes = k.flops / 60.0;
+  k.activity = 0.70;
+  k.fu_util = 9.0;
+  k.dram_util = 0.10;
+  k.mem_stall_frac = 0.04;
+  k.exec_stall_frac = 0.34;
+  k.validate();
+  return k;
+}
+
+KernelSpec elementwise_phase(double target_ms) {
+  KernelSpec k;
+  k.name = "resnet_elementwise";
+  k.compute_efficiency = 0.30;
+  k.bw_efficiency = 0.75;  // 675 GB/s effective on V100
+  k.bytes = target_ms * 1e-3 * 675e9;
+  k.flops = k.bytes * 0.25;  // ~1 flop per 4 bytes streamed
+  k.activity = 0.45;
+  k.stall_activity_floor = 0.70;  // streaming keeps DRAM/L2 busy
+  k.fu_util = 2.2;
+  k.dram_util = 0.30;
+  k.mem_stall_frac = 0.30;
+  k.exec_stall_frac = 0.08;
+  k.validate();
+  return k;
+}
+
+WorkloadSpec resnet_base(int iterations, double scale) {
+  WorkloadSpec w;
+  w.metric = PerfMetric::kIterationMedian;
+  w.iterations = iterations;
+  w.warmup_iterations = 5;
+  w.iteration.push_back(KernelStep{conv_phase(55.0 * scale), 1, true});
+  w.iteration.push_back(KernelStep{gemm_phase(15.0 * scale), 1, true});
+  w.iteration.push_back(KernelStep{elementwise_phase(40.0 * scale), 1, true});
+  w.inter_kernel_gap = 0.001;
+  return w;
+}
+
+}  // namespace
+
+WorkloadSpec resnet50_multi_workload(int iterations) {
+  WorkloadSpec w = resnet_base(iterations, 1.0);
+  w.name = "resnet50-4gpu";
+  w.gpus_per_job = 4;
+  w.allreduce_seconds = 0.008;  // NCCL ring over NVLink, 25M params
+  // Full framework stack (dataloader, cuDNN heuristics, NCCL): the widest
+  // per-GPU non-frequency spread of all our workloads.
+  w.gpu_sensitivity_sigma = 0.055;
+  w.power_jitter_sigma = 0.18;
+  return w;
+}
+
+WorkloadSpec resnet50_single_workload(int iterations) {
+  // Batch scaled 64 -> 16: per-iteration work shrinks accordingly.
+  WorkloadSpec w = resnet_base(iterations, 0.62);
+  w.name = "resnet50-1gpu";
+  w.gpus_per_job = 1;
+  w.gpu_sensitivity_sigma = 0.026;  // no NCCL / multi-GPU input path
+  w.power_jitter_sigma = 0.06;
+  return w;
+}
+
+}  // namespace gpuvar

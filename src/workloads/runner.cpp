@@ -1,0 +1,213 @@
+#include "workloads/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar {
+
+RunOptions RunOptions::for_sku(const GpuSku& sku) {
+  RunOptions o;
+  o.sim.tick = sku.dvfs_control_period;
+  return o;
+}
+
+double gpu_sensitivity_factor(const Cluster& cluster, std::size_t gpu_index,
+                              const WorkloadSpec& workload) {
+  const double sigma = workload.gpu_sensitivity_sigma;
+  if (sigma <= 0.0) return 1.0;
+  Rng rng(cluster.spec().seed,
+          cluster.gpu_seed_path(gpu_index) + "/wl:" + workload.name);
+  return std::exp(rng.truncated_normal(0.0, sigma, -3.0 * sigma, 3.0 * sigma));
+}
+
+double gpu_power_jitter_factor(const Cluster& cluster, std::size_t gpu_index,
+                               const WorkloadSpec& workload) {
+  const double sigma = workload.power_jitter_sigma;
+  if (sigma <= 0.0) return 1.0;
+  Rng rng(cluster.spec().seed,
+          cluster.gpu_seed_path(gpu_index) + "/pj:" + workload.name);
+  return std::exp(rng.truncated_normal(0.0, sigma, -2.5 * sigma, 2.5 * sigma));
+}
+
+double extract_perf_metric(const WorkloadSpec& w,
+                           const std::vector<double>& long_kernel_ms,
+                           const std::vector<double>& iteration_ms) {
+  switch (w.metric) {
+    case PerfMetric::kKernelMedian:
+      GPUVAR_REQUIRE(!long_kernel_ms.empty());
+      return stats::median(long_kernel_ms);
+    case PerfMetric::kIterationMedian:
+      GPUVAR_REQUIRE(!iteration_ms.empty());
+      return stats::median(iteration_ms);
+    case PerfMetric::kLongKernelSum: {
+      double sum = 0.0;
+      for (double d : long_kernel_ms) sum += d;
+      return sum;
+    }
+  }
+  GPUVAR_ASSERT(false);
+  return 0.0;
+}
+
+namespace {
+
+double run_noise_factor(const Cluster& cluster, std::size_t gpu_index,
+                        const WorkloadSpec& workload, int run_index,
+                        std::uint64_t salt) {
+  const double sigma = cluster.spec().run_noise_sigma;
+  if (sigma <= 0.0) return 1.0;
+  Rng rng(cluster.spec().seed,
+          cluster.gpu_seed_path(gpu_index) + "/wl:" + workload.name +
+              "/run:" + std::to_string(run_index) +
+              "/salt:" + std::to_string(salt));
+  return std::exp(rng.normal(0.0, sigma));
+}
+
+struct Rank {
+  std::size_t gpu_index = 0;
+  std::unique_ptr<SimulatedGpu> device;
+  std::unique_ptr<Sampler> sampler;
+  double stall_scale = 1.0;
+  double activity_scale = 1.0;
+  double noise = 1.0;
+  std::vector<double> long_kernel_ms;
+  std::vector<double> iteration_ms;
+  CounterAccumulator counters;
+};
+
+/// Runs `workload` bulk-synchronously across the given ranks.
+std::vector<GpuRunResult> run_job(const Cluster& cluster,
+                                  const std::vector<std::size_t>& gpu_indices,
+                                  const WorkloadSpec& workload, int run_index,
+                                  const RunOptions& opts) {
+  workload.validate();
+  GPUVAR_REQUIRE(!gpu_indices.empty());
+  GPUVAR_REQUIRE(static_cast<int>(gpu_indices.size()) ==
+                 workload.gpus_per_job);
+
+  SimOptions sim = opts.sim;
+  SamplerOptions sampler_opts;
+  sampler_opts.keep_series = opts.collect_series;
+  sampler_opts.series_interval = opts.series_interval;
+  if (opts.collect_series) {
+    // Time-series figures need profiler-resolution dynamics; disable
+    // fast-forwarding and tick at 1 ms.
+    sim.fast_forward = false;
+    sim.tick = std::min(sim.tick, kMinSamplingInterval);
+  }
+
+  double allreduce_scale = 1.0;
+  std::vector<Rank> ranks;
+  ranks.reserve(gpu_indices.size());
+  for (std::size_t gi : gpu_indices) {
+    allreduce_scale =
+        std::max(allreduce_scale, cluster.gpu(gi).interconnect_factor);
+    Rank r;
+    r.gpu_index = gi;
+    r.device = cluster.make_device(gi, sim, opts.power_limit_override);
+    r.sampler = std::make_unique<Sampler>(sampler_opts);
+    r.stall_scale = gpu_sensitivity_factor(cluster, gi, workload);
+    r.activity_scale = gpu_power_jitter_factor(cluster, gi, workload);
+    r.noise = run_noise_factor(cluster, gi, workload, run_index,
+                               opts.run_salt);
+    ranks.push_back(std::move(r));
+  }
+
+  const int total_iters = workload.warmup_iterations + workload.iterations;
+  for (int iter = 0; iter < total_iters; ++iter) {
+    const bool measuring = iter >= workload.warmup_iterations;
+    double max_elapsed = 0.0;
+    std::vector<double> elapsed(ranks.size(), 0.0);
+
+    for (std::size_t ri = 0; ri < ranks.size(); ++ri) {
+      Rank& r = ranks[ri];
+      Sampler* sampler = measuring ? r.sampler.get() : nullptr;
+      const Seconds t0 = r.device->clock();
+      for (const auto& step : workload.iteration) {
+        for (int c = 0; c < step.count; ++c) {
+          const KernelResult kr = r.device->run_kernel(
+              step.kernel, sampler, r.noise, r.stall_scale,
+              r.activity_scale);
+          if (measuring) {
+            if (step.long_kernel) {
+              r.long_kernel_ms.push_back(to_ms(kr.duration));
+            }
+            r.counters.add(step.kernel, kr.duration);
+          }
+          r.device->idle_for(workload.inter_kernel_gap, sampler);
+        }
+      }
+      elapsed[ri] = r.device->clock() - t0;
+      max_elapsed = std::max(max_elapsed, elapsed[ri]);
+    }
+
+    // Bulk-synchronous barrier + allreduce: the iteration ends when the
+    // slowest rank has computed and the collective has completed.
+    const double iteration_s =
+        max_elapsed + workload.allreduce_seconds * allreduce_scale;
+    for (std::size_t ri = 0; ri < ranks.size(); ++ri) {
+      Rank& r = ranks[ri];
+      Sampler* sampler = measuring ? r.sampler.get() : nullptr;
+      r.device->idle_for(iteration_s - elapsed[ri], sampler);
+      if (measuring) r.iteration_ms.push_back(to_ms(iteration_s));
+    }
+  }
+
+  std::vector<GpuRunResult> results;
+  results.reserve(ranks.size());
+  for (Rank& r : ranks) {
+    GpuRunResult out;
+    out.gpu_index = r.gpu_index;
+    out.run_index = run_index;
+    out.perf_ms =
+        extract_perf_metric(workload, r.long_kernel_ms, r.iteration_ms);
+    out.iteration_ms = std::move(r.iteration_ms);
+    out.telemetry = r.sampler->summary();
+    out.counters = r.counters.aggregate();
+    if (opts.collect_series) out.series = r.sampler->series();
+    results.push_back(std::move(out));
+  }
+  return results;
+}
+
+}  // namespace
+
+GpuRunResult run_on_gpu(const Cluster& cluster, std::size_t gpu_index,
+                        const WorkloadSpec& workload, int run_index,
+                        const RunOptions& opts) {
+  GPUVAR_REQUIRE_MSG(workload.gpus_per_job == 1,
+                     workload.name + " is a multi-GPU workload");
+  auto results = run_job(cluster, {gpu_index}, workload, run_index, opts);
+  return std::move(results.front());
+}
+
+std::vector<GpuRunResult> run_on_node(const Cluster& cluster, int node,
+                                      const WorkloadSpec& workload,
+                                      int run_index, const RunOptions& opts) {
+  const auto node_gpus = cluster.node_gpus(node);
+  GPUVAR_REQUIRE_MSG(
+      workload.gpus_per_job <= static_cast<int>(node_gpus.size()),
+      workload.name + ": job wider than the node");
+
+  if (workload.gpus_per_job == 1) {
+    // Single-GPU workload measured on every GPU of the node, one job each
+    // (the paper's exclusive-node, per-GPU measurement discipline).
+    std::vector<GpuRunResult> results;
+    results.reserve(node_gpus.size());
+    for (std::size_t gi : node_gpus) {
+      results.push_back(run_on_gpu(cluster, gi, workload, run_index, opts));
+    }
+    return results;
+  }
+
+  const std::vector<std::size_t> job_gpus(
+      node_gpus.begin(), node_gpus.begin() + workload.gpus_per_job);
+  return run_job(cluster, job_gpus, workload, run_index, opts);
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,78 @@
+// Executes workloads on cluster GPUs and extracts the paper's metrics.
+//
+// Single-GPU jobs simulate one device end to end. Multi-GPU jobs run
+// bulk-synchronously: each iteration every rank executes its kernel
+// sequence, then all ranks meet at an allreduce — so the iteration takes
+// as long as the slowest rank, and faster ranks idle-wait at the barrier
+// (the amplification the paper observes for 4-GPU ResNet/BERT).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/sampler.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+
+struct RunOptions {
+  SimOptions sim;
+  bool collect_series = false;
+  Seconds series_interval = 0.05;
+  /// Admin power-limit override (W); 0 keeps the GPU's own cap/TDP.
+  Watts power_limit_override = 0.0;
+  /// Folded into run seeds so repeated runs (and day-of-week splits)
+  /// draw independent transient noise.
+  std::uint64_t run_salt = 0;
+
+  /// Ticks at the SKU's control period by default (the controller acts at
+  /// most once per period, so finer ticks only burn time). Time-series
+  /// collection switches to the 1 ms profiler resolution.
+  static RunOptions for_sku(const GpuSku& sku);
+};
+
+struct GpuRunResult {
+  std::size_t gpu_index = 0;
+  int run_index = 0;
+  /// The workload's performance metric, milliseconds.
+  double perf_ms = 0.0;
+  /// Per-iteration durations (ms); for multi-GPU jobs these are the
+  /// barrier-to-barrier iteration times shared by all ranks.
+  std::vector<double> iteration_ms;
+  TelemetrySummary telemetry;
+  ProfilerCounters counters;
+  TimeSeries series;  ///< populated when collect_series is set
+};
+
+/// Run a single-GPU workload on one GPU of the cluster.
+GpuRunResult run_on_gpu(const Cluster& cluster, std::size_t gpu_index,
+                        const WorkloadSpec& workload, int run_index,
+                        const RunOptions& opts = {});
+
+/// Run a (possibly multi-GPU) workload on a node. Returns one result per
+/// participating GPU; for multi-GPU jobs all results share iteration
+/// durations and perf_ms but have their own telemetry.
+std::vector<GpuRunResult> run_on_node(const Cluster& cluster, int node,
+                                      const WorkloadSpec& workload,
+                                      int run_index,
+                                      const RunOptions& opts = {});
+
+/// Extracts the workload's performance metric (ms) from collected
+/// long-kernel and iteration durations.
+double extract_perf_metric(const WorkloadSpec& workload,
+                           const std::vector<double>& long_kernel_ms,
+                           const std::vector<double>& iteration_ms);
+
+/// The per-GPU persistent sensitivity factor used for (cluster, gpu,
+/// workload) — exposed so analyses can inspect ground truth.
+double gpu_sensitivity_factor(const Cluster& cluster, std::size_t gpu_index,
+                              const WorkloadSpec& workload);
+
+/// The per-GPU persistent power-activity factor for (cluster, gpu,
+/// workload) — exposed so analyses can inspect ground truth.
+double gpu_power_jitter_factor(const Cluster& cluster, std::size_t gpu_index,
+                               const WorkloadSpec& workload);
+
+}  // namespace gpuvar

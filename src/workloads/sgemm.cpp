@@ -1,0 +1,23 @@
+// SGEMM (§IV-A): one optimized cuBLAS/hipBLAS-style matrix-multiply
+// kernel repeated `reps` times. The matrix size is tuned so the kernel
+// (i) runs long enough for the DVFS controller to reach a stable state,
+// (ii) achieves near-peak FLOP rates, and (iii) fully occupies the
+// SMs/CUs — exactly the tuning discipline the paper describes.
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+
+WorkloadSpec sgemm_workload(std::size_t n, int reps) {
+  WorkloadSpec w;
+  w.name = "sgemm";
+  w.metric = PerfMetric::kKernelMedian;
+  w.gpus_per_job = 1;
+  w.iterations = reps;
+  w.warmup_iterations = 2;
+  w.iteration.push_back(KernelStep{make_sgemm_kernel(n), 1, true});
+  w.inter_kernel_gap = 0.004;
+  w.gpu_sensitivity_sigma = 0.0;  // a single BLAS kernel: no framework path
+  return w;
+}
+
+}  // namespace gpuvar

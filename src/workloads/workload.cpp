@@ -1,0 +1,50 @@
+#include "workloads/workload.hpp"
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+
+std::string to_string(PerfMetric m) {
+  switch (m) {
+    case PerfMetric::kKernelMedian:
+      return "median kernel duration";
+    case PerfMetric::kIterationMedian:
+      return "median iteration duration";
+    case PerfMetric::kLongKernelSum:
+      return "total long-kernel duration";
+  }
+  return "unknown";
+}
+
+void WorkloadSpec::validate() const {
+  GPUVAR_REQUIRE_MSG(!name.empty(), "workload needs a name");
+  GPUVAR_REQUIRE_MSG(!iteration.empty(), name + ": empty iteration");
+  GPUVAR_REQUIRE_MSG(gpus_per_job >= 1, name);
+  GPUVAR_REQUIRE_MSG(iterations >= 1, name);
+  GPUVAR_REQUIRE_MSG(warmup_iterations >= 0, name);
+  GPUVAR_REQUIRE_MSG(inter_kernel_gap >= 0.0, name);
+  GPUVAR_REQUIRE_MSG(allreduce_seconds >= 0.0, name);
+  GPUVAR_REQUIRE_MSG(gpu_sensitivity_sigma >= 0.0, name);
+  GPUVAR_REQUIRE_MSG(power_jitter_sigma >= 0.0, name);
+  bool any_long = false;
+  for (const auto& step : iteration) {
+    GPUVAR_REQUIRE_MSG(step.count >= 1, name);
+    step.kernel.validate();
+    any_long = any_long || step.long_kernel;
+  }
+  GPUVAR_REQUIRE_MSG(any_long, name + ": no metric-bearing kernel");
+}
+
+double WorkloadSpec::iteration_flops() const {
+  double f = 0.0;
+  for (const auto& s : iteration) f += s.kernel.flops * s.count;
+  return f;
+}
+
+double WorkloadSpec::iteration_bytes() const {
+  double b = 0.0;
+  for (const auto& s : iteration) b += s.kernel.bytes * s.count;
+  return b;
+}
+
+}  // namespace gpuvar

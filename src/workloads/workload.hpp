@@ -1,0 +1,81 @@
+// Workload descriptions (Table II).
+//
+// A workload is a per-iteration kernel sequence plus a performance-metric
+// definition. The paper's metric differs per application (§V):
+//   SGEMM            — median kernel duration over 100 repetitions
+//   ResNet-50 / BERT — median iteration duration (kernels too short/many)
+//   LAMMPS           — sum of the long kernels' durations (98% of runtime)
+//   PageRank         — median kernel duration
+//
+// `gpu_sensitivity_sigma` models the per-GPU persistent spread of the
+// non-SM-frequency path (memory subsystem, host preprocessing, NCCL/
+// framework efficiency). Pure single-kernel workloads like SGEMM have
+// essentially none; full training frameworks have the most — which is why
+// the paper finds variability to be application-specific (Takeaway 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
+
+namespace gpuvar {
+
+enum class PerfMetric {
+  kKernelMedian,    ///< median duration of long kernels (ms)
+  kIterationMedian, ///< median iteration duration (ms)
+  kLongKernelSum,   ///< total duration of long kernels over the run (ms)
+};
+
+std::string to_string(PerfMetric m);
+
+struct KernelStep {
+  KernelSpec kernel;
+  int count = 1;           ///< consecutive launches of this kernel
+  bool long_kernel = true; ///< participates in the performance metric
+};
+
+struct WorkloadSpec {
+  std::string name;
+  PerfMetric metric = PerfMetric::kKernelMedian;
+  int gpus_per_job = 1;
+  int iterations = 100;
+  int warmup_iterations = 2;
+  std::vector<KernelStep> iteration;
+  Seconds inter_kernel_gap = 0.002;  ///< launch overhead between kernels
+  /// Bulk-synchronous gradient exchange per iteration (multi-GPU only).
+  Seconds allreduce_seconds = 0.0;
+  /// σ of the per-GPU persistent lognormal factor on the memory path.
+  double gpu_sensitivity_sigma = 0.0;
+  /// σ of the per-GPU persistent lognormal factor on power activity
+  /// (algorithm-selection spread: different cuDNN/framework code paths
+  /// draw very different power for the same math).
+  double power_jitter_sigma = 0.0;
+
+  void validate() const;
+
+  /// Total FLOPs / bytes of one iteration (for reporting).
+  double iteration_flops() const;
+  double iteration_bytes() const;
+};
+
+/// SGEMM (§IV): `reps` repetitions of one n×n×n matrix-multiply kernel.
+/// n defaults to the paper's 25536 (NVIDIA) — pass 24576 for MI60 runs.
+WorkloadSpec sgemm_workload(std::size_t n = 25536, int reps = 100);
+
+/// ResNet-50 training (§V-A), 4-GPU data-parallel, batch 64.
+WorkloadSpec resnet50_multi_workload(int iterations = 500);
+/// ResNet-50 single-GPU variant, batch 16 (§V-A, Fig. 16).
+WorkloadSpec resnet50_single_workload(int iterations = 500);
+
+/// BERT-Large pre-training (§V-B), 4-GPU, batch 64, 250 iterations.
+WorkloadSpec bert_workload(int iterations = 250);
+
+/// LAMMPS REAXC, input (8,16,16) (§V-C): memory-bound long kernels.
+WorkloadSpec lammps_workload(int timesteps = 10);
+
+/// PageRank over a rajat30-like circuit graph (§V-D): latency-bound SpMV.
+WorkloadSpec pagerank_workload(int sweeps = 50);
+
+}  // namespace gpuvar

@@ -1,0 +1,65 @@
+#include "cluster/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpuvar {
+namespace {
+
+TEST(Allocator, AllNodesCoversCluster) {
+  Cluster c(vortex_spec());
+  ExclusiveAllocator alloc(c);
+  const auto nodes = alloc.all_nodes();
+  EXPECT_EQ(nodes.size(), 54u);
+  std::size_t gpus = 0;
+  for (const auto& n : nodes) gpus += n.gpu_indices.size();
+  EXPECT_EQ(gpus, c.size());
+}
+
+TEST(Allocator, SampleNodesIsDeterministicAndDistinct) {
+  Cluster c(vortex_spec());
+  ExclusiveAllocator alloc(c);
+  const auto a = alloc.sample_nodes(20);
+  const auto b = alloc.sample_nodes(20);
+  ASSERT_EQ(a.size(), 20u);
+  std::set<int> seen;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    seen.insert(a[i].node);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Allocator, SampleMoreThanAvailableReturnsAll) {
+  Cluster c(cloudlab_spec());
+  ExclusiveAllocator alloc(c);
+  EXPECT_EQ(alloc.sample_nodes(100).size(), 3u);
+}
+
+TEST(Allocator, CoverageFraction) {
+  Cluster c(longhorn_spec());
+  ExclusiveAllocator alloc(c);
+  // The paper measures >90% of GPUs.
+  EXPECT_EQ(alloc.sample_coverage(0.9).size(), 94u);  // ceil(0.9 * 104)
+  EXPECT_EQ(alloc.sample_coverage(1.0).size(), 104u);
+  EXPECT_GE(alloc.sample_coverage(0.001).size(), 1u);
+}
+
+TEST(Allocator, CoverageRejectsBadFractions) {
+  Cluster c(cloudlab_spec());
+  ExclusiveAllocator alloc(c);
+  EXPECT_THROW(alloc.sample_coverage(0.0), std::invalid_argument);
+  EXPECT_THROW(alloc.sample_coverage(1.5), std::invalid_argument);
+}
+
+TEST(Allocator, AllocationsExposeNodeGpus) {
+  Cluster c(cloudlab_spec());
+  ExclusiveAllocator alloc(c);
+  for (const auto& n : alloc.all_nodes()) {
+    EXPECT_EQ(n.gpu_indices, c.node_gpus(n.node));
+  }
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,89 @@
+#include "stats/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpuvar::stats {
+namespace {
+
+TEST(BoxChart, RendersOneRowPerSeries) {
+  std::vector<NamedSeries> series{
+      {"alpha", {1.0, 2.0, 3.0, 4.0, 5.0}},
+      {"beta", {2.0, 3.0, 4.0}},
+  };
+  const auto s = render_box_chart(series);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find('M'), std::string::npos);   // median marker
+  EXPECT_NE(s.find("var="), std::string::npos);
+}
+
+TEST(BoxChart, MarksOutliers) {
+  std::vector<NamedSeries> series{
+      {"x", {1.0, 2.0, 3.0, 4.0, 5.0, 50.0}},
+  };
+  const auto s = render_box_chart(series);
+  EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+TEST(BoxChart, RejectsEmptySeriesList) {
+  std::vector<NamedSeries> series;
+  EXPECT_THROW(render_box_chart(series), std::invalid_argument);
+}
+
+TEST(BoxChart, RejectsEmptySeries) {
+  std::vector<NamedSeries> series{{"x", {}}};
+  EXPECT_THROW(render_box_chart(series), std::invalid_argument);
+}
+
+TEST(BoxChart, ConstantSeriesRenders) {
+  std::vector<NamedSeries> series{{"flat", {5.0, 5.0, 5.0}}};
+  const auto s = render_box_chart(series);
+  EXPECT_NE(s.find("flat"), std::string::npos);
+}
+
+TEST(Scatter, IncludesRhoInTitle) {
+  std::vector<double> xs{1, 2, 3, 4, 5}, ys{2, 4, 6, 8, 10};
+  ScatterOptions opts;
+  opts.x_label = "x";
+  opts.y_label = "y";
+  const auto s = render_scatter(xs, ys, opts);
+  EXPECT_NE(s.find("rho = +1.00"), std::string::npos);
+  EXPECT_NE(s.find("strong"), std::string::npos);
+}
+
+TEST(Scatter, DensityGlyphs) {
+  std::vector<double> xs(100, 1.0), ys(100, 1.0);
+  xs.push_back(2.0);
+  ys.push_back(2.0);
+  const auto s = render_scatter(xs, ys);
+  EXPECT_NE(s.find('#'), std::string::npos);  // dense cell
+  EXPECT_NE(s.find('.'), std::string::npos);  // single point
+}
+
+TEST(Scatter, RejectsMismatch) {
+  std::vector<double> xs{1, 2}, ys{1};
+  EXPECT_THROW(render_scatter(xs, ys), std::invalid_argument);
+}
+
+TEST(LineChart, RendersSeries) {
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 100; ++i) {
+    ts.push_back(i * 0.1);
+    ys.push_back(1300.0 + i);
+  }
+  LineChartOptions opts;
+  opts.y_label = "MHz";
+  const auto s = render_line_chart(ts, ys, opts);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("MHz"), std::string::npos);
+}
+
+TEST(LineChart, ConstantSeriesRenders) {
+  std::vector<double> ts{0.0, 1.0, 2.0}, ys{5.0, 5.0, 5.0};
+  EXPECT_FALSE(render_line_chart(ts, ys).empty());
+}
+
+}  // namespace
+}  // namespace gpuvar::stats

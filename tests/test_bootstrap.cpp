@@ -1,0 +1,92 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar::stats {
+namespace {
+
+std::vector<double> normal_sample(int n, double mean, double sd,
+                                  std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal(mean, sd));
+  return xs;
+}
+
+TEST(Bootstrap, PointEstimateIsStatisticOfSample) {
+  const auto xs = normal_sample(200, 100.0, 5.0);
+  const auto ci = bootstrap_ci(xs, [](std::span<const double> v) {
+    return mean(v);
+  });
+  EXPECT_DOUBLE_EQ(ci.point, mean(xs));
+}
+
+TEST(Bootstrap, IntervalContainsPointAndTruthUsually) {
+  const auto xs = normal_sample(500, 100.0, 5.0);
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> v) { return mean(v); }, 1000, 0.95);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_TRUE(ci.contains(100.0));  // truth, with overwhelming probability
+  // Mean CI width ~ 2*1.96*sd/sqrt(n) = 0.88.
+  EXPECT_NEAR(ci.width(), 0.88, 0.25);
+}
+
+TEST(Bootstrap, Deterministic) {
+  const auto xs = normal_sample(100, 0.0, 1.0);
+  const auto a = bootstrap_ci(xs, variation_pct_statistic, 200, 0.9, 7);
+  const auto b = bootstrap_ci(xs, variation_pct_statistic, 200, 0.9, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  const auto xs = normal_sample(300, 50.0, 3.0);
+  const auto narrow = bootstrap_ci(
+      xs, [](std::span<const double> v) { return median(v); }, 500, 0.80);
+  const auto wide = bootstrap_ci(
+      xs, [](std::span<const double> v) { return median(v); }, 500, 0.99);
+  EXPECT_GE(wide.width(), narrow.width());
+}
+
+TEST(Bootstrap, MoreDataTighterInterval) {
+  const auto small = normal_sample(50, 100.0, 5.0, 2);
+  const auto large = normal_sample(5000, 100.0, 5.0, 3);
+  auto stat = [](std::span<const double> v) { return mean(v); };
+  EXPECT_GT(bootstrap_ci(small, stat).width(),
+            bootstrap_ci(large, stat).width());
+}
+
+TEST(Bootstrap, VariationStatisticMatchesBoxDefinition) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  // whisker range 8, median 3 -> 266.7%.
+  EXPECT_NEAR(variation_pct_statistic(xs), 8.0 / 3.0 * 100.0, 1e-9);
+}
+
+TEST(Bootstrap, VariationCiCoversTheEstimate) {
+  const auto xs = normal_sample(400, 2500.0, 40.0, 5);
+  const auto ci = bootstrap_ci(xs, variation_pct_statistic, 500, 0.95);
+  // Gaussian variation ~ 5.4 * sd/mean = 8.6%.
+  EXPECT_NEAR(ci.point, 8.6, 1.5);
+  EXPECT_TRUE(ci.contains(ci.point));
+  EXPECT_GT(ci.width(), 0.2);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  const auto xs = normal_sample(10, 0.0, 1.0);
+  auto stat = [](std::span<const double> v) { return mean(v); };
+  EXPECT_THROW(bootstrap_ci(xs, stat, 10), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(xs, stat, 100, 1.5), std::invalid_argument);
+  std::vector<double> tiny{1.0};
+  EXPECT_THROW(bootstrap_ci(tiny, stat), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(xs, Statistic{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::stats

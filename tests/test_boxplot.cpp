@@ -1,0 +1,103 @@
+#include "stats/boxplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpuvar::stats {
+namespace {
+
+TEST(BoxSummary, PaperConventions) {
+  // Q1=2, Q2=3, Q3=4 -> IQR=2, whiskers at -1 and 7, range 8,
+  // variation = 8/3.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto b = box_summary(xs);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.iqr, 2.0);
+  EXPECT_DOUBLE_EQ(b.lo_whisker, -1.0);
+  EXPECT_DOUBLE_EQ(b.hi_whisker, 7.0);
+  EXPECT_DOUBLE_EQ(b.range, 8.0);
+  EXPECT_NEAR(b.variation(), 8.0 / 3.0, 1e-12);
+  EXPECT_TRUE(b.outlier_indices.empty());
+}
+
+TEST(BoxSummary, DetectsOutliers) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 100.0};
+  const auto b = box_summary(xs);
+  ASSERT_EQ(b.outlier_count(), 1u);
+  EXPECT_EQ(b.outlier_indices[0], 5u);
+  EXPECT_TRUE(b.is_outlier_value(100.0));
+  EXPECT_FALSE(b.is_outlier_value(5.0));
+}
+
+TEST(BoxSummary, OutliersExcludedByWithoutOutliers) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0, 100.0, -50.0};
+  const auto b = box_summary(xs);
+  const auto clean = without_outliers(xs, b);
+  EXPECT_EQ(clean.size(), 5u);
+  for (double v : clean) {
+    EXPECT_GE(v, b.lo_whisker);
+    EXPECT_LE(v, b.hi_whisker);
+  }
+}
+
+TEST(BoxSummary, ConstantSampleDegenerates) {
+  const std::vector<double> xs(10, 7.0);
+  const auto b = box_summary(xs);
+  EXPECT_DOUBLE_EQ(b.iqr, 0.0);
+  EXPECT_DOUBLE_EQ(b.range, 0.0);
+  EXPECT_DOUBLE_EQ(b.variation(), 0.0);
+  EXPECT_TRUE(b.outlier_indices.empty());
+}
+
+TEST(BoxSummary, SingleValue) {
+  const std::vector<double> xs{5.0};
+  const auto b = box_summary(xs);
+  EXPECT_EQ(b.count, 1u);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+}
+
+TEST(BoxSummary, VariationUndefinedForZeroMedian) {
+  const std::vector<double> xs{-1.0, 0.0, 1.0};
+  const auto b = box_summary(xs);
+  EXPECT_THROW(b.variation(), std::invalid_argument);
+}
+
+TEST(BoxSummary, MinMaxTracked) {
+  const std::vector<double> xs{10.0, -3.0, 6.0};
+  const auto b = box_summary(xs);
+  EXPECT_DOUBLE_EQ(b.min, -3.0);
+  EXPECT_DOUBLE_EQ(b.max, 10.0);
+}
+
+TEST(BoxSummary, GaussianOutlierFractionIsSmall) {
+  // The 1.5 IQR fence captures ~99.3% of a Gaussian (§III).
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.normal());
+  const auto b = box_summary(xs);
+  const double frac =
+      static_cast<double>(b.outlier_count()) / static_cast<double>(xs.size());
+  EXPECT_NEAR(frac, 0.007, 0.004);
+}
+
+TEST(BoxSummary, VariationOfGaussianNearTheory) {
+  // range = 4·1.349σ... whisker range is Q3-Q1 + 3·IQR = 4·IQR = 5.4σ.
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.normal(100.0, 1.0));
+  const auto b = box_summary(xs);
+  EXPECT_NEAR(b.variation(), 4.0 * 1.349 / 100.0, 0.004);
+}
+
+TEST(BoxSummary, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(box_summary(xs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::stats

@@ -1,0 +1,69 @@
+#include "core/classify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar {
+namespace {
+
+ProfilerCounters counters(double fu, double dram, double mem_stall,
+                          double exec_stall = 0.1) {
+  ProfilerCounters c;
+  c.fu_util = fu;
+  c.dram_util = dram;
+  c.mem_stall_frac = mem_stall;
+  c.exec_stall_frac = exec_stall;
+  return c;
+}
+
+TEST(Classify, SgemmProfileIsComputeBound) {
+  EXPECT_EQ(classify_application(counters(10.0, 2.0, 0.03, 0.36)),
+            AppClass::kComputeBound);
+}
+
+TEST(Classify, LammpsProfileIsBandwidthBound) {
+  EXPECT_EQ(classify_application(counters(1.4, 9.2, 0.07)),
+            AppClass::kMemoryBandwidthBound);
+}
+
+TEST(Classify, PagerankProfileIsLatencyBound) {
+  EXPECT_EQ(classify_application(counters(0.6, 2.2, 0.61)),
+            AppClass::kMemoryLatencyBound);
+}
+
+TEST(Classify, ResnetProfileIsBalanced) {
+  EXPECT_EQ(classify_application(counters(5.4, 0.3, 0.1)),
+            AppClass::kBalanced);
+}
+
+TEST(Classify, LatencyDominatesOtherSignals) {
+  // Huge stalls win even with high FU util (precedence order).
+  EXPECT_EQ(classify_application(counters(9.0, 1.0, 0.7)),
+            AppClass::kMemoryLatencyBound);
+}
+
+TEST(Classify, PlacementAdviceComputeBound) {
+  const auto advice = advise_placement(counters(10.0, 2.0, 0.03));
+  EXPECT_EQ(advice.app_class, AppClass::kComputeBound);
+  EXPECT_FALSE(advice.tolerates_variable_nodes);
+  EXPECT_NEAR(advice.frequency_sensitivity_pct, 1.0, 1e-9);
+  EXPECT_FALSE(advice.note.empty());
+}
+
+TEST(Classify, PlacementAdviceMemoryBoundToleratesVariation) {
+  // Takeaway 8: memory-bound workloads can use worse-performing nodes.
+  for (const auto& c :
+       {counters(1.4, 9.2, 0.07), counters(0.6, 2.2, 0.61)}) {
+    const auto advice = advise_placement(c);
+    EXPECT_TRUE(advice.tolerates_variable_nodes);
+    EXPECT_LT(advice.frequency_sensitivity_pct, 0.3);
+  }
+}
+
+TEST(Classify, Names) {
+  EXPECT_EQ(to_string(AppClass::kComputeBound), "compute-bound");
+  EXPECT_EQ(to_string(AppClass::kMemoryLatencyBound),
+            "memory-latency-bound");
+}
+
+}  // namespace
+}  // namespace gpuvar

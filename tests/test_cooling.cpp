@@ -1,0 +1,96 @@
+#include "thermal/cooling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace gpuvar {
+namespace {
+
+std::vector<double> sample_coolants(const CoolingSpec& spec, int n_cabinets,
+                                    int gpus_per_cabinet) {
+  std::vector<double> out;
+  for (int c = 0; c < n_cabinets; ++c) {
+    Rng crng(1, "cab:" + std::to_string(c));
+    const double off = sample_cabinet_offset(spec, crng);
+    for (int g = 0; g < gpus_per_cabinet; ++g) {
+      Rng grng(1, "cab:" + std::to_string(c) + "/g:" + std::to_string(g));
+      out.push_back(sample_thermal(spec, off, grng).coolant);
+    }
+  }
+  return out;
+}
+
+TEST(Cooling, AirHasWidestSpread) {
+  const auto air = sample_coolants(air_cooling(), 30, 12);
+  const auto water = sample_coolants(water_cooling(), 30, 12);
+  const auto oil = sample_coolants(mineral_oil_cooling(), 30, 12);
+  const double sd_air = stats::describe(air).stddev;
+  const double sd_water = stats::describe(water).stddev;
+  const double sd_oil = stats::describe(oil).stddev;
+  EXPECT_GT(sd_air, 2.5 * sd_water);
+  EXPECT_GT(sd_water, sd_oil);
+}
+
+TEST(Cooling, OilBathRunsWarmButUniform) {
+  // Frontera: high median temperature, tiny spread (Q3-Q1 ~ 4 C).
+  const auto oil = mineral_oil_cooling();
+  const auto water = water_cooling();
+  EXPECT_GT(oil.coolant_base, water.coolant_base + 15.0);
+  EXPECT_LT(oil.cabinet_sigma, 1.5);
+}
+
+TEST(Cooling, WaterRemovesHeatBest) {
+  EXPECT_LT(water_cooling().r_mean, air_cooling().r_mean);
+  EXPECT_LT(water_cooling().r_mean, mineral_oil_cooling().r_mean);
+}
+
+TEST(Cooling, SampledParamsArePhysical) {
+  for (const auto& spec :
+       {air_cooling(), water_cooling(), mineral_oil_cooling()}) {
+    for (int i = 0; i < 500; ++i) {
+      Rng rng(2, "s:" + std::to_string(i));
+      const auto p = sample_thermal(spec, 0.0, rng);
+      EXPECT_GT(p.r_c_per_w, 0.0);
+      EXPECT_GT(p.c_j_per_c, 0.0);
+      EXPECT_GE(p.coolant, 10.0);
+    }
+  }
+}
+
+TEST(Cooling, AirCabinetOffsetsSkewWarm) {
+  // Hot aisles: the warm tail is longer than the cold tail.
+  const auto spec = air_cooling();
+  double warm_sum = 0.0, cold_sum = 0.0;
+  int warm = 0, cold = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Rng rng(3, "c:" + std::to_string(i));
+    const double off = sample_cabinet_offset(spec, rng);
+    if (off > 0) {
+      warm_sum += off;
+      ++warm;
+    } else {
+      cold_sum -= off;
+      ++cold;
+    }
+  }
+  EXPECT_GT(warm_sum / warm, 1.3 * (cold_sum / cold));
+}
+
+TEST(Cooling, ZeroSigmaMeansNoCabinetSpread) {
+  auto spec = water_cooling();
+  spec.cabinet_sigma = 0.0;
+  Rng rng(4, "x");
+  EXPECT_DOUBLE_EQ(sample_cabinet_offset(spec, rng), 0.0);
+}
+
+TEST(Cooling, TypeNames) {
+  EXPECT_EQ(to_string(CoolingType::kAir), "air");
+  EXPECT_EQ(to_string(CoolingType::kWater), "water");
+  EXPECT_EQ(to_string(CoolingType::kMineralOil), "mineral oil");
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,100 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpuvar::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(ys, xs), 0.0);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  Rng rng(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Pearson, InvariantToAffineTransform) {
+  Rng rng(2);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    xs.push_back(x);
+    ys.push_back(x + 0.5 * rng.normal());
+  }
+  const double base = pearson(xs, ys);
+  std::vector<double> xs2;
+  for (double x : xs) xs2.push_back(3.0 * x - 17.0);
+  EXPECT_NEAR(pearson(xs2, ys), base, 1e-10);
+}
+
+TEST(Pearson, RejectsMismatchedSizes) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Pearson, RejectsTooFewPoints) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(pearson(xs, xs), std::invalid_argument);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(i * i * i);  // monotone but nonlinear
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 2.0, 3.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, RobustToOneOutlier) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(i);
+  }
+  ys.back() = 1e9;  // massive outlier barely moves the rank correlation
+  EXPECT_GT(spearman(xs, ys), 0.99);
+}
+
+TEST(CorrelationStrength, Labels) {
+  EXPECT_EQ(correlation_strength(-0.97), "strong");
+  EXPECT_EQ(correlation_strength(0.76), "moderate");
+  EXPECT_EQ(correlation_strength(0.46), "weak");
+  EXPECT_EQ(correlation_strength(-0.09), "uncorrelated");
+}
+
+}  // namespace
+}  // namespace gpuvar::stats

@@ -1,0 +1,92 @@
+#include "telemetry/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+namespace {
+
+KernelSpec kernel_with(double fu, double dram, double mem_stall) {
+  KernelSpec k;
+  k.name = "k";
+  k.flops = 1.0;
+  k.fu_util = fu;
+  k.dram_util = dram;
+  k.mem_stall_frac = mem_stall;
+  return k;
+}
+
+TEST(Counters, EmptyAggregateIsZero) {
+  CounterAccumulator acc;
+  const auto c = acc.aggregate();
+  EXPECT_DOUBLE_EQ(c.fu_util, 0.0);
+  EXPECT_DOUBLE_EQ(c.dram_util, 0.0);
+}
+
+TEST(Counters, SingleKernelPassesThrough) {
+  CounterAccumulator acc;
+  acc.add(kernel_with(10.0, 2.0, 0.03), 1.5);
+  const auto c = acc.aggregate();
+  EXPECT_DOUBLE_EQ(c.fu_util, 10.0);
+  EXPECT_DOUBLE_EQ(c.dram_util, 2.0);
+  EXPECT_DOUBLE_EQ(c.mem_stall_frac, 0.03);
+  EXPECT_DOUBLE_EQ(acc.total_time(), 1.5);
+}
+
+TEST(Counters, TimeWeightedAverage) {
+  CounterAccumulator acc;
+  acc.add(kernel_with(10.0, 0.0, 0.0), 3.0);
+  acc.add(kernel_with(0.0, 10.0, 1.0), 1.0);
+  const auto c = acc.aggregate();
+  EXPECT_NEAR(c.fu_util, 7.5, 1e-12);
+  EXPECT_NEAR(c.dram_util, 2.5, 1e-12);
+  EXPECT_NEAR(c.mem_stall_frac, 0.25, 1e-12);
+}
+
+TEST(Counters, ZeroDurationAddsNothing) {
+  CounterAccumulator acc;
+  acc.add(kernel_with(10.0, 10.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(acc.aggregate().fu_util, 0.0);
+}
+
+TEST(Counters, NegativeDurationThrows) {
+  CounterAccumulator acc;
+  EXPECT_THROW(acc.add(kernel_with(1.0, 1.0, 0.0), -1.0),
+               std::invalid_argument);
+}
+
+TEST(Counters, PaperCalibrationRatios) {
+  // The paper's cross-workload profiling facts, which classify apps:
+  //   * SGEMM FU util = 10, ResNet ~5.4
+  //   * LAMMPS DRAM util ~42x ResNet's
+  //   * LAMMPS DRAM util ~4.24x PageRank's
+  //   * PageRank mem stalls 61% vs 7% (LAMMPS) vs 3% (SGEMM)
+  auto aggregate = [](const WorkloadSpec& w) {
+    CounterAccumulator acc;
+    for (const auto& step : w.iteration) {
+      // weight by nominal V100 duration share; flops/bytes serve as proxy
+      const double t =
+          std::max(step.kernel.flops / 1e13, step.kernel.bytes / 7e11);
+      acc.add(step.kernel, t * step.count);
+    }
+    return acc.aggregate();
+  };
+  const auto sgemm = aggregate(sgemm_workload(25536, 1));
+  const auto resnet = aggregate(resnet50_multi_workload(1));
+  const auto lammps = aggregate(lammps_workload(1));
+  const auto pagerank = aggregate(pagerank_workload(1));
+
+  EXPECT_DOUBLE_EQ(sgemm.fu_util, 10.0);
+  EXPECT_NEAR(resnet.fu_util, 5.4, 1.2);
+  EXPECT_GT(lammps.dram_util / resnet.dram_util, 20.0);
+  EXPECT_NEAR(lammps.dram_util / pagerank.dram_util, 4.24, 1.0);
+  EXPECT_NEAR(pagerank.mem_stall_frac, 0.61, 0.02);
+  EXPECT_NEAR(lammps.mem_stall_frac, 0.07, 0.02);
+  EXPECT_NEAR(sgemm.mem_stall_frac, 0.03, 0.01);
+  // PageRank execution-dependency stalls ~12x less than SGEMM's.
+  EXPECT_GT(sgemm.exec_stall_frac / pagerank.exec_stall_frac, 8.0);
+}
+
+}  // namespace
+}  // namespace gpuvar

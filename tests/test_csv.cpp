@@ -1,0 +1,84 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpuvar {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithComma) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "y"});
+  csv.add(1.5).add("foo");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "x,y\n1.5,foo\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, EnforcesRowWidthAgainstHeader) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b", "c"});
+  csv.add(1).add(2);
+  EXPECT_THROW(csv.end_row(), std::invalid_argument);
+}
+
+TEST(CsvWriter, RejectsSecondHeader) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"b"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, WorksWithoutHeader) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"p", "q"});
+  csv.row({"r"});  // width unchecked without a header
+  EXPECT_EQ(out.str(), "p,q\nr\n");
+}
+
+TEST(CsvWriter, FormatsIntegers) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.add(42).add(static_cast<long long>(-7)).add(std::size_t{9});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "42,-7,9\n");
+}
+
+TEST(CsvWriter, FormatsNonFiniteDoubles) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.add(std::numeric_limits<double>::quiet_NaN())
+      .add(std::numeric_limits<double>::infinity());
+  csv.end_row();
+  EXPECT_EQ(out.str(), "nan,inf\n");
+}
+
+TEST(CsvWriter, EndRowWithoutFieldsThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.end_row(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,95 @@
+#include "common/csv_reader.hpp"
+
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpuvar {
+namespace {
+
+TEST(ParseCsvLine, SplitsPlainFields) {
+  const auto f = parse_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(ParseCsvLine, HandlesEmptyFields) {
+  const auto f = parse_csv_line("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(ParseCsvLine, QuotedCommasAndQuotes) {
+  const auto f = parse_csv_line("\"a,b\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"abc"), std::invalid_argument);
+}
+
+TEST(CsvReader, ReadsHeaderAndRows) {
+  std::istringstream in("x,y\n1,foo\n2,bar\n");
+  CsvReader csv(in);
+  EXPECT_EQ(csv.columns(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(csv.rows(), 2u);
+  EXPECT_EQ(csv.field(0, "y"), "foo");
+  EXPECT_DOUBLE_EQ(csv.number(1, "x"), 2.0);
+  EXPECT_EQ(csv.integer(1, "x"), 2);
+}
+
+TEST(CsvReader, ToleratesCrlfAndTrailingBlankLines) {
+  std::istringstream in("a,b\r\n1,2\r\n\n");
+  CsvReader csv(in);
+  EXPECT_EQ(csv.rows(), 1u);
+  EXPECT_EQ(csv.field(0, "b"), "2");
+}
+
+TEST(CsvReader, QuotedFieldSpanningLines) {
+  std::istringstream in("a,b\n\"multi\nline\",2\n");
+  CsvReader csv(in);
+  EXPECT_EQ(csv.rows(), 1u);
+  EXPECT_EQ(csv.field(0, "a"), "multi\nline");
+}
+
+TEST(CsvReader, RejectsWidthMismatch) {
+  std::istringstream in("a,b\n1,2,3\n");
+  EXPECT_THROW(CsvReader reader(in), std::invalid_argument);
+}
+
+TEST(CsvReader, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_THROW(CsvReader reader(in), std::invalid_argument);
+}
+
+TEST(CsvReader, UnknownColumnAndBadNumbersThrow) {
+  std::istringstream in("a\nnope\n");
+  CsvReader csv(in);
+  EXPECT_THROW(csv.field(0, "b"), std::invalid_argument);
+  EXPECT_THROW(csv.number(0, "a"), std::invalid_argument);
+  EXPECT_THROW(csv.integer(0, "a"), std::invalid_argument);
+  EXPECT_THROW(csv.field(1, "a"), std::invalid_argument);
+  EXPECT_TRUE(csv.has_column("a"));
+  EXPECT_FALSE(csv.has_column("b"));
+}
+
+TEST(CsvReader, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"name", "value"});
+  writer.add("weird,\"name\"").add(3.25);
+  writer.end_row();
+  std::istringstream in(out.str());
+  CsvReader csv(in);
+  EXPECT_EQ(csv.field(0, "name"), "weird,\"name\"");
+  EXPECT_DOUBLE_EQ(csv.number(0, "value"), 3.25);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,197 @@
+#include "gpu/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  SimulatedGpu make_device(const SimOptions& opts = {}) {
+    return SimulatedGpu(sku_, chip_, thermal_, opts);
+  }
+
+  GpuSku sku_ = make_v100_sxm2();
+  SiliconSample chip_;
+  ThermalParams thermal_{0.10, 80.0, 28.0};
+};
+
+TEST_F(DeviceTest, GemmThrottlesBelowBoost) {
+  auto dev = make_device();
+  const auto k = make_sgemm_kernel(25536);
+  const auto r = dev.run_kernel(k, nullptr);
+  // A typical chip settles well below 1530 MHz under the 300 W cap.
+  EXPECT_LT(dev.frequency(), sku_.max_mhz - 50.0);
+  EXPECT_GT(dev.frequency(), 1250.0);
+  EXPECT_GT(r.duration, 2.0);
+  EXPECT_LT(r.duration, 3.2);
+}
+
+TEST_F(DeviceTest, SteadyPowerStaysNearCap) {
+  auto dev = make_device();
+  const auto k = make_sgemm_kernel(25536);
+  Sampler sampler;
+  // Warm up to steady state, then measure.
+  dev.run_kernel(k, nullptr);
+  dev.run_kernel(k, &sampler);
+  const auto s = sampler.summary();
+  EXPECT_LE(s.power.median, sku_.tdp + 1.0);
+  EXPECT_GE(s.power.median, sku_.tdp - 15.0);
+}
+
+TEST_F(DeviceTest, MemoryBoundKernelPinsAtBoost) {
+  auto dev = make_device();
+  KernelSpec k;
+  k.name = "stream";
+  k.bytes = 5e10;
+  k.flops = 1e9;
+  k.activity = 0.5;
+  k.validate();
+  dev.run_kernel(k, nullptr);
+  EXPECT_DOUBLE_EQ(dev.frequency(), sku_.max_mhz);
+}
+
+TEST_F(DeviceTest, WorkScaleStretchesDuration) {
+  auto a = make_device();
+  auto b = make_device();
+  const auto k = make_sgemm_kernel(8192);
+  const auto ra = a.run_kernel(k, nullptr, 1.0);
+  const auto rb = b.run_kernel(k, nullptr, 1.3);
+  EXPECT_NEAR(rb.duration / ra.duration, 1.3, 0.1);
+}
+
+TEST_F(DeviceTest, StallScaleStretchesAndDimsPower) {
+  KernelSpec k;
+  k.name = "framework";
+  k.flops = 5e11;
+  k.activity = 0.6;
+  k.validate();
+  auto a = make_device();
+  auto b = make_device();
+  const auto ra = a.run_kernel(k, nullptr, 1.0, 1.0);
+  const auto rb = b.run_kernel(k, nullptr, 1.0, 1.5);
+  EXPECT_NEAR(rb.duration / ra.duration, 1.5, 0.05);
+  EXPECT_LT(rb.mean_power, ra.mean_power);
+}
+
+TEST_F(DeviceTest, ActivityScaleChangesPowerNotDuration) {
+  KernelSpec k;
+  k.name = "conv";
+  k.flops = 5e11;
+  k.activity = 0.5;
+  k.validate();
+  auto a = make_device();
+  auto b = make_device();
+  const auto ra = a.run_kernel(k, nullptr, 1.0, 1.0, 1.0);
+  const auto rb = b.run_kernel(k, nullptr, 1.0, 1.0, 1.3);
+  EXPECT_NEAR(rb.duration, ra.duration, 1e-6);
+  EXPECT_GT(rb.mean_power, ra.mean_power * 1.1);
+}
+
+TEST_F(DeviceTest, PowerCapLowersSettledFrequencyAndPower) {
+  auto capped = make_device();
+  capped.set_power_limit(250.0);
+  auto normal = make_device();
+  const auto k = make_sgemm_kernel(25536);
+  capped.run_kernel(k, nullptr);  // boost->capped transient
+  normal.run_kernel(k, nullptr);
+  const auto rc = capped.run_kernel(k, nullptr);
+  const auto rn = normal.run_kernel(k, nullptr);
+  EXPECT_LT(capped.frequency(), normal.frequency());
+  EXPECT_GT(rc.duration, rn.duration);
+  EXPECT_LT(rc.mean_power, 255.0);
+}
+
+TEST_F(DeviceTest, EnergyEqualsMeanPowerTimesDuration) {
+  auto dev = make_device();
+  const auto k = make_sgemm_kernel(8192);
+  const auto r = dev.run_kernel(k, nullptr);
+  EXPECT_NEAR(r.energy, r.mean_power * r.duration, 1e-6 * r.energy);
+}
+
+TEST_F(DeviceTest, FastForwardMatchesFullSimulation) {
+  SimOptions full;
+  full.fast_forward = false;
+  SimOptions ff;
+  ff.fast_forward = true;
+  auto dev_full = make_device(full);
+  auto dev_ff = make_device(ff);
+  const auto k = make_sgemm_kernel(25536);
+  const auto rf = dev_full.run_kernel(k, nullptr);
+  const auto rq = dev_ff.run_kernel(k, nullptr);
+  // Runtime/energy within 1%; the fast path must not distort physics.
+  EXPECT_NEAR(rq.duration, rf.duration, 0.01 * rf.duration);
+  EXPECT_NEAR(rq.energy, rf.energy, 0.015 * rf.energy);
+  EXPECT_NEAR(dev_ff.frequency(), dev_full.frequency(),
+              2 * sku_.ladder_step_mhz);
+}
+
+TEST_F(DeviceTest, FastForwardEngagesForSteadyKernels) {
+  // Small thermal mass so the temperature fixed point is reached within a
+  // couple of kernels; the third repetition must take the fast path.
+  SimulatedGpu dev(sku_, chip_, ThermalParams{0.10, 8.0, 28.0});
+  const auto k = make_sgemm_kernel(25536);
+  dev.run_kernel(k, nullptr);
+  dev.run_kernel(k, nullptr);
+  const auto r = dev.run_kernel(k, nullptr);
+  EXPECT_TRUE(r.fast_forwarded);
+}
+
+TEST_F(DeviceTest, IdleCoolsTheChip) {
+  auto dev = make_device();
+  dev.run_kernel(make_sgemm_kernel(25536), nullptr);
+  const double hot = dev.temperature();
+  dev.idle_for(60.0, nullptr);
+  EXPECT_LT(dev.temperature(), hot - 5.0);
+}
+
+TEST_F(DeviceTest, IdleLetsDvfsClimbBack) {
+  auto dev = make_device();
+  dev.run_kernel(make_sgemm_kernel(25536), nullptr);
+  EXPECT_LT(dev.frequency(), sku_.max_mhz);
+  dev.idle_for(5.0, nullptr);
+  EXPECT_DOUBLE_EQ(dev.frequency(), sku_.max_mhz);
+}
+
+TEST_F(DeviceTest, ResetRestoresColdState) {
+  auto dev = make_device();
+  dev.run_kernel(make_sgemm_kernel(25536), nullptr);
+  dev.reset();
+  EXPECT_DOUBLE_EQ(dev.clock(), 0.0);
+  EXPECT_DOUBLE_EQ(dev.frequency(), sku_.max_mhz);
+  EXPECT_LT(dev.temperature(), 45.0);
+}
+
+TEST_F(DeviceTest, ClockAdvancesAcrossKernels) {
+  auto dev = make_device();
+  const auto k = make_sgemm_kernel(8192);
+  const auto r1 = dev.run_kernel(k, nullptr);
+  const auto r2 = dev.run_kernel(k, nullptr);
+  EXPECT_DOUBLE_EQ(r2.start, r1.start + r1.duration);
+  EXPECT_DOUBLE_EQ(dev.clock(), r2.start + r2.duration);
+}
+
+TEST_F(DeviceTest, HotterCoolingMeansLowerSettledFrequency) {
+  // Leakage rises with temperature; the DVFS equilibrium drops.
+  ThermalParams hot_loop{0.17, 80.0, 45.0};
+  SimulatedGpu hot(sku_, chip_, hot_loop);
+  SimulatedGpu cool(sku_, chip_, ThermalParams{0.07, 80.0, 22.0});
+  const auto k = make_sgemm_kernel(25536);
+  // Two kernels back to back so temperatures approach equilibrium.
+  hot.run_kernel(k, nullptr);
+  hot.run_kernel(k, nullptr);
+  cool.run_kernel(k, nullptr);
+  cool.run_kernel(k, nullptr);
+  EXPECT_LT(hot.frequency(), cool.frequency());
+}
+
+TEST_F(DeviceTest, RejectsBadScales) {
+  auto dev = make_device();
+  const auto k = make_sgemm_kernel(8192);
+  EXPECT_THROW(dev.run_kernel(k, nullptr, 0.0), std::invalid_argument);
+  EXPECT_THROW(dev.run_kernel(k, nullptr, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(dev.idle_for(-1.0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar

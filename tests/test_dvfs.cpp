@@ -1,0 +1,135 @@
+#include "gpu/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar {
+namespace {
+
+class DvfsTest : public ::testing::Test {
+ protected:
+  GpuSku sku_ = make_v100_sxm2();
+};
+
+TEST_F(DvfsTest, StartsAtBoost) {
+  DvfsController c(sku_);
+  EXPECT_DOUBLE_EQ(c.frequency(), sku_.max_mhz);
+  EXPECT_DOUBLE_EQ(c.power_limit(), sku_.tdp);
+}
+
+TEST_F(DvfsTest, StepsDownWhenOverLimit) {
+  DvfsController c(sku_);
+  const double f0 = c.frequency();
+  EXPECT_TRUE(c.observe(0.0, sku_.tdp + 20.0, 50.0));
+  EXPECT_LT(c.frequency(), f0);
+}
+
+TEST_F(DvfsTest, ActsAtMostOncePerControlPeriod) {
+  DvfsController c(sku_);
+  EXPECT_TRUE(c.observe(0.0, 400.0, 50.0));
+  // Immediately after: inside the same control period, no action.
+  EXPECT_FALSE(c.observe(0.001, 400.0, 50.0));
+  // After the period elapses, it acts again.
+  EXPECT_TRUE(c.observe(sku_.dvfs_control_period + 1e-6, 400.0, 50.0));
+}
+
+TEST_F(DvfsTest, WalksDownOneStepAtATime) {
+  DvfsController c(sku_);
+  double t = 0.0;
+  const double f0 = c.frequency();
+  c.observe(t, 400.0, 50.0);
+  EXPECT_NEAR(f0 - c.frequency(), sku_.ladder_step_mhz, 1e-9);
+}
+
+TEST_F(DvfsTest, NeverLeavesTheLadder) {
+  DvfsController c(sku_);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    c.observe(t, 500.0, 50.0);
+    t += sku_.dvfs_control_period;
+    EXPECT_GE(c.frequency(), sku_.min_mhz);
+  }
+  EXPECT_DOUBLE_EQ(c.frequency(), sku_.min_mhz);  // pinned at the floor
+}
+
+TEST_F(DvfsTest, StepsUpWithHeadroomAfterHold) {
+  DvfsController c(sku_);
+  double t = 0.0;
+  // Drive down a few states.
+  for (int i = 0; i < 5; ++i) {
+    c.observe(t, 400.0, 50.0);
+    t += sku_.dvfs_control_period;
+  }
+  const double f_low = c.frequency();
+  // Give generous headroom; after the hysteresis hold it climbs back.
+  for (int i = 0; i < 20; ++i) {
+    c.observe(t, 100.0, 50.0);
+    t += sku_.dvfs_control_period;
+  }
+  EXPECT_GT(c.frequency(), f_low);
+}
+
+TEST_F(DvfsTest, NoStepUpInsideMargin) {
+  DvfsController c(sku_);
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    c.observe(t, 400.0, 50.0);
+    t += sku_.dvfs_control_period;
+  }
+  const double f = c.frequency();
+  // Power just inside the band [limit - margin, limit]: stay put.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(
+        c.observe(t, sku_.tdp - sku_.dvfs_up_margin / 2.0, 50.0));
+    t += sku_.dvfs_control_period;
+  }
+  EXPECT_DOUBLE_EQ(c.frequency(), f);
+}
+
+TEST_F(DvfsTest, ThermalSlowdownForcesDownsteps) {
+  DvfsController c(sku_);
+  double t = 0.0;
+  // Low power but at the slowdown temperature: still throttles.
+  c.observe(t, 100.0, sku_.slowdown_temp + 1.0);
+  EXPECT_TRUE(c.thermally_throttled());
+  EXPECT_LT(c.frequency(), sku_.max_mhz);
+}
+
+TEST_F(DvfsTest, NoClimbNearSlowdownTemperature) {
+  DvfsController c(sku_);
+  double t = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    c.observe(t, 400.0, 50.0);
+    t += sku_.dvfs_control_period;
+  }
+  const double f = c.frequency();
+  for (int i = 0; i < 50; ++i) {
+    c.observe(t, 100.0, sku_.slowdown_temp - 1.0);
+    t += sku_.dvfs_control_period;
+  }
+  EXPECT_LE(c.frequency(), f + 1e-9);
+}
+
+TEST_F(DvfsTest, CustomPowerLimitRespected) {
+  DvfsController c(sku_, 150.0);
+  EXPECT_DOUBLE_EQ(c.power_limit(), 150.0);
+  EXPECT_TRUE(c.observe(0.0, 160.0, 40.0));
+}
+
+TEST_F(DvfsTest, ResetReturnsToBoost) {
+  DvfsController c(sku_);
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    c.observe(t, 400.0, 50.0);
+    t += sku_.dvfs_control_period;
+  }
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.frequency(), sku_.max_mhz);
+}
+
+TEST_F(DvfsTest, AmdControllerUsesWiderMargin) {
+  const auto mi60 = make_mi60();
+  EXPECT_GT(mi60.dvfs_up_margin, sku_.dvfs_up_margin);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,85 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpuvar {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{cloudlab_spec()};
+};
+
+TEST_F(ExperimentTest, CoversAllGpusWithConfiguredRuns) {
+  auto cfg = default_config(cluster_, sgemm_workload(16384, 3), 2);
+  const auto result = run_experiment(cluster_, cfg);
+  EXPECT_EQ(result.gpus_measured, cluster_.size());
+  EXPECT_EQ(result.nodes_measured, 3u);
+  EXPECT_EQ(result.records.size(), cluster_.size() * 2);
+}
+
+TEST_F(ExperimentTest, RecordsCarryLocationAndMetrics) {
+  auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 1);
+  const auto result = run_experiment(cluster_, cfg);
+  for (const auto& r : result.records) {
+    EXPECT_FALSE(r.loc.name.empty());
+    EXPECT_GT(r.perf_ms, 0.0);
+    EXPECT_GT(r.freq_mhz, 0.0);
+    EXPECT_GT(r.power_w, 0.0);
+    EXPECT_GT(r.temp_c, 0.0);
+  }
+}
+
+TEST_F(ExperimentTest, DeterministicAcrossInvocations) {
+  auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 2);
+  const auto a = run_experiment(cluster_, cfg);
+  const auto b = run_experiment(cluster_, cfg);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  // Records arrive grouped by node; same config -> identical values.
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].gpu_index, b.records[i].gpu_index);
+    EXPECT_DOUBLE_EQ(a.records[i].perf_ms, b.records[i].perf_ms);
+  }
+}
+
+TEST_F(ExperimentTest, NodeCoverageSubsamples) {
+  Cluster longhorn(longhorn_spec());
+  auto cfg = default_config(longhorn, pagerank_workload(3), 1);
+  cfg.node_coverage = 0.25;
+  const auto result = run_experiment(longhorn, cfg);
+  EXPECT_EQ(result.nodes_measured, 26u);
+  EXPECT_EQ(result.records.size(), 26u * 4u);
+}
+
+TEST_F(ExperimentTest, DayTagStampsRecordsAndChangesNoise) {
+  auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 1);
+  cfg.day_of_week = 2;
+  const auto wed = run_experiment(cluster_, cfg);
+  for (const auto& r : wed.records) EXPECT_EQ(r.day_of_week, 2);
+
+  cfg.day_of_week = 3;
+  const auto thu = run_experiment(cluster_, cfg);
+  // Same hardware population, different transient draws.
+  EXPECT_NE(wed.records[0].perf_ms, thu.records[0].perf_ms);
+  EXPECT_NEAR(wed.records[0].perf_ms / thu.records[0].perf_ms, 1.0, 0.05);
+}
+
+TEST_F(ExperimentTest, MultiGpuWorkloadOneJobPerNode) {
+  auto cfg = default_config(cluster_, resnet50_multi_workload(5), 1);
+  const auto result = run_experiment(cluster_, cfg);
+  // 3 nodes x 4 GPUs, one record per GPU.
+  EXPECT_EQ(result.records.size(), 12u);
+  std::set<std::size_t> gpus;
+  for (const auto& r : result.records) gpus.insert(r.gpu_index);
+  EXPECT_EQ(gpus.size(), 12u);
+}
+
+TEST_F(ExperimentTest, RejectsBadConfig) {
+  auto cfg = default_config(cluster_, sgemm_workload(16384, 1), 0);
+  EXPECT_THROW(run_experiment(cluster_, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar

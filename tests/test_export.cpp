@@ -1,0 +1,95 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/runner.hpp"
+
+namespace gpuvar {
+namespace {
+
+TEST(Export, ResultsCsvHasHeaderAndRows) {
+  Cluster c(cloudlab_spec());
+  auto w = sgemm_workload(8192, 2);
+  auto opts = RunOptions::for_sku(c.sku());
+  std::vector<GpuRunResult> results;
+  results.push_back(run_on_gpu(c, 0, w, 0, opts));
+  results.push_back(run_on_gpu(c, 1, w, 0, opts));
+
+  std::ostringstream out;
+  export_results_csv(out, c, results);
+  const std::string text = out.str();
+
+  // Header plus one line per result.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("cluster,gpu,node"), std::string::npos);
+  EXPECT_NE(text.find("cloudlab"), std::string::npos);
+  EXPECT_NE(text.find(c.gpu(0).loc.name), std::string::npos);
+}
+
+TEST(Export, ResultsCsvRoundTripsPerf) {
+  Cluster c(cloudlab_spec());
+  auto w = sgemm_workload(8192, 2);
+  auto opts = RunOptions::for_sku(c.sku());
+  const auto r = run_on_gpu(c, 0, w, 0, opts);
+  std::ostringstream out;
+  export_results_csv(out, c, std::vector<GpuRunResult>{r});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", r.perf_ms);
+  EXPECT_NE(out.str().find(buf), std::string::npos);
+}
+
+TEST(Export, SeriesCsv) {
+  TimeSeries series;
+  series.push(Sample{0.0, 1400.0, 290.0, 60.0});
+  series.push(Sample{0.001, 1395.0, 295.0, 61.0});
+  std::ostringstream out;
+  export_series_csv(out, series);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("t_s,freq_mhz,power_w,temp_c"), std::string::npos);
+  EXPECT_NE(text.find("1400"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Export, ImportRoundTripsExport) {
+  Cluster c(cloudlab_spec());
+  auto w = sgemm_workload(8192, 2);
+  auto opts = RunOptions::for_sku(c.sku());
+  std::vector<GpuRunResult> results;
+  for (std::size_t g = 0; g < 4; ++g) {
+    results.push_back(run_on_gpu(c, g, w, static_cast<int>(g), opts));
+  }
+  std::ostringstream out;
+  export_results_csv(out, c, results);
+  std::istringstream in(out.str());
+  const auto records = import_results_csv(in);
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].loc.name, c.gpu(results[i].gpu_index).loc.name);
+    EXPECT_NEAR(records[i].perf_ms, results[i].perf_ms,
+                1e-8 * results[i].perf_ms);
+    EXPECT_NEAR(records[i].power_w, results[i].telemetry.power.median,
+                1e-6);
+    EXPECT_EQ(records[i].run_index, static_cast<int>(i));
+    EXPECT_NEAR(records[i].counters.fu_util, 10.0, 1e-9);
+  }
+  // Distinct GPUs keep distinct synthesized indices.
+  EXPECT_NE(records[0].gpu_index, records[1].gpu_index);
+}
+
+TEST(Export, ImportRejectsMissingColumns) {
+  std::istringstream in("gpu,node\nfoo,1\n");
+  EXPECT_THROW(import_results_csv(in), std::invalid_argument);
+}
+
+TEST(Export, EmptySeriesJustHeader) {
+  TimeSeries series;
+  std::ostringstream out;
+  export_series_csv(out, series);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,163 @@
+#include "cluster/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.hpp"
+
+namespace gpuvar {
+namespace {
+
+GpuLocation loc_at(int cabinet, int node = 0, int row = -1, int column = -1) {
+  GpuLocation loc;
+  loc.cabinet = cabinet;
+  loc.node = node;
+  loc.row = row;
+  loc.column = column;
+  loc.name = "test";
+  return loc;
+}
+
+TEST(Faults, EmptyPlanLeavesGpuHealthy) {
+  FaultPlan plan;
+  Rng rng(1, "g");
+  const auto applied = apply_faults(plan, loc_at(0), rng);
+  EXPECT_FALSE(applied.any());
+  EXPECT_DOUBLE_EQ(applied.power_cap, 0.0);
+  EXPECT_DOUBLE_EQ(applied.mem_bw_factor, 1.0);
+  EXPECT_DOUBLE_EQ(applied.r_multiplier, 1.0);
+}
+
+TEST(Faults, CabinetScopedRuleOnlyHitsCabinet) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kPowerCap;
+  rule.cabinets = {3};
+  rule.probability = 1.0;
+  rule.cap_mean = 250.0;
+  plan.rules.push_back(rule);
+
+  Rng in_rng(1, "in"), out_rng(1, "out");
+  EXPECT_TRUE(apply_faults(plan, loc_at(3), in_rng).has(FaultKind::kPowerCap));
+  EXPECT_FALSE(apply_faults(plan, loc_at(4), out_rng).any());
+}
+
+TEST(Faults, RowColumnScope) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kPowerCap;
+  rule.row_columns = {{7, 35}};
+  rule.probability = 1.0;
+  plan.rules.push_back(rule);
+  Rng a(1, "a"), b(1, "b");
+  EXPECT_TRUE(apply_faults(plan, loc_at(0, 0, 7, 35), a).any());
+  EXPECT_FALSE(apply_faults(plan, loc_at(0, 0, 7, 34), b).any());
+}
+
+TEST(Faults, NodeScope) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kPumpFailure;
+  rule.nodes = {15};
+  rule.probability = 1.0;
+  rule.cap_mean = 165.0;
+  plan.rules.push_back(rule);
+  Rng a(1, "a"), b(1, "b");
+  const auto hit = apply_faults(plan, loc_at(5, 15), a);
+  EXPECT_TRUE(hit.has(FaultKind::kPumpFailure));
+  EXPECT_NEAR(hit.power_cap, 165.0, 30.0);
+  EXPECT_FALSE(apply_faults(plan, loc_at(5, 16), b).any());
+}
+
+TEST(Faults, ProbabilityRoughlyRespected) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kPowerCap;
+  rule.probability = 0.25;
+  plan.rules.push_back(rule);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Rng rng(9, "g:" + std::to_string(i));
+    if (apply_faults(plan, loc_at(0), rng).any()) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Faults, DegradedBoardSetsCapAndMemory) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kDegradedBoard;
+  rule.probability = 1.0;
+  rule.cap_mean = 252.0;
+  rule.mem_bw_factor = 0.22;
+  plan.rules.push_back(rule);
+  Rng rng(1, "g");
+  const auto applied = apply_faults(plan, loc_at(0), rng);
+  EXPECT_GT(applied.power_cap, 200.0);
+  EXPECT_DOUBLE_EQ(applied.mem_bw_factor, 0.22);
+}
+
+TEST(Faults, CoolingDegradedAdjustsThermals) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kCoolingDegraded;
+  rule.probability = 1.0;
+  rule.r_multiplier = 1.5;
+  rule.inlet_delta = 7.0;
+  plan.rules.push_back(rule);
+  Rng rng(1, "g");
+  const auto applied = apply_faults(plan, loc_at(0), rng);
+  EXPECT_DOUBLE_EQ(applied.r_multiplier, 1.5);
+  EXPECT_DOUBLE_EQ(applied.inlet_delta, 7.0);
+  EXPECT_DOUBLE_EQ(applied.power_cap, 0.0);
+}
+
+TEST(Faults, MultipleCapsTakeMinimum) {
+  FaultPlan plan;
+  FaultRule a;
+  a.kind = FaultKind::kPowerCap;
+  a.probability = 1.0;
+  a.cap_mean = 280.0;
+  a.cap_sigma = 0.0;
+  FaultRule b = a;
+  b.cap_mean = 250.0;
+  plan.rules.push_back(a);
+  plan.rules.push_back(b);
+  Rng rng(1, "g");
+  EXPECT_DOUBLE_EQ(apply_faults(plan, loc_at(0), rng).power_cap, 250.0);
+}
+
+TEST(Faults, OutcomeIndependentOfOtherRulesScopes) {
+  // A GPU's draw for rule 2 must not shift when rule 1's scope excludes it.
+  FaultRule r1;
+  r1.kind = FaultKind::kCoolingDegraded;
+  r1.probability = 0.5;
+  FaultRule r2;
+  r2.kind = FaultKind::kPowerCap;
+  r2.probability = 0.5;
+  r2.cap_sigma = 0.0;
+
+  FaultPlan in_scope;
+  in_scope.rules = {r1, r2};
+  FaultPlan out_of_scope;
+  r1.cabinets = {99};  // same rule, now out of scope for cabinet 0
+  out_of_scope.rules = {r1, r2};
+
+  for (int i = 0; i < 200; ++i) {
+    Rng a(5, "g:" + std::to_string(i)), b(5, "g:" + std::to_string(i));
+    const bool cap_a =
+        apply_faults(in_scope, loc_at(0), a).has(FaultKind::kPowerCap);
+    const bool cap_b =
+        apply_faults(out_of_scope, loc_at(0), b).has(FaultKind::kPowerCap);
+    EXPECT_EQ(cap_a, cap_b) << "draw " << i;
+  }
+}
+
+TEST(Faults, Names) {
+  EXPECT_EQ(to_string(FaultKind::kPowerCap), "power-cap");
+  EXPECT_EQ(to_string(FaultKind::kPumpFailure), "pump-failure");
+  EXPECT_EQ(to_string(FaultKind::kWeakSilicon), "weak-silicon");
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,89 @@
+#include "hostbench/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpuvar::host {
+namespace {
+
+TEST(Graph, CsrFromEdgesBuildsPullLayout) {
+  // Edges u->v stored under row v (incoming).
+  const auto g = csr_from_edges(4, {{0, 1}, {0, 2}, {3, 1}});
+  EXPECT_EQ(g.n, 4u);
+  EXPECT_EQ(g.nnz(), 3u);
+  // Row 1 has incoming from 0 and 3.
+  EXPECT_EQ(g.row_ptr[1], 0u);
+  EXPECT_EQ(g.row_ptr[2], 2u);
+  EXPECT_EQ(g.col_idx[0], 0u);
+  EXPECT_EQ(g.col_idx[1], 3u);
+  EXPECT_EQ(g.out_degree[0], 2u);
+  EXPECT_EQ(g.out_degree[3], 1u);
+  EXPECT_EQ(g.out_degree[1], 0u);
+}
+
+TEST(Graph, DeduplicatesEdges) {
+  const auto g = csr_from_edges(3, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.nnz(), 1u);
+}
+
+TEST(Graph, RejectsOutOfRangeVertices) {
+  EXPECT_THROW(csr_from_edges(2, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(Graph, RandomGraphHasExpectedDensity) {
+  Rng rng(1);
+  const auto g = random_graph(10000, 8.0, rng);
+  g.validate();
+  const double avg =
+      static_cast<double>(g.nnz()) / static_cast<double>(g.n);
+  EXPECT_NEAR(avg, 8.0, 0.5);  // dedup removes a few
+}
+
+TEST(Graph, RandomGraphHasNoSelfLoops) {
+  Rng rng(2);
+  const auto g = random_graph(500, 4.0, rng);
+  for (std::size_t v = 0; v < g.n; ++v) {
+    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+      EXPECT_NE(g.col_idx[e], v);
+    }
+  }
+}
+
+TEST(Graph, CircuitGraphHasBandStructure) {
+  Rng rng(3);
+  const std::size_t band = 3;
+  const auto g = circuit_graph(1000, band, 1.0, rng);
+  g.validate();
+  // Every interior vertex must have its banded neighbours.
+  for (std::size_t v = band; v + band < g.n; v += 97) {
+    std::set<std::uint32_t> in;
+    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+      in.insert(g.col_idx[e]);
+    }
+    for (std::size_t d = 1; d <= band; ++d) {
+      EXPECT_TRUE(in.count(static_cast<std::uint32_t>(v - d)));
+      EXPECT_TRUE(in.count(static_cast<std::uint32_t>(v + d)));
+    }
+  }
+}
+
+TEST(Graph, CircuitGraphScalesLikeRajat30) {
+  // rajat30: 644k vertices, ~6.2M nnz => ~9.6 edges/vertex. Our default
+  // analogue (band 4 + fill 1.5) lands in the same density regime.
+  Rng rng(4);
+  const auto g = circuit_graph(20000, 4, 1.5, rng);
+  const double avg =
+      static_cast<double>(g.nnz()) / static_cast<double>(g.n);
+  EXPECT_GT(avg, 7.0);
+  EXPECT_LT(avg, 11.0);
+}
+
+TEST(Graph, ValidateCatchesCorruption) {
+  auto g = csr_from_edges(3, {{0, 1}, {1, 2}});
+  g.row_ptr[1] = 99;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::host

@@ -1,0 +1,54 @@
+#include "hostbench/host_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace gpuvar::host {
+namespace {
+
+TEST(HostDevice, MeasuresDuration) {
+  const auto r = measure_kernel("sleep", 0.0, 0.0, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  EXPECT_EQ(r.name, "sleep");
+  EXPECT_GE(r.duration, 0.018);
+  EXPECT_LT(r.duration, 0.5);
+}
+
+TEST(HostDevice, ComputesRates) {
+  HostKernelResult r;
+  r.duration = 2.0;
+  r.work_flops = 4e9;
+  r.work_bytes = 8e9;
+  EXPECT_DOUBLE_EQ(r.gflops(), 2.0);
+  EXPECT_DOUBLE_EQ(r.gbytes_per_s(), 4.0);
+}
+
+TEST(HostDevice, ZeroDurationRatesAreZero) {
+  HostKernelResult r;
+  r.work_flops = 1e9;
+  EXPECT_DOUBLE_EQ(r.gflops(), 0.0);
+}
+
+TEST(HostDevice, RepeatedRunsWarmupDiscarded) {
+  std::atomic<int> calls{0};
+  const auto results = measure_repeated("k", 1.0, 1.0, 2, 5, [&] {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 7);       // 2 warmup + 5 measured
+  EXPECT_EQ(results.size(), 5u);    // only measured runs returned
+}
+
+TEST(HostDevice, RejectsBadArguments) {
+  EXPECT_THROW(measure_kernel("x", 0.0, 0.0, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(measure_repeated("x", 0.0, 0.0, -1, 1, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(measure_repeated("x", 0.0, 0.0, 0, 0, [] {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::host

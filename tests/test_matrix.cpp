@@ -1,0 +1,51 @@
+#include "hostbench/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar::host {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FLOAT_EQ(m.at(2, 3), 1.5f);
+  m.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 7.0f);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix m(2, 3);
+  m.at(1, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(m.data()[3], 9.0f);
+}
+
+TEST(Matrix, RejectsEmptyShapes) {
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(Matrix, RandomMatrixInRange) {
+  Rng rng(1);
+  const auto m = random_matrix(10, 10, rng);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(m.data()[i], -1.0f);
+    EXPECT_LT(m.data()[i], 1.0f);
+  }
+}
+
+TEST(Matrix, SameShape) {
+  Matrix a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2, 1.0f), b(2, 2, 1.0f);
+  b.at(1, 1) = 3.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 2.5f);
+  EXPECT_THROW(max_abs_diff(a, Matrix(3, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::host

@@ -1,0 +1,93 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpuvar::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-4);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(FitNormal, RecoversMoments) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const auto fit = fit_normal(xs);
+  EXPECT_NEAR(fit.mean, 10.0, 0.05);
+  EXPECT_NEAR(fit.stddev, 2.0, 0.05);
+}
+
+TEST(ExpectedNormalMax, GrowsWithN) {
+  EXPECT_DOUBLE_EQ(expected_normal_max(1), 0.0);
+  const double m10 = expected_normal_max(10);
+  const double m100 = expected_normal_max(100);
+  const double m27648 = expected_normal_max(27648);
+  EXPECT_LT(m10, m100);
+  EXPECT_LT(m100, m27648);
+  EXPECT_NEAR(m10, 1.54, 0.03);   // Blom approximation for n=10
+  EXPECT_NEAR(m27648, 4.0, 0.15); // extreme of ~27k standard normals
+}
+
+TEST(ExpectedNormalMax, MatchesEmpiricalMaxima) {
+  Rng rng(4);
+  const int trials = 2000, n = 50;
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    double mx = -1e9;
+    for (int i = 0; i < n; ++i) mx = std::max(mx, rng.normal());
+    sum += mx;
+  }
+  EXPECT_NEAR(sum / trials, expected_normal_max(n), 0.03);
+}
+
+TEST(ProjectVariability, LargerClusterShowsMoreVariability) {
+  // The paper's Longhorn->Summit projection: more GPUs, wider extremes.
+  const NormalFit fit{2500.0, 40.0};
+  const double at_416 = project_variability(fit, 416);
+  const double at_27648 = project_variability(fit, 27648);
+  EXPECT_GT(at_27648, at_416);
+  // Longhorn-like spread (sigma/mu = 1.6%) projects to ~9-13% on Summit.
+  EXPECT_GT(at_27648, 0.09);
+  EXPECT_LT(at_27648, 0.16);
+}
+
+TEST(ProjectVariability, ZeroMeanThrows) {
+  EXPECT_THROW(project_variability(NormalFit{0.0, 1.0}, 100),
+               std::invalid_argument);
+}
+
+TEST(ProjectVariability, FromSample) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(2500.0, 40.0));
+  const double proj = project_variability(xs, 27648);
+  EXPECT_NEAR(proj, project_variability(NormalFit{2500.0, 40.0}, 27648),
+              0.01);
+}
+
+}  // namespace
+}  // namespace gpuvar::stats

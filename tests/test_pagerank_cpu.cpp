@@ -1,0 +1,102 @@
+#include "hostbench/pagerank_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gpuvar::host {
+namespace {
+
+TEST(PageRank, UniformOnSymmetricCycle) {
+  // A directed cycle: perfectly symmetric, so ranks are uniform.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::size_t n = 100;
+  for (std::uint32_t u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  const auto g = csr_from_edges(n, std::move(edges));
+  const auto res = pagerank(g);
+  EXPECT_TRUE(res.converged);
+  for (double r : res.rank) EXPECT_NEAR(r, 1.0 / n, 1e-9);
+}
+
+TEST(PageRank, RanksSumToOne) {
+  Rng rng(1);
+  const auto g = random_graph(5000, 5.0, rng);
+  const auto res = pagerank(g);
+  const double sum =
+      std::accumulate(res.rank.begin(), res.rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, HubReceivesHigherRank) {
+  // Everyone points at vertex 0.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::size_t n = 50;
+  for (std::uint32_t u = 1; u < n; ++u) edges.emplace_back(u, 0);
+  // 0 points back at 1 so it is not dangling.
+  edges.emplace_back(0, 1);
+  const auto g = csr_from_edges(n, std::move(edges));
+  const auto res = pagerank(g);
+  for (std::size_t v = 2; v < n; ++v) {
+    EXPECT_GT(res.rank[0], res.rank[v]);
+  }
+}
+
+TEST(PageRank, HandlesDanglingVertices) {
+  // Vertex 2 has no outgoing edges; its mass must be redistributed, not
+  // lost.
+  const auto g = csr_from_edges(3, {{0, 1}, {1, 2}});
+  const auto res = pagerank(g);
+  const double sum =
+      std::accumulate(res.rank.begin(), res.rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, ParallelMatchesSerial) {
+  Rng rng(2);
+  const auto g = circuit_graph(20000, 4, 1.5, rng);
+  PageRankOptions par, ser;
+  par.max_iterations = 20;
+  ser.max_iterations = 20;
+  ser.parallel = false;
+  const auto a = pagerank(g, par);
+  const auto b = pagerank(g, ser);
+  ASSERT_EQ(a.rank.size(), b.rank.size());
+  for (std::size_t i = 0; i < a.rank.size(); i += 371) {
+    EXPECT_NEAR(a.rank[i], b.rank[i], 1e-12);
+  }
+}
+
+TEST(PageRank, ReportsNonConvergenceAtTinyBudget) {
+  Rng rng(3);
+  const auto g = random_graph(2000, 5.0, rng);
+  PageRankOptions opts;
+  opts.max_iterations = 1;
+  const auto res = pagerank(g, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+  EXPECT_GT(res.final_delta, opts.tolerance);
+}
+
+TEST(PageRank, DeltaDecreasesMonotonically) {
+  Rng rng(4);
+  const auto g = random_graph(2000, 5.0, rng);
+  double prev = 1e18;
+  for (int iters = 1; iters <= 16; iters *= 2) {
+    PageRankOptions opts;
+    opts.max_iterations = iters;
+    opts.tolerance = 0.0;  // never converge early
+    const auto res = pagerank(g, opts);
+    EXPECT_LT(res.final_delta, prev);
+    prev = res.final_delta;
+  }
+}
+
+TEST(PageRank, RejectsBadOptions) {
+  const auto g = csr_from_edges(2, {{0, 1}});
+  PageRankOptions opts;
+  opts.damping = 1.5;
+  EXPECT_THROW(pagerank(g, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::host

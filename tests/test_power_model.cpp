@@ -1,0 +1,83 @@
+#include "gpu/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpuvar {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  GpuSku sku_ = make_v100_sxm2();
+  SiliconSample chip_;  // typical chip: all factors neutral
+};
+
+TEST_F(PowerModelTest, DynamicPowerIncreasesWithFrequency) {
+  PowerModel pm(sku_, chip_);
+  EXPECT_LT(pm.dynamic_power(1100.0, 1.0), pm.dynamic_power(1500.0, 1.0));
+}
+
+TEST_F(PowerModelTest, DynamicPowerScalesWithActivity) {
+  PowerModel pm(sku_, chip_);
+  const double full = pm.dynamic_power(1400.0, 1.0);
+  EXPECT_NEAR(pm.dynamic_power(1400.0, 0.5), full / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pm.dynamic_power(1400.0, 0.0), 0.0);
+}
+
+TEST_F(PowerModelTest, ActivityOutOfRangeThrows) {
+  PowerModel pm(sku_, chip_);
+  EXPECT_THROW(pm.dynamic_power(1400.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(pm.dynamic_power(1400.0, -0.1), std::invalid_argument);
+}
+
+TEST_F(PowerModelTest, LeakageGrowsExponentiallyWithTemperature) {
+  PowerModel pm(sku_, chip_);
+  const double at60 = pm.leakage_power(60.0);
+  const double at80 = pm.leakage_power(80.0);
+  EXPECT_DOUBLE_EQ(at60, sku_.leakage_at_ref);
+  EXPECT_NEAR(at80 / at60, std::exp(sku_.leak_temp_coeff * 20.0), 1e-9);
+}
+
+TEST_F(PowerModelTest, WorseBinNeedsMorePower) {
+  SiliconSample bad = chip_;
+  bad.vf_offset = 0.03;  // needs 30 mV more at every frequency
+  PowerModel typical(sku_, chip_), worse(sku_, bad);
+  EXPECT_GT(worse.dynamic_power(1400.0, 1.0),
+            typical.dynamic_power(1400.0, 1.0));
+  EXPECT_GT(worse.voltage(1400.0), typical.voltage(1400.0));
+}
+
+TEST_F(PowerModelTest, LeakyChipBurnsMoreStaticPower) {
+  SiliconSample leaky = chip_;
+  leaky.leakage_factor = 1.5;
+  PowerModel pm(sku_, leaky);
+  EXPECT_NEAR(pm.leakage_power(60.0), 1.5 * sku_.leakage_at_ref, 1e-9);
+}
+
+TEST_F(PowerModelTest, TotalIsSumOfParts) {
+  PowerModel pm(sku_, chip_);
+  const double t = 65.0;
+  EXPECT_NEAR(pm.total_power(1400.0, 0.8, t),
+              pm.dynamic_power(1400.0, 0.8) + pm.leakage_power(t) +
+                  sku_.idle_power,
+              1e-9);
+}
+
+TEST_F(PowerModelTest, IdleIsTotalAtZeroActivity) {
+  PowerModel pm(sku_, chip_);
+  EXPECT_NEAR(pm.idle_power(50.0), pm.total_power(1005.0, 0.0, 50.0), 1e-9);
+}
+
+TEST_F(PowerModelTest, TypicalGemmPowerAboveTdpAtBoost) {
+  // Calibration invariant: a typical V100 running a full-activity GEMM at
+  // 1530 MHz must exceed 300 W, or the DVFS equilibrium would sit at the
+  // boost clock and no frequency variability would exist.
+  PowerModel pm(sku_, chip_);
+  EXPECT_GT(pm.total_power(1530.0, 1.0, 60.0), sku_.tdp + 20.0);
+  // ...while at ~1370 MHz it fits within the TDP (the settled band).
+  EXPECT_LT(pm.total_power(1365.0, 1.0, 60.0), sku_.tdp + 2.0);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,163 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace gpuvar {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, StablePerPath) {
+  EXPECT_EQ(derive_seed(7, "cluster/gpu:0"), derive_seed(7, "cluster/gpu:0"));
+}
+
+TEST(DeriveSeed, SensitiveToPathAndMaster) {
+  EXPECT_NE(derive_seed(7, "a"), derive_seed(7, "b"));
+  EXPECT_NE(derive_seed(7, "a"), derive_seed(8, "a"));
+}
+
+TEST(DeriveSeed, ManyPathsNoCollisions) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(derive_seed(123, "gpu:" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, ReproducibleFromPath) {
+  Rng a(99, "some/path"), b(99, "some/path");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(3.0, -5.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScalesMeanAndSigma) {
+  Rng rng(6);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.truncated_normal(0.0, 1.0, -0.5, 0.5);
+    EXPECT_GE(x, -0.5);
+    EXPECT_LE(x, 0.5);
+  }
+}
+
+TEST(Rng, TruncatedNormalZeroSigmaClamps) {
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(rng.truncated_normal(5.0, 0.0, -1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(rng.truncated_normal(0.2, 0.0, -1.0, 1.0), 0.2);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(12);
+  const auto picks = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(13);
+  const auto picks = rng.sample_without_replacement(10, 10);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(14);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,165 @@
+#include "workloads/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpuvar {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{cloudlab_spec()};
+  RunOptions opts_ = RunOptions::for_sku(cluster_.sku());
+};
+
+TEST_F(RunnerTest, SingleGpuRunProducesMetrics) {
+  const auto w = sgemm_workload(16384, 3);
+  const auto r = run_on_gpu(cluster_, 0, w, 0, opts_);
+  EXPECT_EQ(r.gpu_index, 0u);
+  EXPECT_GT(r.perf_ms, 100.0);
+  EXPECT_GT(r.telemetry.freq.median, 1000.0);
+  EXPECT_GT(r.telemetry.power.median, 100.0);
+  EXPECT_GT(r.telemetry.temp.median, 20.0);
+  EXPECT_GT(r.telemetry.energy, 0.0);
+  EXPECT_DOUBLE_EQ(r.counters.fu_util, 10.0);
+}
+
+TEST_F(RunnerTest, RunsAreDeterministic) {
+  const auto w = sgemm_workload(16384, 3);
+  const auto a = run_on_gpu(cluster_, 2, w, 1, opts_);
+  const auto b = run_on_gpu(cluster_, 2, w, 1, opts_);
+  EXPECT_DOUBLE_EQ(a.perf_ms, b.perf_ms);
+  EXPECT_DOUBLE_EQ(a.telemetry.power.median, b.telemetry.power.median);
+}
+
+TEST_F(RunnerTest, DifferentRunsDifferByNoise) {
+  const auto w = sgemm_workload(16384, 3);
+  const auto a = run_on_gpu(cluster_, 2, w, 0, opts_);
+  const auto b = run_on_gpu(cluster_, 2, w, 1, opts_);
+  EXPECT_NE(a.perf_ms, b.perf_ms);
+  // ...but only slightly (run noise is small on NVIDIA clusters).
+  EXPECT_NEAR(a.perf_ms / b.perf_ms, 1.0, 0.05);
+}
+
+TEST_F(RunnerTest, RejectsMultiGpuWorkloadOnSingleGpuApi) {
+  EXPECT_THROW(run_on_gpu(cluster_, 0, resnet50_multi_workload(5), 0, opts_),
+               std::invalid_argument);
+}
+
+TEST_F(RunnerTest, NodeRunOfSingleGpuWorkloadCoversAllGpus) {
+  const auto w = pagerank_workload(5);
+  const auto results = run_on_node(cluster_, 0, w, 0, opts_);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(results[g].gpu_index, cluster_.index_of(0, static_cast<int>(g)));
+  }
+}
+
+TEST_F(RunnerTest, MultiGpuJobSharesIterationDurations) {
+  const auto w = resnet50_multi_workload(8);
+  const auto results = run_on_node(cluster_, 0, w, 0, opts_);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r.perf_ms, results[0].perf_ms);
+    ASSERT_EQ(r.iteration_ms.size(), 8u);
+    for (std::size_t i = 0; i < r.iteration_ms.size(); ++i) {
+      EXPECT_DOUBLE_EQ(r.iteration_ms[i], results[0].iteration_ms[i]);
+    }
+  }
+}
+
+TEST_F(RunnerTest, BulkSyncIterationIsAtLeastSlowestRankPlusAllreduce) {
+  auto w = resnet50_multi_workload(5);
+  const auto results = run_on_node(cluster_, 1, w, 0, opts_);
+  // All iteration durations include the allreduce cost.
+  for (double ms : results[0].iteration_ms) {
+    EXPECT_GE(ms, to_ms(w.allreduce_seconds));
+  }
+}
+
+TEST_F(RunnerTest, StragglerGatesWholeNode) {
+  // Same node, once with a healthy population and once with one rank
+  // slowed via its per-GPU sensitivity: the shared iteration time must
+  // track the slowest rank.
+  auto fast = resnet50_multi_workload(5);
+  auto slow = fast;
+  slow.name = fast.name + "-variant";  // different seed path -> new factors
+  slow.gpu_sensitivity_sigma = 0.5;    // extreme spread
+  const auto fast_res = run_on_node(cluster_, 2, fast, 0, opts_);
+  const auto slow_res = run_on_node(cluster_, 2, slow, 0, opts_);
+  double max_factor = 0.0;
+  for (std::size_t g = 0; g < 4; ++g) {
+    max_factor = std::max(
+        max_factor, gpu_sensitivity_factor(cluster_, cluster_.index_of(2, g),
+                                           slow));
+  }
+  if (max_factor > 1.2) {
+    EXPECT_GT(slow_res[0].perf_ms, fast_res[0].perf_ms * 1.1);
+  }
+}
+
+TEST_F(RunnerTest, PowerLimitOverrideSlowsGemm) {
+  const auto w = sgemm_workload(16384, 3);
+  auto capped = opts_;
+  capped.power_limit_override = 180.0;
+  const auto normal = run_on_gpu(cluster_, 0, w, 0, opts_);
+  const auto limited = run_on_gpu(cluster_, 0, w, 0, capped);
+  EXPECT_GT(limited.perf_ms, normal.perf_ms * 1.05);
+  EXPECT_LE(limited.telemetry.power.median, 182.0);
+}
+
+TEST_F(RunnerTest, SeriesCollectionProducesProfilerTrace) {
+  const auto w = sgemm_workload(16384, 2);
+  auto opts = opts_;
+  opts.collect_series = true;
+  opts.series_interval = 0.01;
+  const auto r = run_on_gpu(cluster_, 0, w, 0, opts);
+  EXPECT_GT(r.series.size(), 50u);
+  // Time stamps strictly increasing.
+  for (std::size_t i = 1; i < r.series.size(); ++i) {
+    EXPECT_GT(r.series[i].t, r.series[i - 1].t);
+  }
+}
+
+TEST_F(RunnerTest, SensitivityFactorDeterministicAndCentered) {
+  const auto w = resnet50_multi_workload(5);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    const double f = gpu_sensitivity_factor(cluster_, i, w);
+    EXPECT_DOUBLE_EQ(f, gpu_sensitivity_factor(cluster_, i, w));
+    EXPECT_GT(f, 0.7);
+    EXPECT_LT(f, 1.4);
+    sum += f;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(cluster_.size()), 1.0, 0.1);
+}
+
+TEST_F(RunnerTest, PowerJitterFactorOnlyForJitteryWorkloads) {
+  EXPECT_DOUBLE_EQ(gpu_power_jitter_factor(cluster_, 0, sgemm_workload()),
+                   1.0);
+  const auto w = resnet50_multi_workload(5);
+  bool any_off_one = false;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    if (std::abs(gpu_power_jitter_factor(cluster_, i, w) - 1.0) > 0.01) {
+      any_off_one = true;
+    }
+  }
+  EXPECT_TRUE(any_off_one);
+}
+
+TEST_F(RunnerTest, WarmupIterationsExcludedFromMetrics) {
+  auto w = sgemm_workload(16384, 3);
+  w.warmup_iterations = 0;
+  const auto no_warmup = run_on_gpu(cluster_, 0, w, 0, opts_);
+  w.warmup_iterations = 3;
+  const auto with_warmup = run_on_gpu(cluster_, 0, w, 0, opts_);
+  // Same measured repetition count either way.
+  EXPECT_EQ(no_warmup.iteration_ms.size(), with_warmup.iteration_ms.size());
+  // Warmed-up runs are past the DVFS transient: at or slower than the
+  // boost-assisted cold run, never faster.
+  EXPECT_GE(with_warmup.perf_ms, no_warmup.perf_ms * 0.98);
+}
+
+}  // namespace
+}  // namespace gpuvar

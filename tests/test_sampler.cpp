@@ -1,0 +1,129 @@
+#include "telemetry/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar {
+namespace {
+
+TEST(StreamingQuantile, ExactMinMaxMean) {
+  StreamingQuantile q(0.0, 100.0, 0.1);
+  q.add(10.0, 1.0);
+  q.add(20.0, 1.0);
+  q.add(90.0, 2.0);
+  EXPECT_DOUBLE_EQ(q.min(), 10.0);
+  EXPECT_DOUBLE_EQ(q.max(), 90.0);
+  EXPECT_DOUBLE_EQ(q.mean(), (10.0 + 20.0 + 180.0) / 4.0);
+  EXPECT_DOUBLE_EQ(q.total_weight(), 4.0);
+}
+
+TEST(StreamingQuantile, WeightedMedian) {
+  StreamingQuantile q(0.0, 100.0, 0.1);
+  q.add(10.0, 1.0);
+  q.add(50.0, 10.0);  // dominates
+  q.add(90.0, 1.0);
+  EXPECT_NEAR(q.median(), 50.0, 0.1);
+}
+
+TEST(StreamingQuantile, MedianAtResolution) {
+  StreamingQuantile q(0.0, 10.0, 0.5);
+  for (int i = 0; i < 100; ++i) q.add(3.0, 1.0);
+  EXPECT_NEAR(q.median(), 3.0, 0.5);
+}
+
+TEST(StreamingQuantile, QuantilesMonotone) {
+  StreamingQuantile q(0.0, 100.0, 0.1);
+  for (int i = 1; i <= 100; ++i) q.add(i, 1.0);
+  EXPECT_LE(q.quantile(0.25), q.quantile(0.5));
+  EXPECT_LE(q.quantile(0.5), q.quantile(0.75));
+  EXPECT_NEAR(q.quantile(0.25), 25.0, 1.1);
+}
+
+TEST(StreamingQuantile, EmptyThrows) {
+  StreamingQuantile q(0.0, 1.0, 0.1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.median(), std::invalid_argument);
+  EXPECT_THROW(q.mean(), std::invalid_argument);
+}
+
+TEST(StreamingQuantile, ZeroWeightIgnored) {
+  StreamingQuantile q(0.0, 1.0, 0.1);
+  q.add(0.5, 0.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Sampler, SummaryAggregatesSpans) {
+  Sampler s;
+  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
+  s.record_span(1.0, 1.0, 1300.0, 300.0, 70.0);
+  const auto sum = s.summary();
+  EXPECT_DOUBLE_EQ(sum.duration, 2.0);
+  EXPECT_DOUBLE_EQ(sum.energy, 590.0);
+  EXPECT_DOUBLE_EQ(sum.freq.min, 1300.0);
+  EXPECT_DOUBLE_EQ(sum.freq.max, 1400.0);
+  EXPECT_NEAR(sum.power.mean, 295.0, 1e-9);
+  EXPECT_NEAR(sum.temp.mean, 65.0, 1e-9);
+}
+
+TEST(Sampler, MedianIsTimeWeighted) {
+  Sampler s;
+  s.record_span(0.0, 9.0, 1500.0, 100.0, 50.0);
+  s.record_span(9.0, 1.0, 1000.0, 300.0, 90.0);
+  const auto sum = s.summary();
+  EXPECT_NEAR(sum.freq.median, 1500.0, 1.0);
+  EXPECT_NEAR(sum.power.median, 100.0, 0.5);
+}
+
+TEST(Sampler, NoSeriesByDefault) {
+  Sampler s;
+  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
+  EXPECT_TRUE(s.series().empty());
+}
+
+TEST(Sampler, SeriesDecimatedAtInterval) {
+  SamplerOptions opts;
+  opts.keep_series = true;
+  opts.series_interval = 0.1;
+  Sampler s(opts);
+  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
+  // 10 samples at 0.0, 0.1, ..., 0.9.
+  EXPECT_EQ(s.series().size(), 10u);
+  EXPECT_DOUBLE_EQ(s.series()[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(s.series()[1].freq, 1400.0);
+}
+
+TEST(Sampler, SeriesIntervalClampedToProfilerFloor) {
+  SamplerOptions opts;
+  opts.keep_series = true;
+  opts.series_interval = 1e-6;  // below the 1 ms nvprof floor
+  Sampler s(opts);
+  EXPECT_DOUBLE_EQ(s.options().series_interval, kMinSamplingInterval);
+}
+
+TEST(Sampler, SeriesRespectsCap) {
+  SamplerOptions opts;
+  opts.keep_series = true;
+  opts.series_interval = 0.001;
+  opts.max_series_samples = 100;
+  Sampler s(opts);
+  s.record_span(0.0, 10.0, 1.0, 1.0, 1.0);
+  EXPECT_EQ(s.series().size(), 100u);
+}
+
+TEST(Sampler, ResetClearsEverything) {
+  SamplerOptions opts;
+  opts.keep_series = true;
+  Sampler s(opts);
+  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
+  s.reset();
+  EXPECT_TRUE(s.series().empty());
+  EXPECT_DOUBLE_EQ(s.summary().duration, 0.0);
+}
+
+TEST(Sampler, ZeroDurationSpanIgnored) {
+  Sampler s;
+  s.record_span(0.0, 0.0, 1.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.summary().duration, 0.0);
+}
+
+}  // namespace
+}  // namespace gpuvar

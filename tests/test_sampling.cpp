@@ -1,0 +1,67 @@
+#include "stats/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar::stats {
+namespace {
+
+TEST(ZForConfidence, KnownValues) {
+  EXPECT_NEAR(z_for_confidence(0.95), 1.95996, 1e-4);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.57583, 1e-4);
+  EXPECT_THROW(z_for_confidence(1.0), std::invalid_argument);
+}
+
+TEST(SampleSize, GrowsWithCv) {
+  const auto low = recommend_sample_size(10000, 0.01, 0.005, 0.95);
+  const auto high = recommend_sample_size(10000, 0.05, 0.005, 0.95);
+  EXPECT_GT(high.recommended, low.recommended);
+}
+
+TEST(SampleSize, ShrinksWithLooserAccuracy) {
+  const auto tight = recommend_sample_size(10000, 0.02, 0.002, 0.95);
+  const auto loose = recommend_sample_size(10000, 0.02, 0.02, 0.95);
+  EXPECT_LT(loose.recommended, tight.recommended);
+}
+
+TEST(SampleSize, CappedByPopulation) {
+  const auto plan = recommend_sample_size(50, 0.5, 0.001, 0.95);
+  EXPECT_LE(plan.recommended, 50u);
+}
+
+TEST(SampleSize, ZeroCvNeedsOneSample) {
+  const auto plan = recommend_sample_size(1000, 0.0, 0.005, 0.95);
+  EXPECT_EQ(plan.recommended, 1u);
+}
+
+TEST(SampleSize, FinitePopulationCorrectionReduces) {
+  // Same CV/lambda: a small population needs fewer samples than the
+  // uncorrected n0.
+  const double cv = 0.05, lambda = 0.005;
+  const auto small = recommend_sample_size(500, cv, lambda, 0.95);
+  const auto large = recommend_sample_size(1000000, cv, lambda, 0.95);
+  EXPECT_LT(small.recommended, large.recommended);
+  EXPECT_LE(small.recommended, 500u);
+}
+
+TEST(SampleSize, PaperScenario) {
+  // The paper: lambda = 0.5% accuracy for mean power, 95% confidence,
+  // sampling >90% of GPUs gives a 2.9x oversampling margin. With a
+  // power CV of ~2% (GPUs pinned near TDP), the recommendation should be
+  // far below 90% of the cluster.
+  const std::size_t population = 416;
+  const auto plan = recommend_sample_size(population, 0.02, 0.005, 0.95);
+  const std::size_t actual = 416 * 9 / 10;
+  EXPECT_GE(oversampling_factor(plan, actual), 2.0);
+}
+
+TEST(SampleSize, RejectsBadInputs) {
+  EXPECT_THROW(recommend_sample_size(0, 0.1, 0.01, 0.95),
+               std::invalid_argument);
+  EXPECT_THROW(recommend_sample_size(10, -0.1, 0.01, 0.95),
+               std::invalid_argument);
+  EXPECT_THROW(recommend_sample_size(10, 0.1, 0.0, 0.95),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::stats

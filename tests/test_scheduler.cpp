@@ -1,0 +1,142 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace gpuvar {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  static std::vector<SchedulerJob> mixed_queue() {
+    std::vector<SchedulerJob> jobs;
+    jobs.push_back(SchedulerJob{"sgemm", sgemm_workload(25536, 5), 4});
+    jobs.push_back(SchedulerJob{"pagerank", pagerank_workload(6), 4});
+    jobs.push_back(SchedulerJob{"lammps", lammps_workload(2), 2});
+    return jobs;
+  }
+
+  Cluster cluster_{cloudlab_spec()};
+};
+
+TEST_F(SchedulerTest, PolicyNames) {
+  EXPECT_EQ(to_string(PlacementPolicy::kRandom), "random");
+  EXPECT_EQ(to_string(PlacementPolicy::kClassAware), "class-aware");
+}
+
+TEST_F(SchedulerTest, NodeProfilingCoversAllNodes) {
+  const auto quality = profile_node_quality(cluster_, 3);
+  ASSERT_EQ(quality.size(), 3u);
+  std::set<int> nodes;
+  for (const auto& q : quality) {
+    nodes.insert(q.node);
+    EXPECT_GT(q.median_freq, 1000.0);
+    EXPECT_GT(q.median_perf_ms, 0.0);
+  }
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST_F(SchedulerTest, FasterNodeHasLowerCanaryRuntime) {
+  const auto quality = profile_node_quality(cluster_, 3);
+  for (const auto& a : quality) {
+    for (const auto& b : quality) {
+      if (a.median_freq > b.median_freq + 10.0) {
+        EXPECT_LT(a.median_perf_ms, b.median_perf_ms);
+      }
+    }
+  }
+}
+
+TEST_F(SchedulerTest, ClassifiesTheStudyWorkloads) {
+  const auto sku = make_v100_sxm2();
+  EXPECT_EQ(classify_workload(sku, sgemm_workload()),
+            AppClass::kComputeBound);
+  EXPECT_EQ(classify_workload(sku, pagerank_workload()),
+            AppClass::kMemoryLatencyBound);
+  EXPECT_EQ(classify_workload(sku, lammps_workload()),
+            AppClass::kMemoryBandwidthBound);
+  EXPECT_EQ(classify_workload(sku, resnet50_multi_workload()),
+            AppClass::kBalanced);
+}
+
+TEST_F(SchedulerTest, EveryCopyIsPlaced) {
+  const auto quality = profile_node_quality(cluster_, 2);
+  const auto outcome = simulate_schedule(cluster_, mixed_queue(),
+                                         PlacementPolicy::kRandom, quality);
+  EXPECT_EQ(outcome.placements.size(), 10u);
+  EXPECT_GT(outcome.makespan_ms, 0.0);
+  EXPECT_GE(outcome.total_gpu_ms, outcome.makespan_ms);
+}
+
+TEST_F(SchedulerTest, ClassAwareSendsMemoryJobsToSlowNodes) {
+  // Small queue: with only 3 nodes, segregation without wrap-around
+  // needs <= 2 jobs per class.
+  std::vector<SchedulerJob> queue;
+  queue.push_back(SchedulerJob{"sgemm", sgemm_workload(25536, 5), 2});
+  queue.push_back(SchedulerJob{"pagerank", pagerank_workload(6), 2});
+  const auto quality = profile_node_quality(cluster_, 2);
+  std::map<int, double> node_freq;
+  double fast_f = -1.0, slow_f = 1e18;
+  for (const auto& q : quality) {
+    node_freq[q.node] = q.median_freq;
+    fast_f = std::max(fast_f, q.median_freq);
+    slow_f = std::min(slow_f, q.median_freq);
+  }
+  const auto outcome = simulate_schedule(
+      cluster_, queue, PlacementPolicy::kClassAware, quality);
+  // Node frequencies can tie (DPM quantization), so assert the pairwise
+  // ordering instead of node identities: every clock-sensitive placement
+  // sits on a node at least as fast as every memory-bound placement.
+  EXPECT_GT(fast_f, 0.0);
+  EXPECT_LE(slow_f, fast_f);
+  for (const auto& a : outcome.placements) {
+    if (a.app_class != AppClass::kComputeBound) continue;
+    for (const auto& b : outcome.placements) {
+      if (b.app_class == AppClass::kComputeBound) continue;
+      EXPECT_GE(node_freq.at(a.node) + 1e-9, node_freq.at(b.node))
+          << a.job << " vs " << b.job;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, MemoryBoundJobsRunAtFullSpeedOnSlowNodes) {
+  // Takeaway 8 in scheduling form: the class-aware policy's memory-bound
+  // placements cost ~nothing versus their best-node runtime.
+  const auto quality = profile_node_quality(cluster_, 2);
+  const auto aware = simulate_schedule(
+      cluster_, mixed_queue(), PlacementPolicy::kClassAware, quality);
+  double pr_min = 1e18, pr_max = 0.0;
+  for (const auto& p : aware.placements) {
+    if (p.job == "pagerank") {
+      pr_min = std::min(pr_min, p.wall_ms);
+      pr_max = std::max(pr_max, p.wall_ms);
+    }
+  }
+  EXPECT_LT(pr_max / pr_min, 1.05);
+}
+
+TEST_F(SchedulerTest, DeterministicForSeed) {
+  const auto quality = profile_node_quality(cluster_, 2);
+  const auto a = simulate_schedule(cluster_, mixed_queue(),
+                                   PlacementPolicy::kRandom, quality, 7);
+  const auto b = simulate_schedule(cluster_, mixed_queue(),
+                                   PlacementPolicy::kRandom, quality, 7);
+  EXPECT_DOUBLE_EQ(a.makespan_ms, b.makespan_ms);
+}
+
+TEST_F(SchedulerTest, RejectsBadInput) {
+  const auto quality = profile_node_quality(cluster_, 2);
+  EXPECT_THROW(simulate_schedule(cluster_, {}, PlacementPolicy::kRandom,
+                                 quality),
+               std::invalid_argument);
+  std::vector<SchedulerJob> bad;
+  bad.push_back(SchedulerJob{"x", sgemm_workload(25536, 2), 0});
+  EXPECT_THROW(
+      simulate_schedule(cluster_, bad, PlacementPolicy::kRandom, quality),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,82 @@
+#include "hostbench/sgemm_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar::host {
+namespace {
+
+class SgemmCpuTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SgemmCpuTest, MatchesNaiveReference) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  const auto a = random_matrix(n, n, rng);
+  const auto b = random_matrix(n, n, rng);
+  Matrix c_fast(n, n, 0.0f), c_ref(n, n, 0.0f);
+  sgemm(1.0f, a, b, 0.0f, c_fast);
+  sgemm_naive(1.0f, a, b, 0.0f, c_ref);
+  // fp32 accumulation order differs; tolerance scales with k.
+  EXPECT_LT(max_abs_diff(c_fast, c_ref), 1e-4f * static_cast<float>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SgemmCpuTest,
+                         ::testing::Values(1, 7, 33, 64, 100, 129, 256));
+
+TEST(SgemmCpu, RectangularShapes) {
+  Rng rng(9);
+  const auto a = random_matrix(37, 53, rng);
+  const auto b = random_matrix(53, 71, rng);
+  Matrix c_fast(37, 71, 0.0f), c_ref(37, 71, 0.0f);
+  sgemm(1.0f, a, b, 0.0f, c_fast);
+  sgemm_naive(1.0f, a, b, 0.0f, c_ref);
+  EXPECT_LT(max_abs_diff(c_fast, c_ref), 1e-3f);
+}
+
+TEST(SgemmCpu, AlphaBetaSemantics) {
+  Rng rng(2);
+  const auto a = random_matrix(16, 16, rng);
+  const auto b = random_matrix(16, 16, rng);
+  Matrix c(16, 16, 1.0f), c_ref(16, 16, 1.0f);
+  sgemm(2.0f, a, b, 0.5f, c);
+  sgemm_naive(2.0f, a, b, 0.5f, c_ref);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-3f);
+}
+
+TEST(SgemmCpu, ParallelMatchesSerial) {
+  Rng rng(3);
+  const auto a = random_matrix(200, 150, rng);
+  const auto b = random_matrix(150, 180, rng);
+  Matrix c_par(200, 180, 0.0f), c_ser(200, 180, 0.0f);
+  SgemmOptions par, ser;
+  ser.parallel = false;
+  sgemm(1.0f, a, b, 0.0f, c_par, par);
+  sgemm(1.0f, a, b, 0.0f, c_ser, ser);
+  // Identical blocking -> identical summation order -> bitwise equal.
+  EXPECT_FLOAT_EQ(max_abs_diff(c_par, c_ser), 0.0f);
+}
+
+TEST(SgemmCpu, TinyBlockSizesStillCorrect) {
+  Rng rng(4);
+  const auto a = random_matrix(50, 50, rng);
+  const auto b = random_matrix(50, 50, rng);
+  Matrix c(50, 50, 0.0f), c_ref(50, 50, 0.0f);
+  SgemmOptions opts;
+  opts.block_m = 3;
+  opts.block_n = 5;
+  opts.block_k = 7;
+  sgemm(1.0f, a, b, 0.0f, c, opts);
+  sgemm_naive(1.0f, a, b, 0.0f, c_ref);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-3f);
+}
+
+TEST(SgemmCpu, ShapeMismatchThrows) {
+  Matrix a(4, 5), b(6, 4), c(4, 4);
+  EXPECT_THROW(sgemm(1.0f, a, b, 0.0f, c), std::invalid_argument);
+}
+
+TEST(SgemmCpu, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(sgemm_flops(10, 20, 30), 12000.0);
+}
+
+}  // namespace
+}  // namespace gpuvar::host

@@ -1,0 +1,68 @@
+#include "hostbench/spmv_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpuvar::host {
+namespace {
+
+TEST(Spmv, PlainSpmvSums) {
+  // 0->1, 2->1: y[1] = x[0] + x[2].
+  const auto g = csr_from_edges(3, {{0, 1}, {2, 1}});
+  const std::vector<double> x{1.0, 10.0, 100.0};
+  std::vector<double> y(3, -1.0);
+  spmv(g, x, y, false);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 101.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(Spmv, PagerankSpmvDividesByOutDegree) {
+  // 0 -> 1 and 0 -> 2: vertex 0 splits its rank in half.
+  const auto g = csr_from_edges(3, {{0, 1}, {0, 2}});
+  const std::vector<double> x{1.0, 0.0, 0.0};
+  std::vector<double> y(3, 0.0);
+  pagerank_spmv(g, x, y, false);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_DOUBLE_EQ(y[2], 0.5);
+}
+
+TEST(Spmv, ParallelMatchesSerial) {
+  Rng rng(1);
+  const auto g = random_graph(20000, 6.0, rng);
+  std::vector<double> x(g.n);
+  for (std::size_t i = 0; i < g.n; ++i) x[i] = rng.uniform();
+  std::vector<double> y_par(g.n), y_ser(g.n);
+  pagerank_spmv(g, x, y_par, true);
+  pagerank_spmv(g, x, y_ser, false);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    EXPECT_DOUBLE_EQ(y_par[i], y_ser[i]);
+  }
+}
+
+TEST(Spmv, MassIsConservedWithoutDanglers) {
+  // With no dangling vertices, pagerank_spmv conserves total mass.
+  Rng rng(2);
+  auto edges = std::vector<std::pair<std::uint32_t, std::uint32_t>>{};
+  const std::size_t n = 1000;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    edges.emplace_back(u, (u + 1) % n);
+    edges.emplace_back(u, (u + 7) % n);
+  }
+  const auto g = csr_from_edges(n, std::move(edges));
+  std::vector<double> x(n, 1.0 / n), y(n);
+  pagerank_spmv(g, x, y, false);
+  double sum = 0.0;
+  for (double v : y) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Spmv, SizeMismatchThrows) {
+  const auto g = csr_from_edges(3, {{0, 1}});
+  std::vector<double> x(2), y(3);
+  EXPECT_THROW(spmv(g, x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar::host

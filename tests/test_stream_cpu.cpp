@@ -1,0 +1,48 @@
+#include "hostbench/stream_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpuvar::host {
+namespace {
+
+TEST(Stream, TriadComputesCorrectly) {
+  std::vector<double> a(100), b(100, 2.0), c(100, 3.0);
+  triad(a, b, c, 0.5, false);
+  for (double v : a) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Stream, TriadParallelMatchesSerial) {
+  const std::size_t n = 1 << 20;
+  std::vector<double> a_par(n), a_ser(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<double>(i);
+    c[i] = static_cast<double>(n - i);
+  }
+  triad(a_par, b, c, 2.0, true);
+  triad(a_ser, b, c, 2.0, false);
+  for (std::size_t i = 0; i < n; i += 10007) {
+    EXPECT_DOUBLE_EQ(a_par[i], a_ser[i]);
+  }
+}
+
+TEST(Stream, CopyCopies) {
+  std::vector<double> a(64, 0.0), b(64);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = i * 1.5;
+  stream_copy(a, b, false);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Stream, SizeMismatchThrows) {
+  std::vector<double> a(4), b(5), c(4);
+  EXPECT_THROW(triad(a, b, c, 1.0), std::invalid_argument);
+  EXPECT_THROW(stream_copy(a, b), std::invalid_argument);
+}
+
+TEST(Stream, TriadBytesFormula) {
+  EXPECT_DOUBLE_EQ(triad_bytes(1000), 24000.0);
+}
+
+}  // namespace
+}  // namespace gpuvar::host

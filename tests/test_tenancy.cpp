@@ -1,0 +1,109 @@
+#include "cluster/tenancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar {
+namespace {
+
+class TenancyTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{cloudlab_spec()};
+  RunOptions opts_ = RunOptions::for_sku(cluster_.sku());
+};
+
+TEST_F(TenancyTest, DefaultCouplingOrdersByCoolingType) {
+  EXPECT_GT(default_coupling(CoolingType::kAir),
+            default_coupling(CoolingType::kMineralOil));
+  EXPECT_GT(default_coupling(CoolingType::kMineralOil),
+            default_coupling(CoolingType::kWater));
+}
+
+TEST_F(TenancyTest, SharedNodeRunsAllGpus) {
+  const auto w = sgemm_workload(25536, 4);
+  const auto results =
+      run_on_node_shared(cluster_, 0, w, 0, opts_, TenancyOptions{});
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) EXPECT_GT(r.perf_ms, 0.0);
+}
+
+TEST_F(TenancyTest, RejectsMultiGpuWorkloads) {
+  EXPECT_THROW(run_on_node_shared(cluster_, 0, resnet50_multi_workload(5), 0,
+                                  opts_, TenancyOptions{}),
+               std::invalid_argument);
+}
+
+TEST_F(TenancyTest, NeighboursRaiseTemperatureUnderAirCooling) {
+  const auto w = sgemm_workload(25536, 8);
+  const auto impacts =
+      measure_tenancy_impact(cluster_, 1, w, opts_, TenancyOptions{});
+  ASSERT_EQ(impacts.size(), 4u);
+  for (const auto& imp : impacts) {
+    // Three 290 W neighbours raise the effective inlet by ~10+ C.
+    EXPECT_GT(imp.shared_temp, imp.exclusive_temp + 3.0);
+    // Hotter silicon leaks more -> the TDP cap bites earlier -> slower.
+    EXPECT_GE(imp.slowdown, 1.0);
+  }
+}
+
+TEST_F(TenancyTest, CouplingStrengthControlsTheEffect) {
+  const auto w = sgemm_workload(25536, 8);
+  TenancyOptions none;
+  none.coupling_c_per_w = 0.0;
+  TenancyOptions strong;
+  strong.coupling_c_per_w = 0.03;
+  const auto base =
+      run_on_node_shared(cluster_, 2, w, 0, opts_, none);
+  const auto coupled =
+      run_on_node_shared(cluster_, 2, w, 0, opts_, strong);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_GT(coupled[i].telemetry.temp.median,
+              base[i].telemetry.temp.median + 5.0);
+    EXPECT_GE(coupled[i].perf_ms, base[i].perf_ms * 0.999);
+  }
+}
+
+TEST_F(TenancyTest, ZeroCouplingMatchesExclusiveRuns) {
+  // With κ=0 and no preheat, the shared run differs from exclusive runs
+  // only through the seed path of its run noise — runtimes stay within
+  // the noise band.
+  const auto w = sgemm_workload(25536, 6);
+  TenancyOptions none;
+  none.coupling_c_per_w = 0.0;
+  const auto shared = run_on_node_shared(cluster_, 0, w, 0, opts_, none);
+  const auto exclusive = run_on_node(cluster_, 0, w, 0, opts_);
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    EXPECT_NEAR(shared[i].perf_ms / exclusive[i].perf_ms, 1.0, 0.02);
+  }
+}
+
+TEST_F(TenancyTest, TemporalPreheatSlowsTheFirstKernels) {
+  const auto w = sgemm_workload(25536, 4);
+  TenancyOptions cold;
+  cold.coupling_c_per_w = 0.0;
+  TenancyOptions hot = cold;
+  hot.previous_job_power = 295.0;  // previous tenant ran a GEMM
+  const auto cold_run = run_on_node_shared(cluster_, 0, w, 0, opts_, cold);
+  const auto hot_run = run_on_node_shared(cluster_, 0, w, 0, opts_, hot);
+  for (std::size_t i = 0; i < cold_run.size(); ++i) {
+    // Inherited heat -> more leakage -> earlier throttling -> slower or
+    // equal, never faster.
+    EXPECT_GE(hot_run[i].perf_ms, cold_run[i].perf_ms * 0.999);
+    EXPECT_GT(hot_run[i].telemetry.temp.max,
+              cold_run[i].telemetry.temp.min);
+  }
+}
+
+TEST_F(TenancyTest, WaterCoolingIsNearlyImmune) {
+  Cluster vortex(vortex_spec());
+  const auto opts = RunOptions::for_sku(vortex.sku());
+  const auto w = sgemm_workload(25536, 6);
+  const auto impacts =
+      measure_tenancy_impact(vortex, 0, w, opts, TenancyOptions{});
+  for (const auto& imp : impacts) {
+    EXPECT_LT(imp.shared_temp - imp.exclusive_temp, 3.5);
+    EXPECT_LT(imp.slowdown, 1.02);
+  }
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,110 @@
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace gpuvar {
+namespace {
+
+TEST(Topology, CabinetLayoutLocations) {
+  ClusterLayout layout;
+  layout.nodes = 104;
+  layout.gpus_per_node = 4;
+  layout.nodes_per_cabinet = 8;
+  layout.validate();
+  EXPECT_EQ(layout.cabinets(), 13);
+  EXPECT_EQ(layout.total_gpus(), 416);
+
+  const auto loc = locate(layout, 17, 2);
+  EXPECT_EQ(loc.node, 17);
+  EXPECT_EQ(loc.gpu, 2);
+  EXPECT_EQ(loc.cabinet, 2);
+  EXPECT_EQ(loc.node_in_group, 1);
+  EXPECT_EQ(loc.name, "c002-002-gpu2");
+}
+
+TEST(Topology, NodeLabelBaseShifts) {
+  ClusterLayout layout;
+  layout.nodes = 6;
+  layout.gpus_per_node = 1;
+  layout.nodes_per_cabinet = 1;
+  const auto loc = locate(layout, 5, 0, 100);
+  EXPECT_EQ(loc.name, "c105-001-gpu0");
+}
+
+TEST(Topology, RowLayoutLocations) {
+  ClusterLayout layout;
+  layout.rows = 8;
+  layout.columns = 29;
+  layout.nodes_per_column = 18;
+  layout.nodes = 8 * 29 * 18;
+  layout.gpus_per_node = 6;
+  layout.validate();
+  EXPECT_EQ(layout.total_gpus(), 25056 - 0);  // 4176 nodes * 6
+
+  // Row H (index 7), column 36 is out of range here; use column 29 - 1.
+  const int node = 7 * (29 * 18) + 28 * 18 + 9;  // row h, col 29, node 10
+  const auto loc = locate(layout, node, 2);
+  EXPECT_EQ(loc.row, 7);
+  EXPECT_EQ(loc.column, 28);
+  EXPECT_EQ(loc.node_in_group, 9);
+  EXPECT_EQ(loc.name, "rowh-col29-n10-3");
+}
+
+TEST(Topology, RowLayoutCabinetIsRowColumnPair) {
+  ClusterLayout layout;
+  layout.rows = 2;
+  layout.columns = 3;
+  layout.nodes_per_column = 2;
+  layout.nodes = 12;
+  layout.gpus_per_node = 1;
+  const auto a = locate(layout, 0, 0);
+  const auto b = locate(layout, 1, 0);   // same column
+  const auto c = locate(layout, 2, 0);   // next column
+  EXPECT_EQ(a.cabinet, b.cabinet);
+  EXPECT_NE(a.cabinet, c.cabinet);
+}
+
+TEST(Topology, ValidateCatchesDimensionMismatch) {
+  ClusterLayout layout;
+  layout.rows = 2;
+  layout.columns = 3;
+  layout.nodes_per_column = 2;
+  layout.nodes = 11;  // != 12
+  layout.gpus_per_node = 1;
+  EXPECT_THROW(layout.validate(), std::invalid_argument);
+}
+
+TEST(Topology, LocateRejectsOutOfRange) {
+  ClusterLayout layout;
+  layout.nodes = 4;
+  layout.gpus_per_node = 2;
+  EXPECT_THROW(locate(layout, 4, 0), std::invalid_argument);
+  EXPECT_THROW(locate(layout, 0, 2), std::invalid_argument);
+}
+
+TEST(Topology, RowLetters) {
+  EXPECT_EQ(row_letter(0), 'a');
+  EXPECT_EQ(row_letter(7), 'h');
+  EXPECT_THROW(row_letter(-1), std::invalid_argument);
+  EXPECT_THROW(row_letter(26), std::invalid_argument);
+}
+
+TEST(Topology, UniqueNamesAcrossCluster) {
+  ClusterLayout layout;
+  layout.nodes = 54;
+  layout.gpus_per_node = 4;
+  layout.nodes_per_cabinet = 3;
+  std::set<std::string> names;
+  for (int n = 0; n < layout.nodes; ++n) {
+    for (int g = 0; g < layout.gpus_per_node; ++g) {
+      names.insert(locate(layout, n, g).name);
+    }
+  }
+  EXPECT_EQ(names.size(), 216u);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -1,0 +1,49 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace gpuvar {
+namespace {
+
+TEST(Units, MillisecondConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_ms(2.5), 2500.0);
+  EXPECT_DOUBLE_EQ(from_ms(2500.0), 2.5);
+  EXPECT_DOUBLE_EQ(from_ms(to_ms(0.123456)), 0.123456);
+}
+
+TEST(Units, ProfilerFloorIsOneMillisecond) {
+  EXPECT_DOUBLE_EQ(kMinSamplingInterval, 1e-3);
+}
+
+TEST(Require, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    GPUVAR_REQUIRE_MSG(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("test_units.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, AssertThrowsLogicError) {
+  EXPECT_THROW(GPUVAR_ASSERT(false), std::logic_error);
+  EXPECT_NO_THROW(GPUVAR_ASSERT(true));
+  EXPECT_NO_THROW(GPUVAR_REQUIRE(true));
+}
+
+TEST(Require, ConditionOnlyEvaluatedOnce) {
+  int calls = 0;
+  auto once = [&] {
+    ++calls;
+    return true;
+  };
+  GPUVAR_REQUIRE(once());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace gpuvar

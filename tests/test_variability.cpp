@@ -1,0 +1,123 @@
+#include "core/variability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpuvar {
+namespace {
+
+RunRecord rec(std::size_t gpu, double perf, double freq = 1400.0,
+              double power = 295.0, double temp = 60.0, int cabinet = 0,
+              int run = 0, int day = -1) {
+  RunRecord r;
+  r.gpu_index = gpu;
+  r.loc.cabinet = cabinet;
+  r.loc.row = cabinet;
+  r.loc.node = static_cast<int>(gpu / 4);
+  r.loc.name = "gpu" + std::to_string(gpu);
+  r.run_index = run;
+  r.day_of_week = day;
+  r.perf_ms = perf;
+  r.freq_mhz = freq;
+  r.power_w = power;
+  r.temp_c = temp;
+  return r;
+}
+
+TEST(Variability, AnalyzeComputesVariationPct) {
+  std::vector<RunRecord> rs;
+  for (int i = 0; i < 5; ++i) rs.push_back(rec(i, 2400.0 + i * 50.0));
+  const auto report = analyze_variability(rs);
+  EXPECT_EQ(report.records, 5u);
+  EXPECT_EQ(report.gpus, 5u);
+  EXPECT_DOUBLE_EQ(report.perf.box.median, 2500.0);
+  EXPECT_NEAR(report.perf.variation_pct,
+              report.perf.box.variation() * 100.0, 1e-9);
+}
+
+TEST(Variability, GroupKeysAndLabels) {
+  auto r = rec(0, 1.0);
+  r.loc.cabinet = 5;
+  r.loc.row = 7;
+  r.loc.column = 35;
+  r.loc.node = 17;
+  r.day_of_week = 0;
+  EXPECT_EQ(group_key(r, GroupBy::kCabinet), 5);
+  EXPECT_EQ(group_key(r, GroupBy::kRow), 7);
+  EXPECT_EQ(group_key(r, GroupBy::kColumn), 35);
+  EXPECT_EQ(group_key(r, GroupBy::kNode), 17);
+  EXPECT_EQ(group_key(r, GroupBy::kDayOfWeek), 0);
+  EXPECT_EQ(group_label(GroupBy::kCabinet, 5), "c005");
+  EXPECT_EQ(group_label(GroupBy::kRow, 7), "row H");
+  EXPECT_EQ(group_label(GroupBy::kColumn, 35), "col 36");
+  EXPECT_EQ(group_label(GroupBy::kDayOfWeek, 0), "Mon");
+}
+
+TEST(Variability, SeriesByGroupSplitsValues) {
+  std::vector<RunRecord> rs;
+  rs.push_back(rec(0, 100.0, 1, 1, 1, /*cabinet=*/0));
+  rs.push_back(rec(1, 200.0, 1, 1, 1, /*cabinet=*/0));
+  rs.push_back(rec(2, 300.0, 1, 1, 1, /*cabinet=*/1));
+  const auto series = series_by_group(rs, Metric::kPerf, GroupBy::kCabinet);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].values.size(), 2u);
+  EXPECT_EQ(series[1].values.size(), 1u);
+}
+
+TEST(Variability, ByGroupReportsPerGroup) {
+  std::vector<RunRecord> rs;
+  for (int i = 0; i < 8; ++i) {
+    rs.push_back(rec(i, 1000.0 + 100.0 * (i % 4), 1400, 295, 60, i / 4));
+  }
+  const auto groups = variability_by_group(rs, GroupBy::kCabinet);
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at(0).records, 4u);
+}
+
+TEST(Variability, RepeatabilityMatchesDefinition) {
+  std::vector<RunRecord> rs;
+  // GPU 0: runs 100, 102, 104 -> (104-100)/102 = 3.92%.
+  rs.push_back(rec(0, 100.0, 1, 1, 1, 0, 0));
+  rs.push_back(rec(0, 102.0, 1, 1, 1, 0, 1));
+  rs.push_back(rec(0, 104.0, 1, 1, 1, 0, 2));
+  // GPU 1: single run -> skipped.
+  rs.push_back(rec(1, 500.0));
+  const auto reps = per_gpu_repeatability(rs);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].gpu_index, 0u);
+  EXPECT_EQ(reps[0].runs, 3);
+  EXPECT_NEAR(reps[0].variation_pct, 4.0 / 102.0 * 100.0, 1e-9);
+}
+
+TEST(Variability, SlowAssignmentProbabilityMatchesCombinatorics) {
+  std::vector<RunRecord> rs;
+  // 10 GPUs: 8 at 100 ms, 2 at 110 ms (10% slower than median).
+  for (int i = 0; i < 8; ++i) rs.push_back(rec(i, 100.0));
+  for (int i = 8; i < 10; ++i) rs.push_back(rec(i, 110.0));
+  const double p1 = slow_assignment_probability(rs, 1, 0.06);
+  EXPECT_NEAR(p1, 0.2, 1e-9);
+  const double p4 = slow_assignment_probability(rs, 4, 0.06);
+  EXPECT_NEAR(p4, 1.0 - std::pow(0.8, 4), 1e-9);
+  EXPECT_GT(p4, p1);  // §VII: multi-GPU users hit stragglers more often
+}
+
+TEST(Variability, SlowAssignmentUsesPerGpuMedians) {
+  std::vector<RunRecord> rs;
+  // One GPU with a single slow run should not count as a slow GPU if its
+  // median is fine.
+  rs.push_back(rec(0, 100.0, 1, 1, 1, 0, 0));
+  rs.push_back(rec(0, 100.0, 1, 1, 1, 0, 1));
+  rs.push_back(rec(0, 150.0, 1, 1, 1, 0, 2));
+  rs.push_back(rec(1, 100.0));
+  rs.push_back(rec(2, 100.0));
+  EXPECT_DOUBLE_EQ(slow_assignment_probability(rs, 1, 0.06), 0.0);
+}
+
+TEST(Variability, EmptyRecordsThrow) {
+  std::vector<RunRecord> rs;
+  EXPECT_THROW(analyze_variability(rs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpuvar

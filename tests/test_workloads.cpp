@@ -1,0 +1,108 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvar {
+namespace {
+
+TEST(Workloads, AllFactoriesValidate) {
+  for (const auto& w :
+       {sgemm_workload(), resnet50_multi_workload(), resnet50_single_workload(),
+        bert_workload(), lammps_workload(), pagerank_workload()}) {
+    EXPECT_NO_THROW(w.validate()) << w.name;
+  }
+}
+
+TEST(Workloads, TableTwoConfiguration) {
+  // Table II: SGEMM 25536^3, 100 reps; ResNet 500 iters multi-GPU;
+  // BERT 250 iters multi-GPU; LAMMPS and PageRank single-GPU.
+  const auto sgemm = sgemm_workload();
+  EXPECT_EQ(sgemm.iterations, 100);
+  EXPECT_EQ(sgemm.gpus_per_job, 1);
+  EXPECT_DOUBLE_EQ(sgemm.iteration[0].kernel.flops,
+                   2.0 * 25536.0 * 25536.0 * 25536.0);
+
+  EXPECT_EQ(resnet50_multi_workload().gpus_per_job, 4);
+  EXPECT_EQ(resnet50_multi_workload().iterations, 500);
+  EXPECT_EQ(resnet50_single_workload().gpus_per_job, 1);
+  EXPECT_EQ(bert_workload().gpus_per_job, 4);
+  EXPECT_EQ(bert_workload().iterations, 250);
+  EXPECT_EQ(lammps_workload().gpus_per_job, 1);
+  EXPECT_EQ(pagerank_workload().gpus_per_job, 1);
+}
+
+TEST(Workloads, MetricsMatchPaper) {
+  EXPECT_EQ(sgemm_workload().metric, PerfMetric::kKernelMedian);
+  EXPECT_EQ(resnet50_multi_workload().metric, PerfMetric::kIterationMedian);
+  EXPECT_EQ(bert_workload().metric, PerfMetric::kIterationMedian);
+  EXPECT_EQ(lammps_workload().metric, PerfMetric::kLongKernelSum);
+  EXPECT_EQ(pagerank_workload().metric, PerfMetric::kKernelMedian);
+}
+
+TEST(Workloads, SingleGpuResnetScalesBatchDown) {
+  // Batch 64 -> 16: single-GPU per-iteration work must be smaller.
+  EXPECT_LT(resnet50_single_workload().iteration_flops(),
+            resnet50_multi_workload().iteration_flops());
+}
+
+TEST(Workloads, LammpsLongKernelsDominate) {
+  // Long kernels are 98% of the runtime; the short swarm is excluded
+  // from the metric.
+  const auto w = lammps_workload();
+  double long_bytes = 0.0, short_bytes = 0.0;
+  for (const auto& s : w.iteration) {
+    (s.long_kernel ? long_bytes : short_bytes) += s.kernel.bytes;
+  }
+  EXPECT_GT(long_bytes / (long_bytes + short_bytes), 0.9);
+}
+
+TEST(Workloads, LammpsKernelDurationsSpanPaperRange) {
+  // 4 unique long kernels, 20-200 ms at reference bandwidth.
+  const auto w = lammps_workload();
+  int long_count = 0;
+  for (const auto& s : w.iteration) {
+    if (s.long_kernel) ++long_count;
+  }
+  EXPECT_EQ(long_count, 4);
+}
+
+TEST(Workloads, SgemmHasNoFrameworkSensitivity) {
+  EXPECT_DOUBLE_EQ(sgemm_workload().gpu_sensitivity_sigma, 0.0);
+  EXPECT_GT(resnet50_multi_workload().gpu_sensitivity_sigma, 0.0);
+  // Multi-GPU training has the widest non-frequency spread.
+  EXPECT_GT(resnet50_multi_workload().gpu_sensitivity_sigma,
+            resnet50_single_workload().gpu_sensitivity_sigma);
+  EXPECT_GT(resnet50_single_workload().gpu_sensitivity_sigma,
+            bert_workload().gpu_sensitivity_sigma);
+}
+
+TEST(Workloads, ValidateCatchesBadSpecs) {
+  WorkloadSpec w;
+  w.name = "bad";
+  EXPECT_THROW(w.validate(), std::invalid_argument);  // empty iteration
+
+  w = sgemm_workload();
+  w.gpus_per_job = 0;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+
+  w = sgemm_workload();
+  for (auto& s : w.iteration) s.long_kernel = false;
+  EXPECT_THROW(w.validate(), std::invalid_argument);  // no metric kernel
+}
+
+TEST(Workloads, MetricNames) {
+  EXPECT_EQ(to_string(PerfMetric::kKernelMedian), "median kernel duration");
+  EXPECT_EQ(to_string(PerfMetric::kLongKernelSum),
+            "total long-kernel duration");
+}
+
+TEST(Workloads, IterationTotalsArePositive) {
+  for (const auto& w :
+       {resnet50_multi_workload(), bert_workload(), lammps_workload()}) {
+    EXPECT_GT(w.iteration_flops(), 0.0) << w.name;
+    EXPECT_GT(w.iteration_bytes(), 0.0) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace gpuvar

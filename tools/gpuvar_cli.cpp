@@ -1,0 +1,14 @@
+// The `gpuvar` command-line tool: simulate campaigns, analyze results
+// CSVs (simulated or collected on real hardware), flag anomalies, and
+// project variability to other cluster sizes. All logic lives in
+// core/cli.{hpp,cpp}; this is only the process shell.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return gpuvar::cli::run_cli(args, std::cout, std::cerr);
+}
