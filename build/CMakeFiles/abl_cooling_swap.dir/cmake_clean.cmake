@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cooling_swap.dir/bench/abl_cooling_swap.cpp.o"
+  "CMakeFiles/abl_cooling_swap.dir/bench/abl_cooling_swap.cpp.o.d"
+  "bench/abl_cooling_swap"
+  "bench/abl_cooling_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cooling_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fastforward.dir/bench/abl_fastforward.cpp.o"
+  "CMakeFiles/abl_fastforward.dir/bench/abl_fastforward.cpp.o.d"
+  "bench/abl_fastforward"
+  "bench/abl_fastforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fastforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_silicon_spread.dir/bench/abl_silicon_spread.cpp.o"
+  "CMakeFiles/abl_silicon_spread.dir/bench/abl_silicon_spread.cpp.o.d"
+  "bench/abl_silicon_spread"
+  "bench/abl_silicon_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_silicon_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

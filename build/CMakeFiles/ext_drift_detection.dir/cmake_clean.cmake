@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_drift_detection.dir/bench/ext_drift_detection.cpp.o"
+  "CMakeFiles/ext_drift_detection.dir/bench/ext_drift_detection.cpp.o.d"
+  "bench/ext_drift_detection"
+  "bench/ext_drift_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_drift_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

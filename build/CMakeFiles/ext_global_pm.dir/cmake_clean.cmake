@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_global_pm.dir/bench/ext_global_pm.cpp.o"
+  "CMakeFiles/ext_global_pm.dir/bench/ext_global_pm.cpp.o.d"
+  "bench/ext_global_pm"
+  "bench/ext_global_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_global_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scheduler_policies.dir/bench/ext_scheduler_policies.cpp.o"
+  "CMakeFiles/ext_scheduler_policies.dir/bench/ext_scheduler_policies.cpp.o.d"
+  "bench/ext_scheduler_policies"
+  "bench/ext_scheduler_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scheduler_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

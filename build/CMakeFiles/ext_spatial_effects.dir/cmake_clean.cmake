@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spatial_effects.dir/bench/ext_spatial_effects.cpp.o"
+  "CMakeFiles/ext_spatial_effects.dir/bench/ext_spatial_effects.cpp.o.d"
+  "bench/ext_spatial_effects"
+  "bench/ext_spatial_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spatial_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sgemm_all_clusters.dir/bench/fig01_sgemm_all_clusters.cpp.o"
+  "CMakeFiles/fig01_sgemm_all_clusters.dir/bench/fig01_sgemm_all_clusters.cpp.o.d"
+  "bench/fig01_sgemm_all_clusters"
+  "bench/fig01_sgemm_all_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sgemm_all_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

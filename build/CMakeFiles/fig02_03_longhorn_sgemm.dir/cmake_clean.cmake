@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_03_longhorn_sgemm.dir/bench/fig02_03_longhorn_sgemm.cpp.o"
+  "CMakeFiles/fig02_03_longhorn_sgemm.dir/bench/fig02_03_longhorn_sgemm.cpp.o.d"
+  "bench/fig02_03_longhorn_sgemm"
+  "bench/fig02_03_longhorn_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_03_longhorn_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

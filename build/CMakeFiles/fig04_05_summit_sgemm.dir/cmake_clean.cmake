@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_05_summit_sgemm.dir/bench/fig04_05_summit_sgemm.cpp.o"
+  "CMakeFiles/fig04_05_summit_sgemm.dir/bench/fig04_05_summit_sgemm.cpp.o.d"
+  "bench/fig04_05_summit_sgemm"
+  "bench/fig04_05_summit_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_05_summit_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

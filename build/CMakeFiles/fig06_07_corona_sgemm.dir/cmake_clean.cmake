@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_corona_sgemm.dir/bench/fig06_07_corona_sgemm.cpp.o"
+  "CMakeFiles/fig06_07_corona_sgemm.dir/bench/fig06_07_corona_sgemm.cpp.o.d"
+  "bench/fig06_07_corona_sgemm"
+  "bench/fig06_07_corona_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_corona_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_per_gpu_variance.dir/bench/fig08_per_gpu_variance.cpp.o"
+  "CMakeFiles/fig08_per_gpu_variance.dir/bench/fig08_per_gpu_variance.cpp.o.d"
+  "bench/fig08_per_gpu_variance"
+  "bench/fig08_per_gpu_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_per_gpu_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

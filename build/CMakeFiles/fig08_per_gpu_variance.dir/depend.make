@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_per_gpu_variance.
+# This may be replaced when dependencies are built.

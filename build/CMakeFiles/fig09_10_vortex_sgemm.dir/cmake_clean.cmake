@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_vortex_sgemm.dir/bench/fig09_10_vortex_sgemm.cpp.o"
+  "CMakeFiles/fig09_10_vortex_sgemm.dir/bench/fig09_10_vortex_sgemm.cpp.o.d"
+  "bench/fig09_10_vortex_sgemm"
+  "bench/fig09_10_vortex_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_vortex_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vortex_timeseries.dir/bench/fig11_vortex_timeseries.cpp.o"
+  "CMakeFiles/fig11_vortex_timeseries.dir/bench/fig11_vortex_timeseries.cpp.o.d"
+  "bench/fig11_vortex_timeseries"
+  "bench/fig11_vortex_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vortex_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_13_frontera_sgemm.dir/bench/fig12_13_frontera_sgemm.cpp.o"
+  "CMakeFiles/fig12_13_frontera_sgemm.dir/bench/fig12_13_frontera_sgemm.cpp.o.d"
+  "bench/fig12_13_frontera_sgemm"
+  "bench/fig12_13_frontera_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_frontera_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

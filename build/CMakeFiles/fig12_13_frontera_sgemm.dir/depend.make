@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_13_frontera_sgemm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_resnet_multi.dir/bench/fig14_15_resnet_multi.cpp.o"
+  "CMakeFiles/fig14_15_resnet_multi.dir/bench/fig14_15_resnet_multi.cpp.o.d"
+  "bench/fig14_15_resnet_multi"
+  "bench/fig14_15_resnet_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_resnet_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

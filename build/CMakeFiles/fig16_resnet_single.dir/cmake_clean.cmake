@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_resnet_single.dir/bench/fig16_resnet_single.cpp.o"
+  "CMakeFiles/fig16_resnet_single.dir/bench/fig16_resnet_single.cpp.o.d"
+  "bench/fig16_resnet_single"
+  "bench/fig16_resnet_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_resnet_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

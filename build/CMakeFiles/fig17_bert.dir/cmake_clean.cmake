@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_bert.dir/bench/fig17_bert.cpp.o"
+  "CMakeFiles/fig17_bert.dir/bench/fig17_bert.cpp.o.d"
+  "bench/fig17_bert"
+  "bench/fig17_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

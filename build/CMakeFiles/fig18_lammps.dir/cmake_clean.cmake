@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_lammps.dir/bench/fig18_lammps.cpp.o"
+  "CMakeFiles/fig18_lammps.dir/bench/fig18_lammps.cpp.o.d"
+  "bench/fig18_lammps"
+  "bench/fig18_lammps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lammps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_pagerank.dir/bench/fig19_pagerank.cpp.o"
+  "CMakeFiles/fig19_pagerank.dir/bench/fig19_pagerank.cpp.o.d"
+  "bench/fig19_pagerank"
+  "bench/fig19_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_21_day_of_week.dir/bench/fig20_21_day_of_week.cpp.o"
+  "CMakeFiles/fig20_21_day_of_week.dir/bench/fig20_21_day_of_week.cpp.o.d"
+  "bench/fig20_21_day_of_week"
+  "bench/fig20_21_day_of_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_21_day_of_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

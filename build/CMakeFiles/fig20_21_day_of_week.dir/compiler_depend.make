@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_21_day_of_week.
+# This may be replaced when dependencies are built.

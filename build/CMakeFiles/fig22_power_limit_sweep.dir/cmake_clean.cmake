@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_power_limit_sweep.dir/bench/fig22_power_limit_sweep.cpp.o"
+  "CMakeFiles/fig22_power_limit_sweep.dir/bench/fig22_power_limit_sweep.cpp.o.d"
+  "bench/fig22_power_limit_sweep"
+  "bench/fig22_power_limit_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_power_limit_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_26_summit_rowh.dir/bench/fig23_26_summit_rowh.cpp.o"
+  "CMakeFiles/fig23_26_summit_rowh.dir/bench/fig23_26_summit_rowh.cpp.o.d"
+  "bench/fig23_26_summit_rowh"
+  "bench/fig23_26_summit_rowh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_26_summit_rowh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig23_26_summit_rowh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hostkernels_bench.dir/bench/micro_hostkernels_bench.cpp.o"
+  "CMakeFiles/micro_hostkernels_bench.dir/bench/micro_hostkernels_bench.cpp.o.d"
+  "bench/micro_hostkernels_bench"
+  "bench/micro_hostkernels_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hostkernels_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_bench.dir/bench/micro_sim_bench.cpp.o"
+  "CMakeFiles/micro_sim_bench.dir/bench/micro_sim_bench.cpp.o.d"
+  "bench/micro_sim_bench"
+  "bench/micro_sim_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stats_bench.dir/bench/micro_stats_bench.cpp.o"
+  "CMakeFiles/micro_stats_bench.dir/bench/micro_stats_bench.cpp.o.d"
+  "bench/micro_stats_bench"
+  "bench/micro_stats_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stats_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

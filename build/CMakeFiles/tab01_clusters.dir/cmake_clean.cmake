@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_clusters.dir/bench/tab01_clusters.cpp.o"
+  "CMakeFiles/tab01_clusters.dir/bench/tab01_clusters.cpp.o.d"
+  "bench/tab01_clusters"
+  "bench/tab01_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

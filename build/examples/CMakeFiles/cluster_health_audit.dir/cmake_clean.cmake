@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_health_audit.dir/cluster_health_audit.cpp.o"
+  "CMakeFiles/cluster_health_audit.dir/cluster_health_audit.cpp.o.d"
+  "cluster_health_audit"
+  "cluster_health_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_health_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

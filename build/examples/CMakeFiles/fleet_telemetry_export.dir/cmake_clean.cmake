@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_telemetry_export.dir/fleet_telemetry_export.cpp.o"
+  "CMakeFiles/fleet_telemetry_export.dir/fleet_telemetry_export.cpp.o.d"
+  "fleet_telemetry_export"
+  "fleet_telemetry_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_telemetry_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

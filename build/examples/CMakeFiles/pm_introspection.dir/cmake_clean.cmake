@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_introspection.dir/pm_introspection.cpp.o"
+  "CMakeFiles/pm_introspection.dir/pm_introspection.cpp.o.d"
+  "pm_introspection"
+  "pm_introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

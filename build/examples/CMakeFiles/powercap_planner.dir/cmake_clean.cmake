@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powercap_planner.dir/powercap_planner.cpp.o"
+  "CMakeFiles/powercap_planner.dir/powercap_planner.cpp.o.d"
+  "powercap_planner"
+  "powercap_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powercap_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

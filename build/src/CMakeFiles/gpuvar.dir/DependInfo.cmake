@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocator.cpp" "src/CMakeFiles/gpuvar.dir/cluster/allocator.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/cluster/allocator.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/gpuvar.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/faults.cpp" "src/CMakeFiles/gpuvar.dir/cluster/faults.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/cluster/faults.cpp.o.d"
+  "/root/repo/src/cluster/tenancy.cpp" "src/CMakeFiles/gpuvar.dir/cluster/tenancy.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/cluster/tenancy.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/gpuvar.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/cluster/topology.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/gpuvar.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/csv_reader.cpp" "src/CMakeFiles/gpuvar.dir/common/csv_reader.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/common/csv_reader.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/gpuvar.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/gpuvar.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/CMakeFiles/gpuvar.dir/core/classify.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/classify.cpp.o.d"
+  "/root/repo/src/core/cli.cpp" "src/CMakeFiles/gpuvar.dir/core/cli.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/cli.cpp.o.d"
+  "/root/repo/src/core/compare.cpp" "src/CMakeFiles/gpuvar.dir/core/compare.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/compare.cpp.o.d"
+  "/root/repo/src/core/correlate.cpp" "src/CMakeFiles/gpuvar.dir/core/correlate.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/correlate.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/CMakeFiles/gpuvar.dir/core/drift.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/drift.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/gpuvar.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/flagging.cpp" "src/CMakeFiles/gpuvar.dir/core/flagging.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/flagging.cpp.o.d"
+  "/root/repo/src/core/globalpm.cpp" "src/CMakeFiles/gpuvar.dir/core/globalpm.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/globalpm.cpp.o.d"
+  "/root/repo/src/core/markdown_report.cpp" "src/CMakeFiles/gpuvar.dir/core/markdown_report.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/markdown_report.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/CMakeFiles/gpuvar.dir/core/projection.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/projection.cpp.o.d"
+  "/root/repo/src/core/record.cpp" "src/CMakeFiles/gpuvar.dir/core/record.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/record.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/gpuvar.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/gpuvar.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/user_impact.cpp" "src/CMakeFiles/gpuvar.dir/core/user_impact.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/user_impact.cpp.o.d"
+  "/root/repo/src/core/variability.cpp" "src/CMakeFiles/gpuvar.dir/core/variability.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/core/variability.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/CMakeFiles/gpuvar.dir/gpu/device.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/gpu/device.cpp.o.d"
+  "/root/repo/src/gpu/dvfs.cpp" "src/CMakeFiles/gpuvar.dir/gpu/dvfs.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/gpu/dvfs.cpp.o.d"
+  "/root/repo/src/gpu/kernel.cpp" "src/CMakeFiles/gpuvar.dir/gpu/kernel.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/gpu/kernel.cpp.o.d"
+  "/root/repo/src/gpu/power_model.cpp" "src/CMakeFiles/gpuvar.dir/gpu/power_model.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/gpu/power_model.cpp.o.d"
+  "/root/repo/src/gpu/silicon.cpp" "src/CMakeFiles/gpuvar.dir/gpu/silicon.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/gpu/silicon.cpp.o.d"
+  "/root/repo/src/gpu/sku.cpp" "src/CMakeFiles/gpuvar.dir/gpu/sku.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/gpu/sku.cpp.o.d"
+  "/root/repo/src/hostbench/graph.cpp" "src/CMakeFiles/gpuvar.dir/hostbench/graph.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/hostbench/graph.cpp.o.d"
+  "/root/repo/src/hostbench/host_device.cpp" "src/CMakeFiles/gpuvar.dir/hostbench/host_device.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/hostbench/host_device.cpp.o.d"
+  "/root/repo/src/hostbench/matrix.cpp" "src/CMakeFiles/gpuvar.dir/hostbench/matrix.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/hostbench/matrix.cpp.o.d"
+  "/root/repo/src/hostbench/pagerank_cpu.cpp" "src/CMakeFiles/gpuvar.dir/hostbench/pagerank_cpu.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/hostbench/pagerank_cpu.cpp.o.d"
+  "/root/repo/src/hostbench/sgemm_cpu.cpp" "src/CMakeFiles/gpuvar.dir/hostbench/sgemm_cpu.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/hostbench/sgemm_cpu.cpp.o.d"
+  "/root/repo/src/hostbench/spmv_cpu.cpp" "src/CMakeFiles/gpuvar.dir/hostbench/spmv_cpu.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/hostbench/spmv_cpu.cpp.o.d"
+  "/root/repo/src/hostbench/stream_cpu.cpp" "src/CMakeFiles/gpuvar.dir/hostbench/stream_cpu.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/hostbench/stream_cpu.cpp.o.d"
+  "/root/repo/src/stats/ascii_plot.cpp" "src/CMakeFiles/gpuvar.dir/stats/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/ascii_plot.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/CMakeFiles/gpuvar.dir/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/boxplot.cpp" "src/CMakeFiles/gpuvar.dir/stats/boxplot.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/boxplot.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/CMakeFiles/gpuvar.dir/stats/correlation.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/gpuvar.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/gpuvar.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/CMakeFiles/gpuvar.dir/stats/normal.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/normal.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/CMakeFiles/gpuvar.dir/stats/quantile.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/quantile.cpp.o.d"
+  "/root/repo/src/stats/sampling.cpp" "src/CMakeFiles/gpuvar.dir/stats/sampling.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/stats/sampling.cpp.o.d"
+  "/root/repo/src/telemetry/counters.cpp" "src/CMakeFiles/gpuvar.dir/telemetry/counters.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/telemetry/counters.cpp.o.d"
+  "/root/repo/src/telemetry/export.cpp" "src/CMakeFiles/gpuvar.dir/telemetry/export.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/telemetry/export.cpp.o.d"
+  "/root/repo/src/telemetry/pmapi.cpp" "src/CMakeFiles/gpuvar.dir/telemetry/pmapi.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/telemetry/pmapi.cpp.o.d"
+  "/root/repo/src/telemetry/sampler.cpp" "src/CMakeFiles/gpuvar.dir/telemetry/sampler.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/telemetry/sampler.cpp.o.d"
+  "/root/repo/src/telemetry/timeseries.cpp" "src/CMakeFiles/gpuvar.dir/telemetry/timeseries.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/telemetry/timeseries.cpp.o.d"
+  "/root/repo/src/thermal/cooling.cpp" "src/CMakeFiles/gpuvar.dir/thermal/cooling.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/thermal/cooling.cpp.o.d"
+  "/root/repo/src/thermal/thermal.cpp" "src/CMakeFiles/gpuvar.dir/thermal/thermal.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/thermal/thermal.cpp.o.d"
+  "/root/repo/src/workloads/bert.cpp" "src/CMakeFiles/gpuvar.dir/workloads/bert.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/workloads/bert.cpp.o.d"
+  "/root/repo/src/workloads/lammps.cpp" "src/CMakeFiles/gpuvar.dir/workloads/lammps.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/workloads/lammps.cpp.o.d"
+  "/root/repo/src/workloads/pagerank.cpp" "src/CMakeFiles/gpuvar.dir/workloads/pagerank.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/workloads/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/resnet.cpp" "src/CMakeFiles/gpuvar.dir/workloads/resnet.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/workloads/resnet.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/CMakeFiles/gpuvar.dir/workloads/runner.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/workloads/runner.cpp.o.d"
+  "/root/repo/src/workloads/sgemm.cpp" "src/CMakeFiles/gpuvar.dir/workloads/sgemm.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/workloads/sgemm.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/gpuvar.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/gpuvar.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpuvar.
+# This may be replaced when dependencies are built.

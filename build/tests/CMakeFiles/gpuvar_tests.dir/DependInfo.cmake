@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_allocator.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_allocator.cpp.o.d"
+  "/root/repo/tests/test_ascii_plot.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_ascii_plot.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_ascii_plot.cpp.o.d"
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_boxplot.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_boxplot.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_boxplot.cpp.o.d"
+  "/root/repo/tests/test_classify.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_classify.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_classify.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_compare.cpp.o.d"
+  "/root/repo/tests/test_cooling.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_cooling.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_cooling.cpp.o.d"
+  "/root/repo/tests/test_correlate.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_correlate.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_correlate.cpp.o.d"
+  "/root/repo/tests/test_correlation.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_correlation.cpp.o.d"
+  "/root/repo/tests/test_counters.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_counters.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_counters.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_csv_reader.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_csv_reader.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_csv_reader.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_drift.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_drift.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_drift.cpp.o.d"
+  "/root/repo/tests/test_dvfs.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_dvfs.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_dvfs.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_export.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_export.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_flagging.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_flagging.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_flagging.cpp.o.d"
+  "/root/repo/tests/test_globalpm.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_globalpm.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_globalpm.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_host_device.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_host_device.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_host_device.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_markdown_report.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_markdown_report.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_markdown_report.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_normal.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_normal.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_normal.cpp.o.d"
+  "/root/repo/tests/test_pagerank_cpu.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_pagerank_cpu.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_pagerank_cpu.cpp.o.d"
+  "/root/repo/tests/test_pmapi.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_pmapi.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_pmapi.cpp.o.d"
+  "/root/repo/tests/test_power_model.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_power_model.cpp.o.d"
+  "/root/repo/tests/test_projection.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_projection.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_projection.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quantile.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_quantile.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_quantile.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_sampler.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_sampler.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sgemm_cpu.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_sgemm_cpu.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_sgemm_cpu.cpp.o.d"
+  "/root/repo/tests/test_silicon.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_silicon.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_silicon.cpp.o.d"
+  "/root/repo/tests/test_sku.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_sku.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_sku.cpp.o.d"
+  "/root/repo/tests/test_spmv_cpu.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_spmv_cpu.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_spmv_cpu.cpp.o.d"
+  "/root/repo/tests/test_stream_cpu.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_stream_cpu.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_stream_cpu.cpp.o.d"
+  "/root/repo/tests/test_tenancy.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_tenancy.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_tenancy.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_user_impact.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_user_impact.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_user_impact.cpp.o.d"
+  "/root/repo/tests/test_variability.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_variability.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_variability.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/gpuvar_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/gpuvar_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpuvar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

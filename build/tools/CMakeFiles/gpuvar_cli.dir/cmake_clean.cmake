@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvar_cli.dir/gpuvar_cli.cpp.o"
+  "CMakeFiles/gpuvar_cli.dir/gpuvar_cli.cpp.o.d"
+  "gpuvar"
+  "gpuvar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
