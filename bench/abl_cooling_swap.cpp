@@ -25,9 +25,9 @@ int main() {
                 rep.temp.box.q3 - rep.temp.box.q1, rep.freq.box.median);
   };
 
-  run_with("air (actual)", air_cooling(28.0));
-  run_with("water", water_cooling(24.0));
-  run_with("mineral oil", mineral_oil_cooling(48.0));
+  run_with("air (actual)", air_cooling(Celsius{28.0}));
+  run_with("water", water_cooling(Celsius{24.0}));
+  run_with("mineral oil", mineral_oil_cooling(Celsius{48.0}));
 
   std::printf(
       "\nExpected: water/oil collapse the temperature spread; performance "

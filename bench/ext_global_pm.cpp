@@ -16,7 +16,7 @@ int main() {
               "W/GPU", "uniform ms", "var %", "coord ms", "var %",
               "target MHz");
   for (double per_gpu : {290.0, 275.0, 260.0, 240.0, 220.0}) {
-    const Watts envelope = per_gpu * static_cast<double>(vortex.size());
+    const Watts envelope{per_gpu * static_cast<double>(vortex.size())};
     const auto uni = analyze_variability(
         run_under_assignment(vortex, workload,
                              uniform_assignment(vortex, envelope))
@@ -26,9 +26,9 @@ int main() {
     const auto coord = analyze_variability(
         run_under_assignment(vortex, workload, assignment).records);
     std::printf("%9.0fW %13.0fW | %10.0f %8.2f | %10.0f %8.2f | %7.0f\n",
-                envelope, per_gpu, uni.perf.box.median,
+                envelope.value(), per_gpu, uni.perf.box.median,
                 uni.perf.variation_pct, coord.perf.box.median,
-                coord.perf.variation_pct, assignment.target_freq);
+                coord.perf.variation_pct, assignment.target_freq.value());
   }
 
   std::printf(
@@ -38,15 +38,15 @@ int main() {
       "The median barely moves — the win is uniformity, not peak speed.\n");
 
   print_section(std::cout, "per-GPU budget redistribution");
-  const Watts envelope = 275.0 * static_cast<double>(vortex.size());
+  const Watts envelope{275.0 * static_cast<double>(vortex.size())};
   const auto a = equal_frequency_assignment(vortex, envelope, kernel);
   double lo = 1e18, hi = 0.0;
   for (Watts w : a.limits) {
-    lo = std::min(lo, w);
-    hi = std::max(hi, w);
+    lo = std::min(lo, w.value());
+    hi = std::max(hi, w.value());
   }
   std::printf("  limits span %.0f-%.0f W (best bins donate ~%.0f W to the "
               "worst bins) at a common %.0f MHz\n",
-              lo, hi, hi - lo, a.target_freq);
+              lo, hi, hi - lo, a.target_freq.value());
   return 0;
 }

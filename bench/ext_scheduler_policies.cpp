@@ -14,7 +14,7 @@ int main() {
               longhorn.node_count());
   const auto quality = profile_node_quality(longhorn, 4);
   std::vector<double> freqs;
-  for (const auto& q : quality) freqs.push_back(q.median_freq);
+  for (const auto& q : quality) freqs.push_back(q.median_freq.value());
   const auto ci = stats::bootstrap_ci(
       freqs, stats::variation_pct_statistic, 500, 0.95);
   std::printf("  node-frequency variation: %.1f%% (95%% CI [%.1f, %.1f])\n",

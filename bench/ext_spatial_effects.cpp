@@ -21,7 +21,7 @@ void spatial_for(const ClusterSpec& spec) {
         measure_tenancy_impact(cluster, node, w, opts, TenancyOptions{});
     for (const auto& imp : impacts) {
       slow_sum += imp.slowdown;
-      dt_sum += imp.shared_temp - imp.exclusive_temp;
+      dt_sum += (imp.shared_temp - imp.exclusive_temp).value();
       ++count;
     }
   }
@@ -47,7 +47,7 @@ int main() {
   Cluster longhorn(longhorn_spec());
   const auto opts = RunOptions::for_sku(longhorn.sku());
   const auto w = sgemm_workload(25536, 6);
-  for (Watts prev : {0.0, 150.0, 295.0}) {
+  for (Watts prev : {Watts{0.0}, Watts{150.0}, Watts{295.0}}) {
     TenancyOptions t;
     t.coupling_c_per_w = 0.0;  // isolate the temporal effect
     t.previous_job_power = prev;
@@ -59,7 +59,7 @@ int main() {
     }
     std::printf("  previous job at %3.0f W: median kernel %7.1f ms, "
                 "temp %5.1f C\n",
-                prev, perf / results.size(), temp / results.size());
+                prev.value(), perf / results.size(), temp / results.size());
   }
   std::printf(
       "\nConclusion: air-cooled clusters see a real multi-tenant penalty "

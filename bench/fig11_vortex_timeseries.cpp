@@ -28,10 +28,10 @@ std::size_t extreme_gpu(const Cluster& cluster, bool slowest) {
 void trace(const Cluster& cluster, std::size_t gpu, const char* label) {
   RunOptions opts = RunOptions::for_sku(cluster.sku());
   opts.collect_series = true;
-  opts.series_interval = 0.02;
+  opts.series_interval = Seconds{0.02};
   auto w = sgemm_workload(25536, 4);  // a ~10 s slice: 4 kernels
   w.warmup_iterations = 0;       // capture the launch transient
-  w.inter_kernel_gap = 0.4;      // idle gap: DVFS re-boosts per launch
+  w.inter_kernel_gap = Seconds{0.4};      // idle gap: DVFS re-boosts per launch
   const auto r = run_on_gpu(cluster, gpu, w, 0, opts);
 
   std::printf("\n%s: %s — median %0.f MHz, %0.f W, %.1f C, kernel %0.f ms\n",

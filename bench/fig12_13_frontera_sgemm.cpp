@@ -31,7 +31,8 @@ int main() {
     if (inst.faults.has(FaultKind::kPumpFailure)) {
       std::printf("  -> %s confirmed: injected pump fault (cap %.0f W, "
                   "median power deficit %.0f W)\n",
-                  f.name.c_str(), inst.power_cap, med - inst.power_cap);
+                  f.name.c_str(), inst.power_cap.value(),
+                  med - inst.power_cap.value());
     }
   }
   return 0;

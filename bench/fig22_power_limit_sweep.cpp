@@ -21,7 +21,7 @@ int main() {
     auto cfg = default_config(
         cloudlab, sgemm_workload(25536, bench::sgemm_reps()),
         std::max(3, bench::runs_per_gpu()));
-    cfg.run_options.power_limit_override = limit;
+    cfg.run_options.power_limit_override = Watts{limit};
     const auto result = run_experiment(cloudlab, cfg);
     const auto report = analyze_variability(result.records);
     std::printf("%8.0f %10.0f %8.2f %10.0f %10.0f\n", limit,

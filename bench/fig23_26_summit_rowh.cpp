@@ -58,7 +58,7 @@ int main() {
   std::size_t capped = summit.size();
   for (std::size_t i = 0; i < summit.size(); ++i) {
     const auto& g = summit.gpu(i);
-    if (g.loc.row == 7 && g.power_cap > 0.0) {
+    if (g.loc.row == 7 && g.power_cap > Watts{}) {
       capped = i;
       break;
     }
@@ -66,12 +66,12 @@ int main() {
   if (capped < summit.size()) {
     RunOptions opts = RunOptions::for_sku(summit.sku());
     opts.collect_series = true;
-    opts.series_interval = 0.02;
+    opts.series_interval = Seconds{0.02};
     const auto r =
         run_on_gpu(summit, capped, sgemm_workload(25536, 3), 0, opts);
     std::printf("  %s (cap %.0f W): median %.0f MHz at %.0f W\n",
                 summit.gpu(capped).loc.name.c_str(),
-                summit.gpu(capped).power_cap, r.telemetry.freq.median,
+                summit.gpu(capped).power_cap.value(), r.telemetry.freq.median,
                 r.telemetry.power.median);
     stats::LineChartOptions fo;
     fo.y_label = "frequency (MHz)";

@@ -18,10 +18,10 @@ void BM_SgemmKernelSim(benchmark::State& state) {
   const auto k = make_sgemm_kernel(25536);
   double simulated = 0.0;
   for (auto _ : state) {
-    SimulatedGpu dev(sku, chip, ThermalParams{0.1, 80.0, 28.0}, opts);
+    SimulatedGpu dev(sku, chip, ThermalParams{0.1, 80.0, Celsius{28.0}}, opts);
     const auto r = dev.run_kernel(k, nullptr);
-    simulated += r.duration;
-    benchmark::DoNotOptimize(r.duration);
+    simulated += r.duration.value();
+    benchmark::DoNotOptimize(r.duration.value());
   }
   state.counters["sim_s_per_wall_s"] = benchmark::Counter(
       simulated, benchmark::Counter::kIsRate);
@@ -34,7 +34,7 @@ void BM_DeviceTick(benchmark::State& state) {
   const SiliconSample chip;
   SimOptions opts;
   opts.fast_forward = false;
-  SimulatedGpu dev(sku, chip, ThermalParams{0.1, 80.0, 28.0}, opts);
+  SimulatedGpu dev(sku, chip, ThermalParams{0.1, 80.0, Celsius{28.0}}, opts);
   KernelSpec k;
   k.name = "endless";
   k.flops = 1e18;  // never finishes inside the benchmark loop
@@ -45,7 +45,7 @@ void BM_DeviceTick(benchmark::State& state) {
   unit.flops = 1e10;  // ~1 ms at boost
   for (auto _ : state) {
     const auto r = dev.run_kernel(unit, &sampler);
-    benchmark::DoNotOptimize(r.duration);
+    benchmark::DoNotOptimize(r.duration.value());
   }
 }
 BENCHMARK(BM_DeviceTick);

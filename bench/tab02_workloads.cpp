@@ -30,7 +30,7 @@ int main() {
   auto classify_row = [&](const WorkloadSpec& w) {
     CounterAccumulator acc;
     for (const auto& step : w.iteration) {
-      const double t =
+      const Seconds t =
           kernel_time_at(step.kernel, sku, typical, sku.max_mhz);
       acc.add(step.kernel, t * step.count);
     }

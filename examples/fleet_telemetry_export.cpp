@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   // Full time series for GPU 0 (profiler resolution).
   RunOptions series_opts = opts;
   series_opts.collect_series = true;
-  series_opts.series_interval = 0.001;  // the 1 ms profiler floor
+  series_opts.series_interval = Seconds{0.001};  // the 1 ms profiler floor
   const auto traced =
       run_on_gpu(cluster, 0, sgemm_workload(25536, 3), 0, series_opts);
   const auto series_path = out_dir / "vortex_gpu0_series.csv";

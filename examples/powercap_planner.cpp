@@ -18,7 +18,7 @@ int main() {
 
   for (double cap : {300.0, 250.0, 200.0, 175.0, 150.0, 125.0, 100.0}) {
     auto cfg = default_config(cluster, sgemm_workload(25536, 8), 2);
-    cfg.run_options.power_limit_override = cap;
+    cfg.run_options.power_limit_override = Watts{cap};
     const auto result = run_experiment(cluster, cfg);
     const auto rep = analyze_variability(result.records);
 

@@ -104,8 +104,8 @@ std::unique_ptr<SimulatedGpu> Cluster::make_device(
   const GpuInstance& inst = gpu(i);
   auto dev = std::make_unique<SimulatedGpu>(spec_.sku, inst.silicon,
                                             inst.thermal, opts);
-  Watts limit = inst.power_cap > 0.0 ? inst.power_cap : spec_.sku.tdp;
-  if (power_limit_override > 0.0) {
+  Watts limit = inst.power_cap > Watts{} ? inst.power_cap : spec_.sku.tdp;
+  if (power_limit_override > Watts{}) {
     limit = std::min(limit, power_limit_override);
   }
   dev->set_power_limit(limit);
@@ -124,7 +124,7 @@ ClusterSpec longhorn_spec(std::uint64_t seed) {
   ClusterSpec s;
   s.name = "longhorn";
   s.sku = make_v100_sxm2();
-  s.cooling = air_cooling(28.0);
+  s.cooling = air_cooling(Celsius{28.0});
   s.layout.nodes = 104;
   s.layout.gpus_per_node = 4;
   s.layout.nodes_per_cabinet = 8;  // 13 cabinets, coloured in the figures
@@ -137,8 +137,8 @@ ClusterSpec longhorn_spec(std::uint64_t seed) {
   c002.kind = FaultKind::kDegradedBoard;
   c002.cabinets = {2};
   c002.probability = 0.22;
-  c002.cap_mean = 252.0;
-  c002.cap_sigma = 6.0;
+  c002.cap_mean = Watts{252.0};
+  c002.cap_sigma = Watts{6.0};
   c002.mem_bw_factor = 0.22;
   s.faults.rules.push_back(c002);
 
@@ -146,8 +146,8 @@ ClusterSpec longhorn_spec(std::uint64_t seed) {
   FaultRule caps;
   caps.kind = FaultKind::kPowerCap;
   caps.probability = 0.012;
-  caps.cap_mean = 262.0;
-  caps.cap_sigma = 9.0;
+  caps.cap_mean = Watts{262.0};
+  caps.cap_sigma = Watts{9.0};
   s.faults.rules.push_back(caps);
 
   // Cabinet c004 sits in a hot aisle: high temperature but healthy
@@ -157,7 +157,7 @@ ClusterSpec longhorn_spec(std::uint64_t seed) {
   hot.cabinets = {4};
   hot.probability = 0.8;
   hot.r_multiplier = 1.25;
-  hot.inlet_delta = 7.0;
+  hot.inlet_delta = Celsius{7.0};
   s.faults.rules.push_back(hot);
   return s;
 }
@@ -168,7 +168,7 @@ ClusterSpec summit_spec(std::uint64_t seed, int rows, int columns,
   ClusterSpec s;
   s.name = "summit";
   s.sku = make_v100_sxm2();
-  s.cooling = water_cooling(26.0);
+  s.cooling = water_cooling(Celsius{26.0});
   s.layout.rows = rows;
   s.layout.columns = columns;
   s.layout.nodes_per_column = nodes_per_column;
@@ -187,8 +187,8 @@ ClusterSpec summit_spec(std::uint64_t seed, int rows, int columns,
     if (col < columns) rowh_caps.row_columns.emplace_back(row_h, col);
   }
   rowh_caps.probability = 0.28;
-  rowh_caps.cap_mean = 268.0;
-  rowh_caps.cap_sigma = 10.0;
+  rowh_caps.cap_mean = Watts{268.0};
+  rowh_caps.cap_sigma = Watts{10.0};
   s.faults.rules.push_back(rowh_caps);
 
   FaultRule rowa_caps;
@@ -197,8 +197,8 @@ ClusterSpec summit_spec(std::uint64_t seed, int rows, int columns,
     if (col < columns) rowa_caps.row_columns.emplace_back(row_a, col);
   }
   rowa_caps.probability = 0.20;
-  rowa_caps.cap_mean = 272.0;
-  rowa_caps.cap_sigma = 8.0;
+  rowa_caps.cap_mean = Watts{272.0};
+  rowa_caps.cap_sigma = Watts{8.0};
   s.faults.rules.push_back(rowa_caps);
 
   // Rows D and F: performance/frequency outliers from weak silicon.
@@ -219,7 +219,7 @@ ClusterSpec summit_spec(std::uint64_t seed, int rows, int columns,
   if (35 < columns) clog.row_columns.emplace_back(row_h, 35);
   clog.probability = 0.07;
   clog.r_multiplier = 1.8;
-  clog.inlet_delta = 6.0;
+  clog.inlet_delta = Celsius{6.0};
   s.faults.rules.push_back(clog);
   return s;
 }
@@ -229,11 +229,11 @@ ClusterSpec corona_spec(std::uint64_t seed) {
   s.name = "corona";
   s.sku = make_mi60();
   // Corona's MI60s run close to their (higher) slowdown temperature.
-  s.cooling = air_cooling(30.0);
+  s.cooling = air_cooling(Celsius{30.0});
   s.cooling.r_mean = 0.185;
   s.cooling.r_sigma = 0.012;
-  s.cooling.cabinet_sigma = 3.0;
-  s.cooling.gpu_sigma = 3.0;
+  s.cooling.cabinet_sigma = Celsius{3.0};
+  s.cooling.gpu_sigma = Celsius{3.0};
   s.layout.nodes = 82;
   s.layout.gpus_per_node = 4;
   s.layout.nodes_per_cabinet = 3;  // "cabinets" of 12 GPUs, as in §IV-D
@@ -247,8 +247,8 @@ ClusterSpec corona_spec(std::uint64_t seed) {
   c115.kind = FaultKind::kPumpFailure;  // board-level severe cap
   c115.nodes = {15};
   c115.probability = 0.6;
-  c115.cap_mean = 165.0;
-  c115.cap_sigma = 4.0;
+  c115.cap_mean = Watts{165.0};
+  c115.cap_sigma = Watts{4.0};
   s.faults.rules.push_back(c115);
   return s;
 }
@@ -257,7 +257,7 @@ ClusterSpec vortex_spec(std::uint64_t seed) {
   ClusterSpec s;
   s.name = "vortex";
   s.sku = make_v100_sxm2();
-  s.cooling = water_cooling(22.0);
+  s.cooling = water_cooling(Celsius{22.0});
   s.cooling.r_mean = 0.075;
   s.layout.nodes = 54;
   s.layout.gpus_per_node = 4;
@@ -272,7 +272,7 @@ ClusterSpec frontera_spec(std::uint64_t seed) {
   ClusterSpec s;
   s.name = "frontera";
   s.sku = make_rtx5000();
-  s.cooling = mineral_oil_cooling(48.0);
+  s.cooling = mineral_oil_cooling(Celsius{48.0});
   s.layout.nodes = 90;
   s.layout.gpus_per_node = 4;
   s.layout.nodes_per_cabinet = 3;
@@ -287,8 +287,8 @@ ClusterSpec frontera_spec(std::uint64_t seed) {
   pump.kind = FaultKind::kPumpFailure;
   pump.cabinets = {7};
   pump.probability = 0.18;
-  pump.cap_mean = 168.0;
-  pump.cap_sigma = 6.0;
+  pump.cap_mean = Watts{168.0};
+  pump.cap_sigma = Watts{6.0};
   s.faults.rules.push_back(pump);
   return s;
 }
@@ -297,8 +297,8 @@ ClusterSpec cloudlab_spec(std::uint64_t seed) {
   ClusterSpec s;
   s.name = "cloudlab";
   s.sku = make_v100_sxm2();
-  s.cooling = air_cooling(26.0);
-  s.cooling.cabinet_sigma = 3.0;  // one machine room, less spatial spread
+  s.cooling = air_cooling(Celsius{26.0});
+  s.cooling.cabinet_sigma = Celsius{3.0};  // one machine room, less spatial spread
   s.layout.nodes = 3;
   s.layout.gpus_per_node = 4;
   s.layout.nodes_per_cabinet = 1;

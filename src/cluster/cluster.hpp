@@ -40,7 +40,7 @@ struct GpuInstance {
   SiliconSample silicon;   ///< already includes fault-driven degradation
   ThermalParams thermal;   ///< already includes cooling faults
   AppliedFaults faults;
-  Watts power_cap = 0.0;   ///< effective limit; 0 = SKU TDP
+  Watts power_cap{};   ///< effective limit; 0 = SKU TDP
   /// Node-shared allreduce-time multiplier (>= ~1; >1 = slower links).
   double interconnect_factor = 1.0;
 };
@@ -72,7 +72,7 @@ class Cluster {
   /// `power_limit_override` of 0 keeps the instance's own cap/TDP.
   std::unique_ptr<SimulatedGpu> make_device(
       std::size_t i, const SimOptions& opts = {},
-      Watts power_limit_override = 0.0) const;
+      Watts power_limit_override = Watts{}) const;
 
   /// The seed path prefix identifying GPU i (for run-noise derivation).
   std::string gpu_seed_path(std::size_t i) const;

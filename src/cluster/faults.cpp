@@ -65,15 +65,17 @@ AppliedFaults apply_faults(const FaultPlan& plan, const GpuLocation& loc,
     switch (rule.kind) {
       case FaultKind::kPowerCap:
       case FaultKind::kPumpFailure: {
-        const Watts cap =
-            std::max(50.0, rng.normal(rule.cap_mean, rule.cap_sigma));
-        out.power_cap = out.power_cap == 0.0 ? cap : std::min(out.power_cap, cap);
+        const Watts cap{std::max(
+            50.0, rng.normal(rule.cap_mean.value(), rule.cap_sigma.value()))};
+        out.power_cap =
+            out.power_cap == Watts{} ? cap : std::min(out.power_cap, cap);
         break;
       }
       case FaultKind::kDegradedBoard: {
-        const Watts cap =
-            std::max(50.0, rng.normal(rule.cap_mean, rule.cap_sigma));
-        out.power_cap = out.power_cap == 0.0 ? cap : std::min(out.power_cap, cap);
+        const Watts cap{std::max(
+            50.0, rng.normal(rule.cap_mean.value(), rule.cap_sigma.value()))};
+        out.power_cap =
+            out.power_cap == Watts{} ? cap : std::min(out.power_cap, cap);
         out.mem_bw_factor =
             std::min(out.mem_bw_factor, std::max(0.05, rule.mem_bw_factor));
         break;

@@ -40,11 +40,11 @@ struct FaultRule {
   double probability = 1.0;
 
   // Parameters (used according to kind):
-  Watts cap_mean = 260.0;
-  Watts cap_sigma = 8.0;
+  Watts cap_mean{260.0};
+  Watts cap_sigma{8.0};
   double mem_bw_factor = 0.30;   ///< kDegradedBoard
   double r_multiplier = 1.5;     ///< kCoolingDegraded
-  Celsius inlet_delta = 6.0;     ///< kCoolingDegraded
+  Celsius inlet_delta{6.0};     ///< kCoolingDegraded
   double vf_extra_sigma = 3.0;   ///< kWeakSilicon: added offset in process σ
   double interconnect_multiplier = 3.0;  ///< kDegradedInterconnect
 };
@@ -57,11 +57,11 @@ struct FaultPlan {
 /// The effect of the applied faults on one GPU.
 struct AppliedFaults {
   std::vector<FaultKind> kinds;
-  Watts power_cap = 0.0;        ///< 0 = no cap (TDP)
+  Watts power_cap{};        ///< 0 = no cap (TDP)
   double mem_bw_factor = 1.0;   ///< multiplier applied to the chip's factor
   double r_multiplier = 1.0;
-  Celsius inlet_delta = 0.0;
-  Volts vf_extra = 0.0;
+  Celsius inlet_delta{};
+  double vf_extra = 0.0;   ///< extra V/f offset in units of process σ
   double interconnect_multiplier = 1.0;
 
   bool any() const { return !kinds.empty(); }

@@ -46,7 +46,7 @@ std::vector<GpuRunResult> run_on_node_shared(const Cluster& cluster, int node,
     std::vector<double> long_kernel_ms;
     std::vector<double> iteration_ms;
     CounterAccumulator counters;
-    Watts mean_power = 0.0;  ///< over the last completed iteration
+    Watts mean_power{};  ///< over the last completed iteration
   };
 
   std::vector<Tenant> tenants;
@@ -55,7 +55,7 @@ std::vector<GpuRunResult> run_on_node_shared(const Cluster& cluster, int node,
     Tenant t;
     t.gpu_index = gi;
     t.device = cluster.make_device(gi, opts.sim, opts.power_limit_override);
-    if (tenancy.previous_job_power > 0.0) {
+    if (tenancy.previous_job_power > Watts{}) {
       t.device->preheat(tenancy.previous_job_power);
     }
     SamplerOptions sampler_opts;
@@ -75,13 +75,14 @@ std::vector<GpuRunResult> run_on_node_shared(const Cluster& cluster, int node,
 
   auto update_coupling = [&] {
     for (std::size_t i = 0; i < tenants.size(); ++i) {
-      Watts neighbour_heat = 0.0;
+      Watts neighbour_heat{};
       for (std::size_t j = 0; j < tenants.size(); ++j) {
         if (j == i) continue;
         neighbour_heat +=
-            std::max(0.0, tenants[j].mean_power - 40.0 /* ~idle */);
+            std::max(Watts{}, tenants[j].mean_power - Watts{40.0} /* ~idle */);
       }
-      tenants[i].device->set_inlet_delta(kappa * neighbour_heat);
+      tenants[i].device->set_inlet_delta(
+          Celsius{kappa * neighbour_heat.value()});
     }
   };
 
@@ -91,7 +92,7 @@ std::vector<GpuRunResult> run_on_node_shared(const Cluster& cluster, int node,
     for (auto& t : tenants) {
       Sampler* sampler = measuring ? t.sampler.get() : nullptr;
       const Seconds t0 = t.device->clock();
-      double energy = 0.0;
+      Joules energy{};
       for (const auto& step : workload.iteration) {
         for (int c = 0; c < step.count; ++c) {
           const KernelResult kr = t.device->run_kernel(
@@ -108,7 +109,7 @@ std::vector<GpuRunResult> run_on_node_shared(const Cluster& cluster, int node,
         }
       }
       const Seconds elapsed = t.device->clock() - t0;
-      GPUVAR_ASSERT(elapsed > 0.0);
+      GPUVAR_ASSERT(elapsed > Seconds{});
       t.mean_power = energy / elapsed;
       if (measuring) t.iteration_ms.push_back(to_ms(elapsed));
     }
@@ -149,8 +150,8 @@ std::vector<TenancyImpact> measure_tenancy_impact(
     imp.exclusive_perf_ms = exclusive[i].perf_ms;
     imp.shared_perf_ms = shared[i].perf_ms;
     imp.slowdown = shared[i].perf_ms / exclusive[i].perf_ms;
-    imp.exclusive_temp = exclusive[i].telemetry.temp.median;
-    imp.shared_temp = shared[i].telemetry.temp.median;
+    imp.exclusive_temp = Celsius{exclusive[i].telemetry.temp.median};
+    imp.shared_temp = Celsius{shared[i].telemetry.temp.median};
     impacts.push_back(imp);
   }
   return impacts;

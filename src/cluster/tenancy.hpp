@@ -29,7 +29,7 @@ struct TenancyOptions {
   double coupling_c_per_w = -1.0;  ///< <0 = derive from the cooling type
   /// Sustained power of the job that previously occupied the GPUs (W);
   /// 0 = cold start (the exclusive-allocation baseline).
-  Watts previous_job_power = 0.0;
+  Watts previous_job_power{};
 };
 
 double default_coupling(CoolingType type);
@@ -51,8 +51,8 @@ struct TenancyImpact {
   double exclusive_perf_ms = 0.0;
   double shared_perf_ms = 0.0;
   double slowdown = 1.0;
-  Celsius exclusive_temp = 0.0;
-  Celsius shared_temp = 0.0;
+  Celsius exclusive_temp{};
+  Celsius shared_temp{};
 };
 
 std::vector<TenancyImpact> measure_tenancy_impact(

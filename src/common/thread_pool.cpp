@@ -2,10 +2,19 @@
 
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "common/require.hpp"
 
 namespace gpuvar {
+
+namespace {
+// The pool (if any) whose worker_loop is running on this thread. Used to
+// detect re-entrant parallel_for calls: a worker that blocked in
+// wait_idle would deadlock the pool once every worker did so, therefore
+// nested parallel work runs inline on the calling worker instead.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -39,9 +48,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (task_error_) {
+    std::exception_ptr err = std::exchange(task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
+bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -51,9 +68,18 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // The in_flight_ decrement must happen even when the task throws:
+    // a leaked count would leave wait_idle blocked forever. The first
+    // exception is stashed and rethrown to the next wait_idle caller.
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (err && !task_error_) task_error_ = err;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -64,41 +90,68 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t n_workers = size();
-  if (n == 1 || n_workers == 1) {
+  // Run inline when parallelism cannot help — and, critically, when the
+  // caller IS one of this pool's workers: blocking a worker in wait_idle
+  // deadlocks the pool as soon as every worker does it (nested
+  // parallel_for, e.g. a scheduler canary fanning out per-node runs that
+  // themselves fan out per GPU).
+  if (n == 1 || n_workers == 1 || on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Static block distribution; at most one chunk per worker to amortize
-  // queue overhead. Each chunk is a contiguous range for cache locality.
+  // Static block distribution; at most a few chunks per worker to
+  // amortize queue overhead. Each chunk is a contiguous range for cache
+  // locality.
   const std::size_t n_chunks = std::min(n, n_workers * 4);
   const std::size_t base = n / n_chunks;
   const std::size_t rem = n % n_chunks;
 
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  // Completion is tracked per batch, not via the pool-global wait_idle():
+  // that keeps concurrent parallel_for calls from different threads from
+  // blocking on each other's chunks, and keeps exceptions stashed by
+  // unrelated submit() clients out of this call. Chunks catch their own
+  // exceptions, so they never touch task_error_ either.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending;
+    std::exception_ptr first_error;
+    std::atomic<bool> failed{false};
+  };
+  Batch batch;
+  batch.pending = n_chunks;
 
   std::size_t begin = 0;
   for (std::size_t c = 0; c < n_chunks; ++c) {
     const std::size_t len = base + (c < rem ? 1 : 0);
     const std::size_t end = begin + len;
-    submit([&, begin, end] {
+    submit([&batch, &fn, begin, end] {
+      std::exception_ptr err;
       for (std::size_t i = begin; i < end; ++i) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (batch.failed.load(std::memory_order_relaxed)) break;
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
+          err = std::current_exception();
+          batch.failed.store(true, std::memory_order_relaxed);
+          break;
         }
       }
+      // Notify under the lock: once pending hits 0 the waiter may return
+      // and destroy `batch`, so the cv must not be touched after unlock.
+      std::lock_guard<std::mutex> lock(batch.mu);
+      if (err && !batch.first_error) batch.first_error = err;
+      if (--batch.pending == 0) batch.cv.notify_all();
     });
     begin = end;
   }
-  wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.cv.wait(lock, [&batch] { return batch.pending == 0; });
+  if (batch.first_error) {
+    std::exception_ptr err = batch.first_error;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 ThreadPool& ThreadPool::global() {

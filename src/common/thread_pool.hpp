@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,12 +32,28 @@ class ThreadPool {
   /// Enqueue a task; returns immediately.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. If a task submitted
+  /// via submit() threw, the first such exception is rethrown here (the
+  /// count is decremented regardless, so the pool never wedges). The
+  /// error slot is pool-wide: on a shared pool (e.g. global()), an
+  /// exception from one client's task can surface in another client's
+  /// wait_idle. Clients whose tasks may throw should catch inside the
+  /// task or use a private pool; parallel_for is unaffected (it tracks
+  /// errors and completion per call).
   void wait_idle();
 
   /// Run fn(i) for i in [0, n), blocking until all complete. Exceptions
   /// thrown by fn are captured; the first one is rethrown on the caller.
+  /// Completion and errors are tracked per call, so concurrent
+  /// parallel_for calls from different threads neither block on each
+  /// other's chunks nor see each other's exceptions.
+  /// Re-entrant: when called from one of this pool's own workers the
+  /// loop runs inline instead of blocking the worker (nested fan-out
+  /// would otherwise deadlock the pool).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
 
   /// Process-wide shared pool (lazily constructed, sized to the machine).
   static ThreadPool& global();
@@ -51,6 +68,9 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  // First exception thrown by a submit()ed task, if any (guarded by mu_);
+  // handed to the next wait_idle caller.
+  std::exception_ptr task_error_;
 };
 
 /// Convenience wrapper over the global pool.

@@ -118,7 +118,7 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
   ExperimentConfig cfg = default_config(
       cluster, workload, static_cast<int>(args.get_num("runs", 2)));
   cfg.node_coverage = args.get_num("coverage", 1.0);
-  cfg.run_options.power_limit_override = args.get_num("power-limit", 0.0);
+  cfg.run_options.power_limit_override = Watts{args.get_num("power-limit", 0.0)};
 
   out << "simulating " << workload.name << " on " << cluster.name() << " ("
       << cluster.size() << " GPUs)...\n";
@@ -169,7 +169,7 @@ int cmd_flag(const ParsedArgs& args, std::ostream& out) {
   GPUVAR_REQUIRE_MSG(!args.positional.empty(), "flag needs a CSV path");
   const auto records = load_records(args.positional.front());
   FlagOptions opts;
-  opts.slowdown_temp = args.get_num("slowdown-temp", 1e9);
+  opts.slowdown_temp = Celsius{args.get_num("slowdown-temp", 1e9)};
   print_section(out, "operator early-warning report");
   print_flags(out, flag_anomalies(records, opts));
   return 0;
@@ -193,7 +193,7 @@ int cmd_report(const ParsedArgs& args, std::ostream& out) {
   const auto records = load_records(args.positional.front());
   MarkdownReportOptions opts;
   opts.title = args.get("title", "Variability campaign report");
-  opts.slowdown_temp = args.get_num("slowdown-temp", 1e9);
+  opts.slowdown_temp = Celsius{args.get_num("slowdown-temp", 1e9)};
   write_markdown_report(out, records, opts);
   return 0;
 }

@@ -74,7 +74,7 @@ FlagReport flag_anomalies(std::span<const RunRecord> records,
       flag.severity =
           std::max(flag.severity, outside_distance(perf_box, g.perf_ms));
     }
-    const bool near_slowdown = g.temp_c >= options.slowdown_temp - 5.0;
+    const bool near_slowdown = g.temp_c >= options.slowdown_temp.value() - 5.0;
     const bool hot =
         (g.temp_c > temp_box.hi_whisker && g.temp_c > temp_guard) ||
         near_slowdown;

@@ -60,7 +60,7 @@ struct FlagOptions {
   /// it is considered thermally throttled: its low power is *explained*
   /// (DVFS protecting the chip), so it gets a thermal flag rather than an
   /// unexplained-power-drop flag. Default: no threshold known.
-  Celsius slowdown_temp = 1e9;
+  Celsius slowdown_temp{1e9};
 };
 
 /// Flags anomalies within one experiment's records.

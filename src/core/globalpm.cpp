@@ -11,13 +11,13 @@
 namespace gpuvar {
 
 Watts PowerAssignment::total() const {
-  Watts sum = 0.0;
+  Watts sum{};
   for (Watts w : limits) sum += w;
   return sum;
 }
 
 PowerAssignment uniform_assignment(const Cluster& cluster, Watts envelope) {
-  GPUVAR_REQUIRE(envelope > 0.0);
+  GPUVAR_REQUIRE(envelope > Watts{});
   GPUVAR_REQUIRE(cluster.size() > 0);
   PowerAssignment a;
   const Watts each =
@@ -37,8 +37,9 @@ Watts predicted_steady_power(const Cluster& cluster, std::size_t i,
   Celsius t = inst.thermal.coolant;
   for (int it = 0; it < 40; ++it) {
     const Watts p = pm.total_power(f, activity, t);
-    const Celsius next = inst.thermal.coolant + p * inst.thermal.r_c_per_w;
-    if (std::abs(next - t) < 1e-6) break;
+    const Celsius next =
+        inst.thermal.coolant + Celsius{p.value() * inst.thermal.r_c_per_w};
+    if (abs(next - t) < Celsius{1e-6}) break;
     t = next;
   }
   return pm.total_power(f, activity, t);
@@ -47,16 +48,16 @@ Watts predicted_steady_power(const Cluster& cluster, std::size_t i,
 PowerAssignment equal_frequency_assignment(const Cluster& cluster,
                                            Watts envelope,
                                            const KernelSpec& kernel) {
-  GPUVAR_REQUIRE(envelope > 0.0);
+  GPUVAR_REQUIRE(envelope > Watts{});
   kernel.validate();
   const auto ladder = cluster.sku().frequency_ladder();
 
   // Highest common frequency whose total predicted power fits.
   PowerAssignment best;
-  std::vector<Watts> predicted(cluster.size(), 0.0);
+  std::vector<Watts> predicted(cluster.size(), Watts{});
   for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
     const MegaHertz f = *it;
-    Watts total = 0.0;
+    Watts total{};
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       predicted[i] = predicted_steady_power(cluster, i, kernel, f);
       total += predicted[i];

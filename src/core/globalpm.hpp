@@ -18,7 +18,7 @@ namespace gpuvar {
 
 struct PowerAssignment {
   std::vector<Watts> limits;  ///< one per GPU (cluster order)
-  MegaHertz target_freq = 0.0;  ///< equal-frequency policies only
+  MegaHertz target_freq{};  ///< equal-frequency policies only
   Watts total() const;
 };
 

@@ -21,7 +21,7 @@ struct MarkdownReportOptions {
   /// Include the operator flag section (needs the SKU's slowdown temp for
   /// thermal attribution; <= 0 disables that refinement).
   bool include_flags = true;
-  Celsius slowdown_temp = 1e9;
+  Celsius slowdown_temp{1e9};
   /// Bootstrap confidence interval on the headline variation (0 = skip).
   int bootstrap_resamples = 500;
 };

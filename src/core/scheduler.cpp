@@ -43,7 +43,7 @@ std::vector<NodeQuality> profile_node_quality(const Cluster& cluster,
       perf.push_back(r.perf_ms);
     }
     quality[ni] =
-        NodeQuality{node, stats::median(freq), stats::median(perf)};
+        NodeQuality{node, MegaHertz{stats::median(freq)}, stats::median(perf)};
   });
   return quality;
 }

@@ -34,7 +34,7 @@ std::string to_string(PlacementPolicy p);
 /// paper's strongest performance predictor). Runs in parallel.
 struct NodeQuality {
   int node = 0;
-  MegaHertz median_freq = 0.0;
+  MegaHertz median_freq{};
   double median_perf_ms = 0.0;
 };
 

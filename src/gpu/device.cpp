@@ -16,7 +16,7 @@ SimulatedGpu::SimulatedGpu(const GpuSku& sku, const SiliconSample& chip,
       dvfs_(sku_),
       thermal_(thermal),
       opts_(opts) {
-  GPUVAR_REQUIRE(opts.tick > 0.0);
+  GPUVAR_REQUIRE(opts.tick > Seconds{});
   baseline_inlet_ = thermal.coolant;
   reset();
 }
@@ -26,8 +26,8 @@ void SimulatedGpu::set_inlet_delta(Celsius delta) {
 }
 
 void SimulatedGpu::reset() {
-  clock_ = 0.0;
-  last_freq_change_ = 0.0;
+  clock_ = Seconds{0.0};
+  last_freq_change_ = Seconds{0.0};
   accounting_ = ThrottleAccounting{};
   dvfs_baseline_down_ = 0;
   dvfs_baseline_up_ = 0;
@@ -41,16 +41,16 @@ void SimulatedGpu::reset() {
 }
 
 void SimulatedGpu::preheat(Watts sustained_power) {
-  GPUVAR_REQUIRE(sustained_power >= 0.0);
+  GPUVAR_REQUIRE(sustained_power >= Watts{});
   thermal_.settle(sustained_power);
 }
 
 ThrottleReason SimulatedGpu::throttle_reason() const {
-  if (dvfs_.frequency() >= dvfs_.ladder().back() - 1e-9) {
+  if (dvfs_.frequency() >= dvfs_.ladder().back() - MegaHertz{1e-9}) {
     return ThrottleReason::kNone;
   }
   if (dvfs_.thermally_throttled() ||
-      thermal_.temperature() >= sku_.slowdown_temp - 2.0) {
+      thermal_.temperature() >= sku_.slowdown_temp - Celsius{2.0}) {
     return ThrottleReason::kThermal;
   }
   return ThrottleReason::kPowerCap;
@@ -96,7 +96,7 @@ Celsius SimulatedGpu::equilibrium_temperature(MegaHertz f,
   for (int i = 0; i < 30; ++i) {
     const Watts p = power_.total_power(f, activity, t);
     const Celsius next = thermal_.equilibrium(p);
-    if (std::abs(next - t) < 1e-6) return next;
+    if (abs(next - t) < Celsius{1e-6}) return next;
     t = next;
   }
   return t;
@@ -106,9 +106,9 @@ bool SimulatedGpu::stable_at(MegaHertz f, Watts power, Celsius temp) const {
   // The controller will not act iff: not over the cap, not thermally
   // throttling, and either already at the boost state or inside the
   // hysteresis band below the cap.
-  if (temp >= sku_.slowdown_temp - 2.0) return false;
+  if (temp >= sku_.slowdown_temp - Celsius{2.0}) return false;
   if (power > dvfs_.power_limit()) return false;
-  const bool at_top = f >= dvfs_.ladder().back() - 1e-9;
+  const bool at_top = f >= dvfs_.ladder().back() - MegaHertz{1e-9};
   if (!at_top && power < dvfs_.power_limit() - sku_.dvfs_up_margin) {
     return false;
   }
@@ -138,8 +138,8 @@ KernelResult SimulatedGpu::run_kernel(const KernelSpec& kernel,
                           activity_scale / stall_scale);
     const Seconds full_time =
         kernel_time_at(kernel, sku_, chip_, f) * work_scale * stall_scale;
-    GPUVAR_ASSERT(full_time > 0.0);
-    const double rate = 1.0 / full_time;  // work fraction per second
+    GPUVAR_ASSERT(full_time > Seconds{});
+    const double rate = 1.0 / full_time.value();  // work fraction per second
     const Celsius temp = thermal_.temperature();
     const Watts p = power_.total_power(f, activity, temp);
 
@@ -151,21 +151,21 @@ KernelResult SimulatedGpu::run_kernel(const KernelSpec& kernel,
         // Cheap precheck: skip the fixed-point solve unless the current
         // power's equilibrium is already close (leakage feedback only
         // moves it slightly further).
-        std::abs(thermal_.equilibrium(p) - temp) <=
+        abs(thermal_.equilibrium(p) - temp) <=
             2.0 * opts_.steady_temp_eps) {
       const Celsius teq = equilibrium_temperature(f, activity);
       const Watts peq = power_.total_power(f, activity, teq);
-      if (std::abs(teq - temp) <= opts_.steady_temp_eps &&
+      if (abs(teq - temp) <= opts_.steady_temp_eps &&
           stable_at(f, p, temp) && stable_at(f, peq, teq)) {
-        const Seconds dt = remaining / rate;
+        const Seconds dt{remaining / rate};
         thermal_.settle(peq);
         last_power_ = peq;
         account(dt);
         if (sampler != nullptr) sampler->record_span(clock_, dt, f, peq, teq);
         result.energy += peq * dt;
-        freq_time += f * dt;
-        power_time += peq * dt;
-        temp_time += teq * dt;
+        freq_time += f.value() * dt.value();
+        power_time += peq.value() * dt.value();
+        temp_time += teq.value() * dt.value();
         clock_ += dt;
         remaining = 0.0;
         result.fast_forwarded = true;
@@ -173,17 +173,17 @@ KernelResult SimulatedGpu::run_kernel(const KernelSpec& kernel,
       }
     }
 
-    const Seconds dt = std::min(opts_.tick, remaining / rate);
+    const Seconds dt = std::min(opts_.tick, Seconds{remaining / rate});
     thermal_.step(dt, p);
     last_power_ = p;
     account(dt);
     if (sampler != nullptr) sampler->record_span(clock_, dt, f, p, temp);
     result.energy += p * dt;
-    freq_time += f * dt;
-    power_time += p * dt;
-    temp_time += temp * dt;
+    freq_time += f.value() * dt.value();
+    power_time += p.value() * dt.value();
+    temp_time += temp.value() * dt.value();
     clock_ += dt;
-    remaining -= rate * dt;
+    remaining -= rate * dt.value();
     if (remaining < 1e-12) remaining = 0.0;
 
     if (dvfs_.observe(clock_, p, thermal_.temperature())) {
@@ -192,20 +192,20 @@ KernelResult SimulatedGpu::run_kernel(const KernelSpec& kernel,
   }
 
   result.duration = clock_ - result.start;
-  GPUVAR_ASSERT(result.duration > 0.0);
-  result.mean_freq = freq_time / result.duration;
-  result.mean_power = power_time / result.duration;
-  result.mean_temp = temp_time / result.duration;
+  GPUVAR_ASSERT(result.duration > Seconds{});
+  result.mean_freq = MegaHertz{freq_time / result.duration.value()};
+  result.mean_power = Watts{power_time / result.duration.value()};
+  result.mean_temp = Celsius{temp_time / result.duration.value()};
   return result;
 }
 
 void SimulatedGpu::idle_for(Seconds dt, Sampler* sampler) {
-  GPUVAR_REQUIRE(dt >= 0.0);
+  GPUVAR_REQUIRE(dt >= Seconds{});
   Seconds remaining = dt;
   // Idle power varies only through slow leakage/temperature coupling;
   // 50 ms steps resolve it comfortably (τ is hundreds of ms).
-  const Seconds step = 0.05;
-  while (remaining > 0.0) {
+  const Seconds step{0.05};
+  while (remaining > Seconds{}) {
     const Seconds d = std::min(step, remaining);
     const Celsius temp = thermal_.temperature();
     const Watts p = power_.idle_power(temp);

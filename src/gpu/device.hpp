@@ -27,20 +27,20 @@
 namespace gpuvar {
 
 struct SimOptions {
-  Seconds tick = 1e-3;          ///< simulation step (profiler resolution)
+  Seconds tick{1e-3};          ///< simulation step (profiler resolution)
   bool fast_forward = true;     ///< enable steady-state fast-forwarding
-  Seconds steady_window = 0.3;  ///< controller must be quiet this long
-  Celsius steady_temp_eps = 1.0;///< and temperature within this of equilib.
+  Seconds steady_window{0.3};  ///< controller must be quiet this long
+  Celsius steady_temp_eps{1.0};///< and temperature within this of equilib.
 };
 
 struct KernelResult {
   std::string kernel;
-  Seconds start = 0.0;
-  Seconds duration = 0.0;
-  Joules energy = 0.0;
-  MegaHertz mean_freq = 0.0;    ///< time-weighted over the kernel
-  Watts mean_power = 0.0;
-  Celsius mean_temp = 0.0;
+  Seconds start{};
+  Seconds duration{};
+  Joules energy{};
+  MegaHertz mean_freq{};    ///< time-weighted over the kernel
+  Watts mean_power{};
+  Celsius mean_temp{};
   bool fast_forwarded = false;  ///< true if any part was fast-forwarded
 };
 
@@ -112,10 +112,10 @@ class SimulatedGpu : public PmIntrospection {
   DvfsController dvfs_;
   ThermalModel thermal_;
   SimOptions opts_;
-  Seconds clock_ = 0.0;
-  Seconds last_freq_change_ = 0.0;
-  Watts last_power_ = 0.0;
-  Celsius baseline_inlet_ = 0.0;
+  Seconds clock_{};
+  Seconds last_freq_change_{};
+  Watts last_power_{};
+  Celsius baseline_inlet_{};
   ThrottleAccounting accounting_;
   long dvfs_baseline_down_ = 0;
   long dvfs_baseline_up_ = 0;

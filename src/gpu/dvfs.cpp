@@ -12,14 +12,15 @@ DvfsController::DvfsController(const GpuSku& sku, Watts power_limit)
 }
 
 void DvfsController::set_power_limit(Watts limit) {
-  power_limit_ = (limit > 0.0) ? limit : sku_->tdp;
-  GPUVAR_REQUIRE(power_limit_ > 0.0);
+  power_limit_ = (limit > Watts{}) ? limit : sku_->tdp;
+  GPUVAR_REQUIRE(power_limit_ > Watts{});
 }
 
 void DvfsController::reset() {
   index_ = ladder_.size() - 1;  // boost state
-  next_action_ = 0.0;
-  up_hold_until_ = 0.0;
+  next_action_ = Seconds{0.0};
+  up_hold_until_ = Seconds{0.0};
+  last_observe_ = Seconds{0.0};
   thermal_throttle_ = false;
   down_steps_ = 0;
   up_steps_ = 0;
@@ -40,6 +41,9 @@ void DvfsController::step_up() {
 }
 
 bool DvfsController::observe(Seconds now, Watts power, Celsius temperature) {
+  GPUVAR_ASSERT(now >= last_observe_);
+  GPUVAR_ASSERT(index_ < ladder_.size());
+  last_observe_ = now;
   if (now < next_action_) return false;
   next_action_ = now + sku_->dvfs_control_period;
 
@@ -62,7 +66,7 @@ bool DvfsController::observe(Seconds now, Watts power, Celsius temperature) {
     up_hold_until_ = now + 4.0 * sku_->dvfs_control_period;
   } else if (power < power_limit_ - sku_->dvfs_up_margin &&
              now >= up_hold_until_ &&
-             temperature < sku_->slowdown_temp - 2.0) {
+             temperature < sku_->slowdown_temp - Celsius{2.0}) {
     step_up();
   }
   return index_ != before;

@@ -20,7 +20,7 @@ namespace gpuvar {
 class DvfsController {
  public:
   /// power_limit defaults to the SKU's TDP when <= 0.
-  DvfsController(const GpuSku& sku, Watts power_limit = 0.0);
+  DvfsController(const GpuSku& sku, Watts power_limit = Watts{});
 
   MegaHertz frequency() const { return ladder_[index_]; }
   Watts power_limit() const { return power_limit_; }
@@ -53,14 +53,17 @@ class DvfsController {
   const GpuSku* sku_;
   std::vector<MegaHertz> ladder_;
   std::size_t index_ = 0;
-  Watts power_limit_ = 0.0;
-  Seconds next_action_ = 0.0;
+  Watts power_limit_{};
+  Seconds next_action_{};
   bool thermal_throttle_ = false;
   long down_steps_ = 0;
   long up_steps_ = 0;
   // After stepping down for over-power, hold before trying to step up
   // again; prevents limit-cycling around the cap on coarse ladders.
-  Seconds up_hold_until_ = 0.0;
+  Seconds up_hold_until_{};
+  // Timestamp of the previous observe() call; observations must be
+  // monotonically non-decreasing (asserted).
+  Seconds last_observe_{};
 };
 
 }  // namespace gpuvar

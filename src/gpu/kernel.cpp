@@ -23,16 +23,16 @@ void KernelSpec::validate() const {
 }
 
 Seconds compute_time(const KernelSpec& k, const GpuSku& sku, MegaHertz f) {
-  if (k.flops <= 0.0) return 0.0;
-  return k.flops / (sku.peak_flops(f) * k.compute_efficiency);
+  if (k.flops <= 0.0) return Seconds{};
+  return Seconds{k.flops / (sku.peak_flops(f) * k.compute_efficiency)};
 }
 
 Seconds memory_time(const KernelSpec& k, const GpuSku& sku,
                     const SiliconSample& chip) {
-  if (k.bytes <= 0.0) return 0.0;
+  if (k.bytes <= 0.0) return Seconds{};
   const double bw =
       sku.mem_bw_gbps * 1e9 * k.bw_efficiency * chip.mem_bw_factor;
-  return k.bytes / bw;
+  return Seconds{k.bytes / bw};
 }
 
 Seconds kernel_time_at(const KernelSpec& k, const GpuSku& sku,
@@ -45,7 +45,7 @@ double memory_boundedness(const KernelSpec& k, const GpuSku& sku,
   const Seconds tc = compute_time(k, sku, f);
   const Seconds tm = memory_time(k, sku, chip);
   const Seconds t = std::max(tc, tm);
-  if (t <= 0.0) return 0.0;
+  if (t <= Seconds{}) return 0.0;
   // 0 when compute fully covers memory, 1 when memory dwarfs compute.
   return std::clamp((tm - tc) / t, 0.0, 1.0);
 }

@@ -13,13 +13,14 @@ Volts PowerModel::voltage(MegaHertz f) const {
 
 Watts PowerModel::dynamic_power(MegaHertz f, double activity) const {
   GPUVAR_REQUIRE(activity >= 0.0 && activity <= 1.0);
-  const Volts v = voltage(f);
-  return sku_->c_eff * chip_->efficiency_factor * v * v * f * activity;
+  const double v = voltage(f).value();
+  return Watts{sku_->c_eff * chip_->efficiency_factor * v * v * f.value() *
+               activity};
 }
 
 Watts PowerModel::leakage_power(Celsius t) const {
   return sku_->leakage_at_ref * chip_->leakage_factor *
-         std::exp(sku_->leak_temp_coeff * (t - sku_->leak_ref_temp));
+         std::exp(sku_->leak_temp_coeff * (t - sku_->leak_ref_temp).value());
 }
 
 Watts PowerModel::total_power(MegaHertz f, double activity, Celsius t) const {

@@ -9,7 +9,8 @@ double SiliconSample::quality_score(const GpuSku& sku) const {
   // Normalize each deviation by its process sigma and map the combined
   // z-score to (0, 1): 0.5 = typical chip, -> 1 best, -> 0 worst.
   const auto& s = sku.spread;
-  const double z_v = s.vf_offset_sigma > 0 ? vf_offset / s.vf_offset_sigma : 0;
+  const double z_v =
+      s.vf_offset_sigma > Volts{} ? vf_offset / s.vf_offset_sigma : 0;
   const double z_e = s.efficiency_sigma > 0
                          ? (efficiency_factor - 1.0) / s.efficiency_sigma
                          : 0;
@@ -30,7 +31,7 @@ SiliconSample sample_silicon(const GpuSku& sku, Rng& rng) {
   };
   const auto& s = sku.spread;
   SiliconSample chip;
-  chip.vf_offset = draw(0.0, s.vf_offset_sigma);
+  chip.vf_offset = Volts{draw(0.0, s.vf_offset_sigma.value())};
   chip.efficiency_factor = draw(1.0, s.efficiency_sigma);
   chip.leakage_factor = std::exp(draw(0.0, s.leakage_log_sigma));
   chip.mem_bw_factor = draw(1.0, s.mem_bw_sigma);

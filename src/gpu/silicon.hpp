@@ -17,7 +17,7 @@ namespace gpuvar {
 struct SiliconSample {
   /// Additive shift of the chip's V/f curve (V). Positive = needs more
   /// voltage at a given frequency = more dynamic power = worse bin.
-  Volts vf_offset = 0.0;
+  Volts vf_offset{};
   /// Multiplier on effective switching capacitance (~1.0).
   double efficiency_factor = 1.0;
   /// Multiplier on static leakage power (lognormal around 1.0).

@@ -12,23 +12,28 @@ std::string to_string(Vendor v) {
 }
 
 std::vector<MegaHertz> GpuSku::frequency_ladder() const {
-  GPUVAR_REQUIRE(min_mhz > 0 && max_mhz > min_mhz && ladder_step_mhz > 0);
+  GPUVAR_REQUIRE(min_mhz > MegaHertz{} && max_mhz > min_mhz &&
+                 ladder_step_mhz > MegaHertz{});
   std::vector<MegaHertz> ladder;
-  for (MegaHertz f = min_mhz; f < max_mhz + 1e-9; f += ladder_step_mhz) {
+  for (MegaHertz f = min_mhz; f < max_mhz + MegaHertz{1e-9};
+       f += ladder_step_mhz) {
     ladder.push_back(f);
   }
-  if (std::abs(ladder.back() - max_mhz) > 1e-9) ladder.push_back(max_mhz);
+  if (abs(ladder.back() - max_mhz) > MegaHertz{1e-9}) {
+    ladder.push_back(max_mhz);
+  }
   return ladder;
 }
 
 double GpuSku::peak_flops(MegaHertz f) const {
-  return static_cast<double>(sm_count) * flops_per_sm_per_cycle * f * 1e6;
+  return static_cast<double>(sm_count) * flops_per_sm_per_cycle *
+         f.value() * 1e6;
 }
 
 Volts GpuSku::voltage_at(MegaHertz f) const {
   const MegaHertz fc = std::clamp(f, min_mhz, max_mhz);
   const double t = (fc - min_mhz) / (max_mhz - min_mhz);
-  return v_min + t * (v_max - v_min);
+  return v_min + (v_max - v_min) * t;
 }
 
 GpuSku make_v100_sxm2() {
@@ -41,26 +46,26 @@ GpuSku make_v100_sxm2() {
   sku.mem_size_gb = 16.0;
   // NVIDIA graphics clocks reach far below the base clock; the deep
   // states matter for the power-limit sweep of SVI-B (100-300 W caps).
-  sku.min_mhz = 540.0;
-  sku.max_mhz = 1530.0;
-  sku.ladder_step_mhz = 7.5;  // fine-grained NVIDIA clock states
-  sku.dvfs_control_period = 0.010;
-  sku.dvfs_up_margin = 8.0;
-  sku.tdp = 300.0;
-  sku.v_min = 0.5786;  // keeps V(1005 MHz) = 0.80 V on the same line
-  sku.v_max = 1.05;
+  sku.min_mhz = MegaHertz{540.0};
+  sku.max_mhz = MegaHertz{1530.0};
+  sku.ladder_step_mhz = MegaHertz{7.5};  // fine-grained NVIDIA clock states
+  sku.dvfs_control_period = Seconds{0.010};
+  sku.dvfs_up_margin = Watts{8.0};
+  sku.tdp = Watts{300.0};
+  sku.v_min = Volts{0.5786};  // keeps V(1005 MHz) = 0.80 V on the same line
+  sku.v_max = Volts{1.05};
   // Calibrated so the TDP-constrained DVFS equilibrium of a typical chip
   // running a full-activity GEMM lands near 1370 MHz (the paper observes
   // Longhorn V100s settling in the 1300-1440 MHz band).
   sku.c_eff = 0.198;
-  sku.idle_power = 18.0;
-  sku.leakage_at_ref = 25.0;
-  sku.leak_ref_temp = 60.0;
+  sku.idle_power = Watts{18.0};
+  sku.leakage_at_ref = Watts{25.0};
+  sku.leak_ref_temp = Celsius{60.0};
   sku.leak_temp_coeff = 0.015;
-  sku.slowdown_temp = 87.0;
-  sku.shutdown_temp = 90.0;
-  sku.max_operating_temp = 83.0;
-  sku.spread = ProcessSpread{0.012, 0.022, 0.18, 0.002};
+  sku.slowdown_temp = Celsius{87.0};
+  sku.shutdown_temp = Celsius{90.0};
+  sku.max_operating_temp = Celsius{83.0};
+  sku.spread = ProcessSpread{Volts{0.012}, 0.022, 0.18, 0.002};
   return sku;
 }
 
@@ -72,24 +77,24 @@ GpuSku make_rtx5000() {
   sku.flops_per_sm_per_cycle = 128.0;
   sku.mem_bw_gbps = 448.0;
   sku.mem_size_gb = 16.0;
-  sku.min_mhz = 1350.0;
-  sku.max_mhz = 1905.0;  // Turing boost clocks run higher than Volta
-  sku.ladder_step_mhz = 15.0;
-  sku.dvfs_control_period = 0.010;
-  sku.dvfs_up_margin = 9.0;
-  sku.tdp = 230.0;
-  sku.v_min = 0.75;
-  sku.v_max = 1.05;
+  sku.min_mhz = MegaHertz{1350.0};
+  sku.max_mhz = MegaHertz{1905.0};  // Turing boost clocks run higher than Volta
+  sku.ladder_step_mhz = MegaHertz{15.0};
+  sku.dvfs_control_period = Seconds{0.010};
+  sku.dvfs_up_margin = Watts{9.0};
+  sku.tdp = Watts{230.0};
+  sku.v_min = Volts{0.75};
+  sku.v_max = Volts{1.05};
   sku.c_eff = 0.124;
-  sku.idle_power = 12.0;
-  sku.leakage_at_ref = 15.0;
-  sku.leak_ref_temp = 60.0;
+  sku.idle_power = Watts{12.0};
+  sku.leakage_at_ref = Watts{15.0};
+  sku.leak_ref_temp = Celsius{60.0};
   sku.leak_temp_coeff = 0.015;
-  sku.slowdown_temp = 93.0;
-  sku.shutdown_temp = 96.0;
-  sku.max_operating_temp = 89.0;
+  sku.slowdown_temp = Celsius{93.0};
+  sku.shutdown_temp = Celsius{96.0};
+  sku.max_operating_temp = Celsius{89.0};
   // Frontera shows a tighter spread (5% performance variation).
-  sku.spread = ProcessSpread{0.009, 0.018, 0.15, 0.002};
+  sku.spread = ProcessSpread{Volts{0.009}, 0.018, 0.15, 0.002};
   return sku;
 }
 
@@ -101,27 +106,27 @@ GpuSku make_mi60() {
   sku.flops_per_sm_per_cycle = 128.0;
   sku.mem_bw_gbps = 1024.0;
   sku.mem_size_gb = 32.0;
-  sku.min_mhz = 1000.0;
-  sku.max_mhz = 1800.0;
+  sku.min_mhz = MegaHertz{1000.0};
+  sku.max_mhz = MegaHertz{1800.0};
   // The paper notes MI60s expose much coarser frequency levels than V100s;
   // the DPM table has ~a dozen states.
-  sku.ladder_step_mhz = 67.0;
-  sku.dvfs_control_period = 0.015;
+  sku.ladder_step_mhz = MegaHertz{67.0};
+  sku.dvfs_control_period = Seconds{0.015};
   // A coarse ladder needs a wide up-margin or the controller oscillates
   // over the cap: one 67 MHz step is worth ~26 W near the equilibrium.
-  sku.dvfs_up_margin = 28.0;
-  sku.tdp = 300.0;
-  sku.v_min = 0.75;
-  sku.v_max = 1.08;
+  sku.dvfs_up_margin = Watts{28.0};
+  sku.tdp = Watts{300.0};
+  sku.v_min = Volts{0.75};
+  sku.v_max = Volts{1.08};
   sku.c_eff = 0.182;
-  sku.idle_power = 20.0;
-  sku.leakage_at_ref = 24.0;
-  sku.leak_ref_temp = 60.0;
+  sku.idle_power = Watts{20.0};
+  sku.leakage_at_ref = Watts{24.0};
+  sku.leak_ref_temp = Celsius{60.0};
   sku.leak_temp_coeff = 0.012;
-  sku.slowdown_temp = 100.0;
-  sku.shutdown_temp = 105.0;
-  sku.max_operating_temp = 99.0;
-  sku.spread = ProcessSpread{0.013, 0.024, 0.18, 0.002};
+  sku.slowdown_temp = Celsius{100.0};
+  sku.shutdown_temp = Celsius{105.0};
+  sku.max_operating_temp = Celsius{99.0};
+  sku.spread = ProcessSpread{Volts{0.013}, 0.024, 0.18, 0.002};
   return sku;
 }
 

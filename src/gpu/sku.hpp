@@ -22,7 +22,7 @@ std::string to_string(Vendor v);
 
 /// Chip-to-chip manufacturing spread for a SKU's process node.
 struct ProcessSpread {
-  Volts vf_offset_sigma = 0.010;     ///< σ of the V/f curve voltage shift
+  Volts vf_offset_sigma{0.010};     ///< σ of the V/f curve voltage shift
   double efficiency_sigma = 0.02;    ///< σ of the switching-capacitance factor
   double leakage_log_sigma = 0.15;   ///< σ of log(leakage factor)
   double mem_bw_sigma = 0.01;        ///< σ of the memory-bandwidth factor
@@ -39,26 +39,26 @@ struct GpuSku {
   double mem_size_gb = 0;
 
   // --- DVFS ---
-  MegaHertz min_mhz = 0;
-  MegaHertz max_mhz = 0;
-  MegaHertz ladder_step_mhz = 0;      ///< spacing of allowed frequency states
-  Seconds dvfs_control_period = 0.01; ///< how often the PM controller acts
-  Watts dvfs_up_margin = 8.0;         ///< step up only if P < cap - margin
+  MegaHertz min_mhz{};
+  MegaHertz max_mhz{};
+  MegaHertz ladder_step_mhz{};      ///< spacing of allowed frequency states
+  Seconds dvfs_control_period{0.01}; ///< how often the PM controller acts
+  Watts dvfs_up_margin{8.0};         ///< step up only if P < cap - margin
 
   // --- Electrical ---
-  Watts tdp = 0;
-  Volts v_min = 0;                    ///< voltage at min_mhz (typical chip)
-  Volts v_max = 0;                    ///< voltage at max_mhz (typical chip)
+  Watts tdp{};
+  Volts v_min{};                    ///< voltage at min_mhz (typical chip)
+  Volts v_max{};                    ///< voltage at max_mhz (typical chip)
   double c_eff = 0;                   ///< W / (V^2 * MHz) at activity 1
-  Watts idle_power = 0;               ///< board power at idle
-  Watts leakage_at_ref = 0;           ///< static power at leak_ref_temp
-  Celsius leak_ref_temp = 60.0;
+  Watts idle_power{};               ///< board power at idle
+  Watts leakage_at_ref{};           ///< static power at leak_ref_temp
+  Celsius leak_ref_temp{60.0};
   double leak_temp_coeff = 0.015;     ///< per-°C exponential coefficient
 
   // --- Thermal limits (per the paper's Methodology section) ---
-  Celsius slowdown_temp = 0;
-  Celsius shutdown_temp = 0;
-  Celsius max_operating_temp = 0;
+  Celsius slowdown_temp{};
+  Celsius shutdown_temp{};
+  Celsius max_operating_temp{};
 
   // --- Process ---
   ProcessSpread spread;

@@ -17,7 +17,7 @@ HostKernelResult measure_kernel(const std::string& name, double flops,
   const auto t0 = std::chrono::steady_clock::now();
   fn();
   const auto t1 = std::chrono::steady_clock::now();
-  r.duration = std::chrono::duration<double>(t1 - t0).count();
+  r.duration = Seconds{std::chrono::duration<double>(t1 - t0).count()};
   return r;
 }
 

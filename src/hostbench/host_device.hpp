@@ -15,15 +15,15 @@ namespace gpuvar::host {
 
 struct HostKernelResult {
   std::string name;
-  Seconds duration = 0.0;
+  Seconds duration{};
   double work_flops = 0.0;
   double work_bytes = 0.0;
 
   double gflops() const {
-    return duration > 0.0 ? work_flops / duration * 1e-9 : 0.0;
+    return duration > Seconds{} ? work_flops / duration.value() * 1e-9 : 0.0;
   }
   double gbytes_per_s() const {
-    return duration > 0.0 ? work_bytes / duration * 1e-9 : 0.0;
+    return duration > Seconds{} ? work_bytes / duration.value() * 1e-9 : 0.0;
   }
 };
 

@@ -5,21 +5,21 @@
 namespace gpuvar {
 
 void CounterAccumulator::add(const KernelSpec& kernel, Seconds duration) {
-  GPUVAR_REQUIRE(duration >= 0.0);
-  fu_ += kernel.fu_util * duration;
-  dram_ += kernel.dram_util * duration;
-  mem_stall_ += kernel.mem_stall_frac * duration;
-  exec_stall_ += kernel.exec_stall_frac * duration;
+  GPUVAR_REQUIRE(duration >= Seconds{});
+  fu_ += kernel.fu_util * duration.value();
+  dram_ += kernel.dram_util * duration.value();
+  mem_stall_ += kernel.mem_stall_frac * duration.value();
+  exec_stall_ += kernel.exec_stall_frac * duration.value();
   total_time_ += duration;
 }
 
 ProfilerCounters CounterAccumulator::aggregate() const {
   ProfilerCounters c;
-  if (total_time_ <= 0.0) return c;
-  c.fu_util = fu_ / total_time_;
-  c.dram_util = dram_ / total_time_;
-  c.mem_stall_frac = mem_stall_ / total_time_;
-  c.exec_stall_frac = exec_stall_ / total_time_;
+  if (total_time_ <= Seconds{}) return c;
+  c.fu_util = fu_ / total_time_.value();
+  c.dram_util = dram_ / total_time_.value();
+  c.mem_stall_frac = mem_stall_ / total_time_.value();
+  c.exec_stall_frac = exec_stall_ / total_time_.value();
   return c;
 }
 

@@ -27,7 +27,7 @@ class CounterAccumulator {
 
  private:
   double fu_ = 0.0, dram_ = 0.0, mem_stall_ = 0.0, exec_stall_ = 0.0;
-  Seconds total_time_ = 0.0;
+  Seconds total_time_{};
 };
 
 }  // namespace gpuvar

@@ -32,7 +32,7 @@ void export_results_csv(std::ostream& out, const Cluster& cluster,
         .add(r.telemetry.temp.median)
         .add(r.telemetry.temp.min)
         .add(r.telemetry.temp.max)
-        .add(r.telemetry.energy)
+        .add(r.telemetry.energy.value())
         .add(r.counters.fu_util)
         .add(r.counters.dram_util)
         .add(r.counters.mem_stall_frac)
@@ -45,7 +45,7 @@ void export_series_csv(std::ostream& out, const TimeSeries& series) {
   CsvWriter csv(out);
   csv.header({"t_s", "freq_mhz", "power_w", "temp_c"});
   for (const auto& s : series.samples()) {
-    csv.add(s.t).add(s.freq).add(s.power).add(s.temp);
+    csv.add(s.t.value()).add(s.freq.value()).add(s.power.value()).add(s.temp.value());
     csv.end_row();
   }
 }

@@ -26,39 +26,39 @@ std::string to_string(ThrottleReason r);
 
 /// Point-in-time controller state.
 struct PmSnapshot {
-  MegaHertz sm_freq = 0.0;
-  MegaHertz max_freq = 0.0;
-  Watts power = 0.0;
-  Watts power_limit = 0.0;
-  Celsius temperature = 0.0;
-  Celsius slowdown_temp = 0.0;
+  MegaHertz sm_freq{};
+  MegaHertz max_freq{};
+  Watts power{};
+  Watts power_limit{};
+  Celsius temperature{};
+  Celsius slowdown_temp{};
   ThrottleReason reason = ThrottleReason::kNone;
 
   /// Headroom to the cap (negative while over it).
   Watts power_headroom() const { return power_limit - power; }
   /// Fraction of the boost clock currently delivered.
   double clock_residency() const {
-    return max_freq > 0.0 ? sm_freq / max_freq : 0.0;
+    return max_freq > MegaHertz{} ? sm_freq / max_freq : 0.0;
   }
 };
 
 /// Cumulative residency accounting since construction/reset.
 struct ThrottleAccounting {
-  Seconds total = 0.0;           ///< busy time accounted
-  Seconds at_max_clock = 0.0;    ///< time at the boost state
-  Seconds power_limited = 0.0;   ///< time below boost due to the cap
-  Seconds thermal_limited = 0.0; ///< time in thermal slowdown
+  Seconds total{};           ///< busy time accounted
+  Seconds at_max_clock{};    ///< time at the boost state
+  Seconds power_limited{};   ///< time below boost due to the cap
+  Seconds thermal_limited{}; ///< time in thermal slowdown
   long down_steps = 0;           ///< controller down-transitions
   long up_steps = 0;             ///< controller up-transitions
 
   double max_clock_residency() const {
-    return total > 0.0 ? at_max_clock / total : 0.0;
+    return total > Seconds{} ? at_max_clock / total : 0.0;
   }
   double power_limited_residency() const {
-    return total > 0.0 ? power_limited / total : 0.0;
+    return total > Seconds{} ? power_limited / total : 0.0;
   }
   double thermal_limited_residency() const {
-    return total > 0.0 ? thermal_limited / total : 0.0;
+    return total > Seconds{} ? thermal_limited / total : 0.0;
   }
 };
 

@@ -64,11 +64,11 @@ Sampler::Sampler(const SamplerOptions& opts)
 
 void Sampler::record_span(Seconds t, Seconds dt, MegaHertz f, Watts p,
                           Celsius temp) {
-  GPUVAR_REQUIRE(dt >= 0.0);
-  if (dt == 0.0) return;
-  freq_.add(f, dt);
-  power_.add(p, dt);
-  temp_.add(temp, dt);
+  GPUVAR_REQUIRE(dt >= Seconds{});
+  if (dt == Seconds{}) return;
+  freq_.add(f.value(), dt.value());
+  power_.add(p.value(), dt.value());
+  temp_.add(temp.value(), dt.value());
   duration_ += dt;
   energy_ += p * dt;
 
@@ -76,11 +76,11 @@ void Sampler::record_span(Seconds t, Seconds dt, MegaHertz f, Watts p,
   // Emit decimated samples at the configured interval across the span.
   // Sample times derive from an integer index so accumulated float error
   // can never add or drop a sample.
-  const double interval = opts_.series_interval;
-  const double end = t + dt;
+  const double interval = opts_.series_interval.value();
+  const Seconds end = t + dt;
   while (series_.size() < opts_.max_series_samples) {
-    const Seconds st = static_cast<double>(series_emitted_) * interval;
-    if (st >= end - 1e-15) break;
+    const Seconds st{static_cast<double>(series_emitted_) * interval};
+    if (st >= end - Seconds{1e-15}) break;
     if (st >= t) series_.push(Sample{st, f, p, temp});
     ++series_emitted_;
   }
@@ -112,8 +112,8 @@ void Sampler::reset() {
   freq_ = StreamingQuantile(0.0, 3000.0, 0.5);
   power_ = StreamingQuantile(0.0, 800.0, 0.1);
   temp_ = StreamingQuantile(0.0, 130.0, 0.05);
-  duration_ = 0.0;
-  energy_ = 0.0;
+  duration_ = Seconds{0.0};
+  energy_ = Joules{0.0};
   series_emitted_ = 0;
   series_.clear();
 }

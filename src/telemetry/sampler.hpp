@@ -60,14 +60,14 @@ struct TelemetrySummary {
   MetricSummary freq;
   MetricSummary power;
   MetricSummary temp;
-  Seconds duration = 0.0;
-  Joules energy = 0.0;
+  Seconds duration{};
+  Joules energy{};
 };
 
 struct SamplerOptions {
   /// Sampling interval for the stored series; clamped up to the profiler
   /// floor (1 ms), mirroring the nvprof/rocm-smi limitation in §III.
-  Seconds series_interval = 0.05;
+  Seconds series_interval{0.05};
   bool keep_series = false;
   /// Hard cap on stored samples (oldest kept; excess dropped) so an
   /// accidental full-length collection cannot exhaust memory.
@@ -92,8 +92,8 @@ class Sampler {
   StreamingQuantile freq_;
   StreamingQuantile power_;
   StreamingQuantile temp_;
-  Seconds duration_ = 0.0;
-  Joules energy_ = 0.0;
+  Seconds duration_{};
+  Joules energy_{};
   std::size_t series_emitted_ = 0;
   TimeSeries series_;
 };

@@ -5,28 +5,28 @@ namespace gpuvar {
 std::vector<double> TimeSeries::times() const {
   std::vector<double> v;
   v.reserve(samples_.size());
-  for (const auto& s : samples_) v.push_back(s.t);
+  for (const auto& s : samples_) v.push_back(s.t.value());
   return v;
 }
 
 std::vector<double> TimeSeries::freqs() const {
   std::vector<double> v;
   v.reserve(samples_.size());
-  for (const auto& s : samples_) v.push_back(s.freq);
+  for (const auto& s : samples_) v.push_back(s.freq.value());
   return v;
 }
 
 std::vector<double> TimeSeries::powers() const {
   std::vector<double> v;
   v.reserve(samples_.size());
-  for (const auto& s : samples_) v.push_back(s.power);
+  for (const auto& s : samples_) v.push_back(s.power.value());
   return v;
 }
 
 std::vector<double> TimeSeries::temps() const {
   std::vector<double> v;
   v.reserve(samples_.size());
-  for (const auto& s : samples_) v.push_back(s.temp);
+  for (const auto& s : samples_) v.push_back(s.temp.value());
   return v;
 }
 

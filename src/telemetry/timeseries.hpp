@@ -11,10 +11,10 @@ namespace gpuvar {
 /// One profiler sample, matching the paper's four collected metrics
 /// (§III Measurement): time, SM/CU frequency, board power, junction temp.
 struct Sample {
-  Seconds t = 0.0;
-  MegaHertz freq = 0.0;
-  Watts power = 0.0;
-  Celsius temp = 0.0;
+  Seconds t{};
+  MegaHertz freq{};
+  Watts power{};
+  Celsius temp{};
 };
 
 class TimeSeries {

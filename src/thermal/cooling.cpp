@@ -24,8 +24,8 @@ CoolingSpec air_cooling(Celsius inlet_base) {
   s.coolant_base = inlet_base;
   // Hot aisles, rack position and chassis airflow quality give air-cooled
   // clusters their ≥30 °C observed range (Longhorn, Fig. 2d).
-  s.cabinet_sigma = 10.0;
-  s.gpu_sigma = 5.0;
+  s.cabinet_sigma = Celsius{10.0};
+  s.gpu_sigma = Celsius{5.0};
   s.r_mean = 0.135;
   s.r_sigma = 0.025;
   return s;
@@ -35,8 +35,8 @@ CoolingSpec water_cooling(Celsius loop_temp) {
   CoolingSpec s;
   s.type = CoolingType::kWater;
   s.coolant_base = loop_temp;
-  s.cabinet_sigma = 1.5;
-  s.gpu_sigma = 2.0;
+  s.cabinet_sigma = Celsius{1.5};
+  s.gpu_sigma = Celsius{2.0};
   s.r_mean = 0.080;
   s.r_sigma = 0.015;
   return s;
@@ -46,26 +46,27 @@ CoolingSpec mineral_oil_cooling(Celsius bath_temp) {
   CoolingSpec s;
   s.type = CoolingType::kMineralOil;
   s.coolant_base = bath_temp;  // the bath runs warm but very uniform
-  s.cabinet_sigma = 0.8;
-  s.gpu_sigma = 0.8;
+  s.cabinet_sigma = Celsius{0.8};
+  s.gpu_sigma = Celsius{0.8};
   s.r_mean = 0.125;
   s.r_sigma = 0.007;
   return s;
 }
 
 Celsius sample_cabinet_offset(const CoolingSpec& spec, Rng& rng) {
-  if (spec.cabinet_sigma <= 0.0) return 0.0;
+  if (spec.cabinet_sigma <= Celsius{}) return Celsius{};
   // Skew the air distribution warm: a few cabinets sit in hot aisles.
   const double z = rng.normal();
   const double skew = (spec.type == CoolingType::kAir && z > 0.0) ? 1.6 : 1.0;
-  return z * spec.cabinet_sigma * skew;
+  return spec.cabinet_sigma * (z * skew);
 }
 
 ThermalParams sample_thermal(const CoolingSpec& spec, Celsius cabinet_offset,
                              Rng& rng) {
   ThermalParams p;
-  p.coolant = std::max(10.0, spec.coolant_base + cabinet_offset +
-                                 rng.normal(0.0, spec.gpu_sigma));
+  p.coolant = std::max(Celsius{10.0},
+                     spec.coolant_base + cabinet_offset +
+                         Celsius{rng.normal(0.0, spec.gpu_sigma.value())});
   p.r_c_per_w = std::max(0.01, rng.normal(spec.r_mean, spec.r_sigma));
   p.c_j_per_c = std::max(30.0, rng.normal(spec.c_mean, spec.c_sigma));
   return p;

@@ -27,9 +27,9 @@ std::string to_string(CoolingType t);
 
 struct CoolingSpec {
   CoolingType type = CoolingType::kAir;
-  Celsius coolant_base = 25.0;   ///< nominal inlet / loop temperature
-  Celsius cabinet_sigma = 0.0;   ///< spatial spread across cabinets
-  Celsius gpu_sigma = 0.0;       ///< residual spread within a node
+  Celsius coolant_base{25.0};   ///< nominal inlet / loop temperature
+  Celsius cabinet_sigma{};   ///< spatial spread across cabinets
+  Celsius gpu_sigma{};       ///< residual spread within a node
   double r_mean = 0.10;          ///< mean thermal resistance, °C/W
   double r_sigma = 0.0;
   double c_mean = 80.0;         ///< thermal capacitance, J/°C
@@ -38,9 +38,9 @@ struct CoolingSpec {
 
 /// Default parameterizations per technology, calibrated to the paper's
 /// observed temperature medians and IQRs.
-CoolingSpec air_cooling(Celsius inlet_base = 28.0);
-CoolingSpec water_cooling(Celsius loop_temp = 24.0);
-CoolingSpec mineral_oil_cooling(Celsius bath_temp = 48.0);
+CoolingSpec air_cooling(Celsius inlet_base = Celsius{28.0});
+CoolingSpec water_cooling(Celsius loop_temp = Celsius{24.0});
+CoolingSpec mineral_oil_cooling(Celsius bath_temp = Celsius{48.0});
 
 /// Draws the per-cabinet spatial offset (hot-aisle effect). One draw per
 /// cabinet, shared by every GPU in it.

@@ -13,23 +13,29 @@ ThermalModel::ThermalModel(const ThermalParams& params) : params_(params) {
 }
 
 Seconds ThermalModel::time_constant() const {
-  return params_.r_c_per_w * params_.c_j_per_c;
+  return Seconds{params_.r_c_per_w * params_.c_j_per_c};
 }
 
 void ThermalModel::step(Seconds dt, Watts p) {
-  GPUVAR_REQUIRE(dt >= 0.0);
+  GPUVAR_REQUIRE(dt >= Seconds{});
+  GPUVAR_ASSERT(p >= Watts{});
   // Exact solution of the linear ODE over dt (unconditionally stable,
   // exact for constant p): T(t+dt) = Teq + (T - Teq)·exp(-dt/τ).
   const Celsius teq = equilibrium(p);
-  const double decay = std::exp(-dt / time_constant());
+  const double decay = std::exp(-(dt / time_constant()));
   temp_ = teq + (temp_ - teq) * decay;
+  GPUVAR_ASSERT(temp_ > kAbsoluteZero);
 }
 
 Celsius ThermalModel::equilibrium(Watts p) const {
-  return params_.coolant + p * params_.r_c_per_w;
+  return params_.coolant + Celsius{p.value() * params_.r_c_per_w};
 }
 
-void ThermalModel::settle(Watts p) { temp_ = equilibrium(p); }
+void ThermalModel::settle(Watts p) {
+  GPUVAR_ASSERT(p >= Watts{});
+  temp_ = equilibrium(p);
+  GPUVAR_ASSERT(temp_ > kAbsoluteZero);
+}
 
 void ThermalModel::reset(Watts idle_power) { settle(idle_power); }
 

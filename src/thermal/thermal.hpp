@@ -16,7 +16,7 @@ namespace gpuvar {
 struct ThermalParams {
   double r_c_per_w = 0.1;   ///< thermal resistance, °C/W
   double c_j_per_c = 120.0; ///< thermal capacitance, J/°C
-  Celsius coolant = 25.0;   ///< local coolant / inlet temperature
+  Celsius coolant{25.0};   ///< local coolant / inlet temperature
 };
 
 class ThermalModel {

@@ -77,8 +77,8 @@ WorkloadSpec bert_workload(int iterations) {
   w.iteration.push_back(KernelStep{bert_gemm_phase(190.0), 1, true});
   w.iteration.push_back(KernelStep{bert_attention_phase(130.0), 1, true});
   w.iteration.push_back(KernelStep{bert_tail_phase(110.0), 1, true});
-  w.inter_kernel_gap = 0.001;
-  w.allreduce_seconds = 0.022;  // 340M parameters
+  w.inter_kernel_gap = Seconds{0.001};
+  w.allreduce_seconds = Seconds{0.022};  // 340M parameters
   w.gpu_sensitivity_sigma = 0.018;
   w.power_jitter_sigma = 0.22;
   return w;

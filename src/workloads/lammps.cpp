@@ -66,7 +66,7 @@ WorkloadSpec lammps_workload(int timesteps) {
   w.iteration.push_back(
       KernelStep{reaxc_long_kernel("reaxc_charges", 20.0, 8.6), 1, true});
   w.iteration.push_back(KernelStep{reaxc_short_kernels(8.0), 1, false});
-  w.inter_kernel_gap = 0.0008;
+  w.inter_kernel_gap = Seconds{0.0008};
   w.gpu_sensitivity_sigma = 0.0;  // no framework path; pure kernels
   return w;
 }

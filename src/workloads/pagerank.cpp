@@ -46,7 +46,7 @@ WorkloadSpec pagerank_workload(int sweeps) {
   w.iterations = sweeps;
   w.warmup_iterations = 2;
   w.iteration.push_back(KernelStep{spmv_kernel(), 1, true});
-  w.inter_kernel_gap = 0.001;
+  w.inter_kernel_gap = Seconds{0.001};
   w.gpu_sensitivity_sigma = 0.0;
   return w;
 }

@@ -74,7 +74,7 @@ WorkloadSpec resnet_base(int iterations, double scale) {
   w.iteration.push_back(KernelStep{conv_phase(55.0 * scale), 1, true});
   w.iteration.push_back(KernelStep{gemm_phase(15.0 * scale), 1, true});
   w.iteration.push_back(KernelStep{elementwise_phase(40.0 * scale), 1, true});
-  w.inter_kernel_gap = 0.001;
+  w.inter_kernel_gap = Seconds{0.001};
   return w;
 }
 
@@ -84,7 +84,7 @@ WorkloadSpec resnet50_multi_workload(int iterations) {
   WorkloadSpec w = resnet_base(iterations, 1.0);
   w.name = "resnet50-4gpu";
   w.gpus_per_job = 4;
-  w.allreduce_seconds = 0.008;  // NCCL ring over NVLink, 25M params
+  w.allreduce_seconds = Seconds{0.008};  // NCCL ring over NVLink, 25M params
   // Full framework stack (dataloader, cuDNN heuristics, NCCL): the widest
   // per-GPU non-frequency spread of all our workloads.
   w.gpu_sensitivity_sigma = 0.055;

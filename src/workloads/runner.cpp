@@ -121,8 +121,8 @@ std::vector<GpuRunResult> run_job(const Cluster& cluster,
   const int total_iters = workload.warmup_iterations + workload.iterations;
   for (int iter = 0; iter < total_iters; ++iter) {
     const bool measuring = iter >= workload.warmup_iterations;
-    double max_elapsed = 0.0;
-    std::vector<double> elapsed(ranks.size(), 0.0);
+    Seconds max_elapsed{};
+    std::vector<Seconds> elapsed(ranks.size(), Seconds{});
 
     for (std::size_t ri = 0; ri < ranks.size(); ++ri) {
       Rank& r = ranks[ri];
@@ -148,13 +148,13 @@ std::vector<GpuRunResult> run_job(const Cluster& cluster,
 
     // Bulk-synchronous barrier + allreduce: the iteration ends when the
     // slowest rank has computed and the collective has completed.
-    const double iteration_s =
+    const Seconds iteration_time =
         max_elapsed + workload.allreduce_seconds * allreduce_scale;
     for (std::size_t ri = 0; ri < ranks.size(); ++ri) {
       Rank& r = ranks[ri];
       Sampler* sampler = measuring ? r.sampler.get() : nullptr;
-      r.device->idle_for(iteration_s - elapsed[ri], sampler);
-      if (measuring) r.iteration_ms.push_back(to_ms(iteration_s));
+      r.device->idle_for(iteration_time - elapsed[ri], sampler);
+      if (measuring) r.iteration_ms.push_back(to_ms(iteration_time));
     }
   }
 

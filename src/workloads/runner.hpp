@@ -20,9 +20,9 @@ namespace gpuvar {
 struct RunOptions {
   SimOptions sim;
   bool collect_series = false;
-  Seconds series_interval = 0.05;
+  Seconds series_interval{0.05};
   /// Admin power-limit override (W); 0 keeps the GPU's own cap/TDP.
-  Watts power_limit_override = 0.0;
+  Watts power_limit_override{};
   /// Folded into run seeds so repeated runs (and day-of-week splits)
   /// draw independent transient noise.
   std::uint64_t run_salt = 0;

@@ -15,7 +15,7 @@ WorkloadSpec sgemm_workload(std::size_t n, int reps) {
   w.iterations = reps;
   w.warmup_iterations = 2;
   w.iteration.push_back(KernelStep{make_sgemm_kernel(n), 1, true});
-  w.inter_kernel_gap = 0.004;
+  w.inter_kernel_gap = Seconds{0.004};
   w.gpu_sensitivity_sigma = 0.0;  // a single BLAS kernel: no framework path
   return w;
 }

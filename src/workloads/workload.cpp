@@ -22,8 +22,8 @@ void WorkloadSpec::validate() const {
   GPUVAR_REQUIRE_MSG(gpus_per_job >= 1, name);
   GPUVAR_REQUIRE_MSG(iterations >= 1, name);
   GPUVAR_REQUIRE_MSG(warmup_iterations >= 0, name);
-  GPUVAR_REQUIRE_MSG(inter_kernel_gap >= 0.0, name);
-  GPUVAR_REQUIRE_MSG(allreduce_seconds >= 0.0, name);
+  GPUVAR_REQUIRE_MSG(inter_kernel_gap >= Seconds{}, name);
+  GPUVAR_REQUIRE_MSG(allreduce_seconds >= Seconds{}, name);
   GPUVAR_REQUIRE_MSG(gpu_sensitivity_sigma >= 0.0, name);
   GPUVAR_REQUIRE_MSG(power_jitter_sigma >= 0.0, name);
   bool any_long = false;

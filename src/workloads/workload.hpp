@@ -43,9 +43,9 @@ struct WorkloadSpec {
   int iterations = 100;
   int warmup_iterations = 2;
   std::vector<KernelStep> iteration;
-  Seconds inter_kernel_gap = 0.002;  ///< launch overhead between kernels
+  Seconds inter_kernel_gap{0.002};  ///< launch overhead between kernels
   /// Bulk-synchronous gradient exchange per iteration (multi-GPU only).
-  Seconds allreduce_seconds = 0.0;
+  Seconds allreduce_seconds{};
   /// σ of the per-GPU persistent lognormal factor on the memory path.
   double gpu_sensitivity_sigma = 0.0;
   /// σ of the per-GPU persistent lognormal factor on power activity

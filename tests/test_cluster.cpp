@@ -81,9 +81,9 @@ TEST(Cluster, NodeGpusAreContiguous) {
 TEST(Cluster, ConstructionIsDeterministic) {
   Cluster a(longhorn_spec()), b(longhorn_spec());
   for (std::size_t i = 0; i < a.size(); i += 13) {
-    EXPECT_DOUBLE_EQ(a.gpu(i).silicon.vf_offset, b.gpu(i).silicon.vf_offset);
-    EXPECT_DOUBLE_EQ(a.gpu(i).thermal.coolant, b.gpu(i).thermal.coolant);
-    EXPECT_DOUBLE_EQ(a.gpu(i).power_cap, b.gpu(i).power_cap);
+    EXPECT_DOUBLE_EQ(a.gpu(i).silicon.vf_offset.value(), b.gpu(i).silicon.vf_offset.value());
+    EXPECT_DOUBLE_EQ(a.gpu(i).thermal.coolant.value(), b.gpu(i).thermal.coolant.value());
+    EXPECT_DOUBLE_EQ(a.gpu(i).power_cap.value(), b.gpu(i).power_cap.value());
   }
 }
 
@@ -100,7 +100,7 @@ TEST(Cluster, SiliconVariesAcrossGpus) {
   Cluster c(vortex_spec());
   std::set<double> offsets;
   for (std::size_t i = 0; i < c.size(); ++i) {
-    offsets.insert(c.gpu(i).silicon.vf_offset);
+    offsets.insert(c.gpu(i).silicon.vf_offset.value());
   }
   EXPECT_GT(offsets.size(), c.size() / 2);
 }
@@ -114,7 +114,7 @@ TEST(Cluster, CabinetSharesThermalOffset) {
   for (std::size_t i = 0; i + 1 < c.size(); i += 2) {
     const auto& a = c.gpu(i);
     const auto& b = c.gpu(i + 1);
-    const double d = std::abs(a.thermal.coolant - b.thermal.coolant);
+    const double d = abs(a.thermal.coolant - b.thermal.coolant).value();
     if (a.loc.cabinet == b.loc.cabinet) {
       same_cab += d;
       ++n_same;
@@ -134,7 +134,7 @@ TEST(Cluster, DegradedBoardFaultDegradesMemoryBandwidth) {
   for (std::size_t i = 0; i < c.size(); ++i) {
     if (c.gpu(i).faults.has(FaultKind::kDegradedBoard)) {
       EXPECT_LT(c.gpu(i).silicon.mem_bw_factor, 0.5);
-      EXPECT_GT(c.gpu(i).power_cap, 0.0);
+      EXPECT_GT(c.gpu(i).power_cap, Watts{});
       found = true;
     }
   }
@@ -146,19 +146,19 @@ TEST(Cluster, MakeDeviceAppliesCapAndOverride) {
   const auto faulty = c.faulty_gpus();
   std::size_t capped = c.size();
   for (std::size_t i : faulty) {
-    if (c.gpu(i).power_cap > 0.0) {
+    if (c.gpu(i).power_cap > Watts{}) {
       capped = i;
       break;
     }
   }
   ASSERT_NE(capped, c.size());
   auto dev = c.make_device(capped);
-  EXPECT_DOUBLE_EQ(dev->power_limit(), c.gpu(capped).power_cap);
+  EXPECT_DOUBLE_EQ(dev->power_limit().value(), c.gpu(capped).power_cap.value());
   // Override below the cap wins; above the cap the cap wins.
-  auto dev_low = c.make_device(capped, SimOptions{}, 100.0);
-  EXPECT_DOUBLE_EQ(dev_low->power_limit(), 100.0);
-  auto dev_high = c.make_device(capped, SimOptions{}, 1000.0);
-  EXPECT_DOUBLE_EQ(dev_high->power_limit(), c.gpu(capped).power_cap);
+  auto dev_low = c.make_device(capped, SimOptions{}, Watts{100.0});
+  EXPECT_DOUBLE_EQ(dev_low->power_limit().value(), 100.0);
+  auto dev_high = c.make_device(capped, SimOptions{}, Watts{1000.0});
+  EXPECT_DOUBLE_EQ(dev_high->power_limit().value(), c.gpu(capped).power_cap.value());
 }
 
 TEST(Cluster, SummitFaultsConcentratedInConfiguredRows) {

@@ -14,10 +14,10 @@ std::vector<double> sample_coolants(const CoolingSpec& spec, int n_cabinets,
   std::vector<double> out;
   for (int c = 0; c < n_cabinets; ++c) {
     Rng crng(1, "cab:" + std::to_string(c));
-    const double off = sample_cabinet_offset(spec, crng);
+    const Celsius off = sample_cabinet_offset(spec, crng);
     for (int g = 0; g < gpus_per_cabinet; ++g) {
       Rng grng(1, "cab:" + std::to_string(c) + "/g:" + std::to_string(g));
-      out.push_back(sample_thermal(spec, off, grng).coolant);
+      out.push_back(sample_thermal(spec, off, grng).coolant.value());
     }
   }
   return out;
@@ -38,8 +38,8 @@ TEST(Cooling, OilBathRunsWarmButUniform) {
   // Frontera: high median temperature, tiny spread (Q3-Q1 ~ 4 C).
   const auto oil = mineral_oil_cooling();
   const auto water = water_cooling();
-  EXPECT_GT(oil.coolant_base, water.coolant_base + 15.0);
-  EXPECT_LT(oil.cabinet_sigma, 1.5);
+  EXPECT_GT(oil.coolant_base, water.coolant_base + Celsius{15.0});
+  EXPECT_LT(oil.cabinet_sigma, Celsius{1.5});
 }
 
 TEST(Cooling, WaterRemovesHeatBest) {
@@ -52,10 +52,10 @@ TEST(Cooling, SampledParamsArePhysical) {
        {air_cooling(), water_cooling(), mineral_oil_cooling()}) {
     for (int i = 0; i < 500; ++i) {
       Rng rng(2, "s:" + std::to_string(i));
-      const auto p = sample_thermal(spec, 0.0, rng);
+      const auto p = sample_thermal(spec, Celsius{0.0}, rng);
       EXPECT_GT(p.r_c_per_w, 0.0);
       EXPECT_GT(p.c_j_per_c, 0.0);
-      EXPECT_GE(p.coolant, 10.0);
+      EXPECT_GE(p.coolant, Celsius{10.0});
     }
   }
 }
@@ -67,7 +67,7 @@ TEST(Cooling, AirCabinetOffsetsSkewWarm) {
   int warm = 0, cold = 0;
   for (int i = 0; i < 20000; ++i) {
     Rng rng(3, "c:" + std::to_string(i));
-    const double off = sample_cabinet_offset(spec, rng);
+    const double off = sample_cabinet_offset(spec, rng).value();
     if (off > 0) {
       warm_sum += off;
       ++warm;
@@ -81,9 +81,9 @@ TEST(Cooling, AirCabinetOffsetsSkewWarm) {
 
 TEST(Cooling, ZeroSigmaMeansNoCabinetSpread) {
   auto spec = water_cooling();
-  spec.cabinet_sigma = 0.0;
+  spec.cabinet_sigma = Celsius{0.0};
   Rng rng(4, "x");
-  EXPECT_DOUBLE_EQ(sample_cabinet_offset(spec, rng), 0.0);
+  EXPECT_DOUBLE_EQ(sample_cabinet_offset(spec, rng).value(), 0.0);
 }
 
 TEST(Cooling, TypeNames) {

@@ -26,18 +26,18 @@ TEST(Counters, EmptyAggregateIsZero) {
 
 TEST(Counters, SingleKernelPassesThrough) {
   CounterAccumulator acc;
-  acc.add(kernel_with(10.0, 2.0, 0.03), 1.5);
+  acc.add(kernel_with(10.0, 2.0, 0.03), Seconds{1.5});
   const auto c = acc.aggregate();
   EXPECT_DOUBLE_EQ(c.fu_util, 10.0);
   EXPECT_DOUBLE_EQ(c.dram_util, 2.0);
   EXPECT_DOUBLE_EQ(c.mem_stall_frac, 0.03);
-  EXPECT_DOUBLE_EQ(acc.total_time(), 1.5);
+  EXPECT_DOUBLE_EQ(acc.total_time().value(), 1.5);
 }
 
 TEST(Counters, TimeWeightedAverage) {
   CounterAccumulator acc;
-  acc.add(kernel_with(10.0, 0.0, 0.0), 3.0);
-  acc.add(kernel_with(0.0, 10.0, 1.0), 1.0);
+  acc.add(kernel_with(10.0, 0.0, 0.0), Seconds{3.0});
+  acc.add(kernel_with(0.0, 10.0, 1.0), Seconds{1.0});
   const auto c = acc.aggregate();
   EXPECT_NEAR(c.fu_util, 7.5, 1e-12);
   EXPECT_NEAR(c.dram_util, 2.5, 1e-12);
@@ -46,13 +46,13 @@ TEST(Counters, TimeWeightedAverage) {
 
 TEST(Counters, ZeroDurationAddsNothing) {
   CounterAccumulator acc;
-  acc.add(kernel_with(10.0, 10.0, 1.0), 0.0);
+  acc.add(kernel_with(10.0, 10.0, 1.0), Seconds{0.0});
   EXPECT_DOUBLE_EQ(acc.aggregate().fu_util, 0.0);
 }
 
 TEST(Counters, NegativeDurationThrows) {
   CounterAccumulator acc;
-  EXPECT_THROW(acc.add(kernel_with(1.0, 1.0, 0.0), -1.0),
+  EXPECT_THROW(acc.add(kernel_with(1.0, 1.0, 0.0), Seconds{-1.0}),
                std::invalid_argument);
 }
 
@@ -68,7 +68,7 @@ TEST(Counters, PaperCalibrationRatios) {
       // weight by nominal V100 duration share; flops/bytes serve as proxy
       const double t =
           std::max(step.kernel.flops / 1e13, step.kernel.bytes / 7e11);
-      acc.add(step.kernel, t * step.count);
+      acc.add(step.kernel, Seconds{t * step.count});
     }
     return acc.aggregate();
   };

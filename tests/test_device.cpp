@@ -13,7 +13,7 @@ class DeviceTest : public ::testing::Test {
 
   GpuSku sku_ = make_v100_sxm2();
   SiliconSample chip_;
-  ThermalParams thermal_{0.10, 80.0, 28.0};
+  ThermalParams thermal_{0.10, 80.0, Celsius{28.0}};
 };
 
 TEST_F(DeviceTest, GemmThrottlesBelowBoost) {
@@ -21,10 +21,10 @@ TEST_F(DeviceTest, GemmThrottlesBelowBoost) {
   const auto k = make_sgemm_kernel(25536);
   const auto r = dev.run_kernel(k, nullptr);
   // A typical chip settles well below 1530 MHz under the 300 W cap.
-  EXPECT_LT(dev.frequency(), sku_.max_mhz - 50.0);
-  EXPECT_GT(dev.frequency(), 1250.0);
-  EXPECT_GT(r.duration, 2.0);
-  EXPECT_LT(r.duration, 3.2);
+  EXPECT_LT(dev.frequency(), sku_.max_mhz - MegaHertz{50.0});
+  EXPECT_GT(dev.frequency(), MegaHertz{1250.0});
+  EXPECT_GT(r.duration, Seconds{2.0});
+  EXPECT_LT(r.duration, Seconds{3.2});
 }
 
 TEST_F(DeviceTest, SteadyPowerStaysNearCap) {
@@ -35,8 +35,8 @@ TEST_F(DeviceTest, SteadyPowerStaysNearCap) {
   dev.run_kernel(k, nullptr);
   dev.run_kernel(k, &sampler);
   const auto s = sampler.summary();
-  EXPECT_LE(s.power.median, sku_.tdp + 1.0);
-  EXPECT_GE(s.power.median, sku_.tdp - 15.0);
+  EXPECT_LE(s.power.median, sku_.tdp.value() + 1.0);
+  EXPECT_GE(s.power.median, sku_.tdp.value() - 15.0);
 }
 
 TEST_F(DeviceTest, MemoryBoundKernelPinsAtBoost) {
@@ -48,7 +48,7 @@ TEST_F(DeviceTest, MemoryBoundKernelPinsAtBoost) {
   k.activity = 0.5;
   k.validate();
   dev.run_kernel(k, nullptr);
-  EXPECT_DOUBLE_EQ(dev.frequency(), sku_.max_mhz);
+  EXPECT_DOUBLE_EQ(dev.frequency().value(), sku_.max_mhz.value());
 }
 
 TEST_F(DeviceTest, WorkScaleStretchesDuration) {
@@ -84,13 +84,13 @@ TEST_F(DeviceTest, ActivityScaleChangesPowerNotDuration) {
   auto b = make_device();
   const auto ra = a.run_kernel(k, nullptr, 1.0, 1.0, 1.0);
   const auto rb = b.run_kernel(k, nullptr, 1.0, 1.0, 1.3);
-  EXPECT_NEAR(rb.duration, ra.duration, 1e-6);
+  EXPECT_NEAR(rb.duration.value(), ra.duration.value(), 1e-6);
   EXPECT_GT(rb.mean_power, ra.mean_power * 1.1);
 }
 
 TEST_F(DeviceTest, PowerCapLowersSettledFrequencyAndPower) {
   auto capped = make_device();
-  capped.set_power_limit(250.0);
+  capped.set_power_limit(Watts{250.0});
   auto normal = make_device();
   const auto k = make_sgemm_kernel(25536);
   capped.run_kernel(k, nullptr);  // boost->capped transient
@@ -99,14 +99,15 @@ TEST_F(DeviceTest, PowerCapLowersSettledFrequencyAndPower) {
   const auto rn = normal.run_kernel(k, nullptr);
   EXPECT_LT(capped.frequency(), normal.frequency());
   EXPECT_GT(rc.duration, rn.duration);
-  EXPECT_LT(rc.mean_power, 255.0);
+  EXPECT_LT(rc.mean_power, Watts{255.0});
 }
 
 TEST_F(DeviceTest, EnergyEqualsMeanPowerTimesDuration) {
   auto dev = make_device();
   const auto k = make_sgemm_kernel(8192);
   const auto r = dev.run_kernel(k, nullptr);
-  EXPECT_NEAR(r.energy, r.mean_power * r.duration, 1e-6 * r.energy);
+  EXPECT_NEAR(r.energy.value(), (r.mean_power * r.duration).value(),
+              1e-6 * r.energy.value());
 }
 
 TEST_F(DeviceTest, FastForwardMatchesFullSimulation) {
@@ -120,16 +121,16 @@ TEST_F(DeviceTest, FastForwardMatchesFullSimulation) {
   const auto rf = dev_full.run_kernel(k, nullptr);
   const auto rq = dev_ff.run_kernel(k, nullptr);
   // Runtime/energy within 1%; the fast path must not distort physics.
-  EXPECT_NEAR(rq.duration, rf.duration, 0.01 * rf.duration);
-  EXPECT_NEAR(rq.energy, rf.energy, 0.015 * rf.energy);
-  EXPECT_NEAR(dev_ff.frequency(), dev_full.frequency(),
-              2 * sku_.ladder_step_mhz);
+  EXPECT_NEAR(rq.duration.value(), rf.duration.value(), 0.01 * rf.duration.value());
+  EXPECT_NEAR(rq.energy.value(), rf.energy.value(), 0.015 * rf.energy.value());
+  EXPECT_NEAR(dev_ff.frequency().value(), dev_full.frequency().value(),
+              2 * sku_.ladder_step_mhz.value());
 }
 
 TEST_F(DeviceTest, FastForwardEngagesForSteadyKernels) {
   // Small thermal mass so the temperature fixed point is reached within a
   // couple of kernels; the third repetition must take the fast path.
-  SimulatedGpu dev(sku_, chip_, ThermalParams{0.10, 8.0, 28.0});
+  SimulatedGpu dev(sku_, chip_, ThermalParams{0.10, 8.0, Celsius{28.0}});
   const auto k = make_sgemm_kernel(25536);
   dev.run_kernel(k, nullptr);
   dev.run_kernel(k, nullptr);
@@ -140,26 +141,26 @@ TEST_F(DeviceTest, FastForwardEngagesForSteadyKernels) {
 TEST_F(DeviceTest, IdleCoolsTheChip) {
   auto dev = make_device();
   dev.run_kernel(make_sgemm_kernel(25536), nullptr);
-  const double hot = dev.temperature();
-  dev.idle_for(60.0, nullptr);
-  EXPECT_LT(dev.temperature(), hot - 5.0);
+  const double hot = dev.temperature().value();
+  dev.idle_for(Seconds{60.0}, nullptr);
+  EXPECT_LT(dev.temperature(), Celsius{hot - 5.0});
 }
 
 TEST_F(DeviceTest, IdleLetsDvfsClimbBack) {
   auto dev = make_device();
   dev.run_kernel(make_sgemm_kernel(25536), nullptr);
   EXPECT_LT(dev.frequency(), sku_.max_mhz);
-  dev.idle_for(5.0, nullptr);
-  EXPECT_DOUBLE_EQ(dev.frequency(), sku_.max_mhz);
+  dev.idle_for(Seconds{5.0}, nullptr);
+  EXPECT_DOUBLE_EQ(dev.frequency().value(), sku_.max_mhz.value());
 }
 
 TEST_F(DeviceTest, ResetRestoresColdState) {
   auto dev = make_device();
   dev.run_kernel(make_sgemm_kernel(25536), nullptr);
   dev.reset();
-  EXPECT_DOUBLE_EQ(dev.clock(), 0.0);
-  EXPECT_DOUBLE_EQ(dev.frequency(), sku_.max_mhz);
-  EXPECT_LT(dev.temperature(), 45.0);
+  EXPECT_DOUBLE_EQ(dev.clock().value(), 0.0);
+  EXPECT_DOUBLE_EQ(dev.frequency().value(), sku_.max_mhz.value());
+  EXPECT_LT(dev.temperature(), Celsius{45.0});
 }
 
 TEST_F(DeviceTest, ClockAdvancesAcrossKernels) {
@@ -167,15 +168,15 @@ TEST_F(DeviceTest, ClockAdvancesAcrossKernels) {
   const auto k = make_sgemm_kernel(8192);
   const auto r1 = dev.run_kernel(k, nullptr);
   const auto r2 = dev.run_kernel(k, nullptr);
-  EXPECT_DOUBLE_EQ(r2.start, r1.start + r1.duration);
-  EXPECT_DOUBLE_EQ(dev.clock(), r2.start + r2.duration);
+  EXPECT_DOUBLE_EQ(r2.start.value(), (r1.start + r1.duration).value());
+  EXPECT_DOUBLE_EQ(dev.clock().value(), (r2.start + r2.duration).value());
 }
 
 TEST_F(DeviceTest, HotterCoolingMeansLowerSettledFrequency) {
   // Leakage rises with temperature; the DVFS equilibrium drops.
-  ThermalParams hot_loop{0.17, 80.0, 45.0};
+  ThermalParams hot_loop{0.17, 80.0, Celsius{45.0}};
   SimulatedGpu hot(sku_, chip_, hot_loop);
-  SimulatedGpu cool(sku_, chip_, ThermalParams{0.07, 80.0, 22.0});
+  SimulatedGpu cool(sku_, chip_, ThermalParams{0.07, 80.0, Celsius{22.0}});
   const auto k = make_sgemm_kernel(25536);
   // Two kernels back to back so temperatures approach equilibrium.
   hot.run_kernel(k, nullptr);
@@ -190,7 +191,7 @@ TEST_F(DeviceTest, RejectsBadScales) {
   const auto k = make_sgemm_kernel(8192);
   EXPECT_THROW(dev.run_kernel(k, nullptr, 0.0), std::invalid_argument);
   EXPECT_THROW(dev.run_kernel(k, nullptr, 1.0, -1.0), std::invalid_argument);
-  EXPECT_THROW(dev.idle_for(-1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(dev.idle_for(Seconds{-1.0}, nullptr), std::invalid_argument);
 }
 
 }  // namespace

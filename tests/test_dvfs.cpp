@@ -12,43 +12,44 @@ class DvfsTest : public ::testing::Test {
 
 TEST_F(DvfsTest, StartsAtBoost) {
   DvfsController c(sku_);
-  EXPECT_DOUBLE_EQ(c.frequency(), sku_.max_mhz);
-  EXPECT_DOUBLE_EQ(c.power_limit(), sku_.tdp);
+  EXPECT_DOUBLE_EQ(c.frequency().value(), sku_.max_mhz.value());
+  EXPECT_DOUBLE_EQ(c.power_limit().value(), sku_.tdp.value());
 }
 
 TEST_F(DvfsTest, StepsDownWhenOverLimit) {
   DvfsController c(sku_);
-  const double f0 = c.frequency();
-  EXPECT_TRUE(c.observe(0.0, sku_.tdp + 20.0, 50.0));
-  EXPECT_LT(c.frequency(), f0);
+  const double f0 = c.frequency().value();
+  EXPECT_TRUE(c.observe(Seconds{0.0}, sku_.tdp + Watts{20.0}, Celsius{50.0}));
+  EXPECT_LT(c.frequency().value(), f0);
 }
 
 TEST_F(DvfsTest, ActsAtMostOncePerControlPeriod) {
   DvfsController c(sku_);
-  EXPECT_TRUE(c.observe(0.0, 400.0, 50.0));
+  EXPECT_TRUE(c.observe(Seconds{0.0}, Watts{400.0}, Celsius{50.0}));
   // Immediately after: inside the same control period, no action.
-  EXPECT_FALSE(c.observe(0.001, 400.0, 50.0));
+  EXPECT_FALSE(c.observe(Seconds{0.001}, Watts{400.0}, Celsius{50.0}));
   // After the period elapses, it acts again.
-  EXPECT_TRUE(c.observe(sku_.dvfs_control_period + 1e-6, 400.0, 50.0));
+  EXPECT_TRUE(c.observe(sku_.dvfs_control_period + Seconds{1e-6}, Watts{400.0},
+                        Celsius{50.0}));
 }
 
 TEST_F(DvfsTest, WalksDownOneStepAtATime) {
   DvfsController c(sku_);
   double t = 0.0;
-  const double f0 = c.frequency();
-  c.observe(t, 400.0, 50.0);
-  EXPECT_NEAR(f0 - c.frequency(), sku_.ladder_step_mhz, 1e-9);
+  const double f0 = c.frequency().value();
+  c.observe(Seconds{t}, Watts{400.0}, Celsius{50.0});
+  EXPECT_NEAR(f0 - c.frequency().value(), sku_.ladder_step_mhz.value(), 1e-9);
 }
 
 TEST_F(DvfsTest, NeverLeavesTheLadder) {
   DvfsController c(sku_);
   double t = 0.0;
   for (int i = 0; i < 200; ++i) {
-    c.observe(t, 500.0, 50.0);
-    t += sku_.dvfs_control_period;
+    c.observe(Seconds{t}, Watts{500.0}, Celsius{50.0});
+    t += sku_.dvfs_control_period.value();
     EXPECT_GE(c.frequency(), sku_.min_mhz);
   }
-  EXPECT_DOUBLE_EQ(c.frequency(), sku_.min_mhz);  // pinned at the floor
+  EXPECT_DOUBLE_EQ(c.frequency().value(), sku_.min_mhz.value());  // pinned at the floor
 }
 
 TEST_F(DvfsTest, StepsUpWithHeadroomAfterHold) {
@@ -56,40 +57,40 @@ TEST_F(DvfsTest, StepsUpWithHeadroomAfterHold) {
   double t = 0.0;
   // Drive down a few states.
   for (int i = 0; i < 5; ++i) {
-    c.observe(t, 400.0, 50.0);
-    t += sku_.dvfs_control_period;
+    c.observe(Seconds{t}, Watts{400.0}, Celsius{50.0});
+    t += sku_.dvfs_control_period.value();
   }
-  const double f_low = c.frequency();
+  const double f_low = c.frequency().value();
   // Give generous headroom; after the hysteresis hold it climbs back.
   for (int i = 0; i < 20; ++i) {
-    c.observe(t, 100.0, 50.0);
-    t += sku_.dvfs_control_period;
+    c.observe(Seconds{t}, Watts{100.0}, Celsius{50.0});
+    t += sku_.dvfs_control_period.value();
   }
-  EXPECT_GT(c.frequency(), f_low);
+  EXPECT_GT(c.frequency().value(), f_low);
 }
 
 TEST_F(DvfsTest, NoStepUpInsideMargin) {
   DvfsController c(sku_);
   double t = 0.0;
   for (int i = 0; i < 3; ++i) {
-    c.observe(t, 400.0, 50.0);
-    t += sku_.dvfs_control_period;
+    c.observe(Seconds{t}, Watts{400.0}, Celsius{50.0});
+    t += sku_.dvfs_control_period.value();
   }
-  const double f = c.frequency();
+  const double f = c.frequency().value();
   // Power just inside the band [limit - margin, limit]: stay put.
   for (int i = 0; i < 50; ++i) {
     EXPECT_FALSE(
-        c.observe(t, sku_.tdp - sku_.dvfs_up_margin / 2.0, 50.0));
-    t += sku_.dvfs_control_period;
+        c.observe(Seconds{t}, sku_.tdp - sku_.dvfs_up_margin / 2.0, Celsius{50.0}));
+    t += sku_.dvfs_control_period.value();
   }
-  EXPECT_DOUBLE_EQ(c.frequency(), f);
+  EXPECT_DOUBLE_EQ(c.frequency().value(), f);
 }
 
 TEST_F(DvfsTest, ThermalSlowdownForcesDownsteps) {
   DvfsController c(sku_);
   double t = 0.0;
   // Low power but at the slowdown temperature: still throttles.
-  c.observe(t, 100.0, sku_.slowdown_temp + 1.0);
+  c.observe(Seconds{t}, Watts{100.0}, sku_.slowdown_temp + Celsius{1.0});
   EXPECT_TRUE(c.thermally_throttled());
   EXPECT_LT(c.frequency(), sku_.max_mhz);
 }
@@ -98,32 +99,32 @@ TEST_F(DvfsTest, NoClimbNearSlowdownTemperature) {
   DvfsController c(sku_);
   double t = 0.0;
   for (int i = 0; i < 5; ++i) {
-    c.observe(t, 400.0, 50.0);
-    t += sku_.dvfs_control_period;
+    c.observe(Seconds{t}, Watts{400.0}, Celsius{50.0});
+    t += sku_.dvfs_control_period.value();
   }
-  const double f = c.frequency();
+  const double f = c.frequency().value();
   for (int i = 0; i < 50; ++i) {
-    c.observe(t, 100.0, sku_.slowdown_temp - 1.0);
-    t += sku_.dvfs_control_period;
+    c.observe(Seconds{t}, Watts{100.0}, sku_.slowdown_temp - Celsius{1.0});
+    t += sku_.dvfs_control_period.value();
   }
-  EXPECT_LE(c.frequency(), f + 1e-9);
+  EXPECT_LE(c.frequency().value(), f + 1e-9);
 }
 
 TEST_F(DvfsTest, CustomPowerLimitRespected) {
-  DvfsController c(sku_, 150.0);
-  EXPECT_DOUBLE_EQ(c.power_limit(), 150.0);
-  EXPECT_TRUE(c.observe(0.0, 160.0, 40.0));
+  DvfsController c(sku_, Watts{150.0});
+  EXPECT_DOUBLE_EQ(c.power_limit().value(), 150.0);
+  EXPECT_TRUE(c.observe(Seconds{0.0}, Watts{160.0}, Celsius{40.0}));
 }
 
 TEST_F(DvfsTest, ResetReturnsToBoost) {
   DvfsController c(sku_);
   double t = 0.0;
   for (int i = 0; i < 10; ++i) {
-    c.observe(t, 400.0, 50.0);
-    t += sku_.dvfs_control_period;
+    c.observe(Seconds{t}, Watts{400.0}, Celsius{50.0});
+    t += sku_.dvfs_control_period.value();
   }
   c.reset();
-  EXPECT_DOUBLE_EQ(c.frequency(), sku_.max_mhz);
+  EXPECT_DOUBLE_EQ(c.frequency().value(), sku_.max_mhz.value());
 }
 
 TEST_F(DvfsTest, AmdControllerUsesWiderMargin) {

@@ -42,8 +42,8 @@ TEST(Export, ResultsCsvRoundTripsPerf) {
 
 TEST(Export, SeriesCsv) {
   TimeSeries series;
-  series.push(Sample{0.0, 1400.0, 290.0, 60.0});
-  series.push(Sample{0.001, 1395.0, 295.0, 61.0});
+  series.push(Sample{Seconds{0.0}, MegaHertz{1400.0}, Watts{290.0}, Celsius{60.0}});
+  series.push(Sample{Seconds{0.001}, MegaHertz{1395.0}, Watts{295.0}, Celsius{61.0}});
   std::ostringstream out;
   export_series_csv(out, series);
   const std::string text = out.str();

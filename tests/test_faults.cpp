@@ -22,7 +22,7 @@ TEST(Faults, EmptyPlanLeavesGpuHealthy) {
   Rng rng(1, "g");
   const auto applied = apply_faults(plan, loc_at(0), rng);
   EXPECT_FALSE(applied.any());
-  EXPECT_DOUBLE_EQ(applied.power_cap, 0.0);
+  EXPECT_DOUBLE_EQ(applied.power_cap.value(), 0.0);
   EXPECT_DOUBLE_EQ(applied.mem_bw_factor, 1.0);
   EXPECT_DOUBLE_EQ(applied.r_multiplier, 1.0);
 }
@@ -33,7 +33,7 @@ TEST(Faults, CabinetScopedRuleOnlyHitsCabinet) {
   rule.kind = FaultKind::kPowerCap;
   rule.cabinets = {3};
   rule.probability = 1.0;
-  rule.cap_mean = 250.0;
+  rule.cap_mean = Watts{250.0};
   plan.rules.push_back(rule);
 
   Rng in_rng(1, "in"), out_rng(1, "out");
@@ -59,12 +59,12 @@ TEST(Faults, NodeScope) {
   rule.kind = FaultKind::kPumpFailure;
   rule.nodes = {15};
   rule.probability = 1.0;
-  rule.cap_mean = 165.0;
+  rule.cap_mean = Watts{165.0};
   plan.rules.push_back(rule);
   Rng a(1, "a"), b(1, "b");
   const auto hit = apply_faults(plan, loc_at(5, 15), a);
   EXPECT_TRUE(hit.has(FaultKind::kPumpFailure));
-  EXPECT_NEAR(hit.power_cap, 165.0, 30.0);
+  EXPECT_NEAR(hit.power_cap.value(), 165.0, 30.0);
   EXPECT_FALSE(apply_faults(plan, loc_at(5, 16), b).any());
 }
 
@@ -88,12 +88,12 @@ TEST(Faults, DegradedBoardSetsCapAndMemory) {
   FaultRule rule;
   rule.kind = FaultKind::kDegradedBoard;
   rule.probability = 1.0;
-  rule.cap_mean = 252.0;
+  rule.cap_mean = Watts{252.0};
   rule.mem_bw_factor = 0.22;
   plan.rules.push_back(rule);
   Rng rng(1, "g");
   const auto applied = apply_faults(plan, loc_at(0), rng);
-  EXPECT_GT(applied.power_cap, 200.0);
+  EXPECT_GT(applied.power_cap, Watts{200.0});
   EXPECT_DOUBLE_EQ(applied.mem_bw_factor, 0.22);
 }
 
@@ -103,13 +103,13 @@ TEST(Faults, CoolingDegradedAdjustsThermals) {
   rule.kind = FaultKind::kCoolingDegraded;
   rule.probability = 1.0;
   rule.r_multiplier = 1.5;
-  rule.inlet_delta = 7.0;
+  rule.inlet_delta = Celsius{7.0};
   plan.rules.push_back(rule);
   Rng rng(1, "g");
   const auto applied = apply_faults(plan, loc_at(0), rng);
   EXPECT_DOUBLE_EQ(applied.r_multiplier, 1.5);
-  EXPECT_DOUBLE_EQ(applied.inlet_delta, 7.0);
-  EXPECT_DOUBLE_EQ(applied.power_cap, 0.0);
+  EXPECT_DOUBLE_EQ(applied.inlet_delta.value(), 7.0);
+  EXPECT_DOUBLE_EQ(applied.power_cap.value(), 0.0);
 }
 
 TEST(Faults, MultipleCapsTakeMinimum) {
@@ -117,14 +117,14 @@ TEST(Faults, MultipleCapsTakeMinimum) {
   FaultRule a;
   a.kind = FaultKind::kPowerCap;
   a.probability = 1.0;
-  a.cap_mean = 280.0;
-  a.cap_sigma = 0.0;
+  a.cap_mean = Watts{280.0};
+  a.cap_sigma = Watts{0.0};
   FaultRule b = a;
-  b.cap_mean = 250.0;
+  b.cap_mean = Watts{250.0};
   plan.rules.push_back(a);
   plan.rules.push_back(b);
   Rng rng(1, "g");
-  EXPECT_DOUBLE_EQ(apply_faults(plan, loc_at(0), rng).power_cap, 250.0);
+  EXPECT_DOUBLE_EQ(apply_faults(plan, loc_at(0), rng).power_cap.value(), 250.0);
 }
 
 TEST(Faults, OutcomeIndependentOfOtherRulesScopes) {
@@ -135,7 +135,7 @@ TEST(Faults, OutcomeIndependentOfOtherRulesScopes) {
   FaultRule r2;
   r2.kind = FaultKind::kPowerCap;
   r2.probability = 0.5;
-  r2.cap_sigma = 0.0;
+  r2.cap_sigma = Watts{0.0};
 
   FaultPlan in_scope;
   in_scope.rules = {r1, r2};

@@ -14,19 +14,19 @@ class GlobalPmTest : public ::testing::Test {
 };
 
 TEST_F(GlobalPmTest, UniformSplitsEnvelope) {
-  const auto a = uniform_assignment(cluster_, 216.0 * 250.0);
+  const auto a = uniform_assignment(cluster_, Watts{216.0 * 250.0});
   ASSERT_EQ(a.limits.size(), cluster_.size());
-  for (Watts w : a.limits) EXPECT_DOUBLE_EQ(w, 250.0);
-  EXPECT_NEAR(a.total(), 216.0 * 250.0, 1e-6);
+  for (Watts w : a.limits) EXPECT_DOUBLE_EQ(w.value(), 250.0);
+  EXPECT_NEAR(a.total().value(), 216.0 * 250.0, 1e-6);
 }
 
 TEST_F(GlobalPmTest, UniformCapsAtTdp) {
-  const auto a = uniform_assignment(cluster_, 1e9);
-  for (Watts w : a.limits) EXPECT_DOUBLE_EQ(w, cluster_.sku().tdp);
+  const auto a = uniform_assignment(cluster_, Watts{1e9});
+  for (Watts w : a.limits) EXPECT_DOUBLE_EQ(w.value(), cluster_.sku().tdp.value());
 }
 
 TEST_F(GlobalPmTest, PredictedPowerMatchesSimulatedSteadyState) {
-  const MegaHertz f = 1200.0;
+  const MegaHertz f{1200.0};
   for (std::size_t gi : {std::size_t{0}, std::size_t{77}}) {
     const Watts predicted =
         predicted_steady_power(cluster_, gi, kernel_, f);
@@ -34,11 +34,11 @@ TEST_F(GlobalPmTest, PredictedPowerMatchesSimulatedSteadyState) {
     // it should settle at (or within a step of) the target frequency.
     SimOptions opts;
     opts.tick = cluster_.sku().dvfs_control_period;
-    auto dev = cluster_.make_device(gi, opts, predicted + 0.5);
+    auto dev = cluster_.make_device(gi, opts, predicted + Watts{0.5});
     dev->run_kernel(kernel_, nullptr);
     dev->run_kernel(kernel_, nullptr);
-    EXPECT_NEAR(dev->frequency(), f,
-                3.0 * cluster_.sku().ladder_step_mhz)
+    EXPECT_NEAR(dev->frequency().value(), f.value(),
+                3.0 * cluster_.sku().ladder_step_mhz.value())
         << "gpu " << gi;
   }
 }
@@ -58,16 +58,16 @@ TEST_F(GlobalPmTest, WorseBinsPredictMorePower) {
       worst = i;
     }
   }
-  EXPECT_GT(predicted_steady_power(cluster_, worst, kernel_, 1300.0),
-            predicted_steady_power(cluster_, best, kernel_, 1300.0));
+  EXPECT_GT(predicted_steady_power(cluster_, worst, kernel_, MegaHertz{1300.0}),
+            predicted_steady_power(cluster_, best, kernel_, MegaHertz{1300.0}));
 }
 
 TEST_F(GlobalPmTest, EqualFrequencyFitsTheEnvelope) {
-  const Watts envelope = 270.0 * static_cast<double>(cluster_.size());
+  const Watts envelope{270.0 * static_cast<double>(cluster_.size())};
   const auto a = equal_frequency_assignment(cluster_, envelope, kernel_);
   ASSERT_EQ(a.limits.size(), cluster_.size());
-  EXPECT_GT(a.target_freq, 1000.0);
-  EXPECT_LE(a.total(), envelope + 1e-6);
+  EXPECT_GT(a.target_freq, MegaHertz{1000.0});
+  EXPECT_LE(a.total(), envelope + Watts{1e-6});
   // Worse bins get more power budget than better bins.
   double rho_check = 0.0;
   int n = 0;
@@ -87,7 +87,7 @@ TEST_F(GlobalPmTest, EqualFrequencyFitsTheEnvelope) {
 TEST_F(GlobalPmTest, CoordinationReducesVariabilityAtSameEnvelope) {
   // The headline result: equal-frequency assignment under the same total
   // power dramatically narrows the performance spread.
-  const Watts envelope = 275.0 * static_cast<double>(cluster_.size());
+  const Watts envelope{275.0 * static_cast<double>(cluster_.size())};
   const auto workload = sgemm_workload(25536, 6);
 
   const auto uniform = analyze_variability(
@@ -107,18 +107,18 @@ TEST_F(GlobalPmTest, CoordinationReducesVariabilityAtSameEnvelope) {
 }
 
 TEST_F(GlobalPmTest, TinyEnvelopeFallsBackToUniform) {
-  const auto a = equal_frequency_assignment(cluster_, 10.0, kernel_);
-  EXPECT_DOUBLE_EQ(a.target_freq, 0.0);  // uniform fallback
+  const auto a = equal_frequency_assignment(cluster_, Watts{10.0}, kernel_);
+  EXPECT_DOUBLE_EQ(a.target_freq.value(), 0.0);  // uniform fallback
   EXPECT_EQ(a.limits.size(), cluster_.size());
 }
 
 TEST_F(GlobalPmTest, RunUnderAssignmentValidates) {
-  const auto a = uniform_assignment(cluster_, 270.0 * cluster_.size());
+  const auto a = uniform_assignment(cluster_, Watts{270.0 * static_cast<double>(cluster_.size())});
   EXPECT_THROW(
       run_under_assignment(cluster_, resnet50_multi_workload(3), a),
       std::invalid_argument);
   PowerAssignment wrong;
-  wrong.limits.assign(3, 200.0);
+  wrong.limits.assign(3, Watts{200.0});
   EXPECT_THROW(run_under_assignment(cluster_, sgemm_workload(25536, 2), wrong),
                std::invalid_argument);
 }

@@ -13,13 +13,13 @@ TEST(HostDevice, MeasuresDuration) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   });
   EXPECT_EQ(r.name, "sleep");
-  EXPECT_GE(r.duration, 0.018);
-  EXPECT_LT(r.duration, 0.5);
+  EXPECT_GE(r.duration, Seconds{0.018});
+  EXPECT_LT(r.duration, Seconds{0.5});
 }
 
 TEST(HostDevice, ComputesRates) {
   HostKernelResult r;
-  r.duration = 2.0;
+  r.duration = Seconds{2.0};
   r.work_flops = 4e9;
   r.work_bytes = 8e9;
   EXPECT_DOUBLE_EQ(r.gflops(), 2.0);

@@ -184,8 +184,8 @@ TEST(Integration, PowerLimitSweepIncreasesVariability) {
     const auto result = run_experiment(cloudlab, cfg);
     return analyze_variability(result.records);
   };
-  const auto at300 = run_at(300.0);
-  const auto at150 = run_at(150.0);
+  const auto at300 = run_at(Watts{300.0});
+  const auto at150 = run_at(Watts{150.0});
   EXPECT_GT(at150.perf.box.median, 1.3 * at300.perf.box.median);
   EXPECT_GT(at150.perf.variation_pct, at300.perf.variation_pct);
 }
@@ -203,7 +203,7 @@ TEST(Integration, FlaggingRecoversInjectedFaults) {
   std::set<std::size_t> flagged;
   for (const auto& f : report.gpus) flagged.insert(f.gpu_index);
   for (std::size_t i : longhorn.faulty_gpus()) {
-    if (longhorn.gpu(i).power_cap > 0.0) {
+    if (longhorn.gpu(i).power_cap > Watts{}) {
       EXPECT_TRUE(flagged.count(i))
           << "capped GPU not flagged: " << longhorn.gpu(i).loc.name;
     }
@@ -212,7 +212,7 @@ TEST(Integration, FlaggingRecoversInjectedFaults) {
   // capped board, not a thermally throttled one.
   for (const auto& f : report.gpus) {
     if (f.has(FlagReason::kUnexplainedPowerDrop)) {
-      EXPECT_GT(longhorn.gpu(f.gpu_index).power_cap, 0.0) << f.name;
+      EXPECT_GT(longhorn.gpu(f.gpu_index).power_cap, Watts{}) << f.name;
     }
   }
   // The aggregate score is reported but necessarily imperfect: the

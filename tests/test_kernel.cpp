@@ -19,17 +19,17 @@ TEST_F(KernelTest, SgemmFlopsExact) {
 
 TEST_F(KernelTest, SgemmIsComputeBoundAtPaperSize) {
   const auto k = make_sgemm_kernel(25536);
-  EXPECT_LT(memory_boundedness(k, sku_, chip_, 1370.0), 0.01);
+  EXPECT_LT(memory_boundedness(k, sku_, chip_, MegaHertz{1370.0}), 0.01);
   // Duration at the settled clock is in the paper's 2.3-2.6 s band.
-  const double t = kernel_time_at(k, sku_, chip_, 1370.0);
+  const double t = kernel_time_at(k, sku_, chip_, MegaHertz{1370.0}).value();
   EXPECT_GT(t, 2.2);
   EXPECT_LT(t, 2.8);
 }
 
 TEST_F(KernelTest, ComputeTimeInverseInFrequency) {
   const auto k = make_sgemm_kernel(4096);
-  const double t1 = compute_time(k, sku_, 1000.0);
-  const double t2 = compute_time(k, sku_, 2000.0);
+  const double t1 = compute_time(k, sku_, MegaHertz{1000.0}).value();
+  const double t2 = compute_time(k, sku_, MegaHertz{2000.0}).value();
   EXPECT_NEAR(t1 / t2, 2.0, 1e-9);
 }
 
@@ -39,8 +39,8 @@ TEST_F(KernelTest, MemoryTimeIndependentOfFrequency) {
   k.bytes = 1e9;
   k.flops = 1.0;
   k.validate();
-  EXPECT_DOUBLE_EQ(kernel_time_at(k, sku_, chip_, 1005.0),
-                   kernel_time_at(k, sku_, chip_, 1530.0));
+  EXPECT_DOUBLE_EQ(kernel_time_at(k, sku_, chip_, MegaHertz{1005.0}).value(),
+                   kernel_time_at(k, sku_, chip_, MegaHertz{1530.0}).value());
 }
 
 TEST_F(KernelTest, RooflineTakesMax) {
@@ -49,9 +49,9 @@ TEST_F(KernelTest, RooflineTakesMax) {
   k.flops = 1e12;
   k.bytes = 1e9;
   k.validate();
-  const double t = kernel_time_at(k, sku_, chip_, 1400.0);
+  const double t = kernel_time_at(k, sku_, chip_, MegaHertz{1400.0}).value();
   EXPECT_DOUBLE_EQ(
-      t, std::max(compute_time(k, sku_, 1400.0), memory_time(k, sku_, chip_)));
+      t, std::max(compute_time(k, sku_, MegaHertz{1400.0}), memory_time(k, sku_, chip_)).value());
 }
 
 TEST_F(KernelTest, DegradedMemoryBandwidthSlowsMemoryBoundKernel) {
@@ -62,8 +62,8 @@ TEST_F(KernelTest, DegradedMemoryBandwidthSlowsMemoryBoundKernel) {
   k.validate();
   SiliconSample degraded = chip_;
   degraded.mem_bw_factor = 0.25;
-  EXPECT_NEAR(kernel_time_at(k, sku_, degraded, 1400.0) /
-                  kernel_time_at(k, sku_, chip_, 1400.0),
+  EXPECT_NEAR(kernel_time_at(k, sku_, degraded, MegaHertz{1400.0}) /
+                  kernel_time_at(k, sku_, chip_, MegaHertz{1400.0}),
               4.0, 1e-6);
 }
 
@@ -75,10 +75,10 @@ TEST_F(KernelTest, MemoryBoundednessTransitionsWithFrequency) {
   k.compute_efficiency = 1.0;
   k.bw_efficiency = 1.0;
   // Memory time equals compute time at ~1200 MHz.
-  k.bytes = 1e12 / sku_.peak_flops(1200.0) * (sku_.mem_bw_gbps * 1e9);
+  k.bytes = 1e12 / sku_.peak_flops(MegaHertz{1200.0}) * (sku_.mem_bw_gbps * 1e9);
   k.validate();
-  EXPECT_GT(memory_boundedness(k, sku_, chip_, 1530.0), 0.0);
-  EXPECT_DOUBLE_EQ(memory_boundedness(k, sku_, chip_, 1005.0), 0.0);
+  EXPECT_GT(memory_boundedness(k, sku_, chip_, MegaHertz{1530.0}), 0.0);
+  EXPECT_DOUBLE_EQ(memory_boundedness(k, sku_, chip_, MegaHertz{1005.0}), 0.0);
 }
 
 TEST_F(KernelTest, EffectiveActivityDropsWhenMemoryBound) {
@@ -90,12 +90,12 @@ TEST_F(KernelTest, EffectiveActivityDropsWhenMemoryBound) {
   k.stall_activity_floor = 0.3;
   k.validate();
   // Fully memory-bound: activity collapses to the floor share.
-  EXPECT_NEAR(effective_activity(k, sku_, chip_, 1400.0), 0.8 * 0.3, 0.01);
+  EXPECT_NEAR(effective_activity(k, sku_, chip_, MegaHertz{1400.0}), 0.8 * 0.3, 0.01);
 }
 
 TEST_F(KernelTest, ComputeBoundKeepsFullActivity) {
   const auto k = make_sgemm_kernel(25536);
-  EXPECT_NEAR(effective_activity(k, sku_, chip_, 1400.0), 1.0, 0.02);
+  EXPECT_NEAR(effective_activity(k, sku_, chip_, MegaHertz{1400.0}), 1.0, 0.02);
 }
 
 TEST_F(KernelTest, ValidateRejectsNonsense) {

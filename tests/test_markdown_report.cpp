@@ -42,7 +42,7 @@ TEST(MarkdownReport, FullReportHasAllSections) {
   std::ostringstream out;
   MarkdownReportOptions opts;
   opts.title = "CloudLab SGEMM";
-  opts.slowdown_temp = 87.0;
+  opts.slowdown_temp = Celsius{87.0};
   write_markdown_report(out, records, opts);
   const std::string text = out.str();
   for (const char* needle :

@@ -12,7 +12,7 @@ class PmApiTest : public ::testing::Test {
   SimulatedGpu make_device() {
     SimOptions opts;
     opts.tick = sku_.dvfs_control_period;
-    return SimulatedGpu(sku_, chip_, ThermalParams{0.10, 40.0, 28.0}, opts);
+    return SimulatedGpu(sku_, chip_, ThermalParams{0.10, 40.0, Celsius{28.0}}, opts);
   }
   GpuSku sku_ = make_v100_sxm2();
   SiliconSample chip_;
@@ -22,10 +22,10 @@ TEST_F(PmApiTest, FreshDeviceReportsNoThrottle) {
   auto dev = make_device();
   const auto snap = dev.pm_snapshot();
   EXPECT_EQ(snap.reason, ThrottleReason::kNone);
-  EXPECT_DOUBLE_EQ(snap.sm_freq, sku_.max_mhz);
-  EXPECT_DOUBLE_EQ(snap.max_freq, sku_.max_mhz);
-  EXPECT_DOUBLE_EQ(snap.power_limit, sku_.tdp);
-  EXPECT_DOUBLE_EQ(snap.slowdown_temp, sku_.slowdown_temp);
+  EXPECT_DOUBLE_EQ(snap.sm_freq.value(), sku_.max_mhz.value());
+  EXPECT_DOUBLE_EQ(snap.max_freq.value(), sku_.max_mhz.value());
+  EXPECT_DOUBLE_EQ(snap.power_limit.value(), sku_.tdp.value());
+  EXPECT_DOUBLE_EQ(snap.slowdown_temp.value(), sku_.slowdown_temp.value());
   EXPECT_NEAR(snap.clock_residency(), 1.0, 1e-12);
 }
 
@@ -35,8 +35,8 @@ TEST_F(PmApiTest, GemmReportsPowerCapThrottle) {
   const auto snap = dev.pm_snapshot();
   EXPECT_EQ(snap.reason, ThrottleReason::kPowerCap);
   EXPECT_LT(snap.clock_residency(), 1.0);
-  EXPECT_GT(snap.power, 250.0);
-  EXPECT_GE(snap.power_headroom(), -5.0);
+  EXPECT_GT(snap.power, Watts{250.0});
+  EXPECT_GE(snap.power_headroom(), Watts{-5.0});
 }
 
 TEST_F(PmApiTest, AccountingSplitsResidency) {
@@ -45,12 +45,13 @@ TEST_F(PmApiTest, AccountingSplitsResidency) {
   dev.run_kernel(k, nullptr);
   dev.run_kernel(k, nullptr);
   const auto acct = dev.pm_accounting();
-  EXPECT_GT(acct.total, 4.0);
+  EXPECT_GT(acct.total, Seconds{4.0});
   // Starts at boost, then spends most of the time power-limited.
   EXPECT_GT(acct.power_limited, acct.at_max_clock);
-  EXPECT_DOUBLE_EQ(acct.thermal_limited, 0.0);
-  EXPECT_NEAR(acct.at_max_clock + acct.power_limited + acct.thermal_limited,
-              acct.total, 1e-9);
+  EXPECT_DOUBLE_EQ(acct.thermal_limited.value(), 0.0);
+  EXPECT_NEAR((acct.at_max_clock + acct.power_limited + acct.thermal_limited)
+                  .value(),
+              acct.total.value(), 1e-9);
   EXPECT_GT(acct.down_steps, 10);
   EXPECT_NEAR(acct.power_limited_residency() + acct.max_clock_residency(),
               1.0, 1e-9);
@@ -73,10 +74,10 @@ TEST_F(PmApiTest, ThermalThrottleReported) {
   // Terrible cooling: the chip hits the slowdown temperature.
   SimOptions opts;
   opts.tick = sku_.dvfs_control_period;
-  SimulatedGpu dev(sku_, chip_, ThermalParams{0.30, 6.0, 45.0}, opts);
+  SimulatedGpu dev(sku_, chip_, ThermalParams{0.30, 6.0, Celsius{45.0}}, opts);
   dev.run_kernel(make_sgemm_kernel(25536), nullptr);
   const auto acct = dev.pm_accounting();
-  EXPECT_GT(acct.thermal_limited, 0.0);
+  EXPECT_GT(acct.thermal_limited, Seconds{});
 }
 
 TEST_F(PmApiTest, ResetClearsAccounting) {
@@ -84,7 +85,7 @@ TEST_F(PmApiTest, ResetClearsAccounting) {
   dev.run_kernel(make_sgemm_kernel(25536), nullptr);
   dev.reset();
   const auto acct = dev.pm_accounting();
-  EXPECT_DOUBLE_EQ(acct.total, 0.0);
+  EXPECT_DOUBLE_EQ(acct.total.value(), 0.0);
   EXPECT_EQ(acct.down_steps, 0);
 }
 
@@ -92,16 +93,16 @@ TEST_F(PmApiTest, WorksThroughTheInterface) {
   auto dev = make_device();
   PmIntrospection& api = dev;  // the vendor-neutral handle
   dev.run_kernel(make_sgemm_kernel(25536), nullptr);
-  EXPECT_GT(api.pm_accounting().total, 0.0);
+  EXPECT_GT(api.pm_accounting().total, Seconds{});
   EXPECT_NE(api.pm_snapshot().reason, ThrottleReason::kThermal);
 }
 
 TEST_F(PmApiTest, PreheatRaisesStartingTemperature) {
   auto cold = make_device();
   auto hot = make_device();
-  hot.preheat(290.0);
-  EXPECT_GT(hot.temperature(), cold.temperature() + 15.0);
-  EXPECT_THROW(hot.preheat(-1.0), std::invalid_argument);
+  hot.preheat(Watts{290.0});
+  EXPECT_GT(hot.temperature(), cold.temperature() + Celsius{15.0});
+  EXPECT_THROW(hot.preheat(Watts{-1.0}), std::invalid_argument);
 }
 
 TEST_F(PmApiTest, ReasonNames) {

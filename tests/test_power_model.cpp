@@ -15,58 +15,59 @@ class PowerModelTest : public ::testing::Test {
 
 TEST_F(PowerModelTest, DynamicPowerIncreasesWithFrequency) {
   PowerModel pm(sku_, chip_);
-  EXPECT_LT(pm.dynamic_power(1100.0, 1.0), pm.dynamic_power(1500.0, 1.0));
+  EXPECT_LT(pm.dynamic_power(MegaHertz{1100.0}, 1.0), pm.dynamic_power(MegaHertz{1500.0}, 1.0));
 }
 
 TEST_F(PowerModelTest, DynamicPowerScalesWithActivity) {
   PowerModel pm(sku_, chip_);
-  const double full = pm.dynamic_power(1400.0, 1.0);
-  EXPECT_NEAR(pm.dynamic_power(1400.0, 0.5), full / 2.0, 1e-9);
-  EXPECT_DOUBLE_EQ(pm.dynamic_power(1400.0, 0.0), 0.0);
+  const double full = pm.dynamic_power(MegaHertz{1400.0}, 1.0).value();
+  EXPECT_NEAR(pm.dynamic_power(MegaHertz{1400.0}, 0.5).value(), full / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pm.dynamic_power(MegaHertz{1400.0}, 0.0).value(), 0.0);
 }
 
 TEST_F(PowerModelTest, ActivityOutOfRangeThrows) {
   PowerModel pm(sku_, chip_);
-  EXPECT_THROW(pm.dynamic_power(1400.0, 1.5), std::invalid_argument);
-  EXPECT_THROW(pm.dynamic_power(1400.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(pm.dynamic_power(MegaHertz{1400.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(pm.dynamic_power(MegaHertz{1400.0}, -0.1), std::invalid_argument);
 }
 
 TEST_F(PowerModelTest, LeakageGrowsExponentiallyWithTemperature) {
   PowerModel pm(sku_, chip_);
-  const double at60 = pm.leakage_power(60.0);
-  const double at80 = pm.leakage_power(80.0);
-  EXPECT_DOUBLE_EQ(at60, sku_.leakage_at_ref);
+  const double at60 = pm.leakage_power(Celsius{60.0}).value();
+  const double at80 = pm.leakage_power(Celsius{80.0}).value();
+  EXPECT_DOUBLE_EQ(at60, sku_.leakage_at_ref.value());
   EXPECT_NEAR(at80 / at60, std::exp(sku_.leak_temp_coeff * 20.0), 1e-9);
 }
 
 TEST_F(PowerModelTest, WorseBinNeedsMorePower) {
   SiliconSample bad = chip_;
-  bad.vf_offset = 0.03;  // needs 30 mV more at every frequency
+  bad.vf_offset = Volts{0.03};  // needs 30 mV more at every frequency
   PowerModel typical(sku_, chip_), worse(sku_, bad);
-  EXPECT_GT(worse.dynamic_power(1400.0, 1.0),
-            typical.dynamic_power(1400.0, 1.0));
-  EXPECT_GT(worse.voltage(1400.0), typical.voltage(1400.0));
+  EXPECT_GT(worse.dynamic_power(MegaHertz{1400.0}, 1.0),
+            typical.dynamic_power(MegaHertz{1400.0}, 1.0));
+  EXPECT_GT(worse.voltage(MegaHertz{1400.0}), typical.voltage(MegaHertz{1400.0}));
 }
 
 TEST_F(PowerModelTest, LeakyChipBurnsMoreStaticPower) {
   SiliconSample leaky = chip_;
   leaky.leakage_factor = 1.5;
   PowerModel pm(sku_, leaky);
-  EXPECT_NEAR(pm.leakage_power(60.0), 1.5 * sku_.leakage_at_ref, 1e-9);
+  EXPECT_NEAR(pm.leakage_power(Celsius{60.0}).value(), 1.5 * sku_.leakage_at_ref.value(), 1e-9);
 }
 
 TEST_F(PowerModelTest, TotalIsSumOfParts) {
   PowerModel pm(sku_, chip_);
   const double t = 65.0;
-  EXPECT_NEAR(pm.total_power(1400.0, 0.8, t),
-              pm.dynamic_power(1400.0, 0.8) + pm.leakage_power(t) +
-                  sku_.idle_power,
+  EXPECT_NEAR(pm.total_power(MegaHertz{1400.0}, 0.8, Celsius{t}).value(),
+              (pm.dynamic_power(MegaHertz{1400.0}, 0.8) +
+               pm.leakage_power(Celsius{t}) + sku_.idle_power)
+                  .value(),
               1e-9);
 }
 
 TEST_F(PowerModelTest, IdleIsTotalAtZeroActivity) {
   PowerModel pm(sku_, chip_);
-  EXPECT_NEAR(pm.idle_power(50.0), pm.total_power(1005.0, 0.0, 50.0), 1e-9);
+  EXPECT_NEAR(pm.idle_power(Celsius{50.0}).value(), pm.total_power(MegaHertz{1005.0}, 0.0, Celsius{50.0}).value(), 1e-9);
 }
 
 TEST_F(PowerModelTest, TypicalGemmPowerAboveTdpAtBoost) {
@@ -74,9 +75,9 @@ TEST_F(PowerModelTest, TypicalGemmPowerAboveTdpAtBoost) {
   // 1530 MHz must exceed 300 W, or the DVFS equilibrium would sit at the
   // boost clock and no frequency variability would exist.
   PowerModel pm(sku_, chip_);
-  EXPECT_GT(pm.total_power(1530.0, 1.0, 60.0), sku_.tdp + 20.0);
+  EXPECT_GT(pm.total_power(MegaHertz{1530.0}, 1.0, Celsius{60.0}), sku_.tdp + Watts{20.0});
   // ...while at ~1370 MHz it fits within the TDP (the settled band).
-  EXPECT_LT(pm.total_power(1365.0, 1.0, 60.0), sku_.tdp + 2.0);
+  EXPECT_LT(pm.total_power(MegaHertz{1365.0}, 1.0, Celsius{60.0}), sku_.tdp + Watts{2.0});
 }
 
 }  // namespace

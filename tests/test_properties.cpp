@@ -30,8 +30,8 @@ TEST_P(PowerCapProperty, SteadyPowerRespectsLimit) {
         sample_silicon(sku, 11, "prop/chip:" + std::to_string(chip_id));
     SimOptions opts;
     opts.tick = sku.dvfs_control_period;
-    SimulatedGpu dev(sku, chip, ThermalParams{0.1, 80.0, 28.0}, opts);
-    dev.set_power_limit(limit);
+    SimulatedGpu dev(sku, chip, ThermalParams{0.1, 80.0, Celsius{28.0}}, opts);
+    dev.set_power_limit(Watts{limit});
     const std::size_t n = sku.vendor == Vendor::kAmd ? 24576 : 25536;
     const auto k = make_sgemm_kernel(n);
     dev.run_kernel(k, nullptr);  // transient
@@ -69,15 +69,15 @@ TEST_P(CapMonotonicityProperty, RuntimeMonotoneInPowerLimit) {
   const auto k = make_sgemm_kernel(n);
   double prev = 0.0;
   for (double limit : {300.0, 250.0, 200.0, 150.0, 100.0}) {
-    SimulatedGpu dev(sku, chip, ThermalParams{0.08, 80.0, 25.0}, opts);
-    dev.set_power_limit(limit);
+    SimulatedGpu dev(sku, chip, ThermalParams{0.08, 80.0, Celsius{25.0}}, opts);
+    dev.set_power_limit(Watts{limit});
     dev.run_kernel(k, nullptr);
     const auto r = dev.run_kernel(k, nullptr);
     if (prev > 0.0) {
-      EXPECT_GE(r.duration, prev * 0.999)
+      EXPECT_GE(r.duration, Seconds{prev * 0.999})
           << sku.name << " at " << limit << " W";
     }
-    prev = r.duration;
+    prev = r.duration.value();
   }
 }
 
@@ -96,13 +96,13 @@ TEST_P(ThermalSafetyProperty, NeverReachesShutdown) {
   chip.leakage_factor = 1.4;  // leaky chip, worst case
   SimOptions opts;
   opts.tick = sku.dvfs_control_period;
-  const ThermalParams hot{GetParam(), 60.0, 42.0};
+  const ThermalParams hot{GetParam(), 60.0, Celsius{42.0}};
   SimulatedGpu dev(sku, chip, hot, opts);
   const auto k = make_sgemm_kernel(24576);
   for (int rep = 0; rep < 3; ++rep) {
     Sampler sampler;
     dev.run_kernel(k, &sampler, 1.0);
-    EXPECT_LT(sampler.summary().temp.max, sku.shutdown_temp);
+    EXPECT_LT(sampler.summary().temp.max, sku.shutdown_temp.value());
   }
 }
 
@@ -125,13 +125,13 @@ TEST_P(BinOrderingProperty, WorseBinNeverFaster) {
   for (double sigmas : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
     SiliconSample chip;
     chip.vf_offset = sigmas * sku.spread.vf_offset_sigma;
-    SimulatedGpu dev(sku, chip, ThermalParams{0.08, 80.0, 25.0}, opts);
+    SimulatedGpu dev(sku, chip, ThermalParams{0.08, 80.0, Celsius{25.0}}, opts);
     dev.run_kernel(k, nullptr);
     const auto r = dev.run_kernel(k, nullptr);
     if (prev_duration > 0.0) {
-      EXPECT_GE(r.duration, prev_duration * 0.999) << sku.name;
+      EXPECT_GE(r.duration, Seconds{prev_duration * 0.999}) << sku.name;
     }
-    prev_duration = r.duration;
+    prev_duration = r.duration.value();
   }
 }
 
@@ -170,12 +170,12 @@ TEST_P(FastForwardProperty, MatchesFullTickSimulation) {
   full.fast_forward = false;
   SimOptions ff = full;
   ff.fast_forward = true;
-  SimulatedGpu dev_full(sku, chip, ThermalParams{0.1, 80.0, 30.0}, full);
-  SimulatedGpu dev_ff(sku, chip, ThermalParams{0.1, 80.0, 30.0}, ff);
+  SimulatedGpu dev_full(sku, chip, ThermalParams{0.1, 80.0, Celsius{30.0}}, full);
+  SimulatedGpu dev_ff(sku, chip, ThermalParams{0.1, 80.0, Celsius{30.0}}, ff);
   const auto rf = dev_full.run_kernel(k, nullptr);
   const auto rq = dev_ff.run_kernel(k, nullptr);
-  EXPECT_NEAR(rq.duration, rf.duration, 0.01 * rf.duration);
-  EXPECT_NEAR(rq.energy, rf.energy, 0.02 * rf.energy);
+  EXPECT_NEAR(rq.duration.value(), rf.duration.value(), 0.01 * rf.duration.value());
+  EXPECT_NEAR(rq.energy.value(), rf.energy.value(), 0.02 * rf.energy.value());
 }
 
 INSTANTIATE_TEST_SUITE_P(Chips, FastForwardProperty, ::testing::Range(0, 9));

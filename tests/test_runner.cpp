@@ -21,7 +21,7 @@ TEST_F(RunnerTest, SingleGpuRunProducesMetrics) {
   EXPECT_GT(r.telemetry.freq.median, 1000.0);
   EXPECT_GT(r.telemetry.power.median, 100.0);
   EXPECT_GT(r.telemetry.temp.median, 20.0);
-  EXPECT_GT(r.telemetry.energy, 0.0);
+  EXPECT_GT(r.telemetry.energy, Joules{});
   EXPECT_DOUBLE_EQ(r.counters.fu_util, 10.0);
 }
 
@@ -102,7 +102,7 @@ TEST_F(RunnerTest, StragglerGatesWholeNode) {
 TEST_F(RunnerTest, PowerLimitOverrideSlowsGemm) {
   const auto w = sgemm_workload(16384, 3);
   auto capped = opts_;
-  capped.power_limit_override = 180.0;
+  capped.power_limit_override = Watts{180.0};
   const auto normal = run_on_gpu(cluster_, 0, w, 0, opts_);
   const auto limited = run_on_gpu(cluster_, 0, w, 0, capped);
   EXPECT_GT(limited.perf_ms, normal.perf_ms * 1.05);
@@ -113,7 +113,7 @@ TEST_F(RunnerTest, SeriesCollectionProducesProfilerTrace) {
   const auto w = sgemm_workload(16384, 2);
   auto opts = opts_;
   opts.collect_series = true;
-  opts.series_interval = 0.01;
+  opts.series_interval = Seconds{0.01};
   const auto r = run_on_gpu(cluster_, 0, w, 0, opts);
   EXPECT_GT(r.series.size(), 50u);
   // Time stamps strictly increasing.

@@ -53,11 +53,11 @@ TEST(StreamingQuantile, ZeroWeightIgnored) {
 
 TEST(Sampler, SummaryAggregatesSpans) {
   Sampler s;
-  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
-  s.record_span(1.0, 1.0, 1300.0, 300.0, 70.0);
+  s.record_span(Seconds{0.0}, Seconds{1.0}, MegaHertz{1400.0}, Watts{290.0}, Celsius{60.0});
+  s.record_span(Seconds{1.0}, Seconds{1.0}, MegaHertz{1300.0}, Watts{300.0}, Celsius{70.0});
   const auto sum = s.summary();
-  EXPECT_DOUBLE_EQ(sum.duration, 2.0);
-  EXPECT_DOUBLE_EQ(sum.energy, 590.0);
+  EXPECT_DOUBLE_EQ(sum.duration.value(), 2.0);
+  EXPECT_DOUBLE_EQ(sum.energy.value(), 590.0);
   EXPECT_DOUBLE_EQ(sum.freq.min, 1300.0);
   EXPECT_DOUBLE_EQ(sum.freq.max, 1400.0);
   EXPECT_NEAR(sum.power.mean, 295.0, 1e-9);
@@ -66,8 +66,8 @@ TEST(Sampler, SummaryAggregatesSpans) {
 
 TEST(Sampler, MedianIsTimeWeighted) {
   Sampler s;
-  s.record_span(0.0, 9.0, 1500.0, 100.0, 50.0);
-  s.record_span(9.0, 1.0, 1000.0, 300.0, 90.0);
+  s.record_span(Seconds{0.0}, Seconds{9.0}, MegaHertz{1500.0}, Watts{100.0}, Celsius{50.0});
+  s.record_span(Seconds{9.0}, Seconds{1.0}, MegaHertz{1000.0}, Watts{300.0}, Celsius{90.0});
   const auto sum = s.summary();
   EXPECT_NEAR(sum.freq.median, 1500.0, 1.0);
   EXPECT_NEAR(sum.power.median, 100.0, 0.5);
@@ -75,37 +75,37 @@ TEST(Sampler, MedianIsTimeWeighted) {
 
 TEST(Sampler, NoSeriesByDefault) {
   Sampler s;
-  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
+  s.record_span(Seconds{0.0}, Seconds{1.0}, MegaHertz{1400.0}, Watts{290.0}, Celsius{60.0});
   EXPECT_TRUE(s.series().empty());
 }
 
 TEST(Sampler, SeriesDecimatedAtInterval) {
   SamplerOptions opts;
   opts.keep_series = true;
-  opts.series_interval = 0.1;
+  opts.series_interval = Seconds{0.1};
   Sampler s(opts);
-  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
+  s.record_span(Seconds{0.0}, Seconds{1.0}, MegaHertz{1400.0}, Watts{290.0}, Celsius{60.0});
   // 10 samples at 0.0, 0.1, ..., 0.9.
   EXPECT_EQ(s.series().size(), 10u);
-  EXPECT_DOUBLE_EQ(s.series()[0].t, 0.0);
-  EXPECT_DOUBLE_EQ(s.series()[1].freq, 1400.0);
+  EXPECT_DOUBLE_EQ(s.series()[0].t.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.series()[1].freq.value(), 1400.0);
 }
 
 TEST(Sampler, SeriesIntervalClampedToProfilerFloor) {
   SamplerOptions opts;
   opts.keep_series = true;
-  opts.series_interval = 1e-6;  // below the 1 ms nvprof floor
+  opts.series_interval = Seconds{1e-6};  // below the 1 ms nvprof floor
   Sampler s(opts);
-  EXPECT_DOUBLE_EQ(s.options().series_interval, kMinSamplingInterval);
+  EXPECT_DOUBLE_EQ(s.options().series_interval.value(), kMinSamplingInterval.value());
 }
 
 TEST(Sampler, SeriesRespectsCap) {
   SamplerOptions opts;
   opts.keep_series = true;
-  opts.series_interval = 0.001;
+  opts.series_interval = Seconds{0.001};
   opts.max_series_samples = 100;
   Sampler s(opts);
-  s.record_span(0.0, 10.0, 1.0, 1.0, 1.0);
+  s.record_span(Seconds{0.0}, Seconds{10.0}, MegaHertz{1.0}, Watts{1.0}, Celsius{1.0});
   EXPECT_EQ(s.series().size(), 100u);
 }
 
@@ -113,16 +113,16 @@ TEST(Sampler, ResetClearsEverything) {
   SamplerOptions opts;
   opts.keep_series = true;
   Sampler s(opts);
-  s.record_span(0.0, 1.0, 1400.0, 290.0, 60.0);
+  s.record_span(Seconds{0.0}, Seconds{1.0}, MegaHertz{1400.0}, Watts{290.0}, Celsius{60.0});
   s.reset();
   EXPECT_TRUE(s.series().empty());
-  EXPECT_DOUBLE_EQ(s.summary().duration, 0.0);
+  EXPECT_DOUBLE_EQ(s.summary().duration.value(), 0.0);
 }
 
 TEST(Sampler, ZeroDurationSpanIgnored) {
   Sampler s;
-  s.record_span(0.0, 0.0, 1.0, 1.0, 1.0);
-  EXPECT_DOUBLE_EQ(s.summary().duration, 0.0);
+  s.record_span(Seconds{0.0}, Seconds{0.0}, MegaHertz{1.0}, Watts{1.0}, Celsius{1.0});
+  EXPECT_DOUBLE_EQ(s.summary().duration.value(), 0.0);
 }
 
 }  // namespace

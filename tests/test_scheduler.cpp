@@ -32,7 +32,7 @@ TEST_F(SchedulerTest, NodeProfilingCoversAllNodes) {
   std::set<int> nodes;
   for (const auto& q : quality) {
     nodes.insert(q.node);
-    EXPECT_GT(q.median_freq, 1000.0);
+    EXPECT_GT(q.median_freq, MegaHertz{1000.0});
     EXPECT_GT(q.median_perf_ms, 0.0);
   }
   EXPECT_EQ(nodes.size(), 3u);
@@ -42,7 +42,7 @@ TEST_F(SchedulerTest, FasterNodeHasLowerCanaryRuntime) {
   const auto quality = profile_node_quality(cluster_, 3);
   for (const auto& a : quality) {
     for (const auto& b : quality) {
-      if (a.median_freq > b.median_freq + 10.0) {
+      if (a.median_freq > b.median_freq + MegaHertz{10.0}) {
         EXPECT_LT(a.median_perf_ms, b.median_perf_ms);
       }
     }
@@ -80,9 +80,9 @@ TEST_F(SchedulerTest, ClassAwareSendsMemoryJobsToSlowNodes) {
   std::map<int, double> node_freq;
   double fast_f = -1.0, slow_f = 1e18;
   for (const auto& q : quality) {
-    node_freq[q.node] = q.median_freq;
-    fast_f = std::max(fast_f, q.median_freq);
-    slow_f = std::min(slow_f, q.median_freq);
+    node_freq[q.node] = q.median_freq.value();
+    fast_f = std::max(fast_f, q.median_freq.value());
+    slow_f = std::min(slow_f, q.median_freq.value());
   }
   const auto outcome = simulate_schedule(
       cluster_, queue, PlacementPolicy::kClassAware, quality);

@@ -12,7 +12,7 @@ TEST(Silicon, DeterministicPerPath) {
   const auto sku = make_v100_sxm2();
   const auto a = sample_silicon(sku, 42, "cluster/gpu:0");
   const auto b = sample_silicon(sku, 42, "cluster/gpu:0");
-  EXPECT_DOUBLE_EQ(a.vf_offset, b.vf_offset);
+  EXPECT_DOUBLE_EQ(a.vf_offset.value(), b.vf_offset.value());
   EXPECT_DOUBLE_EQ(a.efficiency_factor, b.efficiency_factor);
   EXPECT_DOUBLE_EQ(a.leakage_factor, b.leakage_factor);
   EXPECT_DOUBLE_EQ(a.mem_bw_factor, b.mem_bw_factor);
@@ -29,7 +29,7 @@ TEST(Silicon, SamplesWithinBinningLimits) {
   const auto sku = make_v100_sxm2();
   for (int i = 0; i < 2000; ++i) {
     const auto chip = sample_silicon(sku, 7, "gpu:" + std::to_string(i));
-    EXPECT_LE(std::abs(chip.vf_offset), 3.0 * sku.spread.vf_offset_sigma);
+    EXPECT_LE(abs(chip.vf_offset), 3.0 * sku.spread.vf_offset_sigma);
     EXPECT_GE(chip.efficiency_factor,
               1.0 - 3.0 * sku.spread.efficiency_sigma);
     EXPECT_LE(chip.efficiency_factor,
@@ -45,14 +45,14 @@ TEST(Silicon, PopulationMomentsMatchSpread) {
   double sum = 0.0, sq = 0.0;
   for (int i = 0; i < n; ++i) {
     const auto chip = sample_silicon(sku, 3, "g:" + std::to_string(i));
-    sum += chip.vf_offset;
-    sq += chip.vf_offset * chip.vf_offset;
+    sum += chip.vf_offset.value();
+    sq += chip.vf_offset.value() * chip.vf_offset.value();
   }
   const double mean = sum / n;
   const double sd = std::sqrt(sq / n - mean * mean);
   EXPECT_NEAR(mean, 0.0, 0.001);
   // Truncation at 3 sigma shrinks the sd slightly (~1.3%).
-  EXPECT_NEAR(sd, sku.spread.vf_offset_sigma, 0.1 * sku.spread.vf_offset_sigma);
+  EXPECT_NEAR(sd, sku.spread.vf_offset_sigma.value(), 0.1 * sku.spread.vf_offset_sigma.value());
 }
 
 TEST(Silicon, QualityScoreOrdersChips) {
@@ -70,7 +70,7 @@ TEST(Silicon, QualityScoreOrdersChips) {
 TEST(Silicon, QualityScoreBounded) {
   const auto sku = make_v100_sxm2();
   SiliconSample extreme;
-  extreme.vf_offset = 1.0;  // absurd
+  extreme.vf_offset = Volts{1.0};  // absurd
   extreme.leakage_factor = 100.0;
   const double q = extreme.quality_score(sku);
   EXPECT_GE(q, 0.0);

@@ -9,32 +9,32 @@ TEST(Sku, V100MatchesDatasheet) {
   const auto sku = make_v100_sxm2();
   EXPECT_EQ(sku.vendor, Vendor::kNvidia);
   EXPECT_EQ(sku.sm_count, 80);
-  EXPECT_DOUBLE_EQ(sku.tdp, 300.0);
-  EXPECT_DOUBLE_EQ(sku.max_mhz, 1530.0);
+  EXPECT_DOUBLE_EQ(sku.tdp.value(), 300.0);
+  EXPECT_DOUBLE_EQ(sku.max_mhz.value(), 1530.0);
   // Peak fp32 at boost: 80 * 128 * 1.53 GHz = 15.7 TFLOP/s.
-  EXPECT_NEAR(sku.peak_flops(1530.0), 15.67e12, 0.05e12);
-  EXPECT_DOUBLE_EQ(sku.slowdown_temp, 87.0);
-  EXPECT_DOUBLE_EQ(sku.shutdown_temp, 90.0);
+  EXPECT_NEAR(sku.peak_flops(MegaHertz{1530.0}), 15.67e12, 0.05e12);
+  EXPECT_DOUBLE_EQ(sku.slowdown_temp.value(), 87.0);
+  EXPECT_DOUBLE_EQ(sku.shutdown_temp.value(), 90.0);
 }
 
 TEST(Sku, Rtx5000MatchesDatasheet) {
   const auto sku = make_rtx5000();
-  EXPECT_DOUBLE_EQ(sku.tdp, 230.0);
-  EXPECT_GT(sku.max_mhz, 1530.0);  // Turing boosts higher than Volta
+  EXPECT_DOUBLE_EQ(sku.tdp.value(), 230.0);
+  EXPECT_GT(sku.max_mhz, MegaHertz{1530.0});  // Turing boosts higher than Volta
   // ~11.2 TFLOP/s fp32.
-  EXPECT_NEAR(sku.peak_flops(1815.0), 11.15e12, 0.1e12);
-  EXPECT_DOUBLE_EQ(sku.slowdown_temp, 93.0);
+  EXPECT_NEAR(sku.peak_flops(MegaHertz{1815.0}), 11.15e12, 0.1e12);
+  EXPECT_DOUBLE_EQ(sku.slowdown_temp.value(), 93.0);
 }
 
 TEST(Sku, Mi60MatchesDatasheet) {
   const auto sku = make_mi60();
   EXPECT_EQ(sku.vendor, Vendor::kAmd);
-  EXPECT_DOUBLE_EQ(sku.tdp, 300.0);
-  EXPECT_DOUBLE_EQ(sku.max_mhz, 1800.0);
+  EXPECT_DOUBLE_EQ(sku.tdp.value(), 300.0);
+  EXPECT_DOUBLE_EQ(sku.max_mhz.value(), 1800.0);
   // ~14.7 TFLOP/s fp32 at peak.
-  EXPECT_NEAR(sku.peak_flops(1800.0), 14.7e12, 0.1e12);
-  EXPECT_DOUBLE_EQ(sku.slowdown_temp, 100.0);
-  EXPECT_DOUBLE_EQ(sku.shutdown_temp, 105.0);
+  EXPECT_NEAR(sku.peak_flops(MegaHertz{1800.0}), 14.7e12, 0.1e12);
+  EXPECT_DOUBLE_EQ(sku.slowdown_temp.value(), 100.0);
+  EXPECT_DOUBLE_EQ(sku.shutdown_temp.value(), 105.0);
 }
 
 TEST(Sku, AmdLadderIsCoarserThanNvidia) {
@@ -47,8 +47,8 @@ TEST(Sku, LadderIsAscendingAndBounded) {
   for (const auto& sku : {make_v100_sxm2(), make_rtx5000(), make_mi60()}) {
     const auto ladder = sku.frequency_ladder();
     ASSERT_GE(ladder.size(), 2u);
-    EXPECT_DOUBLE_EQ(ladder.front(), sku.min_mhz);
-    EXPECT_NEAR(ladder.back(), sku.max_mhz, 1e-9);
+    EXPECT_DOUBLE_EQ(ladder.front().value(), sku.min_mhz.value());
+    EXPECT_NEAR(ladder.back().value(), sku.max_mhz.value(), 1e-9);
     for (std::size_t i = 1; i < ladder.size(); ++i) {
       EXPECT_GT(ladder[i], ladder[i - 1]);
     }
@@ -57,12 +57,12 @@ TEST(Sku, LadderIsAscendingAndBounded) {
 
 TEST(Sku, VoltageCurveMonotone) {
   const auto sku = make_v100_sxm2();
-  EXPECT_DOUBLE_EQ(sku.voltage_at(sku.min_mhz), sku.v_min);
-  EXPECT_DOUBLE_EQ(sku.voltage_at(sku.max_mhz), sku.v_max);
-  EXPECT_LT(sku.voltage_at(1200.0), sku.voltage_at(1400.0));
+  EXPECT_DOUBLE_EQ(sku.voltage_at(sku.min_mhz).value(), sku.v_min.value());
+  EXPECT_DOUBLE_EQ(sku.voltage_at(sku.max_mhz).value(), sku.v_max.value());
+  EXPECT_LT(sku.voltage_at(MegaHertz{1200.0}), sku.voltage_at(MegaHertz{1400.0}));
   // Clamped outside the ladder.
-  EXPECT_DOUBLE_EQ(sku.voltage_at(100.0), sku.v_min);
-  EXPECT_DOUBLE_EQ(sku.voltage_at(9999.0), sku.v_max);
+  EXPECT_DOUBLE_EQ(sku.voltage_at(MegaHertz{100.0}).value(), sku.v_min.value());
+  EXPECT_DOUBLE_EQ(sku.voltage_at(MegaHertz{9999.0}).value(), sku.v_max.value());
 }
 
 TEST(Sku, SlowdownBelowShutdown) {
@@ -80,9 +80,9 @@ TEST(Sku, FullTiltGemmExceedsTdp) {
   // The entire DVFS story requires that an unconstrained boost-clock GEMM
   // would exceed the TDP — otherwise no throttling, no variability.
   for (const auto& sku : {make_v100_sxm2(), make_rtx5000(), make_mi60()}) {
-    const double v = sku.voltage_at(sku.max_mhz);
-    const double dyn = sku.c_eff * v * v * sku.max_mhz;
-    EXPECT_GT(dyn + sku.leakage_at_ref + sku.idle_power, sku.tdp)
+    const double v = sku.voltage_at(sku.max_mhz).value();
+    const double dyn = sku.c_eff * v * v * sku.max_mhz.value();
+    EXPECT_GT(Watts{dyn} + sku.leakage_at_ref + sku.idle_power, sku.tdp)
         << sku.name;
   }
 }

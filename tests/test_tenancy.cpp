@@ -39,7 +39,7 @@ TEST_F(TenancyTest, NeighboursRaiseTemperatureUnderAirCooling) {
   ASSERT_EQ(impacts.size(), 4u);
   for (const auto& imp : impacts) {
     // Three 290 W neighbours raise the effective inlet by ~10+ C.
-    EXPECT_GT(imp.shared_temp, imp.exclusive_temp + 3.0);
+    EXPECT_GT(imp.shared_temp, imp.exclusive_temp + Celsius{3.0});
     // Hotter silicon leaks more -> the TDP cap bites earlier -> slower.
     EXPECT_GE(imp.slowdown, 1.0);
   }
@@ -81,7 +81,7 @@ TEST_F(TenancyTest, TemporalPreheatSlowsTheFirstKernels) {
   TenancyOptions cold;
   cold.coupling_c_per_w = 0.0;
   TenancyOptions hot = cold;
-  hot.previous_job_power = 295.0;  // previous tenant ran a GEMM
+  hot.previous_job_power = Watts{295.0};  // previous tenant ran a GEMM
   const auto cold_run = run_on_node_shared(cluster_, 0, w, 0, opts_, cold);
   const auto hot_run = run_on_node_shared(cluster_, 0, w, 0, opts_, hot);
   for (std::size_t i = 0; i < cold_run.size(); ++i) {
@@ -100,7 +100,7 @@ TEST_F(TenancyTest, WaterCoolingIsNearlyImmune) {
   const auto impacts =
       measure_tenancy_impact(vortex, 0, w, opts, TenancyOptions{});
   for (const auto& imp : impacts) {
-    EXPECT_LT(imp.shared_temp - imp.exclusive_temp, 3.5);
+    EXPECT_LT(imp.shared_temp - imp.exclusive_temp, Celsius{3.5});
     EXPECT_LT(imp.slowdown, 1.02);
   }
 }

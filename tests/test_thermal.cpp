@@ -8,82 +8,82 @@ namespace gpuvar {
 namespace {
 
 TEST(Thermal, StartsAtCoolant) {
-  ThermalModel m(ThermalParams{0.1, 100.0, 25.0});
-  EXPECT_DOUBLE_EQ(m.temperature(), 25.0);
+  ThermalModel m(ThermalParams{0.1, 100.0, Celsius{25.0}});
+  EXPECT_DOUBLE_EQ(m.temperature().value(), 25.0);
 }
 
 TEST(Thermal, EquilibriumIsCoolantPlusPR) {
-  ThermalModel m(ThermalParams{0.12, 100.0, 30.0});
-  EXPECT_DOUBLE_EQ(m.equilibrium(250.0), 30.0 + 250.0 * 0.12);
+  ThermalModel m(ThermalParams{0.12, 100.0, Celsius{30.0}});
+  EXPECT_DOUBLE_EQ(m.equilibrium(Watts{250.0}).value(), 30.0 + 250.0 * 0.12);
 }
 
 TEST(Thermal, ApproachesEquilibriumMonotonically) {
-  ThermalModel m(ThermalParams{0.1, 100.0, 25.0});
-  const double teq = m.equilibrium(300.0);
-  double prev = m.temperature();
+  ThermalModel m(ThermalParams{0.1, 100.0, Celsius{25.0}});
+  const double teq = m.equilibrium(Watts{300.0}).value();
+  double prev = m.temperature().value();
   for (int i = 0; i < 200; ++i) {
-    m.step(0.5, 300.0);
-    EXPECT_GE(m.temperature(), prev);
-    EXPECT_LE(m.temperature(), teq + 1e-9);
-    prev = m.temperature();
+    m.step(Seconds{0.5}, Watts{300.0});
+    EXPECT_GE(m.temperature(), Celsius{prev});
+    EXPECT_LE(m.temperature(), Celsius{teq + 1e-9});
+    prev = m.temperature().value();
   }
-  EXPECT_NEAR(m.temperature(), teq, 0.01);
+  EXPECT_NEAR(m.temperature().value(), teq, 0.01);
 }
 
 TEST(Thermal, CoolsBackDown) {
-  ThermalModel m(ThermalParams{0.1, 100.0, 25.0});
-  m.settle(300.0);
-  m.step(100.0, 0.0);
-  EXPECT_NEAR(m.temperature(), 25.0, 0.01);
+  ThermalModel m(ThermalParams{0.1, 100.0, Celsius{25.0}});
+  m.settle(Watts{300.0});
+  m.step(Seconds{100.0}, Watts{0.0});
+  EXPECT_NEAR(m.temperature().value(), 25.0, 0.01);
 }
 
 TEST(Thermal, ExactExponentialStep) {
   // One step of dt must match the closed-form solution exactly.
-  ThermalParams p{0.1, 100.0, 25.0};
+  ThermalParams p{0.1, 100.0, Celsius{25.0}};
   ThermalModel m(p);
   const double dt = 3.0, power = 200.0;
-  m.step(dt, power);
+  m.step(Seconds{dt}, Watts{power});
   const double teq = 25.0 + 200.0 * 0.1;
   const double expected = teq + (25.0 - teq) * std::exp(-dt / (0.1 * 100.0));
-  EXPECT_NEAR(m.temperature(), expected, 1e-9);
+  EXPECT_NEAR(m.temperature().value(), expected, 1e-9);
 }
 
 TEST(Thermal, StepCompositionEqualsOneBigStep) {
   // Exactness means many small steps == one large step for constant P.
-  ThermalParams p{0.15, 80.0, 28.0};
+  ThermalParams p{0.15, 80.0, Celsius{28.0}};
   ThermalModel a(p), b(p);
-  for (int i = 0; i < 1000; ++i) a.step(0.01, 250.0);
-  b.step(10.0, 250.0);
-  EXPECT_NEAR(a.temperature(), b.temperature(), 1e-9);
+  for (int i = 0; i < 1000; ++i) a.step(Seconds{0.01}, Watts{250.0});
+  b.step(Seconds{10.0}, Watts{250.0});
+  EXPECT_NEAR(a.temperature().value(), b.temperature().value(), 1e-9);
 }
 
 TEST(Thermal, TimeConstantIsRC) {
-  ThermalModel m(ThermalParams{0.2, 50.0, 25.0});
-  EXPECT_DOUBLE_EQ(m.time_constant(), 10.0);
+  ThermalModel m(ThermalParams{0.2, 50.0, Celsius{25.0}});
+  EXPECT_DOUBLE_EQ(m.time_constant().value(), 10.0);
 }
 
 TEST(Thermal, SettleJumpsToEquilibrium) {
-  ThermalModel m(ThermalParams{0.1, 100.0, 25.0});
-  m.settle(300.0);
-  EXPECT_DOUBLE_EQ(m.temperature(), m.equilibrium(300.0));
+  ThermalModel m(ThermalParams{0.1, 100.0, Celsius{25.0}});
+  m.settle(Watts{300.0});
+  EXPECT_DOUBLE_EQ(m.temperature().value(), m.equilibrium(Watts{300.0}).value());
 }
 
 TEST(Thermal, BetterCoolingLowerEquilibrium) {
-  ThermalModel air(ThermalParams{0.135, 80.0, 28.0});
-  ThermalModel water(ThermalParams{0.080, 80.0, 24.0});
-  EXPECT_GT(air.equilibrium(295.0), water.equilibrium(295.0));
+  ThermalModel air(ThermalParams{0.135, 80.0, Celsius{28.0}});
+  ThermalModel water(ThermalParams{0.080, 80.0, Celsius{24.0}});
+  EXPECT_GT(air.equilibrium(Watts{295.0}), water.equilibrium(Watts{295.0}));
 }
 
 TEST(Thermal, RejectsBadParams) {
-  EXPECT_THROW(ThermalModel(ThermalParams{0.0, 100.0, 25.0}),
+  EXPECT_THROW(ThermalModel(ThermalParams{0.0, 100.0, Celsius{25.0}}),
                std::invalid_argument);
-  EXPECT_THROW(ThermalModel(ThermalParams{0.1, 0.0, 25.0}),
+  EXPECT_THROW(ThermalModel(ThermalParams{0.1, 0.0, Celsius{25.0}}),
                std::invalid_argument);
 }
 
 TEST(Thermal, RejectsNegativeDt) {
-  ThermalModel m(ThermalParams{0.1, 100.0, 25.0});
-  EXPECT_THROW(m.step(-1.0, 100.0), std::invalid_argument);
+  ThermalModel m(ThermalParams{0.1, 100.0, Celsius{25.0}});
+  EXPECT_THROW(m.step(Seconds{-1.0}, Watts{100.0}), std::invalid_argument);
 }
 
 }  // namespace

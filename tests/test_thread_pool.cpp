@@ -82,5 +82,108 @@ TEST(ThreadPool, ManyMoreTasksThanThreads) {
   EXPECT_EQ(counter.load(), 10000);
 }
 
+TEST(ThreadPool, ThrowingSubmittedTaskDoesNotWedgeThePool) {
+  // A task that throws must still decrement the in-flight count —
+  // otherwise wait_idle blocks forever. The exception surfaces there.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed and the pool keeps working.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // Every worker issuing its own parallel_for would block all workers in
+  // wait_idle; the pool must detect re-entrancy and run inline.
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(16, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_FALSE(pool.on_worker_thread());
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsComplete) {
+  // Two client threads driving parallel_for on the same pool at once:
+  // completion is per batch, so each call returns exactly when its own
+  // chunks finish and both see the full index range.
+  ThreadPool pool(4);
+  std::atomic<long> a{0};
+  std::atomic<long> b{0};
+  std::thread ta([&] {
+    for (int r = 0; r < 10; ++r) {
+      pool.parallel_for(500, [&a](std::size_t) { a.fetch_add(1); });
+    }
+  });
+  std::thread tb([&] {
+    for (int r = 0; r < 10; ++r) {
+      pool.parallel_for(500, [&b](std::size_t) { b.fetch_add(1); });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), 10 * 500);
+  EXPECT_EQ(b.load(), 10 * 500);
+}
+
+TEST(ThreadPool, ConcurrentParallelForErrorsStayWithTheirCall) {
+  // Errors are tracked per batch: a throwing parallel_for on one client
+  // thread must never surface in a concurrent, non-throwing call.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> throwing_caught{0};
+    std::atomic<int> clean_threw{0};
+    std::thread thrower([&] {
+      try {
+        pool.parallel_for(200, [](std::size_t i) {
+          if (i == 101) throw std::runtime_error("mine");
+        });
+      } catch (const std::runtime_error&) {
+        throwing_caught.fetch_add(1);
+      }
+    });
+    std::thread clean([&] {
+      try {
+        std::atomic<int> n{0};
+        pool.parallel_for(200, [&n](std::size_t) { n.fetch_add(1); });
+        EXPECT_EQ(n.load(), 200);
+      } catch (...) {
+        clean_threw.fetch_add(1);
+      }
+    });
+    thrower.join();
+    clean.join();
+    EXPECT_EQ(throwing_caught.load(), 1);
+    EXPECT_EQ(clean_threw.load(), 0);
+  }
+}
+
+TEST(ThreadPool, StressMixedSubmitAndParallelFor) {
+  // TSan workout: concurrent submit/wait_idle/parallel_for traffic from
+  // several client threads against one pool, repeated across rounds.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::thread> clients;
+    clients.reserve(3);
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&pool, &total] {
+        for (int i = 0; i < 10; ++i) {
+          pool.submit([&total] { total.fetch_add(1); });
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    pool.parallel_for(64, [&total](std::size_t) { total.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(total.load(), 20 * (3 * 10 + 64));
+}
+
 }  // namespace
 }  // namespace gpuvar

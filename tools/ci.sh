@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CI entry point: warnings-as-errors build + full test suite + lint,
+# then the same suite under ASan/UBSan and TSan.
+#
+#   tools/ci.sh            run everything
+#   tools/ci.sh build      plain build + ctest (includes lint)
+#   tools/ci.sh asan       AddressSanitizer + UndefinedBehaviorSanitizer job
+#   tools/ci.sh tsan       ThreadSanitizer job (ThreadPool-heavy tests)
+#
+# Each job configures into its own build directory (build-ci, build-asan,
+# build-tsan) so the developer's incremental ./build tree is untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+configure_and_test() {
+  local dir="$1"
+  shift
+  local ctest_args=("$@")
+  cmake --build "$dir" -j "$JOBS"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${ctest_args[@]}")
+}
+
+job_build() {
+  echo "=== job: build (GPUVAR_WERROR=ON) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  configure_and_test build-ci
+}
+
+job_asan() {
+  echo "=== job: asan+ubsan ==="
+  cmake -B build-asan -S . -DGPUVAR_WERROR=ON \
+    "-DGPUVAR_SANITIZE=address;undefined" > /dev/null
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    configure_and_test build-asan
+}
+
+job_tsan() {
+  echo "=== job: tsan ==="
+  cmake -B build-tsan -S . -DGPUVAR_WERROR=ON \
+    -DGPUVAR_SANITIZE=thread > /dev/null
+  # TSan slows execution ~10x; run the concurrency-relevant subset: the
+  # ThreadPool suite plus the runner/experiment/scheduler tests that
+  # exercise parallel_for across simulated clusters.
+  TSAN_OPTIONS=halt_on_error=1 \
+    configure_and_test build-tsan \
+    -R 'ThreadPool|Runner|Experiment|Scheduler|Integration'
+}
+
+case "${1:-all}" in
+  build) job_build ;;
+  asan) job_asan ;;
+  tsan) job_tsan ;;
+  all)
+    job_build
+    job_asan
+    job_tsan
+    echo "=== all CI jobs passed ==="
+    ;;
+  *)
+    echo "usage: tools/ci.sh [build|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,349 @@
+// gpuvar_lint — in-repo static checks, registered as a ctest.
+//
+// The simulator's correctness story rests on a few conventions that the
+// compiler cannot enforce by itself; this tool closes the gap with a
+// token-level scan (comments, string and character literals stripped, so
+// a banned name inside a doc comment or log message never trips a rule):
+//
+//   raw-double-quantity  public headers (src/**/*.hpp) must not declare a
+//                        raw `double` whose name is a bare physical
+//                        quantity (power, temp, freq, duration, energy,
+//                        voltage, time...). Use the Quantity<Tag> strong
+//                        types from common/units.hpp, or name the unit
+//                        explicitly (power_w, temp_c, freq_mhz) when a
+//                        plain double is deliberate (stats aggregates).
+//   raw-rng              no rand()/srand()/std::random_device outside
+//                        src/common/rng.* — every random draw must flow
+//                        through the seeded, path-keyed Rng so runs stay
+//                        reproducible.
+//   cout-in-library      no std::cout in src/** — library code reports
+//                        through return values and ostream parameters;
+//                        only tools/bench/examples own stdout.
+//   bare-assert          no bare assert() in src/** — GPUVAR_REQUIRE /
+//                        GPUVAR_ASSERT throw typed exceptions that tests
+//                        can observe and that fire in release builds.
+//   pragma-once          every header in src/tools/bench/examples/tests
+//                        starts with a #pragma once include guard.
+//
+// Usage:
+//   gpuvar_lint <repo_root>         lint the tree; exit 1 on any finding
+//   gpuvar_lint --fixture <file>    self-test: treat <file> as a public
+//                                   library header; exit 0 iff every rule
+//                                   above fires at least once
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One source token that the rules care about: an identifier (or keyword)
+/// plus the punctuation character that follows it.
+struct Token {
+  std::string text;
+  int line = 0;
+  char next = '\0';  // first non-space character after the token
+};
+
+/// Strips // and /* */ comments plus string/char literals, preserving
+/// newlines so line numbers survive. Raw strings are handled well enough
+/// for this codebase (no raw strings with unbalanced delimiters).
+std::string strip_comments_and_literals(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && n == '/') {
+          st = State::kLineComment;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          st = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          st = State::kCode;
+          out += '\n';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && n == '/') {
+          st = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += '\n';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = State::kCode;
+        } else if (c == '\n') {
+          out += '\n';  // unterminated; keep line counts sane
+          st = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+        } else if (c == '\n') {
+          out += '\n';
+          st = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (!ident_char(c)) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    Token t;
+    t.text = code.substr(i, j - i);
+    t.line = line;
+    std::size_t k = j;
+    while (k < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[k])) &&
+           code[k] != '\n') {
+      ++k;
+    }
+    t.next = k < code.size() ? code[k] : '\0';
+    tokens.push_back(std::move(t));
+    i = j;
+  }
+  return tokens;
+}
+
+/// The final '_'-separated word of an identifier, trailing member
+/// underscore removed: "before_power_w" -> "w", "duration_" -> "duration".
+std::string last_word(const std::string& ident) {
+  std::string s = ident;
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  const auto pos = s.rfind('_');
+  return pos == std::string::npos ? s : s.substr(pos + 1);
+}
+
+bool is_bare_quantity_name(const std::string& ident) {
+  static const std::set<std::string> kBanned = {
+      "power",    "watts",     "temp",    "temperature", "celsius",
+      "freq",     "frequency", "hertz",   "duration",    "time",
+      "seconds",  "energy",    "joules",  "voltage",     "volts"};
+  return kBanned.count(last_word(ident)) > 0;
+}
+
+struct Rules {
+  bool double_quantity = false;  // public library header
+  bool rng = false;
+  bool cout = false;
+  bool assert_ = false;
+};
+
+void lint_tokens(const std::string& file, const std::vector<Token>& tokens,
+                 const Rules& rules, std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (rules.double_quantity && t.text == "double" &&
+        i + 1 < tokens.size()) {
+      const Token& name = tokens[i + 1];
+      if (is_bare_quantity_name(name.text)) {
+        findings.push_back(
+            {file, name.line, "raw-double-quantity",
+             "'double " + name.text +
+                 "' in a public header: use a Quantity<Tag> strong type "
+                 "from common/units.hpp (or suffix the unit, e.g. " +
+                 name.text + "_w)"});
+      }
+    }
+    if (rules.rng) {
+      if ((t.text == "rand" || t.text == "srand") && t.next == '(') {
+        findings.push_back({file, t.line, "raw-rng",
+                            "'" + t.text +
+                                "()' breaks reproducibility: draw through "
+                                "common/rng.hpp instead"});
+      }
+      if (t.text == "random_device") {
+        findings.push_back({file, t.line, "raw-rng",
+                            "'std::random_device' breaks reproducibility: "
+                            "draw through common/rng.hpp instead"});
+      }
+    }
+    if (rules.cout && t.text == "cout" && i > 0 &&
+        tokens[i - 1].text == "std") {
+      findings.push_back({file, t.line, "cout-in-library",
+                          "'std::cout' in library code: return data or "
+                          "take an std::ostream& parameter"});
+    }
+    if (rules.assert_ && t.text == "assert" && t.next == '(') {
+      findings.push_back({file, t.line, "bare-assert",
+                          "bare 'assert()': use GPUVAR_REQUIRE (argument "
+                          "checks) or GPUVAR_ASSERT (invariants)"});
+    }
+  }
+}
+
+bool is_header(const fs::path& p) { return p.extension() == ".hpp"; }
+
+bool is_source_file(const fs::path& p) {
+  return p.extension() == ".hpp" || p.extension() == ".cpp";
+}
+
+std::vector<Finding> lint_file(const fs::path& path, bool in_src,
+                               bool is_rng_impl, bool as_header) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string raw = ss.str();
+  const std::string code = strip_comments_and_literals(raw);
+
+  std::vector<Finding> findings;
+  if (as_header && code.find("#pragma once") == std::string::npos) {
+    findings.push_back({path.string(), 1, "pragma-once",
+                        "header is missing '#pragma once'"});
+  }
+  Rules rules;
+  rules.double_quantity =
+      in_src && as_header && path.filename() != "units.hpp";
+  rules.rng = in_src && !is_rng_impl;
+  rules.cout = in_src;
+  rules.assert_ = in_src;
+  lint_tokens(path.string(), tokenize(code), rules, findings);
+  return findings;
+}
+
+int lint_tree(const fs::path& root) {
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  for (const char* dir :
+       {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !is_source_file(entry.path())) {
+        continue;
+      }
+      const bool in_src = dir == std::string("src");
+      const bool is_rng_impl =
+          entry.path().filename().string().rfind("rng.", 0) == 0;
+      const auto file_findings = lint_file(entry.path(), in_src,
+                                           is_rng_impl,
+                                           is_header(entry.path()));
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+      ++files;
+    }
+  }
+  // A wrong root (typo'd CI path) must not read as a clean tree.
+  if (files == 0) {
+    std::cerr << "gpuvar_lint: no source files under '" << root.string()
+              << "' — wrong repo root?\n";
+    return 2;
+  }
+  for (const auto& fd : findings) {
+    std::cerr << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+              << fd.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << findings.size() << " lint finding(s) in " << files
+              << " files\n";
+    return 1;
+  }
+  std::cout << "gpuvar_lint: " << files << " files clean\n";
+  return 0;
+}
+
+/// Self-test: the fixture is linted as if it were a library header and
+/// must trip every rule at least once — proof the scanner actually sees
+/// violations (a linter that silently matches nothing always "passes").
+int lint_fixture(const fs::path& fixture) {
+  auto findings = lint_file(fixture, /*in_src=*/true, /*is_rng_impl=*/false,
+                            /*as_header=*/true);
+  std::set<std::string> fired;
+  for (const auto& fd : findings) {
+    fired.insert(fd.rule);
+    std::cout << "fixture finding: " << fd.file << ":" << fd.line << " ["
+              << fd.rule << "] " << fd.message << "\n";
+  }
+  const std::vector<std::string> expected = {
+      "raw-double-quantity", "raw-rng", "cout-in-library", "bare-assert",
+      "pragma-once"};
+  int missing = 0;
+  for (const auto& rule : expected) {
+    if (!fired.count(rule)) {
+      std::cerr << "fixture did NOT trip rule: " << rule << "\n";
+      ++missing;
+    }
+  }
+  // The fixture also contains decoys (violations inside comments and
+  // string literals) that must NOT fire; each real rule firing exactly
+  // once proves literal stripping works.
+  if (missing == 0 && findings.size() != expected.size()) {
+    std::cerr << "expected exactly " << expected.size()
+              << " findings, got " << findings.size()
+              << " (decoy tripped a rule?)\n";
+    return 1;
+  }
+  return missing == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--fixture") {
+    return lint_fixture(argv[2]);
+  }
+  if (argc != 2) {
+    std::cerr << "usage: gpuvar_lint <repo_root> | gpuvar_lint --fixture "
+                 "<file>\n";
+    return 2;
+  }
+  return lint_tree(argv[1]);
+}
