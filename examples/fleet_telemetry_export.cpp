@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const auto summary_path = out_dir / "vortex_sgemm_runs.csv";
   {
     std::ofstream out(summary_path);
-    export_results_csv(out, cluster, rows);
+    export_results_csv(out, cluster.name(), cluster.locations(), rows);
   }
   std::cout << "wrote " << rows.size() << " run rows to " << summary_path
             << "\n";

@@ -76,6 +76,13 @@ const GpuInstance& Cluster::gpu(std::size_t i) const {
   return gpus_[i];
 }
 
+std::vector<GpuLocation> Cluster::locations() const {
+  std::vector<GpuLocation> locs;
+  locs.reserve(gpus_.size());
+  for (const auto& g : gpus_) locs.push_back(g.loc);
+  return locs;
+}
+
 std::size_t Cluster::index_of(int node, int gpu) const {
   GPUVAR_REQUIRE(node >= 0 && node < spec_.layout.nodes);
   GPUVAR_REQUIRE(gpu >= 0 && gpu < spec_.layout.gpus_per_node);

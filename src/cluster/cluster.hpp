@@ -59,6 +59,10 @@ class Cluster {
   const GpuInstance& gpu(std::size_t i) const;
   const std::vector<GpuInstance>& gpus() const { return gpus_; }
 
+  /// Per-GPU location table indexed by global GPU index — the shape the
+  /// telemetry exports consume (they never see the Cluster itself).
+  std::vector<GpuLocation> locations() const;
+
   /// Global GPU index of (node, gpu-in-node).
   std::size_t index_of(int node, int gpu) const;
   /// All GPU indices on a node.

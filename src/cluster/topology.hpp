@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/location.hpp"
+
 namespace gpuvar {
 
 struct ClusterLayout {
@@ -30,16 +32,6 @@ struct ClusterLayout {
   int cabinets() const;
 
   void validate() const;
-};
-
-struct GpuLocation {
-  int node = 0;      ///< global node index
-  int gpu = 0;       ///< index within the node
-  int cabinet = 0;   ///< cabinet index (cabinet-style layouts)
-  int row = -1;      ///< row index (row layouts; 0 = 'a')
-  int column = -1;   ///< column index within the row
-  int node_in_group = 0;  ///< node index within its cabinet / column
-  std::string name;  ///< human-readable: "c002-010-gpu2", "rowh-col36-n10-3"
 };
 
 /// Computes the location of (node, gpu) under a layout. `node_label_base`

@@ -1,8 +1,6 @@
 #include "common/csv.hpp"
 
-#include <cmath>
-#include <cstdio>
-
+#include "common/numfmt.hpp"
 #include "common/require.hpp"
 
 namespace gpuvar {
@@ -48,19 +46,14 @@ CsvWriter& CsvWriter::add(std::string_view field) {
 }
 
 CsvWriter& CsvWriter::add(double value) {
-  char buf[64];
-  if (std::isfinite(value)) {
-    std::snprintf(buf, sizeof(buf), "%.10g", value);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%s",
-                  std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf"));
-  }
-  put(buf);
+  // std::to_chars, not printf: %g consults LC_NUMERIC, so a European
+  // locale would turn "3.14" into "3,14" and corrupt the CSV.
+  put(format_double(value));
   return *this;
 }
 
 CsvWriter& CsvWriter::add(long long value) {
-  put(std::to_string(value));
+  put(format_int(value));
   return *this;
 }
 

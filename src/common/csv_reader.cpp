@@ -1,8 +1,8 @@
 #include "common/csv_reader.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "common/numfmt.hpp"
 #include "common/require.hpp"
 
 namespace gpuvar {
@@ -90,9 +90,8 @@ const std::string& CsvReader::field(std::size_t row,
 
 double CsvReader::number(std::size_t row, const std::string& column) const {
   const std::string& s = field(row, column);
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  GPUVAR_REQUIRE_MSG(end != s.c_str() && *end == '\0',
+  double v = 0.0;
+  GPUVAR_REQUIRE_MSG(parse_double(s, v),
                      "not a number: '" + s + "' in column " + column);
   return v;
 }
@@ -100,9 +99,8 @@ double CsvReader::number(std::size_t row, const std::string& column) const {
 long long CsvReader::integer(std::size_t row,
                              const std::string& column) const {
   const std::string& s = field(row, column);
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  GPUVAR_REQUIRE_MSG(end != s.c_str() && *end == '\0',
+  long long v = 0;
+  GPUVAR_REQUIRE_MSG(parse_int(s, v),
                      "not an integer: '" + s + "' in column " + column);
   return v;
 }

@@ -1,0 +1,66 @@
+// An annotated mutex + RAII lock for clang -Wthread-safety.
+//
+// std::mutex in libstdc++ carries no capability attributes, so clang's
+// thread-safety analysis cannot check anything guarded by it. These thin
+// wrappers add the attributes (zero runtime cost — same layout, inlined
+// forwarding) while still exposing the native std::mutex handle for
+// std::condition_variable, which only accepts
+// std::unique_lock<std::mutex>.
+//
+// Condition-variable waits should be written as explicit predicate
+// loops (`while (!pred()) cv.wait(lock.native());`) rather than the
+// predicate-lambda overload: the analysis treats a lambda body as a
+// separate function and cannot see that the capability is held inside.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace gpuvar {
+
+class GPUVAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GPUVAR_ACQUIRE() { mu_.lock(); }
+  void unlock() GPUVAR_RELEASE() { mu_.unlock(); }
+  bool try_lock() GPUVAR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for std::condition_variable::wait only. Holding
+  /// it does not convince the analysis the capability is held — keep all
+  /// guarded accesses inside a MutexLock scope.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over gpuvar::Mutex, annotated so clang tracks the held
+/// capability through the scope. Backed by std::unique_lock so waits on
+/// a condition variable can temporarily release it.
+class GPUVAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GPUVAR_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() GPUVAR_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying unique_lock, for condition_variable::wait. The wait
+  /// re-acquires before returning, so the capability stays held from the
+  /// analysis' point of view across the call.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+  /// Explicit early release (e.g. dropping the lock before rethrowing an
+  /// exception captured under it).
+  void unlock() GPUVAR_RELEASE() { lock_.unlock(); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace gpuvar

@@ -1,0 +1,49 @@
+#include "common/numfmt.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+namespace gpuvar {
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value,
+                                 std::chars_format::general, precision);
+  return std::string(buf, res.ptr);
+}
+
+std::string format_int(long long value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+namespace {
+
+// from_chars rejects a leading '+' that strtod-based parsers accepted;
+// strip it so CLI inputs like "+0.5" keep working.
+std::string_view strip_plus(std::string_view s) {
+  if (s.size() > 1 && s.front() == '+') s.remove_prefix(1);
+  return s;
+}
+
+}  // namespace
+
+bool parse_double(std::string_view s, double& out) {
+  s = strip_plus(s);
+  if (s.empty()) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+bool parse_int(std::string_view s, long long& out) {
+  s = strip_plus(s);
+  if (s.empty()) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out, 10);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,30 @@
+// Locale-independent number formatting and parsing.
+//
+// printf-family float conversions (and std::to_string / strtod / stod)
+// consult LC_NUMERIC: under a European locale "3.14" becomes "3,14" and
+// round-trips break. Every number that crosses an interchange boundary
+// (CSV export/import, CLI option parsing) goes through these
+// std::to_chars / std::from_chars wrappers instead, so the bytes are
+// identical in every environment.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gpuvar {
+
+/// Formats like printf "%.<precision>g" in the C locale. Non-finite
+/// values format as "nan", "inf", "-inf".
+std::string format_double(double value, int precision = 10);
+
+/// Locale-independent integer formatting.
+std::string format_int(long long value);
+
+/// Parses a complete double ("inf"/"nan" accepted, optional leading '+').
+/// Returns false if `s` is empty, trails garbage, or overflows.
+bool parse_double(std::string_view s, double& out);
+
+/// Parses a complete base-10 integer. Same contract as parse_double.
+bool parse_int(std::string_view s, long long& out);
+
+}  // namespace gpuvar

@@ -1,0 +1,63 @@
+// Clang thread-safety annotation macros.
+//
+// Under clang these expand to the -Wthread-safety attributes, turning
+// mutex discipline into a compile-time check (tools/ci.sh runs a
+// -Werror=thread-safety job when clang is available); under other
+// compilers they expand to nothing. gpuvar-analyzer independently
+// requires every std::mutex member to carry GPUVAR_GUARDED_BY
+// annotations, so the discipline is enforced even on GCC-only hosts.
+//
+// Annotate with the gpuvar::Mutex wrapper from common/mutex.hpp, not raw
+// std::mutex: libstdc++'s std::mutex has no capability attributes, so
+// clang's analysis silently verifies nothing against it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GPUVAR_THREAD_ANNOTATION_OK 1
+#else
+#define GPUVAR_THREAD_ANNOTATION_OK 0
+#endif
+
+#if GPUVAR_THREAD_ANNOTATION_OK
+#define GPUVAR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GPUVAR_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define GPUVAR_CAPABILITY(x) GPUVAR_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability for its lifetime.
+#define GPUVAR_SCOPED_CAPABILITY GPUVAR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GPUVAR_GUARDED_BY(x) GPUVAR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define GPUVAR_PT_GUARDED_BY(x) GPUVAR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held.
+#define GPUVAR_REQUIRES(...) \
+  GPUVAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the capability NOT held.
+#define GPUVAR_EXCLUDES(...) \
+  GPUVAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires / releases the capability.
+#define GPUVAR_ACQUIRE(...) \
+  GPUVAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GPUVAR_RELEASE(...) \
+  GPUVAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GPUVAR_TRY_ACQUIRE(...) \
+  GPUVAR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (condition-variable
+/// re-acquisition, test harness poking). Use sparingly and justify.
+#define GPUVAR_NO_THREAD_SAFETY_ANALYSIS \
+  GPUVAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Returns a reference to the underlying capability (for asserting
+/// lock identity across wrappers).
+#define GPUVAR_RETURN_CAPABILITY(x) \
+  GPUVAR_THREAD_ANNOTATION(lock_returned(x))

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -37,7 +37,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     GPUVAR_ASSERT(!stop_);
     queue_.push_back(std::move(task));
     ++in_flight_;
@@ -46,8 +46,10 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit predicate loop: the analysis cannot see into a wait
+  // predicate lambda, but it can see these guarded reads are under mu_.
+  while (in_flight_ != 0) cv_idle_.wait(lock.native());
   if (task_error_) {
     std::exception_ptr err = std::exchange(task_error_, nullptr);
     lock.unlock();
@@ -62,8 +64,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(lock.native());
       if (queue_.empty()) return;  // stop_ && drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -78,7 +80,7 @@ void ThreadPool::worker_loop() {
       err = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (err && !task_error_) task_error_ = err;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
@@ -112,14 +114,17 @@ void ThreadPool::parallel_for(std::size_t n,
   // unrelated submit() clients out of this call. Chunks catch their own
   // exceptions, so they never touch task_error_ either.
   struct Batch {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    std::size_t pending;
-    std::exception_ptr first_error;
+    std::size_t pending GPUVAR_GUARDED_BY(mu);
+    std::exception_ptr first_error GPUVAR_GUARDED_BY(mu);
     std::atomic<bool> failed{false};
   };
   Batch batch;
-  batch.pending = n_chunks;
+  {
+    MutexLock lock(batch.mu);
+    batch.pending = n_chunks;
+  }
 
   std::size_t begin = 0;
   for (std::size_t c = 0; c < n_chunks; ++c) {
@@ -139,14 +144,14 @@ void ThreadPool::parallel_for(std::size_t n,
       }
       // Notify under the lock: once pending hits 0 the waiter may return
       // and destroy `batch`, so the cv must not be touched after unlock.
-      std::lock_guard<std::mutex> lock(batch.mu);
+      MutexLock lock(batch.mu);
       if (err && !batch.first_error) batch.first_error = err;
       if (--batch.pending == 0) batch.cv.notify_all();
     });
     begin = end;
   }
-  std::unique_lock<std::mutex> lock(batch.mu);
-  batch.cv.wait(lock, [&batch] { return batch.pending == 0; });
+  MutexLock lock(batch.mu);
+  while (batch.pending != 0) batch.cv.wait(lock.native());
   if (batch.first_error) {
     std::exception_ptr err = batch.first_error;
     lock.unlock();

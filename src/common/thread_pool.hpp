@@ -12,9 +12,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gpuvar {
 
@@ -61,16 +63,18 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // Written once in the constructor before any concurrent access; const
+  // thereafter (size() reads it without the lock).
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  // First exception thrown by a submit()ed task, if any (guarded by mu_);
-  // handed to the next wait_idle caller.
-  std::exception_ptr task_error_;
+  std::deque<std::function<void()>> queue_ GPUVAR_GUARDED_BY(mu_);
+  std::size_t in_flight_ GPUVAR_GUARDED_BY(mu_) = 0;
+  bool stop_ GPUVAR_GUARDED_BY(mu_) = false;
+  // First exception thrown by a submit()ed task, if any; handed to the
+  // next wait_idle caller.
+  std::exception_ptr task_error_ GPUVAR_GUARDED_BY(mu_);
 };
 
 /// Convenience wrapper over the global pool.

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/numfmt.hpp"
 #include "common/require.hpp"
 #include "core/experiment.hpp"
 #include "core/flagging.hpp"
@@ -67,7 +68,10 @@ struct ParsedArgs {
   double get_num(const std::string& key, double fallback) const {
     const auto it = options.find(key);
     if (it == options.end()) return fallback;
-    return std::stod(it->second);
+    double v = 0.0;
+    GPUVAR_REQUIRE_MSG(parse_double(it->second, v),
+                       "not a number: '" + it->second + "' for --" + key);
+    return v;
   }
 };
 
@@ -140,7 +144,7 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
     }
     std::ofstream file(out_path);
     GPUVAR_REQUIRE_MSG(file.good(), "cannot write " + out_path);
-    export_results_csv(file, cluster, rows);
+    export_results_csv(file, cluster.name(), cluster.locations(), rows);
     out << "wrote " << rows.size() << " rows to " << out_path << "\n";
   }
   return 0;

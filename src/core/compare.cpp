@@ -80,7 +80,11 @@ CampaignComparison compare_campaigns(std::span<const RunRecord> before,
   }
   std::sort(cmp.significant.begin(), cmp.significant.end(),
             [](const GpuDelta& a, const GpuDelta& b) {
-              return std::abs(a.delta_pct) > std::abs(b.delta_pct);
+              // Magnitude descending; the (unique) GPU name breaks float
+              // ties deterministically.
+              const double ka = std::abs(a.delta_pct);
+              const double kb = std::abs(b.delta_pct);
+              return ka != kb ? ka > kb : a.name < b.name;
             });
   return cmp;
 }

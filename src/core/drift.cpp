@@ -84,7 +84,10 @@ std::vector<DriftFlag> detect_performance_drift(
   }
   std::sort(flags.begin(), flags.end(),
             [](const DriftFlag& a, const DriftFlag& b) {
-              return std::abs(a.drift_pct) > std::abs(b.drift_pct);
+              // Magnitude descending, gpu_index breaking float ties.
+              const double ka = std::abs(a.drift_pct);
+              const double kb = std::abs(b.drift_pct);
+              return ka != kb ? ka > kb : a.gpu_index < b.gpu_index;
             });
   return flags;
 }

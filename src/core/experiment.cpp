@@ -31,9 +31,12 @@ ExperimentResult run_experiment(const Cluster& cluster,
                        ? static_cast<std::uint64_t>(config.day_of_week) + 1
                        : 0);
 
-  // One result bucket per node job: threads never share a bucket.
+  // One result bucket per node job: threads never share a bucket, and
+  // the buckets are concatenated in allocation order below, so the
+  // record stream is identical whatever the pool size or schedule.
   std::vector<std::vector<RunRecord>> buckets(allocations.size());
-  parallel_for(allocations.size(), [&](std::size_t ai) {
+  ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
+  pool.parallel_for(allocations.size(), [&](std::size_t ai) {
     const auto& alloc = allocations[ai];
     auto& bucket = buckets[ai];
     for (int run = 0; run < config.runs_per_gpu; ++run) {

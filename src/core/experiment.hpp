@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/thread_pool.hpp"
 #include "core/record.hpp"
 #include "workloads/runner.hpp"
 #include "workloads/workload.hpp"
@@ -28,6 +29,11 @@ struct ExperimentConfig {
   int day_of_week = -1;
   /// Extra salt for independent repetitions of the same campaign.
   std::uint64_t salt = 0;
+  /// Pool to parallelize node jobs on; null = the process-global pool.
+  /// Results are byte-identical for any pool size (the determinism_replay
+  /// test pins this): records land in per-node buckets concatenated in
+  /// node order, and every random draw is seed-path-keyed.
+  ThreadPool* pool = nullptr;
 };
 
 struct ExperimentResult {

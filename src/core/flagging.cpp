@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <tuple>
 
 #include "common/require.hpp"
 #include "stats/boxplot.hpp"
@@ -92,7 +93,10 @@ FlagReport flag_anomalies(std::span<const RunRecord> records,
   }
   std::sort(report.gpus.begin(), report.gpus.end(),
             [](const GpuFlag& a, const GpuFlag& b) {
-              return a.severity > b.severity;
+              // Severity descending; gpu_index breaks float ties so the
+              // report order never depends on the input permutation.
+              return std::tie(b.severity, a.gpu_index) <
+                     std::tie(a.severity, b.gpu_index);
             });
 
   // Cabinet-level pump signature: simultaneously slower, cooler and
@@ -146,7 +150,8 @@ std::vector<GpuFlag> repeat_offenders(std::span<const FlagReport> reports,
     }
   }
   std::sort(out.begin(), out.end(), [](const GpuFlag& a, const GpuFlag& b) {
-    return a.severity > b.severity;
+    return std::tie(b.severity, a.gpu_index) <
+           std::tie(a.severity, b.gpu_index);
   });
   return out;
 }

@@ -2,7 +2,7 @@
 // Design"): today each GPU enforces its TDP locally, so under a
 // cluster-wide power envelope every chip gets the same cap and the silicon
 // lottery decides who runs fast. With PM information exposed (see
-// telemetry/pmapi.hpp), a coordinator can instead assign *per-GPU* limits
+// gpu/pmapi.hpp), a coordinator can instead assign *per-GPU* limits
 // so that every chip settles at the same frequency — trading a little
 // peak speed on golden chips for a cluster that behaves uniformly (which
 // is what bulk-synchronous workloads actually pay for).

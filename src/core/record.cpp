@@ -1,40 +1,6 @@
 #include "core/record.hpp"
 
-#include <algorithm>
-#include <map>
-
-#include "common/require.hpp"
-#include "stats/quantile.hpp"
-
 namespace gpuvar {
-
-std::string metric_name(Metric m) {
-  switch (m) {
-    case Metric::kPerf:
-      return "performance";
-    case Metric::kFreq:
-      return "frequency";
-    case Metric::kPower:
-      return "power";
-    case Metric::kTemp:
-      return "temperature";
-  }
-  return "unknown";
-}
-
-std::string metric_unit(Metric m) {
-  switch (m) {
-    case Metric::kPerf:
-      return "ms";
-    case Metric::kFreq:
-      return "MHz";
-    case Metric::kPower:
-      return "W";
-    case Metric::kTemp:
-      return "C";
-  }
-  return "";
-}
 
 RunRecord to_record(const Cluster& cluster, const GpuRunResult& result,
                     int day_of_week) {
@@ -49,71 +15,6 @@ RunRecord to_record(const Cluster& cluster, const GpuRunResult& result,
   r.temp_c = result.telemetry.temp.median;
   r.counters = result.counters;
   return r;
-}
-
-double metric_value(const RunRecord& r, Metric m) {
-  switch (m) {
-    case Metric::kPerf:
-      return r.perf_ms;
-    case Metric::kFreq:
-      return r.freq_mhz;
-    case Metric::kPower:
-      return r.power_w;
-    case Metric::kTemp:
-      return r.temp_c;
-  }
-  return 0.0;
-}
-
-double metric_value(const GpuAggregate& g, Metric m) {
-  switch (m) {
-    case Metric::kPerf:
-      return g.perf_ms;
-    case Metric::kFreq:
-      return g.freq_mhz;
-    case Metric::kPower:
-      return g.power_w;
-    case Metric::kTemp:
-      return g.temp_c;
-  }
-  return 0.0;
-}
-
-std::vector<double> metric_column(std::span<const RunRecord> records,
-                                  Metric m) {
-  std::vector<double> out;
-  out.reserve(records.size());
-  for (const auto& r : records) out.push_back(metric_value(r, m));
-  return out;
-}
-
-std::vector<GpuAggregate> per_gpu_medians(std::span<const RunRecord> records) {
-  GPUVAR_REQUIRE(!records.empty());
-  std::map<std::size_t, std::vector<const RunRecord*>> by_gpu;
-  for (const auto& r : records) by_gpu[r.gpu_index].push_back(&r);
-
-  std::vector<GpuAggregate> out;
-  out.reserve(by_gpu.size());
-  for (const auto& [gpu, rs] : by_gpu) {
-    GpuAggregate agg;
-    agg.gpu_index = gpu;
-    agg.loc = rs.front()->loc;
-    agg.runs = static_cast<int>(rs.size());
-    std::vector<double> perf, freq, power, temp;
-    perf.reserve(rs.size());
-    for (const RunRecord* r : rs) {
-      perf.push_back(r->perf_ms);
-      freq.push_back(r->freq_mhz);
-      power.push_back(r->power_w);
-      temp.push_back(r->temp_c);
-    }
-    agg.perf_ms = stats::median(perf);
-    agg.freq_mhz = stats::median(freq);
-    agg.power_w = stats::median(power);
-    agg.temp_c = stats::median(temp);
-    out.push_back(std::move(agg));
-  }
-  return out;
 }
 
 }  // namespace gpuvar

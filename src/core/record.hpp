@@ -1,57 +1,19 @@
-// Flattened per-run records: the unit of all downstream analysis.
+// Conversion from live runner results to flattened records.
+//
+// The record types themselves (RunRecord, GpuAggregate, Metric) live in
+// telemetry/record.hpp — the telemetry layer owns the interchange schema.
+// Only this conversion needs the Cluster (to look up GPU locations), so
+// only this header sits in core.
 #pragma once
 
-#include <span>
-#include <vector>
-
 #include "cluster/cluster.hpp"
-#include "telemetry/counters.hpp"
-#include "workloads/runner.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/run_result.hpp"
 
 namespace gpuvar {
-
-/// Which of the four collected metrics an analysis refers to.
-enum class Metric { kPerf, kFreq, kPower, kTemp };
-
-std::string metric_name(Metric m);
-std::string metric_unit(Metric m);
-
-struct RunRecord {
-  std::size_t gpu_index = 0;
-  GpuLocation loc;
-  int run_index = 0;
-  int day_of_week = -1;  ///< 0 = Monday .. 6 = Sunday; -1 = untagged
-  double perf_ms = 0.0;
-  double freq_mhz = 0.0;  ///< run median
-  double power_w = 0.0;   ///< run median
-  double temp_c = 0.0;    ///< run median
-  ProfilerCounters counters;
-};
 
 /// Converts a runner result into a record (medians extracted).
 RunRecord to_record(const Cluster& cluster, const GpuRunResult& result,
                     int day_of_week = -1);
-
-double metric_value(const RunRecord& r, Metric m);
-
-/// Column extraction over a set of records.
-std::vector<double> metric_column(std::span<const RunRecord> records,
-                                  Metric m);
-
-/// Per-GPU aggregate: the median of each metric across a GPU's runs.
-struct GpuAggregate {
-  std::size_t gpu_index = 0;
-  GpuLocation loc;
-  int runs = 0;
-  double perf_ms = 0.0;
-  double freq_mhz = 0.0;
-  double power_w = 0.0;
-  double temp_c = 0.0;
-};
-
-double metric_value(const GpuAggregate& g, Metric m);
-
-/// Collapses records to one aggregate per GPU (ordered by gpu_index).
-std::vector<GpuAggregate> per_gpu_medians(std::span<const RunRecord> records);
 
 }  // namespace gpuvar

@@ -79,7 +79,12 @@ std::vector<int> nodes_best_to_worst(const std::vector<NodeQuality>& q) {
   for (const auto& n : q) sorted.push_back(&n);
   std::sort(sorted.begin(), sorted.end(),
             [](const NodeQuality* a, const NodeQuality* b) {
-              return a->median_freq > b->median_freq;
+              // Frequency descending. Ladder quantization makes exact
+              // float ties common, so break them by node id or the
+              // ranking would depend on the sort implementation.
+              return a->median_freq != b->median_freq
+                         ? a->median_freq > b->median_freq
+                         : a->node < b->node;
             });
   std::vector<int> out;
   out.reserve(sorted.size());

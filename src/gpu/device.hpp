@@ -20,8 +20,8 @@
 #include "gpu/power_model.hpp"
 #include "gpu/silicon.hpp"
 #include "gpu/sku.hpp"
-#include "telemetry/pmapi.hpp"
-#include "telemetry/sampler.hpp"
+#include "gpu/pmapi.hpp"
+#include "gpu/sampler.hpp"
 #include "thermal/thermal.hpp"
 
 namespace gpuvar {

@@ -1,4 +1,4 @@
-#include "telemetry/pmapi.hpp"
+#include "gpu/pmapi.hpp"
 
 namespace gpuvar {
 

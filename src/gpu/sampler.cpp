@@ -1,4 +1,4 @@
-#include "telemetry/sampler.hpp"
+#include "gpu/sampler.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "common/units.hpp"
-#include "telemetry/timeseries.hpp"
+#include "gpu/timeseries.hpp"
 
 namespace gpuvar {
 

@@ -1,4 +1,4 @@
-#include "telemetry/timeseries.hpp"
+#include "gpu/timeseries.hpp"
 
 namespace gpuvar {
 

@@ -15,9 +15,10 @@
 #include "cluster/allocator.hpp"   // IWYU pragma: export
 #include "cluster/cluster.hpp"     // IWYU pragma: export
 #include "cluster/faults.hpp"      // IWYU pragma: export
-#include "cluster/tenancy.hpp"     // IWYU pragma: export
+#include "workloads/tenancy.hpp"     // IWYU pragma: export
 #include "cluster/topology.hpp"    // IWYU pragma: export
 #include "common/csv.hpp"          // IWYU pragma: export
+#include "common/location.hpp"     // IWYU pragma: export
 #include "common/csv_reader.hpp"   // IWYU pragma: export
 #include "common/require.hpp"      // IWYU pragma: export
 #include "common/rng.hpp"          // IWYU pragma: export
@@ -60,10 +61,12 @@
 #include "stats/quantile.hpp"      // IWYU pragma: export
 #include "stats/sampling.hpp"      // IWYU pragma: export
 #include "telemetry/counters.hpp"  // IWYU pragma: export
+#include "telemetry/record.hpp"    // IWYU pragma: export
+#include "telemetry/run_result.hpp" // IWYU pragma: export
 #include "telemetry/export.hpp"    // IWYU pragma: export
-#include "telemetry/pmapi.hpp"     // IWYU pragma: export
-#include "telemetry/sampler.hpp"   // IWYU pragma: export
-#include "telemetry/timeseries.hpp" // IWYU pragma: export
+#include "gpu/pmapi.hpp"     // IWYU pragma: export
+#include "gpu/sampler.hpp"   // IWYU pragma: export
+#include "gpu/timeseries.hpp" // IWYU pragma: export
 #include "thermal/cooling.hpp"     // IWYU pragma: export
 #include "thermal/thermal.hpp"     // IWYU pragma: export
 #include "workloads/runner.hpp"    // IWYU pragma: export

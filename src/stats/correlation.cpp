@@ -40,8 +40,11 @@ std::vector<double> fractional_ranks(std::span<const double> xs) {
   const std::size_t n = xs.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    // Index tie-breaker: equal values keep their input order, so ranks
+    // are reproducible whatever sort algorithm runs underneath.
+    return xs[a] != xs[b] ? xs[a] < xs[b] : a < b;
+  });
   std::vector<double> ranks(n);
   std::size_t i = 0;
   while (i < n) {

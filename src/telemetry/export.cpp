@@ -7,7 +7,8 @@
 
 namespace gpuvar {
 
-void export_results_csv(std::ostream& out, const Cluster& cluster,
+void export_results_csv(std::ostream& out, std::string_view cluster_name,
+                        std::span<const GpuLocation> locations,
                         std::span<const GpuRunResult> results) {
   CsvWriter csv(out);
   csv.header({"cluster", "gpu", "node", "cabinet", "run", "perf_ms",
@@ -16,11 +17,13 @@ void export_results_csv(std::ostream& out, const Cluster& cluster,
               "temp_c_median", "temp_c_min", "temp_c_max", "energy_j",
               "fu_util", "dram_util", "mem_stall_frac", "exec_stall_frac"});
   for (const auto& r : results) {
-    const auto& inst = cluster.gpu(r.gpu_index);
-    csv.add(cluster.name())
-        .add(inst.loc.name)
-        .add(static_cast<long long>(inst.loc.node))
-        .add(static_cast<long long>(inst.loc.cabinet))
+    GPUVAR_REQUIRE_MSG(r.gpu_index < locations.size(),
+                       "result gpu_index outside the location table");
+    const GpuLocation& loc = locations[r.gpu_index];
+    csv.add(cluster_name)
+        .add(loc.name)
+        .add(static_cast<long long>(loc.node))
+        .add(static_cast<long long>(loc.cabinet))
         .add(static_cast<long long>(r.run_index))
         .add(r.perf_ms)
         .add(r.telemetry.freq.median)

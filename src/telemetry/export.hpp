@@ -1,22 +1,29 @@
 // CSV export of run results and time series — the interchange format for
 // feeding the suite's measurements into external analysis pipelines
 // (pandas/R), mirroring the paper artifact's per-application CSV outputs.
+//
+// Deliberately decoupled from the layers above: callers pass the cluster
+// name and the per-GPU location table instead of a Cluster (see
+// Cluster::locations()), so the telemetry layer never includes cluster or
+// workload headers.
 #pragma once
 
+#include <istream>
 #include <ostream>
 #include <span>
+#include <string_view>
 
-#include <istream>
-
-#include "cluster/cluster.hpp"
-#include "core/record.hpp"
-#include "workloads/runner.hpp"
+#include "common/location.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/run_result.hpp"
 
 namespace gpuvar {
 
 /// One row per run result: location, performance metric, and the median /
-/// mean / min / max of frequency, power and temperature.
-void export_results_csv(std::ostream& out, const Cluster& cluster,
+/// mean / min / max of frequency, power and temperature. `locations` is
+/// indexed by GpuRunResult::gpu_index (Cluster::locations() provides it).
+void export_results_csv(std::ostream& out, std::string_view cluster_name,
+                        std::span<const GpuLocation> locations,
                         std::span<const GpuRunResult> results);
 
 /// One row per telemetry sample of one run's series.

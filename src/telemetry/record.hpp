@@ -1,0 +1,59 @@
+// Flattened per-run records: the unit of all downstream analysis.
+//
+// A RunRecord is pure measured data — location, medians, counters — with
+// no reference to the cluster that produced it, so the telemetry layer
+// can define the interchange schema without depending on cluster
+// construction or the experiment runner above it. Conversion from live
+// runner results lives in core/record.hpp.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/location.hpp"
+#include "telemetry/counters.hpp"
+
+namespace gpuvar {
+
+/// Which of the four collected metrics an analysis refers to.
+enum class Metric { kPerf, kFreq, kPower, kTemp };
+
+std::string metric_name(Metric m);
+std::string metric_unit(Metric m);
+
+struct RunRecord {
+  std::size_t gpu_index = 0;
+  GpuLocation loc;
+  int run_index = 0;
+  int day_of_week = -1;  ///< 0 = Monday .. 6 = Sunday; -1 = untagged
+  double perf_ms = 0.0;
+  double freq_mhz = 0.0;  ///< run median
+  double power_w = 0.0;   ///< run median
+  double temp_c = 0.0;    ///< run median
+  ProfilerCounters counters;
+};
+
+double metric_value(const RunRecord& r, Metric m);
+
+/// Column extraction over a set of records.
+std::vector<double> metric_column(std::span<const RunRecord> records,
+                                  Metric m);
+
+/// Per-GPU aggregate: the median of each metric across a GPU's runs.
+struct GpuAggregate {
+  std::size_t gpu_index = 0;
+  GpuLocation loc;
+  int runs = 0;
+  double perf_ms = 0.0;
+  double freq_mhz = 0.0;
+  double power_w = 0.0;
+  double temp_c = 0.0;
+};
+
+double metric_value(const GpuAggregate& g, Metric m);
+
+/// Collapses records to one aggregate per GPU (ordered by gpu_index).
+std::vector<GpuAggregate> per_gpu_medians(std::span<const RunRecord> records);
+
+}  // namespace gpuvar

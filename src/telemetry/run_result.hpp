@@ -1,0 +1,32 @@
+// The per-(GPU, run) measurement bundle produced by executing a workload:
+// the performance metric, iteration durations, telemetry summary,
+// profiler counters and (optionally) the sampled time series.
+//
+// Defined in telemetry — not in the runner that fills it — so exports and
+// analyses can consume results without depending on the execution layers
+// above.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpu/sampler.hpp"
+#include "gpu/timeseries.hpp"
+#include "telemetry/counters.hpp"
+
+namespace gpuvar {
+
+struct GpuRunResult {
+  std::size_t gpu_index = 0;
+  int run_index = 0;
+  /// The workload's performance metric, milliseconds.
+  double perf_ms = 0.0;
+  /// Per-iteration durations (ms); for multi-GPU jobs these are the
+  /// barrier-to-barrier iteration times shared by all ranks.
+  std::vector<double> iteration_ms;
+  TelemetrySummary telemetry;
+  ProfilerCounters counters;
+  TimeSeries series;  ///< populated when collect_series is set
+};
+
+}  // namespace gpuvar

@@ -12,7 +12,7 @@
 
 #include "cluster/cluster.hpp"
 #include "telemetry/counters.hpp"
-#include "telemetry/sampler.hpp"
+#include "telemetry/run_result.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpuvar {
@@ -31,19 +31,6 @@ struct RunOptions {
   /// most once per period, so finer ticks only burn time). Time-series
   /// collection switches to the 1 ms profiler resolution.
   static RunOptions for_sku(const GpuSku& sku);
-};
-
-struct GpuRunResult {
-  std::size_t gpu_index = 0;
-  int run_index = 0;
-  /// The workload's performance metric, milliseconds.
-  double perf_ms = 0.0;
-  /// Per-iteration durations (ms); for multi-GPU jobs these are the
-  /// barrier-to-barrier iteration times shared by all ranks.
-  std::vector<double> iteration_ms;
-  TelemetrySummary telemetry;
-  ProfilerCounters counters;
-  TimeSeries series;  ///< populated when collect_series is set
 };
 
 /// Run a single-GPU workload on one GPU of the cluster.

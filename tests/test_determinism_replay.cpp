@@ -1,0 +1,94 @@
+// Determinism replay: the same seeded campaign must produce
+// byte-identical artifacts whatever the thread count. This is the
+// executable form of the simulator's core contract — every output is a
+// pure function of (spec, seed) — and the regression net under the
+// determinism lints: per-node result buckets concatenated in node
+// order, seed-path-keyed RNG, tie-broken sorts, and locale-free
+// formatting all have to hold for these byte comparisons to pass.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/experiment.hpp"
+#include "core/markdown_report.hpp"
+#include "telemetry/export.hpp"
+
+namespace gpuvar {
+namespace {
+
+struct CampaignArtifacts {
+  std::string csv;
+  std::string markdown;
+};
+
+/// Runs the full campaign on a private pool of `threads` workers and
+/// renders both interchange artifacts: the per-run results CSV (via the
+/// same pool-parallel per-node path the CLI uses) and the markdown
+/// report over the experiment's records.
+CampaignArtifacts run_campaign(std::size_t threads) {
+  const Cluster cluster{cloudlab_spec()};
+  ThreadPool pool(threads);
+
+  auto cfg = default_config(cluster, sgemm_workload(16384, 2), 2);
+  cfg.pool = &pool;
+  const auto result = run_experiment(cluster, cfg);
+
+  MarkdownReportOptions md_opts;
+  md_opts.bootstrap_resamples = 50;
+  std::ostringstream md;
+  write_markdown_report(md, result.records, md_opts);
+
+  // CSV rows come from the raw per-run results; collect them in
+  // parallel with per-node buckets, concatenated in node order.
+  std::vector<std::vector<GpuRunResult>> buckets(
+      static_cast<std::size_t>(cluster.node_count()));
+  pool.parallel_for(buckets.size(), [&](std::size_t node) {
+    for (int run = 0; run < cfg.runs_per_gpu; ++run) {
+      for (auto& r : run_on_node(cluster, static_cast<int>(node),
+                                 cfg.workload, run, cfg.run_options)) {
+        buckets[node].push_back(std::move(r));
+      }
+    }
+  });
+  std::vector<GpuRunResult> rows;
+  for (auto& b : buckets) {
+    for (auto& r : b) rows.push_back(std::move(r));
+  }
+  std::ostringstream csv;
+  export_results_csv(csv, cluster.name(), cluster.locations(), rows);
+  return {csv.str(), md.str()};
+}
+
+TEST(DeterminismReplay, ByteIdenticalAcrossPoolSizes) {
+  const CampaignArtifacts one = run_campaign(1);
+  const CampaignArtifacts four = run_campaign(4);
+  const CampaignArtifacts eight = run_campaign(8);
+
+  ASSERT_FALSE(one.csv.empty());
+  ASSERT_FALSE(one.markdown.empty());
+
+  EXPECT_EQ(one.csv, four.csv) << "results CSV differs between 1 and 4 "
+                                  "threads: scheduling leaked into output";
+  EXPECT_EQ(one.csv, eight.csv) << "results CSV differs between 1 and 8 "
+                                   "threads: scheduling leaked into output";
+  EXPECT_EQ(one.markdown, four.markdown)
+      << "markdown report differs between 1 and 4 threads";
+  EXPECT_EQ(one.markdown, eight.markdown)
+      << "markdown report differs between 1 and 8 threads";
+}
+
+TEST(DeterminismReplay, RepeatOnSamePoolIsIdentical) {
+  // Same pool size twice: catches state leaking between campaigns
+  // (e.g. a global RNG advancing) rather than between schedules.
+  const CampaignArtifacts a = run_campaign(4);
+  const CampaignArtifacts b = run_campaign(4);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.markdown, b.markdown);
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -18,7 +18,7 @@ TEST(Export, ResultsCsvHasHeaderAndRows) {
   results.push_back(run_on_gpu(c, 1, w, 0, opts));
 
   std::ostringstream out;
-  export_results_csv(out, c, results);
+  export_results_csv(out, c.name(), c.locations(), results);
   const std::string text = out.str();
 
   // Header plus one line per result.
@@ -34,7 +34,7 @@ TEST(Export, ResultsCsvRoundTripsPerf) {
   auto opts = RunOptions::for_sku(c.sku());
   const auto r = run_on_gpu(c, 0, w, 0, opts);
   std::ostringstream out;
-  export_results_csv(out, c, std::vector<GpuRunResult>{r});
+  export_results_csv(out, c.name(), c.locations(), std::vector<GpuRunResult>{r});
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.10g", r.perf_ms);
   EXPECT_NE(out.str().find(buf), std::string::npos);
@@ -61,7 +61,7 @@ TEST(Export, ImportRoundTripsExport) {
     results.push_back(run_on_gpu(c, g, w, static_cast<int>(g), opts));
   }
   std::ostringstream out;
-  export_results_csv(out, c, results);
+  export_results_csv(out, c.name(), c.locations(), results);
   std::istringstream in(out.str());
   const auto records = import_results_csv(in);
   ASSERT_EQ(records.size(), 4u);

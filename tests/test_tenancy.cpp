@@ -1,4 +1,4 @@
-#include "cluster/tenancy.hpp"
+#include "workloads/tenancy.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,386 @@
+#include "core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace gpuvar::analyzer {
+
+namespace fs = std::filesystem;
+
+std::string strip_comments_and_literals(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && n == '/') {
+          st = State::kLineComment;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          st = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          st = State::kCode;
+          out += '\n';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && n == '/') {
+          st = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += '\n';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = State::kCode;
+        } else if (c == '\n') {
+          out += '\n';  // unterminated; keep line counts sane
+          st = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+        } else if (c == '\n') {
+          out += '\n';
+          st = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (!ident_char(c)) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    Token t;
+    t.text = code.substr(i, j - i);
+    t.line = line;
+    t.pos = i;
+    std::size_t k = j;
+    while (k < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[k])) &&
+           code[k] != '\n') {
+      ++k;
+    }
+    t.next = k < code.size() ? code[k] : '\0';
+    tokens.push_back(std::move(t));
+    i = j;
+  }
+  return tokens;
+}
+
+int SourceFile::line_of(std::size_t pos) const {
+  return 1 + static_cast<int>(
+                 std::count(code.begin(),
+                            code.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    std::min(pos, code.size())),
+                            '\n'));
+}
+
+std::size_t matching_paren_end(const std::string& code, std::size_t open) {
+  if (open >= code.size() || code[open] != '(') return std::string::npos;
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+namespace {
+
+void parse_includes(SourceFile& f) {
+  // Walk code and raw line by line in lockstep (stripping preserves
+  // newlines): the stripped line tells us a '#' directive is real code,
+  // the raw line still holds the quoted path that stripping blanked.
+  const std::string& code = f.code;
+  std::size_t cpos = 0, rpos = 0;
+  int line = 1;
+  while (cpos <= code.size()) {
+    const std::size_t ceol = code.find('\n', cpos);
+    const std::size_t cend = ceol == std::string::npos ? code.size() : ceol;
+    const std::size_t reol = f.raw.find('\n', rpos);
+    std::size_t p = cpos;
+    while (p < cend && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
+    if (p < cend && code[p] == '#' && code.find("include", p) < cend) {
+      const std::string raw_line = f.raw.substr(
+          rpos, (reol == std::string::npos ? f.raw.size() : reol) - rpos);
+      const std::size_t inc = raw_line.find("include");
+      if (inc != std::string::npos) {
+        const std::size_t q0 = raw_line.find('"', inc);
+        if (q0 != std::string::npos) {
+          const std::size_t q1 = raw_line.find('"', q0 + 1);
+          if (q1 != std::string::npos) {
+            f.includes.emplace_back(line,
+                                    raw_line.substr(q0 + 1, q1 - q0 - 1));
+          }
+        }
+      }
+    }
+    if (ceol == std::string::npos) break;
+    cpos = ceol + 1;
+    rpos = reol == std::string::npos ? f.raw.size() : reol + 1;
+    ++line;
+  }
+}
+
+void parse_allows(SourceFile& f) {
+  static const std::string kMarker = "gpuvar-lint:";
+  std::size_t pos = 0;
+  while ((pos = f.raw.find(kMarker, pos)) != std::string::npos) {
+    const int line =
+        1 + static_cast<int>(std::count(
+                f.raw.begin(),
+                f.raw.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+    std::size_t p = pos + kMarker.size();
+    while (p < f.raw.size() && f.raw[p] == ' ') ++p;
+    if (f.raw.compare(p, 6, "allow(") == 0) {
+      p += 6;
+      const std::size_t close = f.raw.find(')', p);
+      if (close != std::string::npos) {
+        std::string list = f.raw.substr(p, close - p);
+        std::stringstream ss(list);
+        std::string rule;
+        while (std::getline(ss, rule, ',')) {
+          const auto b = rule.find_first_not_of(" \t");
+          const auto e = rule.find_last_not_of(" \t");
+          if (b != std::string::npos) {
+            f.allows[line].insert(rule.substr(b, e - b + 1));
+          }
+        }
+      }
+    }
+    pos += kMarker.size();
+  }
+}
+
+bool is_source_name(const fs::path& p) {
+  return p.extension() == ".hpp" || p.extension() == ".cpp";
+}
+
+}  // namespace
+
+bool load_source_file(const fs::path& path, const std::string& rel,
+                      SourceFile& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  out.path = path;
+  out.rel = rel;
+  out.raw = ss.str();
+  out.code = strip_comments_and_literals(out.raw);
+  out.tokens = tokenize(out.code);
+
+  const auto slash = rel.find('/');
+  out.top = slash == std::string::npos ? "" : rel.substr(0, slash);
+  out.module.clear();
+  if (out.top == "src" && slash != std::string::npos) {
+    const auto slash2 = rel.find('/', slash + 1);
+    if (slash2 != std::string::npos) {
+      out.module = rel.substr(slash + 1, slash2 - slash - 1);
+    }
+  }
+  const std::string name = out.filename();
+  out.header = name.size() >= 4 &&
+               (name.rfind(".hpp") == name.size() - 4 ||
+                name.find(".hpp.") != std::string::npos);
+
+  parse_includes(out);
+  parse_allows(out);
+  return true;
+}
+
+Repo load_repo(const fs::path& root) {
+  Repo repo;
+  repo.root = root;
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    std::vector<fs::path> paths;
+    auto it = fs::recursive_directory_iterator(base);
+    for (const auto& entry : it) {
+      if (entry.is_directory() && entry.path().filename() == "fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (entry.is_regular_file() && is_source_name(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // analyzer's own output is deterministic.
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) {
+      SourceFile f;
+      const std::string rel =
+          fs::relative(p, root).generic_string();
+      if (load_source_file(p, rel, f)) repo.files.push_back(std::move(f));
+    }
+  }
+  return repo;
+}
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kRules = {
+      // style (PR 1)
+      "raw-double-quantity", "raw-rng", "cout-in-library", "bare-assert",
+      "pragma-once",
+      // layering
+      "upward-include", "include-cycle", "unknown-module",
+      // thread safety
+      "raw-std-mutex", "unguarded-mutex",
+      // determinism
+      "unordered-iteration", "parallel-accum", "float-sort-key",
+      "locale-format", "wall-clock",
+      // meta
+      "unknown-rule"};
+  return kRules;
+}
+
+void check_suppression_names(const SourceFile& file,
+                             std::vector<Finding>& findings) {
+  for (const auto& [line, rules] : file.allows) {
+    for (const auto& rule : rules) {
+      if (!known_rules().count(rule)) {
+        findings.push_back({file.rel, line, "unknown-rule",
+                            "suppression names unknown rule '" + rule +
+                                "' (run --list-rules for the registry); "
+                                "a typo here would silently disable "
+                                "nothing"});
+      }
+    }
+  }
+}
+
+std::vector<Finding> apply_suppressions(const Repo& repo,
+                                        std::vector<Finding> findings) {
+  std::map<std::string, const SourceFile*> by_rel;
+  for (const auto& f : repo.files) by_rel[f.rel] = &f;
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (auto& fd : findings) {
+    bool suppressed = false;
+    if (fd.rule != "unknown-rule") {
+      const auto it = by_rel.find(fd.file);
+      if (it != by_rel.end()) {
+        const auto& allows = it->second->allows;
+        for (int line : {fd.line, fd.line - 1}) {
+          const auto a = allows.find(line);
+          if (a != allows.end() && a->second.count(fd.rule)) {
+            suppressed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(fd));
+  }
+  return kept;
+}
+
+void print_findings(const std::vector<Finding>& findings, std::ostream& out) {
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  for (const auto& fd : sorted) {
+    out << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+        << fd.message << "\n";
+  }
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(const std::vector<Finding>& findings,
+                std::size_t files_scanned, std::ostream& out) {
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  out << "{\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto& fd = sorted[i];
+    out << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(fd.file)
+        << "\", \"line\": " << fd.line << ", \"rule\": \""
+        << json_escape(fd.rule) << "\", \"message\": \""
+        << json_escape(fd.message) << "\"}";
+  }
+  out << (sorted.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,114 @@
+// gpuvar-analyzer core: file loading, token scanning, inline
+// suppressions, and finding output shared by every analysis pass.
+//
+// The analyzer works on a token/character level rather than a real C++
+// AST: the conventions it enforces (layering, annotation presence,
+// determinism hygiene) are all visible in the token stream, and a
+// dependency-free scanner can run as a ctest on every build. Comments
+// and string/char literals are stripped before matching (newlines
+// preserved so line numbers survive), so a banned name inside a doc
+// comment or log message never trips a rule.
+//
+// Inline suppressions: a finding on line N is suppressed by an allow
+// comment naming its rule on line N or on the line above, e.g.
+//   ... = std::chrono::steady_clock::now();  // gpuvar-lint: allow(wall-clock)
+// (comma-separate several rules inside one allow(...)).
+// Unknown rule names inside allow(...) are themselves findings
+// (rule `unknown-rule`), so a typo can never silently disable a check.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gpuvar::analyzer {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One identifier/keyword token plus enough context for the rules: its
+/// line, its byte offset in the stripped code (for balanced-delimiter
+/// scans), and the first non-space character that follows it.
+struct Token {
+  std::string text;
+  int line = 0;
+  std::size_t pos = 0;  // offset of the token's first char in `code`
+  char next = '\0';     // first non-space character after the token
+};
+
+/// One scanned file with everything the passes need precomputed.
+struct SourceFile {
+  std::filesystem::path path;  // as opened
+  std::string rel;             // root-relative, '/'-separated
+  std::string top;     // first path component: src/tests/tools/bench/examples
+  std::string module;  // for src files: the layer dir ("common", ...);
+                       // empty for files directly under src/ (the umbrella)
+  bool header = false;
+  std::string raw;   // original bytes (suppressions are parsed from here)
+  std::string code;  // comments and literals stripped, newlines kept
+  std::vector<Token> tokens;
+  /// Quoted #include targets as written, with their line numbers.
+  std::vector<std::pair<int, std::string>> includes;
+  /// line -> rule names suppressed on that line via gpuvar-lint: allow().
+  std::map<int, std::set<std::string>> allows;
+
+  bool in_src() const { return top == "src"; }
+  std::string filename() const { return path.filename().string(); }
+  /// Line number of a byte offset into `code` (1-based).
+  int line_of(std::size_t pos) const;
+};
+
+struct Repo {
+  std::filesystem::path root;
+  std::vector<SourceFile> files;
+};
+
+/// Strips // and /* */ comments plus string/char literals, preserving
+/// newlines so line numbers survive.
+std::string strip_comments_and_literals(const std::string& in);
+
+std::vector<Token> tokenize(const std::string& code);
+
+bool ident_char(char c);
+
+/// Offset just past the parenthesized region opened at `open` (which
+/// must point at '('); std::string::npos when unbalanced.
+std::size_t matching_paren_end(const std::string& code, std::size_t open);
+
+/// Loads and preprocesses one file. `rel` uses '/' separators and
+/// determines `top`/`module`. Returns false if the file can't be read.
+bool load_source_file(const std::filesystem::path& path,
+                      const std::string& rel, SourceFile& out);
+
+/// Scans root/{src,tools,bench,examples,tests} for .hpp/.cpp files.
+/// Directories named "fixtures" are skipped: they hold the analyzer's
+/// own deliberately-broken self-test inputs.
+Repo load_repo(const std::filesystem::path& root);
+
+/// Every rule any pass can emit (authority for unknown-rule checking).
+const std::set<std::string>& known_rules();
+
+/// Findings for allow() entries naming rules the analyzer doesn't have.
+void check_suppression_names(const SourceFile& file,
+                             std::vector<Finding>& findings);
+
+/// Drops findings covered by an allow() on the same or preceding line.
+/// `unknown-rule` findings are never suppressible.
+std::vector<Finding> apply_suppressions(const Repo& repo,
+                                        std::vector<Finding> findings);
+
+/// "file:line: [rule] message" per finding, sorted by file/line/rule.
+void print_findings(const std::vector<Finding>& findings, std::ostream& out);
+
+/// Machine-readable report: {"files_scanned": N, "findings": [...]}.
+void write_json(const std::vector<Finding>& findings,
+                std::size_t files_scanned, std::ostream& out);
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,196 @@
+// gpuvar-analyzer — the repo's multi-pass static analysis tool.
+//
+// Grown from PR 1's gpuvar_lint: the same token-level scanning core now
+// feeds four passes (style, layering, thread-safety, determinism; see
+// passes.hpp for the rule catalogue) with inline suppressions, JSON
+// output, and a DOT dump of the module layering graph.
+//
+// Usage:
+//   gpuvar-analyzer <repo_root> [--json FILE] [--dot FILE]
+//       Analyze the tree. Exit 0 clean, 1 on findings, 2 on bad usage
+//       or an empty tree (a typo'd CI path must not read as clean).
+//   gpuvar-analyzer --fixture FILE --expect r1,r2,...
+//       Self-test: analyze one file as if it were a src/core file; the
+//       findings' rules must match the expected list exactly (each
+//       listed rule fires exactly once, nothing else fires). Decoy
+//       violations inside comments/strings prove literal stripping.
+//   gpuvar-analyzer --fixture-tree DIR --expect r1,r2,...
+//       Same, for a whole mini-repo (layering rules need a tree).
+//   gpuvar-analyzer --list-rules
+//       Print the rule registry (the authority for allow() names).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "core.hpp"
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+const std::vector<PassInfo>& all_passes() {
+  static const std::vector<PassInfo> kPasses = {
+      {"style", run_style_pass},
+      {"layering", run_layering_pass},
+      {"thread", run_thread_pass},
+      {"determinism", run_determinism_pass},
+  };
+  return kPasses;
+}
+
+namespace {
+
+std::vector<Finding> analyze(const Repo& repo) {
+  std::vector<Finding> findings;
+  for (const auto& pass : all_passes()) pass.run(repo, findings);
+  for (const auto& f : repo.files) check_suppression_names(f, findings);
+  return apply_suppressions(repo, findings);
+}
+
+std::vector<std::string> split_rules(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    if (!rule.empty()) out.push_back(rule);
+  }
+  return out;
+}
+
+/// Fixture contract: the multiset of fired rules equals the expected
+/// list — every expected rule fires exactly as often as listed, and no
+/// unexpected rule fires at all (a decoy tripping a rule, or literal
+/// stripping regressing, fails the self-test).
+int check_expectations(const std::vector<Finding>& findings,
+                       const std::vector<std::string>& expected) {
+  print_findings(findings, std::cout);
+  std::map<std::string, int> want, got;
+  for (const auto& r : expected) ++want[r];
+  for (const auto& fd : findings) ++got[fd.rule];
+  int failures = 0;
+  for (const auto& [rule, n] : want) {
+    if (got[rule] != n) {
+      std::cerr << "expected rule '" << rule << "' to fire " << n
+                << "x, fired " << got[rule] << "x\n";
+      ++failures;
+    }
+  }
+  for (const auto& [rule, n] : got) {
+    if (!want.count(rule)) {
+      std::cerr << "unexpected rule fired " << n << "x: '" << rule
+                << "' (decoy tripped?)\n";
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << "fixture OK: " << findings.size()
+              << " finding(s), all expected\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_fixture(const std::string& file, const std::string& expect) {
+  SourceFile f;
+  // Lint the fixture as a file of src/core: every src rule applies,
+  // including the module-scoped ones (float-sort-key).
+  const std::string rel =
+      "src/core/" + std::filesystem::path(file).filename().string();
+  if (!load_source_file(file, rel, f)) {
+    std::cerr << "cannot read fixture: " << file << "\n";
+    return 2;
+  }
+  Repo repo;
+  repo.root = std::filesystem::path(file).parent_path();
+  repo.files.push_back(std::move(f));
+  return check_expectations(analyze(repo), split_rules(expect));
+}
+
+int run_fixture_tree(const std::string& dir, const std::string& expect) {
+  const Repo repo = load_repo(dir);
+  if (repo.files.empty()) {
+    std::cerr << "no source files under fixture tree: " << dir << "\n";
+    return 2;
+  }
+  return check_expectations(analyze(repo), split_rules(expect));
+}
+
+int run_tree(const std::string& root, const std::string& json_file,
+             const std::string& dot_file) {
+  const Repo repo = load_repo(root);
+  if (repo.files.empty()) {
+    std::cerr << "gpuvar-analyzer: no source files under '" << root
+              << "' — wrong repo root?\n";
+    return 2;
+  }
+  const auto findings = analyze(repo);
+
+  if (!dot_file.empty()) {
+    std::ofstream out(dot_file);
+    if (!out) {
+      std::cerr << "cannot write " << dot_file << "\n";
+      return 2;
+    }
+    write_layering_dot(repo, out);
+  }
+  if (!json_file.empty()) {
+    std::ofstream out(json_file);
+    if (!out) {
+      std::cerr << "cannot write " << json_file << "\n";
+      return 2;
+    }
+    write_json(findings, repo.files.size(), out);
+  }
+
+  print_findings(findings, std::cerr);
+  if (!findings.empty()) {
+    std::cerr << findings.size() << " finding(s) in " << repo.files.size()
+              << " files\n";
+    return 1;
+  }
+  std::cout << "gpuvar-analyzer: " << repo.files.size() << " files clean ("
+            << all_passes().size() << " passes)\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  gpuvar-analyzer <repo_root> [--json FILE] [--dot FILE]\n"
+         "  gpuvar-analyzer --fixture FILE --expect rule,rule,...\n"
+         "  gpuvar-analyzer --fixture-tree DIR --expect rule,rule,...\n"
+         "  gpuvar-analyzer --list-rules\n";
+  return 2;
+}
+
+}  // namespace
+
+}  // namespace gpuvar::analyzer
+
+int main(int argc, char** argv) {
+  using namespace gpuvar::analyzer;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 1 && args[0] == "--list-rules") {
+    for (const auto& rule : known_rules()) std::cout << rule << "\n";
+    return 0;
+  }
+  if (args.size() == 4 && args[0] == "--fixture" && args[2] == "--expect") {
+    return run_fixture(args[1], args[3]);
+  }
+  if (args.size() == 4 && args[0] == "--fixture-tree" &&
+      args[2] == "--expect") {
+    return run_fixture_tree(args[1], args[3]);
+  }
+  if (args.empty() || args[0].rfind("--", 0) == 0) return usage();
+  std::string root = args[0], json_file, dot_file;
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    if (args[i] == "--json") {
+      json_file = args[i + 1];
+    } else if (args[i] == "--dot") {
+      dot_file = args[i + 1];
+    } else {
+      return usage();
+    }
+  }
+  return run_tree(root, json_file, dot_file);
+}

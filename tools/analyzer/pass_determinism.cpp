@@ -1,0 +1,306 @@
+// Determinism pass: flags the constructions that historically make
+// "same seed, different bytes" bugs. The simulator's contract is that
+// every output is a pure function of (spec, seed), whatever the thread
+// count, locale, or standard library — these rules guard the ways that
+// contract quietly breaks:
+//
+//   unordered-iteration  range-for over a std::unordered_* container:
+//                        hash iteration order is implementation- and
+//                        run-dependent, so anything built from it is too.
+//   parallel-accum       `x += ...` inside a parallel_for body where x
+//                        is captured from outside: FP addition is not
+//                        associative, so the sum depends on scheduling.
+//                        Accumulate into per-index slots and reduce in
+//                        index order instead (see core/experiment.cpp).
+//   float-sort-key       std::sort with a lambda comparator in the
+//                        result-producing layers (stats, telemetry,
+//                        core) and no visible tie-breaker (std::tie, a
+//                        conditional, or ||): equal keys make the order
+//                        — and introsort's output — unspecified.
+//   locale-format        locale-dependent number conversion (stod,
+//                        strtod, atof, sscanf, setlocale) anywhere in
+//                        src; printf-family float formatting and
+//                        std::to_string additionally in the CSV/export
+//                        interchange files. Use common/numfmt.hpp.
+//   wall-clock           std::chrono clock reads in src/**: simulated
+//                        results must never depend on when they run.
+//                        Real measurement code suppresses this rule
+//                        with a comment explaining itself.
+#include <algorithm>
+#include <set>
+
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+bool word_at(const std::string& code, std::size_t pos,
+             const std::string& word) {
+  if (code.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(code[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= code.size() || !ident_char(code[end]);
+}
+
+/// Index of the last non-space character before `pos`, npos if none.
+std::size_t prev_nonspace_pos(const std::string& code, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(code[pos]))) return pos;
+  }
+  return std::string::npos;
+}
+
+char prev_nonspace(const std::string& code, std::size_t pos) {
+  const std::size_t p = prev_nonspace_pos(code, pos);
+  return p == std::string::npos ? '\0' : code[p];
+}
+
+char next_nonspace(const std::string& code, std::size_t pos) {
+  while (pos < code.size()) {
+    if (!std::isspace(static_cast<unsigned char>(code[pos]))) {
+      return code[pos];
+    }
+    ++pos;
+  }
+  return '\0';
+}
+
+void check_unordered_iteration(const SourceFile& f,
+                               std::vector<Finding>& findings) {
+  static const std::vector<std::string> kTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  const std::string& code = f.code;
+
+  // Names declared with an unordered container type.
+  std::set<std::string> unordered_names;
+  for (const auto& type : kTypes) {
+    std::size_t pos = 0;
+    while ((pos = code.find(type, pos)) != std::string::npos) {
+      const std::size_t after = pos + type.size();
+      if (!word_at(code, pos, type) || after >= code.size() ||
+          code[after] != '<') {
+        pos = after;
+        continue;
+      }
+      // Skip the balanced template argument list.
+      int depth = 0;
+      std::size_t i = after;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      // Then an optional &/* and the declared name.
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) ||
+              code[i] == '&' || code[i] == '*')) {
+        ++i;
+      }
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      if (j > i) unordered_names.insert(code.substr(i, j - i));
+      pos = after;
+    }
+  }
+
+  // Range-for over any of those names: `for (... : name)`.
+  for (const auto& name : unordered_names) {
+    std::size_t pos = 0;
+    while ((pos = code.find(name, pos)) != std::string::npos) {
+      if (word_at(code, pos, name)) {
+        const std::size_t bp = prev_nonspace_pos(code, pos);
+        // A single ':' before the name and ')' after it is the
+        // range-for shape; "::name" is qualification, not iteration.
+        const bool range_colon = bp != std::string::npos &&
+                                 code[bp] == ':' &&
+                                 (bp == 0 || code[bp - 1] != ':');
+        const char after = next_nonspace(code, pos + name.size());
+        if (range_colon && after == ')') {
+          findings.push_back(
+              {f.rel, f.line_of(pos), "unordered-iteration",
+               "iterating '" + name +
+                   "' (unordered container): hash order is not "
+                   "deterministic — copy to a sorted container or use "
+                   "std::map when the order can reach a result"});
+        }
+      }
+      pos += name.size();
+    }
+  }
+}
+
+void check_parallel_accum(const SourceFile& f,
+                          std::vector<Finding>& findings) {
+  const std::string& code = f.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("parallel_for", pos)) != std::string::npos) {
+    if (!word_at(code, pos, "parallel_for")) {
+      pos += 12;
+      continue;
+    }
+    const std::size_t open = code.find('(', pos);
+    if (open == std::string::npos) break;
+    const std::size_t end = matching_paren_end(code, open);
+    if (end == std::string::npos) break;
+    const std::string region = code.substr(open, end - open);
+
+    for (const char* op : {"+=", "-=", "*="}) {
+      std::size_t opos = 0;
+      while ((opos = region.find(op, opos)) != std::string::npos) {
+        // Identify the left-hand side identifier.
+        std::size_t p = opos;
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(region[p - 1]))) {
+          --p;
+        }
+        if (p == 0 || !ident_char(region[p - 1])) {
+          opos += 2;  // indexed (x[i] +=) or member write: per-slot is fine
+          continue;
+        }
+        std::size_t s = p;
+        while (s > 0 && ident_char(region[s - 1])) --s;
+        // Member accesses (batch.pending +=) have their own locking
+        // discipline; this rule targets captured locals.
+        if (s > 0 && (region[s - 1] == '.' ||
+                      (s > 1 && region[s - 1] == '>' &&
+                       region[s - 2] == '-'))) {
+          opos += 2;
+          continue;
+        }
+        const std::string id = region.substr(s, p - s);
+        // Declared inside the body? Then every task has its own copy
+        // (or the chunk loop owns it) and the order is fixed.
+        bool local = false;
+        std::size_t q = 0;
+        while ((q = region.find(id, q)) != std::string::npos) {
+          if (word_at(region, q, id) && q > 0) {
+            const char before = prev_nonspace(region, q);
+            if (ident_char(before) || before == '&' || before == '*') {
+              local = true;
+              break;
+            }
+          }
+          q += id.size();
+        }
+        if (!local) {
+          findings.push_back(
+              {f.rel, f.line_of(open + opos), "parallel-accum",
+               "'" + id + " " + op +
+                   " ...' inside a parallel_for body accumulates into "
+                   "captured state: FP addition is schedule-dependent — "
+                   "write per-index slots and reduce in index order "
+                   "(core/experiment.cpp shows the pattern)"});
+        }
+        opos += 2;
+      }
+    }
+    pos = end;
+  }
+}
+
+void check_float_sort_key(const SourceFile& f,
+                          std::vector<Finding>& findings) {
+  static const std::set<std::string> kScopedModules = {"stats", "telemetry",
+                                                       "core"};
+  if (!kScopedModules.count(f.module)) return;
+  const std::string& code = f.code;
+  for (std::size_t i = 1; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.text != "sort" || f.tokens[i - 1].text != "std" || t.next != '(') {
+      continue;
+    }
+    const std::size_t open = code.find('(', t.pos);
+    if (open == std::string::npos) continue;
+    const std::size_t end = matching_paren_end(code, open);
+    if (end == std::string::npos) continue;
+    const std::string region = code.substr(open, end - open);
+    const bool has_lambda = region.find('[') != std::string::npos;
+    bool has_tiebreak = region.find('?') != std::string::npos ||
+                        region.find("||") != std::string::npos;
+    for (std::size_t q = 0; !has_tiebreak && q < region.size(); ++q) {
+      if (region[q] == 't' && word_at(region, q, "tie")) has_tiebreak = true;
+    }
+    if (has_lambda && !has_tiebreak) {
+      findings.push_back(
+          {f.rel, t.line, "float-sort-key",
+           "std::sort with a custom comparator and no visible "
+           "tie-breaker: equal keys leave the order (and introsort's "
+           "output) unspecified — break ties on a unique field "
+           "(std::tie(key, index)) or use std::stable_sort"});
+    }
+  }
+}
+
+void check_locale_format(const SourceFile& f,
+                         std::vector<Finding>& findings) {
+  static const std::set<std::string> kParseFns = {
+      "stod", "stof", "stold", "strtod", "strtof", "strtold",
+      "atof",  "sscanf", "vsscanf", "setlocale"};
+  static const std::set<std::string> kFormatFns = {"snprintf", "sprintf",
+                                                   "vsnprintf"};
+  const bool interchange = f.rel.find("csv") != std::string::npos ||
+                           f.rel.find("export") != std::string::npos;
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (kParseFns.count(t.text) && t.next == '(') {
+      findings.push_back(
+          {f.rel, t.line, "locale-format",
+           "'" + t.text +
+               "' consults LC_NUMERIC (\"3.14\" parses as 3 under a "
+               "comma-decimal locale): use parse_double/parse_int from "
+               "common/numfmt.hpp"});
+    }
+    if (interchange && kFormatFns.count(t.text) && t.next == '(') {
+      findings.push_back(
+          {f.rel, t.line, "locale-format",
+           "'" + t.text +
+               "' float formatting consults LC_NUMERIC in an "
+               "interchange file: use format_double/format_int from "
+               "common/numfmt.hpp"});
+    }
+    if (interchange && t.text == "to_string" && i > 0 &&
+        f.tokens[i - 1].text == "std") {
+      findings.push_back(
+          {f.rel, t.line, "locale-format",
+           "'std::to_string' formats through the C locale machinery in "
+           "an interchange file: use format_double/format_int from "
+           "common/numfmt.hpp"});
+    }
+  }
+}
+
+void check_wall_clock(const SourceFile& f, std::vector<Finding>& findings) {
+  static const std::set<std::string> kClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  for (const auto& t : f.tokens) {
+    if (kClocks.count(t.text)) {
+      findings.push_back(
+          {f.rel, t.line, "wall-clock",
+           "'std::chrono::" + t.text +
+               "' in library code: simulated results must not depend on "
+               "when they run — derive time from the simulation clock "
+               "or seeds; real measurement code may suppress this with "
+               "a justifying comment"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_determinism_pass(const Repo& repo, std::vector<Finding>& findings) {
+  for (const auto& f : repo.files) {
+    if (!f.in_src()) continue;
+    check_unordered_iteration(f, findings);
+    check_parallel_accum(f, findings);
+    check_float_sort_key(f, findings);
+    check_locale_format(f, findings);
+    check_wall_clock(f, findings);
+  }
+}
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,87 @@
+// Style pass: the PR 1 lint rules, unchanged in spirit but now
+// suppression-aware like every other pass (suppressions are applied
+// centrally after all passes run).
+#include <set>
+
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+/// The final '_'-separated word of an identifier, trailing member
+/// underscore removed: "before_power_w" -> "w", "duration_" -> "duration".
+std::string last_word(const std::string& ident) {
+  std::string s = ident;
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  const auto pos = s.rfind('_');
+  return pos == std::string::npos ? s : s.substr(pos + 1);
+}
+
+bool is_bare_quantity_name(const std::string& ident) {
+  static const std::set<std::string> kBanned = {
+      "power",    "watts",     "temp",    "temperature", "celsius",
+      "freq",     "frequency", "hertz",   "duration",    "time",
+      "seconds",  "energy",    "joules",  "voltage",     "volts"};
+  return kBanned.count(last_word(ident)) > 0;
+}
+
+void lint_file(const SourceFile& f, std::vector<Finding>& findings) {
+  const bool in_src = f.in_src();
+  const bool check_pragma = f.header;
+  const bool check_double =
+      in_src && f.header && f.filename() != "units.hpp";
+  const bool check_rng = in_src && f.filename().rfind("rng.", 0) != 0;
+
+  if (check_pragma && f.code.find("#pragma once") == std::string::npos) {
+    findings.push_back(
+        {f.rel, 1, "pragma-once", "header is missing '#pragma once'"});
+  }
+
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (check_double && t.text == "double" && i + 1 < f.tokens.size()) {
+      const Token& name = f.tokens[i + 1];
+      if (is_bare_quantity_name(name.text)) {
+        findings.push_back(
+            {f.rel, name.line, "raw-double-quantity",
+             "'double " + name.text +
+                 "' in a public header: use a Quantity<Tag> strong type "
+                 "from common/units.hpp (or suffix the unit, e.g. " +
+                 name.text + "_w)"});
+      }
+    }
+    if (check_rng) {
+      if ((t.text == "rand" || t.text == "srand") && t.next == '(') {
+        findings.push_back({f.rel, t.line, "raw-rng",
+                            "'" + t.text +
+                                "()' breaks reproducibility: draw through "
+                                "common/rng.hpp instead"});
+      }
+      if (t.text == "random_device") {
+        findings.push_back({f.rel, t.line, "raw-rng",
+                            "'std::random_device' breaks reproducibility: "
+                            "draw through common/rng.hpp instead"});
+      }
+    }
+    if (in_src && t.text == "cout" && i > 0 &&
+        f.tokens[i - 1].text == "std") {
+      findings.push_back({f.rel, t.line, "cout-in-library",
+                          "'std::cout' in library code: return data or "
+                          "take an std::ostream& parameter"});
+    }
+    if (in_src && t.text == "assert" && t.next == '(') {
+      findings.push_back({f.rel, t.line, "bare-assert",
+                          "bare 'assert()': use GPUVAR_REQUIRE (argument "
+                          "checks) or GPUVAR_ASSERT (invariants)"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_style_pass(const Repo& repo, std::vector<Finding>& findings) {
+  for (const auto& f : repo.files) lint_file(f, findings);
+}
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,104 @@
+// Thread-safety pass: keeps the clang -Wthread-safety story honest.
+//
+// The analysis (tools/ci.sh thread-safety job) can only check what is
+// annotated, and it only understands capabilities it can see — a raw
+// std::mutex is invisible to it. Two rules close the gap:
+//
+//   raw-std-mutex     src/** uses gpuvar::Mutex / MutexLock
+//                     (common/mutex.hpp) instead of std::mutex and the
+//                     std lock wrappers, so every lock is a capability.
+//   unguarded-mutex   every mutex declared in src/** is named by at
+//                     least one GPUVAR_GUARDED_BY / GPUVAR_REQUIRES /
+//                     ... annotation in the same file — a mutex that
+//                     guards nothing is either dead or, worse, the
+//                     data it guards is unannotated.
+#include <set>
+
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+const std::set<std::string>& annotation_macros() {
+  static const std::set<std::string> kMacros = {
+      "GPUVAR_GUARDED_BY",  "GPUVAR_PT_GUARDED_BY", "GPUVAR_REQUIRES",
+      "GPUVAR_EXCLUDES",    "GPUVAR_ACQUIRE",       "GPUVAR_RELEASE",
+      "GPUVAR_TRY_ACQUIRE", "GPUVAR_RETURN_CAPABILITY"};
+  return kMacros;
+}
+
+void check_file(const SourceFile& f, std::vector<Finding>& findings) {
+  // The wrapper itself must touch std::mutex; everything else goes
+  // through it.
+  if (f.rel == "src/common/mutex.hpp") return;
+
+  // Names referenced by any annotation macro in this file.
+  std::set<std::string> annotated;
+  for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+    if (annotation_macros().count(f.tokens[i].text)) {
+      annotated.insert(f.tokens[i + 1].text);
+    }
+  }
+
+  static const std::set<std::string> kStdMutexTypes = {
+      "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+      "recursive_timed_mutex"};
+  static const std::set<std::string> kStdLockTypes = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    const bool after_std = i > 0 && f.tokens[i - 1].text == "std";
+
+    if (after_std && kStdMutexTypes.count(t.text)) {
+      findings.push_back(
+          {f.rel, t.line, "raw-std-mutex",
+           "'std::" + t.text +
+               "' is invisible to clang -Wthread-safety: use "
+               "gpuvar::Mutex from common/mutex.hpp"});
+    }
+    if (after_std && kStdLockTypes.count(t.text)) {
+      findings.push_back(
+          {f.rel, t.line, "raw-std-mutex",
+           "'std::" + t.text +
+               "' acquires no capability: use gpuvar::MutexLock from "
+               "common/mutex.hpp"});
+    }
+
+    // Mutex member/variable declarations: `Mutex name;` or
+    // `std::mutex name;` (initializer-free declarations — the shapes
+    // this codebase uses for members).
+    std::string declared;
+    if (t.text == "Mutex" && ident_start(t.next) &&
+        i + 1 < f.tokens.size() && f.tokens[i + 1].next == ';') {
+      declared = f.tokens[i + 1].text;
+    } else if (after_std && kStdMutexTypes.count(t.text) &&
+               i + 1 < f.tokens.size() && ident_start(t.next) &&
+               f.tokens[i + 1].next == ';') {
+      declared = f.tokens[i + 1].text;
+    }
+    if (!declared.empty() && !annotated.count(declared)) {
+      findings.push_back(
+          {f.rel, t.line, "unguarded-mutex",
+           "mutex '" + declared +
+               "' guards nothing: name it in a GPUVAR_GUARDED_BY / "
+               "GPUVAR_REQUIRES / GPUVAR_ACQUIRE annotation (see "
+               "common/thread_annotations.hpp) or delete it"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_thread_pass(const Repo& repo, std::vector<Finding>& findings) {
+  for (const auto& f : repo.files) {
+    if (f.in_src()) check_file(f, findings);
+  }
+}
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,46 @@
+// The analyzer's pluggable passes. Each pass walks the preprocessed
+// Repo and appends findings; suppressions are applied centrally
+// afterwards (core.hpp), so passes report everything they see.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "core.hpp"
+
+namespace gpuvar::analyzer {
+
+/// PR 1 conventions: raw-double-quantity, raw-rng, cout-in-library,
+/// bare-assert, pragma-once.
+void run_style_pass(const Repo& repo, std::vector<Finding>& findings);
+
+/// Include-graph layering over src/**: upward-include, include-cycle,
+/// unknown-module. The layer DAG (rank grows upward, same-rank groups
+/// may depend one-way on each other but never cyclically):
+///   common(0) -> stats(1) -> {gpu, thermal, hostbench}(2)
+///     -> telemetry(3) -> {cluster, workloads}(4) -> core(5)
+/// Files directly under src/ (the gpuvar.hpp umbrella) sit above core.
+void run_layering_pass(const Repo& repo, std::vector<Finding>& findings);
+
+/// Thread-safety annotation coverage: raw-std-mutex (use gpuvar::Mutex
+/// so clang -Wthread-safety sees a capability), unguarded-mutex (every
+/// mutex member must be named by at least one GPUVAR_GUARDED_BY /
+/// GPUVAR_REQUIRES / GPUVAR_ACQUIRE... annotation in the same file).
+void run_thread_pass(const Repo& repo, std::vector<Finding>& findings);
+
+/// Determinism hygiene: unordered-iteration, parallel-accum,
+/// float-sort-key, locale-format, wall-clock.
+void run_determinism_pass(const Repo& repo, std::vector<Finding>& findings);
+
+/// DOT dump of the module-level include graph (for DESIGN.md).
+void write_layering_dot(const Repo& repo, std::ostream& out);
+
+struct PassInfo {
+  const char* name;
+  void (*run)(const Repo&, std::vector<Finding>&);
+};
+
+/// All passes, in the order a full run executes them.
+const std::vector<PassInfo>& all_passes();
+
+}  // namespace gpuvar::analyzer

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # CI entry point: warnings-as-errors build + full test suite + lint,
-# then the same suite under ASan/UBSan and TSan.
+# the same suite under ASan/UBSan and TSan, the gpuvar-analyzer report,
+# and the clang -Wthread-safety check.
 #
-#   tools/ci.sh            run everything
-#   tools/ci.sh build      plain build + ctest (includes lint)
-#   tools/ci.sh asan       AddressSanitizer + UndefinedBehaviorSanitizer job
-#   tools/ci.sh tsan       ThreadSanitizer job (ThreadPool-heavy tests)
+#   tools/ci.sh                run everything
+#   tools/ci.sh build          plain build + ctest (includes lint)
+#   tools/ci.sh asan           AddressSanitizer + UBSan job
+#   tools/ci.sh tsan           ThreadSanitizer job (ThreadPool-heavy tests)
+#   tools/ci.sh analyzer       full gpuvar-analyzer run; archives the JSON
+#                              report and layering DOT under build-ci/
+#   tools/ci.sh thread-safety  clang -Werror=thread-safety syntax-only
+#                              compile of src/** (skipped when clang++ is
+#                              not installed — the GPUVAR_* annotations
+#                              expand to nothing elsewhere)
 #
 # Each job configures into its own build directory (build-ci, build-asan,
 # build-tsan) so the developer's incremental ./build tree is untouched.
@@ -49,18 +56,50 @@ job_tsan() {
     -R 'ThreadPool|Runner|Experiment|Scheduler|Integration'
 }
 
+job_analyzer() {
+  echo "=== job: analyzer (gpuvar-analyzer, JSON + DOT archived) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  cmake --build build-ci -j "$JOBS" --target gpuvar_analyzer
+  ./build-ci/tools/gpuvar-analyzer . \
+    --json build-ci/gpuvar-analyzer.json \
+    --dot build-ci/include_graph.dot
+  echo "analyzer report: build-ci/gpuvar-analyzer.json"
+}
+
+job_thread_safety() {
+  echo "=== job: thread-safety (clang -Werror=thread-safety) ==="
+  if ! command -v clang++ > /dev/null 2>&1; then
+    echo "clang++ not installed; skipping (annotations are no-ops under"
+    echo "other compilers — this job needs clang's -Wthread-safety)."
+    return 0
+  fi
+  # Syntax-only compile of every library TU with the analysis promoted
+  # to an error: a guarded member touched without its mutex fails CI.
+  local failed=0
+  while IFS= read -r tu; do
+    clang++ -std=c++20 -fsyntax-only -Isrc \
+      -Wthread-safety -Werror=thread-safety "$tu" || failed=1
+  done < <(find src -name '*.cpp' | sort)
+  [ "$failed" -eq 0 ] && echo "thread-safety: src/** clean"
+  return "$failed"
+}
+
 case "${1:-all}" in
   build) job_build ;;
   asan) job_asan ;;
   tsan) job_tsan ;;
+  analyzer) job_analyzer ;;
+  thread-safety) job_thread_safety ;;
   all)
     job_build
+    job_analyzer
+    job_thread_safety
     job_asan
     job_tsan
     echo "=== all CI jobs passed ==="
     ;;
   *)
-    echo "usage: tools/ci.sh [build|asan|tsan|all]" >&2
+    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|thread-safety|all]" >&2
     exit 2
     ;;
 esac

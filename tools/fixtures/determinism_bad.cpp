@@ -1,0 +1,54 @@
+// Deliberately broken source file for the determinism pass self-test
+// (lives under fixtures/, which the tree scan skips). Every
+// determinism rule fires exactly once; the decoys in comments and
+// string literals must not.
+//
+// Decoy (comment): std::stod( steady_clock for (auto& kv : totals)
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gpuvar {
+
+struct Row {
+  double score = 0.0;
+  int gpu_index = 0;
+};
+
+double bad_total(const std::unordered_map<int, double>& totals) {
+  const std::string decoy = "std::stod( steady_clock : totals)";
+  double sum = 0.0;
+  // unordered-iteration: hash order decides FP summation order.
+  for (const auto& kv : totals) sum += kv.second;
+  return sum;
+}
+
+double bad_parallel_sum(ThreadPool& pool,
+                        const std::vector<double>& weights) {
+  double total = 0.0;
+  // parallel-accum: schedule-dependent FP accumulation into a capture.
+  pool.parallel_for(weights.size(),
+                    [&](std::size_t i) { total += weights[i]; });
+  return total;
+}
+
+void bad_rank(std::vector<Row>& rows) {
+  // float-sort-key: equal scores leave the order unspecified.
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.score < b.score; });
+}
+
+double bad_parse(const std::string& text) {
+  // locale-format: stod consults LC_NUMERIC.
+  return std::stod(text);
+}
+
+double bad_now() {
+  // wall-clock: results must not depend on when they run.
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,8 @@
+// upward-include: common (rank 0) reaching into stats (rank 1).
+#pragma once
+
+#include "stats/robust.hpp"
+
+namespace gpuvar::fixture {
+inline int bad_up() { return robust(); }
+}  // namespace gpuvar::fixture

@@ -1,0 +1,8 @@
+// Layering self-test fixture tree: a miniature src/ with one upward
+// include, one include cycle, and one unregistered module. The real
+// tree scan skips fixtures/; only --fixture-tree reads this.
+#pragma once
+
+namespace gpuvar::fixture {
+inline int base() { return 0; }
+}  // namespace gpuvar::fixture

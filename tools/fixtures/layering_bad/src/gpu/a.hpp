@@ -1,0 +1,8 @@
+// Half of the include cycle: a -> b -> a.
+#pragma once
+
+#include "gpu/b.hpp"
+
+namespace gpuvar::fixture {
+inline int a() { return 1; }
+}  // namespace gpuvar::fixture

@@ -1,0 +1,8 @@
+// Other half of the include cycle: b -> a -> b.
+#pragma once
+
+#include "gpu/a.hpp"
+
+namespace gpuvar::fixture {
+inline int b() { return 2; }
+}  // namespace gpuvar::fixture

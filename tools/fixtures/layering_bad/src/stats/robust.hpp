@@ -1,0 +1,8 @@
+// Legal downward edge: stats (rank 1) -> common (rank 0).
+#pragma once
+
+#include "common/base.hpp"
+
+namespace gpuvar::fixture {
+inline int robust() { return base(); }
+}  // namespace gpuvar::fixture

@@ -1,0 +1,6 @@
+// unknown-module: src/widgets/ is not a registered layer.
+#pragma once
+
+namespace gpuvar::fixture {
+inline int w() { return 3; }
+}  // namespace gpuvar::fixture

@@ -1,0 +1,26 @@
+// Suppression self-test fixture (lives under fixtures/, which the tree
+// scan skips). Every violation below carries a gpuvar-lint allow()
+// comment — same-line and line-above forms, a PR 1 style rule and a
+// determinism rule — so none of them may fire. The one expected
+// finding is `unknown-rule`: allow() naming a rule the analyzer does
+// not have must itself be reported, never silently ignored.
+#include <chrono>
+#include <iostream>
+
+namespace gpuvar {
+
+inline void progress_bar() {
+  // Interactive progress output is allowed to own stdout here.
+  std::cout << "...\n";  // gpuvar-lint: allow(cout-in-library)
+}
+
+inline double benchmark_once() {
+  // gpuvar-lint: allow(wall-clock) — real measurement, line-above form
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+// gpuvar-lint: allow(not-a-real-rule)
+inline int typo_target() { return 0; }
+
+}  // namespace gpuvar

@@ -1,0 +1,28 @@
+// Deliberately broken header for the thread-safety pass self-test
+// (lives under fixtures/, which the tree scan skips). Expected:
+// raw-std-mutex and unguarded-mutex fire exactly once each; the
+// annotated gpuvar::Mutex below and the decoys in comments must not.
+//
+// Decoy (comment): std::mutex commented_mu_;
+#pragma once
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace gpuvar {
+
+class BadCache {
+ public:
+  int hits() const;
+
+ private:
+  // raw-std-mutex (invisible to clang -Wthread-safety) AND
+  // unguarded-mutex (no annotation names it) — one line, two rules.
+  std::mutex legacy_mu_;
+
+  // Correct pattern: a capability plus data annotated against it.
+  Mutex mu_;
+  int hits_ GPUVAR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gpuvar
