@@ -1,0 +1,145 @@
+// Micro-benchmarks for the columnar RecordFrame (google-benchmark):
+// AoS rows vs SoA columns on the three hot paths of the analysis
+// pipeline — column extraction, per-GPU aggregation, and frame
+// construction — plus the bytes-per-record memory story. The *_Rows
+// variants drive the deprecated row-oriented implementations that the
+// frame replaces; the acceptance bar is >= 2x on extraction and
+// aggregation at >= 100k records.
+#include <benchmark/benchmark.h>
+
+#include "gpuvar.hpp"
+
+namespace {
+
+using gpuvar::Metric;
+using gpuvar::RecordFrame;
+using gpuvar::RunRecord;
+
+/// Synthetic campaign: `gpus` GPUs x `runs` runs, run-major like the
+/// experiment runner emits, with realistic string names per location.
+std::vector<RunRecord> synth_records(std::size_t gpus, int runs) {
+  gpuvar::Rng rng(0xF0A);
+  std::vector<RunRecord> out;
+  out.reserve(gpus * static_cast<std::size_t>(runs));
+  for (int run = 0; run < runs; ++run) {
+    for (std::size_t g = 0; g < gpus; ++g) {
+      RunRecord r;
+      r.gpu_index = g;
+      r.loc.node = static_cast<int>(g / 4);
+      r.loc.gpu = static_cast<int>(g % 4);
+      r.loc.cabinet = static_cast<int>(g / 16);
+      r.loc.name = "c" + std::to_string(g / 16) + "-" +
+                   std::to_string((g / 4) % 4) + "-gpu" +
+                   std::to_string(g % 4);
+      r.run_index = run;
+      r.day_of_week = static_cast<int>(g % 7);
+      r.perf_ms = rng.normal(2500.0, 40.0);
+      r.freq_mhz = rng.normal(1390.0, 12.0);
+      r.power_w = rng.normal(300.0, 5.0);
+      r.temp_c = rng.normal(62.0, 4.0);
+      r.counters.fu_util = rng.uniform(0.4, 0.9);
+      r.counters.dram_util = rng.uniform(0.1, 0.6);
+      r.counters.mem_stall_frac = rng.uniform(0.05, 0.3);
+      r.counters.exec_stall_frac = rng.uniform(0.05, 0.3);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+constexpr int kRuns = 4;
+
+std::size_t gpus_for(benchmark::State& state) {
+  return static_cast<std::size_t>(state.range(0)) / kRuns;
+}
+
+// --- column extraction ----------------------------------------------------
+
+void BM_ColumnExtract_Rows(benchmark::State& state) {
+  const auto records = synth_records(gpus_for(state), kRuns);
+  double sink = 0.0;
+  for (auto _ : state) {
+    // The deprecated path: allocate + copy per extraction.
+    const auto col = gpuvar::metric_column(
+        std::span<const RunRecord>(records), Metric::kPerf);
+    for (double v : col) sink += v;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ColumnExtract_Rows)->Arg(100000)->Arg(400000);
+
+void BM_ColumnExtract_Frame(benchmark::State& state) {
+  const auto frame =
+      RecordFrame::from_records(synth_records(gpus_for(state), kRuns));
+  double sink = 0.0;
+  for (auto _ : state) {
+    // Zero-copy span view over the contiguous column.
+    const auto col = gpuvar::metric_column(frame, Metric::kPerf);
+    for (double v : col) sink += v;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_ColumnExtract_Frame)->Arg(100000)->Arg(400000);
+
+// --- per-GPU aggregation --------------------------------------------------
+
+void BM_PerGpuMedians_Rows(benchmark::State& state) {
+  const auto records = synth_records(gpus_for(state), kRuns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gpuvar::per_gpu_medians(std::span<const RunRecord>(records)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_PerGpuMedians_Rows)->Arg(100000)->Arg(400000);
+
+void BM_PerGpuMedians_Frame(benchmark::State& state) {
+  const auto frame =
+      RecordFrame::from_records(synth_records(gpus_for(state), kRuns));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuvar::per_gpu_medians(frame));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_PerGpuMedians_Frame)->Arg(100000)->Arg(400000);
+
+// --- frame construction ---------------------------------------------------
+
+void BM_FrameBuild(benchmark::State& state) {
+  const auto records = synth_records(gpus_for(state), kRuns);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RecordFrame::from_records(std::span<const RunRecord>(records)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_FrameBuild)->Arg(100000)->Arg(400000);
+
+// --- memory footprint (reported as bytes/record counters) -----------------
+
+void BM_MemoryBytesPerRecord(benchmark::State& state) {
+  const auto records = synth_records(gpus_for(state), kRuns);
+  const auto frame = RecordFrame::from_records(records);
+  std::size_t row_bytes = records.capacity() * sizeof(RunRecord);
+  for (const auto& r : records) row_bytes += r.loc.name.capacity();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.memory_bytes());
+  }
+  const double n = static_cast<double>(records.size());
+  state.counters["rows_bytes_per_record"] =
+      static_cast<double>(row_bytes) / n;
+  state.counters["frame_bytes_per_record"] =
+      static_cast<double>(frame.memory_bytes()) / n;
+}
+BENCHMARK(BM_MemoryBytesPerRecord)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -103,10 +103,10 @@ void usage(std::ostream& err) {
          "  gpuvar drift FILE.csv\n";
 }
 
-std::vector<RunRecord> load_records(const std::string& path) {
+RecordFrame load_frame(const std::string& path) {
   std::ifstream in(path);
   GPUVAR_REQUIRE_MSG(in.good(), "cannot open " + path);
-  return import_results_csv(in);
+  return import_results_frame(in);
 }
 
 int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
@@ -128,7 +128,7 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
       << cluster.size() << " GPUs)...\n";
   const auto result = run_experiment(cluster, cfg);
   print_section(out, "variability");
-  print_variability_table(out, analyze_variability(result.records));
+  print_variability_table(out, analyze_variability(result.frame));
 
   const std::string out_path = args.get("out", "");
   if (!out_path.empty()) {
@@ -152,30 +152,30 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
 
 int cmd_analyze(const ParsedArgs& args, std::ostream& out) {
   GPUVAR_REQUIRE_MSG(!args.positional.empty(), "analyze needs a CSV path");
-  const auto records = load_records(args.positional.front());
-  GPUVAR_REQUIRE_MSG(!records.empty(), "no records in CSV");
-  out << "loaded " << records.size() << " records\n";
+  const auto frame = load_frame(args.positional.front());
+  GPUVAR_REQUIRE_MSG(!frame.empty(), "no records in CSV");
+  out << "loaded " << frame.size() << " records\n";
   print_section(out, "variability");
-  print_variability_table(out, analyze_variability(records));
+  print_variability_table(out, analyze_variability(frame));
   print_section(out, "correlations");
-  print_correlation_table(out, correlate_metrics(records));
+  print_correlation_table(out, correlate_metrics(frame));
 
   const std::string group = args.get("group", "cabinet");
   const GroupBy g = group == "node"  ? GroupBy::kNode
                     : group == "row" ? GroupBy::kRow
                                      : GroupBy::kCabinet;
   print_section(out, "performance by " + group);
-  print_group_boxes(out, records, Metric::kPerf, g);
+  print_group_boxes(out, frame, Metric::kPerf, g);
   return 0;
 }
 
 int cmd_flag(const ParsedArgs& args, std::ostream& out) {
   GPUVAR_REQUIRE_MSG(!args.positional.empty(), "flag needs a CSV path");
-  const auto records = load_records(args.positional.front());
+  const auto frame = load_frame(args.positional.front());
   FlagOptions opts;
   opts.slowdown_temp = Celsius{args.get_num("slowdown-temp", 1e9)};
   print_section(out, "operator early-warning report");
-  print_flags(out, flag_anomalies(records, opts));
+  print_flags(out, flag_anomalies(frame, opts));
   return 0;
 }
 
@@ -183,8 +183,8 @@ int cmd_project(const ParsedArgs& args, std::ostream& out) {
   GPUVAR_REQUIRE_MSG(!args.positional.empty(), "project needs a CSV path");
   const auto target = static_cast<std::size_t>(args.get_num("target", 0));
   GPUVAR_REQUIRE_MSG(target >= 2, "project needs --target N");
-  const auto records = load_records(args.positional.front());
-  const auto proj = project_to_cluster_size(records, target);
+  const auto frame = load_frame(args.positional.front());
+  const auto proj = project_to_cluster_size(frame, target);
   out << "measured variation at " << proj.source_gpus
       << " GPUs: " << proj.source_variation_pct << "%\n"
       << "projected variation at " << proj.target_gpus
@@ -194,19 +194,19 @@ int cmd_project(const ParsedArgs& args, std::ostream& out) {
 
 int cmd_report(const ParsedArgs& args, std::ostream& out) {
   GPUVAR_REQUIRE_MSG(!args.positional.empty(), "report needs a CSV path");
-  const auto records = load_records(args.positional.front());
+  const auto frame = load_frame(args.positional.front());
   MarkdownReportOptions opts;
   opts.title = args.get("title", "Variability campaign report");
   opts.slowdown_temp = Celsius{args.get_num("slowdown-temp", 1e9)};
-  write_markdown_report(out, records, opts);
+  write_markdown_report(out, frame, opts);
   return 0;
 }
 
 int cmd_compare(const ParsedArgs& args, std::ostream& out) {
   GPUVAR_REQUIRE_MSG(args.positional.size() >= 2,
                      "compare needs BEFORE.csv AFTER.csv");
-  const auto before = load_records(args.positional[0]);
-  const auto after = load_records(args.positional[1]);
+  const auto before = load_frame(args.positional[0]);
+  const auto after = load_frame(args.positional[1]);
   const auto cmp = compare_campaigns(before, after);
   out << "matched " << cmp.matched_gpus << " GPUs (" << cmp.only_before
       << " only-before, " << cmp.only_after << " only-after)\n"
@@ -230,17 +230,17 @@ int cmd_compare(const ParsedArgs& args, std::ostream& out) {
 
 int cmd_drift(const ParsedArgs& args, std::ostream& out) {
   GPUVAR_REQUIRE_MSG(!args.positional.empty(), "drift needs a CSV path");
-  const auto records = load_records(args.positional.front());
+  const auto frame = load_frame(args.positional.front());
   // Drift needs a history: at least one GPU with multiple runs.
   bool has_history = false;
-  std::map<std::string, int> counts;
-  for (const auto& r : records) {
-    if (++counts[r.loc.name] >= 2) has_history = true;
+  const auto groups = group_rows_by_gpu(frame);
+  for (std::uint32_t id : groups.order) {
+    if (groups.offsets[id + 1] - groups.offsets[id] >= 2) has_history = true;
   }
   GPUVAR_REQUIRE_MSG(has_history,
                      "drift needs repeated runs per GPU (a history)");
-  out << "run noise sigma: " << estimate_run_noise_ms(records) << " ms\n";
-  const auto flags = detect_performance_drift(records);
+  out << "run noise sigma: " << estimate_run_noise_ms(frame) << " ms\n";
+  const auto flags = detect_performance_drift(frame);
   if (flags.empty()) {
     out << "no drift detected\n";
   }

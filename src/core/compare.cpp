@@ -13,6 +13,13 @@ namespace gpuvar {
 CampaignComparison compare_campaigns(std::span<const RunRecord> before,
                                      std::span<const RunRecord> after,
                                      const CompareOptions& options) {
+  return compare_campaigns(RecordFrame::from_records(before),
+                           RecordFrame::from_records(after), options);
+}
+
+CampaignComparison compare_campaigns(const RecordFrame& before,
+                                     const RecordFrame& after,
+                                     const CompareOptions& options) {
   GPUVAR_REQUIRE(!before.empty() && !after.empty());
   GPUVAR_REQUIRE(options.significance_sigmas > 0.0);
 

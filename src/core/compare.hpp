@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/record.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 
@@ -47,7 +48,11 @@ struct CompareOptions {
 
 /// Matches records by GPU name. Requires each campaign to be non-empty
 /// and at least one GPU to appear in both.
-CampaignComparison compare_campaigns(std::span<const RunRecord> before,
+CampaignComparison compare_campaigns(const RecordFrame& before,
+                                     const RecordFrame& after,
+                                     const CompareOptions& options = {});
+/// Deprecated row-oriented adapter.
+CampaignComparison compare_campaigns(std::span<const RunRecord> before,  // gpuvar-lint: allow(row-record-param)
                                      std::span<const RunRecord> after,
                                      const CompareOptions& options = {});
 

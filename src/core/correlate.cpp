@@ -5,27 +5,37 @@
 
 namespace gpuvar {
 
-MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,
+MetricCorrelation correlate_pair(const RecordFrame& frame, Metric x,
                                  Metric y) {
-  GPUVAR_REQUIRE(records.size() >= 2);
+  GPUVAR_REQUIRE(frame.size() >= 2);
   MetricCorrelation out;
   out.x = x;
   out.y = y;
-  const auto xs = metric_column(records, x);
-  const auto ys = metric_column(records, y);
+  // Zero-copy column views; the stats layer takes spans directly.
+  const auto xs = metric_column(frame, x);
+  const auto ys = metric_column(frame, y);
   out.rho = stats::pearson(xs, ys);
   out.spearman = stats::spearman(xs, ys);
   out.strength = stats::correlation_strength(out.rho);
   return out;
 }
 
-CorrelationReport correlate_metrics(std::span<const RunRecord> records) {
+MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,
+                                 Metric y) {
+  return correlate_pair(RecordFrame::from_records(records), x, y);
+}
+
+CorrelationReport correlate_metrics(const RecordFrame& frame) {
   CorrelationReport r;
-  r.perf_temp = correlate_pair(records, Metric::kTemp, Metric::kPerf);
-  r.perf_power = correlate_pair(records, Metric::kPower, Metric::kPerf);
-  r.perf_freq = correlate_pair(records, Metric::kFreq, Metric::kPerf);
-  r.power_temp = correlate_pair(records, Metric::kTemp, Metric::kPower);
+  r.perf_temp = correlate_pair(frame, Metric::kTemp, Metric::kPerf);
+  r.perf_power = correlate_pair(frame, Metric::kPower, Metric::kPerf);
+  r.perf_freq = correlate_pair(frame, Metric::kFreq, Metric::kPerf);
+  r.power_temp = correlate_pair(frame, Metric::kTemp, Metric::kPower);
   return r;
+}
+
+CorrelationReport correlate_metrics(std::span<const RunRecord> records) {
+  return correlate_metrics(RecordFrame::from_records(records));
 }
 
 }  // namespace gpuvar

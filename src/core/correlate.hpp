@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/record.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 
@@ -30,9 +31,14 @@ struct CorrelationReport {
   }
 };
 
-MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,
+/// Correlates two metric columns of the frame (zero-copy span views).
+MetricCorrelation correlate_pair(const RecordFrame& frame, Metric x, Metric y);
+/// Deprecated row-oriented adapter.
+MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,  // gpuvar-lint: allow(row-record-param)
                                  Metric y);
 
-CorrelationReport correlate_metrics(std::span<const RunRecord> records);
+CorrelationReport correlate_metrics(const RecordFrame& frame);
+/// Deprecated row-oriented adapter.
+CorrelationReport correlate_metrics(std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 }  // namespace gpuvar

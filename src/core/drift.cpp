@@ -2,21 +2,43 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <utility>
 
 #include "common/require.hpp"
 #include "stats/quantile.hpp"
 
 namespace gpuvar {
 
-double estimate_run_noise_ms(std::span<const RunRecord> records) {
-  std::map<std::size_t, std::vector<std::pair<int, double>>> by_gpu;
-  for (const auto& r : records) {
-    by_gpu[r.gpu_index].emplace_back(r.run_index, r.perf_ms);
+namespace {
+
+/// One GPU's (run_index, perf_ms) history in chronological order,
+/// gathered from the frame's grouped row indices. Sorting the pairs
+/// lexicographically matches the legacy row path exactly (ties on
+/// run_index fall back to perf).
+std::vector<std::pair<int, double>> gpu_history(const RecordFrame& frame,
+                                                const GpuRowGroups& groups,
+                                                std::uint32_t id) {
+  const auto perf = frame.perf_ms();
+  const auto run = frame.run_indices();
+  std::vector<std::pair<int, double>> out;
+  const std::size_t begin = groups.offsets[id];
+  const std::size_t end = groups.offsets[id + 1];
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t row = groups.rows[i];
+    out.emplace_back(run[row], perf[row]);
   }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+double estimate_run_noise_ms(const RecordFrame& frame) {
+  const auto groups = group_rows_by_gpu(frame);
   std::vector<double> abs_diffs;
-  for (auto& [gpu, runs] : by_gpu) {
-    std::sort(runs.begin(), runs.end());
+  for (std::uint32_t id : groups.order) {
+    const auto runs = gpu_history(frame, groups, id);
     for (std::size_t i = 1; i < runs.size(); ++i) {
       abs_diffs.push_back(std::abs(runs[i].second - runs[i - 1].second));
     }
@@ -28,26 +50,24 @@ double estimate_run_noise_ms(std::span<const RunRecord> records) {
   return stats::median(abs_diffs) * 1.4826 / std::sqrt(2.0);
 }
 
-std::vector<DriftFlag> detect_performance_drift(
-    std::span<const RunRecord> records, const DriftOptions& options) {
-  GPUVAR_REQUIRE(!records.empty());
+double estimate_run_noise_ms(std::span<const RunRecord> records) {
+  return estimate_run_noise_ms(RecordFrame::from_records(records));
+}
+
+std::vector<DriftFlag> detect_performance_drift(const RecordFrame& frame,
+                                                const DriftOptions& options) {
+  GPUVAR_REQUIRE(!frame.empty());
   GPUVAR_REQUIRE(options.ewma_alpha > 0.0 && options.ewma_alpha <= 1.0);
   GPUVAR_REQUIRE(options.baseline_runs >= 1);
   GPUVAR_REQUIRE(options.min_runs > options.baseline_runs);
 
-  const double noise_sigma = estimate_run_noise_ms(records);
-
-  std::map<std::size_t, std::vector<std::pair<int, double>>> by_gpu;
-  std::map<std::size_t, std::string> names;
-  for (const auto& r : records) {
-    by_gpu[r.gpu_index].emplace_back(r.run_index, r.perf_ms);
-    names[r.gpu_index] = r.loc.name;
-  }
+  const double noise_sigma = estimate_run_noise_ms(frame);
+  const auto groups = group_rows_by_gpu(frame);
 
   std::vector<DriftFlag> flags;
-  for (auto& [gpu, runs] : by_gpu) {
+  for (std::uint32_t id : groups.order) {
+    const auto runs = gpu_history(frame, groups, id);
     if (static_cast<int>(runs.size()) < options.min_runs) continue;
-    std::sort(runs.begin(), runs.end());
 
     std::vector<double> early;
     for (int i = 0; i < options.baseline_runs; ++i) {
@@ -71,9 +91,10 @@ std::vector<DriftFlag> detect_performance_drift(
                               : (drift == 0.0 ? 0.0 : 1e18);
     if (sigmas >= options.threshold_sigmas &&
         std::abs(drift) / baseline >= options.min_drift_fraction) {
+      const GpuRef& g = frame.gpu(id);
       DriftFlag f;
-      f.gpu_index = gpu;
-      f.name = names[gpu];
+      f.gpu_index = g.gpu_index;
+      f.name = g.loc.name;
       f.runs = static_cast<int>(runs.size());
       f.baseline_ms = baseline;
       f.recent_ewma_ms = ewma;
@@ -90,6 +111,11 @@ std::vector<DriftFlag> detect_performance_drift(
               return ka != kb ? ka > kb : a.gpu_index < b.gpu_index;
             });
   return flags;
+}
+
+std::vector<DriftFlag> detect_performance_drift(
+    std::span<const RunRecord> records, const DriftOptions& options) {
+  return detect_performance_drift(RecordFrame::from_records(records), options);
 }
 
 }  // namespace gpuvar

@@ -31,32 +31,29 @@ ExperimentResult run_experiment(const Cluster& cluster,
                        ? static_cast<std::uint64_t>(config.day_of_week) + 1
                        : 0);
 
-  // One result bucket per node job: threads never share a bucket, and
-  // the buckets are concatenated in allocation order below, so the
-  // record stream is identical whatever the pool size or schedule.
-  std::vector<std::vector<RunRecord>> buckets(allocations.size());
+  // One frame bucket per node job: threads never share a bucket, and
+  // finish() merges the buckets in allocation order, so the frame's row
+  // stream is identical whatever the pool size or schedule.
+  FrameBuilder builder(allocations.size());
   ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
   pool.parallel_for(allocations.size(), [&](std::size_t ai) {
     const auto& alloc = allocations[ai];
-    auto& bucket = buckets[ai];
+    auto& bucket = builder.bucket(ai);
     for (int run = 0; run < config.runs_per_gpu; ++run) {
       const auto results =
           run_on_node(cluster, alloc.node, config.workload, run, opts);
       for (const auto& res : results) {
-        bucket.push_back(to_record(cluster, res, config.day_of_week));
+        bucket.append_row(to_record(cluster, res, config.day_of_week));
       }
     }
   });
 
   ExperimentResult out;
   out.nodes_measured = allocations.size();
-  std::size_t total = 0;
-  for (const auto& b : buckets) total += b.size();
-  out.records.reserve(total);
-  for (auto& b : buckets) {
-    out.records.insert(out.records.end(), b.begin(), b.end());
-  }
-  out.gpus_measured = per_gpu_medians(out.records).size();
+  out.frame = builder.finish();
+  // Distinct-GPU count straight off the interned pool — no aggregation.
+  out.gpus_measured = out.frame.gpu_count();
+  out.records = out.frame.to_records();  // deprecated row adapter
   return out;
 }
 

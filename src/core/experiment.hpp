@@ -13,6 +13,7 @@
 #include "cluster/cluster.hpp"
 #include "common/thread_pool.hpp"
 #include "core/record.hpp"
+#include "telemetry/frame.hpp"
 #include "workloads/runner.hpp"
 #include "workloads/workload.hpp"
 
@@ -37,7 +38,11 @@ struct ExperimentConfig {
 };
 
 struct ExperimentResult {
-  std::vector<RunRecord> records;
+  /// The canonical columnar interchange: every analysis takes this.
+  RecordFrame frame;
+  /// Deprecated row-oriented adapter, materialized from `frame` for one
+  /// deprecation cycle so existing bench/figure programs keep compiling.
+  std::vector<RunRecord> records;  // gpuvar-lint: allow(row-record-param)
   std::size_t gpus_measured = 0;
   std::size_t nodes_measured = 0;
 };

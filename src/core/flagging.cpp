@@ -42,8 +42,13 @@ double outside_distance(const stats::BoxSummary& box, double x) {
 
 FlagReport flag_anomalies(std::span<const RunRecord> records,
                           const FlagOptions& options) {
-  GPUVAR_REQUIRE(!records.empty());
-  const auto gpus = per_gpu_medians(records);
+  return flag_anomalies(RecordFrame::from_records(records), options);
+}
+
+FlagReport flag_anomalies(const RecordFrame& frame,
+                          const FlagOptions& options) {
+  GPUVAR_REQUIRE(!frame.empty());
+  const auto gpus = per_gpu_medians(frame);
 
   std::vector<double> perf, power, temp;
   perf.reserve(gpus.size());

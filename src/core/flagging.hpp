@@ -23,6 +23,7 @@
 
 #include "cluster/cluster.hpp"
 #include "core/record.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 
@@ -63,8 +64,11 @@ struct FlagOptions {
   Celsius slowdown_temp{1e9};
 };
 
-/// Flags anomalies within one experiment's records.
-FlagReport flag_anomalies(std::span<const RunRecord> records,
+/// Flags anomalies within one experiment's frame.
+FlagReport flag_anomalies(const RecordFrame& frame,
+                          const FlagOptions& options = {});
+/// Deprecated row-oriented adapter.
+FlagReport flag_anomalies(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                           const FlagOptions& options = {});
 
 /// Cross-experiment flagging: GPUs flagged in >= `min_experiments` of the

@@ -88,21 +88,20 @@ ExperimentResult run_under_assignment(const Cluster& cluster,
   GPUVAR_REQUIRE(assignment.limits.size() == cluster.size());
   GPUVAR_REQUIRE(runs_per_gpu >= 1);
 
-  std::vector<std::vector<RunRecord>> buckets(cluster.size());
+  FrameBuilder builder(cluster.size());
   parallel_for(cluster.size(), [&](std::size_t gi) {
     RunOptions opts = RunOptions::for_sku(cluster.sku());
     opts.power_limit_override = assignment.limits[gi];
     for (int run = 0; run < runs_per_gpu; ++run) {
       const auto res = run_on_gpu(cluster, gi, workload, run, opts);
-      buckets[gi].push_back(to_record(cluster, res));
+      builder.bucket(gi).append_row(to_record(cluster, res));
     }
   });
 
   ExperimentResult out;
   out.nodes_measured = static_cast<std::size_t>(cluster.node_count());
-  for (auto& b : buckets) {
-    out.records.insert(out.records.end(), b.begin(), b.end());
-  }
+  out.frame = builder.finish();
+  out.records = out.frame.to_records();  // deprecated row adapter
   out.gpus_measured = cluster.size();
   return out;
 }

@@ -52,8 +52,13 @@ std::string markdown_variability_table(const VariabilityReport& report) {
 void write_markdown_report(std::ostream& out,
                            std::span<const RunRecord> records,
                            const MarkdownReportOptions& options) {
-  GPUVAR_REQUIRE(!records.empty());
-  const auto report = analyze_variability(records);
+  write_markdown_report(out, RecordFrame::from_records(records), options);
+}
+
+void write_markdown_report(std::ostream& out, const RecordFrame& frame,
+                           const MarkdownReportOptions& options) {
+  GPUVAR_REQUIRE(!frame.empty());
+  const auto report = analyze_variability(frame);
 
   out << "# " << markdown_escape(options.title) << "\n\n"
       << report.records << " runs across " << report.gpus << " GPUs.\n\n";
@@ -61,7 +66,7 @@ void write_markdown_report(std::ostream& out,
   out << "## Variability\n\n" << markdown_variability_table(report) << "\n";
 
   if (options.bootstrap_resamples > 0 && report.gpus >= 3) {
-    const auto gpus = per_gpu_medians(records);
+    const auto gpus = per_gpu_medians(frame);
     std::vector<double> perf;
     for (const auto& g : gpus) perf.push_back(g.perf_ms);
     const auto ci = stats::bootstrap_ci(perf, stats::variation_pct_statistic,
@@ -76,7 +81,7 @@ void write_markdown_report(std::ostream& out,
 
   out << "## Correlations\n\n"
       << "| pair | Pearson | Spearman | strength |\n|---|---|---|---|\n";
-  const auto corr = correlate_metrics(records);
+  const auto corr = correlate_metrics(frame);
   for (const auto* c : corr.all()) {
     char buf[160];
     std::snprintf(buf, sizeof(buf), "| %s vs %s | %+.2f | %+.2f | %s |\n",
@@ -89,7 +94,7 @@ void write_markdown_report(std::ostream& out,
   out << "## Per-group breakdown\n\n"
       << "| group | GPUs | perf median (ms) | perf variation | power "
          "outliers |\n|---|---|---|---|---|\n";
-  for (const auto& [key, rep] : variability_by_group(records, options.group)) {
+  for (const auto& [key, rep] : variability_by_group(frame, options.group)) {
     char buf[160];
     std::snprintf(buf, sizeof(buf), "| %s | %zu | %.1f | %.2f%% | %zu |\n",
                   group_label(options.group, key).c_str(), rep.gpus,
@@ -103,7 +108,7 @@ void write_markdown_report(std::ostream& out,
     out << "## Operator flags\n\n";
     FlagOptions fopts;
     fopts.slowdown_temp = options.slowdown_temp;
-    const auto flags = flag_anomalies(records, fopts);
+    const auto flags = flag_anomalies(frame, fopts);
     if (flags.gpus.empty() && flags.cabinets.empty()) {
       out << "No anomalies flagged.\n";
     } else {

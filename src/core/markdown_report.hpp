@@ -26,9 +26,12 @@ struct MarkdownReportOptions {
   int bootstrap_resamples = 500;
 };
 
-/// Writes the full markdown report for one campaign's records.
+/// Writes the full markdown report for one campaign's frame.
+void write_markdown_report(std::ostream& out, const RecordFrame& frame,
+                           const MarkdownReportOptions& options = {});
+/// Deprecated row-oriented adapter.
 void write_markdown_report(std::ostream& out,
-                           std::span<const RunRecord> records,
+                           std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                            const MarkdownReportOptions& options = {});
 
 /// One markdown table row per metric (exposed for composition/testing).

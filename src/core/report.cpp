@@ -48,22 +48,32 @@ void print_correlation_table(std::ostream& out, const CorrelationReport& r) {
   }
 }
 
-void print_group_boxes(std::ostream& out, std::span<const RunRecord> records,
+void print_group_boxes(std::ostream& out, const RecordFrame& frame,
                        Metric metric, GroupBy group) {
-  const auto series = series_by_group(records, metric, group);
+  const auto series = series_by_group(frame, metric, group);
   stats::BoxChartOptions opts;
   opts.unit = metric_unit(metric);
   out << metric_name(metric) << " by group:\n"
       << stats::render_box_chart(series, opts);
 }
 
-void print_scatter(std::ostream& out, std::span<const RunRecord> records,
-                   Metric x, Metric y) {
+void print_group_boxes(std::ostream& out, std::span<const RunRecord> records,
+                       Metric metric, GroupBy group) {
+  print_group_boxes(out, RecordFrame::from_records(records), metric, group);
+}
+
+void print_scatter(std::ostream& out, const RecordFrame& frame, Metric x,
+                   Metric y) {
   stats::ScatterOptions opts;
   opts.x_label = metric_name(x) + " (" + metric_unit(x) + ")";
   opts.y_label = metric_name(y) + " (" + metric_unit(y) + ")";
-  out << stats::render_scatter(metric_column(records, x),
-                               metric_column(records, y), opts);
+  out << stats::render_scatter(metric_column(frame, x),
+                               metric_column(frame, y), opts);
+}
+
+void print_scatter(std::ostream& out, std::span<const RunRecord> records,
+                   Metric x, Metric y) {
+  print_scatter(out, RecordFrame::from_records(records), x, y);
 }
 
 void print_flags(std::ostream& out, const FlagReport& report,

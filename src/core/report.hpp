@@ -10,6 +10,7 @@
 #include "core/flagging.hpp"
 #include "core/record.hpp"
 #include "core/variability.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 
@@ -23,11 +24,17 @@ void print_variability_table(std::ostream& out, const VariabilityReport& r);
 void print_correlation_table(std::ostream& out, const CorrelationReport& r);
 
 /// Grouped box chart for one metric (one row per cabinet/row/day).
-void print_group_boxes(std::ostream& out, std::span<const RunRecord> records,
+void print_group_boxes(std::ostream& out, const RecordFrame& frame,
+                       Metric metric, GroupBy group);
+/// Deprecated row-oriented adapter.
+void print_group_boxes(std::ostream& out, std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                        Metric metric, GroupBy group);
 
 /// ASCII scatter of two metrics.
-void print_scatter(std::ostream& out, std::span<const RunRecord> records,
+void print_scatter(std::ostream& out, const RecordFrame& frame, Metric x,
+                   Metric y);
+/// Deprecated row-oriented adapter.
+void print_scatter(std::ostream& out, std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                    Metric x, Metric y);
 
 /// Flag report, most severe first.

@@ -28,9 +28,15 @@ std::vector<double> prefix_containment(std::size_t n, std::size_t k) {
 
 JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,
                      double slow_threshold) {
+  return job_impact(RecordFrame::from_records(records), gpus_per_job,
+                    slow_threshold);
+}
+
+JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
+                     double slow_threshold) {
   GPUVAR_REQUIRE(gpus_per_job >= 1);
   GPUVAR_REQUIRE(slow_threshold > 0.0);
-  const auto gpus = per_gpu_medians(records);
+  const auto gpus = per_gpu_medians(frame);
   const auto n = gpus.size();
   GPUVAR_REQUIRE_MSG(static_cast<std::size_t>(gpus_per_job) <= n,
                      "job wider than the measured population");
@@ -75,10 +81,16 @@ JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,
 
 std::vector<JobImpact> impact_table(std::span<const RunRecord> records,
                                     int max_width, double slow_threshold) {
+  return impact_table(RecordFrame::from_records(records), max_width,
+                      slow_threshold);
+}
+
+std::vector<JobImpact> impact_table(const RecordFrame& frame, int max_width,
+                                    double slow_threshold) {
   GPUVAR_REQUIRE(max_width >= 1);
   std::vector<JobImpact> table;
   for (int k = 1; k <= max_width; k *= 2) {
-    table.push_back(job_impact(records, k, slow_threshold));
+    table.push_back(job_impact(frame, k, slow_threshold));
   }
   return table;
 }

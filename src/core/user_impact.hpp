@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/record.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 
@@ -29,11 +30,18 @@ struct JobImpact {
 /// Exact expected/quantile slowdown for a k-GPU job assigned uniformly at
 /// random without replacement, computed from per-GPU median runtimes via
 /// order statistics on the empirical distribution.
-JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,
+JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
+                     double slow_threshold = 0.06);
+/// Deprecated row-oriented adapter.
+JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,  // gpuvar-lint: allow(row-record-param)
                      double slow_threshold = 0.06);
 
 /// Impact table for several job widths (1, 2, 4, 8 ... up to max_width).
-std::vector<JobImpact> impact_table(std::span<const RunRecord> records,
+std::vector<JobImpact> impact_table(const RecordFrame& frame,
+                                    int max_width = 8,
+                                    double slow_threshold = 0.06);
+/// Deprecated row-oriented adapter.
+std::vector<JobImpact> impact_table(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                                     int max_width = 8,
                                     double slow_threshold = 0.06);
 

@@ -11,10 +11,9 @@ namespace gpuvar {
 
 namespace {
 
-MetricVariability analyze_metric(std::span<const RunRecord> records,
-                                 Metric m) {
+MetricVariability analyze_metric(const RecordFrame& frame, Metric m) {
   MetricVariability out;
-  out.box = stats::box_summary(metric_column(records, m));
+  out.box = stats::box_summary(frame.metric(m));
   out.variation_pct =
       out.box.median != 0.0 ? out.box.variation() * 100.0 : 0.0;
   return out;
@@ -22,16 +21,20 @@ MetricVariability analyze_metric(std::span<const RunRecord> records,
 
 }  // namespace
 
-VariabilityReport analyze_variability(std::span<const RunRecord> records) {
-  GPUVAR_REQUIRE(!records.empty());
+VariabilityReport analyze_variability(const RecordFrame& frame) {
+  GPUVAR_REQUIRE(!frame.empty());
   VariabilityReport r;
-  r.perf = analyze_metric(records, Metric::kPerf);
-  r.freq = analyze_metric(records, Metric::kFreq);
-  r.power = analyze_metric(records, Metric::kPower);
-  r.temp = analyze_metric(records, Metric::kTemp);
-  r.records = records.size();
-  r.gpus = per_gpu_medians(records).size();
+  r.perf = analyze_metric(frame, Metric::kPerf);
+  r.freq = analyze_metric(frame, Metric::kFreq);
+  r.power = analyze_metric(frame, Metric::kPower);
+  r.temp = analyze_metric(frame, Metric::kTemp);
+  r.records = frame.size();
+  r.gpus = frame.gpu_count();
   return r;
+}
+
+VariabilityReport analyze_variability(std::span<const RunRecord> records) {
+  return analyze_variability(RecordFrame::from_records(records));
 }
 
 int group_key(const RunRecord& r, GroupBy g) {
@@ -46,6 +49,24 @@ int group_key(const RunRecord& r, GroupBy g) {
       return r.loc.node;
     case GroupBy::kDayOfWeek:
       return r.day_of_week;
+  }
+  return 0;
+}
+
+int group_key(const RecordFrame& frame, std::size_t row, GroupBy g) {
+  if (g == GroupBy::kDayOfWeek) return frame.day_of_week(row);
+  const GpuLocation& loc = frame.loc(row);
+  switch (g) {
+    case GroupBy::kCabinet:
+      return loc.cabinet;
+    case GroupBy::kRow:
+      return loc.row;
+    case GroupBy::kColumn:
+      return loc.column;
+    case GroupBy::kNode:
+      return loc.node;
+    case GroupBy::kDayOfWeek:
+      break;  // handled above
   }
   return 0;
 }
@@ -76,11 +97,12 @@ std::string group_label(GroupBy g, int key) {
   return "?";
 }
 
-std::vector<stats::NamedSeries> series_by_group(
-    std::span<const RunRecord> records, Metric metric, GroupBy group) {
+std::vector<stats::NamedSeries> series_by_group(const RecordFrame& frame,
+                                                Metric metric, GroupBy group) {
+  const auto column = frame.metric(metric);
   std::map<int, std::vector<double>> groups;
-  for (const auto& r : records) {
-    groups[group_key(r, group)].push_back(metric_value(r, metric));
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    groups[group_key(frame, i, group)].push_back(column[i]);
   }
   std::vector<stats::NamedSeries> out;
   out.reserve(groups.size());
@@ -91,32 +113,49 @@ std::vector<stats::NamedSeries> series_by_group(
   return out;
 }
 
-std::map<int, VariabilityReport> variability_by_group(
-    std::span<const RunRecord> records, GroupBy group) {
-  std::map<int, std::vector<RunRecord>> groups;
-  for (const auto& r : records) groups[group_key(r, group)].push_back(r);
+std::vector<stats::NamedSeries> series_by_group(
+    std::span<const RunRecord> records, Metric metric, GroupBy group) {
+  return series_by_group(RecordFrame::from_records(records), metric, group);
+}
+
+std::map<int, VariabilityReport> variability_by_group(const RecordFrame& frame,
+                                                      GroupBy group) {
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    groups[group_key(frame, i, group)].push_back(i);
+  }
   std::map<int, VariabilityReport> out;
-  for (const auto& [key, rs] : groups) {
-    out.emplace(key, analyze_variability(rs));
+  for (const auto& [key, rows] : groups) {
+    out.emplace(key, analyze_variability(frame.select(rows)));
   }
   return out;
 }
 
-std::vector<GpuRepeatability> per_gpu_repeatability(
-    std::span<const RunRecord> records) {
-  std::map<std::size_t, std::vector<const RunRecord*>> by_gpu;
-  for (const auto& r : records) by_gpu[r.gpu_index].push_back(&r);
+std::map<int, VariabilityReport> variability_by_group(
+    std::span<const RunRecord> records, GroupBy group) {
+  return variability_by_group(RecordFrame::from_records(records), group);
+}
+
+std::vector<GpuRepeatability> per_gpu_repeatability(const RecordFrame& frame) {
+  const auto groups = group_rows_by_gpu(frame);
+  const auto perf_col = frame.perf_ms();
 
   std::vector<GpuRepeatability> out;
-  for (const auto& [gpu, rs] : by_gpu) {
-    if (rs.size() < 2) continue;
-    std::vector<double> perf;
-    perf.reserve(rs.size());
-    for (const RunRecord* r : rs) perf.push_back(r->perf_ms);
+  std::vector<double> perf;
+  for (std::uint32_t id : groups.order) {
+    const std::size_t begin = groups.offsets[id];
+    const std::size_t end = groups.offsets[id + 1];
+    if (end - begin < 2) continue;
+    perf.clear();
+    perf.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      perf.push_back(perf_col[groups.rows[i]]);
+    }
+    const GpuRef& g = frame.gpu(id);
     GpuRepeatability rep;
-    rep.gpu_index = gpu;
-    rep.name = rs.front()->loc.name;
-    rep.runs = static_cast<int>(rs.size());
+    rep.gpu_index = g.gpu_index;
+    rep.name = g.loc.name;
+    rep.runs = static_cast<int>(perf.size());
     rep.median_perf_ms = stats::median(perf);
     const double lo = *std::min_element(perf.begin(), perf.end());
     const double hi = *std::max_element(perf.begin(), perf.end());
@@ -127,12 +166,16 @@ std::vector<GpuRepeatability> per_gpu_repeatability(
   return out;
 }
 
-double slow_assignment_probability(std::span<const RunRecord> records,
-                                   int gpus_per_job,
+std::vector<GpuRepeatability> per_gpu_repeatability(
+    std::span<const RunRecord> records) {
+  return per_gpu_repeatability(RecordFrame::from_records(records));
+}
+
+double slow_assignment_probability(const RecordFrame& frame, int gpus_per_job,
                                    double slowdown_threshold) {
   GPUVAR_REQUIRE(gpus_per_job >= 1);
   GPUVAR_REQUIRE(slowdown_threshold > 0.0);
-  const auto gpus = per_gpu_medians(records);
+  const auto gpus = per_gpu_medians(frame);
   GPUVAR_REQUIRE(!gpus.empty());
   std::vector<double> perf;
   perf.reserve(gpus.size());
@@ -146,6 +189,13 @@ double slow_assignment_probability(std::span<const RunRecord> records,
       static_cast<double>(slow) / static_cast<double>(perf.size());
   // P(at least one of k independent draws is slow).
   return 1.0 - std::pow(1.0 - p_slow, gpus_per_job);
+}
+
+double slow_assignment_probability(std::span<const RunRecord> records,
+                                   int gpus_per_job,
+                                   double slowdown_threshold) {
+  return slow_assignment_probability(RecordFrame::from_records(records),
+                                     gpus_per_job, slowdown_threshold);
 }
 
 }  // namespace gpuvar

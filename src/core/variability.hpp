@@ -1,6 +1,10 @@
 // Variability analysis (§III "IQR & Variability"): box summaries per
 // metric, per-group breakdowns (cabinet / row / column / day), and the
 // per-GPU run-to-run repeatability of Figure 8.
+//
+// The columnar RecordFrame overloads are the primary entry points; the
+// std::span<const RunRecord> overloads are deprecation-cycle adapters
+// that build a frame and forward (bit-identical by construction).
 #pragma once
 
 #include <map>
@@ -11,6 +15,7 @@
 #include "core/record.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/boxplot.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 
@@ -29,24 +34,31 @@ struct VariabilityReport {
   std::size_t gpus = 0;
 };
 
-/// Full-population variability across all records.
-VariabilityReport analyze_variability(std::span<const RunRecord> records);
+/// Full-population variability across all rows of the frame.
+VariabilityReport analyze_variability(const RecordFrame& frame);
+/// Deprecated row-oriented adapter.
+VariabilityReport analyze_variability(std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 /// Grouping keys for breakdowns.
 enum class GroupBy { kCabinet, kRow, kColumn, kNode, kDayOfWeek };
 
 std::string group_label(GroupBy g, int key);
 
-/// Extracts the group key of a record.
+/// Extracts the group key of a record / of one frame row.
 int group_key(const RunRecord& r, GroupBy g);
+int group_key(const RecordFrame& frame, std::size_t row, GroupBy g);
 
 /// Metric values split by group (ordered by key), ready for box charts.
+std::vector<stats::NamedSeries> series_by_group(const RecordFrame& frame,
+                                                Metric metric, GroupBy group);
 std::vector<stats::NamedSeries> series_by_group(
-    std::span<const RunRecord> records, Metric metric, GroupBy group);
+    std::span<const RunRecord> records, Metric metric, GroupBy group);  // gpuvar-lint: allow(row-record-param)
 
 /// Per-group variability reports.
+std::map<int, VariabilityReport> variability_by_group(const RecordFrame& frame,
+                                                      GroupBy group);
 std::map<int, VariabilityReport> variability_by_group(
-    std::span<const RunRecord> records, GroupBy group);
+    std::span<const RunRecord> records, GroupBy group);  // gpuvar-lint: allow(row-record-param)
 
 /// Figure 8: per-GPU run-to-run performance variation, (max-min)/median
 /// per GPU, as a percentage. Requires >= 2 runs per GPU (GPUs with fewer
@@ -59,14 +71,17 @@ struct GpuRepeatability {
   double variation_pct = 0.0;
 };
 
+std::vector<GpuRepeatability> per_gpu_repeatability(const RecordFrame& frame);
 std::vector<GpuRepeatability> per_gpu_repeatability(
-    std::span<const RunRecord> records);
+    std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 /// Inter-experiment user impact (§VII): the probability that a job
 /// requesting `gpus_per_job` GPUs receives at least one GPU slower than
 /// `slowdown_threshold` (fraction above the median, e.g. 0.06 for "6%
 /// slower than median").
-double slow_assignment_probability(std::span<const RunRecord> records,
+double slow_assignment_probability(const RecordFrame& frame, int gpus_per_job,
+                                   double slowdown_threshold);
+double slow_assignment_probability(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                                    int gpus_per_job,
                                    double slowdown_threshold);
 

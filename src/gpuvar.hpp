@@ -9,7 +9,7 @@
 //   auto cluster = gpuvar::Cluster(gpuvar::longhorn_spec());
 //   auto cfg = gpuvar::default_config(cluster, gpuvar::sgemm_workload());
 //   auto result = gpuvar::run_experiment(cluster, cfg);
-//   auto report = gpuvar::analyze_variability(result.records);
+//   auto report = gpuvar::analyze_variability(result.frame);
 #pragma once
 
 #include "cluster/allocator.hpp"   // IWYU pragma: export
@@ -61,6 +61,7 @@
 #include "stats/quantile.hpp"      // IWYU pragma: export
 #include "stats/sampling.hpp"      // IWYU pragma: export
 #include "telemetry/counters.hpp"  // IWYU pragma: export
+#include "telemetry/frame.hpp"     // IWYU pragma: export
 #include "telemetry/record.hpp"    // IWYU pragma: export
 #include "telemetry/run_result.hpp" // IWYU pragma: export
 #include "telemetry/export.hpp"    // IWYU pragma: export

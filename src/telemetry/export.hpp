@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "common/location.hpp"
+#include "telemetry/frame.hpp"
 #include "telemetry/record.hpp"
 #include "telemetry/run_result.hpp"
 
@@ -29,10 +30,24 @@ void export_results_csv(std::ostream& out, std::string_view cluster_name,
 /// One row per telemetry sample of one run's series.
 void export_series_csv(std::ostream& out, const TimeSeries& series);
 
+/// One row per frame row. Uses the legacy results schema (so any results
+/// CSV consumer can read it; the frame stores only medians, so min/max
+/// repeat the median and energy is 0) plus trailing columns that preserve
+/// the full location and day tag, making import_results_frame a lossless
+/// inverse: frame -> CSV -> frame re-exports byte-identically.
+void export_frame_csv(std::ostream& out, std::string_view cluster_name,
+                      const RecordFrame& frame);
+
 /// Parses run records back from a results CSV (the inverse of
 /// export_results_csv, and the entry point for measurements collected on
 /// real hardware). Only the columns the analyses use are required:
 /// gpu, node, cabinet, run, perf_ms, freq/power/temp medians.
-std::vector<RunRecord> import_results_csv(std::istream& in);
+/// Deprecated row-oriented adapter over import_results_frame.
+std::vector<RunRecord> import_results_csv(std::istream& in);  // gpuvar-lint: allow(row-record-param)
+
+/// Columnar import: the primary CSV ingestion path. Accepts both the
+/// legacy results schema and the extended export_frame_csv schema
+/// (day_of_week / full-location columns are honoured when present).
+RecordFrame import_results_frame(std::istream& in);
 
 }  // namespace gpuvar

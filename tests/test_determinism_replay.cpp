@@ -22,6 +22,7 @@ namespace {
 
 struct CampaignArtifacts {
   std::string csv;
+  std::string frame_csv;
   std::string markdown;
 };
 
@@ -40,7 +41,12 @@ CampaignArtifacts run_campaign(std::size_t threads) {
   MarkdownReportOptions md_opts;
   md_opts.bootstrap_resamples = 50;
   std::ostringstream md;
-  write_markdown_report(md, result.records, md_opts);
+  write_markdown_report(md, result.frame, md_opts);
+
+  // Columnar artifact: the frame streamed out of the parallel
+  // FrameBuilder sink must serialize identically at any pool size.
+  std::ostringstream frame_csv;
+  export_frame_csv(frame_csv, cluster.name(), result.frame);
 
   // CSV rows come from the raw per-run results; collect them in
   // parallel with per-node buckets, concatenated in node order.
@@ -60,7 +66,7 @@ CampaignArtifacts run_campaign(std::size_t threads) {
   }
   std::ostringstream csv;
   export_results_csv(csv, cluster.name(), cluster.locations(), rows);
-  return {csv.str(), md.str()};
+  return {csv.str(), frame_csv.str(), md.str()};
 }
 
 TEST(DeterminismReplay, ByteIdenticalAcrossPoolSizes) {
@@ -75,6 +81,12 @@ TEST(DeterminismReplay, ByteIdenticalAcrossPoolSizes) {
                                   "threads: scheduling leaked into output";
   EXPECT_EQ(one.csv, eight.csv) << "results CSV differs between 1 and 8 "
                                    "threads: scheduling leaked into output";
+  EXPECT_EQ(one.frame_csv, four.frame_csv)
+      << "frame CSV differs between 1 and 4 threads: the FrameBuilder "
+         "bucket merge leaked scheduling into the column order";
+  EXPECT_EQ(one.frame_csv, eight.frame_csv)
+      << "frame CSV differs between 1 and 8 threads: the FrameBuilder "
+         "bucket merge leaked scheduling into the column order";
   EXPECT_EQ(one.markdown, four.markdown)
       << "markdown report differs between 1 and 4 threads";
   EXPECT_EQ(one.markdown, eight.markdown)
@@ -87,6 +99,7 @@ TEST(DeterminismReplay, RepeatOnSamePoolIsIdentical) {
   const CampaignArtifacts a = run_campaign(4);
   const CampaignArtifacts b = run_campaign(4);
   EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.frame_csv, b.frame_csv);
   EXPECT_EQ(a.markdown, b.markdown);
 }
 

@@ -278,6 +278,8 @@ const std::set<std::string>& known_rules() {
       // determinism
       "unordered-iteration", "parallel-accum", "float-sort-key",
       "locale-format", "wall-clock",
+      // interchange
+      "row-record-param",
       // meta
       "unknown-rule"};
   return kRules;

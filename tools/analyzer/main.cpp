@@ -34,6 +34,7 @@ const std::vector<PassInfo>& all_passes() {
       {"layering", run_layering_pass},
       {"thread", run_thread_pass},
       {"determinism", run_determinism_pass},
+      {"interchange", run_interchange_pass},
   };
   return kPasses;
 }

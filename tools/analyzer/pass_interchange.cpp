@@ -1,0 +1,43 @@
+// Interchange pass: keeps the analysis layer on the columnar data plane.
+//
+//   row-record-param   a std::vector<RunRecord> or std::span<const
+//                      RunRecord> in a core/telemetry *header*: public
+//                      bulk interfaces must take const RecordFrame&
+//                      (telemetry/frame.hpp) so column extraction stays
+//                      zero-copy and per-GPU grouping stays O(rows).
+//                      The deprecation-cycle adapters that remain are
+//                      annotated with gpuvar-lint: allow(row-record-param);
+//                      new row-oriented bulk APIs must not appear.
+//
+// Single-record uses (const RunRecord&, RunRecord row(...)) are fine —
+// the rule targets bulk row-oriented interchange, not the row schema.
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+void run_interchange_pass(const Repo& repo, std::vector<Finding>& findings) {
+  for (const auto& f : repo.files) {
+    if (!f.in_src() || !f.header) continue;
+    if (f.module != "core" && f.module != "telemetry") continue;
+    for (std::size_t i = 1; i < f.tokens.size(); ++i) {
+      const Token& t = f.tokens[i];
+      if (t.text != "RunRecord") continue;
+      const Token& prev = f.tokens[i - 1];
+      const bool vector_of = prev.text == "vector" && prev.next == '<';
+      const bool span_of = prev.text == "const" && i >= 2 &&
+                           f.tokens[i - 2].text == "span" &&
+                           f.tokens[i - 2].next == '<';
+      if (!vector_of && !span_of) continue;
+      findings.push_back(
+          {f.rel, t.line, "row-record-param",
+           std::string(vector_of ? "std::vector<RunRecord>"
+                                 : "std::span<const RunRecord>") +
+               " in an analysis-layer header: bulk interfaces take "
+               "const RecordFrame& (telemetry/frame.hpp); row-oriented "
+               "overloads are deprecation-cycle adapters and must carry "
+               "an allow(row-record-param) suppression"});
+    }
+  }
+}
+
+}  // namespace gpuvar::analyzer

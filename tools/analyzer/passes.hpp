@@ -32,6 +32,11 @@ void run_thread_pass(const Repo& repo, std::vector<Finding>& findings);
 /// float-sort-key, locale-format, wall-clock.
 void run_determinism_pass(const Repo& repo, std::vector<Finding>& findings);
 
+/// Columnar interchange: row-record-param (no new std::vector<RunRecord>
+/// / std::span<const RunRecord> bulk interfaces in core/telemetry
+/// headers — the data plane is const RecordFrame&).
+void run_interchange_pass(const Repo& repo, std::vector<Finding>& findings);
+
 /// DOT dump of the module-level include graph (for DESIGN.md).
 void write_layering_dot(const Repo& repo, std::ostream& out);
 

@@ -9,6 +9,9 @@
 #   tools/ci.sh tsan           ThreadSanitizer job (ThreadPool-heavy tests)
 #   tools/ci.sh analyzer       full gpuvar-analyzer run; archives the JSON
 #                              report and layering DOT under build-ci/
+#   tools/ci.sh bench-smoke    micro_frame_bench smoke run (records/sec for
+#                              column extraction, per-GPU aggregation, and
+#                              frame build); archives BENCH_frame.json
 #   tools/ci.sh thread-safety  clang -Werror=thread-safety syntax-only
 #                              compile of src/** (skipped when clang++ is
 #                              not installed — the GPUVAR_* annotations
@@ -66,6 +69,18 @@ job_analyzer() {
   echo "analyzer report: build-ci/gpuvar-analyzer.json"
 }
 
+job_bench_smoke() {
+  echo "=== job: bench-smoke (micro_frame_bench, BENCH_frame.json) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  cmake --build build-ci -j "$JOBS" --target micro_frame_bench
+  # Smoke cadence, not a tuned perf run: one repetition per benchmark,
+  # JSON archived so regressions in the columnar data plane are diffable.
+  ./build-ci/bench/micro_frame_bench \
+    --benchmark_out=build-ci/BENCH_frame.json \
+    --benchmark_out_format=json
+  echo "frame bench report: build-ci/BENCH_frame.json"
+}
+
 job_thread_safety() {
   echo "=== job: thread-safety (clang -Werror=thread-safety) ==="
   if ! command -v clang++ > /dev/null 2>&1; then
@@ -89,17 +104,19 @@ case "${1:-all}" in
   asan) job_asan ;;
   tsan) job_tsan ;;
   analyzer) job_analyzer ;;
+  bench-smoke) job_bench_smoke ;;
   thread-safety) job_thread_safety ;;
   all)
     job_build
     job_analyzer
+    job_bench_smoke
     job_thread_safety
     job_asan
     job_tsan
     echo "=== all CI jobs passed ==="
     ;;
   *)
-    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|thread-safety|all]" >&2
+    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|thread-safety|all]" >&2
     exit 2
     ;;
 esac

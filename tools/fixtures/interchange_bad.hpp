@@ -1,0 +1,35 @@
+// Interchange-pass fixture: row-record-param must fire exactly three
+// times (two parameters and a return type below), and the decoys in
+// this comment and in the string literal must not fire:
+//   std::vector<RunRecord> comment_decoy;
+//   std::span<const RunRecord> comment_decoy2;
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fixture {
+
+struct RunRecord {
+  double perf_ms = 0.0;
+};
+
+struct Report {};
+
+// Single-record uses are fine — the rule targets bulk interchange.
+double metric_value_ok(const RunRecord& r);
+
+// Firing 1: row-oriented bulk parameter.
+Report analyze_rows(const std::vector<RunRecord>& records);
+
+// Firing 2: span-of-rows bulk parameter.
+Report flag_rows(std::span<const RunRecord> records);
+
+// Firing 3: row-oriented bulk return type.
+std::vector<RunRecord> load_rows(const char* path);
+
+inline const char* string_decoy() {
+  return "takes std::span<const RunRecord> and std::vector<RunRecord>";
+}
+
+}  // namespace fixture
