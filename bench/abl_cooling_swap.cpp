@@ -19,7 +19,7 @@ int main() {
     spec.cooling = cooling;
     Cluster cluster(spec);
     const auto result = bench::sgemm_experiment(cluster);
-    const auto rep = analyze_variability(result.records);
+    const auto rep = analyze_variability(result.frame);
     std::printf("%-14s %10.1f %12.1f %12.1f %12.0f\n", label,
                 rep.perf.variation_pct, rep.temp.box.median,
                 rep.temp.box.q3 - rep.temp.box.q1, rep.freq.box.median);

@@ -24,7 +24,7 @@ Outcome campaign(const Cluster& cluster, bool fast_forward) {
   const auto t1 = std::chrono::steady_clock::now();
   Outcome o;
   o.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  o.report = analyze_variability(result.records);
+  o.report = analyze_variability(result.frame);
   return o;
 }
 

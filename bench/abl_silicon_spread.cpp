@@ -20,7 +20,7 @@ int main() {
     spec.sku.spread.leakage_log_sigma *= scale;
     Cluster cluster(spec);
     const auto result = bench::sgemm_experiment(cluster);
-    const auto rep = analyze_variability(result.records);
+    const auto rep = analyze_variability(result.frame);
     std::printf("%12.2f %12.2f %12.2f %12.0f\n", scale,
                 rep.perf.variation_pct, rep.freq.variation_pct,
                 rep.freq.box.max - rep.freq.box.min);

@@ -29,6 +29,17 @@ inline int runs_per_gpu() { return env_int("GPUVAR_RUNS", 2); }
 inline int summit_nodes_per_column() { return env_int("GPUVAR_SUMMIT", 2); }
 inline int ml_iterations() { return env_int("GPUVAR_ITERS", 60); }
 
+/// Builds a frame from row records (bench-local: the library's bulk
+/// row adapters are gone; benches that synthesize or mutate row vectors
+/// convert here before calling the frame-only analysis APIs).
+inline gpuvar::RecordFrame frame_from(
+    const std::vector<gpuvar::RunRecord>& rows) {
+  gpuvar::RecordFrame f;
+  f.reserve(rows.size());
+  for (const auto& r : rows) f.append_row(r);
+  return f;
+}
+
 inline gpuvar::ExperimentResult sgemm_experiment(
     const gpuvar::Cluster& cluster, int day_of_week = -1) {
   const std::size_t n =
@@ -50,15 +61,15 @@ inline void print_header(const std::string& id, const std::string& title) {
 inline void print_figure_block(const gpuvar::ExperimentResult& result,
                                gpuvar::GroupBy group) {
   using namespace gpuvar;
-  const auto report = analyze_variability(result.records);
+  const auto report = analyze_variability(result.frame);
   print_variability_table(std::cout, report);
   for (Metric m :
        {Metric::kPerf, Metric::kFreq, Metric::kPower, Metric::kTemp}) {
     std::cout << '\n';
-    print_group_boxes(std::cout, result.records, m, group);
+    print_group_boxes(std::cout, result.frame, m, group);
   }
   print_section(std::cout, "metric correlations (scatter summaries)");
-  print_correlation_table(std::cout, correlate_metrics(result.records));
+  print_correlation_table(std::cout, correlate_metrics(result.frame));
 }
 
 }  // namespace bench

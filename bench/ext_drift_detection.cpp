@@ -17,15 +17,18 @@ int main() {
     auto cfg = default_config(vortex, sgemm_workload(25536, 6), 1);
     cfg.node_coverage = 0.25;
     cfg.salt = static_cast<std::uint64_t>(week);
-    for (auto r : run_experiment(vortex, cfg).records) {
+    const auto frame = run_experiment(vortex, cfg).frame;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      RunRecord r = frame.row(i);
       r.run_index = week;
       history.push_back(std::move(r));
     }
   }
   std::printf("history: %zu records; estimated run noise sigma: %.2f ms\n",
-              history.size(), estimate_run_noise_ms(history));
+              history.size(),
+              estimate_run_noise_ms(bench::frame_from(history)));
 
-  const auto clean = detect_performance_drift(history);
+  const auto clean = detect_performance_drift(bench::frame_from(history));
   std::printf("healthy fleet: %zu drift flags (expected 0 — the paper's "
               "variability is persistent, not drifting)\n",
               clean.size());
@@ -41,7 +44,7 @@ int main() {
       r.perf_ms *= 1.0 + 0.006 * r.run_index;
     }
   }
-  const auto flags = detect_performance_drift(degraded);
+  const auto flags = detect_performance_drift(bench::frame_from(degraded));
   std::printf("\nafter injecting +0.6%%/week degradation into %s:\n",
               victim_name.c_str());
   for (const auto& f : flags) {

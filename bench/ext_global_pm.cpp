@@ -20,11 +20,11 @@ int main() {
     const auto uni = analyze_variability(
         run_under_assignment(vortex, workload,
                              uniform_assignment(vortex, envelope))
-            .records);
+            .frame);
     const auto assignment =
         equal_frequency_assignment(vortex, envelope, kernel);
     const auto coord = analyze_variability(
-        run_under_assignment(vortex, workload, assignment).records);
+        run_under_assignment(vortex, workload, assignment).frame);
     std::printf("%9.0fW %13.0fW | %10.0f %8.2f | %10.0f %8.2f | %7.0f\n",
                 envelope.value(), per_gpu, uni.perf.box.median,
                 uni.perf.variation_pct, coord.perf.box.median,

@@ -16,7 +16,7 @@ int main() {
   auto add_cluster = [&](const ClusterSpec& spec) {
     Cluster cluster(spec);
     const auto result = bench::sgemm_experiment(cluster);
-    const auto gpus = per_gpu_medians(result.records);
+    const auto gpus = per_gpu_medians(result.frame);
     std::vector<double> perf;
     perf.reserve(gpus.size());
     for (const auto& g : gpus) perf.push_back(g.perf_ms);

@@ -17,14 +17,14 @@ int main() {
   bench::print_figure_block(result, GroupBy::kCabinet);
 
   print_section(std::cout, "Figure 3 scatter plots");
-  print_scatter(std::cout, result.records, Metric::kTemp, Metric::kPerf);
-  print_scatter(std::cout, result.records, Metric::kPower, Metric::kPerf);
-  print_scatter(std::cout, result.records, Metric::kFreq, Metric::kPerf);
-  print_scatter(std::cout, result.records, Metric::kTemp, Metric::kPower);
+  print_scatter(std::cout, result.frame, Metric::kTemp, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kPower, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kFreq, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kTemp, Metric::kPower);
 
   print_section(std::cout, "operator early-warning report (SVII)");
   FlagOptions fopts;
   fopts.slowdown_temp = longhorn.sku().slowdown_temp;
-  print_flags(std::cout, flag_anomalies(result.records, fopts));
+  print_flags(std::cout, flag_anomalies(result.frame, fopts));
   return 0;
 }

@@ -19,11 +19,11 @@ int main() {
   bench::print_figure_block(result, GroupBy::kRow);
 
   print_section(std::cout, "Figure 5 scatter plots");
-  print_scatter(std::cout, result.records, Metric::kFreq, Metric::kPerf);
-  print_scatter(std::cout, result.records, Metric::kPower, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kFreq, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kPower, Metric::kPerf);
 
   print_section(std::cout, "power outliers per row (Takeaway 2)");
-  const auto by_row = variability_by_group(result.records, GroupBy::kRow);
+  const auto by_row = variability_by_group(result.frame, GroupBy::kRow);
   for (const auto& [row, rep] : by_row) {
     std::printf("  %s: %3zu power outliers (min %3.0f W), %3zu perf outliers\n",
                 group_label(GroupBy::kRow, row).c_str(),
@@ -32,7 +32,7 @@ int main() {
   }
 
   print_section(std::cout, "scaled-normal projection (SIV-D)");
-  const auto proj = project_to_cluster_size(result.records, 27648);
+  const auto proj = project_to_cluster_size(result.frame, 27648);
   std::printf(
       "  measured variation at %zu GPUs: %.1f%%; projected at 27648 GPUs: "
       "%.1f%% (paper projects Longhorn to 9.4%%)\n",

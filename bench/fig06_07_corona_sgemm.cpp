@@ -15,13 +15,13 @@ int main() {
   bench::print_figure_block(result, GroupBy::kCabinet);
 
   print_section(std::cout, "Figure 7 scatter plots");
-  print_scatter(std::cout, result.records, Metric::kTemp, Metric::kPerf);
-  print_scatter(std::cout, result.records, Metric::kPower, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kTemp, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kPower, Metric::kPerf);
 
   print_section(std::cout, "outlier-node drilldown (the paper's c115)");
-  const auto gpus = per_gpu_medians(result.records);
+  const auto gpus = per_gpu_medians(result.frame);
   const auto power_box =
-      stats::box_summary(metric_column(result.records, Metric::kPower));
+      stats::box_summary(metric_column(result.frame, Metric::kPower));
   for (const auto& g : gpus) {
     if (g.power_w < power_box.lo_whisker - 20.0) {
       std::printf(

@@ -17,7 +17,7 @@ void analyze(const ClusterSpec& spec) {
       cluster, sgemm_workload(n, bench::sgemm_reps()),
       std::max(3, bench::runs_per_gpu()));
   const auto result = run_experiment(cluster, cfg);
-  const auto reps = per_gpu_repeatability(result.records);
+  const auto reps = per_gpu_repeatability(result.frame);
 
   std::vector<double> vars, perf;
   for (const auto& r : reps) {

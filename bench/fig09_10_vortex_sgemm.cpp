@@ -14,10 +14,10 @@ int main() {
   bench::print_figure_block(result, GroupBy::kCabinet);
 
   print_section(std::cout, "Figure 10 scatter plots");
-  print_scatter(std::cout, result.records, Metric::kFreq, Metric::kPerf);
-  print_scatter(std::cout, result.records, Metric::kTemp, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kFreq, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kTemp, Metric::kPerf);
 
-  const auto report = analyze_variability(result.records);
+  const auto report = analyze_variability(result.frame);
   std::printf(
       "\nTakeaway 3 check: all GPUs within %.1f W of the %d W limit; "
       "temperature Q3-Q1 = %.1f C\n",

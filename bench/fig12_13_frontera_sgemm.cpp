@@ -16,16 +16,16 @@ int main() {
   bench::print_figure_block(result, GroupBy::kCabinet);
 
   print_section(std::cout, "Figure 13 scatter plots");
-  print_scatter(std::cout, result.records, Metric::kPower, Metric::kPerf);
-  print_scatter(std::cout, result.records, Metric::kTemp, Metric::kPower);
+  print_scatter(std::cout, result.frame, Metric::kPower, Metric::kPerf);
+  print_scatter(std::cout, result.frame, Metric::kTemp, Metric::kPower);
 
   print_section(std::cout, "pump-incident detection (SVII)");
   FlagOptions fopts;
   fopts.slowdown_temp = frontera.sku().slowdown_temp;
-  const auto flags = flag_anomalies(result.records, fopts);
+  const auto flags = flag_anomalies(result.frame, fopts);
   print_flags(std::cout, flags);
   const auto med =
-      stats::median(metric_column(result.records, Metric::kPower));
+      stats::median(metric_column(result.frame, Metric::kPower));
   for (const auto& f : flags.gpus) {
     const auto& inst = frontera.gpu(f.gpu_index);
     if (inst.faults.has(FaultKind::kPumpFailure)) {

@@ -21,8 +21,8 @@ int main() {
   auto multi_cfg = default_config(
       longhorn, resnet50_multi_workload(bench::ml_iterations()), 1);
   const auto multi = run_experiment(longhorn, multi_cfg);
-  const auto s = analyze_variability(single.records);
-  const auto m = analyze_variability(multi.records);
+  const auto s = analyze_variability(single.frame);
+  const auto m = analyze_variability(multi.frame);
   std::printf(
       "  perf variation: single-GPU %.1f%% vs multi-GPU %.1f%% "
       "(paper: 14%% vs 22%%)\n",

@@ -23,9 +23,9 @@ int main() {
   rcfg.node_coverage = 0.5;
   const auto resnet = run_experiment(longhorn, rcfg);
   const double bert_p =
-      stats::median(metric_column(result.records, Metric::kPower));
+      stats::median(metric_column(result.frame, Metric::kPower));
   const double resnet_p =
-      stats::median(metric_column(resnet.records, Metric::kPower));
+      stats::median(metric_column(resnet.frame, Metric::kPower));
   std::printf(
       "  median power: BERT %.0f W vs ResNet %.0f W (delta %.0f W; paper "
       "~40 W)\n",
@@ -35,8 +35,8 @@ int main() {
   FlagOptions fopts;
   fopts.slowdown_temp = longhorn.sku().slowdown_temp;
   const std::vector<FlagReport> reports{
-      flag_anomalies(result.records, fopts),
-      flag_anomalies(resnet.records, fopts)};
+      flag_anomalies(result.frame, fopts),
+      flag_anomalies(resnet.frame, fopts)};
   const auto offenders = repeat_offenders(reports, 2);
   std::printf("  %zu GPUs flagged by BOTH BERT and ResNet-50\n",
               offenders.size());

@@ -16,7 +16,7 @@ int main() {
   const auto result = run_experiment(longhorn, cfg);
   bench::print_figure_block(result, GroupBy::kCabinet);
 
-  const auto report = analyze_variability(result.records);
+  const auto report = analyze_variability(result.frame);
   print_section(std::cout, "Takeaway 7 checks");
   std::printf("  perf variation %.2f%% (paper <1%%), power variation %.1f%% "
               "(paper ~20%%), freq median %.0f MHz (pinned)\n",
@@ -28,7 +28,7 @@ int main() {
   // Energy-efficiency observation: memory-bound kernels burn energy
   // without performance return on the worst GPUs.
   print_section(std::cout, "placement advice from counters (SVII)");
-  const auto advice = advise_placement(result.records.front().counters);
+  const auto advice = advise_placement(result.frame.counters(0));
   std::printf("  class: %s — %s\n", to_string(advice.app_class).c_str(),
               advice.note.c_str());
   return 0;

@@ -15,12 +15,12 @@ int main() {
   const auto result = run_experiment(longhorn, cfg);
   bench::print_figure_block(result, GroupBy::kCabinet);
 
-  const auto report = analyze_variability(result.records);
+  const auto report = analyze_variability(result.frame);
   print_section(std::cout, "Takeaway 8 checks");
   std::printf("  perf variation %.2f%% (paper ~1%%), power variation %.1f%%"
               " (paper ~22%%)\n",
               report.perf.variation_pct, report.power.variation_pct);
-  const auto& counters = result.records.front().counters;
+  const auto& counters = result.frame.counters(0);
   std::printf("  memory-dependency stalls: %.0f%% (paper: 61%%; LAMMPS 7%%,"
               " SGEMM 3%%)\n",
               counters.mem_stall_frac * 100.0);

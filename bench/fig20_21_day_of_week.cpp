@@ -16,15 +16,15 @@ void week_of(const ClusterSpec& spec) {
   std::vector<stats::NamedSeries> series;
   for (int day = 0; day < 7; ++day) {
     const auto result = bench::sgemm_experiment(cluster, day);
-    const auto report = analyze_variability(result.records);
+    const auto report = analyze_variability(result.frame);
     std::printf("  %s: perf variation %5.2f%%  median %6.0f ms  power "
                 "outliers %3zu  perf outliers %3zu\n",
                 group_label(GroupBy::kDayOfWeek, day).c_str(),
                 report.perf.variation_pct, report.perf.box.median,
                 report.power.box.outlier_count(),
                 report.perf.box.outlier_count());
-    std::vector<double> perf =
-        metric_column(result.records, Metric::kPerf);
+    const auto perf_col = metric_column(result.frame, Metric::kPerf);
+    std::vector<double> perf(perf_col.begin(), perf_col.end());
     series.push_back(stats::NamedSeries{
         group_label(GroupBy::kDayOfWeek, day), std::move(perf)});
   }

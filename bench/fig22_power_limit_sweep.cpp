@@ -23,14 +23,15 @@ int main() {
         std::max(3, bench::runs_per_gpu()));
     cfg.run_options.power_limit_override = Watts{limit};
     const auto result = run_experiment(cloudlab, cfg);
-    const auto report = analyze_variability(result.records);
+    const auto report = analyze_variability(result.frame);
     std::printf("%8.0f %10.0f %8.2f %10.0f %10.0f\n", limit,
                 report.perf.box.median, report.perf.variation_pct,
                 report.freq.box.median, report.power.box.median);
     char label[16];
     std::snprintf(label, sizeof(label), "%3.0fW", limit);
+    const auto perf = metric_column(result.frame, Metric::kPerf);
     series.push_back(stats::NamedSeries{
-        label, metric_column(result.records, Metric::kPerf)});
+        label, std::vector<double>(perf.begin(), perf.end())});
   }
   std::printf("\nkernel duration by power limit:\n");
   std::cout << stats::render_box_chart(series,

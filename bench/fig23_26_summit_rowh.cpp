@@ -16,10 +16,11 @@ int main() {
   const auto result = bench::sgemm_experiment(summit);
 
   // Row H only.
-  std::vector<RunRecord> rowh;
-  for (const auto& r : result.records) {
-    if (r.loc.row == 7) rowh.push_back(r);
+  std::vector<std::size_t> rowh_rows;
+  for (std::size_t i = 0; i < result.frame.size(); ++i) {
+    if (result.frame.loc(i).row == 7) rowh_rows.push_back(i);
   }
+  const RecordFrame rowh = result.frame.select(rowh_rows);
   std::printf("row H records: %zu\n", rowh.size());
 
   print_section(std::cout, "Figure 23: row H by column");
@@ -44,10 +45,11 @@ int main() {
   }
 
   print_section(std::cout, "Figure 26: row H column 36 per node");
-  std::vector<RunRecord> col36;
-  for (const auto& r : rowh) {
-    if (r.loc.column == 35) col36.push_back(r);
+  std::vector<std::size_t> col36_rows;
+  for (std::size_t i = 0; i < rowh.size(); ++i) {
+    if (rowh.loc(i).column == 35) col36_rows.push_back(i);
   }
+  const RecordFrame col36 = rowh.select(col36_rows);
   if (!col36.empty()) {
     print_group_boxes(std::cout, col36, Metric::kPower, GroupBy::kNode);
     print_group_boxes(std::cout, col36, Metric::kTemp, GroupBy::kNode);

@@ -2,10 +2,13 @@
 // AoS rows vs SoA columns on the three hot paths of the analysis
 // pipeline — column extraction, per-GPU aggregation, and frame
 // construction — plus the bytes-per-record memory story. The *_Rows
-// variants drive the deprecated row-oriented implementations that the
-// frame replaces; the acceptance bar is >= 2x on extraction and
-// aggregation at >= 100k records.
+// variants drive the row-oriented reference implementations the frame
+// replaced — the library deleted those adapters, so the AoS bodies live
+// here as the baseline under measurement; the acceptance bar is >= 2x on
+// extraction and aggregation at >= 100k records.
 #include <benchmark/benchmark.h>
+
+#include <map>
 
 #include "gpuvar.hpp"
 
@@ -47,6 +50,56 @@ std::vector<RunRecord> synth_records(std::size_t gpus, int runs) {
   return out;
 }
 
+/// Bench-local frame construction (the bulk row adapter left the
+/// library with the deprecation cycle; streaming append_row is the API).
+RecordFrame frame_from(const std::vector<RunRecord>& rows) {
+  RecordFrame f;
+  f.reserve(rows.size());
+  for (const auto& r : rows) f.append_row(r);
+  return f;
+}
+
+/// The retired AoS extraction: allocate + copy per call. Preserved here
+/// verbatim as the *_Rows baseline.
+std::vector<double> rows_metric_column(const std::vector<RunRecord>& records,
+                                       Metric m) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(gpuvar::metric_value(r, m));
+  return out;
+}
+
+/// The retired AoS aggregation: a map node per GPU, a pointer chase per
+/// row. Preserved here verbatim as the *_Rows baseline.
+std::vector<gpuvar::GpuAggregate> rows_per_gpu_medians(
+    const std::vector<RunRecord>& records) {
+  std::map<std::size_t, std::vector<const RunRecord*>> by_gpu;
+  for (const auto& r : records) by_gpu[r.gpu_index].push_back(&r);
+
+  std::vector<gpuvar::GpuAggregate> out;
+  out.reserve(by_gpu.size());
+  for (const auto& [gpu, rs] : by_gpu) {
+    gpuvar::GpuAggregate agg;
+    agg.gpu_index = gpu;
+    agg.loc = rs.front()->loc;
+    agg.runs = static_cast<int>(rs.size());
+    std::vector<double> perf, freq, power, temp;
+    perf.reserve(rs.size());
+    for (const RunRecord* r : rs) {
+      perf.push_back(r->perf_ms);
+      freq.push_back(r->freq_mhz);
+      power.push_back(r->power_w);
+      temp.push_back(r->temp_c);
+    }
+    agg.perf_ms = gpuvar::stats::median(perf);
+    agg.freq_mhz = gpuvar::stats::median(freq);
+    agg.power_w = gpuvar::stats::median(power);
+    agg.temp_c = gpuvar::stats::median(temp);
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
 constexpr int kRuns = 4;
 
 std::size_t gpus_for(benchmark::State& state) {
@@ -59,9 +112,8 @@ void BM_ColumnExtract_Rows(benchmark::State& state) {
   const auto records = synth_records(gpus_for(state), kRuns);
   double sink = 0.0;
   for (auto _ : state) {
-    // The deprecated path: allocate + copy per extraction.
-    const auto col = gpuvar::metric_column(
-        std::span<const RunRecord>(records), Metric::kPerf);
+    // The retired AoS path: allocate + copy per extraction.
+    const auto col = rows_metric_column(records, Metric::kPerf);
     for (double v : col) sink += v;
     benchmark::DoNotOptimize(sink);
   }
@@ -71,8 +123,7 @@ void BM_ColumnExtract_Rows(benchmark::State& state) {
 BENCHMARK(BM_ColumnExtract_Rows)->Arg(100000)->Arg(400000);
 
 void BM_ColumnExtract_Frame(benchmark::State& state) {
-  const auto frame =
-      RecordFrame::from_records(synth_records(gpus_for(state), kRuns));
+  const auto frame = frame_from(synth_records(gpus_for(state), kRuns));
   double sink = 0.0;
   for (auto _ : state) {
     // Zero-copy span view over the contiguous column.
@@ -90,8 +141,7 @@ BENCHMARK(BM_ColumnExtract_Frame)->Arg(100000)->Arg(400000);
 void BM_PerGpuMedians_Rows(benchmark::State& state) {
   const auto records = synth_records(gpus_for(state), kRuns);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        gpuvar::per_gpu_medians(std::span<const RunRecord>(records)));
+    benchmark::DoNotOptimize(rows_per_gpu_medians(records));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(records.size()));
@@ -99,8 +149,7 @@ void BM_PerGpuMedians_Rows(benchmark::State& state) {
 BENCHMARK(BM_PerGpuMedians_Rows)->Arg(100000)->Arg(400000);
 
 void BM_PerGpuMedians_Frame(benchmark::State& state) {
-  const auto frame =
-      RecordFrame::from_records(synth_records(gpus_for(state), kRuns));
+  const auto frame = frame_from(synth_records(gpus_for(state), kRuns));
   for (auto _ : state) {
     benchmark::DoNotOptimize(gpuvar::per_gpu_medians(frame));
   }
@@ -114,8 +163,7 @@ BENCHMARK(BM_PerGpuMedians_Frame)->Arg(100000)->Arg(400000);
 void BM_FrameBuild(benchmark::State& state) {
   const auto records = synth_records(gpus_for(state), kRuns);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        RecordFrame::from_records(std::span<const RunRecord>(records)));
+    benchmark::DoNotOptimize(frame_from(records));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(records.size()));
@@ -126,7 +174,7 @@ BENCHMARK(BM_FrameBuild)->Arg(100000)->Arg(400000);
 
 void BM_MemoryBytesPerRecord(benchmark::State& state) {
   const auto records = synth_records(gpus_for(state), kRuns);
-  const auto frame = RecordFrame::from_records(records);
+  const auto frame = frame_from(records);
   std::size_t row_bytes = records.capacity() * sizeof(RunRecord);
   for (const auto& r : records) row_bytes += r.loc.name.capacity();
   for (auto _ : state) {

@@ -63,7 +63,7 @@ void BM_VortexSgemmCampaign(benchmark::State& state) {
   for (auto _ : state) {
     auto cfg = default_config(vortex, sgemm_workload(25536, 5), 1);
     const auto result = run_experiment(vortex, cfg);
-    benchmark::DoNotOptimize(result.records.size());
+    benchmark::DoNotOptimize(result.frame.size());
   }
   state.counters["gpu_runs_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * 216.0,

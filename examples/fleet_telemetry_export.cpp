@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
             << series_path << "\n";
 
   // And the analysis headline, so the CSV consumer knows what to expect.
-  const auto rep = analyze_variability(result.records);
+  const auto rep = analyze_variability(result.frame);
   std::cout << "headline: " << rep.perf.variation_pct
             << "% performance variation across " << rep.gpus << " GPUs\n";
   return 0;

@@ -20,7 +20,7 @@ int main() {
     auto cfg = default_config(cluster, sgemm_workload(25536, 8), 2);
     cfg.run_options.power_limit_override = Watts{cap};
     const auto result = run_experiment(cluster, cfg);
-    const auto rep = analyze_variability(result.records);
+    const auto rep = analyze_variability(result.frame);
 
     const double med_s = rep.perf.box.median / 1e3;
     const double med_power = rep.power.box.median;

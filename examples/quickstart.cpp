@@ -28,26 +28,26 @@ int main() {
   // 3. The campaign: 3 runs per GPU, exclusive nodes, warm-up included.
   const ExperimentConfig config = default_config(cluster, workload, 3);
   const ExperimentResult result = run_experiment(cluster, config);
-  std::cout << "collected " << result.records.size() << " runs across "
+  std::cout << "collected " << result.frame.size() << " runs across "
             << result.gpus_measured << " GPUs\n";
 
   // 4a. Variability: the paper's box/IQR statistics per metric.
   print_section(std::cout, "variability");
-  print_variability_table(std::cout, analyze_variability(result.records));
+  print_variability_table(std::cout, analyze_variability(result.frame));
 
   // 4b. Correlations: who tracks whom.
   print_section(std::cout, "correlations");
-  print_correlation_table(std::cout, correlate_metrics(result.records));
+  print_correlation_table(std::cout, correlate_metrics(result.frame));
 
   // 4c. Per-GPU box chart, one row per node.
   print_section(std::cout, "kernel duration by node");
-  print_group_boxes(std::cout, result.records, Metric::kPerf,
+  print_group_boxes(std::cout, result.frame, Metric::kPerf,
                     GroupBy::kNode);
 
   // 4d. Anything an operator should look at?
   print_section(std::cout, "flags");
   FlagOptions opts;
   opts.slowdown_temp = cluster.sku().slowdown_temp;
-  print_flags(std::cout, flag_anomalies(result.records, opts));
+  print_flags(std::cout, flag_anomalies(result.frame, opts));
   return 0;
 }

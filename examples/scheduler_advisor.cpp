@@ -22,14 +22,16 @@ int main() {
     double median_freq;
     double median_perf;
   };
-  std::map<int, std::vector<const RunRecord*>> by_node;
-  for (const auto& r : result.records) by_node[r.loc.node].push_back(&r);
+  std::map<int, std::vector<std::size_t>> by_node;
+  for (std::size_t i = 0; i < result.frame.size(); ++i) {
+    by_node[result.frame.loc(i).node].push_back(i);
+  }
   std::vector<NodeQuality> nodes;
-  for (const auto& [node, rs] : by_node) {
+  for (const auto& [node, rows] : by_node) {
     std::vector<double> freq, perf;
-    for (const auto* r : rs) {
-      freq.push_back(r->freq_mhz);
-      perf.push_back(r->perf_ms);
+    for (std::size_t i : rows) {
+      freq.push_back(result.frame.freq_mhz()[i]);
+      perf.push_back(result.frame.perf_ms()[i]);
     }
     nodes.push_back(NodeQuality{node, stats::median(freq),
                                 stats::median(perf)});

@@ -4,10 +4,17 @@
 
 #include "cluster/topology.hpp"
 #include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvar {
 
-std::string to_string(FaultKind k) {
+namespace {
+
+/// Static-literal fault name: shared by to_string and the trace
+/// instants (TraceEvent stores `name` by pointer; a temporary
+/// std::string would dangle).
+const char* fault_label(FaultKind k) {
   switch (k) {
     case FaultKind::kPowerCap:
       return "power-cap";
@@ -24,6 +31,10 @@ std::string to_string(FaultKind k) {
   }
   return "unknown";
 }
+
+}  // namespace
+
+std::string to_string(FaultKind k) { return fault_label(k); }
 
 bool AppliedFaults::has(FaultKind k) const {
   return std::find(kinds.begin(), kinds.end(), k) != kinds.end();
@@ -62,6 +73,8 @@ AppliedFaults apply_faults(const FaultPlan& plan, const GpuLocation& loc,
     if (!in_scope(rule, loc) || !hit) continue;
 
     out.kinds.push_back(rule.kind);
+    GPUVAR_METRIC_COUNT("faults.injected");
+    GPUVAR_TRACE_INSTANT("faults", fault_label(rule.kind), "node", loc.node);
     switch (rule.kind) {
       case FaultKind::kPowerCap:
       case FaultKind::kPumpFailure: {

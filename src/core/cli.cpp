@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "common/numfmt.hpp"
@@ -14,45 +15,101 @@
 #include "core/projection.hpp"
 #include "core/report.hpp"
 #include "core/variability.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/export.hpp"
 #include "workloads/runner.hpp"
 
 namespace gpuvar::cli {
 
+namespace {
+
+constexpr ClusterEntry kClusters[] = {
+    {"cloudlab", "NSF CloudLab, 8x V100 SXM2 (the paper's testbed)", false,
+     +[] { return cloudlab_spec(); }},
+    {"longhorn", "TACC Longhorn, 416x V100, air-cooled", false,
+     +[] { return longhorn_spec(); }},
+    {"frontera", "TACC Frontera RTX partition", false,
+     +[] { return frontera_spec(); }},
+    {"vortex", "LLNL Vortex, V100, water-cooled", false,
+     +[] { return vortex_spec(); }},
+    {"summit", "ORNL Summit sample (2 nodes/column)", false,
+     +[] { return summit_spec(0x5077, 8, 29, 2, 6); }},
+    {"summit-full", "ORNL Summit at full scale (18 nodes/column)", true,
+     +[] { return summit_spec(0x5077, 8, 29, 18, 6); }},
+    {"corona", "LLNL Corona, AMD MI60", false, +[] { return corona_spec(); }},
+};
+
+constexpr WorkloadEntry kWorkloads[] = {
+    {"sgemm", "dense matrix multiply, compute-bound", false, 100,
+     +[](int it) { return sgemm_workload(25536, it); }},
+    {"sgemm-amd", "SGEMM sized for MI60 memory", true, 100,
+     +[](int it) { return sgemm_workload(24576, it); }},
+    {"resnet-multi", "ResNet-50 training, all GPUs per node", false, 500,
+     +[](int it) { return resnet50_multi_workload(it); }},
+    {"resnet-single", "ResNet-50 training, one GPU", false, 500,
+     +[](int it) { return resnet50_single_workload(it); }},
+    {"bert", "BERT fine-tuning", false, 250,
+     +[](int it) { return bert_workload(it); }},
+    {"lammps", "LAMMPS molecular dynamics", false, 10,
+     +[](int it) { return lammps_workload(it); }},
+    {"pagerank", "PageRank, memory-bound", false, 50,
+     +[](int it) { return pagerank_workload(it); }},
+};
+
+/// "try one of a, b, c" suffix for unknown-name errors, from the
+/// visible rows of either registry.
+template <typename Entry>
+std::string try_one_of(std::span<const Entry> entries) {
+  std::string out = ", try one of ";
+  bool first = true;
+  for (const auto& e : entries) {
+    if (e.hidden) continue;
+    if (!first) out += ", ";
+    out += e.name;
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const ClusterEntry> cluster_registry() { return kClusters; }
+std::span<const WorkloadEntry> workload_registry() { return kWorkloads; }
+
 std::vector<std::string> cluster_names() {
-  return {"cloudlab", "longhorn", "frontera", "vortex", "summit", "corona"};
+  std::vector<std::string> out;
+  for (const auto& e : kClusters) {
+    if (!e.hidden) out.emplace_back(e.name);
+  }
+  return out;
 }
 
 ClusterSpec cluster_by_name(const std::string& name) {
-  if (name == "cloudlab") return cloudlab_spec();
-  if (name == "longhorn") return longhorn_spec();
-  if (name == "frontera") return frontera_spec();
-  if (name == "vortex") return vortex_spec();
-  if (name == "summit") return summit_spec(0x5077, 8, 29, 2, 6);
-  if (name == "summit-full") return summit_spec(0x5077, 8, 29, 18, 6);
-  if (name == "corona") return corona_spec();
-  throw std::invalid_argument("unknown cluster: " + name);
+  for (const auto& e : kClusters) {
+    if (name == e.name) return e.make();
+  }
+  throw std::invalid_argument("unknown cluster: " + name +
+                              try_one_of(cluster_registry()));
 }
 
 std::vector<std::string> workload_names() {
-  return {"sgemm",  "resnet-multi", "resnet-single",
-          "bert",   "lammps",       "pagerank"};
+  std::vector<std::string> out;
+  for (const auto& e : kWorkloads) {
+    if (!e.hidden) out.emplace_back(e.name);
+  }
+  return out;
 }
 
 WorkloadSpec workload_by_name(const std::string& name, int iterations) {
-  const int it = iterations;
-  if (name == "sgemm") return sgemm_workload(25536, it > 0 ? it : 100);
-  if (name == "sgemm-amd") return sgemm_workload(24576, it > 0 ? it : 100);
-  if (name == "resnet-multi") {
-    return resnet50_multi_workload(it > 0 ? it : 500);
+  for (const auto& e : kWorkloads) {
+    if (name == e.name) {
+      return e.make(iterations > 0 ? iterations : e.default_iterations);
+    }
   }
-  if (name == "resnet-single") {
-    return resnet50_single_workload(it > 0 ? it : 500);
-  }
-  if (name == "bert") return bert_workload(it > 0 ? it : 250);
-  if (name == "lammps") return lammps_workload(it > 0 ? it : 10);
-  if (name == "pagerank") return pagerank_workload(it > 0 ? it : 50);
-  throw std::invalid_argument("unknown workload: " + name);
+  throw std::invalid_argument("unknown workload: " + name +
+                              try_one_of(workload_registry()));
 }
 
 namespace {
@@ -94,7 +151,7 @@ void usage(std::ostream& err) {
          "  gpuvar clusters | workloads\n"
          "  gpuvar simulate --cluster NAME --workload NAME [--runs N]\n"
          "                  [--reps N] [--coverage F] [--power-limit W]\n"
-         "                  [--out FILE]\n"
+         "                  [--out FILE] [--trace FILE] [--metrics FILE]\n"
          "  gpuvar analyze FILE.csv [--group cabinet|node|row]\n"
          "  gpuvar flag FILE.csv [--slowdown-temp T]\n"
          "  gpuvar project FILE.csv --target N\n"
@@ -110,6 +167,18 @@ RecordFrame load_frame(const std::string& path) {
 }
 
 int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
+  // Observability sinks go in before the cluster is built so fault
+  // injections during construction land in the trace too.
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics", "");
+  obs::TraceSink sink;
+  obs::Registry registry;
+  std::optional<obs::ScopedTrace> trace_guard;
+  std::optional<obs::ScopedMetrics> metrics_guard;
+  if (!trace_path.empty()) trace_guard.emplace(&sink);
+  if (!metrics_path.empty()) metrics_guard.emplace(&registry);
+  obs::LaneScope campaign_lane(0, "campaign");
+
   const std::string cluster_name = args.get("cluster", "cloudlab");
   std::string workload_name = args.get("workload", "sgemm");
   Cluster cluster(cluster_by_name(cluster_name));
@@ -129,6 +198,22 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
   const auto result = run_experiment(cluster, cfg);
   print_section(out, "variability");
   print_variability_table(out, analyze_variability(result.frame));
+
+  if (!trace_path.empty()) {
+    std::ofstream file(trace_path);
+    GPUVAR_REQUIRE_MSG(file.good(), "cannot write " + trace_path);
+    obs::write_chrome_trace(file, sink);
+    out << "trace: " << sink.event_count() << " events across "
+        << sink.lane_count() << " lanes -> " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    const auto snap = registry.snapshot();
+    std::ofstream file(metrics_path);
+    GPUVAR_REQUIRE_MSG(file.good(), "cannot write " + metrics_path);
+    obs::write_metrics_text(file, snap);
+    out << "metrics: " << snap.size() << " series -> " << metrics_path
+        << "\n";
+  }
 
   const std::string out_path = args.get("out", "");
   if (!out_path.empty()) {
@@ -266,11 +351,15 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     const std::string& cmd = args.front();
     const auto parsed = parse(args, 1);
     if (cmd == "clusters") {
-      for (const auto& n : cluster_names()) out << n << "\n";
+      for (const auto& e : cluster_registry()) {
+        if (!e.hidden) out << e.name << "\t" << e.description << "\n";
+      }
       return 0;
     }
     if (cmd == "workloads") {
-      for (const auto& n : workload_names()) out << n << "\n";
+      for (const auto& e : workload_registry()) {
+        if (!e.hidden) out << e.name << "\t" << e.description << "\n";
+      }
       return 0;
     }
     if (cmd == "simulate") return cmd_simulate(parsed, out);

@@ -4,7 +4,9 @@
 //   workloads                        list the built-in workload models
 //   simulate  --cluster L --workload W [--runs N] [--reps N]
 //             [--coverage F] [--power-limit W] [--out FILE]
+//             [--trace FILE] [--metrics FILE]
 //                                    run a campaign, emit a results CSV
+//                                    (plus a Chrome trace / metrics dump)
 //   analyze   FILE.csv               variability + correlation report
 //   flag      FILE.csv [--slowdown-temp T]
 //                                    operator early-warning report
@@ -16,6 +18,7 @@
 #pragma once
 
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,15 +27,42 @@
 
 namespace gpuvar::cli {
 
-/// Known cluster names for --cluster.
+/// One row of the cluster registry: the single source of truth behind
+/// name resolution, the `clusters` listing, and error suggestions.
+struct ClusterEntry {
+  const char* name;
+  const char* description;
+  /// Hidden entries resolve by name but stay out of listings (variants
+  /// like summit-full that exist for scripting, not discovery).
+  bool hidden;
+  ClusterSpec (*make)();
+};
+
+/// One row of the workload registry (see ClusterEntry). The factory
+/// receives the iteration override already defaulted.
+struct WorkloadEntry {
+  const char* name;
+  const char* description;
+  bool hidden;
+  int default_iterations;
+  WorkloadSpec (*make)(int iterations);
+};
+
+/// The full registries, hidden entries included.
+std::span<const ClusterEntry> cluster_registry();
+std::span<const WorkloadEntry> workload_registry();
+
+/// Known cluster names for --cluster (visible entries only).
 std::vector<std::string> cluster_names();
-/// Builds a spec by name; throws std::invalid_argument on unknown names.
+/// Builds a spec by name; throws std::invalid_argument on unknown names,
+/// listing the valid ones.
 ClusterSpec cluster_by_name(const std::string& name);
 
-/// Known workload names for --workload.
+/// Known workload names for --workload (visible entries only).
 std::vector<std::string> workload_names();
 /// Builds a workload by name with an iteration/repetition override
-/// (<= 0 keeps the paper's default).
+/// (<= 0 keeps the paper's default). Unknown names throw
+/// std::invalid_argument, listing the valid ones.
 WorkloadSpec workload_by_name(const std::string& name, int iterations = 0);
 
 /// Entry point. Returns the process exit code; writes human output to

@@ -10,13 +10,6 @@
 
 namespace gpuvar {
 
-CampaignComparison compare_campaigns(std::span<const RunRecord> before,
-                                     std::span<const RunRecord> after,
-                                     const CompareOptions& options) {
-  return compare_campaigns(RecordFrame::from_records(before),
-                           RecordFrame::from_records(after), options);
-}
-
 CampaignComparison compare_campaigns(const RecordFrame& before,
                                      const RecordFrame& after,
                                      const CompareOptions& options) {

@@ -7,7 +7,6 @@
 // the fleet's run-to-run noise floor.
 #pragma once
 
-#include <span>
 #include <string>
 #include <vector>
 
@@ -50,10 +49,6 @@ struct CompareOptions {
 /// and at least one GPU to appear in both.
 CampaignComparison compare_campaigns(const RecordFrame& before,
                                      const RecordFrame& after,
-                                     const CompareOptions& options = {});
-/// Deprecated row-oriented adapter.
-CampaignComparison compare_campaigns(std::span<const RunRecord> before,  // gpuvar-lint: allow(row-record-param)
-                                     std::span<const RunRecord> after,
                                      const CompareOptions& options = {});
 
 }  // namespace gpuvar

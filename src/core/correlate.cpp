@@ -20,11 +20,6 @@ MetricCorrelation correlate_pair(const RecordFrame& frame, Metric x,
   return out;
 }
 
-MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,
-                                 Metric y) {
-  return correlate_pair(RecordFrame::from_records(records), x, y);
-}
-
 CorrelationReport correlate_metrics(const RecordFrame& frame) {
   CorrelationReport r;
   r.perf_temp = correlate_pair(frame, Metric::kTemp, Metric::kPerf);
@@ -32,10 +27,6 @@ CorrelationReport correlate_metrics(const RecordFrame& frame) {
   r.perf_freq = correlate_pair(frame, Metric::kFreq, Metric::kPerf);
   r.power_temp = correlate_pair(frame, Metric::kTemp, Metric::kPower);
   return r;
-}
-
-CorrelationReport correlate_metrics(std::span<const RunRecord> records) {
-  return correlate_metrics(RecordFrame::from_records(records));
 }
 
 }  // namespace gpuvar

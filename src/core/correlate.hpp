@@ -1,7 +1,6 @@
 // Metric-pair correlation analysis (the paper's scatter plots).
 #pragma once
 
-#include <span>
 #include <string>
 #include <vector>
 
@@ -33,12 +32,7 @@ struct CorrelationReport {
 
 /// Correlates two metric columns of the frame (zero-copy span views).
 MetricCorrelation correlate_pair(const RecordFrame& frame, Metric x, Metric y);
-/// Deprecated row-oriented adapter.
-MetricCorrelation correlate_pair(std::span<const RunRecord> records, Metric x,  // gpuvar-lint: allow(row-record-param)
-                                 Metric y);
 
 CorrelationReport correlate_metrics(const RecordFrame& frame);
-/// Deprecated row-oriented adapter.
-CorrelationReport correlate_metrics(std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 }  // namespace gpuvar

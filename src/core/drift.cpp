@@ -50,10 +50,6 @@ double estimate_run_noise_ms(const RecordFrame& frame) {
   return stats::median(abs_diffs) * 1.4826 / std::sqrt(2.0);
 }
 
-double estimate_run_noise_ms(std::span<const RunRecord> records) {
-  return estimate_run_noise_ms(RecordFrame::from_records(records));
-}
-
 std::vector<DriftFlag> detect_performance_drift(const RecordFrame& frame,
                                                 const DriftOptions& options) {
   GPUVAR_REQUIRE(!frame.empty());
@@ -111,11 +107,6 @@ std::vector<DriftFlag> detect_performance_drift(const RecordFrame& frame,
               return ka != kb ? ka > kb : a.gpu_index < b.gpu_index;
             });
   return flags;
-}
-
-std::vector<DriftFlag> detect_performance_drift(
-    std::span<const RunRecord> records, const DriftOptions& options) {
-  return detect_performance_drift(RecordFrame::from_records(records), options);
 }
 
 }  // namespace gpuvar

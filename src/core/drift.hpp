@@ -11,7 +11,6 @@
 // heatsink or degrading VRM shows up as a sustained upward runtime trend.
 #pragma once
 
-#include <span>
 #include <string>
 #include <vector>
 
@@ -43,15 +42,10 @@ struct DriftFlag {
 /// Population run-to-run noise estimate: median absolute successive
 /// difference of per-GPU runs, scaled to a sigma (MAD * 1.4826 / sqrt 2).
 double estimate_run_noise_ms(const RecordFrame& frame);
-/// Deprecated row-oriented adapter.
-double estimate_run_noise_ms(std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 /// Detects sustained performance drift per GPU; returns flags sorted by
 /// |drift| descending. Positive drift_pct = getting slower.
 std::vector<DriftFlag> detect_performance_drift(
     const RecordFrame& frame, const DriftOptions& options = {});
-/// Deprecated row-oriented adapter.
-std::vector<DriftFlag> detect_performance_drift(
-    std::span<const RunRecord> records, const DriftOptions& options = {});  // gpuvar-lint: allow(row-record-param)
 
 }  // namespace gpuvar

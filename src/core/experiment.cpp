@@ -1,8 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <string>
+
 #include "cluster/allocator.hpp"
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvar {
 
@@ -31,6 +35,15 @@ ExperimentResult run_experiment(const Cluster& cluster,
                        ? static_cast<std::uint64_t>(config.day_of_week) + 1
                        : 0);
 
+  // Lane 0 is the campaign timeline; each node job owns lane ai+1, so
+  // the trace (like the frame) is a deterministic merge of per-job
+  // streams whatever the pool size.
+  obs::LaneScope campaign_lane(0, "campaign");
+  GPUVAR_TRACE_SPAN("experiment", "run_experiment", "nodes",
+                    static_cast<std::int64_t>(allocations.size()));
+  GPUVAR_METRIC_MAX("experiment.nodes", allocations.size());
+  GPUVAR_METRIC_MAX("experiment.runs_per_gpu", config.runs_per_gpu);
+
   // One frame bucket per node job: threads never share a bucket, and
   // finish() merges the buckets in allocation order, so the frame's row
   // stream is identical whatever the pool size or schedule.
@@ -38,6 +51,10 @@ ExperimentResult run_experiment(const Cluster& cluster,
   ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
   pool.parallel_for(allocations.size(), [&](std::size_t ai) {
     const auto& alloc = allocations[ai];
+    obs::LaneScope job_lane(static_cast<std::uint32_t>(ai) + 1,
+                            "node " + std::to_string(alloc.node));
+    GPUVAR_TRACE_SPAN("experiment", "node_job", "node", alloc.node);
+    GPUVAR_METRIC_COUNT("experiment.node_jobs");
     auto& bucket = builder.bucket(ai);
     for (int run = 0; run < config.runs_per_gpu; ++run) {
       const auto results =
@@ -53,7 +70,7 @@ ExperimentResult run_experiment(const Cluster& cluster,
   out.frame = builder.finish();
   // Distinct-GPU count straight off the interned pool — no aggregation.
   out.gpus_measured = out.frame.gpu_count();
-  out.records = out.frame.to_records();  // deprecated row adapter
+  GPUVAR_METRIC_ADD("experiment.records", out.frame.size());
   return out;
 }
 

@@ -40,9 +40,6 @@ struct ExperimentConfig {
 struct ExperimentResult {
   /// The canonical columnar interchange: every analysis takes this.
   RecordFrame frame;
-  /// Deprecated row-oriented adapter, materialized from `frame` for one
-  /// deprecation cycle so existing bench/figure programs keep compiling.
-  std::vector<RunRecord> records;  // gpuvar-lint: allow(row-record-param)
   std::size_t gpus_measured = 0;
   std::size_t nodes_measured = 0;
 };

@@ -40,11 +40,6 @@ double outside_distance(const stats::BoxSummary& box, double x) {
 
 }  // namespace
 
-FlagReport flag_anomalies(std::span<const RunRecord> records,
-                          const FlagOptions& options) {
-  return flag_anomalies(RecordFrame::from_records(records), options);
-}
-
 FlagReport flag_anomalies(const RecordFrame& frame,
                           const FlagOptions& options) {
   GPUVAR_REQUIRE(!frame.empty());

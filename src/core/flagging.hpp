@@ -67,9 +67,6 @@ struct FlagOptions {
 /// Flags anomalies within one experiment's frame.
 FlagReport flag_anomalies(const RecordFrame& frame,
                           const FlagOptions& options = {});
-/// Deprecated row-oriented adapter.
-FlagReport flag_anomalies(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
-                          const FlagOptions& options = {});
 
 /// Cross-experiment flagging: GPUs flagged in >= `min_experiments` of the
 /// reports become repeat offenders (returned sorted by severity).

@@ -101,7 +101,6 @@ ExperimentResult run_under_assignment(const Cluster& cluster,
   ExperimentResult out;
   out.nodes_measured = static_cast<std::size_t>(cluster.node_count());
   out.frame = builder.finish();
-  out.records = out.frame.to_records();  // deprecated row adapter
   out.gpus_measured = cluster.size();
   return out;
 }

@@ -49,12 +49,6 @@ std::string markdown_variability_table(const VariabilityReport& report) {
   return out;
 }
 
-void write_markdown_report(std::ostream& out,
-                           std::span<const RunRecord> records,
-                           const MarkdownReportOptions& options) {
-  write_markdown_report(out, RecordFrame::from_records(records), options);
-}
-
 void write_markdown_report(std::ostream& out, const RecordFrame& frame,
                            const MarkdownReportOptions& options) {
   GPUVAR_REQUIRE(!frame.empty());

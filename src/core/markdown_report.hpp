@@ -6,7 +6,6 @@
 #pragma once
 
 #include <ostream>
-#include <span>
 #include <string>
 
 #include "core/flagging.hpp"
@@ -28,10 +27,6 @@ struct MarkdownReportOptions {
 
 /// Writes the full markdown report for one campaign's frame.
 void write_markdown_report(std::ostream& out, const RecordFrame& frame,
-                           const MarkdownReportOptions& options = {});
-/// Deprecated row-oriented adapter.
-void write_markdown_report(std::ostream& out,
-                           std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                            const MarkdownReportOptions& options = {});
 
 /// One markdown table row per metric (exposed for composition/testing).

@@ -6,12 +6,6 @@
 
 namespace gpuvar {
 
-SizeProjection project_to_cluster_size(std::span<const RunRecord> records,
-                                       std::size_t target_gpus) {
-  return project_to_cluster_size(RecordFrame::from_records(records),
-                                 target_gpus);
-}
-
 SizeProjection project_to_cluster_size(const RecordFrame& frame,
                                        std::size_t target_gpus) {
   GPUVAR_REQUIRE(target_gpus >= 2);

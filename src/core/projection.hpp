@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstddef>
-#include <span>
 
 #include "core/record.hpp"
 #include "telemetry/frame.hpp"
@@ -22,9 +21,6 @@ struct SizeProjection {
 /// Fits per-GPU median performance (box outliers excluded, matching the
 /// paper's variance convention) and projects to `target_gpus`.
 SizeProjection project_to_cluster_size(const RecordFrame& frame,
-                                       std::size_t target_gpus);
-/// Deprecated row-oriented adapter.
-SizeProjection project_to_cluster_size(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                                        std::size_t target_gpus);
 
 }  // namespace gpuvar

@@ -57,11 +57,6 @@ void print_group_boxes(std::ostream& out, const RecordFrame& frame,
       << stats::render_box_chart(series, opts);
 }
 
-void print_group_boxes(std::ostream& out, std::span<const RunRecord> records,
-                       Metric metric, GroupBy group) {
-  print_group_boxes(out, RecordFrame::from_records(records), metric, group);
-}
-
 void print_scatter(std::ostream& out, const RecordFrame& frame, Metric x,
                    Metric y) {
   stats::ScatterOptions opts;
@@ -69,11 +64,6 @@ void print_scatter(std::ostream& out, const RecordFrame& frame, Metric x,
   opts.y_label = metric_name(y) + " (" + metric_unit(y) + ")";
   out << stats::render_scatter(metric_column(frame, x),
                                metric_column(frame, y), opts);
-}
-
-void print_scatter(std::ostream& out, std::span<const RunRecord> records,
-                   Metric x, Metric y) {
-  print_scatter(out, RecordFrame::from_records(records), x, y);
 }
 
 void print_flags(std::ostream& out, const FlagReport& report,

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <ostream>
-#include <span>
 #include <string>
 
 #include "core/correlate.hpp"
@@ -26,16 +25,10 @@ void print_correlation_table(std::ostream& out, const CorrelationReport& r);
 /// Grouped box chart for one metric (one row per cabinet/row/day).
 void print_group_boxes(std::ostream& out, const RecordFrame& frame,
                        Metric metric, GroupBy group);
-/// Deprecated row-oriented adapter.
-void print_group_boxes(std::ostream& out, std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
-                       Metric metric, GroupBy group);
 
 /// ASCII scatter of two metrics.
 void print_scatter(std::ostream& out, const RecordFrame& frame, Metric x,
                    Metric y);
-/// Deprecated row-oriented adapter.
-void print_scatter(std::ostream& out, std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
-                   Metric x, Metric y);
 
 /// Flag report, most severe first.
 void print_flags(std::ostream& out, const FlagReport& report,

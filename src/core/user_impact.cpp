@@ -26,12 +26,6 @@ std::vector<double> prefix_containment(std::size_t n, std::size_t k) {
 
 }  // namespace
 
-JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,
-                     double slow_threshold) {
-  return job_impact(RecordFrame::from_records(records), gpus_per_job,
-                    slow_threshold);
-}
-
 JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
                      double slow_threshold) {
   GPUVAR_REQUIRE(gpus_per_job >= 1);
@@ -77,12 +71,6 @@ JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
                     [&](double x) { return x <= cutoff; }));
   impact.p_any_slow = (m >= k) ? 1.0 - p[m] : 1.0;
   return impact;
-}
-
-std::vector<JobImpact> impact_table(std::span<const RunRecord> records,
-                                    int max_width, double slow_threshold) {
-  return impact_table(RecordFrame::from_records(records), max_width,
-                      slow_threshold);
 }
 
 std::vector<JobImpact> impact_table(const RecordFrame& frame, int max_width,

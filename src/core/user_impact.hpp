@@ -7,7 +7,6 @@
 // per-GPU medians.
 #pragma once
 
-#include <span>
 #include <vector>
 
 #include "core/record.hpp"
@@ -32,16 +31,9 @@ struct JobImpact {
 /// order statistics on the empirical distribution.
 JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
                      double slow_threshold = 0.06);
-/// Deprecated row-oriented adapter.
-JobImpact job_impact(std::span<const RunRecord> records, int gpus_per_job,  // gpuvar-lint: allow(row-record-param)
-                     double slow_threshold = 0.06);
 
 /// Impact table for several job widths (1, 2, 4, 8 ... up to max_width).
 std::vector<JobImpact> impact_table(const RecordFrame& frame,
-                                    int max_width = 8,
-                                    double slow_threshold = 0.06);
-/// Deprecated row-oriented adapter.
-std::vector<JobImpact> impact_table(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
                                     int max_width = 8,
                                     double slow_threshold = 0.06);
 

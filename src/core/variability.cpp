@@ -33,10 +33,6 @@ VariabilityReport analyze_variability(const RecordFrame& frame) {
   return r;
 }
 
-VariabilityReport analyze_variability(std::span<const RunRecord> records) {
-  return analyze_variability(RecordFrame::from_records(records));
-}
-
 int group_key(const RunRecord& r, GroupBy g) {
   switch (g) {
     case GroupBy::kCabinet:
@@ -113,11 +109,6 @@ std::vector<stats::NamedSeries> series_by_group(const RecordFrame& frame,
   return out;
 }
 
-std::vector<stats::NamedSeries> series_by_group(
-    std::span<const RunRecord> records, Metric metric, GroupBy group) {
-  return series_by_group(RecordFrame::from_records(records), metric, group);
-}
-
 std::map<int, VariabilityReport> variability_by_group(const RecordFrame& frame,
                                                       GroupBy group) {
   std::map<int, std::vector<std::size_t>> groups;
@@ -129,11 +120,6 @@ std::map<int, VariabilityReport> variability_by_group(const RecordFrame& frame,
     out.emplace(key, analyze_variability(frame.select(rows)));
   }
   return out;
-}
-
-std::map<int, VariabilityReport> variability_by_group(
-    std::span<const RunRecord> records, GroupBy group) {
-  return variability_by_group(RecordFrame::from_records(records), group);
 }
 
 std::vector<GpuRepeatability> per_gpu_repeatability(const RecordFrame& frame) {
@@ -166,11 +152,6 @@ std::vector<GpuRepeatability> per_gpu_repeatability(const RecordFrame& frame) {
   return out;
 }
 
-std::vector<GpuRepeatability> per_gpu_repeatability(
-    std::span<const RunRecord> records) {
-  return per_gpu_repeatability(RecordFrame::from_records(records));
-}
-
 double slow_assignment_probability(const RecordFrame& frame, int gpus_per_job,
                                    double slowdown_threshold) {
   GPUVAR_REQUIRE(gpus_per_job >= 1);
@@ -189,13 +170,6 @@ double slow_assignment_probability(const RecordFrame& frame, int gpus_per_job,
       static_cast<double>(slow) / static_cast<double>(perf.size());
   // P(at least one of k independent draws is slow).
   return 1.0 - std::pow(1.0 - p_slow, gpus_per_job);
-}
-
-double slow_assignment_probability(std::span<const RunRecord> records,
-                                   int gpus_per_job,
-                                   double slowdown_threshold) {
-  return slow_assignment_probability(RecordFrame::from_records(records),
-                                     gpus_per_job, slowdown_threshold);
 }
 
 }  // namespace gpuvar

@@ -2,13 +2,11 @@
 // metric, per-group breakdowns (cabinet / row / column / day), and the
 // per-GPU run-to-run repeatability of Figure 8.
 //
-// The columnar RecordFrame overloads are the primary entry points; the
-// std::span<const RunRecord> overloads are deprecation-cycle adapters
-// that build a frame and forward (bit-identical by construction).
+// Every entry point takes the columnar RecordFrame (the row-adapter
+// overloads completed their deprecation cycle and are gone).
 #pragma once
 
 #include <map>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -36,8 +34,6 @@ struct VariabilityReport {
 
 /// Full-population variability across all rows of the frame.
 VariabilityReport analyze_variability(const RecordFrame& frame);
-/// Deprecated row-oriented adapter.
-VariabilityReport analyze_variability(std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 /// Grouping keys for breakdowns.
 enum class GroupBy { kCabinet, kRow, kColumn, kNode, kDayOfWeek };
@@ -51,14 +47,10 @@ int group_key(const RecordFrame& frame, std::size_t row, GroupBy g);
 /// Metric values split by group (ordered by key), ready for box charts.
 std::vector<stats::NamedSeries> series_by_group(const RecordFrame& frame,
                                                 Metric metric, GroupBy group);
-std::vector<stats::NamedSeries> series_by_group(
-    std::span<const RunRecord> records, Metric metric, GroupBy group);  // gpuvar-lint: allow(row-record-param)
 
 /// Per-group variability reports.
 std::map<int, VariabilityReport> variability_by_group(const RecordFrame& frame,
                                                       GroupBy group);
-std::map<int, VariabilityReport> variability_by_group(
-    std::span<const RunRecord> records, GroupBy group);  // gpuvar-lint: allow(row-record-param)
 
 /// Figure 8: per-GPU run-to-run performance variation, (max-min)/median
 /// per GPU, as a percentage. Requires >= 2 runs per GPU (GPUs with fewer
@@ -72,17 +64,12 @@ struct GpuRepeatability {
 };
 
 std::vector<GpuRepeatability> per_gpu_repeatability(const RecordFrame& frame);
-std::vector<GpuRepeatability> per_gpu_repeatability(
-    std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 /// Inter-experiment user impact (§VII): the probability that a job
 /// requesting `gpus_per_job` GPUs receives at least one GPU slower than
 /// `slowdown_threshold` (fraction above the median, e.g. 0.06 for "6%
 /// slower than median").
 double slow_assignment_probability(const RecordFrame& frame, int gpus_per_job,
-                                   double slowdown_threshold);
-double slow_assignment_probability(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
-                                   int gpus_per_job,
                                    double slowdown_threshold);
 
 }  // namespace gpuvar

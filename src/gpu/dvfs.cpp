@@ -1,6 +1,8 @@
 #include "gpu/dvfs.hpp"
 
 #include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvar {
 
@@ -46,6 +48,10 @@ bool DvfsController::observe(Seconds now, Watts power, Celsius temperature) {
   last_observe_ = now;
   if (now < next_action_) return false;
   next_action_ = now + sku_->dvfs_control_period;
+  GPUVAR_METRIC_COUNT("dvfs.decisions");
+  // Stamp any instants below with the device clock, not the stale
+  // end-of-last-iteration lane time.
+  GPUVAR_TRACE_ADVANCE(now);
 
   const std::size_t before = index_;
   thermal_throttle_ = false;
@@ -56,6 +62,9 @@ bool DvfsController::observe(Seconds now, Watts power, Celsius temperature) {
     step_down();
     thermal_throttle_ = true;
     up_hold_until_ = now + 10.0 * sku_->dvfs_control_period;
+    GPUVAR_METRIC_COUNT("dvfs.thermal_throttles");
+    GPUVAR_TRACE_INSTANT("dvfs", "thermal_throttle", "state",
+                         static_cast<std::int64_t>(index_));
     return index_ != before;
   }
 
@@ -64,10 +73,16 @@ bool DvfsController::observe(Seconds now, Watts power, Celsius temperature) {
     // Brief hold so a single over-power event doesn't immediately bounce
     // back up (hysteresis).
     up_hold_until_ = now + 4.0 * sku_->dvfs_control_period;
+    if (index_ != before) {
+      GPUVAR_METRIC_COUNT("dvfs.step_downs");
+      GPUVAR_TRACE_INSTANT("dvfs", "step_down", "state",
+                           static_cast<std::int64_t>(index_));
+    }
   } else if (power < power_limit_ - sku_->dvfs_up_margin &&
              now >= up_hold_until_ &&
              temperature < sku_->slowdown_temp - Celsius{2.0}) {
     step_up();
+    if (index_ != before) GPUVAR_METRIC_COUNT("dvfs.step_ups");
   }
   return index_ != before;
 }

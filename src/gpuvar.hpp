@@ -45,6 +45,9 @@
 #include "gpu/silicon.hpp"         // IWYU pragma: export
 #include "gpu/sku.hpp"             // IWYU pragma: export
 #include "hostbench/graph.hpp"        // IWYU pragma: export
+#include "obs/export.hpp"          // IWYU pragma: export
+#include "obs/metrics.hpp"         // IWYU pragma: export
+#include "obs/trace.hpp"           // IWYU pragma: export
 #include "hostbench/host_device.hpp"  // IWYU pragma: export
 #include "hostbench/matrix.hpp"       // IWYU pragma: export
 #include "hostbench/pagerank_cpu.hpp" // IWYU pragma: export

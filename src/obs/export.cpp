@@ -1,0 +1,117 @@
+#include "obs/export.hpp"
+
+#include <string>
+#include <string_view>
+
+#include "common/numfmt.hpp"
+
+namespace gpuvar::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// categories and names are literals, but lane labels carry generated
+/// text like "node 12".
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_event(std::ostream& out, const TraceLane& lane,
+                 const TraceEvent& e) {
+  out << "{\"ph\":\"" << static_cast<char>(e.phase) << "\",\"pid\":1,\"tid\":"
+      << lane.id() << ",\"ts\":" << format_double(e.ts_us, 12);
+  if (e.phase != TracePhase::kEnd) {
+    out << ",\"cat\":\"" << json_escape(e.cat) << "\",\"name\":\""
+        << json_escape(e.name) << "\"";
+    if (e.phase == TracePhase::kInstant) out << ",\"s\":\"t\"";
+  }
+  out << ",\"args\":{\"seq\":" << format_int(static_cast<long long>(e.seq));
+  if (e.arg_key != nullptr) {
+    out << ",\"" << json_escape(e.arg_key)
+        << "\":" << format_int(static_cast<long long>(e.arg_val));
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceSink& sink) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto lanes = sink.lanes();
+  for (const TraceLane* lane : lanes) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << lane->id()
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(lane->label()) << "\"}}";
+    for (const TraceEvent& e : lane->events()) {
+      out << ",\n";
+      write_event(out, *lane, e);
+    }
+  }
+  out << "\n]}\n";
+}
+
+void write_metrics_text(std::ostream& out, const MetricsSnapshot& snap) {
+  out << "# gpuvar metrics v1\n";
+  for (const auto& c : snap.counters) {
+    out << "counter " << c.name << " "
+        << format_int(static_cast<long long>(c.count)) << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    out << "gauge " << g.name << " ";
+    if (g.set) {
+      out << format_int(static_cast<long long>(g.high_water));
+    } else {
+      out << "unset";
+    }
+    out << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const auto& s = h.hist;
+    out << "histogram " << h.name << " count "
+        << format_int(static_cast<long long>(s.count)) << " sum "
+        << format_int(static_cast<long long>(s.total)) << " min "
+        << format_int(static_cast<long long>(s.lo)) << " max "
+        << format_int(static_cast<long long>(s.hi));
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      if (s.buckets[b] == 0) continue;
+      out << " b" << b << ":"
+          << format_int(static_cast<long long>(s.buckets[b]));
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace gpuvar::obs

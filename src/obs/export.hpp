@@ -1,0 +1,26 @@
+// Exporters for the observability layer.
+//
+// Chrome trace-event JSON (load in Perfetto / chrome://tracing) and a
+// line-oriented metrics text dump. Both are deterministic byte
+// streams: lanes export in ascending lane-id order, events in per-lane
+// emission order, metrics in sorted-name order, and every number is
+// formatted through common/numfmt (locale-free std::to_chars). The
+// determinism_replay test pins both byte-identical at 1/4/8 threads.
+#pragma once
+
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gpuvar::obs {
+
+/// Writes the sink as Chrome trace-event JSON ("traceEvents" array of
+/// B/E/i events; tid = lane id; lane labels become thread_name
+/// metadata). Timestamps are simulation-time microseconds.
+void write_chrome_trace(std::ostream& out, const TraceSink& sink);
+
+/// Writes the snapshot as a sorted `kind name value...` text dump.
+void write_metrics_text(std::ostream& out, const MetricsSnapshot& snap);
+
+}  // namespace gpuvar::obs

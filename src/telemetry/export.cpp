@@ -151,8 +151,4 @@ RecordFrame import_results_frame(std::istream& in) {
   return frame;
 }
 
-std::vector<RunRecord> import_results_csv(std::istream& in) {
-  return import_results_frame(in).to_records();
-}
-
 }  // namespace gpuvar

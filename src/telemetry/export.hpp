@@ -38,15 +38,10 @@ void export_series_csv(std::ostream& out, const TimeSeries& series);
 void export_frame_csv(std::ostream& out, std::string_view cluster_name,
                       const RecordFrame& frame);
 
-/// Parses run records back from a results CSV (the inverse of
-/// export_results_csv, and the entry point for measurements collected on
-/// real hardware). Only the columns the analyses use are required:
-/// gpu, node, cabinet, run, perf_ms, freq/power/temp medians.
-/// Deprecated row-oriented adapter over import_results_frame.
-std::vector<RunRecord> import_results_csv(std::istream& in);  // gpuvar-lint: allow(row-record-param)
-
-/// Columnar import: the primary CSV ingestion path. Accepts both the
-/// legacy results schema and the extended export_frame_csv schema
+/// Columnar import: the sole CSV ingestion path (the inverse of
+/// export_results_csv / export_frame_csv, and the entry point for
+/// measurements collected on real hardware). Accepts both the legacy
+/// results schema and the extended export_frame_csv schema
 /// (day_of_week / full-location columns are honoured when present).
 RecordFrame import_results_frame(std::istream& in);
 

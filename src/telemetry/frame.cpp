@@ -4,6 +4,8 @@
 #include <tuple>
 
 #include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/quantile.hpp"
 
 namespace gpuvar {
@@ -44,20 +46,6 @@ RunRecord RecordFrame::row(std::size_t row) const {
   r.temp_c = temp_[row];
   r.counters = counters(row);
   return r;
-}
-
-std::vector<RunRecord> RecordFrame::to_records() const {
-  std::vector<RunRecord> out;
-  out.reserve(size());
-  for (std::size_t i = 0; i < size(); ++i) out.push_back(row(i));
-  return out;
-}
-
-RecordFrame RecordFrame::from_records(std::span<const RunRecord> records) {
-  RecordFrame f;
-  f.reserve(records.size());
-  for (const auto& r : records) f.append_row(r);
-  return f;
 }
 
 void RecordFrame::reserve(std::size_t rows) {
@@ -174,6 +162,10 @@ RecordFrame FrameBuilder::finish() {
   RecordFrame out;
   std::size_t total = 0;
   for (const auto& b : buckets_) total += b.size();
+  GPUVAR_TRACE_SPAN("frame", "merge_buckets", "rows",
+                    static_cast<std::int64_t>(total));
+  GPUVAR_METRIC_ADD("frame.rows_merged", total);
+  GPUVAR_METRIC_MAX("frame.buckets", buckets_.size());
   out.reserve(total);
   for (auto& b : buckets_) {
     out.append(b);

@@ -20,11 +20,13 @@
 // yield a byte-identical frame whatever the pool size or schedule —
 // exactly the guarantee determinism_replay pins for run_experiment.
 //
-// Migration note: the row-oriented APIs (from_records / to_records /
-// row) are deprecation-cycle adapters so existing bench and figure
-// programs keep compiling; new analysis entry points must take
-// `const RecordFrame&` (the analyzer's row-record-param rule enforces
-// this for public headers of the analysis layers).
+// Migration note: the deprecation cycle is over. The bulk row adapters
+// and every row-span analysis overload are gone; analysis entry points
+// take `const RecordFrame&` only (the analyzer's row-record-param rule
+// now bans row-record signatures outright in core/telemetry public
+// headers). Single-row append_row / row(i) remain: they are the
+// streaming construction API and the materialization escape hatch, not
+// a bulk interchange.
 #pragma once
 
 #include <cstdint>
@@ -48,10 +50,6 @@ struct GpuRef {
 class RecordFrame {
  public:
   RecordFrame() = default;
-
-  /// Adapter from the row-oriented layout (one deprecation cycle).
-  static RecordFrame from_records(
-      std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
   std::size_t size() const { return perf_.size(); }
   bool empty() const { return perf_.empty(); }
@@ -90,10 +88,9 @@ class RecordFrame {
   int day_of_week(std::size_t row) const { return day_[row]; }
   ProfilerCounters counters(std::size_t row) const;
 
-  /// Materializes one row (deprecation-cycle adapter).
+  /// Materializes one row (escape hatch for row-shaped consumers, e.g.
+  /// building a mutated copy of a campaign in a test or benchmark).
   RunRecord row(std::size_t row) const;
-  /// Materializes every row (deprecation-cycle adapter).
-  std::vector<RunRecord> to_records() const;  // gpuvar-lint: allow(row-record-param)
 
   // --- construction -----------------------------------------------------
   void reserve(std::size_t rows);

@@ -63,41 +63,4 @@ double metric_value(const GpuAggregate& g, Metric m) {
   return 0.0;
 }
 
-std::vector<double> metric_column(std::span<const RunRecord> records,
-                                  Metric m) {
-  std::vector<double> out;
-  out.reserve(records.size());
-  for (const auto& r : records) out.push_back(metric_value(r, m));
-  return out;
-}
-
-std::vector<GpuAggregate> per_gpu_medians(std::span<const RunRecord> records) {
-  GPUVAR_REQUIRE(!records.empty());
-  std::map<std::size_t, std::vector<const RunRecord*>> by_gpu;
-  for (const auto& r : records) by_gpu[r.gpu_index].push_back(&r);
-
-  std::vector<GpuAggregate> out;
-  out.reserve(by_gpu.size());
-  for (const auto& [gpu, rs] : by_gpu) {
-    GpuAggregate agg;
-    agg.gpu_index = gpu;
-    agg.loc = rs.front()->loc;
-    agg.runs = static_cast<int>(rs.size());
-    std::vector<double> perf, freq, power, temp;
-    perf.reserve(rs.size());
-    for (const RunRecord* r : rs) {
-      perf.push_back(r->perf_ms);
-      freq.push_back(r->freq_mhz);
-      power.push_back(r->power_w);
-      temp.push_back(r->temp_c);
-    }
-    agg.perf_ms = stats::median(perf);
-    agg.freq_mhz = stats::median(freq);
-    agg.power_w = stats::median(power);
-    agg.temp_c = stats::median(temp);
-    out.push_back(std::move(agg));
-  }
-  return out;
-}
-
 }  // namespace gpuvar

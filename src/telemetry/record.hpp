@@ -7,11 +7,10 @@
 // runner results lives in core/record.hpp.
 //
 // RunRecord remains the *row* schema; the canonical bulk interchange is
-// the columnar RecordFrame (telemetry/frame.hpp). Row-oriented bulk
-// APIs here are deprecation-cycle adapters.
+// the columnar RecordFrame (telemetry/frame.hpp), and the bulk
+// row-oriented APIs are gone — analyses consume frames only.
 #pragma once
 
-#include <span>
 #include <string>
 #include <vector>
 
@@ -40,12 +39,6 @@ struct RunRecord {
 
 double metric_value(const RunRecord& r, Metric m);
 
-/// Column extraction over row-oriented records. Allocates and copies on
-/// every call — deprecation-cycle adapter only; the zero-copy path is
-/// metric_column(const RecordFrame&, Metric) in telemetry/frame.hpp.
-std::vector<double> metric_column(std::span<const RunRecord> records,  // gpuvar-lint: allow(row-record-param)
-                                  Metric m);
-
 /// Per-GPU aggregate: the median of each metric across a GPU's runs.
 struct GpuAggregate {
   std::size_t gpu_index = 0;
@@ -58,11 +51,5 @@ struct GpuAggregate {
 };
 
 double metric_value(const GpuAggregate& g, Metric m);
-
-/// Collapses records to one aggregate per GPU (ordered by gpu_index).
-/// Row-oriented deprecation-cycle adapter; the columnar path is
-/// per_gpu_medians(const RecordFrame&) in telemetry/frame.hpp, which is
-/// bit-identical (the frame property tests pin this).
-std::vector<GpuAggregate> per_gpu_medians(std::span<const RunRecord> records);  // gpuvar-lint: allow(row-record-param)
 
 }  // namespace gpuvar

@@ -6,6 +6,8 @@
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/quantile.hpp"
 
 namespace gpuvar {
@@ -118,9 +120,11 @@ std::vector<GpuRunResult> run_job(const Cluster& cluster,
     ranks.push_back(std::move(r));
   }
 
-  const int total_iters = workload.warmup_iterations + workload.iterations;
-  for (int iter = 0; iter < total_iters; ++iter) {
-    const bool measuring = iter >= workload.warmup_iterations;
+  GPUVAR_TRACE_SPAN("runner", "run_job", "run", run_index);
+  GPUVAR_METRIC_COUNT("runner.jobs");
+  GPUVAR_METRIC_MAX("runner.ranks_per_job", ranks.size());
+
+  const auto run_iteration = [&](bool measuring) {
     Seconds max_elapsed{};
     std::vector<Seconds> elapsed(ranks.size(), Seconds{});
 
@@ -156,6 +160,30 @@ std::vector<GpuRunResult> run_job(const Cluster& cluster,
       r.device->idle_for(iteration_time - elapsed[ri], sampler);
       if (measuring) r.iteration_ms.push_back(to_ms(iteration_time));
     }
+    // Two macro call sites, not one with a ternary name: each call site
+    // caches its Counter* per install epoch, so the name must be fixed.
+    if (measuring) {
+      GPUVAR_METRIC_COUNT("runner.iterations");
+    } else {
+      GPUVAR_METRIC_COUNT("runner.warmup_iterations");
+    }
+    // All ranks settle at the same device clock after the barrier; that
+    // clock is the job's simulation timeline.
+    GPUVAR_TRACE_ADVANCE(ranks.front().device->clock());
+  };
+
+  {
+    GPUVAR_TRACE_SPAN("runner", "warmup", "iters",
+                      workload.warmup_iterations);
+    for (int iter = 0; iter < workload.warmup_iterations; ++iter) {
+      run_iteration(false);
+    }
+  }
+  {
+    GPUVAR_TRACE_SPAN("runner", "measure", "iters", workload.iterations);
+    for (int iter = 0; iter < workload.iterations; ++iter) {
+      run_iteration(true);
+    }
   }
 
   std::vector<GpuRunResult> results;
@@ -166,6 +194,7 @@ std::vector<GpuRunResult> run_job(const Cluster& cluster,
     out.run_index = run_index;
     out.perf_ms =
         extract_perf_metric(workload, r.long_kernel_ms, r.iteration_ms);
+    GPUVAR_METRIC_HIST("runner.perf_us", out.perf_ms * 1000.0);
     out.iteration_ms = std::move(r.iteration_ms);
     out.telemetry = r.sampler->summary();
     out.counters = r.counters.aggregate();

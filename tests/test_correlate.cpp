@@ -3,13 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 namespace {
 
-std::vector<RunRecord> linear_records() {
+RecordFrame linear_records() {
   // perf inversely proportional to frequency; power constant; temp noisy.
-  std::vector<RunRecord> rs;
+  RecordFrame rs;
   Rng rng(1);
   for (int i = 0; i < 100; ++i) {
     RunRecord r;
@@ -18,7 +19,7 @@ std::vector<RunRecord> linear_records() {
     r.perf_ms = 1e6 / r.freq_mhz;
     r.power_w = 298.0;
     r.temp_c = rng.uniform(40.0, 80.0);
-    rs.push_back(r);
+    rs.append_row(r);
   }
   return rs;
 }
@@ -51,7 +52,8 @@ TEST(Correlate, ReportCoversPaperPairs) {
 }
 
 TEST(Correlate, TooFewRecordsThrow) {
-  std::vector<RunRecord> rs(1);
+  RecordFrame rs;
+  rs.append_row(RunRecord{});
   EXPECT_THROW(correlate_pair(rs, Metric::kFreq, Metric::kPerf),
                std::invalid_argument);
 }

@@ -15,6 +15,9 @@
 #include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 #include "core/markdown_report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/export.hpp"
 
 namespace gpuvar {
@@ -24,19 +27,38 @@ struct CampaignArtifacts {
   std::string csv;
   std::string frame_csv;
   std::string markdown;
+  std::string trace_json;
+  std::string metrics_text;
 };
 
 /// Runs the full campaign on a private pool of `threads` workers and
-/// renders both interchange artifacts: the per-run results CSV (via the
-/// same pool-parallel per-node path the CLI uses) and the markdown
-/// report over the experiment's records.
+/// renders every interchange artifact: the per-run results CSV (via the
+/// same pool-parallel per-node path the CLI uses), the markdown report
+/// over the experiment's records, and the observability exports (the
+/// Chrome trace and the metrics dump collected during the campaign).
 CampaignArtifacts run_campaign(std::size_t threads) {
   const Cluster cluster{cloudlab_spec()};
   ThreadPool pool(threads);
 
   auto cfg = default_config(cluster, sgemm_workload(16384, 2), 2);
   cfg.pool = &pool;
-  const auto result = run_experiment(cluster, cfg);
+
+  // Trace + metrics ride along exactly as under `gpuvar simulate
+  // --trace --metrics`: lanes are logical timelines on simulation
+  // time, metric merges are commutative integers, so both exports
+  // must be byte-identical at any pool size.
+  obs::TraceSink sink;
+  obs::Registry registry;
+  ExperimentResult result;
+  {
+    obs::ScopedTrace trace_guard(&sink);
+    obs::ScopedMetrics metrics_guard(&registry);
+    result = run_experiment(cluster, cfg);
+  }
+  std::ostringstream trace_json;
+  obs::write_chrome_trace(trace_json, sink);
+  std::ostringstream metrics_text;
+  obs::write_metrics_text(metrics_text, registry.snapshot());
 
   MarkdownReportOptions md_opts;
   md_opts.bootstrap_resamples = 50;
@@ -66,7 +88,8 @@ CampaignArtifacts run_campaign(std::size_t threads) {
   }
   std::ostringstream csv;
   export_results_csv(csv, cluster.name(), cluster.locations(), rows);
-  return {csv.str(), frame_csv.str(), md.str()};
+  return {csv.str(), frame_csv.str(), md.str(), trace_json.str(),
+          metrics_text.str()};
 }
 
 TEST(DeterminismReplay, ByteIdenticalAcrossPoolSizes) {
@@ -91,6 +114,21 @@ TEST(DeterminismReplay, ByteIdenticalAcrossPoolSizes) {
       << "markdown report differs between 1 and 4 threads";
   EXPECT_EQ(one.markdown, eight.markdown)
       << "markdown report differs between 1 and 8 threads";
+
+  ASSERT_FALSE(one.trace_json.empty());
+  ASSERT_FALSE(one.metrics_text.empty());
+  EXPECT_EQ(one.trace_json, four.trace_json)
+      << "Chrome trace differs between 1 and 4 threads: a lane was "
+         "shared across tasks or a timestamp came from a wall clock";
+  EXPECT_EQ(one.trace_json, eight.trace_json)
+      << "Chrome trace differs between 1 and 8 threads: a lane was "
+         "shared across tasks or a timestamp came from a wall clock";
+  EXPECT_EQ(one.metrics_text, four.metrics_text)
+      << "metrics dump differs between 1 and 4 threads: a metric merge "
+         "is not commutative";
+  EXPECT_EQ(one.metrics_text, eight.metrics_text)
+      << "metrics dump differs between 1 and 8 threads: a metric merge "
+         "is not commutative";
 }
 
 TEST(DeterminismReplay, RepeatOnSamePoolIsIdentical) {
@@ -101,6 +139,8 @@ TEST(DeterminismReplay, RepeatOnSamePoolIsIdentical) {
   EXPECT_EQ(a.csv, b.csv);
   EXPECT_EQ(a.frame_csv, b.frame_csv);
   EXPECT_EQ(a.markdown, b.markdown);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.metrics_text, b.metrics_text);
 }
 
 }  // namespace

@@ -36,22 +36,30 @@ void add_drift(std::vector<RunRecord>& records, std::size_t gpu,
   }
 }
 
+/// Test-local frame construction (the bulk row adapters are gone).
+RecordFrame frame_from(const std::vector<RunRecord>& rows) {
+  RecordFrame f;
+  f.reserve(rows.size());
+  for (const auto& r : rows) f.append_row(r);
+  return f;
+}
+
 TEST(Drift, NoiseEstimateRecoversSigma) {
   const auto records = fleet_history(50, 20, 5.0);
-  EXPECT_NEAR(estimate_run_noise_ms(records), 5.0, 1.2);
+  EXPECT_NEAR(estimate_run_noise_ms(frame_from(records)), 5.0, 1.2);
 }
 
 TEST(Drift, StableFleetRaisesNoFlags) {
   // The paper's core temporal finding: variability is persistent, not
   // drifting — so a healthy history must be silent.
   const auto records = fleet_history(80, 12, 5.0);
-  EXPECT_TRUE(detect_performance_drift(records).empty());
+  EXPECT_TRUE(detect_performance_drift(frame_from(records)).empty());
 }
 
 TEST(Drift, DetectsADegradingGpu) {
   auto records = fleet_history(80, 12, 5.0);
   add_drift(records, 17, 8.0);  // ~+88 ms over the history (~3.5%)
-  const auto flags = detect_performance_drift(records);
+  const auto flags = detect_performance_drift(frame_from(records));
   ASSERT_EQ(flags.size(), 1u);
   EXPECT_EQ(flags[0].gpu_index, 17u);
   EXPECT_GT(flags[0].drift_pct, 1.0);
@@ -61,7 +69,7 @@ TEST(Drift, DetectsADegradingGpu) {
 TEST(Drift, DetectsImprovementAsNegativeDrift) {
   auto records = fleet_history(40, 12, 5.0);
   add_drift(records, 3, -8.0);  // e.g. a heatsink was reseated
-  const auto flags = detect_performance_drift(records);
+  const auto flags = detect_performance_drift(frame_from(records));
   ASSERT_EQ(flags.size(), 1u);
   EXPECT_LT(flags[0].drift_pct, 0.0);
 }
@@ -70,7 +78,7 @@ TEST(Drift, SortsBySeverity) {
   auto records = fleet_history(40, 12, 5.0);
   add_drift(records, 5, 6.0);
   add_drift(records, 9, 15.0);
-  const auto flags = detect_performance_drift(records);
+  const auto flags = detect_performance_drift(frame_from(records));
   ASSERT_GE(flags.size(), 2u);
   EXPECT_EQ(flags[0].gpu_index, 9u);
 }
@@ -82,7 +90,7 @@ TEST(Drift, SlowButStableGpuIsNotFlagged) {
   for (auto& r : records) {
     if (r.gpu_index == 7) r.perf_ms += 200.0;  // constant offset
   }
-  for (const auto& f : detect_performance_drift(records)) {
+  for (const auto& f : detect_performance_drift(frame_from(records))) {
     EXPECT_NE(f.gpu_index, 7u);
   }
 }
@@ -90,7 +98,7 @@ TEST(Drift, SlowButStableGpuIsNotFlagged) {
 TEST(Drift, ShortHistoriesSkipped) {
   auto records = fleet_history(10, 4, 5.0);
   add_drift(records, 2, 50.0);
-  EXPECT_TRUE(detect_performance_drift(records).empty());
+  EXPECT_TRUE(detect_performance_drift(frame_from(records)).empty());
 }
 
 TEST(Drift, ThresholdControlsSensitivity) {
@@ -101,19 +109,19 @@ TEST(Drift, ThresholdControlsSensitivity) {
   loose.min_drift_fraction = 0.003;
   DriftOptions strict;
   strict.threshold_sigmas = 12.0;
-  EXPECT_FALSE(detect_performance_drift(records, loose).empty());
-  EXPECT_TRUE(detect_performance_drift(records, strict).empty());
+  EXPECT_FALSE(detect_performance_drift(frame_from(records), loose).empty());
+  EXPECT_TRUE(detect_performance_drift(frame_from(records), strict).empty());
 }
 
 TEST(Drift, RejectsBadOptions) {
   const auto records = fleet_history(5, 8, 2.0);
   DriftOptions bad;
   bad.ewma_alpha = 0.0;
-  EXPECT_THROW(detect_performance_drift(records, bad),
+  EXPECT_THROW(detect_performance_drift(frame_from(records), bad),
                std::invalid_argument);
   bad = DriftOptions{};
   bad.min_runs = bad.baseline_runs;
-  EXPECT_THROW(detect_performance_drift(records, bad),
+  EXPECT_THROW(detect_performance_drift(frame_from(records), bad),
                std::invalid_argument);
 }
 
@@ -123,7 +131,7 @@ TEST(Drift, RealCampaignIsStable) {
   auto cfg = default_config(vortex, sgemm_workload(25536, 5), 8);
   cfg.node_coverage = 0.3;
   const auto result = run_experiment(vortex, cfg);
-  EXPECT_TRUE(detect_performance_drift(result.records).empty());
+  EXPECT_TRUE(detect_performance_drift(result.frame).empty());
 }
 
 }  // namespace

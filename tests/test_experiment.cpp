@@ -17,18 +17,18 @@ TEST_F(ExperimentTest, CoversAllGpusWithConfiguredRuns) {
   const auto result = run_experiment(cluster_, cfg);
   EXPECT_EQ(result.gpus_measured, cluster_.size());
   EXPECT_EQ(result.nodes_measured, 3u);
-  EXPECT_EQ(result.records.size(), cluster_.size() * 2);
+  EXPECT_EQ(result.frame.size(), cluster_.size() * 2);
 }
 
 TEST_F(ExperimentTest, RecordsCarryLocationAndMetrics) {
   auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 1);
   const auto result = run_experiment(cluster_, cfg);
-  for (const auto& r : result.records) {
-    EXPECT_FALSE(r.loc.name.empty());
-    EXPECT_GT(r.perf_ms, 0.0);
-    EXPECT_GT(r.freq_mhz, 0.0);
-    EXPECT_GT(r.power_w, 0.0);
-    EXPECT_GT(r.temp_c, 0.0);
+  for (std::size_t i = 0; i < result.frame.size(); ++i) {
+    EXPECT_FALSE(result.frame.loc(i).name.empty());
+    EXPECT_GT(result.frame.perf_ms()[i], 0.0);
+    EXPECT_GT(result.frame.freq_mhz()[i], 0.0);
+    EXPECT_GT(result.frame.power_w()[i], 0.0);
+    EXPECT_GT(result.frame.temp_c()[i], 0.0);
   }
 }
 
@@ -36,11 +36,11 @@ TEST_F(ExperimentTest, DeterministicAcrossInvocations) {
   auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 2);
   const auto a = run_experiment(cluster_, cfg);
   const auto b = run_experiment(cluster_, cfg);
-  ASSERT_EQ(a.records.size(), b.records.size());
+  ASSERT_EQ(a.frame.size(), b.frame.size());
   // Records arrive grouped by node; same config -> identical values.
-  for (std::size_t i = 0; i < a.records.size(); ++i) {
-    EXPECT_EQ(a.records[i].gpu_index, b.records[i].gpu_index);
-    EXPECT_DOUBLE_EQ(a.records[i].perf_ms, b.records[i].perf_ms);
+  for (std::size_t i = 0; i < a.frame.size(); ++i) {
+    EXPECT_EQ(a.frame.gpu_index(i), b.frame.gpu_index(i));
+    EXPECT_DOUBLE_EQ(a.frame.perf_ms()[i], b.frame.perf_ms()[i]);
   }
 }
 
@@ -50,29 +50,31 @@ TEST_F(ExperimentTest, NodeCoverageSubsamples) {
   cfg.node_coverage = 0.25;
   const auto result = run_experiment(longhorn, cfg);
   EXPECT_EQ(result.nodes_measured, 26u);
-  EXPECT_EQ(result.records.size(), 26u * 4u);
+  EXPECT_EQ(result.frame.size(), 26u * 4u);
 }
 
 TEST_F(ExperimentTest, DayTagStampsRecordsAndChangesNoise) {
   auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 1);
   cfg.day_of_week = 2;
   const auto wed = run_experiment(cluster_, cfg);
-  for (const auto& r : wed.records) EXPECT_EQ(r.day_of_week, 2);
+  for (std::int16_t d : wed.frame.days_of_week()) EXPECT_EQ(d, 2);
 
   cfg.day_of_week = 3;
   const auto thu = run_experiment(cluster_, cfg);
   // Same hardware population, different transient draws.
-  EXPECT_NE(wed.records[0].perf_ms, thu.records[0].perf_ms);
-  EXPECT_NEAR(wed.records[0].perf_ms / thu.records[0].perf_ms, 1.0, 0.05);
+  EXPECT_NE(wed.frame.perf_ms()[0], thu.frame.perf_ms()[0]);
+  EXPECT_NEAR(wed.frame.perf_ms()[0] / thu.frame.perf_ms()[0], 1.0, 0.05);
 }
 
 TEST_F(ExperimentTest, MultiGpuWorkloadOneJobPerNode) {
   auto cfg = default_config(cluster_, resnet50_multi_workload(5), 1);
   const auto result = run_experiment(cluster_, cfg);
   // 3 nodes x 4 GPUs, one record per GPU.
-  EXPECT_EQ(result.records.size(), 12u);
+  EXPECT_EQ(result.frame.size(), 12u);
   std::set<std::size_t> gpus;
-  for (const auto& r : result.records) gpus.insert(r.gpu_index);
+  for (std::size_t i = 0; i < result.frame.size(); ++i) {
+    gpus.insert(result.frame.gpu_index(i));
+  }
   EXPECT_EQ(gpus.size(), 12u);
 }
 

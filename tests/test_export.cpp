@@ -63,24 +63,24 @@ TEST(Export, ImportRoundTripsExport) {
   std::ostringstream out;
   export_results_csv(out, c.name(), c.locations(), results);
   std::istringstream in(out.str());
-  const auto records = import_results_csv(in);
-  ASSERT_EQ(records.size(), 4u);
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    EXPECT_EQ(records[i].loc.name, c.gpu(results[i].gpu_index).loc.name);
-    EXPECT_NEAR(records[i].perf_ms, results[i].perf_ms,
+  const auto frame = import_results_frame(in);
+  ASSERT_EQ(frame.size(), 4u);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(frame.loc(i).name, c.gpu(results[i].gpu_index).loc.name);
+    EXPECT_NEAR(frame.perf_ms()[i], results[i].perf_ms,
                 1e-8 * results[i].perf_ms);
-    EXPECT_NEAR(records[i].power_w, results[i].telemetry.power.median,
+    EXPECT_NEAR(frame.power_w()[i], results[i].telemetry.power.median,
                 1e-6);
-    EXPECT_EQ(records[i].run_index, static_cast<int>(i));
-    EXPECT_NEAR(records[i].counters.fu_util, 10.0, 1e-9);
+    EXPECT_EQ(frame.run_index(i), static_cast<int>(i));
+    EXPECT_NEAR(frame.fu_util()[i], 10.0, 1e-9);
   }
   // Distinct GPUs keep distinct synthesized indices.
-  EXPECT_NE(records[0].gpu_index, records[1].gpu_index);
+  EXPECT_NE(frame.gpu_index(0), frame.gpu_index(1));
 }
 
 TEST(Export, ImportRejectsMissingColumns) {
   std::istringstream in("gpu,node\nfoo,1\n");
-  EXPECT_THROW(import_results_csv(in), std::invalid_argument);
+  EXPECT_THROW(import_results_frame(in), std::invalid_argument);
 }
 
 TEST(Export, EmptySeriesJustHeader) {

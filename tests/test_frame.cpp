@@ -1,13 +1,15 @@
 // RecordFrame: the columnar data plane (telemetry/frame.hpp).
 //
-// The contract under test is bit-identity, not approximation: every
-// migrated analysis must produce exactly the same bytes/doubles from a
-// RecordFrame as from the equivalent RunRecord rows, the FrameBuilder
-// merge must be independent of how rows were partitioned into buckets,
-// and the frame CSV must round-trip losslessly.
+// The contract under test is bit-identity, not approximation: the frame
+// must produce exactly the same bytes/doubles as the row-oriented
+// reference implementations kept below as test-local oracles (the
+// library's bulk row adapters are gone), the FrameBuilder merge must be
+// independent of how rows were partitioned into buckets, and the frame
+// CSV must round-trip losslessly.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "core/projection.hpp"
 #include "core/user_impact.hpp"
 #include "core/variability.hpp"
+#include "stats/quantile.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/frame.hpp"
 
@@ -62,6 +65,62 @@ std::vector<RunRecord> synth_records(std::size_t gpus, int runs) {
   return out;
 }
 
+
+/// Test-local frame construction from rows (the library's bulk row
+/// adapters are gone; streaming append_row is the construction API).
+RecordFrame frame_from(const std::vector<RunRecord>& rows,
+                       std::size_t start = 0,
+                       std::size_t count = std::size_t(-1)) {
+  const std::size_t end = std::min(rows.size(), count == std::size_t(-1)
+                                                    ? rows.size()
+                                                    : start + count);
+  RecordFrame f;
+  f.reserve(end - start);
+  for (std::size_t i = start; i < end; ++i) f.append_row(rows[i]);
+  return f;
+}
+
+/// Row-oriented oracle for metric_column: the original AoS extraction,
+/// kept here to pin the frame path bit-for-bit.
+std::vector<double> rows_metric_column(const std::vector<RunRecord>& records,
+                                       Metric m) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(metric_value(r, m));
+  return out;
+}
+
+/// Row-oriented oracle for per_gpu_medians: the original map-per-GPU
+/// aggregation the counting-sort frame path must reproduce exactly.
+std::vector<GpuAggregate> rows_per_gpu_medians(
+    const std::vector<RunRecord>& records) {
+  std::map<std::size_t, std::vector<const RunRecord*>> by_gpu;
+  for (const auto& r : records) by_gpu[r.gpu_index].push_back(&r);
+
+  std::vector<GpuAggregate> out;
+  out.reserve(by_gpu.size());
+  for (const auto& [gpu, rs] : by_gpu) {
+    GpuAggregate agg;
+    agg.gpu_index = gpu;
+    agg.loc = rs.front()->loc;
+    agg.runs = static_cast<int>(rs.size());
+    std::vector<double> perf, freq, power, temp;
+    perf.reserve(rs.size());
+    for (const RunRecord* r : rs) {
+      perf.push_back(r->perf_ms);
+      freq.push_back(r->freq_mhz);
+      power.push_back(r->power_w);
+      temp.push_back(r->temp_c);
+    }
+    agg.perf_ms = stats::median(perf);
+    agg.freq_mhz = stats::median(freq);
+    agg.power_w = stats::median(power);
+    agg.temp_c = stats::median(temp);
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
 void expect_frames_identical(const RecordFrame& a, const RecordFrame& b) {
   ASSERT_EQ(a.size(), b.size());
   ASSERT_EQ(a.gpu_count(), b.gpu_count());
@@ -82,10 +141,11 @@ void expect_frames_identical(const RecordFrame& a, const RecordFrame& b) {
 
 TEST(RecordFrame, RoundTripsRows) {
   const auto records = synth_records(24, 3);
-  const auto frame = RecordFrame::from_records(records);
+  const auto frame = frame_from(records);
   ASSERT_EQ(frame.size(), records.size());
   EXPECT_EQ(frame.gpu_count(), 24u);
-  const auto back = frame.to_records();
+  std::vector<RunRecord> back;
+  for (std::size_t i = 0; i < frame.size(); ++i) back.push_back(frame.row(i));
   ASSERT_EQ(back.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     EXPECT_EQ(back[i].gpu_index, records[i].gpu_index);
@@ -103,14 +163,14 @@ TEST(RecordFrame, RoundTripsRows) {
 
 TEST(RecordFrame, MetricViewsAreZeroCopyAndMatchRows) {
   const auto records = synth_records(16, 2);
-  const auto frame = RecordFrame::from_records(records);
+  const auto frame = frame_from(records);
   // Same underlying storage for repeated calls: a true view, not a copy.
   EXPECT_EQ(frame.perf_ms().data(), frame.metric(Metric::kPerf).data());
   EXPECT_EQ(frame.metric(Metric::kPerf).data(),
             metric_column(frame, Metric::kPerf).data());
   for (Metric m : {Metric::kPerf, Metric::kFreq, Metric::kPower,
                    Metric::kTemp}) {
-    const auto legacy = metric_column(std::span<const RunRecord>(records), m);
+    const auto legacy = rows_metric_column(records, m);
     const auto view = metric_column(frame, m);
     ASSERT_EQ(legacy.size(), view.size());
     for (std::size_t i = 0; i < view.size(); ++i) {
@@ -141,12 +201,11 @@ TEST(RecordFrame, BuilderIsPartitionInvariant) {
 
 TEST(RecordFrame, ChunkedAppendMatchesBulkBuild) {
   const auto records = synth_records(12, 3);
-  const auto expected = RecordFrame::from_records(records);
+  const auto expected = frame_from(records);
   RecordFrame chunked;
   for (std::size_t start = 0; start < records.size(); start += 7) {
     const std::size_t len = std::min<std::size_t>(7, records.size() - start);
-    const auto chunk = RecordFrame::from_records(
-        std::span<const RunRecord>(records).subspan(start, len));
+    const auto chunk = frame_from(records, start, len);
     chunked.append(chunk);
   }
   expect_frames_identical(expected, chunked);
@@ -154,8 +213,8 @@ TEST(RecordFrame, ChunkedAppendMatchesBulkBuild) {
 
 TEST(RecordFrame, PerGpuMediansBitIdenticalToRowPath) {
   const auto records = synth_records(31, 5);
-  const auto frame = RecordFrame::from_records(records);
-  const auto rows = per_gpu_medians(std::span<const RunRecord>(records));
+  const auto frame = frame_from(records);
+  const auto rows = rows_per_gpu_medians(records);
   const auto cols = per_gpu_medians(frame);
   ASSERT_EQ(rows.size(), cols.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -169,10 +228,15 @@ TEST(RecordFrame, PerGpuMediansBitIdenticalToRowPath) {
   }
 }
 
-TEST(RecordFrame, AnalysesBitIdenticalFromFrameAndRows) {
+TEST(RecordFrame, AnalysesInvariantUnderRowMaterialization) {
+  // Materializing every row (frame.row) and re-appending it must yield a
+  // frame every analysis treats as bit-identical — the escape hatch for
+  // row-shaped consumers cannot lose or perturb anything.
   const auto records = synth_records(28, 6);
-  const std::span<const RunRecord> rows(records);
-  const auto frame = RecordFrame::from_records(rows);
+  const auto frame = frame_from(records);
+  RecordFrame rows;
+  rows.reserve(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) rows.append_row(frame.row(i));
 
   const auto va = analyze_variability(rows);
   const auto vb = analyze_variability(frame);
@@ -237,14 +301,19 @@ TEST(RecordFrame, AnalysesBitIdenticalFromFrameAndRows) {
   EXPECT_EQ(md_rows.str(), md_frame.str());
 }
 
-TEST(RecordFrame, CompareCampaignsBitIdentical) {
+TEST(RecordFrame, CompareCampaignsPartitionInvariant) {
   const auto before = synth_records(20, 3);
   auto after = synth_records(20, 3);
   for (auto& r : after) r.perf_ms *= 1.01;
-  const std::span<const RunRecord> bs(before), as(after);
-  const auto via_rows = compare_campaigns(bs, as);
-  const auto via_frames = compare_campaigns(RecordFrame::from_records(bs),
-                                            RecordFrame::from_records(as));
+  // Bulk-built frames vs chunk-appended frames: same comparison bytes.
+  RecordFrame before_chunked, after_chunked;
+  for (std::size_t start = 0; start < before.size(); start += 11) {
+    before_chunked.append(frame_from(before, start, 11));
+    after_chunked.append(frame_from(after, start, 11));
+  }
+  const auto via_rows = compare_campaigns(before_chunked, after_chunked);
+  const auto via_frames =
+      compare_campaigns(frame_from(before), frame_from(after));
   EXPECT_EQ(via_rows.matched_gpus, via_frames.matched_gpus);
   EXPECT_EQ(via_rows.median_delta_pct, via_frames.median_delta_pct);
   EXPECT_EQ(via_rows.noise_floor_pct, via_frames.noise_floor_pct);
@@ -258,7 +327,7 @@ TEST(RecordFrame, CompareCampaignsBitIdentical) {
 
 TEST(RecordFrame, SelectPreservesRowsAndReinterns) {
   const auto records = synth_records(10, 2);
-  const auto frame = RecordFrame::from_records(records);
+  const auto frame = frame_from(records);
   std::vector<std::size_t> odd_rows;
   for (std::size_t i = 1; i < frame.size(); i += 2) odd_rows.push_back(i);
   const auto sub = frame.select(odd_rows);
@@ -273,7 +342,7 @@ TEST(RecordFrame, SelectPreservesRowsAndReinterns) {
 
 TEST(RecordFrame, CsvRoundTripIsLossless) {
   const auto records = synth_records(18, 3);
-  const auto frame = RecordFrame::from_records(records);
+  const auto frame = frame_from(records);
 
   std::ostringstream csv;
   export_frame_csv(csv, "synth", frame);
@@ -307,24 +376,9 @@ TEST(RecordFrame, CsvRoundTripIsLossless) {
   EXPECT_EQ(csv.str(), again.str());
 }
 
-TEST(RecordFrame, LegacyImportMatchesFrameImport) {
-  const auto records = synth_records(8, 2);
-  std::ostringstream csv;
-  export_frame_csv(csv, "synth", RecordFrame::from_records(records));
-  std::istringstream in_rows(csv.str()), in_frame(csv.str());
-  const auto rows = import_results_csv(in_rows);
-  const auto frame = import_results_frame(in_frame);
-  ASSERT_EQ(rows.size(), frame.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    EXPECT_EQ(rows[i].gpu_index, frame.gpu_index(i));
-    EXPECT_EQ(rows[i].perf_ms, frame.perf_ms()[i]);
-    EXPECT_EQ(rows[i].day_of_week, frame.day_of_week(i));
-  }
-}
-
 TEST(RecordFrame, MemoryFootprintBeatsRowLayout) {
   const auto records = synth_records(256, 4);
-  const auto frame = RecordFrame::from_records(records);
+  const auto frame = frame_from(records);
   std::size_t row_bytes = records.capacity() * sizeof(RunRecord);
   for (const auto& r : records) row_bytes += r.loc.name.capacity();
   EXPECT_LT(frame.memory_bytes(), row_bytes);

@@ -93,12 +93,12 @@ TEST_F(GlobalPmTest, CoordinationReducesVariabilityAtSameEnvelope) {
   const auto uniform = analyze_variability(
       run_under_assignment(cluster_, workload,
                            uniform_assignment(cluster_, envelope))
-          .records);
+          .frame);
   const auto coordinated = analyze_variability(
       run_under_assignment(
           cluster_, workload,
           equal_frequency_assignment(cluster_, envelope, kernel_))
-          .records);
+          .frame);
 
   EXPECT_LT(coordinated.perf.variation_pct,
             0.6 * uniform.perf.variation_pct);

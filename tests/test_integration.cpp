@@ -24,7 +24,7 @@ ExperimentResult sgemm_campaign(const Cluster& cluster, int reps = 10,
 TEST(Integration, Takeaway1_LonghornSgemmVariability) {
   Cluster longhorn(longhorn_spec());
   const auto result = sgemm_campaign(longhorn);
-  const auto report = analyze_variability(result.records);
+  const auto report = analyze_variability(result.frame);
   // ~9% performance variation (we accept 6-16%).
   EXPECT_GT(report.perf.variation_pct, 6.0);
   EXPECT_LT(report.perf.variation_pct, 16.0);
@@ -34,7 +34,7 @@ TEST(Integration, Takeaway1_LonghornSgemmVariability) {
   // Power outliers near 250 W exist.
   EXPECT_LT(report.power.box.min, 265.0);
   // Strong perf-frequency correlation, weak perf-temp correlation.
-  const auto corr = correlate_metrics(result.records);
+  const auto corr = correlate_metrics(result.frame);
   EXPECT_LT(corr.perf_freq.rho, -0.9);
   EXPECT_GT(corr.perf_temp.rho, 0.1);
   EXPECT_LT(corr.perf_temp.rho, 0.75);
@@ -43,8 +43,8 @@ TEST(Integration, Takeaway1_LonghornSgemmVariability) {
 TEST(Integration, Takeaway3_WaterCoolingNarrowsTemperatureOnly) {
   Cluster longhorn(longhorn_spec());
   Cluster vortex(vortex_spec());
-  const auto air = analyze_variability(sgemm_campaign(longhorn).records);
-  const auto water = analyze_variability(sgemm_campaign(vortex).records);
+  const auto air = analyze_variability(sgemm_campaign(longhorn).frame);
+  const auto water = analyze_variability(sgemm_campaign(vortex).frame);
   // Water cooling: clearly narrower temperature IQR and lower median...
   EXPECT_LT(water.temp.box.iqr, 0.7 * air.temp.box.iqr);
   EXPECT_LT(water.temp.box.median, air.temp.box.median - 10.0);
@@ -55,7 +55,7 @@ TEST(Integration, Takeaway3_WaterCoolingNarrowsTemperatureOnly) {
 TEST(Integration, Takeaway2_SummitPowerOutliersConcentrated) {
   Cluster summit(summit_spec(0x5077, 8, 29, 2, 6));
   const auto result = sgemm_campaign(summit, 8, 1);
-  const auto by_row = variability_by_group(result.records, GroupBy::kRow);
+  const auto by_row = variability_by_group(result.frame, GroupBy::kRow);
   ASSERT_EQ(by_row.size(), 8u);
   // Rows 0 (A) and 7 (H) carry the injected power outliers.
   std::size_t outliers_in_targets = by_row.at(0).power.box.outlier_count() +
@@ -69,11 +69,11 @@ TEST(Integration, Takeaway2_SummitPowerOutliersConcentrated) {
   EXPECT_GT(outliers_in_targets, outliers_elsewhere);
   // Power outliers are not explained by temperature: the capped GPUs'
   // temps stay inside the whiskers.
-  const auto gpus = per_gpu_medians(result.records);
+  const auto gpus = per_gpu_medians(result.frame);
   const auto power_box =
-      stats::box_summary(metric_column(result.records, Metric::kPower));
+      stats::box_summary(metric_column(result.frame, Metric::kPower));
   const auto temp_box =
-      stats::box_summary(metric_column(result.records, Metric::kTemp));
+      stats::box_summary(metric_column(result.frame, Metric::kTemp));
   int unexplained = 0;
   for (const auto& g : gpus) {
     if (g.power_w < power_box.lo_whisker &&
@@ -87,7 +87,7 @@ TEST(Integration, Takeaway2_SummitPowerOutliersConcentrated) {
 TEST(Integration, Takeaway4_CoronaAmdBehavesLikeLonghorn) {
   Cluster corona(corona_spec());
   const auto result = sgemm_campaign(corona);
-  const auto report = analyze_variability(result.records);
+  const auto report = analyze_variability(result.frame);
   // Similar overall runtime variation band.
   EXPECT_GT(report.perf.variation_pct, 4.0);
   EXPECT_LT(report.perf.variation_pct, 20.0);
@@ -105,16 +105,16 @@ TEST(Integration, Takeaway5_ResnetVariabilityIsLargestAndAppSpecific) {
       default_config(longhorn, resnet50_multi_workload(30), 1);
   multi_cfg.node_coverage = 0.6;
   const auto multi = run_experiment(longhorn, multi_cfg);
-  const auto multi_rep = analyze_variability(multi.records);
+  const auto multi_rep = analyze_variability(multi.frame);
 
   auto single_cfg =
       default_config(longhorn, resnet50_single_workload(30), 1);
   single_cfg.node_coverage = 0.6;
   const auto single = run_experiment(longhorn, single_cfg);
-  const auto single_rep = analyze_variability(single.records);
+  const auto single_rep = analyze_variability(single.frame);
 
   const auto sgemm_rep =
-      analyze_variability(sgemm_campaign(longhorn, 8, 1).records);
+      analyze_variability(sgemm_campaign(longhorn, 8, 1).frame);
 
   // Multi-GPU ResNet shows the largest performance variability (paper:
   // 22% vs 14% single-GPU vs 9% SGEMM).
@@ -124,7 +124,7 @@ TEST(Integration, Takeaway5_ResnetVariabilityIsLargestAndAppSpecific) {
   // Frequency pins at boost for ResNet (median at max)...
   EXPECT_NEAR(multi_rep.freq.box.median, 1530.0, 1.0);
   // ...and perf no longer tracks frequency (application-specific).
-  const auto corr = correlate_metrics(multi.records);
+  const auto corr = correlate_metrics(multi.frame);
   EXPECT_GT(corr.perf_freq.rho, -0.5);
   // Power variability is large for ResNet, tiny for SGEMM.
   EXPECT_GT(multi_rep.power.variation_pct,
@@ -137,7 +137,7 @@ TEST(Integration, Takeaway7and8_MemoryBoundAppsBarelyVary) {
     auto cfg = default_config(longhorn, w, 1);
     cfg.node_coverage = 0.5;
     const auto result = run_experiment(longhorn, cfg);
-    const auto report = analyze_variability(result.records);
+    const auto report = analyze_variability(result.frame);
     // Performance variation ~1-3% (paper: <=1%), frequency pinned...
     EXPECT_LT(report.perf.variation_pct, 4.0) << w.name;
     EXPECT_NEAR(report.freq.box.median, 1530.0, 1.0) << w.name;
@@ -152,7 +152,7 @@ TEST(Integration, Takeaway6_BertSitsBetweenSgemmAndResnet) {
   auto cfg = default_config(longhorn, bert_workload(15), 1);
   cfg.node_coverage = 0.6;
   const auto result = run_experiment(longhorn, cfg);
-  const auto report = analyze_variability(result.records);
+  const auto report = analyze_variability(result.frame);
   EXPECT_GT(report.perf.variation_pct, 3.0);
   EXPECT_LT(report.perf.variation_pct, 15.0);
   EXPECT_GT(report.power.variation_pct, 30.0);  // large power variability
@@ -168,7 +168,7 @@ TEST(Integration, Takeaway9_VariabilityStableAcrossDays) {
     cfg.day_of_week = day;
     const auto result = run_experiment(vortex, cfg);
     daily.push_back(
-        analyze_variability(result.records).perf.variation_pct);
+        analyze_variability(result.frame).perf.variation_pct);
   }
   for (double v : daily) {
     EXPECT_NEAR(v, daily[0], 0.35 * daily[0]);
@@ -182,7 +182,7 @@ TEST(Integration, PowerLimitSweepIncreasesVariability) {
     auto cfg = default_config(cloudlab, sgemm_workload(25536, 6), 3);
     cfg.run_options.power_limit_override = cap;
     const auto result = run_experiment(cloudlab, cfg);
-    return analyze_variability(result.records);
+    return analyze_variability(result.frame);
   };
   const auto at300 = run_at(Watts{300.0});
   const auto at150 = run_at(Watts{150.0});
@@ -195,7 +195,7 @@ TEST(Integration, FlaggingRecoversInjectedFaults) {
   const auto result = sgemm_campaign(longhorn);
   FlagOptions fopts;
   fopts.slowdown_temp = longhorn.sku().slowdown_temp;
-  const auto report = flag_anomalies(result.records, fopts);
+  const auto report = flag_anomalies(result.frame, fopts);
   EXPECT_FALSE(report.gpus.empty());
 
   // Every injected power-cap fault must be flagged (these are the
@@ -226,10 +226,10 @@ TEST(Integration, FlaggingRecoversInjectedFaults) {
 TEST(Integration, RepeatOffendersAcrossWorkloads) {
   // Paper: 8 of the 10 worst SGEMM GPUs were also ResNet outliers.
   Cluster longhorn(longhorn_spec());
-  const auto sgemm_flags = flag_anomalies(sgemm_campaign(longhorn).records);
+  const auto sgemm_flags = flag_anomalies(sgemm_campaign(longhorn).frame);
   auto cfg = default_config(longhorn, resnet50_multi_workload(25), 1);
   const auto resnet = run_experiment(longhorn, cfg);
-  const auto resnet_flags = flag_anomalies(resnet.records);
+  const auto resnet_flags = flag_anomalies(resnet.frame);
   const std::vector<FlagReport> reports{sgemm_flags, resnet_flags};
   const auto offenders = repeat_offenders(reports, 2);
   EXPECT_GE(offenders.size(), 2u);
@@ -242,8 +242,8 @@ TEST(Integration, PerGpuRepeatabilityOrdersClusters) {
   Cluster corona(corona_spec());
   auto lh = sgemm_campaign(longhorn, 6, 3, 0.4);
   auto co = sgemm_campaign(corona, 6, 3, 0.4);
-  const auto lh_rep = per_gpu_repeatability(lh.records);
-  const auto co_rep = per_gpu_repeatability(co.records);
+  const auto lh_rep = per_gpu_repeatability(lh.frame);
+  const auto co_rep = per_gpu_repeatability(co.frame);
   std::vector<double> lh_var, co_var;
   for (const auto& r : lh_rep) lh_var.push_back(r.variation_pct);
   for (const auto& r : co_rep) co_var.push_back(r.variation_pct);
@@ -254,7 +254,7 @@ TEST(Integration, PerGpuRepeatabilityOrdersClusters) {
 TEST(Integration, ScaledNormalProjectionFromLonghorn) {
   Cluster longhorn(longhorn_spec());
   const auto result = sgemm_campaign(longhorn);
-  const auto proj = project_to_cluster_size(result.records, 27648);
+  const auto proj = project_to_cluster_size(result.frame, 27648);
   // §IV-D: Longhorn projects to slightly above its own variation at
   // Summit scale (the paper reports 9.4%).
   EXPECT_GT(proj.projected_variation_pct, 5.0);
@@ -264,8 +264,8 @@ TEST(Integration, ScaledNormalProjectionFromLonghorn) {
 TEST(Integration, SlowAssignmentProbabilityMultiGpuIsHigher) {
   Cluster longhorn(longhorn_spec());
   const auto result = sgemm_campaign(longhorn);
-  const double p1 = slow_assignment_probability(result.records, 1, 0.06);
-  const double p4 = slow_assignment_probability(result.records, 4, 0.06);
+  const double p1 = slow_assignment_probability(result.frame, 1, 0.06);
+  const double p4 = slow_assignment_probability(result.frame, 4, 0.06);
   EXPECT_GT(p1, 0.02);
   EXPECT_LT(p1, 0.5);
   EXPECT_GT(p4, p1);

@@ -9,10 +9,10 @@
 namespace gpuvar {
 namespace {
 
-std::vector<RunRecord> sample_campaign() {
+RecordFrame sample_campaign() {
   Cluster cloudlab(cloudlab_spec());
   auto cfg = default_config(cloudlab, sgemm_workload(25536, 5), 2);
-  return run_experiment(cloudlab, cfg).records;
+  return run_experiment(cloudlab, cfg).frame;
 }
 
 TEST(MarkdownReport, EscapesTableBreakers) {
@@ -75,9 +75,9 @@ TEST(MarkdownReport, GroupSelectionRespected) {
   EXPECT_NE(out.str().find("node 00"), std::string::npos);
 }
 
-TEST(MarkdownReport, EmptyRecordsThrow) {
+TEST(MarkdownReport, EmptyFrameThrows) {
   std::ostringstream out;
-  std::vector<RunRecord> none;
+  RecordFrame none;
   EXPECT_THROW(write_markdown_report(out, none), std::invalid_argument);
 }
 

@@ -1,0 +1,266 @@
+// Observability layer: lanes, spans, sharded metrics, exporters.
+//
+// The suite pins the three contracts DESIGN.md §8 promises: (1) the
+// macro fast path is inert when no sink/registry is installed, (2) a
+// lane's event stream is a pure function of the instrumented work
+// (exception unwind included), and (3) merged metric snapshots and
+// exported bytes are schedule-independent — byte-identical whatever
+// the thread-pool size that produced them.
+//
+// Tests may touch trace-layer internals (current_lane, TraceSpan)
+// directly: the analyzer's raw-trace-api rule scopes to src/**.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gpuvar::obs {
+namespace {
+
+TEST(Trace, NoSinkFastPathIsInert) {
+  ASSERT_EQ(trace(), nullptr) << "a previous test leaked an installed sink";
+  EXPECT_EQ(current_lane(), nullptr);
+  {
+    // Adopting a lane without a sink must be a no-op, and the macros
+    // must be safe to execute.
+    LaneScope lane(5, "orphan");
+    EXPECT_EQ(current_lane(), nullptr);
+    GPUVAR_TRACE_SPAN("cat", "nothing");
+    GPUVAR_TRACE_INSTANT("cat", "nothing");
+    GPUVAR_TRACE_ADVANCE(Seconds{1.0});
+  }
+  // A sink installed *after* the orphan scope saw none of it.
+  TraceSink sink;
+  ScopedTrace guard(&sink);
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_EQ(sink.lane_count(), 0u);
+}
+
+TEST(Trace, SpanNestingKeepsPerLaneSequence) {
+  TraceSink sink;
+  {
+    ScopedTrace guard(&sink);
+    LaneScope lane(3, "worker");
+    GPUVAR_TRACE_SPAN("outer", "a");
+    {
+      GPUVAR_TRACE_SPAN("inner", "b", "depth", 2);
+      GPUVAR_TRACE_INSTANT("inner", "tick");
+    }
+  }
+  ASSERT_EQ(sink.lane_count(), 1u);
+  const auto events = sink.lanes().front()->events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(sink.lanes().front()->id(), 3u);
+  EXPECT_EQ(sink.lanes().front()->label(), "worker");
+  const TracePhase want[] = {TracePhase::kBegin, TracePhase::kBegin,
+                             TracePhase::kInstant, TracePhase::kEnd,
+                             TracePhase::kEnd};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].phase, want[i]) << "event " << i;
+    EXPECT_EQ(events[i].seq, i) << "per-lane sequence must be dense";
+  }
+  EXPECT_STREQ(events[1].arg_key, "depth");
+  EXPECT_EQ(events[1].arg_val, 2);
+}
+
+TEST(Trace, SpanClosesOnExceptionUnwind) {
+  TraceSink sink;
+  {
+    ScopedTrace guard(&sink);
+    LaneScope lane(0, "main");
+    try {
+      GPUVAR_TRACE_SPAN("exp", "doomed");
+      throw std::runtime_error("boom");
+    } catch (const std::runtime_error&) {
+    }
+  }
+  const auto events = sink.lanes().front()->events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(events[1].phase, TracePhase::kEnd)
+      << "RAII must close the span during unwind or the JSON nests wrong";
+}
+
+TEST(Trace, LaneClockAdvancesMonotonically) {
+  TraceSink sink;
+  {
+    ScopedTrace guard(&sink);
+    LaneScope lane(0, "main");
+    GPUVAR_TRACE_ADVANCE(Seconds{0.5});
+    GPUVAR_TRACE_INSTANT("t", "at-500ms");
+    // Ranks settle at different device clocks: an older timestamp must
+    // not rewind the lane.
+    GPUVAR_TRACE_ADVANCE(Seconds{0.25});
+    GPUVAR_TRACE_INSTANT("t", "still-500ms");
+    GPUVAR_TRACE_ADVANCE(Seconds{0.75});
+    GPUVAR_TRACE_INSTANT("t", "at-750ms");
+  }
+  const auto events = sink.lanes().front()->events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts_us, 500000.0);
+  EXPECT_EQ(events[1].ts_us, 500000.0);
+  EXPECT_EQ(events[2].ts_us, 750000.0);
+}
+
+TEST(Trace, LaneScopeNestsAndRestores) {
+  TraceSink sink;
+  {
+    ScopedTrace guard(&sink);
+    LaneScope campaign(0, "campaign");
+    GPUVAR_TRACE_INSTANT("t", "before");
+    {
+      LaneScope job(1, "node 1");
+      GPUVAR_TRACE_INSTANT("t", "inside");
+    }
+    GPUVAR_TRACE_INSTANT("t", "after");
+  }
+  ASSERT_EQ(sink.lane_count(), 2u);
+  const auto lanes = sink.lanes();
+  ASSERT_EQ(lanes[0]->events().size(), 2u);  // before + after on lane 0
+  ASSERT_EQ(lanes[1]->events().size(), 1u);
+  EXPECT_STREQ(lanes[1]->events()[0].name, "inside");
+}
+
+TEST(Trace, ChromeTraceGoldenBytes) {
+  TraceSink sink;
+  {
+    ScopedTrace guard(&sink);
+    LaneScope lane(1, "node 1");
+    GPUVAR_TRACE_SPAN("exp", "job", "node", 7);
+    GPUVAR_TRACE_ADVANCE(Seconds{0.5});
+    GPUVAR_TRACE_INSTANT("exp", "tick");
+  }
+  std::ostringstream out;
+  write_chrome_trace(out, sink);
+  EXPECT_EQ(out.str(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"node 1\"}},\n"
+            "{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0,\"cat\":\"exp\","
+            "\"name\":\"job\",\"args\":{\"seq\":0,\"node\":7}},\n"
+            "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":500000,\"cat\":\"exp\","
+            "\"name\":\"tick\",\"s\":\"t\",\"args\":{\"seq\":1}},\n"
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":500000,"
+            "\"args\":{\"seq\":2}}\n"
+            "]}\n");
+}
+
+TEST(Metrics, NoRegistryFastPathIsInert) {
+  ASSERT_EQ(metrics(), nullptr)
+      << "a previous test leaked an installed registry";
+  GPUVAR_METRIC_COUNT("orphan.count");
+  GPUVAR_METRIC_MAX("orphan.max", 9);
+  GPUVAR_METRIC_HIST("orphan.hist", 9);
+  Registry reg;
+  ScopedMetrics guard(&reg);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Metrics, CounterGaugeHistogramSemantics) {
+  Registry reg;
+  ScopedMetrics guard(&reg);
+  GPUVAR_METRIC_ADD("c", 3);
+  GPUVAR_METRIC_ADD("c", 4);
+  EXPECT_EQ(reg.counter("c").value(), 7u);
+
+  GPUVAR_METRIC_MAX("g", 9);
+  GPUVAR_METRIC_MAX("g", 5);  // below the high water: ignored
+  EXPECT_TRUE(reg.gauge("g").has_value());
+  EXPECT_EQ(reg.gauge("g").value(), 9u);
+
+  GPUVAR_METRIC_HIST("h", 0);
+  GPUVAR_METRIC_HIST("h", 5);
+  const auto s = reg.histogram("h").snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.total, 5u);
+  EXPECT_EQ(s.lo, 0u);
+  EXPECT_EQ(s.hi, 5u);
+}
+
+TEST(Metrics, HistogramBucketsAreBitWidth) {
+  // Bucket b holds values with bit_width(v) == b: [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+}
+
+TEST(Metrics, CounterHandleRevalidatesAcrossInstalls) {
+  // The macro's per-callsite cache must not keep feeding a previously
+  // installed registry. One call site, two registries.
+  const auto bump = [] { GPUVAR_METRIC_COUNT("epoch.bumps"); };
+  Registry a;
+  {
+    ScopedMetrics guard(&a);
+    bump();
+    bump();
+  }
+  Registry b;
+  {
+    ScopedMetrics guard(&b);
+    bump();
+  }
+  EXPECT_EQ(a.counter("epoch.bumps").value(), 2u);
+  EXPECT_EQ(b.counter("epoch.bumps").value(), 1u);
+}
+
+TEST(Metrics, TextDumpGoldenBytes) {
+  Registry reg;
+  {
+    ScopedMetrics guard(&reg);
+    GPUVAR_METRIC_ADD("alpha.count", 3);
+    GPUVAR_METRIC_MAX("beta.high", 9);
+    GPUVAR_METRIC_HIST("gamma.dist", 5);
+    GPUVAR_METRIC_HIST("gamma.dist", 0);
+  }
+  std::ostringstream out;
+  write_metrics_text(out, reg.snapshot());
+  EXPECT_EQ(out.str(),
+            "# gpuvar metrics v1\n"
+            "counter alpha.count 3\n"
+            "gauge beta.high 9\n"
+            "histogram gamma.dist count 2 sum 5 min 0 max 5 b0:1 b3:1\n");
+}
+
+/// Hammers one registry from a pool of `threads` workers and returns
+/// the exported dump: the bytes must not depend on the schedule.
+std::string stress_dump(std::size_t threads) {
+  Registry reg;
+  ScopedMetrics guard(&reg);
+  ThreadPool pool(threads);
+  pool.parallel_for(512, [](std::size_t i) {
+    GPUVAR_METRIC_COUNT("stress.iterations");
+    GPUVAR_METRIC_ADD("stress.work", i % 7);
+    GPUVAR_METRIC_MAX("stress.peak", i);
+    GPUVAR_METRIC_HIST("stress.latency_us", (i * 37) % 1024);
+  });
+  std::ostringstream out;
+  write_metrics_text(out, reg.snapshot());
+  return out.str();
+}
+
+TEST(Metrics, MergedSnapshotIsScheduleIndependent) {
+  const std::string one = stress_dump(1);
+  EXPECT_EQ(one, stress_dump(4))
+      << "metrics dump differs between 1 and 4 threads: a merge is not "
+         "commutative";
+  EXPECT_EQ(one, stress_dump(8))
+      << "metrics dump differs between 1 and 8 threads: a merge is not "
+         "commutative";
+  // And the values themselves are the closed forms of the loop above.
+  EXPECT_NE(one.find("counter stress.iterations 512\n"), std::string::npos);
+  EXPECT_NE(one.find("gauge stress.peak 511\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuvar::obs

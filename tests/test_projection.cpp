@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 namespace {
@@ -23,11 +24,19 @@ std::vector<RunRecord> gaussian_records(int n, double mean, double sigma,
   return rs;
 }
 
+/// Test-local frame construction (the bulk row adapters are gone).
+RecordFrame frame_from(const std::vector<RunRecord>& rows) {
+  RecordFrame f;
+  f.reserve(rows.size());
+  for (const auto& r : rows) f.append_row(r);
+  return f;
+}
+
 TEST(Projection, LonghornToSummitGrows) {
   // §IV-D: Longhorn's spread projected to Summit size gives slightly
   // higher variability than measured at Longhorn size.
   const auto rs = gaussian_records(416, 2200.0, 38.0);
-  const auto proj = project_to_cluster_size(rs, 27648);
+  const auto proj = project_to_cluster_size(frame_from(rs), 27648);
   EXPECT_EQ(proj.source_gpus, 416u);
   EXPECT_EQ(proj.target_gpus, 27648u);
   EXPECT_GT(proj.projected_variation_pct, proj.source_variation_pct);
@@ -46,24 +55,24 @@ TEST(Projection, OutliersExcludedFromFit) {
     r.perf_ms = 4000.0;
     with_outliers.push_back(r);
   }
-  const auto clean = project_to_cluster_size(rs, 10000);
-  const auto dirty = project_to_cluster_size(with_outliers, 10000);
+  const auto clean = project_to_cluster_size(frame_from(rs), 10000);
+  const auto dirty = project_to_cluster_size(frame_from(with_outliers), 10000);
   EXPECT_NEAR(dirty.projected_variation_pct, clean.projected_variation_pct,
               0.15 * clean.projected_variation_pct);
 }
 
 TEST(Projection, SameSizeRoughlyReproducesMeasured) {
   const auto rs = gaussian_records(400, 1000.0, 15.0, 7);
-  const auto proj = project_to_cluster_size(rs, 400);
+  const auto proj = project_to_cluster_size(frame_from(rs), 400);
   EXPECT_NEAR(proj.projected_variation_pct, proj.source_variation_pct,
               0.35 * proj.source_variation_pct);
 }
 
 TEST(Projection, RejectsDegenerateInput) {
   const auto rs = gaussian_records(2, 100.0, 1.0);
-  EXPECT_THROW(project_to_cluster_size(rs, 100), std::invalid_argument);
+  EXPECT_THROW(project_to_cluster_size(frame_from(rs), 100), std::invalid_argument);
   const auto ok = gaussian_records(10, 100.0, 1.0);
-  EXPECT_THROW(project_to_cluster_size(ok, 1), std::invalid_argument);
+  EXPECT_THROW(project_to_cluster_size(frame_from(ok), 1), std::invalid_argument);
 }
 
 }  // namespace

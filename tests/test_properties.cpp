@@ -199,10 +199,13 @@ TEST(DeterminismProperty, RecordsIndependentOfThreadCount) {
       }
     }
   }
-  ASSERT_EQ(a.records.size(), serial_records.size());
+  ASSERT_EQ(a.frame.size(), serial_records.size());
   // Compare per-GPU aggregates (ordering may differ).
-  const auto agg_a = per_gpu_medians(a.records);
-  const auto agg_b = per_gpu_medians(serial_records);
+  RecordFrame serial_frame;
+  serial_frame.reserve(serial_records.size());
+  for (const auto& r : serial_records) serial_frame.append_row(r);
+  const auto agg_a = per_gpu_medians(a.frame);
+  const auto agg_b = per_gpu_medians(serial_frame);
   ASSERT_EQ(agg_a.size(), agg_b.size());
   for (std::size_t i = 0; i < agg_a.size(); ++i) {
     EXPECT_DOUBLE_EQ(agg_a[i].perf_ms, agg_b[i].perf_ms);
@@ -227,7 +230,7 @@ TEST_P(SpreadScalingProperty, VariationTracksProcessSigma) {
   auto cfg = default_config(cluster, sgemm_workload(25536, 6), 1);
   cfg.node_coverage = 0.6;
   const auto rep =
-      analyze_variability(run_experiment(cluster, cfg).records);
+      analyze_variability(run_experiment(cluster, cfg).frame);
   if (scale <= 0.25) {
     EXPECT_LT(rep.perf.variation_pct, 6.0);
   } else if (scale >= 1.0) {

@@ -5,13 +5,14 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 namespace {
 
-std::vector<RunRecord> sample_records() {
+RecordFrame sample_records() {
   Rng rng(1);
-  std::vector<RunRecord> rs;
+  RecordFrame rs;
   for (int i = 0; i < 60; ++i) {
     RunRecord r;
     r.gpu_index = i;
@@ -24,7 +25,7 @@ std::vector<RunRecord> sample_records() {
     r.perf_ms = 2500.0 * 1365.0 / r.freq_mhz;
     r.power_w = 298.0 + rng.normal(0.0, 1.0);
     r.temp_c = rng.uniform(40.0, 80.0);
-    rs.push_back(std::move(r));
+    rs.append_row(r);
   }
   return rs;
 }

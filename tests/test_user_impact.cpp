@@ -21,18 +21,26 @@ RunRecord rec(std::size_t gpu, double perf) {
   return r;
 }
 
+/// Test-local frame construction (the bulk row adapters are gone).
+RecordFrame frame_from(const std::vector<RunRecord>& rows) {
+  RecordFrame f;
+  f.reserve(rows.size());
+  for (const auto& r : rows) f.append_row(r);
+  return f;
+}
+
 TEST(UserImpact, SingleGpuJobMatchesPopulationMean) {
   // k = 1: E[max] is just the mean of the per-GPU medians.
   std::vector<RunRecord> rs;
   for (int i = 0; i < 5; ++i) rs.push_back(rec(i, 100.0 + i * 10.0));
-  const auto impact = job_impact(rs, 1);
+  const auto impact = job_impact(frame_from(rs), 1);
   EXPECT_NEAR(impact.expected_slowdown, 120.0 / 120.0, 1e-12);
 }
 
 TEST(UserImpact, FullWidthJobAlwaysGetsTheWorstGpu) {
   std::vector<RunRecord> rs;
   for (int i = 0; i < 6; ++i) rs.push_back(rec(i, 100.0 + i));
-  const auto impact = job_impact(rs, 6);
+  const auto impact = job_impact(frame_from(rs), 6);
   // With k = n the max is deterministic: the slowest GPU.
   EXPECT_NEAR(impact.expected_slowdown, 105.0 / 102.5, 1e-12);
   EXPECT_NEAR(impact.p95_slowdown, impact.expected_slowdown, 1e-12);
@@ -46,7 +54,7 @@ TEST(UserImpact, ExpectedSlowdownGrowsWithJobWidth) {
   }
   double prev = 0.0;
   for (int k : {1, 2, 4, 8, 16}) {
-    const auto impact = job_impact(rs, k);
+    const auto impact = job_impact(frame_from(rs), k);
     EXPECT_GT(impact.expected_slowdown, prev);
     EXPECT_GE(impact.p95_slowdown, impact.expected_slowdown - 1e-12);
     prev = impact.expected_slowdown;
@@ -62,7 +70,7 @@ TEST(UserImpact, MatchesMonteCarlo) {
     rs.push_back(rec(i, p));
     perf.push_back(p);
   }
-  const auto impact = job_impact(rs, 4);
+  const auto impact = job_impact(frame_from(rs), 4);
 
   // Monte Carlo of the same quantity.
   Rng mc(3);
@@ -83,17 +91,17 @@ TEST(UserImpact, PAnySlowMatchesCombinatorics) {
   std::vector<RunRecord> rs;
   for (int i = 0; i < 8; ++i) rs.push_back(rec(i, 100.0));
   for (int i = 8; i < 10; ++i) rs.push_back(rec(i, 120.0));
-  EXPECT_NEAR(job_impact(rs, 1).p_any_slow, 0.2, 1e-12);
-  EXPECT_NEAR(job_impact(rs, 4).p_any_slow,
+  EXPECT_NEAR(job_impact(frame_from(rs), 1).p_any_slow, 0.2, 1e-12);
+  EXPECT_NEAR(job_impact(frame_from(rs), 4).p_any_slow,
               1.0 - (70.0 / 210.0), 1e-12);  // C(8,4)/C(10,4)
-  EXPECT_NEAR(job_impact(rs, 9).p_any_slow, 1.0, 1e-12);
+  EXPECT_NEAR(job_impact(frame_from(rs), 9).p_any_slow, 1.0, 1e-12);
 }
 
 TEST(UserImpact, TableCoversPowersOfTwo) {
   Rng rng(4);
   std::vector<RunRecord> rs;
   for (int i = 0; i < 64; ++i) rs.push_back(rec(i, rng.normal(100.0, 2.0)));
-  const auto table = impact_table(rs, 8);
+  const auto table = impact_table(frame_from(rs), 8);
   ASSERT_EQ(table.size(), 4u);
   EXPECT_EQ(table[0].gpus_per_job, 1);
   EXPECT_EQ(table[3].gpus_per_job, 8);
@@ -105,21 +113,21 @@ TEST(UserImpact, PaperHeadlineShapeOnLonghorn) {
   Cluster longhorn(longhorn_spec());
   auto cfg = default_config(longhorn, sgemm_workload(25536, 8), 1);
   const auto result = run_experiment(longhorn, cfg);
-  const auto one = job_impact(result.records, 1);
-  const auto four = job_impact(result.records, 4);
+  const auto one = job_impact(result.frame, 1);
+  const auto four = job_impact(result.frame, 4);
   EXPECT_GT(one.p_any_slow, 0.03);
   EXPECT_GT(four.p_any_slow, 1.5 * one.p_any_slow);
   EXPECT_GT(four.expected_slowdown, one.expected_slowdown);
   // Consistency with the simpler independent-draw estimate.
   EXPECT_NEAR(four.p_any_slow,
-              slow_assignment_probability(result.records, 4, 0.06), 0.06);
+              slow_assignment_probability(result.frame, 4, 0.06), 0.06);
 }
 
 TEST(UserImpact, RejectsBadInput) {
   std::vector<RunRecord> rs{rec(0, 100.0)};
-  EXPECT_THROW(job_impact(rs, 2), std::invalid_argument);
-  EXPECT_THROW(job_impact(rs, 0), std::invalid_argument);
-  EXPECT_THROW(job_impact(rs, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(job_impact(frame_from(rs), 2), std::invalid_argument);
+  EXPECT_THROW(job_impact(frame_from(rs), 0), std::invalid_argument);
+  EXPECT_THROW(job_impact(frame_from(rs), 1, 0.0), std::invalid_argument);
 }
 
 }  // namespace

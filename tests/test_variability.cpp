@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "telemetry/frame.hpp"
+
 namespace gpuvar {
 namespace {
 
@@ -25,10 +27,18 @@ RunRecord rec(std::size_t gpu, double perf, double freq = 1400.0,
   return r;
 }
 
+/// Test-local frame construction (the bulk row adapters are gone).
+RecordFrame frame_from(const std::vector<RunRecord>& rows) {
+  RecordFrame f;
+  f.reserve(rows.size());
+  for (const auto& r : rows) f.append_row(r);
+  return f;
+}
+
 TEST(Variability, AnalyzeComputesVariationPct) {
   std::vector<RunRecord> rs;
   for (int i = 0; i < 5; ++i) rs.push_back(rec(i, 2400.0 + i * 50.0));
-  const auto report = analyze_variability(rs);
+  const auto report = analyze_variability(frame_from(rs));
   EXPECT_EQ(report.records, 5u);
   EXPECT_EQ(report.gpus, 5u);
   EXPECT_DOUBLE_EQ(report.perf.box.median, 2500.0);
@@ -59,7 +69,7 @@ TEST(Variability, SeriesByGroupSplitsValues) {
   rs.push_back(rec(0, 100.0, 1, 1, 1, /*cabinet=*/0));
   rs.push_back(rec(1, 200.0, 1, 1, 1, /*cabinet=*/0));
   rs.push_back(rec(2, 300.0, 1, 1, 1, /*cabinet=*/1));
-  const auto series = series_by_group(rs, Metric::kPerf, GroupBy::kCabinet);
+  const auto series = series_by_group(frame_from(rs), Metric::kPerf, GroupBy::kCabinet);
   ASSERT_EQ(series.size(), 2u);
   EXPECT_EQ(series[0].values.size(), 2u);
   EXPECT_EQ(series[1].values.size(), 1u);
@@ -70,7 +80,7 @@ TEST(Variability, ByGroupReportsPerGroup) {
   for (int i = 0; i < 8; ++i) {
     rs.push_back(rec(i, 1000.0 + 100.0 * (i % 4), 1400, 295, 60, i / 4));
   }
-  const auto groups = variability_by_group(rs, GroupBy::kCabinet);
+  const auto groups = variability_by_group(frame_from(rs), GroupBy::kCabinet);
   EXPECT_EQ(groups.size(), 2u);
   EXPECT_EQ(groups.at(0).records, 4u);
 }
@@ -83,7 +93,7 @@ TEST(Variability, RepeatabilityMatchesDefinition) {
   rs.push_back(rec(0, 104.0, 1, 1, 1, 0, 2));
   // GPU 1: single run -> skipped.
   rs.push_back(rec(1, 500.0));
-  const auto reps = per_gpu_repeatability(rs);
+  const auto reps = per_gpu_repeatability(frame_from(rs));
   ASSERT_EQ(reps.size(), 1u);
   EXPECT_EQ(reps[0].gpu_index, 0u);
   EXPECT_EQ(reps[0].runs, 3);
@@ -95,9 +105,9 @@ TEST(Variability, SlowAssignmentProbabilityMatchesCombinatorics) {
   // 10 GPUs: 8 at 100 ms, 2 at 110 ms (10% slower than median).
   for (int i = 0; i < 8; ++i) rs.push_back(rec(i, 100.0));
   for (int i = 8; i < 10; ++i) rs.push_back(rec(i, 110.0));
-  const double p1 = slow_assignment_probability(rs, 1, 0.06);
+  const double p1 = slow_assignment_probability(frame_from(rs), 1, 0.06);
   EXPECT_NEAR(p1, 0.2, 1e-9);
-  const double p4 = slow_assignment_probability(rs, 4, 0.06);
+  const double p4 = slow_assignment_probability(frame_from(rs), 4, 0.06);
   EXPECT_NEAR(p4, 1.0 - std::pow(0.8, 4), 1e-9);
   EXPECT_GT(p4, p1);  // §VII: multi-GPU users hit stragglers more often
 }
@@ -111,12 +121,12 @@ TEST(Variability, SlowAssignmentUsesPerGpuMedians) {
   rs.push_back(rec(0, 150.0, 1, 1, 1, 0, 2));
   rs.push_back(rec(1, 100.0));
   rs.push_back(rec(2, 100.0));
-  EXPECT_DOUBLE_EQ(slow_assignment_probability(rs, 1, 0.06), 0.0);
+  EXPECT_DOUBLE_EQ(slow_assignment_probability(frame_from(rs), 1, 0.06), 0.0);
 }
 
 TEST(Variability, EmptyRecordsThrow) {
   std::vector<RunRecord> rs;
-  EXPECT_THROW(analyze_variability(rs), std::invalid_argument);
+  EXPECT_THROW(analyze_variability(frame_from(rs)), std::invalid_argument);
 }
 
 }  // namespace

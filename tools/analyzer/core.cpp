@@ -280,9 +280,22 @@ const std::set<std::string>& known_rules() {
       "locale-format", "wall-clock",
       // interchange
       "row-record-param",
+      // observability
+      "raw-trace-api",
       // meta
       "unknown-rule"};
   return kRules;
+}
+
+/// Rules that cannot be suppressed with an inline allow(). unknown-rule
+/// is structurally strict (a suppression must never hide a typo'd
+/// suppression); row-record-param graduated to strict once the last
+/// deprecation-cycle row adapters were deleted — an allow() on it now
+/// marks a dead grace period, not an exemption.
+bool strict_rule(const std::string& rule) {
+  static const std::set<std::string> kStrict = {"unknown-rule",
+                                                "row-record-param"};
+  return kStrict.count(rule) != 0;
 }
 
 void check_suppression_names(const SourceFile& file,
@@ -308,7 +321,7 @@ std::vector<Finding> apply_suppressions(const Repo& repo,
   kept.reserve(findings.size());
   for (auto& fd : findings) {
     bool suppressed = false;
-    if (fd.rule != "unknown-rule") {
+    if (!strict_rule(fd.rule)) {
       const auto it = by_rel.find(fd.file);
       if (it != by_rel.end()) {
         const auto& allows = it->second->allows;

@@ -95,12 +95,16 @@ Repo load_repo(const std::filesystem::path& root);
 /// Every rule any pass can emit (authority for unknown-rule checking).
 const std::set<std::string>& known_rules();
 
+/// True for rules an inline allow() cannot suppress (unknown-rule, and
+/// rules whose deprecation grace period has ended: row-record-param).
+bool strict_rule(const std::string& rule);
+
 /// Findings for allow() entries naming rules the analyzer doesn't have.
 void check_suppression_names(const SourceFile& file,
                              std::vector<Finding>& findings);
 
 /// Drops findings covered by an allow() on the same or preceding line.
-/// `unknown-rule` findings are never suppressible.
+/// Strict rules (see strict_rule) are never suppressible.
 std::vector<Finding> apply_suppressions(const Repo& repo,
                                         std::vector<Finding> findings);
 

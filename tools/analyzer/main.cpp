@@ -1,9 +1,10 @@
 // gpuvar-analyzer — the repo's multi-pass static analysis tool.
 //
 // Grown from PR 1's gpuvar_lint: the same token-level scanning core now
-// feeds four passes (style, layering, thread-safety, determinism; see
-// passes.hpp for the rule catalogue) with inline suppressions, JSON
-// output, and a DOT dump of the module layering graph.
+// feeds six passes (style, layering, thread-safety, determinism,
+// interchange, observability; see passes.hpp for the rule catalogue)
+// with inline suppressions, JSON output, and a DOT dump of the module
+// layering graph.
 //
 // Usage:
 //   gpuvar-analyzer <repo_root> [--json FILE] [--dot FILE]
@@ -35,6 +36,7 @@ const std::vector<PassInfo>& all_passes() {
       {"thread", run_thread_pass},
       {"determinism", run_determinism_pass},
       {"interchange", run_interchange_pass},
+      {"obs", run_obs_pass},
   };
   return kPasses;
 }

@@ -5,9 +5,10 @@
 //                      bulk interfaces must take const RecordFrame&
 //                      (telemetry/frame.hpp) so column extraction stays
 //                      zero-copy and per-GPU grouping stays O(rows).
-//                      The deprecation-cycle adapters that remain are
-//                      annotated with gpuvar-lint: allow(row-record-param);
-//                      new row-oriented bulk APIs must not appear.
+//                      Strict since the deprecation-cycle adapters were
+//                      deleted: an inline allow() no longer suppresses
+//                      it (core.cpp strict_rule) — row-oriented bulk
+//                      APIs must not appear at all.
 //
 // Single-record uses (const RunRecord&, RunRecord row(...)) are fine —
 // the rule targets bulk row-oriented interchange, not the row schema.
@@ -33,9 +34,9 @@ void run_interchange_pass(const Repo& repo, std::vector<Finding>& findings) {
            std::string(vector_of ? "std::vector<RunRecord>"
                                  : "std::span<const RunRecord>") +
                " in an analysis-layer header: bulk interfaces take "
-               "const RecordFrame& (telemetry/frame.hpp); row-oriented "
-               "overloads are deprecation-cycle adapters and must carry "
-               "an allow(row-record-param) suppression"});
+               "const RecordFrame& (telemetry/frame.hpp). The "
+               "deprecation cycle is over — this rule is strict and "
+               "cannot be suppressed with an inline allow()"});
     }
   }
 }

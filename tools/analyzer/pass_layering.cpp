@@ -2,6 +2,7 @@
 //
 //   rank 0  common      foundations: units, rng, csv, require, threads
 //   rank 1  stats       numerics on plain data
+//   rank 1  obs         tracing + metrics (instrumentable from any layer)
 //   rank 2  gpu, thermal, hostbench   device models + host benchmarks
 //   rank 3  telemetry   sampling, counters, export (plain-data API)
 //   rank 4  cluster, workloads        populations and campaigns
@@ -24,9 +25,10 @@ namespace {
 
 const std::map<std::string, int>& module_ranks() {
   static const std::map<std::string, int> kRanks = {
-      {"common", 0},   {"stats", 1},   {"gpu", 2},
-      {"thermal", 2},  {"hostbench", 2}, {"telemetry", 3},
-      {"cluster", 4},  {"workloads", 4}, {"core", 5}};
+      {"common", 0},   {"stats", 1},   {"obs", 1},
+      {"gpu", 2},      {"thermal", 2}, {"hostbench", 2},
+      {"telemetry", 3}, {"cluster", 4}, {"workloads", 4},
+      {"core", 5}};
   return kRanks;
 }
 

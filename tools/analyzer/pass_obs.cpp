@@ -1,0 +1,38 @@
+// Observability pass: keeps instrumentation on the macro/RAII surface.
+//
+//   raw-trace-api      a use of the trace layer's internals — the tokens
+//                      current_lane, TraceSpan or trace_instant — in a
+//                      src/ file outside the obs module. Instrumented
+//                      code goes through GPUVAR_TRACE_SPAN /
+//                      GPUVAR_TRACE_INSTANT / GPUVAR_TRACE_ADVANCE,
+//                      which compile to a branch-on-null when no sink is
+//                      installed; touching the internals directly skips
+//                      that fast path and couples call sites to the
+//                      sink's lane machinery. The installation surface
+//                      (TraceSink, ScopedTrace, LaneScope, the
+//                      exporters) is fine anywhere — hosts must own
+//                      sink lifetime.
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+void run_obs_pass(const Repo& repo, std::vector<Finding>& findings) {
+  static const char* const kRawTokens[] = {"current_lane", "TraceSpan",
+                                           "trace_instant"};
+  for (const auto& f : repo.files) {
+    if (!f.in_src() || f.module == "obs") continue;
+    for (const auto& t : f.tokens) {
+      for (const char* raw : kRawTokens) {
+        if (t.text != raw) continue;
+        findings.push_back(
+            {f.rel, t.line, "raw-trace-api",
+             "'" + t.text +
+                 "' is a trace-layer internal: instrument with the "
+                 "GPUVAR_TRACE_* macros (branch-on-null fast path), and "
+                 "install sinks via obs::ScopedTrace / obs::LaneScope"});
+      }
+    }
+  }
+}
+
+}  // namespace gpuvar::analyzer

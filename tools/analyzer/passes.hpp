@@ -32,10 +32,18 @@ void run_thread_pass(const Repo& repo, std::vector<Finding>& findings);
 /// float-sort-key, locale-format, wall-clock.
 void run_determinism_pass(const Repo& repo, std::vector<Finding>& findings);
 
-/// Columnar interchange: row-record-param (no new std::vector<RunRecord>
-/// / std::span<const RunRecord> bulk interfaces in core/telemetry
-/// headers — the data plane is const RecordFrame&).
+/// Columnar interchange: row-record-param (no std::vector<RunRecord> /
+/// std::span<const RunRecord> bulk interfaces in core/telemetry headers
+/// — the data plane is const RecordFrame&). Strict: with the
+/// deprecation-cycle adapters deleted, this rule is no longer
+/// suppressible (core.cpp apply_suppressions keeps it on a strict list).
 void run_interchange_pass(const Repo& repo, std::vector<Finding>& findings);
+
+/// Observability surface: raw-trace-api (trace-layer internals —
+/// current_lane, TraceSpan, trace_instant — stay inside src/obs;
+/// instrumented code uses the GPUVAR_TRACE_* macros and installs sinks
+/// via obs::ScopedTrace / obs::LaneScope).
+void run_obs_pass(const Repo& repo, std::vector<Finding>& findings);
 
 /// DOT dump of the module-level include graph (for DESIGN.md).
 void write_layering_dot(const Repo& repo, std::ostream& out);

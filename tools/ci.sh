@@ -12,6 +12,10 @@
 #   tools/ci.sh bench-smoke    micro_frame_bench smoke run (records/sec for
 #                              column extraction, per-GPU aggregation, and
 #                              frame build); archives BENCH_frame.json
+#   tools/ci.sh obs-smoke      end-to-end observability check: a small
+#                              `gpuvar simulate --trace --metrics` campaign,
+#                              JSON validation, artifacts archived under
+#                              build-ci/
 #   tools/ci.sh thread-safety  clang -Werror=thread-safety syntax-only
 #                              compile of src/** (skipped when clang++ is
 #                              not installed — the GPUVAR_* annotations
@@ -53,10 +57,12 @@ job_tsan() {
     -DGPUVAR_SANITIZE=thread > /dev/null
   # TSan slows execution ~10x; run the concurrency-relevant subset: the
   # ThreadPool suite plus the runner/experiment/scheduler tests that
-  # exercise parallel_for across simulated clusters.
+  # exercise parallel_for across simulated clusters, and the obs tests
+  # that hammer the sharded metrics registry and trace lanes from pool
+  # workers.
   TSAN_OPTIONS=halt_on_error=1 \
     configure_and_test build-tsan \
-    -R 'ThreadPool|Runner|Experiment|Scheduler|Integration'
+    -R 'ThreadPool|Runner|Experiment|Scheduler|Integration|^Trace\.|^Metrics\.|DeterminismReplay'
 }
 
 job_analyzer() {
@@ -79,6 +85,36 @@ job_bench_smoke() {
     --benchmark_out=build-ci/BENCH_frame.json \
     --benchmark_out_format=json
   echo "frame bench report: build-ci/BENCH_frame.json"
+}
+
+job_obs_smoke() {
+  echo "=== job: obs-smoke (CLI --trace/--metrics end to end) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  cmake --build build-ci -j "$JOBS" --target gpuvar_cli
+  ./build-ci/tools/gpuvar simulate --cluster cloudlab --workload sgemm \
+    --reps 4 --runs 2 \
+    --trace build-ci/OBS_trace.json --metrics build-ci/OBS_metrics.txt
+  # The trace must be well-formed Chrome trace-event JSON and the dump
+  # must carry the campaign's core series.
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - build-ci/OBS_trace.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+phases = {e["ph"] for e in events}
+assert {"M", "B", "E"} <= phases, f"missing phases: {phases}"
+assert all("tid" in e and "pid" in e for e in events)
+print(f"trace OK: {len(events)} events")
+EOF
+  else
+    grep -q '"traceEvents"' build-ci/OBS_trace.json
+    echo "trace OK (python3 unavailable; structural grep only)"
+  fi
+  grep -q '^counter experiment\.node_jobs ' build-ci/OBS_metrics.txt
+  grep -q '^histogram runner\.perf_us ' build-ci/OBS_metrics.txt
+  echo "obs artifacts: build-ci/OBS_trace.json build-ci/OBS_metrics.txt"
 }
 
 job_thread_safety() {
@@ -105,18 +141,20 @@ case "${1:-all}" in
   tsan) job_tsan ;;
   analyzer) job_analyzer ;;
   bench-smoke) job_bench_smoke ;;
+  obs-smoke) job_obs_smoke ;;
   thread-safety) job_thread_safety ;;
   all)
     job_build
     job_analyzer
     job_bench_smoke
+    job_obs_smoke
     job_thread_safety
     job_asan
     job_tsan
     echo "=== all CI jobs passed ==="
     ;;
   *)
-    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|thread-safety|all]" >&2
+    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|obs-smoke|thread-safety|all]" >&2
     exit 2
     ;;
 esac

@@ -1,6 +1,7 @@
-// Interchange-pass fixture: row-record-param must fire exactly three
-// times (two parameters and a return type below), and the decoys in
-// this comment and in the string literal must not fire:
+// Interchange-pass fixture: row-record-param must fire exactly four
+// times (two parameters, a return type, and a suppression-defying
+// declaration below), and the decoys in this comment and in the string
+// literal must not fire:
 //   std::vector<RunRecord> comment_decoy;
 //   std::span<const RunRecord> comment_decoy2;
 #pragma once
@@ -31,5 +32,10 @@ std::vector<RunRecord> load_rows(const char* path);
 inline const char* string_decoy() {
   return "takes std::span<const RunRecord> and std::vector<RunRecord>";
 }
+
+// Firing 4: row-record-param is strict — this allow() must NOT silence
+// it (the deprecation grace period ended with the adapters' deletion).
+Report drift_rows(  // gpuvar-lint: allow(row-record-param)
+    const std::vector<RunRecord>& history);
 
 }  // namespace fixture

@@ -1,0 +1,36 @@
+// Observability-pass fixture: raw-trace-api must fire exactly three
+// times (one per trace-layer internal used below), and the decoys in
+// this comment and in the string literal must not fire:
+//   TraceSpan comment_decoy;
+//   if (current_lane()) trace_instant("x", "y");
+// The macro / installation surface (GPUVAR_TRACE_SPAN, ScopedTrace,
+// LaneScope, TraceSink) is legal everywhere and must stay silent.
+namespace fixture {
+
+struct TraceLane {};
+struct TraceSink {};
+struct ScopedTrace {};
+struct LaneScope {};
+
+// Legal: install a sink and adopt a lane via the RAII surface.
+inline void host_ok(TraceSink* sink) {
+  ScopedTrace guard{};
+  LaneScope lane{};
+  static_cast<void>(sink);
+  static_cast<void>(guard);
+  static_cast<void>(lane);
+}
+
+inline void instrument_bad() {
+  TraceLane* lane = current_lane();  // firing 1: lane internals leak out
+  TraceSpan span("cat", "name");     // firing 2: raw RAII type, no macro
+  trace_instant("cat", "name");      // firing 3: raw instant emission
+  static_cast<void>(lane);
+  static_cast<void>(span);
+}
+
+inline const char* string_decoy() {
+  return "TraceSpan and trace_instant and current_lane in a string";
+}
+
+}  // namespace fixture
