@@ -13,7 +13,11 @@
 #include <iostream>
 #include <string>
 
-#include "gpuvar.hpp"
+// The figure binaries deliberately program against the umbrella — a
+// bench file is a reproduction script, not a library layer — so this
+// prelude re-exports it rather than making ~30 binaries spell out
+// their header sets.
+#include "gpuvar.hpp"  // IWYU pragma: export
 
 namespace bench {
 

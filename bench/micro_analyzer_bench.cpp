@@ -1,0 +1,74 @@
+// Microbenchmarks for the analyzer's scan driver: cold single-thread
+// vs cold parallel vs warm-cache scans of the repository tree, plus
+// the full pass pipeline on a pre-scanned tree. The bench-smoke CI job
+// archives the JSON output as BENCH_analyzer.json (tools/ci.sh), so
+// scan-throughput regressions show up next to the simulator benches.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "driver.hpp"
+
+namespace {
+
+using gpuvar::analyzer::ScanOptions;
+using gpuvar::analyzer::ScanStats;
+
+std::filesystem::path repo_root() {
+  if (const char* env = std::getenv("GPUVAR_REPO_ROOT")) return env;
+#ifdef GPUVAR_BENCH_REPO_ROOT
+  return GPUVAR_BENCH_REPO_ROOT;
+#else
+  return ".";
+#endif
+}
+
+// Arg 0: scan threads (0 = one per hardware thread).
+void BM_AnalyzerScanCold(benchmark::State& state) {
+  ScanOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t files = 0;
+  for (auto _ : state) {
+    ScanStats stats;
+    const auto tree = gpuvar::analyzer::scan_tree(repo_root(), opts, &stats);
+    benchmark::DoNotOptimize(tree.files.size());
+    files = stats.files;
+  }
+  state.counters["files"] = static_cast<double>(files);
+}
+BENCHMARK(BM_AnalyzerScanCold)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzerScanWarm(benchmark::State& state) {
+  const auto cache = std::filesystem::temp_directory_path() /
+                     "gpuvar_analyzer_bench_cache.txt";
+  ScanOptions opts;
+  opts.threads = 1;
+  opts.cache_path = cache;
+  (void)gpuvar::analyzer::scan_tree(repo_root(), opts, nullptr);  // prime
+  for (auto _ : state) {
+    ScanStats stats;
+    const auto tree = gpuvar::analyzer::scan_tree(repo_root(), opts, &stats);
+    benchmark::DoNotOptimize(tree.files.size());
+    if (stats.scanned != 0) {
+      state.SkipWithError("cache miss during warm run");
+      break;
+    }
+  }
+  std::filesystem::remove(cache);
+}
+BENCHMARK(BM_AnalyzerScanWarm)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzerPasses(benchmark::State& state) {
+  ScanOptions opts;
+  const auto tree = gpuvar::analyzer::scan_tree(repo_root(), opts, nullptr);
+  for (auto _ : state) {
+    const auto result = gpuvar::analyzer::analyze_tree(tree);
+    benchmark::DoNotOptimize(result.findings.size());
+  }
+}
+BENCHMARK(BM_AnalyzerPasses)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

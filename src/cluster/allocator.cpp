@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "cluster/cluster.hpp"
 
 namespace gpuvar {
 

@@ -8,7 +8,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "cluster/cluster.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
 
 namespace gpuvar {
 

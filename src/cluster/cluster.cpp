@@ -4,6 +4,15 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "cluster/faults.hpp"
+#include "cluster/topology.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gpu/device.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
+#include "thermal/cooling.hpp"
+#include "common/location.hpp"
 
 namespace gpuvar {
 

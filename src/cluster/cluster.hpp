@@ -15,6 +15,8 @@
 #include "gpu/silicon.hpp"
 #include "gpu/sku.hpp"
 #include "thermal/cooling.hpp"
+#include "thermal/thermal.hpp"
+#include "common/location.hpp"
 
 namespace gpuvar {
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 
-#include "cluster/topology.hpp"
-#include "common/require.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "common/location.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace gpuvar {
 

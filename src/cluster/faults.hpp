@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "common/rng.hpp"
+namespace gpuvar { class Rng; }  // was: #include "common/rng.hpp"
 #include "common/units.hpp"
 
 namespace gpuvar {

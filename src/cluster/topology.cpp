@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/require.hpp"
+#include "common/location.hpp"
 
 namespace gpuvar {
 

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gpuvar {
 

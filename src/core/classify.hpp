@@ -7,7 +7,7 @@
 
 #include <string>
 
-#include "telemetry/counters.hpp"
+namespace gpuvar { struct ProfilerCounters; }  // was: #include "telemetry/counters.hpp"
 
 namespace gpuvar {
 

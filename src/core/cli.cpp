@@ -20,6 +20,14 @@
 #include "obs/trace.hpp"
 #include "telemetry/export.hpp"
 #include "workloads/runner.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "core/correlate.hpp"
+#include "gpu/sku.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/run_result.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar::cli {
 
@@ -78,28 +86,12 @@ std::string try_one_of(std::span<const Entry> entries) {
 std::span<const ClusterEntry> cluster_registry() { return kClusters; }
 std::span<const WorkloadEntry> workload_registry() { return kWorkloads; }
 
-std::vector<std::string> cluster_names() {
-  std::vector<std::string> out;
-  for (const auto& e : kClusters) {
-    if (!e.hidden) out.emplace_back(e.name);
-  }
-  return out;
-}
-
 ClusterSpec cluster_by_name(const std::string& name) {
   for (const auto& e : kClusters) {
     if (name == e.name) return e.make();
   }
   throw std::invalid_argument("unknown cluster: " + name +
                               try_one_of(cluster_registry()));
-}
-
-std::vector<std::string> workload_names() {
-  std::vector<std::string> out;
-  for (const auto& e : kWorkloads) {
-    if (!e.hidden) out.emplace_back(e.name);
-  }
-  return out;
 }
 
 WorkloadSpec workload_by_name(const std::string& name, int iterations) {

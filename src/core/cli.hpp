@@ -52,14 +52,10 @@ struct WorkloadEntry {
 std::span<const ClusterEntry> cluster_registry();
 std::span<const WorkloadEntry> workload_registry();
 
-/// Known cluster names for --cluster (visible entries only).
-std::vector<std::string> cluster_names();
 /// Builds a spec by name; throws std::invalid_argument on unknown names,
 /// listing the valid ones.
 ClusterSpec cluster_by_name(const std::string& name);
 
-/// Known workload names for --workload (visible entries only).
-std::vector<std::string> workload_names();
 /// Builds a workload by name with an iteration/repetition override
 /// (<= 0 keeps the paper's default). Unknown names throw
 /// std::invalid_argument, listing the valid ones.

@@ -7,6 +7,8 @@
 #include "common/require.hpp"
 #include "core/drift.hpp"
 #include "stats/quantile.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 

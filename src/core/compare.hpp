@@ -10,8 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "core/record.hpp"
-#include "telemetry/frame.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

@@ -2,6 +2,8 @@
 
 #include "common/require.hpp"
 #include "stats/correlation.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 

@@ -4,8 +4,8 @@
 #include <string>
 #include <vector>
 
-#include "core/record.hpp"
-#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

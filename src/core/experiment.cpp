@@ -7,6 +7,12 @@
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/faults.hpp"
+#include "core/record.hpp"
+#include "telemetry/frame.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 

@@ -10,9 +10,8 @@
 
 #include <vector>
 
-#include "cluster/cluster.hpp"
-#include "common/thread_pool.hpp"
-#include "core/record.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
+namespace gpuvar { class ThreadPool; }  // was: #include "common/thread_pool.hpp"
 #include "telemetry/frame.hpp"
 #include "workloads/runner.hpp"
 #include "workloads/workload.hpp"

@@ -7,7 +7,9 @@
 
 #include "common/require.hpp"
 #include "stats/boxplot.hpp"
-#include "stats/quantile.hpp"
+#include "cluster/cluster.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 

@@ -21,9 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "cluster/cluster.hpp"
-#include "core/record.hpp"
-#include "telemetry/frame.hpp"
+#include "common/units.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

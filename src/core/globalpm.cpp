@@ -6,7 +6,14 @@
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 #include "gpu/power_model.hpp"
-#include "thermal/thermal.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "core/experiment.hpp"
+#include "core/record.hpp"
+#include "gpu/kernel.hpp"
+#include "telemetry/frame.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 

@@ -10,9 +10,11 @@
 
 #include <vector>
 
-#include "cluster/cluster.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
 #include "core/experiment.hpp"
-#include "gpu/kernel.hpp"
+#include "common/units.hpp"
+namespace gpuvar { struct WorkloadSpec; }  // was: #include "workloads/workload.hpp"
+namespace gpuvar { struct KernelSpec; }  // was: #include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

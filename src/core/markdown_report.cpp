@@ -5,6 +5,11 @@
 #include "common/require.hpp"
 #include "core/correlate.hpp"
 #include "stats/bootstrap.hpp"
+#include "cluster/faults.hpp"
+#include "core/flagging.hpp"
+#include "core/variability.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 

@@ -8,9 +8,9 @@
 #include <ostream>
 #include <string>
 
-#include "core/flagging.hpp"
-#include "core/record.hpp"
 #include "core/variability.hpp"
+#include "common/units.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

@@ -3,6 +3,7 @@
 #include "common/require.hpp"
 #include "stats/boxplot.hpp"
 #include "stats/normal.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

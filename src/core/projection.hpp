@@ -6,8 +6,7 @@
 
 #include <cstddef>
 
-#include "core/record.hpp"
-#include "telemetry/frame.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

@@ -1,4 +1,7 @@
 #include "core/record.hpp"
+#include "cluster/cluster.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/run_result.hpp"
 
 namespace gpuvar {
 

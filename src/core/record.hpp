@@ -6,9 +6,9 @@
 // only this header sits in core.
 #pragma once
 
-#include "cluster/cluster.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
 #include "telemetry/record.hpp"
-#include "telemetry/run_result.hpp"
+namespace gpuvar { struct GpuRunResult; }  // was: #include "telemetry/run_result.hpp"
 
 namespace gpuvar {
 

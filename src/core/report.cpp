@@ -3,6 +3,12 @@
 #include <cstdio>
 
 #include "stats/ascii_plot.hpp"
+#include "cluster/faults.hpp"
+#include "core/correlate.hpp"
+#include "core/flagging.hpp"
+#include "core/variability.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 

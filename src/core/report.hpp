@@ -5,11 +5,11 @@
 #include <ostream>
 #include <string>
 
-#include "core/correlate.hpp"
-#include "core/flagging.hpp"
-#include "core/record.hpp"
+namespace gpuvar { struct CorrelationReport; }  // was: #include "core/correlate.hpp"
+namespace gpuvar { struct FlagReport; }  // was: #include "core/flagging.hpp"
 #include "core/variability.hpp"
-#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

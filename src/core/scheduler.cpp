@@ -10,6 +10,13 @@
 #include "stats/quantile.hpp"
 #include "telemetry/counters.hpp"
 #include "workloads/runner.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "core/classify.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 

@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
-#include "cluster/cluster.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
 #include "core/classify.hpp"
 #include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/sku.hpp"
 
 namespace gpuvar {
 

@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "stats/quantile.hpp"
+#include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

@@ -9,8 +9,7 @@
 
 #include <vector>
 
-#include "core/record.hpp"
-#include "telemetry/frame.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

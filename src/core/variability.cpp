@@ -6,6 +6,11 @@
 
 #include "common/require.hpp"
 #include "stats/quantile.hpp"
+#include "stats/ascii_plot.hpp"
+#include "stats/boxplot.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+#include "common/location.hpp"
 
 namespace gpuvar {
 

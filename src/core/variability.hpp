@@ -10,10 +10,10 @@
 #include <string>
 #include <vector>
 
-#include "core/record.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/boxplot.hpp"
-#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 

@@ -4,6 +4,13 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/pmapi.hpp"
+#include "gpu/sampler.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
+#include "thermal/thermal.hpp"
 
 namespace gpuvar {
 

@@ -16,12 +16,12 @@
 
 #include "common/units.hpp"
 #include "gpu/dvfs.hpp"
-#include "gpu/kernel.hpp"
+namespace gpuvar { struct KernelSpec; }  // was: #include "gpu/kernel.hpp"
 #include "gpu/power_model.hpp"
 #include "gpu/silicon.hpp"
 #include "gpu/sku.hpp"
 #include "gpu/pmapi.hpp"
-#include "gpu/sampler.hpp"
+namespace gpuvar { class Sampler; }  // was: #include "gpu/sampler.hpp"
 #include "thermal/thermal.hpp"
 
 namespace gpuvar {

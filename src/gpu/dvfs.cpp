@@ -3,6 +3,8 @@
 #include "common/require.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "common/units.hpp"
+#include "gpu/sku.hpp"
 
 namespace gpuvar {
 

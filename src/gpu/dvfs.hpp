@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "common/units.hpp"
-#include "gpu/sku.hpp"
+namespace gpuvar { struct GpuSku; }  // was: #include "gpu/sku.hpp"
 
 namespace gpuvar {
 

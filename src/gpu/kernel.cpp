@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "common/units.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
 
 namespace gpuvar {
 

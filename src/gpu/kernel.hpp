@@ -14,8 +14,8 @@
 #include <string>
 
 #include "common/units.hpp"
-#include "gpu/silicon.hpp"
-#include "gpu/sku.hpp"
+namespace gpuvar { struct SiliconSample; }  // was: #include "gpu/silicon.hpp"
+namespace gpuvar { struct GpuSku; }  // was: #include "gpu/sku.hpp"
 
 namespace gpuvar {
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "common/units.hpp"
 
 namespace gpuvar {
 

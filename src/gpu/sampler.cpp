@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "common/units.hpp"
+#include "gpu/timeseries.hpp"
 
 namespace gpuvar {
 

@@ -1,4 +1,7 @@
 #include "gpu/silicon.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gpu/sku.hpp"
 
 #include <algorithm>
 #include <cmath>

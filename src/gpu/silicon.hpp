@@ -8,9 +8,9 @@
 #include <cstdint>
 #include <string>
 
-#include "common/rng.hpp"
+namespace gpuvar { class Rng; }  // was: #include "common/rng.hpp"
 #include "common/units.hpp"
-#include "gpu/sku.hpp"
+namespace gpuvar { struct GpuSku; }  // was: #include "gpu/sku.hpp"
 
 namespace gpuvar {
 

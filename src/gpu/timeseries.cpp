@@ -1,4 +1,5 @@
 #include "gpu/timeseries.hpp"
+#include "common/units.hpp"
 
 namespace gpuvar {
 

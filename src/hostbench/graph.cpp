@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "common/rng.hpp"
 
 namespace gpuvar::host {
 

@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/rng.hpp"
+namespace gpuvar { class Rng; }  // was: #include "common/rng.hpp"
 
 namespace gpuvar::host {
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/require.hpp"
+#include "common/units.hpp"
 
 namespace gpuvar::host {
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "common/rng.hpp"
 
 namespace gpuvar::host {
 

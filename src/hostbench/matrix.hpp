@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "common/rng.hpp"
+namespace gpuvar { class Rng; }  // was: #include "common/rng.hpp"
 
 namespace gpuvar::host {
 

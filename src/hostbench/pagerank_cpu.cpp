@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "hostbench/spmv_cpu.hpp"
+#include "hostbench/graph.hpp"
 
 namespace gpuvar::host {
 

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "hostbench/graph.hpp"
+namespace gpuvar::host { struct CsrGraph; }  // was: #include "hostbench/graph.hpp"
 
 namespace gpuvar::host {
 

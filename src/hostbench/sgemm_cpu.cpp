@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "hostbench/matrix.hpp"
 
 namespace gpuvar::host {
 

@@ -3,7 +3,9 @@
 // validated against a naive reference in the tests.
 #pragma once
 
-#include "hostbench/matrix.hpp"
+#include <cstddef>
+
+namespace gpuvar::host { class Matrix; }  // was: #include "hostbench/matrix.hpp"
 
 namespace gpuvar::host {
 

@@ -2,6 +2,7 @@
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "hostbench/graph.hpp"
 
 namespace gpuvar::host {
 

@@ -4,7 +4,7 @@
 #include <span>
 #include <vector>
 
-#include "hostbench/graph.hpp"
+namespace gpuvar::host { struct CsrGraph; }  // was: #include "hostbench/graph.hpp"
 
 namespace gpuvar::host {
 

@@ -4,6 +4,8 @@
 #include <string_view>
 
 #include "common/numfmt.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvar::obs {
 

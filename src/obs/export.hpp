@@ -10,8 +10,8 @@
 
 #include <ostream>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+namespace gpuvar::obs { struct MetricsSnapshot; }  // was: #include "obs/metrics.hpp"
+namespace gpuvar::obs { class TraceSink; }  // was: #include "obs/trace.hpp"
 
 namespace gpuvar::obs {
 

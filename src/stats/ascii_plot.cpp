@@ -7,6 +7,7 @@
 #include "common/require.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/boxplot.hpp"
 
 namespace gpuvar::stats {
 

@@ -7,7 +7,6 @@
 #include <string>
 #include <vector>
 
-#include "stats/boxplot.hpp"
 
 namespace gpuvar::stats {
 

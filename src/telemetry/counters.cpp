@@ -1,6 +1,8 @@
 #include "telemetry/counters.hpp"
 
 #include "common/require.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

@@ -7,7 +7,7 @@
 #include <span>
 
 #include "common/units.hpp"
-#include "gpu/kernel.hpp"
+namespace gpuvar { struct KernelSpec; }  // was: #include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

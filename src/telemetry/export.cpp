@@ -4,6 +4,11 @@
 #include "common/csv_reader.hpp"
 #include "common/rng.hpp"
 #include "common/require.hpp"
+#include "common/location.hpp"
+#include "gpu/timeseries.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/run_result.hpp"
 
 namespace gpuvar {
 

@@ -15,8 +15,8 @@
 
 #include "common/location.hpp"
 #include "telemetry/frame.hpp"
-#include "telemetry/record.hpp"
 #include "telemetry/run_result.hpp"
+namespace gpuvar { class TimeSeries; }  // was: #include "gpu/timeseries.hpp"
 
 namespace gpuvar {
 

@@ -7,6 +7,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stats/quantile.hpp"
+#include "common/location.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 

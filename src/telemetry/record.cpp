@@ -2,8 +2,6 @@
 
 #include <map>
 
-#include "common/require.hpp"
-#include "stats/quantile.hpp"
 
 namespace gpuvar {
 

@@ -1,8 +1,10 @@
 #include "thermal/cooling.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "thermal/thermal.hpp"
 
 #include <algorithm>
 
-#include "common/require.hpp"
 
 namespace gpuvar {
 

@@ -15,7 +15,7 @@
 
 #include <string>
 
-#include "common/rng.hpp"
+namespace gpuvar { class Rng; }  // was: #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "thermal/thermal.hpp"
 

@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "obs/metrics.hpp"
+#include "common/units.hpp"
 
 namespace gpuvar {
 

@@ -6,6 +6,8 @@
 // median power sits ~40 W below ResNet's and its performance variability
 // (8%) is between SGEMM's and ResNet's.
 #include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

@@ -7,6 +7,8 @@
 // bandwidth-bound, not latency-bound). Power stays ≤ ~180 W, so the SM
 // clock pins at boost and performance barely varies (Takeaway 7).
 #include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

@@ -8,6 +8,8 @@
 // time waiting, so power is low, the clock pins at boost, and performance
 // variability is ~1%.
 #include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

@@ -8,6 +8,8 @@
 // paper's measurements: average FU utilization ≈ 5.4 (vs 10 for SGEMM) and
 // DRAM utilization ≈ 1/42 of LAMMPS'.
 #include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

@@ -9,6 +9,15 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stats/quantile.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/faults.hpp"
+#include "common/units.hpp"
+#include "gpu/device.hpp"
+#include "gpu/sampler.hpp"
+#include "gpu/sku.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/run_result.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 

@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "cluster/cluster.hpp"
-#include "telemetry/counters.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
 #include "telemetry/run_result.hpp"
-#include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/device.hpp"
+namespace gpuvar { struct GpuSku; }  // was: #include "gpu/sku.hpp"
+namespace gpuvar { struct WorkloadSpec; }  // was: #include "workloads/workload.hpp"
 
 namespace gpuvar {
 

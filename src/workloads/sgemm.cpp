@@ -4,6 +4,8 @@
 // (ii) achieves near-peak FLOP rates, and (iii) fully occupies the
 // SMs/CUs — exactly the tuning discipline the paper describes.
 #include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
 
 namespace gpuvar {
 

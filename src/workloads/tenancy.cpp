@@ -6,6 +6,16 @@
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/faults.hpp"
+#include "common/units.hpp"
+#include "gpu/device.hpp"
+#include "gpu/sampler.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/run_result.hpp"
+#include "thermal/cooling.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 

@@ -17,8 +17,12 @@
 
 #include <vector>
 
-#include "cluster/cluster.hpp"
-#include "workloads/runner.hpp"
+#include "common/units.hpp"
+#include "telemetry/run_result.hpp"
+#include "thermal/cooling.hpp"
+namespace gpuvar { struct WorkloadSpec; }  // was: #include "workloads/workload.hpp"
+namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
+namespace gpuvar { struct RunOptions; }  // was: #include "workloads/runner.hpp"
 
 namespace gpuvar {
 

@@ -1,6 +1,7 @@
 #include "workloads/workload.hpp"
 
 #include "common/require.hpp"
+#include "common/units.hpp"
 
 namespace gpuvar {
 

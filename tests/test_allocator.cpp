@@ -1,4 +1,5 @@
 #include "cluster/allocator.hpp"
+#include "cluster/cluster.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,5 @@
 #include "core/classify.hpp"
+#include "telemetry/counters.hpp"
 
 #include <gtest/gtest.h>
 

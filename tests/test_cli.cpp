@@ -1,4 +1,5 @@
 #include "core/cli.hpp"
+#include "gpu/sku.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,12 @@
 #include "cluster/cluster.hpp"
 
 #include "workloads/runner.hpp"
+#include "cluster/faults.hpp"
+#include "common/units.hpp"
+#include "gpu/device.hpp"
+#include "gpu/sku.hpp"
+#include "thermal/cooling.hpp"
+#include "workloads/workload.hpp"
 
 #include <gtest/gtest.h>
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "stats/descriptive.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace gpuvar {
 namespace {

@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 namespace {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "workloads/workload.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
 
 namespace gpuvar {
 namespace {

@@ -19,6 +19,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "telemetry/export.hpp"
+#include "cluster/cluster.hpp"
+#include "telemetry/run_result.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 namespace {

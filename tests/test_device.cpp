@@ -1,4 +1,10 @@
 #include "gpu/device.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/sampler.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
+#include "thermal/thermal.hpp"
 
 #include <gtest/gtest.h>
 

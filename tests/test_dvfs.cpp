@@ -1,4 +1,6 @@
 #include "gpu/dvfs.hpp"
+#include "common/units.hpp"
+#include "gpu/sku.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,6 @@
 #include "core/experiment.hpp"
+#include "cluster/cluster.hpp"
+#include "workloads/workload.hpp"
 
 #include <gtest/gtest.h>
 

@@ -5,6 +5,11 @@
 #include <sstream>
 
 #include "workloads/runner.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "gpu/timeseries.hpp"
+#include "telemetry/run_result.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 namespace {

@@ -1,8 +1,10 @@
 #include "cluster/faults.hpp"
+#include "common/location.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
 
 #include <gtest/gtest.h>
 
-#include "cluster/topology.hpp"
 
 namespace gpuvar {
 namespace {

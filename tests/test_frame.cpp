@@ -25,6 +25,7 @@
 #include "stats/quantile.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 namespace {

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "core/variability.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "gpu/device.hpp"
+#include "gpu/kernel.hpp"
+#include "workloads/workload.hpp"
 
 namespace gpuvar {
 namespace {

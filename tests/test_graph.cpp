@@ -1,4 +1,5 @@
 #include "hostbench/graph.hpp"
+#include "common/rng.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,5 @@
 #include "hostbench/host_device.hpp"
+#include "common/units.hpp"
 
 #include <gtest/gtest.h>
 

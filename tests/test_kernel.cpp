@@ -1,4 +1,7 @@
 #include "gpu/kernel.hpp"
+#include "common/units.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
 
 #include <gtest/gtest.h>
 

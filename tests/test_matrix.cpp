@@ -1,4 +1,5 @@
 #include "hostbench/matrix.hpp"
+#include "common/rng.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,6 @@
 #include "hostbench/pagerank_cpu.hpp"
+#include "common/rng.hpp"
+#include "hostbench/graph.hpp"
 
 #include <gtest/gtest.h>
 

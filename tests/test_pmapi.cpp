@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "gpu/device.hpp"
+#include "common/units.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/silicon.hpp"
+#include "gpu/sku.hpp"
+#include "thermal/thermal.hpp"
 
 namespace gpuvar {
 namespace {

@@ -6,6 +6,11 @@
 
 #include "common/rng.hpp"
 #include "telemetry/frame.hpp"
+#include "cluster/faults.hpp"
+#include "core/correlate.hpp"
+#include "core/flagging.hpp"
+#include "core/variability.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 namespace {

@@ -1,4 +1,7 @@
 #include "workloads/runner.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "workloads/workload.hpp"
 
 #include <gtest/gtest.h>
 

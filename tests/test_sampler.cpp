@@ -1,4 +1,5 @@
 #include "gpu/sampler.hpp"
+#include "common/units.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,9 @@
 #include "core/scheduler.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "core/classify.hpp"
+#include "gpu/sku.hpp"
+#include "workloads/workload.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,6 @@
 #include "hostbench/sgemm_cpu.hpp"
+#include "common/rng.hpp"
+#include "hostbench/matrix.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,5 @@
 #include "gpu/sku.hpp"
+#include "common/units.hpp"
 
 #include <gtest/gtest.h>
 

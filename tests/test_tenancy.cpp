@@ -1,4 +1,9 @@
 #include "workloads/tenancy.hpp"
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "thermal/cooling.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
 
 #include <gtest/gtest.h>
 

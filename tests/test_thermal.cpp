@@ -1,4 +1,5 @@
 #include "thermal/thermal.hpp"
+#include "common/units.hpp"
 
 #include <gtest/gtest.h>
 

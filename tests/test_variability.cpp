@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "telemetry/frame.hpp"
+#include "cluster/faults.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 namespace {

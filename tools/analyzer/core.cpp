@@ -96,10 +96,19 @@ std::vector<Token> tokenize(const std::string& code) {
     }
     std::size_t j = i;
     while (j < code.size() && ident_char(code[j])) ++j;
+    // A digit-led chunk is a numeric literal; a glued `_suffix` makes
+    // it a user-defined-literal reference (`250.0_W` uses `_W`), so
+    // the token becomes the suffix. Chunk count is preserved either
+    // way — declaration scanning sees the same stream shape.
+    std::size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (start < j && code[start] != '_') ++start;
+      if (start == j) start = i;  // plain number: keep it verbatim
+    }
     Token t;
-    t.text = code.substr(i, j - i);
+    t.text = code.substr(start, j - start);
     t.line = line;
-    t.pos = i;
+    t.pos = start;
     std::size_t k = j;
     while (k < code.size() &&
            std::isspace(static_cast<unsigned char>(code[k])) &&
@@ -199,10 +208,6 @@ void parse_allows(SourceFile& f) {
   }
 }
 
-bool is_source_name(const fs::path& p) {
-  return p.extension() == ".hpp" || p.extension() == ".cpp";
-}
-
 }  // namespace
 
 bool load_source_file(const fs::path& path, const std::string& rel,
@@ -236,36 +241,6 @@ bool load_source_file(const fs::path& path, const std::string& rel,
   return true;
 }
 
-Repo load_repo(const fs::path& root) {
-  Repo repo;
-  repo.root = root;
-  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
-    const fs::path base = root / dir;
-    if (!fs::exists(base)) continue;
-    std::vector<fs::path> paths;
-    auto it = fs::recursive_directory_iterator(base);
-    for (const auto& entry : it) {
-      if (entry.is_directory() && entry.path().filename() == "fixtures") {
-        it.disable_recursion_pending();
-        continue;
-      }
-      if (entry.is_regular_file() && is_source_name(entry.path())) {
-        paths.push_back(entry.path());
-      }
-    }
-    // Directory iteration order is filesystem-dependent; sort so the
-    // analyzer's own output is deterministic.
-    std::sort(paths.begin(), paths.end());
-    for (const auto& p : paths) {
-      SourceFile f;
-      const std::string rel =
-          fs::relative(p, root).generic_string();
-      if (load_source_file(p, rel, f)) repo.files.push_back(std::move(f));
-    }
-  }
-  return repo;
-}
-
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> kRules = {
       // style (PR 1)
@@ -282,6 +257,10 @@ const std::set<std::string>& known_rules() {
       "row-record-param",
       // observability
       "raw-trace-api",
+      // include hygiene (cross-TU symbol index)
+      "unused-include", "missing-direct-include", "forward-declarable",
+      // dead code
+      "dead-symbol",
       // meta
       "unknown-rule"};
   return kRules;
@@ -298,55 +277,16 @@ bool strict_rule(const std::string& rule) {
   return kStrict.count(rule) != 0;
 }
 
-void check_suppression_names(const SourceFile& file,
-                             std::vector<Finding>& findings) {
-  for (const auto& [line, rules] : file.allows) {
-    for (const auto& rule : rules) {
-      if (!known_rules().count(rule)) {
-        findings.push_back({file.rel, line, "unknown-rule",
-                            "suppression names unknown rule '" + rule +
-                                "' (run --list-rules for the registry); "
-                                "a typo here would silently disable "
-                                "nothing"});
-      }
-    }
-  }
-}
-
-std::vector<Finding> apply_suppressions(const Repo& repo,
-                                        std::vector<Finding> findings) {
-  std::map<std::string, const SourceFile*> by_rel;
-  for (const auto& f : repo.files) by_rel[f.rel] = &f;
-  std::vector<Finding> kept;
-  kept.reserve(findings.size());
-  for (auto& fd : findings) {
-    bool suppressed = false;
-    if (!strict_rule(fd.rule)) {
-      const auto it = by_rel.find(fd.file);
-      if (it != by_rel.end()) {
-        const auto& allows = it->second->allows;
-        for (int line : {fd.line, fd.line - 1}) {
-          const auto a = allows.find(line);
-          if (a != allows.end() && a->second.count(fd.rule)) {
-            suppressed = true;
-            break;
-          }
-        }
-      }
-    }
-    if (!suppressed) kept.push_back(std::move(fd));
-  }
-  return kept;
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
 }
 
 void print_findings(const std::vector<Finding>& findings, std::ostream& out) {
-  std::vector<Finding> sorted = findings;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  for (const auto& fd : sorted) {
+  for (const auto& fd : findings) {
     out << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
         << fd.message << "\n";
   }
@@ -380,22 +320,68 @@ std::string json_escape(const std::string& s) {
 
 void write_json(const std::vector<Finding>& findings,
                 std::size_t files_scanned, std::ostream& out) {
-  std::vector<Finding> sorted = findings;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
   out << "{\n  \"files_scanned\": " << files_scanned
       << ",\n  \"findings\": [";
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    const auto& fd = sorted[i];
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& fd = findings[i];
     out << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(fd.file)
         << "\", \"line\": " << fd.line << ", \"rule\": \""
         << json_escape(fd.rule) << "\", \"message\": \""
         << json_escape(fd.message) << "\"}";
   }
-  out << (sorted.empty() ? "" : "\n  ") << "]\n}\n";
+  out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_sarif(const std::vector<Finding>& findings, std::ostream& out) {
+  // Rule index for SARIF's ruleIndex cross-references.
+  std::map<std::string, std::size_t> rule_index;
+  for (const auto& rule : known_rules()) {
+    const std::size_t n = rule_index.size();
+    rule_index[rule] = n;
+  }
+  out << "{\n"
+         "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"gpuvar-analyzer\",\n"
+         "          \"informationUri\": "
+         "\"https://example.invalid/gpuvar-analyzer\",\n"
+         "          \"rules\": [";
+  bool first = true;
+  for (const auto& [rule, _] : rule_index) {
+    out << (first ? "" : ",") << "\n            {\"id\": \""
+        << json_escape(rule)
+        << "\", \"defaultConfiguration\": {\"level\": \"error\"}}";
+    first = false;
+  }
+  out << "\n          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& fd = findings[i];
+    const auto it = rule_index.find(fd.rule);
+    out << (i ? "," : "") << "\n        {\"ruleId\": \""
+        << json_escape(fd.rule) << "\"";
+    if (it != rule_index.end()) {
+      out << ", \"ruleIndex\": " << it->second;
+    }
+    out << ", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(fd.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(fd.file)
+        << "\"}, \"region\": {\"startLine\": " << std::max(fd.line, 1)
+        << "}}}]}";
+  }
+  out << (findings.empty() ? "" : "\n      ") << "]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
 }
 
 }  // namespace gpuvar::analyzer

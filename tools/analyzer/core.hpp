@@ -3,18 +3,22 @@
 //
 // The analyzer works on a token/character level rather than a real C++
 // AST: the conventions it enforces (layering, annotation presence,
-// determinism hygiene) are all visible in the token stream, and a
-// dependency-free scanner can run as a ctest on every build. Comments
-// and string/char literals are stripped before matching (newlines
-// preserved so line numbers survive), so a banned name inside a doc
-// comment or log message never trips a rule.
+// determinism hygiene, include hygiene) are all visible in the token
+// stream, and a dependency-free scanner can run as a ctest on every
+// build. Comments and string/char literals are stripped before matching
+// (newlines preserved so line numbers survive), so a banned name inside
+// a doc comment or log message never trips a rule.
 //
 // Inline suppressions: a finding on line N is suppressed by an allow
 // comment naming its rule on line N or on the line above, e.g.
 //   ... = std::chrono::steady_clock::now();  // gpuvar-lint: allow(wall-clock)
-// (comma-separate several rules inside one allow(...)).
+// (comma-separate several rules inside one allow(...), e.g.
+// allow(wall-clock,locale-format)).
 // Unknown rule names inside allow(...) are themselves findings
 // (rule `unknown-rule`), so a typo can never silently disable a check.
+//
+// Scanning, caching, and pass orchestration live in driver.hpp; the
+// cross-TU symbol index in index.hpp.
 #pragma once
 
 #include <filesystem>
@@ -65,6 +69,9 @@ struct SourceFile {
   int line_of(std::size_t pos) const;
 };
 
+/// A bag of SourceFiles handed to the file-local passes. The scan
+/// driver feeds passes one file at a time (so results are cacheable
+/// per file); fixture modes load a handful at once.
 struct Repo {
   std::filesystem::path root;
   std::vector<SourceFile> files;
@@ -87,11 +94,6 @@ std::size_t matching_paren_end(const std::string& code, std::size_t open);
 bool load_source_file(const std::filesystem::path& path,
                       const std::string& rel, SourceFile& out);
 
-/// Scans root/{src,tools,bench,examples,tests} for .hpp/.cpp files.
-/// Directories named "fixtures" are skipped: they hold the analyzer's
-/// own deliberately-broken self-test inputs.
-Repo load_repo(const std::filesystem::path& root);
-
 /// Every rule any pass can emit (authority for unknown-rule checking).
 const std::set<std::string>& known_rules();
 
@@ -99,20 +101,23 @@ const std::set<std::string>& known_rules();
 /// rules whose deprecation grace period has ended: row-record-param).
 bool strict_rule(const std::string& rule);
 
-/// Findings for allow() entries naming rules the analyzer doesn't have.
-void check_suppression_names(const SourceFile& file,
-                             std::vector<Finding>& findings);
+/// Sorts findings by (file, line, rule) — the one canonical emit order,
+/// so text, JSON, and SARIF outputs are stable for diffing in CI
+/// regardless of scan order or thread count.
+void sort_findings(std::vector<Finding>& findings);
 
-/// Drops findings covered by an allow() on the same or preceding line.
-/// Strict rules (see strict_rule) are never suppressible.
-std::vector<Finding> apply_suppressions(const Repo& repo,
-                                        std::vector<Finding> findings);
-
-/// "file:line: [rule] message" per finding, sorted by file/line/rule.
+/// "file:line: [rule] message" per finding. Expects findings already in
+/// canonical order (sort_findings).
 void print_findings(const std::vector<Finding>& findings, std::ostream& out);
 
 /// Machine-readable report: {"files_scanned": N, "findings": [...]}.
+/// Expects findings already in canonical order.
 void write_json(const std::vector<Finding>& findings,
                 std::size_t files_scanned, std::ostream& out);
+
+/// SARIF 2.1.0 report for CI annotation (one run, one result per
+/// finding, rule registry in the driver). Expects findings already in
+/// canonical order.
+void write_sarif(const std::vector<Finding>& findings, std::ostream& out);
 
 }  // namespace gpuvar::analyzer

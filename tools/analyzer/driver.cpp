@@ -1,0 +1,498 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "common/thread_pool.hpp"
+#include "passes.hpp"
+#include "core.hpp"
+#include "fix.hpp"
+#include "index.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Bump when the FileSummary serialization or the scanner's semantics
+/// change: a stale format must read as a cold cache, never as data.
+constexpr const char* kCacheFormatVersion = "gpuvar-analyzer-cache-v2";
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h ^= '\n';
+  h *= 1099511628211ULL;
+  return h;
+}
+
+/// Percent-encodes a field for the space-separated cache format; the
+/// empty string encodes as "%".
+std::string enc(const std::string& s) {
+  if (s.empty()) return "%";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case ' ': out += "%20"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      case '\t': out += "%09"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string dec(const std::string& s) {
+  if (s == "%") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const std::string hex = s.substr(i + 1, 2);
+      out += static_cast<char>(std::stoi(hex, nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+struct CachedFile {
+  std::uint64_t size = 0;
+  std::int64_t mtime = 0;
+  FileSummary summary;
+};
+
+using CacheMap = std::map<std::string, CachedFile>;
+
+CacheMap load_cache(const fs::path& path) {
+  CacheMap cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::string line;
+  if (!std::getline(in, line)) return cache;
+  {
+    std::istringstream h(line);
+    std::string tag, version;
+    std::uint64_t hash = 0;
+    if (!(h >> tag >> version >> hash) || tag != "H" ||
+        version != kCacheFormatVersion || hash != pass_set_hash()) {
+      return cache;
+    }
+  }
+  CachedFile cur;
+  bool open = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op)) continue;
+    if (op == "F") {
+      std::string rel, top, module;
+      int header = 0, oper = 0;
+      if (!(ls >> rel >> cur.size >> cur.mtime >> top >> module >> header >>
+            oper)) {
+        return CacheMap{};
+      }
+      cur.summary = FileSummary{};
+      cur.summary.rel = dec(rel);
+      cur.summary.top = dec(top);
+      cur.summary.module = dec(module);
+      cur.summary.header = header != 0;
+      cur.summary.declares_operator = oper != 0;
+      open = true;
+    } else if (!open) {
+      return CacheMap{};
+    } else if (op == "I") {
+      IncludeDirective inc;
+      int keep = 0, exported = 0;
+      std::string target;
+      if (!(ls >> inc.line >> keep >> exported >> target)) return CacheMap{};
+      inc.keep = keep != 0;
+      inc.exported = exported != 0;
+      inc.target = dec(target);
+      cur.summary.includes.push_back(std::move(inc));
+    } else if (op == "A") {
+      int aline = 0;
+      std::string rules;
+      if (!(ls >> aline >> rules)) return CacheMap{};
+      std::istringstream rs(dec(rules));
+      std::string rule;
+      while (std::getline(rs, rule, ',')) {
+        if (!rule.empty()) cur.summary.allows[aline].insert(rule);
+      }
+    } else if (op == "S") {
+      Symbol s;
+      std::string kind, name, ns, parent;
+      if (!(ls >> kind >> s.line >> name >> ns >> parent) || kind.empty()) {
+        return CacheMap{};
+      }
+      s.kind = kind[0];
+      s.name = dec(name);
+      s.ns = dec(ns);
+      s.parent = dec(parent);
+      cur.summary.declared.push_back(std::move(s));
+    } else if (op == "R") {
+      // `name:count` pairs; ':' cannot appear in an identifier token.
+      std::string item;
+      while (ls >> item) {
+        const auto colon = item.rfind(':');
+        if (colon == std::string::npos) return CacheMap{};
+        int count = 0;
+        try {
+          count = std::stoi(item.substr(colon + 1));
+        } catch (...) {
+          return CacheMap{};
+        }
+        if (count <= 0) return CacheMap{};
+        cur.summary.refs.push_back(dec(item.substr(0, colon)));
+        cur.summary.ref_counts.push_back(count);
+      }
+    } else if (op == "P") {
+      std::string name;
+      while (ls >> name) cur.summary.ptr_ref_only.push_back(dec(name));
+    } else if (op == "L") {
+      Finding fd;
+      std::string rule, message;
+      if (!(ls >> fd.line >> rule >> message)) return CacheMap{};
+      fd.file = cur.summary.rel;
+      fd.rule = dec(rule);
+      fd.message = dec(message);
+      cur.summary.local_findings.push_back(std::move(fd));
+    } else if (op == "E") {
+      cache[cur.summary.rel] = cur;
+      cur = CachedFile{};
+      open = false;
+    } else {
+      return CacheMap{};
+    }
+  }
+  return cache;
+}
+
+void write_cache(const fs::path& path, const CacheMap& cache) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;  // best effort: an unwritable cache is just cold
+  out << "H " << kCacheFormatVersion << " " << pass_set_hash() << "\n";
+  for (const auto& [rel, cf] : cache) {
+    const FileSummary& s = cf.summary;
+    out << "F " << enc(rel) << " " << cf.size << " " << cf.mtime << " "
+        << enc(s.top) << " " << enc(s.module) << " " << (s.header ? 1 : 0)
+        << " " << (s.declares_operator ? 1 : 0) << "\n";
+    for (const auto& inc : s.includes) {
+      out << "I " << inc.line << " " << (inc.keep ? 1 : 0) << " "
+          << (inc.exported ? 1 : 0) << " " << enc(inc.target) << "\n";
+    }
+    for (const auto& [line, rules] : s.allows) {
+      std::string joined;
+      for (const auto& r : rules) {
+        if (!joined.empty()) joined += ',';
+        joined += r;
+      }
+      out << "A " << line << " " << enc(joined) << "\n";
+    }
+    for (const auto& sym : s.declared) {
+      out << "S " << sym.kind << " " << sym.line << " " << enc(sym.name)
+          << " " << enc(sym.ns) << " " << enc(sym.parent) << "\n";
+    }
+    if (!s.refs.empty()) {
+      out << "R";
+      for (std::size_t i = 0; i < s.refs.size(); ++i) {
+        out << " " << enc(s.refs[i]) << ":" << s.ref_counts[i];
+      }
+      out << "\n";
+    }
+    if (!s.ptr_ref_only.empty()) {
+      out << "P";
+      for (const auto& r : s.ptr_ref_only) out << " " << enc(r);
+      out << "\n";
+    }
+    for (const auto& fd : s.local_findings) {
+      out << "L " << fd.line << " " << enc(fd.rule) << " "
+          << enc(fd.message) << "\n";
+    }
+    out << "E\n";
+  }
+}
+
+bool is_source_name(const fs::path& p) {
+  return p.extension() == ".hpp" || p.extension() == ".cpp";
+}
+
+struct TreeItem {
+  fs::path path;
+  std::string rel;
+  std::uint64_t size = 0;
+  std::int64_t mtime = 0;
+};
+
+std::vector<TreeItem> enumerate(const fs::path& root) {
+  std::vector<TreeItem> items;
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    std::vector<fs::path> paths;
+    auto it = fs::recursive_directory_iterator(base);
+    for (const auto& entry : it) {
+      if (entry.is_directory() && entry.path().filename() == "fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (entry.is_regular_file() && is_source_name(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // analyzer's own output is deterministic.
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) {
+      TreeItem item;
+      item.path = p;
+      item.rel = fs::relative(p, root).generic_string();
+      std::error_code ec;
+      item.size = static_cast<std::uint64_t>(fs::file_size(p, ec));
+      if (ec) continue;
+      const auto mt = fs::last_write_time(p, ec);
+      if (ec) continue;
+      item.mtime = static_cast<std::int64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              mt.time_since_epoch())
+              .count());
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+/// Parses `IWYU pragma:` marks off each include's raw line.
+void mark_iwyu_pragmas(const SourceFile& f, FileSummary& out) {
+  std::vector<std::string> lines;
+  {
+    std::size_t pos = 0;
+    while (pos <= f.raw.size()) {
+      const std::size_t eol = f.raw.find('\n', pos);
+      lines.push_back(f.raw.substr(
+          pos, (eol == std::string::npos ? f.raw.size() : eol) - pos));
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+  }
+  for (auto& inc : out.includes) {
+    const std::size_t i = static_cast<std::size_t>(inc.line - 1);
+    if (i >= lines.size()) continue;
+    if (lines[i].find("IWYU pragma: keep") != std::string::npos) {
+      inc.keep = true;
+    }
+    if (lines[i].find("IWYU pragma: export") != std::string::npos) {
+      inc.exported = true;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& pass_names() {
+  static const std::vector<std::string> kNames = {
+      "style",       "layering", "thread",  "determinism",
+      "interchange", "obs",      "include", "deadcode"};
+  return kNames;
+}
+
+std::uint64_t pass_set_hash() {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a(h, kCacheFormatVersion);
+  for (const auto& name : pass_names()) h = fnv1a(h, name);
+  for (const auto& rule : known_rules()) h = fnv1a(h, rule);
+  return h;
+}
+
+bool scan_file(const fs::path& path, const std::string& rel,
+               FileSummary& out) {
+  SourceFile f;
+  if (!load_source_file(path, rel, f)) return false;
+
+  out = FileSummary{};
+  out.rel = f.rel;
+  out.top = f.top;
+  out.module = f.module;
+  out.header = f.header;
+  for (const auto& [line, target] : f.includes) {
+    IncludeDirective inc;
+    inc.line = line;
+    inc.target = target;
+    out.includes.push_back(std::move(inc));
+  }
+  out.allows = f.allows;
+  mark_iwyu_pragmas(f, out);
+  scan_symbols(f, out);
+
+  // File-local passes (everything except layering / include hygiene /
+  // dead code is a pure function of one file — that is what makes the
+  // scan cacheable per file).
+  Repo one;
+  one.root = path.parent_path();
+  one.files.push_back(std::move(f));
+  run_style_pass(one, out.local_findings);
+  run_thread_pass(one, out.local_findings);
+  run_determinism_pass(one, out.local_findings);
+  run_interchange_pass(one, out.local_findings);
+  run_obs_pass(one, out.local_findings);
+  return true;
+}
+
+Tree scan_tree(const fs::path& root, const ScanOptions& opts,
+               ScanStats* stats) {
+  const std::vector<TreeItem> items = enumerate(root);
+
+  CacheMap cache;
+  if (!opts.cache_path.empty()) cache = load_cache(opts.cache_path);
+
+  Tree tree;
+  tree.root = root;
+  tree.files.resize(items.size());
+  std::vector<std::size_t> misses;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto it = cache.find(items[i].rel);
+    if (it != cache.end() && it->second.size == items[i].size &&
+        it->second.mtime == items[i].mtime) {
+      tree.files[i] = it->second.summary;
+      ++hits;
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  std::vector<char> ok(misses.size(), 0);
+  if (!misses.empty()) {
+    ThreadPool pool(opts.threads);
+    pool.parallel_for(misses.size(), [&](std::size_t k) {
+      const std::size_t i = misses[k];
+      ok[k] = scan_file(items[i].path, items[i].rel, tree.files[i]) ? 1 : 0;
+    });
+  }
+
+  // Drop unreadable files, preserving order.
+  std::vector<char> keep(items.size(), 1);
+  for (std::size_t k = 0; k < misses.size(); ++k) {
+    if (!ok[k]) keep[misses[k]] = 0;
+  }
+  if (std::find(keep.begin(), keep.end(), 0) != keep.end()) {
+    Tree pruned;
+    pruned.root = tree.root;
+    std::vector<TreeItem> kept_items;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (keep[i]) pruned.files.push_back(std::move(tree.files[i]));
+    }
+    tree = std::move(pruned);
+  }
+
+  if (stats != nullptr) {
+    stats->files = tree.files.size();
+    stats->scanned = misses.size();
+    stats->cache_hits = hits;
+  }
+
+  if (!opts.cache_path.empty()) {
+    CacheMap fresh;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!keep[i]) continue;
+      CachedFile cf;
+      cf.size = items[i].size;
+      cf.mtime = items[i].mtime;
+      // tree.files may have been compacted; find by rel.
+      cf.summary = FileSummary{};
+      fresh[items[i].rel] = std::move(cf);
+    }
+    for (auto& f : tree.files) {
+      auto it = fresh.find(f.rel);
+      if (it != fresh.end()) it->second.summary = f;
+    }
+    write_cache(opts.cache_path, fresh);
+  }
+
+  resolve_includes(tree);
+  return tree;
+}
+
+void check_suppression_names(const FileSummary& file,
+                             std::vector<Finding>& findings) {
+  for (const auto& [line, rules] : file.allows) {
+    for (const auto& rule : rules) {
+      if (!known_rules().count(rule)) {
+        findings.push_back({file.rel, line, "unknown-rule",
+                            "suppression names unknown rule '" + rule +
+                                "' (run --list-rules for the registry); "
+                                "a typo here would silently disable "
+                                "nothing"});
+      }
+    }
+  }
+}
+
+std::vector<Finding> apply_suppressions(const Tree& tree,
+                                        std::vector<Finding> findings) {
+  std::map<std::string, const FileSummary*> by_rel;
+  for (const auto& f : tree.files) by_rel[f.rel] = &f;
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (auto& fd : findings) {
+    bool suppressed = false;
+    if (!strict_rule(fd.rule)) {
+      const auto it = by_rel.find(fd.file);
+      if (it != by_rel.end()) {
+        const auto& allows = it->second->allows;
+        for (int line : {fd.line, fd.line - 1}) {
+          const auto a = allows.find(line);
+          if (a != allows.end() && a->second.count(fd.rule)) {
+            suppressed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(fd));
+  }
+  return kept;
+}
+
+AnalysisResult analyze_tree(const Tree& tree) {
+  AnalysisResult result;
+  std::vector<Finding> findings;
+  for (const auto& f : tree.files) {
+    findings.insert(findings.end(), f.local_findings.begin(),
+                    f.local_findings.end());
+  }
+
+  run_layering_pass(tree, findings);
+  const SymbolIndex idx = build_index(tree);
+  std::vector<FixEdit> edits;
+  run_include_pass(tree, idx, findings, &edits);
+  run_deadcode_pass(tree, idx, findings);
+  for (const auto& f : tree.files) check_suppression_names(f, findings);
+
+  findings = apply_suppressions(tree, std::move(findings));
+  sort_findings(findings);
+
+  // Keep only edits whose finding survived suppression.
+  std::set<std::tuple<std::string, int, std::string>> alive;
+  for (const auto& fd : findings) alive.insert({fd.file, fd.line, fd.rule});
+  for (auto& e : edits) {
+    if (alive.count({e.file, e.line, e.rule})) {
+      result.edits.push_back(std::move(e));
+    }
+  }
+  result.findings = std::move(findings);
+  return result;
+}
+
+}  // namespace gpuvar::analyzer

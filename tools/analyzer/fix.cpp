@@ -1,0 +1,224 @@
+#include "fix.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      if (pos < text.size()) lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+/// Per-line plan for one file: 1-based original line -> replacement
+/// lines (empty vector = delete, absent = keep) plus insertions keyed
+/// by the original line they go before.
+struct FilePlan {
+  std::map<int, std::vector<std::string>> replace;
+  std::map<int, std::vector<std::string>> insert_before;
+};
+
+std::vector<std::string> apply_plan(const std::vector<std::string>& old_lines,
+                                    const FilePlan& plan) {
+  std::vector<std::string> out;
+  out.reserve(old_lines.size() + 8);
+  for (int i = 1; i <= static_cast<int>(old_lines.size()) + 1; ++i) {
+    const auto ins = plan.insert_before.find(i);
+    if (ins != plan.insert_before.end()) {
+      out.insert(out.end(), ins->second.begin(), ins->second.end());
+    }
+    if (i > static_cast<int>(old_lines.size())) break;
+    const auto rep = plan.replace.find(i);
+    if (rep != plan.replace.end()) {
+      out.insert(out.end(), rep->second.begin(), rep->second.end());
+    } else {
+      out.push_back(old_lines[static_cast<std::size_t>(i - 1)]);
+    }
+  }
+  return out;
+}
+
+/// Unified diff with 3 lines of context, built directly from the edit
+/// plan (no LCS needed — we know exactly which lines changed).
+std::string unified_diff(const std::string& rel,
+                         const std::vector<std::string>& old_lines,
+                         const FilePlan& plan) {
+  // Collect changed original line numbers (for inserts: the line the
+  // insertion precedes, clamped into range so context surrounds it).
+  std::set<int> changed;
+  for (const auto& [line, _] : plan.replace) changed.insert(line);
+  for (const auto& [line, _] : plan.insert_before) {
+    changed.insert(std::min(line, static_cast<int>(old_lines.size())));
+  }
+  if (changed.empty()) return "";
+
+  // Merge into hunks: ranges of original lines, context included.
+  const int n = static_cast<int>(old_lines.size());
+  struct Hunk {
+    int begin, end;  // inclusive original-line range
+  };
+  std::vector<Hunk> hunks;
+  for (int line : changed) {
+    const int b = std::max(1, line - 3);
+    const int e = std::min(n, line + 3);
+    if (!hunks.empty() && b <= hunks.back().end + 1) {
+      hunks.back().end = std::max(hunks.back().end, e);
+    } else {
+      hunks.push_back({b, e});
+    }
+  }
+
+  std::ostringstream out;
+  out << "--- a/" << rel << "\n+++ b/" << rel << "\n";
+  // New-file line number of the first line of each hunk: track the
+  // cumulative delta of all edits before it.
+  for (const auto& h : hunks) {
+    int delta_before = 0;
+    for (const auto& [line, repl] : plan.replace) {
+      if (line < h.begin) {
+        delta_before += static_cast<int>(repl.size()) - 1;
+      }
+    }
+    for (const auto& [line, ins] : plan.insert_before) {
+      if (line < h.begin) delta_before += static_cast<int>(ins.size());
+    }
+    std::vector<std::string> body;
+    int old_count = 0, new_count = 0;
+    for (int i = h.begin; i <= h.end; ++i) {
+      const auto ins = plan.insert_before.find(i);
+      if (ins != plan.insert_before.end()) {
+        for (const auto& l : ins->second) {
+          body.push_back("+" + l);
+          ++new_count;
+        }
+      }
+      const auto rep = plan.replace.find(i);
+      if (rep != plan.replace.end()) {
+        body.push_back("-" + old_lines[static_cast<std::size_t>(i - 1)]);
+        ++old_count;
+        for (const auto& l : rep->second) {
+          body.push_back("+" + l);
+          ++new_count;
+        }
+      } else {
+        body.push_back(" " + old_lines[static_cast<std::size_t>(i - 1)]);
+        ++old_count;
+        ++new_count;
+      }
+    }
+    // Insertions that land just past the hunk's last line.
+    const auto tail = plan.insert_before.find(h.end + 1);
+    if (tail != plan.insert_before.end() && h.end == n) {
+      for (const auto& l : tail->second) {
+        body.push_back("+" + l);
+        ++new_count;
+      }
+    }
+    out << "@@ -" << h.begin << "," << old_count << " +"
+        << (h.begin + delta_before) << "," << new_count << " @@\n";
+    for (const auto& l : body) out << l << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+FixOutcome apply_fixes(const std::filesystem::path& root,
+                       const std::vector<FixEdit>& edits, bool dry_run) {
+  FixOutcome outcome;
+
+  std::map<std::string, std::vector<const FixEdit*>> by_file;
+  for (const auto& e : edits) by_file[e.file].push_back(&e);
+
+  for (const auto& [rel, file_edits] : by_file) {
+    const std::filesystem::path path = root / rel;
+    std::ifstream in(path);
+    if (!in) {
+      outcome.errors.push_back("cannot read " + rel);
+      continue;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    in.close();
+    const std::string raw = ss.str();
+    const std::vector<std::string> old_lines = split_lines(raw);
+
+    FilePlan plan;
+    std::set<std::string> inserts;
+    for (const FixEdit* e : file_edits) {
+      switch (e->kind) {
+        case FixEdit::Kind::kDeleteInclude:
+          plan.replace[e->line] = {};
+          ++outcome.deleted;
+          break;
+        case FixEdit::Kind::kReplaceWithFwd:
+          plan.replace[e->line] = e->fwd_lines;
+          ++outcome.forward_declared;
+          break;
+        case FixEdit::Kind::kInsertInclude:
+          inserts.insert(e->include_text);
+          break;
+      }
+    }
+
+    if (!inserts.empty()) {
+      // Anchor: after the last surviving quoted include line; if every
+      // quoted include was deleted or replaced, reuse the first edited
+      // include's position instead.
+      int anchor = 0;  // 0 = none found yet
+      for (int i = 1; i <= static_cast<int>(old_lines.size()); ++i) {
+        const std::string& l = old_lines[static_cast<std::size_t>(i - 1)];
+        const auto hash = l.find_first_not_of(" \t");
+        if (hash == std::string::npos || l[hash] != '#') continue;
+        if (l.find("include", hash) == std::string::npos) continue;
+        if (l.find('"') == std::string::npos) continue;
+        if (plan.replace.count(i)) continue;  // deleted or replaced
+        anchor = i;
+      }
+      std::vector<std::string> lines;
+      for (const auto& t : inserts) {
+        lines.push_back("#include \"" + t + "\"");
+        ++outcome.inserted;
+      }
+      if (anchor > 0) {
+        plan.insert_before[anchor + 1] = std::move(lines);
+      } else if (!plan.replace.empty()) {
+        plan.insert_before[plan.replace.begin()->first] = std::move(lines);
+      } else {
+        // No include block at all: put the block at the top.
+        plan.insert_before[1] = std::move(lines);
+      }
+    }
+
+    outcome.diff += unified_diff(rel, old_lines, plan);
+    ++outcome.files_changed;
+
+    if (!dry_run) {
+      const std::vector<std::string> new_lines = apply_plan(old_lines, plan);
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        outcome.errors.push_back("cannot write " + rel);
+        continue;
+      }
+      for (const auto& l : new_lines) out << l << "\n";
+    }
+  }
+  return outcome;
+}
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,44 @@
+// --fix engine: rewrites include blocks in place from the include-
+// hygiene pass's edit list — delete unused includes, insert missing
+// direct includes in sorted order, replace forward-declarable includes
+// with namespace-scoped forward declarations. `--fix --dry-run` emits a
+// unified diff instead of writing.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+
+namespace gpuvar::analyzer {
+
+/// One mechanical edit proposed by the include-hygiene pass. Each edit
+/// mirrors a finding (same file/line/rule), so suppressed findings can
+/// be filtered out of the edit list before applying.
+struct FixEdit {
+  enum class Kind { kDeleteInclude, kInsertInclude, kReplaceWithFwd };
+  Kind kind = Kind::kDeleteInclude;
+  std::string file;  ///< repo-relative path of the file to edit
+  int line = 0;      ///< finding line (delete/replace: the include line)
+  std::string rule;  ///< rule of the originating finding
+  std::string include_text;  ///< for insert: path to write between quotes
+  std::vector<std::string> fwd_lines;  ///< for replace: the fwd-decl lines
+};
+
+struct FixOutcome {
+  int files_changed = 0;
+  int deleted = 0;
+  int inserted = 0;
+  int forward_declared = 0;
+  std::string diff;  ///< unified diff of every change (a/ b/ prefixes)
+  std::vector<std::string> errors;
+};
+
+/// Applies the edits to the files under `root` (or only computes the
+/// diff when `dry_run`). Edits are grouped per file; insertions land
+/// after the last surviving quoted project include, sorted among
+/// themselves.
+FixOutcome apply_fixes(const std::filesystem::path& root,
+                       const std::vector<FixEdit>& edits, bool dry_run);
+
+}  // namespace gpuvar::analyzer

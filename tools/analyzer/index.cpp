@@ -1,0 +1,489 @@
+#include "index.hpp"
+#include "core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+bool space_char(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// True for MACRO_LIKE names: all caps/digits/underscores with at least
+/// one letter. Used to step over annotation macros in declarations,
+/// e.g. `class GPUVAR_CAPABILITY("mutex") Mutex`.
+bool macro_like(const std::string& s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_alpha = true;
+  }
+  return has_alpha;
+}
+
+/// The declaration scanner: a scope-tracking walk over the stripped
+/// code that records namespace-scope declarations. It never guesses
+/// below namespace scope — members, locals, and parameters are
+/// invisible by design (a member name in the index would alias every
+/// `.size()` call in the tree).
+class DeclScanner {
+ public:
+  DeclScanner(const SourceFile& f, FileSummary& out) : f_(f), out_(out) {}
+
+  void run() {
+    const std::string& code = f_.code;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (c == '\n') {
+        ++line_;
+        ++i;
+        continue;
+      }
+      if (space_char(c)) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {
+        i = directive(i);
+        continue;
+      }
+      if (ident_char(c)) {
+        std::size_t j = i;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        on_ident(code.substr(i, j - i), next_sig(j));
+        i = j;
+        continue;
+      }
+      switch (c) {
+        case '(': ++paren_; break;
+        case ')': if (paren_ > 0) --paren_; break;
+        case '=':
+          // '==' / '<=' / '>=' / '!=' never appear between namespace-
+          // scope declarator tokens; a bare '=' outside parens starts
+          // an initializer.
+          if (paren_ == 0 && (i + 1 >= code.size() || code[i + 1] != '=') &&
+              (i == 0 || (code[i - 1] != '=' && code[i - 1] != '!' &&
+                          code[i - 1] != '<' && code[i - 1] != '>'))) {
+            eq_seen_ = true;
+            enum_init_ = true;
+          }
+          break;
+        case ',':
+          enum_init_ = false;
+          if (paren_ == 0) enum_member_pending_ = in_enum_scope();
+          break;
+        case '{':
+          if (eq_seen_ && at_ns_scope()) {
+            // Braced initializer of a namespace-scope constant: skip
+            // the balanced region, the statement continues to ';'.
+            i = skip_braces(i);
+            continue;
+          }
+          open_scope();
+          break;
+        case '}':
+          if (!scopes_.empty()) scopes_.pop_back();
+          reset_stmt();
+          break;
+        case ';':
+          if (paren_ == 0) end_statement();
+          break;
+        default: break;
+      }
+      ++i;
+    }
+  }
+
+ private:
+  struct Scope {
+    char kind;  // 'n' namespace, 't' type, 'b' block/other
+    std::string name;
+    bool is_enum = false;
+  };
+
+  bool at_ns_scope() const {
+    for (const auto& s : scopes_) {
+      if (s.kind != 'n') return false;
+    }
+    return true;
+  }
+
+  /// Directly inside an enum whose enclosing scopes are all namespaces.
+  bool in_enum_scope() const {
+    if (scopes_.empty() || !scopes_.back().is_enum) return false;
+    for (std::size_t k = 0; k + 1 < scopes_.size(); ++k) {
+      if (scopes_[k].kind != 'n') return false;
+    }
+    return true;
+  }
+
+  std::string ns_path() const {
+    std::string path;
+    for (const auto& s : scopes_) {
+      if (s.kind != 'n' || s.name.empty()) continue;
+      if (!path.empty()) path += "::";
+      path += s.name;
+    }
+    return path;
+  }
+
+  char next_sig(std::size_t j) const {
+    const std::string& code = f_.code;
+    while (j < code.size() && space_char(code[j])) ++j;
+    return j < code.size() ? code[j] : '\0';
+  }
+
+  void declare(const std::string& name, char kind, int line,
+               const std::string& parent = "") {
+    out_.declared.push_back({name, ns_path(), parent, kind, line});
+  }
+
+  void reset_stmt() {
+    stmt_idents_ = 0;
+    last_ident_.clear();
+    prev_ident_.clear();
+    func_cand_.clear();
+    class_name_.clear();
+    class_kw_ = '\0';
+    alias_name_.clear();
+    ns_name_.clear();
+    is_namespace_ = is_using_ = false;
+    eq_seen_ = false;
+    enum_init_ = false;
+    stmt_template_ = false;
+    enum_member_pending_ = in_enum_scope();
+  }
+
+  void on_ident(const std::string& tok, char next) {
+    if (in_enum_scope()) {
+      if (enum_member_pending_ && !enum_init_ &&
+          !std::isdigit(static_cast<unsigned char>(tok[0]))) {
+        declare(tok, 'g', line_, scopes_.back().name);
+        enum_member_pending_ = false;
+      }
+      return;
+    }
+    if (tok == "template") {
+      stmt_template_ = true;
+      return;
+    }
+    if (tok == "operator") {
+      if (at_ns_scope()) out_.declares_operator = true;
+      return;
+    }
+    if (tok == "namespace") {
+      is_namespace_ = true;
+      return;
+    }
+    if (is_namespace_) {
+      if (!ns_name_.empty()) ns_name_ += "::";
+      ns_name_ += tok;
+      return;
+    }
+    if (tok == "using") {
+      is_using_ = true;
+      return;
+    }
+    if (is_using_ && alias_name_.empty() && stmt_idents_ == 0) {
+      if (next == '=') alias_name_ = tok;
+      ++stmt_idents_;
+      last_ident_ = tok;
+      last_line_ = line_;
+      return;
+    }
+    if (tok == "class" || tok == "struct") {
+      if (class_kw_ != 'e') class_kw_ = tok[0] == 'c' ? 'c' : 's';
+      class_name_.clear();
+      return;
+    }
+    if (tok == "enum") {
+      class_kw_ = 'e';
+      class_name_.clear();
+      return;
+    }
+    if (class_kw_ != '\0' && class_name_.empty()) {
+      // The tag name: first identifier after the keyword that is not a
+      // specifier and not a macro invocation (attribute-style macros
+      // are followed by '(').
+      if (tok != "final" && tok != "alignas" &&
+          !(macro_like(tok) && next == '(')) {
+        class_name_ = tok;
+        class_line_ = line_;
+      }
+      return;
+    }
+    if (!eq_seen_) {
+      if (next == '(' && paren_ == 0 && func_cand_.empty() &&
+          stmt_idents_ >= 1) {
+        func_cand_ = tok;
+        func_line_ = line_;
+      }
+      prev_ident_ = last_ident_;
+      last_ident_ = tok;
+      last_line_ = line_;
+      ++stmt_idents_;
+    }
+  }
+
+  void open_scope() {
+    if (is_namespace_) {
+      scopes_.push_back({'n', ns_name_, false});
+    } else if (!class_name_.empty()) {
+      if (at_ns_scope()) {
+        const char kind = class_kw_ == 'e'  ? 'e'
+                          : stmt_template_  ? 'T'
+                          : class_kw_ == 'c' ? 'c'
+                                             : 's';
+        declare(class_name_, kind, class_line_);
+      }
+      scopes_.push_back({'t', class_name_, class_kw_ == 'e'});
+    } else if (!func_cand_.empty() && at_ns_scope() && stmt_idents_ >= 2) {
+      declare(func_cand_, 'f', func_line_);
+      scopes_.push_back({'b', "", false});
+    } else {
+      scopes_.push_back({'b', "", false});
+    }
+    reset_stmt();
+  }
+
+  void end_statement() {
+    if (at_ns_scope()) {
+      if (class_kw_ != '\0' && !class_name_.empty()) {
+        declare(class_name_, 'd', class_line_);  // forward declaration
+      } else if (!alias_name_.empty()) {
+        declare(alias_name_, 'a', last_line_);
+      } else if (!func_cand_.empty() && stmt_idents_ >= 2) {
+        declare(func_cand_, 'f', func_line_);
+      } else if (eq_seen_ && stmt_idents_ >= 2 && !is_using_ &&
+                 !last_ident_.empty()) {
+        declare(last_ident_, 'v', last_line_);
+      }
+    }
+    reset_stmt();
+  }
+
+  /// Skips the balanced braced region opening at `open`, counting lines.
+  std::size_t skip_braces(std::size_t open) {
+    const std::string& code = f_.code;
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '\n') ++line_;
+      if (code[i] == '{') ++depth;
+      if (code[i] == '}' && --depth == 0) return i + 1;
+    }
+    return code.size();
+  }
+
+  /// Handles a preprocessor directive (with backslash continuations);
+  /// records `#define NAME` as a macro declaration in headers.
+  std::size_t directive(std::size_t hash) {
+    const std::string& code = f_.code;
+    std::size_t i = hash + 1;
+    while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) ++i;
+    std::size_t w = i;
+    while (w < code.size() && ident_char(code[w])) ++w;
+    const std::string word = code.substr(i, w - i);
+    if (word == "define") {
+      std::size_t n = w;
+      while (n < code.size() && (code[n] == ' ' || code[n] == '\t')) ++n;
+      std::size_t e = n;
+      while (e < code.size() && ident_char(code[e])) ++e;
+      if (e > n) declare(code.substr(n, e - n), 'm', line_);
+    }
+    // Skip to the end of the (possibly continued) directive.
+    i = w;
+    while (i < code.size()) {
+      if (code[i] == '\n') {
+        if (i > 0 && code[i - 1] == '\\') {
+          ++line_;
+          ++i;
+          continue;
+        }
+        break;  // leave the '\n' for the main loop
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  const SourceFile& f_;
+  FileSummary& out_;
+  std::vector<Scope> scopes_;
+  int line_ = 1;
+  int paren_ = 0;
+
+  // Statement state (reset at ';', '{', '}').
+  int stmt_idents_ = 0;
+  std::string last_ident_, prev_ident_, func_cand_, class_name_;
+  std::string alias_name_, ns_name_;
+  char class_kw_ = '\0';
+  int func_line_ = 0, class_line_ = 0, last_line_ = 0;
+  bool is_namespace_ = false, is_using_ = false;
+  bool eq_seen_ = false, enum_init_ = false, stmt_template_ = false;
+  bool enum_member_pending_ = false;
+};
+
+}  // namespace
+
+namespace {
+
+/// True when the token starting at `pos` is a member access (preceded
+/// by '.' or '->', whitespace allowed): `x.size` must not count as a
+/// reference to a free function named `size`.
+bool member_access(const std::string& code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && space_char(code[i - 1])) --i;
+  if (i == 0) return false;
+  if (code[i - 1] == '.') return true;
+  return i >= 2 && code[i - 2] == '-' && code[i - 1] == '>';
+}
+
+}  // namespace
+
+void scan_symbols(const SourceFile& f, FileSummary& out) {
+  // refs / ptr_ref_only straight from the token stream: member-access
+  // occurrences don't count as references at all, and a name is a
+  // forward-declaration candidate only if every non-member occurrence
+  // is followed by '&' or '*'.
+  std::map<std::string, std::pair<bool, int>> ptr_only;
+  for (const auto& t : f.tokens) {
+    if (member_access(f.code, t.pos)) continue;
+    const bool pr = t.next == '&' || t.next == '*';
+    auto [it, inserted] = ptr_only.try_emplace(t.text, std::pair{pr, 1});
+    if (!inserted) {
+      it->second.first = it->second.first && pr;
+      ++it->second.second;
+    }
+  }
+  out.refs.clear();
+  out.ref_counts.clear();
+  out.ptr_ref_only.clear();
+  out.refs.reserve(ptr_only.size());
+  out.ref_counts.reserve(ptr_only.size());
+  for (const auto& [name, pc] : ptr_only) {
+    out.refs.push_back(name);
+    out.ref_counts.push_back(pc.second);
+    if (pc.first) out.ptr_ref_only.push_back(name);
+  }
+  out.declared.clear();
+  out.declares_operator = false;
+  DeclScanner(f, out).run();
+}
+
+void resolve_includes(Tree& tree) {
+  std::set<std::string> rels;
+  for (const auto& f : tree.files) rels.insert(f.rel);
+  for (auto& f : tree.files) {
+    const auto slash = f.rel.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : f.rel.substr(0, slash + 1);
+    for (auto& inc : f.includes) {
+      inc.resolved.clear();
+      if (inc.target.find('/') != std::string::npos) {
+        const std::string cand = "src/" + inc.target;
+        if (rels.count(cand)) inc.resolved = cand;
+      } else {
+        const std::string sibling = dir + inc.target;
+        if (rels.count(sibling)) {
+          inc.resolved = sibling;
+        } else if (rels.count("src/" + inc.target)) {
+          inc.resolved = "src/" + inc.target;
+        }
+      }
+    }
+  }
+}
+
+bool is_associated_header(const std::string& file_rel,
+                          const std::string& include_rel) {
+  const auto strip_ext = [](const std::string& rel) {
+    const auto dot = rel.rfind('.');
+    return dot == std::string::npos ? rel : rel.substr(0, dot);
+  };
+  return file_rel != include_rel &&
+         strip_ext(file_rel) == strip_ext(include_rel);
+}
+
+SymbolIndex build_index(const Tree& tree) {
+  SymbolIndex idx;
+  for (const auto& f : tree.files) {
+    idx.by_rel[f.rel] = &f;
+    if (!f.header) continue;
+    auto& p = idx.provides[f.rel];
+    for (const auto& s : f.declared) {
+      // A forward declaration provides nothing: a consumer reaching a
+      // name only through someone else's `struct X;` still needs the
+      // defining header, and crediting the fwd-decl here would mask
+      // that missing-direct-include (and mis-route the fix).
+      if (s.kind == 'd') continue;
+      p.insert(s.name);
+      idx.declaring_headers[s.name].insert(f.rel);
+    }
+  }
+
+  // provides_exported / opaque: DFS with memoization over `IWYU
+  // pragma: export` edges. Gray nodes (a cycle, itself a layering
+  // finding) contribute their direct provides only.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& rel) {
+        if (color[rel] != 0) return;
+        color[rel] = 1;
+        const FileSummary* f = idx.by_rel.count(rel) ? idx.by_rel.at(rel)
+                                                     : nullptr;
+        std::set<std::string> names =
+            idx.provides.count(rel) ? idx.provides.at(rel)
+                                    : std::set<std::string>{};
+        bool op = f != nullptr && f->declares_operator;
+        if (f != nullptr) {
+          for (const auto& inc : f->includes) {
+            if (!inc.exported || inc.resolved.empty()) continue;
+            visit(inc.resolved);
+            const auto it = idx.provides_exported.find(inc.resolved);
+            if (it != idx.provides_exported.end()) {
+              names.insert(it->second.begin(), it->second.end());
+            }
+            const auto ot = idx.opaque.find(inc.resolved);
+            if (ot != idx.opaque.end() && ot->second) op = true;
+          }
+        }
+        idx.provides_exported[rel] = std::move(names);
+        idx.opaque[rel] = op;
+        color[rel] = 2;
+      };
+  for (const auto& f : tree.files) visit(f.rel);
+
+  // reachable: memoized DFS over all resolved includes.
+  std::map<std::string, int> rcolor;
+  std::function<void(const std::string&)> reach =
+      [&](const std::string& rel) {
+        if (rcolor[rel] != 0) return;
+        rcolor[rel] = 1;
+        std::set<std::string> r{rel};
+        const auto fit = idx.by_rel.find(rel);
+        if (fit != idx.by_rel.end()) {
+          for (const auto& inc : fit->second->includes) {
+            if (inc.resolved.empty()) continue;
+            reach(inc.resolved);
+            const auto it = idx.reachable.find(inc.resolved);
+            if (it != idx.reachable.end()) {
+              r.insert(it->second.begin(), it->second.end());
+            } else {
+              r.insert(inc.resolved);  // gray: cycle, partial closure
+            }
+          }
+        }
+        idx.reachable[rel] = std::move(r);
+        rcolor[rel] = 2;
+      };
+  for (const auto& f : tree.files) reach(f.rel);
+
+  return idx;
+}
+
+}  // namespace gpuvar::analyzer

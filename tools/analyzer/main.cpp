@@ -1,54 +1,28 @@
 // gpuvar-analyzer — the repo's multi-pass static analysis tool.
 //
 // Grown from PR 1's gpuvar_lint: the same token-level scanning core now
-// feeds six passes (style, layering, thread-safety, determinism,
-// interchange, observability; see passes.hpp for the rule catalogue)
-// with inline suppressions, JSON output, and a DOT dump of the module
-// layering graph.
-//
-// Usage:
-//   gpuvar-analyzer <repo_root> [--json FILE] [--dot FILE]
-//       Analyze the tree. Exit 0 clean, 1 on findings, 2 on bad usage
-//       or an empty tree (a typo'd CI path must not read as clean).
-//   gpuvar-analyzer --fixture FILE --expect r1,r2,...
-//       Self-test: analyze one file as if it were a src/core file; the
-//       findings' rules must match the expected list exactly (each
-//       listed rule fires exactly once, nothing else fires). Decoy
-//       violations inside comments/strings prove literal stripping.
-//   gpuvar-analyzer --fixture-tree DIR --expect r1,r2,...
-//       Same, for a whole mini-repo (layering rules need a tree).
-//   gpuvar-analyzer --list-rules
-//       Print the rule registry (the authority for allow() names).
+// feeds eight passes (style, layering, thread-safety, determinism,
+// interchange, observability, include hygiene, dead code; see
+// passes.hpp for the rule catalogue) through a parallel, cached scan
+// driver (driver.hpp), with inline suppressions, JSON / SARIF output,
+// a DOT dump of the module layering graph, and a --fix mode that
+// rewrites include blocks in place.
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 
-#include "core.hpp"
+#include "driver.hpp"
 #include "passes.hpp"
+#include "core.hpp"
+#include "fix.hpp"
+#include "index.hpp"
 
 namespace gpuvar::analyzer {
 
-const std::vector<PassInfo>& all_passes() {
-  static const std::vector<PassInfo> kPasses = {
-      {"style", run_style_pass},
-      {"layering", run_layering_pass},
-      {"thread", run_thread_pass},
-      {"determinism", run_determinism_pass},
-      {"interchange", run_interchange_pass},
-      {"obs", run_obs_pass},
-  };
-  return kPasses;
-}
-
 namespace {
-
-std::vector<Finding> analyze(const Repo& repo) {
-  std::vector<Finding> findings;
-  for (const auto& pass : all_passes()) pass.run(repo, findings);
-  for (const auto& f : repo.files) check_suppression_names(f, findings);
-  return apply_suppressions(repo, findings);
-}
 
 std::vector<std::string> split_rules(const std::string& list) {
   std::vector<std::string> out;
@@ -93,76 +67,168 @@ int check_expectations(const std::vector<Finding>& findings,
 }
 
 int run_fixture(const std::string& file, const std::string& expect) {
-  SourceFile f;
   // Lint the fixture as a file of src/core: every src rule applies,
   // including the module-scoped ones (float-sort-key).
   const std::string rel =
       "src/core/" + std::filesystem::path(file).filename().string();
-  if (!load_source_file(file, rel, f)) {
+  Tree tree;
+  tree.root = std::filesystem::path(file).parent_path();
+  tree.files.emplace_back();
+  if (!scan_file(file, rel, tree.files.back())) {
     std::cerr << "cannot read fixture: " << file << "\n";
     return 2;
   }
-  Repo repo;
-  repo.root = std::filesystem::path(file).parent_path();
-  repo.files.push_back(std::move(f));
-  return check_expectations(analyze(repo), split_rules(expect));
+  resolve_includes(tree);
+  AnalysisResult result = analyze_tree(tree);
+  // dead-symbol is a cross-TU property: on a one-file tree every
+  // declaration is vacuously unreferenced, so the rule is dropped here
+  // instead of polluting every single-file fixture's expectations.
+  std::erase_if(result.findings,
+                [](const Finding& fd) { return fd.rule == "dead-symbol"; });
+  return check_expectations(result.findings, split_rules(expect));
 }
 
 int run_fixture_tree(const std::string& dir, const std::string& expect) {
-  const Repo repo = load_repo(dir);
-  if (repo.files.empty()) {
+  ScanOptions opts;
+  opts.threads = 1;
+  const Tree tree = scan_tree(dir, opts, nullptr);
+  if (tree.files.empty()) {
     std::cerr << "no source files under fixture tree: " << dir << "\n";
     return 2;
   }
-  return check_expectations(analyze(repo), split_rules(expect));
+  const AnalysisResult result = analyze_tree(tree);
+  return check_expectations(result.findings, split_rules(expect));
 }
 
-int run_tree(const std::string& root, const std::string& json_file,
-             const std::string& dot_file) {
-  const Repo repo = load_repo(root);
-  if (repo.files.empty()) {
-    std::cerr << "gpuvar-analyzer: no source files under '" << root
+struct TreeOptions {
+  std::string root;
+  std::string json_file, sarif_file, dot_file;
+  ScanOptions scan;
+  bool fix = false;
+  bool dry_run = false;
+  bool stats = false;
+};
+
+int run_tree(const TreeOptions& opts) {
+  ScanStats stats;
+  const Tree tree = scan_tree(opts.root, opts.scan, &stats);
+  if (tree.files.empty()) {
+    std::cerr << "gpuvar-analyzer: no source files under '" << opts.root
               << "' — wrong repo root?\n";
     return 2;
   }
-  const auto findings = analyze(repo);
+  AnalysisResult result = analyze_tree(tree);
 
-  if (!dot_file.empty()) {
-    std::ofstream out(dot_file);
+  if (opts.stats) {
+    std::cout << "stats: files=" << stats.files
+              << " scanned=" << stats.scanned
+              << " cache_hits=" << stats.cache_hits << "\n";
+  }
+  if (!opts.dot_file.empty()) {
+    std::ofstream out(opts.dot_file);
     if (!out) {
-      std::cerr << "cannot write " << dot_file << "\n";
+      std::cerr << "cannot write " << opts.dot_file << "\n";
       return 2;
     }
-    write_layering_dot(repo, out);
+    write_layering_dot(tree, out);
   }
-  if (!json_file.empty()) {
-    std::ofstream out(json_file);
+  if (!opts.json_file.empty()) {
+    std::ofstream out(opts.json_file);
     if (!out) {
-      std::cerr << "cannot write " << json_file << "\n";
+      std::cerr << "cannot write " << opts.json_file << "\n";
       return 2;
     }
-    write_json(findings, repo.files.size(), out);
+    write_json(result.findings, tree.files.size(), out);
+  }
+  if (!opts.sarif_file.empty()) {
+    std::ofstream out(opts.sarif_file);
+    if (!out) {
+      std::cerr << "cannot write " << opts.sarif_file << "\n";
+      return 2;
+    }
+    write_sarif(result.findings, out);
   }
 
-  print_findings(findings, std::cerr);
-  if (!findings.empty()) {
-    std::cerr << findings.size() << " finding(s) in " << repo.files.size()
-              << " files\n";
+  if (opts.fix) {
+    const FixOutcome outcome =
+        apply_fixes(opts.root, result.edits, opts.dry_run);
+    if (opts.dry_run) {
+      std::cout << outcome.diff;
+    }
+    std::cerr << "fix: " << outcome.files_changed << " file(s), "
+              << outcome.deleted << " include(s) deleted, "
+              << outcome.inserted << " inserted, "
+              << outcome.forward_declared << " forward-declared"
+              << (opts.dry_run ? " (dry run, nothing written)" : "")
+              << "\n";
+    for (const auto& e : outcome.errors) std::cerr << "fix: " << e << "\n";
+    // Exit code reflects what --fix could NOT fix: findings with no
+    // mechanical edit still need a human.
+    std::set<std::tuple<std::string, int, std::string>> fixed;
+    for (const auto& e : result.edits) fixed.insert({e.file, e.line, e.rule});
+    std::vector<Finding> remaining;
+    for (auto& fd : result.findings) {
+      if (!fixed.count({fd.file, fd.line, fd.rule})) {
+        remaining.push_back(std::move(fd));
+      }
+    }
+    print_findings(remaining, std::cerr);
+    if (!outcome.errors.empty()) return 2;
+    return remaining.empty() ? 0 : 1;
+  }
+
+  print_findings(result.findings, std::cerr);
+  if (!result.findings.empty()) {
+    std::cerr << result.findings.size() << " finding(s) in "
+              << tree.files.size() << " files\n";
     return 1;
   }
-  std::cout << "gpuvar-analyzer: " << repo.files.size() << " files clean ("
-            << all_passes().size() << " passes)\n";
+  std::cout << "gpuvar-analyzer: " << tree.files.size() << " files clean ("
+            << pass_names().size() << " passes)\n";
   return 0;
 }
 
-int usage() {
-  std::cerr
-      << "usage:\n"
-         "  gpuvar-analyzer <repo_root> [--json FILE] [--dot FILE]\n"
+int usage(bool full) {
+  std::ostream& out = full ? std::cout : std::cerr;
+  out << "usage:\n"
+         "  gpuvar-analyzer <repo_root> [options]\n"
          "  gpuvar-analyzer --fixture FILE --expect rule,rule,...\n"
          "  gpuvar-analyzer --fixture-tree DIR --expect rule,rule,...\n"
-         "  gpuvar-analyzer --list-rules\n";
-  return 2;
+         "  gpuvar-analyzer --list-rules\n"
+         "  gpuvar-analyzer --help\n";
+  if (full) {
+    out << "\n"
+           "tree options:\n"
+           "  --json FILE    write findings as JSON\n"
+           "  --sarif FILE   write findings as SARIF 2.1.0\n"
+           "  --dot FILE     write the module layering graph as DOT\n"
+           "  --cache FILE   on-disk scan cache; a warm run rescans\n"
+           "                 only files whose size or mtime changed\n"
+           "  --threads N    scan worker threads (0 = hardware)\n"
+           "  --fix          rewrite include blocks in place: delete\n"
+           "                 unused includes, insert missing direct\n"
+           "                 includes (sorted), replace forward-\n"
+           "                 declarable includes with declarations\n"
+           "  --dry-run      with --fix: print a unified diff, write\n"
+           "                 nothing\n"
+           "  --stats        print files/scanned/cache-hit counts\n"
+           "\n"
+           "exit codes:\n"
+           "  0  clean (with --fix: every finding had a mechanical fix)\n"
+           "  1  findings (with --fix: findings remain that need a\n"
+           "     human)\n"
+           "  2  bad usage, unreadable/unwritable file, or an empty\n"
+           "     tree (a typo'd CI path must not read as clean)\n"
+           "\n"
+           "passes: ";
+    for (std::size_t i = 0; i < pass_names().size(); ++i) {
+      out << (i ? ", " : "") << pass_names()[i];
+    }
+    out << "\nsuppression: // gpuvar-lint: allow(bare-assert) or\n"
+           "  allow(bare-assert,wall-clock) on the finding line or the\n"
+           "  line above; unknown names are themselves findings\n";
+  }
+  return full ? 0 : 2;
 }
 
 }  // namespace
@@ -172,6 +238,7 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace gpuvar::analyzer;
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 1 && args[0] == "--help") return usage(true);
   if (args.size() == 1 && args[0] == "--list-rules") {
     for (const auto& rule : known_rules()) std::cout << rule << "\n";
     return 0;
@@ -183,17 +250,33 @@ int main(int argc, char** argv) {
       args[2] == "--expect") {
     return run_fixture_tree(args[1], args[3]);
   }
-  if (args.empty() || args[0].rfind("--", 0) == 0) return usage();
-  std::string root = args[0], json_file, dot_file;
-  for (std::size_t i = 1; i < args.size(); i += 2) {
-    if (i + 1 >= args.size()) return usage();
-    if (args[i] == "--json") {
-      json_file = args[i + 1];
-    } else if (args[i] == "--dot") {
-      dot_file = args[i + 1];
+  if (args.empty() || args[0].rfind("--", 0) == 0) return usage(false);
+
+  TreeOptions opts;
+  opts.root = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (a == "--json" && has_value) {
+      opts.json_file = args[++i];
+    } else if (a == "--sarif" && has_value) {
+      opts.sarif_file = args[++i];
+    } else if (a == "--dot" && has_value) {
+      opts.dot_file = args[++i];
+    } else if (a == "--cache" && has_value) {
+      opts.scan.cache_path = args[++i];
+    } else if (a == "--threads" && has_value) {
+      opts.scan.threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (a == "--fix") {
+      opts.fix = true;
+    } else if (a == "--dry-run") {
+      opts.dry_run = true;
+    } else if (a == "--stats") {
+      opts.stats = true;
     } else {
-      return usage();
+      return usage(false);
     }
   }
-  return run_tree(root, json_file, dot_file);
+  if (opts.dry_run && !opts.fix) return usage(false);
+  return run_tree(opts);
 }

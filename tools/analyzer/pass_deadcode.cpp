@@ -1,0 +1,129 @@
+// Dead-code pass: a namespace-scope symbol declared in a src/ header
+// that nothing in the tree uses is dead weight — it costs compile time
+// on every rebuild, bloats the umbrella's export surface, and rots
+// silently because nothing exercises it.
+//
+// "Used" is token-level, from three sources (an over-approximation,
+// which is the safe direction for a deletion advisory):
+//   1. any identifier token with the symbol's name in a file other
+//      than the header and its associated .cpp / _test.cpp;
+//   2. the header itself mentioning the name more often than it
+//      declares it — macro bodies, alias targets, and inline
+//      implementations are uses even though the declaration is not;
+//   3. the associated .cpp mentioning the name, where for types,
+//      aliases, enums, and macros any occurrence is a use, while for
+//      functions and variables the out-of-line definition accounts
+//      for one occurrence and only additional ones count.
+// Enums additionally stay alive if any member is referenced anywhere.
+// Symbols meant for downstream users rather than this tree go on the
+// public-surface allowlist below with a justification, or carry an
+// inline `gpuvar-lint: allow(dead-symbol)`.
+#include <algorithm>
+#include <set>
+
+#include "passes.hpp"
+#include "core.hpp"
+#include "index.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+/// Symbols that are intentionally unreferenced inside this repository
+/// because they exist for downstream users of the public headers.
+/// Every entry needs a justification; an entry whose justification no
+/// longer holds is itself dead code.
+const std::set<std::string>& public_surface_allowlist() {
+  static const std::set<std::string> kAllow = {
+      // thread_annotations.hpp mirrors the full clang -Wthread-safety
+      // vocabulary; annotating a new guarded member must never require
+      // re-adding a macro, so the currently-unapplied ones stay.
+      "GPUVAR_EXCLUDES",
+      "GPUVAR_NO_THREAD_SAFETY_ANALYSIS",
+      "GPUVAR_PT_GUARDED_BY",
+      "GPUVAR_REQUIRES",
+      "GPUVAR_RETURN_CAPABILITY",
+  };
+  return kAllow;
+}
+
+/// Occurrence count of `name` in `f` (0 when absent).
+int count_in(const FileSummary& f, const std::string& name) {
+  const auto it = std::lower_bound(f.refs.begin(), f.refs.end(), name);
+  if (it == f.refs.end() || *it != name) return 0;
+  return f.ref_counts[static_cast<std::size_t>(it - f.refs.begin())];
+}
+
+}  // namespace
+
+void run_deadcode_pass(const Tree& tree, const SymbolIndex& index,
+                       std::vector<Finding>& findings) {
+  (void)index;
+  for (const auto& header : tree.files) {
+    if (!header.in_src() || !header.header) continue;
+
+    // Declaration sites per name: a name that appears in the header no
+    // more often than it is declared there is never self-kept-alive.
+    std::map<std::string, int> declared_sites;
+    for (const auto& s : header.declared) ++declared_sites[s.name];
+
+    // Member lists per enum in this header, for the liveness check.
+    std::map<std::string, std::vector<const Symbol*>> enum_members;
+    for (const auto& s : header.declared) {
+      if (s.kind == 'g') enum_members[s.parent].push_back(&s);
+    }
+
+    std::set<std::string> reported;
+    for (const auto& s : header.declared) {
+      // Enum members ride with their enum; forward declarations carry
+      // no definition to delete.
+      if (s.kind == 'g' || s.kind == 'd') continue;
+      if (public_surface_allowlist().count(s.name)) continue;
+      if (reported.count(s.name)) continue;
+
+      // Self-use: the header mentions the name beyond declaring it.
+      bool alive = count_in(header, s.name) > declared_sites[s.name];
+
+      const bool definable_out_of_line = s.kind == 'f' || s.kind == 'v';
+      for (const auto& other : tree.files) {
+        if (alive) break;
+        if (other.rel == header.rel) continue;
+        if (is_associated_header(other.rel, header.rel)) {
+          // For functions/variables one occurrence is the out-of-line
+          // definition, not a use; for everything else any mention is.
+          const int uses = count_in(other, s.name);
+          alive = definable_out_of_line ? uses > 1 : uses > 0;
+          continue;
+        }
+        if (count_in(other, s.name) > 0) {
+          alive = true;
+          break;
+        }
+        if (s.kind == 'e') {
+          const auto mit = enum_members.find(s.name);
+          if (mit != enum_members.end()) {
+            for (const Symbol* m : mit->second) {
+              if (count_in(other, m->name) > 0) {
+                alive = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (alive) continue;
+
+      reported.insert(s.name);
+      findings.push_back(
+          {header.rel, s.line, "dead-symbol",
+           "'" + s.name +
+               "' is declared here but never used — not by another "
+               "file, not by this header beyond the declaration; "
+               "delete it, or if it exists for downstream users add it "
+               "to public_surface_allowlist() in "
+               "tools/analyzer/pass_deadcode.cpp with a justification"});
+    }
+  }
+}
+
+}  // namespace gpuvar::analyzer

@@ -30,6 +30,7 @@
 #include <set>
 
 #include "passes.hpp"
+#include "core.hpp"
 
 namespace gpuvar::analyzer {
 

@@ -1,0 +1,310 @@
+// Include hygiene over the cross-TU symbol index (index.hpp).
+//
+// The single relation everything derives from:
+//
+//   uses(A, H) = refs(A) ∩ provides_exported(H)
+//
+// * unused-include: a direct include H of A with uses(A, H) empty. The
+//   pass refuses to judge headers it cannot see through: IWYU keep /
+//   export pragmas, associated headers, opaque headers (operator or
+//   user-defined-literal declarations reach consumers without a name),
+//   and headers whose export closure declares nothing recognizable.
+// * forward-declarable: a header consumer whose every used symbol from
+//   H is a plain class/struct referenced only by pointer/reference —
+//   the include can become a namespace-scoped forward declaration.
+// * missing-direct-include: a symbol A references that no direct
+//   include's export closure provides, but which some header reachable
+//   only transitively declares. Attribution lands on the include line
+//   the symbol currently travels through.
+//
+// Every finding carries a mechanical FixEdit so --fix can rewrite the
+// include block; unused-deletion and missing-direct-insertion come
+// from the same uses() relation in the same run, which is what makes
+// a fixed tree re-analyze clean in one step.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "passes.hpp"
+#include "core.hpp"
+#include "fix.hpp"
+#include "index.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string dir_of(const std::string& rel) {
+  const auto slash = rel.rfind('/');
+  return slash == std::string::npos ? "" : rel.substr(0, slash + 1);
+}
+
+/// The text to put between quotes so `file` can include `header`, or
+/// "" when the project include conventions can't express it: src/
+/// headers are rooted at src/, same-directory siblings use the bare
+/// name.
+std::string include_text_for(const std::string& file_rel,
+                             const std::string& header_rel) {
+  if (starts_with(header_rel, "src/")) {
+    const std::string text = header_rel.substr(4);
+    // A bare src-root name ("gpuvar.hpp") still resolves through the
+    // sibling-then-src fallback; directory names resolve via src/.
+    return text;
+  }
+  if (dir_of(header_rel) == dir_of(file_rel)) {
+    return header_rel.substr(dir_of(header_rel).size());
+  }
+  return "";
+}
+
+/// All declarations of `name` directly in header `rel`.
+std::vector<const Symbol*> decls_in(const SymbolIndex& index,
+                                    const std::string& rel,
+                                    const std::string& name) {
+  std::vector<const Symbol*> out;
+  const auto it = index.by_rel.find(rel);
+  if (it == index.by_rel.end()) return out;
+  for (const auto& s : it->second->declared) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+struct FwdDecl {
+  std::string ns;
+  char kind;  // 's' or 'c'
+  std::string name;
+};
+
+/// The blind spot of a token-level fwd-decl advisory: an associated
+/// .cpp that dereferences a pointer member (`sku_->tdp`) needs the
+/// complete type without ever spelling its name, so no ref betrays the
+/// dependency and no missing-direct insert would rescue it. The fwd
+/// declaration is only proposed when every associated file provably
+/// keeps (or will gain) its own path to the full type: it already
+/// includes H directly, or it names a used symbol so the same fix run
+/// inserts the direct include.
+bool associated_files_safe(const Tree& tree, const FileSummary& a,
+                           const std::string& header,
+                           const std::set<std::string>& uses) {
+  for (const auto& f : tree.files) {
+    if (!is_associated_header(f.rel, a.rel) || f.rel == a.rel) continue;
+    bool direct = false;
+    for (const auto& inc : f.includes) {
+      if (inc.resolved == header) direct = true;
+    }
+    if (direct) continue;
+    bool names_one = false;
+    for (const auto& name : uses) {
+      if (std::binary_search(f.refs.begin(), f.refs.end(), name)) {
+        names_one = true;
+        break;
+      }
+    }
+    if (!names_one) return false;
+  }
+  return true;
+}
+
+/// Checks whether every symbol A uses from H qualifies for a forward
+/// declaration, and collects the declarations to write if so.
+bool forward_declarable(const SymbolIndex& index, const FileSummary& a,
+                        const std::string& header,
+                        const std::set<std::string>& uses,
+                        std::vector<FwdDecl>& out) {
+  for (const auto& name : uses) {
+    if (!std::binary_search(a.ptr_ref_only.begin(), a.ptr_ref_only.end(),
+                            name)) {
+      return false;
+    }
+    // The symbol must be declared directly in H (not re-exported from
+    // elsewhere: include the real owner instead of guessing).
+    const auto decls = decls_in(index, header, name);
+    if (decls.empty()) return false;
+    const Symbol* definition = nullptr;
+    for (const Symbol* s : decls) {
+      if (s->kind == 's' || s->kind == 'c') {
+        if (definition != nullptr && definition->kind != s->kind) {
+          return false;
+        }
+        definition = s;
+      } else if (s->kind != 'd') {
+        return false;  // enum/alias/function/template: not fwd-declarable
+      }
+    }
+    if (definition == nullptr) return false;
+    out.push_back({definition->ns, definition->kind, name});
+  }
+  return !out.empty();
+}
+
+std::vector<std::string> fwd_lines_for(const std::vector<FwdDecl>& decls,
+                                       const std::string& target) {
+  // Group by namespace, sorted, one line per namespace.
+  std::map<std::string, std::vector<const FwdDecl*>> by_ns;
+  for (const auto& d : decls) by_ns[d.ns].push_back(&d);
+  std::vector<std::string> lines;
+  for (auto& [ns, group] : by_ns) {
+    std::sort(group.begin(), group.end(),
+              [](const FwdDecl* x, const FwdDecl* y) {
+                return x->name < y->name;
+              });
+    std::string body;
+    for (const FwdDecl* d : group) {
+      if (!body.empty()) body += " ";
+      body += (d->kind == 'c' ? "class " : "struct ") + d->name + ";";
+    }
+    std::string line;
+    if (ns.empty()) {
+      line = body;
+    } else {
+      line = "namespace " + ns + " { " + body + " }";
+    }
+    line += "  // was: #include \"" + target + "\"";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::string join_names(const std::set<std::string>& names,
+                       std::size_t limit) {
+  std::string out;
+  std::size_t n = 0;
+  for (const auto& name : names) {
+    if (n == limit) {
+      out += ", ... (" + std::to_string(names.size() - limit) + " more)";
+      break;
+    }
+    if (n) out += ", ";
+    out += "'" + name + "'";
+    ++n;
+  }
+  return out;
+}
+
+}  // namespace
+
+void run_include_pass(const Tree& tree, const SymbolIndex& index,
+                      std::vector<Finding>& findings,
+                      std::vector<FixEdit>* edits) {
+  for (const auto& a : tree.files) {
+    if (a.includes.empty()) continue;
+
+    std::set<std::string> direct;
+    for (const auto& inc : a.includes) {
+      if (!inc.resolved.empty()) direct.insert(inc.resolved);
+    }
+
+    // --- unused-include / forward-declarable, per direct include ---
+    for (const auto& inc : a.includes) {
+      const std::string& h = inc.resolved;
+      if (h.empty() || h == a.rel) continue;
+      if (inc.keep || inc.exported) continue;
+      if (is_associated_header(a.rel, h)) continue;
+      const auto oit = index.opaque.find(h);
+      if (oit != index.opaque.end() && oit->second) continue;
+      const auto pit = index.provides_exported.find(h);
+      if (pit == index.provides_exported.end() || pit->second.empty()) {
+        continue;  // nothing recognizable: refuse to judge
+      }
+      std::set<std::string> uses;
+      for (const auto& name : pit->second) {
+        if (std::binary_search(a.refs.begin(), a.refs.end(), name)) {
+          uses.insert(name);
+        }
+      }
+      if (uses.empty()) {
+        findings.push_back(
+            {a.rel, inc.line, "unused-include",
+             "no symbol provided by \"" + inc.target +
+                 "\" is referenced here; delete the include (or mark it "
+                 "`// IWYU pragma: keep` if it is load-bearing in a way "
+                 "the index cannot see)"});
+        if (edits != nullptr) {
+          edits->push_back({FixEdit::Kind::kDeleteInclude, a.rel, inc.line,
+                            "unused-include", "", {}});
+        }
+        continue;
+      }
+      if (a.header) {
+        std::vector<FwdDecl> decls;
+        if (associated_files_safe(tree, a, h, uses) &&
+            forward_declarable(index, a, h, uses, decls)) {
+          findings.push_back(
+              {a.rel, inc.line, "forward-declarable",
+               "this header uses " + join_names(uses, 3) + " from \"" +
+                   inc.target +
+                   "\" only by pointer/reference; a forward declaration "
+                   "breaks the include chain for every consumer"});
+          if (edits != nullptr) {
+            edits->push_back({FixEdit::Kind::kReplaceWithFwd, a.rel,
+                              inc.line, "forward-declarable", "",
+                              fwd_lines_for(decls, inc.target)});
+          }
+        }
+      }
+    }
+
+    // --- missing-direct-include ---
+    // satisfied = everything a direct include's export closure
+    // provides, plus the file's own namespace-scope declarations.
+    std::set<std::string> satisfied;
+    for (const auto& d : direct) {
+      const auto it = index.provides_exported.find(d);
+      if (it != index.provides_exported.end()) {
+        satisfied.insert(it->second.begin(), it->second.end());
+      }
+    }
+    for (const auto& s : a.declared) satisfied.insert(s.name);
+
+    // target header -> symbols that need it, and the include line the
+    // symbol currently travels through.
+    std::map<std::string, std::set<std::string>> needed;
+    std::map<std::string, std::pair<int, std::string>> via;
+    for (const auto& name : a.refs) {
+      if (satisfied.count(name)) continue;
+      const auto dit = index.declaring_headers.find(name);
+      if (dit == index.declaring_headers.end()) continue;
+      for (const auto& h : dit->second) {
+        if (h == a.rel || direct.count(h)) continue;
+        if (is_associated_header(a.rel, h)) continue;
+        // Reachable through which direct include?
+        const IncludeDirective* carrier = nullptr;
+        for (const auto& inc : a.includes) {
+          if (inc.resolved.empty()) continue;
+          const auto rit = index.reachable.find(inc.resolved);
+          if (rit != index.reachable.end() && rit->second.count(h)) {
+            carrier = &inc;
+            break;
+          }
+        }
+        if (carrier == nullptr) continue;  // not reachable: not our call
+        if (include_text_for(a.rel, h).empty()) continue;
+        needed[h].insert(name);
+        if (!via.count(h)) via[h] = {carrier->line, carrier->target};
+        break;  // lexicographically first declaring header wins
+      }
+    }
+    for (const auto& [h, names] : needed) {
+      const std::string text = include_text_for(a.rel, h);
+      const auto& [line, through] = via.at(h);
+      findings.push_back(
+          {a.rel, line, "missing-direct-include",
+           "uses " + join_names(names, 3) + " declared in \"" + text +
+               "\" but reaches it only transitively (through \"" +
+               through +
+               "\"); include it directly so the dependency survives "
+               "refactors of the middleman"});
+      if (edits != nullptr) {
+        edits->push_back({FixEdit::Kind::kInsertInclude, a.rel, line,
+                          "missing-direct-include", text, {}});
+      }
+    }
+  }
+}
+
+}  // namespace gpuvar::analyzer

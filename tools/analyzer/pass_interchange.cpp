@@ -13,6 +13,7 @@
 // Single-record uses (const RunRecord&, RunRecord row(...)) are fine —
 // the rule targets bulk row-oriented interchange, not the row schema.
 #include "passes.hpp"
+#include "core.hpp"
 
 namespace gpuvar::analyzer {
 

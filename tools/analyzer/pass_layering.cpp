@@ -18,6 +18,8 @@
 #include <set>
 
 #include "passes.hpp"
+#include "core.hpp"
+#include "index.hpp"
 
 namespace gpuvar::analyzer {
 
@@ -44,19 +46,8 @@ std::string include_module(const std::string& target) {
   return slash == std::string::npos ? "" : target.substr(0, slash);
 }
 
-/// Resolves a quoted include to the rel path of a src file: project
-/// includes are rooted at src/, bare names are siblings of the
-/// including file. Returns "" when the target is not a repo src file.
-std::string resolve_include(const SourceFile& from, const std::string& target,
-                            const std::set<std::string>& src_files) {
-  if (target.find('/') != std::string::npos) {
-    const std::string cand = "src/" + target;
-    return src_files.count(cand) ? cand : "";
-  }
-  const auto slash = from.rel.rfind('/');
-  if (slash == std::string::npos) return "";
-  const std::string cand = from.rel.substr(0, slash + 1) + target;
-  return src_files.count(cand) ? cand : "";
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
 }
 
 struct Edge {
@@ -114,16 +105,11 @@ void find_file_cycles(
 
 }  // namespace
 
-void run_layering_pass(const Repo& repo, std::vector<Finding>& findings) {
-  std::set<std::string> src_files;
-  for (const auto& f : repo.files) {
-    if (f.in_src()) src_files.insert(f.rel);
-  }
-
+void run_layering_pass(const Tree& tree, std::vector<Finding>& findings) {
   std::map<std::string, std::vector<Edge>> file_graph;
   std::map<std::string, std::set<std::string>> module_edges;
 
-  for (const auto& f : repo.files) {
+  for (const auto& f : tree.files) {
     if (!f.in_src()) continue;
     // Files directly under src/ (the umbrella header) sit above every
     // layer: no rank restriction, but they still join cycle detection.
@@ -138,21 +124,22 @@ void run_layering_pass(const Repo& repo, std::vector<Finding>& findings) {
                "move the file"});
     }
 
-    for (const auto& [line, target] : f.includes) {
-      const std::string resolved = resolve_include(f, target, src_files);
-      if (!resolved.empty()) {
-        file_graph[f.rel].push_back({resolved, line});
+    for (const auto& inc : f.includes) {
+      const bool in_src_tree =
+          !inc.resolved.empty() && starts_with(inc.resolved, "src/");
+      if (in_src_tree) {
+        file_graph[f.rel].push_back({inc.resolved, inc.line});
       }
-      const std::string tm = include_module(target);
-      if (tm.empty() || resolved.empty()) continue;
+      const std::string tm = include_module(inc.target);
+      if (tm.empty() || !in_src_tree) continue;
       const int target_rank = rank_of(tm);
       if (target_rank < 0) continue;  // flagged at the file itself
       if (own_rank >= 0 && target_rank > own_rank) {
         findings.push_back(
-            {f.rel, line, "upward-include",
+            {f.rel, inc.line, "upward-include",
              "layer '" + f.module + "' (rank " + std::to_string(own_rank) +
-                 ") must not include '" + target + "' from layer '" + tm +
-                 "' (rank " + std::to_string(target_rank) +
+                 ") must not include '" + inc.target + "' from layer '" +
+                 tm + "' (rank " + std::to_string(target_rank) +
                  "): dependencies point down the stack only"});
       }
       // Only legal (non-upward) edges join the module graph: an upward
@@ -183,25 +170,42 @@ void run_layering_pass(const Repo& repo, std::vector<Finding>& findings) {
   }
 }
 
-void write_layering_dot(const Repo& repo, std::ostream& out) {
-  // Module-level edge multiset with include counts for edge labels.
-  std::map<std::pair<std::string, std::string>, int> edges;
-  std::set<std::string> modules;
-  std::set<std::string> src_files;
-  for (const auto& f : repo.files) {
-    if (f.in_src()) src_files.insert(f.rel);
-  }
-  for (const auto& f : repo.files) {
+void write_layering_dot(const Tree& tree, std::ostream& out) {
+  // Collect nodes and the module-level edge multiset, then emit both
+  // from explicitly sorted vectors: determinism of this dump is a
+  // structural property of the emission loop, not a side effect of
+  // whichever container happened to hold the data.
+  std::map<std::pair<std::string, std::string>, int> edge_counts;
+  std::set<std::string> module_set;
+  for (const auto& f : tree.files) {
     if (!f.in_src() || f.module.empty()) continue;
-    modules.insert(f.module);
-    for (const auto& [line, target] : f.includes) {
-      (void)line;
-      const std::string tm = include_module(target);
+    module_set.insert(f.module);
+    for (const auto& inc : f.includes) {
+      const std::string tm = include_module(inc.target);
       if (tm.empty() || tm == f.module) continue;
-      if (resolve_include(f, target, src_files).empty()) continue;
-      ++edges[{f.module, tm}];
+      if (inc.resolved.empty() || !starts_with(inc.resolved, "src/")) {
+        continue;
+      }
+      ++edge_counts[{f.module, tm}];
     }
   }
+
+  std::vector<std::string> modules(module_set.begin(), module_set.end());
+  std::sort(modules.begin(), modules.end());
+  struct DotEdge {
+    std::string from, to;
+    int count;
+  };
+  std::vector<DotEdge> edges;
+  edges.reserve(edge_counts.size());
+  for (const auto& [edge, count] : edge_counts) {
+    edges.push_back({edge.first, edge.second, count});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const DotEdge& a, const DotEdge& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+
   out << "// Module-level include graph of src/**, generated by\n"
          "//   gpuvar-analyzer <root> --dot <file>\n"
          "// Edges point from includer down to includee; edge labels\n"
@@ -209,16 +213,47 @@ void write_layering_dot(const Repo& repo, std::ostream& out) {
          "digraph gpuvar_layers {\n"
          "  rankdir=BT;\n"
          "  node [shape=box, fontname=\"Helvetica\"];\n";
-  std::map<int, std::set<std::string>> by_rank;
-  for (const auto& m : modules) by_rank[rank_of(m)].insert(m);
+  std::map<int, std::vector<std::string>> by_rank;
+  for (const auto& m : modules) by_rank[rank_of(m)].push_back(m);
   for (const auto& [rank, mods] : by_rank) {
     out << "  { rank=same;";
     for (const auto& m : mods) out << " \"" << m << "\";";
     out << " }  // rank " << rank << "\n";
   }
-  for (const auto& [edge, count] : edges) {
-    out << "  \"" << edge.first << "\" -> \"" << edge.second
-        << "\" [label=\"" << count << "\"];\n";
+  for (const auto& e : edges) {
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
+        << e.count << "\"];\n";
+  }
+  out << "}\n";
+
+  // Second graph: the header-level include graph, the granularity the
+  // include-hygiene passes actually shrink. The module projection
+  // above stays near-constant under cleanup (the module DAG was
+  // already tight); unused-include deletions and forward-declaration
+  // replacements show up here, as fewer file edges and a smaller
+  // rebuild fan-out.
+  std::vector<std::pair<std::string, std::string>> hdr_edges;
+  for (const auto& f : tree.files) {
+    if (!f.in_src() || !f.header) continue;
+    for (const auto& inc : f.includes) {
+      if (inc.resolved.empty() || !starts_with(inc.resolved, "src/")) {
+        continue;
+      }
+      hdr_edges.emplace_back(f.rel.substr(4), inc.resolved.substr(4));
+    }
+  }
+  std::sort(hdr_edges.begin(), hdr_edges.end());
+  hdr_edges.erase(std::unique(hdr_edges.begin(), hdr_edges.end()),
+                  hdr_edges.end());
+  out << "\n// Header include graph of src/** (" << hdr_edges.size()
+      << " edges): every edge is one #include of a project header by a\n"
+         "// header, i.e. interface coupling that multiplies across "
+         "consumers.\n"
+         "digraph gpuvar_headers {\n"
+         "  rankdir=BT;\n"
+         "  node [shape=box, fontsize=9, fontname=\"Helvetica\"];\n";
+  for (const auto& [from, to] : hdr_edges) {
+    out << "  \"" << from << "\" -> \"" << to << "\";\n";
   }
   out << "}\n";
 }

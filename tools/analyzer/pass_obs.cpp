@@ -13,6 +13,7 @@
 //                      exporters) is fine anywhere — hosts must own
 //                      sink lifetime.
 #include "passes.hpp"
+#include "core.hpp"
 
 namespace gpuvar::analyzer {
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "passes.hpp"
+#include "core.hpp"
 
 namespace gpuvar::analyzer {
 

@@ -15,6 +15,7 @@
 #include <set>
 
 #include "passes.hpp"
+#include "core.hpp"
 
 namespace gpuvar::analyzer {
 

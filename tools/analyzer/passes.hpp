@@ -1,26 +1,30 @@
-// The analyzer's pluggable passes. Each pass walks the preprocessed
-// Repo and appends findings; suppressions are applied centrally
-// afterwards (core.hpp), so passes report everything they see.
+// The analyzer's pluggable passes, in two tiers.
+//
+// File-local passes (style, thread, determinism, interchange, obs)
+// are pure functions of one file: the driver runs them on a
+// single-file Repo during the parallel scan and caches their findings
+// with the file's summary.
+//
+// Tree passes (layering, include hygiene, dead code) need the whole
+// tree — the include graph or the cross-TU symbol index — so they run
+// on the ordered FileSummary list every invocation, cache or not.
+//
+// Suppressions are applied centrally afterwards (driver.hpp), so
+// passes report everything they see.
 #pragma once
 
 #include <ostream>
 #include <vector>
 
 #include "core.hpp"
+#include "fix.hpp"
+namespace gpuvar::analyzer { struct SymbolIndex; struct Tree; }  // was: #include "index.hpp"
 
 namespace gpuvar::analyzer {
 
 /// PR 1 conventions: raw-double-quantity, raw-rng, cout-in-library,
 /// bare-assert, pragma-once.
 void run_style_pass(const Repo& repo, std::vector<Finding>& findings);
-
-/// Include-graph layering over src/**: upward-include, include-cycle,
-/// unknown-module. The layer DAG (rank grows upward, same-rank groups
-/// may depend one-way on each other but never cyclically):
-///   common(0) -> stats(1) -> {gpu, thermal, hostbench}(2)
-///     -> telemetry(3) -> {cluster, workloads}(4) -> core(5)
-/// Files directly under src/ (the gpuvar.hpp umbrella) sit above core.
-void run_layering_pass(const Repo& repo, std::vector<Finding>& findings);
 
 /// Thread-safety annotation coverage: raw-std-mutex (use gpuvar::Mutex
 /// so clang -Wthread-safety sees a capability), unguarded-mutex (every
@@ -36,7 +40,7 @@ void run_determinism_pass(const Repo& repo, std::vector<Finding>& findings);
 /// std::span<const RunRecord> bulk interfaces in core/telemetry headers
 /// — the data plane is const RecordFrame&). Strict: with the
 /// deprecation-cycle adapters deleted, this rule is no longer
-/// suppressible (core.cpp apply_suppressions keeps it on a strict list).
+/// suppressible (core.cpp strict_rule keeps it on the strict list).
 void run_interchange_pass(const Repo& repo, std::vector<Finding>& findings);
 
 /// Observability surface: raw-trace-api (trace-layer internals —
@@ -45,15 +49,34 @@ void run_interchange_pass(const Repo& repo, std::vector<Finding>& findings);
 /// via obs::ScopedTrace / obs::LaneScope).
 void run_obs_pass(const Repo& repo, std::vector<Finding>& findings);
 
-/// DOT dump of the module-level include graph (for DESIGN.md).
-void write_layering_dot(const Repo& repo, std::ostream& out);
+/// Include-graph layering over src/**: upward-include, include-cycle,
+/// unknown-module. The layer DAG (rank grows upward, same-rank groups
+/// may depend one-way on each other but never cyclically):
+///   common(0) -> stats/obs(1) -> {gpu, thermal, hostbench}(2)
+///     -> telemetry(3) -> {cluster, workloads}(4) -> core(5)
+/// Files directly under src/ (the gpuvar.hpp umbrella) sit above core.
+void run_layering_pass(const Tree& tree, std::vector<Finding>& findings);
 
-struct PassInfo {
-  const char* name;
-  void (*run)(const Repo&, std::vector<Finding>&);
-};
+/// Include hygiene over the cross-TU symbol index: unused-include (a
+/// direct include whose export closure contributes no referenced
+/// symbol), missing-direct-include (a used symbol reached only
+/// transitively), forward-declarable (a header consumer that uses a
+/// type only by pointer/reference). When `edits` is non-null, emits
+/// one mechanical FixEdit per finding for --fix.
+void run_include_pass(const Tree& tree, const SymbolIndex& index,
+                      std::vector<Finding>& findings,
+                      std::vector<FixEdit>* edits);
 
-/// All passes, in the order a full run executes them.
-const std::vector<PassInfo>& all_passes();
+/// Dead code over src/ headers: a namespace-scope symbol declared in a
+/// src/ header that no file outside the header and its associated
+/// .cpp references. The public surface (src/gpuvar.hpp re-exports meant
+/// for downstream users) is allowlisted in pass_deadcode.cpp.
+void run_deadcode_pass(const Tree& tree, const SymbolIndex& index,
+                       std::vector<Finding>& findings);
+
+/// DOT dump of the module-level include graph (for DESIGN.md). Nodes
+/// and edges are emitted from explicitly sorted vectors so the output
+/// is stable byte-for-byte across platforms and thread counts.
+void write_layering_dot(const Tree& tree, std::ostream& out);
 
 }  // namespace gpuvar::analyzer

@@ -66,25 +66,48 @@ job_tsan() {
 }
 
 job_analyzer() {
-  echo "=== job: analyzer (gpuvar-analyzer, JSON + DOT archived) ==="
+  echo "=== job: analyzer (gpuvar-analyzer, JSON + SARIF + DOT archived) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target gpuvar_analyzer
+  rm -f build-ci/analyzer-cache.txt
+  local t0 t1 t2
+  t0=$(date +%s%N)
   ./build-ci/tools/gpuvar-analyzer . \
     --json build-ci/gpuvar-analyzer.json \
-    --dot build-ci/include_graph.dot
-  echo "analyzer report: build-ci/gpuvar-analyzer.json"
+    --sarif build-ci/gpuvar-analyzer.sarif \
+    --dot build-ci/include_graph.dot \
+    --cache build-ci/analyzer-cache.txt
+  t1=$(date +%s%N)
+  # Warm second run through the scan cache: findings must be
+  # byte-identical, and the cache should make it visibly faster.
+  ./build-ci/tools/gpuvar-analyzer . \
+    --json build-ci/gpuvar-analyzer.warm.json \
+    --sarif build-ci/gpuvar-analyzer.warm.sarif \
+    --cache build-ci/analyzer-cache.txt
+  t2=$(date +%s%N)
+  cmp build-ci/gpuvar-analyzer.json build-ci/gpuvar-analyzer.warm.json
+  cmp build-ci/gpuvar-analyzer.sarif build-ci/gpuvar-analyzer.warm.sarif
+  echo "analyzer cache: cold $(( (t1 - t0) / 1000000 ))ms," \
+       "warm $(( (t2 - t1) / 1000000 ))ms, findings byte-identical"
+  echo "analyzer report: build-ci/gpuvar-analyzer.json (+ .sarif)"
 }
 
 job_bench_smoke() {
-  echo "=== job: bench-smoke (micro_frame_bench, BENCH_frame.json) ==="
+  echo "=== job: bench-smoke (micro_frame_bench + micro_analyzer_bench) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
-  cmake --build build-ci -j "$JOBS" --target micro_frame_bench
+  cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
+    --target micro_analyzer_bench
   # Smoke cadence, not a tuned perf run: one repetition per benchmark,
-  # JSON archived so regressions in the columnar data plane are diffable.
+  # JSON archived so regressions in the columnar data plane and the
+  # analyzer's scan driver are diffable.
   ./build-ci/bench/micro_frame_bench \
     --benchmark_out=build-ci/BENCH_frame.json \
     --benchmark_out_format=json
+  ./build-ci/bench/micro_analyzer_bench \
+    --benchmark_out=build-ci/BENCH_analyzer.json \
+    --benchmark_out_format=json
   echo "frame bench report: build-ci/BENCH_frame.json"
+  echo "analyzer bench report: build-ci/BENCH_analyzer.json"
 }
 
 job_obs_smoke() {

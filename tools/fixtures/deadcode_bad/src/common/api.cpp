@@ -1,0 +1,10 @@
+// The associated TU: defining dead_fn here keeps it dead — liveness
+// only counts references outside the header and its same-stem .cpp.
+#include "common/api.hpp"
+
+namespace gpuvar::deadfix {
+
+int used_fn() { return 1; }
+int dead_fn() { return 2; }
+
+}  // namespace gpuvar::deadfix

@@ -1,0 +1,27 @@
+// Dead-code self-test fixture tree: used_fn is called from another
+// TU, UsedEnum is kept alive through a member reference alone, and
+// the associated api.cpp's definitions of dead_fn must NOT count as
+// liveness (the defining TU is excluded). Expect dead-symbol on
+// DeadType, dead_fn, dead_alias, and DEAD_MACRO — and not on
+// tolerated_dead, whose inline allow() proves the rule is
+// suppressible. Mentioning dead_fn in this comment must not revive it.
+#pragma once
+
+#define DEAD_MACRO 1
+
+namespace gpuvar::deadfix {
+
+struct DeadType {
+  int v = 0;
+};
+
+using dead_alias = int;
+
+enum UsedEnum { kUeA, kUeB };
+
+int used_fn();
+int dead_fn();
+
+inline int tolerated_dead() { return 9; }  // gpuvar-lint: allow(dead-symbol)
+
+}  // namespace gpuvar::deadfix

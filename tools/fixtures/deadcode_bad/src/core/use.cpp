@@ -1,0 +1,9 @@
+// The one real consumer: calls used_fn and names the enum member kUeA
+// (never UsedEnum itself), so both stay alive.
+#include "common/api.hpp"
+
+namespace gpuvar::deadfix {
+
+int drive() { return used_fn() + kUeA; }
+
+}  // namespace gpuvar::deadfix

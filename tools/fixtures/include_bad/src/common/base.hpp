@@ -1,0 +1,15 @@
+// Include-hygiene self-test fixture tree: a miniature src/ with one
+// unused include, one transitively-reached symbol, and one include
+// that should be a forward declaration. The real tree scan skips
+// fixtures/; only --fixture-tree reads this.
+#pragma once
+
+namespace gpuvar::incfix {
+
+struct BaseThing {
+  int v = 0;
+};
+
+inline int base_fn() { return 1; }
+
+}  // namespace gpuvar::incfix

@@ -1,0 +1,10 @@
+// Provides ExtraThing, which nothing that includes this header uses.
+#pragma once
+
+namespace gpuvar::incfix {
+
+struct ExtraThing {
+  int w = 0;
+};
+
+}  // namespace gpuvar::incfix

@@ -1,0 +1,6 @@
+// Keeps every fixture symbol alive so dead-symbol stays out of this
+// selftest's expectations (liveness is token-level, so naming the
+// symbols in real code is enough; this file includes nothing, which
+// keeps it out of the include-hygiene pass entirely).
+int use_all_for_liveness(int BaseThing, int base_fn, int ExtraThing,
+                         int stat_fn, int consume, int touch, int poke);

@@ -1,0 +1,12 @@
+// Uses BaseThing only by reference/pointer, so the include should be
+// a forward declaration (forward-declarable).
+#pragma once
+
+#include "common/base.hpp"
+
+namespace gpuvar::incfix {
+
+int touch(const BaseThing& t);
+int poke(BaseThing* t);
+
+}  // namespace gpuvar::incfix

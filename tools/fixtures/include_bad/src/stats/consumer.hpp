@@ -1,0 +1,15 @@
+// Two violations live here: common/extra.hpp is included but no
+// symbol it provides is referenced (unused-include — and saying
+// ExtraThing in this comment must not count as a use), and base_fn is
+// called even though common/base.hpp is only reached through
+// stats/indirect.hpp (missing-direct-include).
+#pragma once
+
+#include "stats/indirect.hpp"
+#include "common/extra.hpp"
+
+namespace gpuvar::incfix {
+
+inline int consume() { return stat_fn() + base_fn(); }
+
+}  // namespace gpuvar::incfix

@@ -1,0 +1,11 @@
+// The middleman: consumers that call base_fn() through this header
+// only reach common/base.hpp transitively.
+#pragma once
+
+#include "common/base.hpp"
+
+namespace gpuvar::incfix {
+
+inline int stat_fn() { return base_fn(); }
+
+}  // namespace gpuvar::incfix

@@ -1,0 +1,6 @@
+// Keeps the fixture's symbols alive so dead-symbol stays out of the
+// layering selftest's expectations (liveness is token-level, so naming
+// the symbols in real code is enough; no includes keeps this file out
+// of the include-hygiene pass).
+int use_all_for_liveness(int base, int robust, int bad_up, int a, int b,
+                         int w);

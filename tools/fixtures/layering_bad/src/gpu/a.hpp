@@ -1,7 +1,7 @@
 // Half of the include cycle: a -> b -> a.
 #pragma once
 
-#include "gpu/b.hpp"
+#include "gpu/b.hpp"  // IWYU pragma: keep (the cycle IS the fixture)
 
 namespace gpuvar::fixture {
 inline int a() { return 1; }

@@ -1,7 +1,7 @@
 // Other half of the include cycle: b -> a -> b.
 #pragma once
 
-#include "gpu/a.hpp"
+#include "gpu/a.hpp"  // IWYU pragma: keep (the cycle IS the fixture)
 
 namespace gpuvar::fixture {
 inline int b() { return 2; }

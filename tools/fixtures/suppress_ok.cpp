@@ -23,4 +23,16 @@ inline double benchmark_once() {
 // gpuvar-lint: allow(not-a-real-rule)
 inline int typo_target() { return 0; }
 
+inline bool comma_list(long x) {
+  // One allow() naming two rules suppresses both findings on the next
+  // line: bare-assert and wall-clock fire on the same line here.
+  // gpuvar-lint: allow(bare-assert, wall-clock)
+  assert(x >= std::chrono::steady_clock::now().time_since_epoch().count());
+  // A comma list with a typo'd name still suppresses the real rule and
+  // still reports the unknown one — a list must never hide a typo.
+  // gpuvar-lint: allow(bare-assert, also-not-a-rule)
+  assert(x > 0);
+  return x != 0;
+}
+
 }  // namespace gpuvar

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Determinism contract: findings (JSON) are byte-identical at 1, 4, and
+# 8 scan threads, and identical again between a cold and a warm cache
+# run. The real repo tree is the input; its findings content does not
+# matter, only that every run agrees byte-for-byte.
+# Usage: test_analyzer_determinism.sh <analyzer> <repo_root> <work_dir>
+set -euo pipefail
+
+BIN=$1
+ROOT=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+run_json() {
+  # Exit code may be 0 or 1 (findings); anything else is an error.
+  local out=$1
+  shift
+  local rc=0
+  "$BIN" "$ROOT" --json "$out" "$@" >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -gt 1 ]; then
+    echo "FAIL: analyzer exited $rc"
+    exit 1
+  fi
+}
+
+run_json "$WORK/t1.json" --threads 1
+run_json "$WORK/t4.json" --threads 4
+run_json "$WORK/t8.json" --threads 8
+cmp "$WORK/t1.json" "$WORK/t4.json" || {
+  echo "FAIL: findings differ between 1 and 4 threads"
+  exit 1
+}
+cmp "$WORK/t1.json" "$WORK/t8.json" || {
+  echo "FAIL: findings differ between 1 and 8 threads"
+  exit 1
+}
+
+run_json "$WORK/cold.json" --cache "$WORK/cache.txt"
+run_json "$WORK/warm.json" --cache "$WORK/cache.txt"
+cmp "$WORK/cold.json" "$WORK/warm.json" || {
+  echo "FAIL: findings differ between cold and warm cache"
+  exit 1
+}
+
+echo "determinism OK"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# --fix golden round trip on the include_bad fixture tree:
+#   1. the pristine copy has findings (exit 1)
+#   2. --fix --dry-run prints a diff and writes nothing
+#   3. --fix rewrites the tree; every finding had a mechanical fix
+#      (exit 0) and re-analysis is clean
+#   4. a second --fix is a byte-level no-op (idempotence)
+# Usage: test_analyzer_fix.sh <analyzer> <fixture_dir> <work_dir>
+set -euo pipefail
+
+BIN=$1
+FIXTURE=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cp -r "$FIXTURE"/. "$WORK"/
+
+rc=0
+"$BIN" "$WORK" >/dev/null 2>"$WORK/before.txt" || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: expected exit 1 on the pristine fixture, got $rc"
+  cat "$WORK/before.txt"
+  exit 1
+fi
+
+# Dry run: diff on stdout, no writes.
+rc=0
+"$BIN" "$WORK" --fix --dry-run >"$WORK/dry.diff" 2>/dev/null || rc=$?
+if ! grep -q '^--- a/src/stats/consumer.hpp' "$WORK/dry.diff"; then
+  echo "FAIL: dry-run diff is missing the consumer.hpp hunk"
+  cat "$WORK/dry.diff"
+  exit 1
+fi
+rc=0
+"$BIN" "$WORK" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: --dry-run modified the tree (re-analysis exit $rc, want 1)"
+  exit 1
+fi
+
+# Fix for real: all three findings are mechanically fixable -> exit 0.
+rc=0
+"$BIN" "$WORK" --fix >/dev/null 2>"$WORK/fix.txt" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: --fix exited $rc (findings left that should have fixes)"
+  cat "$WORK/fix.txt"
+  exit 1
+fi
+
+rc=0
+"$BIN" "$WORK" >"$WORK/after.txt" 2>&1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: tree not clean after --fix (exit $rc)"
+  cat "$WORK/after.txt"
+  exit 1
+fi
+
+# Idempotence: a second fix proposes nothing.
+"$BIN" "$WORK" --fix --dry-run >"$WORK/dry2.diff" 2>/dev/null
+if [ -s "$WORK/dry2.diff" ]; then
+  echo "FAIL: second --fix is not a no-op:"
+  cat "$WORK/dry2.diff"
+  exit 1
+fi
+
+# Spot-check the rewritten files.
+if ! grep -q '#include "common/base.hpp"' "$WORK/src/stats/consumer.hpp"; then
+  echo "FAIL: missing direct include was not inserted into consumer.hpp"
+  exit 1
+fi
+# The directive must be gone (the fixture's comment still narrates it).
+if grep -q '^#include "common/extra.hpp"' "$WORK/src/stats/consumer.hpp"; then
+  echo "FAIL: unused include of extra.hpp survived --fix"
+  exit 1
+fi
+if ! grep -q 'struct BaseThing;' "$WORK/src/gpu/fwd_user.hpp"; then
+  echo "FAIL: forward declaration missing from fwd_user.hpp"
+  exit 1
+fi
+# Only the replacement's `// was: #include` breadcrumb may remain.
+if grep -q '^#include' "$WORK/src/gpu/fwd_user.hpp"; then
+  echo "FAIL: fwd_user.hpp still has an include"
+  exit 1
+fi
+
+echo "fix round-trip OK"
