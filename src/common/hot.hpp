@@ -1,0 +1,26 @@
+// GPUVAR_HOT: marks a function as performance-critical.
+//
+// Two consumers:
+//   - the compiler: under GCC/Clang the macro expands to
+//     __attribute__((hot)), which biases inlining, block layout, and
+//     section placement toward the annotated function;
+//   - gpuvar-analyzer's hotpath pass: every function reachable from a
+//     GPUVAR_HOT root through the cross-TU call graph is "hot", and the
+//     pass flags per-iteration heap allocation, lock acquisition,
+//     stream/stdio IO, and string formatting inside that closure
+//     (alloc-in-hot-loop, lock-in-hot-path, io-in-hot-path,
+//     string-format-in-hot-loop — see docs/rules.md).
+//
+// Annotate the *definition* (the analyzer scans function bodies), on
+// the kernels the paper's pipeline iterates per GPU × per metric:
+// frame append/select/group, the per-GPU aggregations, and the stats
+// kernels under them. Don't annotate setup/teardown or IO boundaries —
+// a hot root makes its whole callee closure hot, so an over-wide
+// annotation buries real regressions in noise.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GPUVAR_HOT __attribute__((hot))
+#else
+#define GPUVAR_HOT
+#endif

@@ -5,11 +5,12 @@
 #include <numeric>
 #include <vector>
 
+#include "common/hot.hpp"
 #include "common/require.hpp"
 
 namespace gpuvar::stats {
 
-double pearson(std::span<const double> xs, std::span<const double> ys) {
+GPUVAR_HOT double pearson(std::span<const double> xs, std::span<const double> ys) {
   GPUVAR_REQUIRE(xs.size() == ys.size());
   GPUVAR_REQUIRE(xs.size() >= 2);
   const std::size_t n = xs.size();
@@ -60,7 +61,7 @@ std::vector<double> fractional_ranks(std::span<const double> xs) {
 
 }  // namespace
 
-double spearman(std::span<const double> xs, std::span<const double> ys) {
+GPUVAR_HOT double spearman(std::span<const double> xs, std::span<const double> ys) {
   GPUVAR_REQUIRE(xs.size() == ys.size());
   GPUVAR_REQUIRE(xs.size() >= 2);
   const auto rx = fractional_ranks(xs);

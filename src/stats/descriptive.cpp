@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hot.hpp"
 #include "common/require.hpp"
 
 namespace gpuvar::stats {
 
-Descriptive describe(std::span<const double> xs) {
+GPUVAR_HOT Descriptive describe(std::span<const double> xs) {
   GPUVAR_REQUIRE(!xs.empty());
   Descriptive d;
   d.count = xs.size();
@@ -34,18 +35,18 @@ Descriptive describe(std::span<const double> xs) {
   return d;
 }
 
-double mean(std::span<const double> xs) { return describe(xs).mean; }
-double sample_variance(std::span<const double> xs) {
+GPUVAR_HOT double mean(std::span<const double> xs) { return describe(xs).mean; }
+GPUVAR_HOT double sample_variance(std::span<const double> xs) {
   return describe(xs).variance;
 }
-double sample_stddev(std::span<const double> xs) {
+GPUVAR_HOT double sample_stddev(std::span<const double> xs) {
   return describe(xs).stddev;
 }
-double min_of(std::span<const double> xs) {
+GPUVAR_HOT double min_of(std::span<const double> xs) {
   GPUVAR_REQUIRE(!xs.empty());
   return *std::min_element(xs.begin(), xs.end());
 }
-double max_of(std::span<const double> xs) {
+GPUVAR_HOT double max_of(std::span<const double> xs) {
   GPUVAR_REQUIRE(!xs.empty());
   return *std::max_element(xs.begin(), xs.end());
 }

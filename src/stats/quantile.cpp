@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hot.hpp"
 #include "common/require.hpp"
 
 namespace gpuvar::stats {
 
-double quantile_sorted(std::span<const double> sorted, double q) {
+GPUVAR_HOT double quantile_sorted(std::span<const double> sorted, double q) {
   GPUVAR_REQUIRE(!sorted.empty());
   GPUVAR_REQUIRE(q >= 0.0 && q <= 1.0);
   const std::size_t n = sorted.size();
@@ -20,18 +21,18 @@ double quantile_sorted(std::span<const double> sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-std::vector<double> sorted_copy(std::span<const double> xs) {
+GPUVAR_HOT std::vector<double> sorted_copy(std::span<const double> xs) {
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
   return v;
 }
 
-double quantile(std::span<const double> xs, double q) {
+GPUVAR_HOT double quantile(std::span<const double> xs, double q) {
   const auto v = sorted_copy(xs);
   return quantile_sorted(v, q);
 }
 
-std::vector<double> quantiles(std::span<const double> xs,
+GPUVAR_HOT std::vector<double> quantiles(std::span<const double> xs,
                               std::span<const double> qs) {
   const auto v = sorted_copy(xs);
   std::vector<double> out;
@@ -40,6 +41,6 @@ std::vector<double> quantiles(std::span<const double> xs,
   return out;
 }
 
-double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+GPUVAR_HOT double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
 }  // namespace gpuvar::stats

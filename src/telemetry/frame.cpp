@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/hot.hpp"
 #include "common/require.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -65,7 +66,7 @@ void RecordFrame::reserve(std::size_t rows) {
   day_.reserve(rows);
 }
 
-std::uint32_t RecordFrame::intern(std::size_t gpu_index,
+GPUVAR_HOT std::uint32_t RecordFrame::intern(std::size_t gpu_index,
                                   const GpuLocation& loc) {
   const auto it = id_by_gpu_index_.find(gpu_index);
   if (it != id_by_gpu_index_.end()) return it->second;
@@ -75,7 +76,7 @@ std::uint32_t RecordFrame::intern(std::size_t gpu_index,
   return id;
 }
 
-void RecordFrame::append_row(const RunRecord& r) {
+GPUVAR_HOT void RecordFrame::append_row(const RunRecord& r) {
   gpu_id_.push_back(intern(r.gpu_index, r.loc));
   run_.push_back(r.run_index);
   day_.push_back(static_cast<std::int16_t>(r.day_of_week));
@@ -89,7 +90,7 @@ void RecordFrame::append_row(const RunRecord& r) {
   exec_stall_.push_back(r.counters.exec_stall_frac);
 }
 
-void RecordFrame::append(const RecordFrame& chunk) {
+GPUVAR_HOT void RecordFrame::append(const RecordFrame& chunk) {
   GPUVAR_REQUIRE_MSG(&chunk != this, "cannot append a frame to itself");
   reserve(size() + chunk.size());
   // Remap the chunk's pool ids through this frame's interning; ids are
@@ -118,7 +119,7 @@ void RecordFrame::append(const RecordFrame& chunk) {
                      chunk.exec_stall_.end());
 }
 
-RecordFrame RecordFrame::select(std::span<const std::size_t> rows) const {
+GPUVAR_HOT RecordFrame RecordFrame::select(std::span<const std::size_t> rows) const {
   RecordFrame out;
   out.reserve(rows.size());
   std::vector<std::uint32_t> remap(gpus_.size(), std::uint32_t(0xffffffffu));
@@ -177,7 +178,7 @@ RecordFrame FrameBuilder::finish() {
   return out;
 }
 
-GpuRowGroups group_rows_by_gpu(const RecordFrame& frame) {
+GPUVAR_HOT GpuRowGroups group_rows_by_gpu(const RecordFrame& frame) {
   const std::size_t n = frame.size();
   const std::size_t k = frame.gpu_count();
   const auto ids = frame.gpu_ids();
@@ -206,7 +207,7 @@ GpuRowGroups group_rows_by_gpu(const RecordFrame& frame) {
   return g;
 }
 
-std::vector<GpuAggregate> per_gpu_medians(const RecordFrame& frame) {
+GPUVAR_HOT std::vector<GpuAggregate> per_gpu_medians(const RecordFrame& frame) {
   GPUVAR_REQUIRE(!frame.empty());
   const auto groups = group_rows_by_gpu(frame);
   const auto perf = frame.perf_ms();
@@ -242,7 +243,7 @@ std::vector<GpuAggregate> per_gpu_medians(const RecordFrame& frame) {
   return out;
 }
 
-std::span<const double> metric_column(const RecordFrame& frame, Metric m) {
+GPUVAR_HOT std::span<const double> metric_column(const RecordFrame& frame, Metric m) {
   return frame.metric(m);
 }
 

@@ -1,0 +1,150 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <tuple>
+
+#include "core.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Extracts the value of `"key": "..."` or `"key": N` from one line.
+/// The writer emits one fingerprint object per line with no escapes
+/// beyond \" and \\, so a line-based reader round-trips exactly; any
+/// shape it cannot read is a parse error, never a guess.
+bool field(const std::string& line, const std::string& key,
+           std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size()) return false;
+  if (line[i] == '"') {
+    ++i;
+    std::string v;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) ++i;
+      v += line[i++];
+    }
+    if (i >= line.size()) return false;
+    out = v;
+    return true;
+  }
+  std::string v;
+  while (i < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[i])) ||
+          line[i] == '-')) {
+    v += line[i++];
+  }
+  if (v.empty()) return false;
+  out = v;
+  return true;
+}
+
+void sort_entries(std::vector<BaselineEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) {
+              return std::tie(a.rule, a.file, a.symbol) <
+                     std::tie(b.rule, b.file, b.symbol);
+            });
+}
+
+}  // namespace
+
+Baseline baseline_from_findings(const std::vector<Finding>& findings) {
+  std::map<std::tuple<std::string, std::string, std::string>, int> counts;
+  for (const auto& fd : findings) {
+    ++counts[{fd.rule, fd.file, fd.symbol}];
+  }
+  Baseline b;
+  for (const auto& [key, count] : counts) {
+    b.entries.push_back(
+        {std::get<0>(key), std::get<1>(key), std::get<2>(key), count});
+  }
+  return b;  // map iteration order == sorted order
+}
+
+bool load_baseline(const std::filesystem::path& path, Baseline& out) {
+  out = Baseline{};
+  std::ifstream in(path);
+  if (!in) return true;  // absent => empty baseline
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"fingerprints\"") != std::string::npos) {
+      saw_header = true;
+    }
+    if (line.find("\"rule\"") == std::string::npos) continue;
+    BaselineEntry e;
+    std::string count;
+    if (!field(line, "rule", e.rule) || !field(line, "file", e.file) ||
+        !field(line, "symbol", e.symbol) ||
+        !field(line, "count", count)) {
+      return false;
+    }
+    try {
+      e.count = std::stoi(count);
+    } catch (...) {
+      return false;
+    }
+    if (e.count <= 0) return false;
+    out.entries.push_back(std::move(e));
+  }
+  if (!saw_header) return false;
+  sort_entries(out.entries);
+  return true;
+}
+
+bool write_baseline(const std::filesystem::path& path, const Baseline& b) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n  \"fingerprints\": [";
+  for (std::size_t i = 0; i < b.entries.size(); ++i) {
+    const auto& e = b.entries[i];
+    out << (i ? "," : "") << "\n    {\"rule\": \"" << escape(e.rule)
+        << "\", \"file\": \"" << escape(e.file) << "\", \"symbol\": \""
+        << escape(e.symbol) << "\", \"count\": " << e.count << "}";
+  }
+  out << (b.entries.empty() ? "" : "\n  ") << "]\n}\n";
+  return static_cast<bool>(out);
+}
+
+RatchetResult ratchet(const Baseline& baseline,
+                      const std::vector<Finding>& findings) {
+  RatchetResult r;
+  r.current = baseline_from_findings(findings);
+  std::map<std::tuple<std::string, std::string, std::string>, int> allowed;
+  for (const auto& e : baseline.entries) {
+    allowed[{e.rule, e.file, e.symbol}] = e.count;
+  }
+  int matched_total = 0;
+  for (const auto& e : r.current.entries) {
+    const auto it = allowed.find({e.rule, e.file, e.symbol});
+    const int cap = it == allowed.end() ? 0 : it->second;
+    if (e.count > cap) {
+      r.grown.push_back({e.rule, e.file, e.symbol, e.count - cap});
+    }
+    matched_total += std::min(e.count, cap);
+  }
+  int baseline_total = 0;
+  for (const auto& e : baseline.entries) baseline_total += e.count;
+  r.shrunk = matched_total < baseline_total;
+  return r;
+}
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,62 @@
+// The findings ratchet: a checked-in baseline of finding fingerprints
+// that may only shrink.
+//
+// A fingerprint is (rule, file, symbol) with an occurrence count —
+// deliberately line-independent, so moving code around a file neither
+// masks a new finding nor invents one. With --baseline:
+//
+//   * a finding whose fingerprint is not in the baseline (or whose
+//     count grew) FAILS the run — new debt is rejected at the door;
+//   * a baseline entry no longer matched (or matched fewer times)
+//     auto-shrinks the file in place — burning debt down is recorded
+//     by the same commit that fixes it, and CI (tools/ci.sh) fails on
+//     a dirty baseline, enforcing monotone non-growth.
+//
+// An absent baseline file reads as empty: the tree is expected clean.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core.hpp"
+
+namespace gpuvar::analyzer {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string symbol;
+  int count = 0;
+};
+
+/// Entries sorted by (rule, file, symbol) — the on-disk order.
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Collapses findings into sorted fingerprint counts.
+Baseline baseline_from_findings(const std::vector<Finding>& findings);
+
+/// Loads `path`. A missing file is an empty baseline (returns true);
+/// a malformed file returns false.
+bool load_baseline(const std::filesystem::path& path, Baseline& out);
+
+/// Writes the canonical JSON form (one fingerprint object per line).
+bool write_baseline(const std::filesystem::path& path, const Baseline& b);
+
+struct RatchetResult {
+  /// Fingerprints present now but absent from (or larger than) the
+  /// baseline, with the excess count. Non-empty => the run fails.
+  std::vector<BaselineEntry> grown;
+  /// True when some baseline entry is no longer fully matched — the
+  /// file should be rewritten with `current`.
+  bool shrunk = false;
+  /// The fingerprints of the current findings.
+  Baseline current;
+};
+
+RatchetResult ratchet(const Baseline& baseline,
+                      const std::vector<Finding>& findings);
+
+}  // namespace gpuvar::analyzer

@@ -241,47 +241,122 @@ bool load_source_file(const fs::path& path, const std::string& rel,
   return true;
 }
 
-const std::set<std::string>& known_rules() {
-  static const std::set<std::string> kRules = {
-      // style (PR 1)
-      "raw-double-quantity", "raw-rng", "cout-in-library", "bare-assert",
-      "pragma-once",
-      // layering
-      "upward-include", "include-cycle", "unknown-module",
-      // thread safety
-      "raw-std-mutex", "unguarded-mutex",
-      // determinism
-      "unordered-iteration", "parallel-accum", "float-sort-key",
-      "locale-format", "wall-clock",
-      // interchange
-      "row-record-param",
-      // observability
-      "raw-trace-api",
-      // include hygiene (cross-TU symbol index)
-      "unused-include", "missing-direct-include", "forward-declarable",
-      // dead code
-      "dead-symbol",
-      // meta
-      "unknown-rule"};
+const std::vector<RuleInfo>& rules() {
+  // Strictness notes: unknown-rule is structurally strict (a
+  // suppression must never hide a typo'd suppression);
+  // row-record-param graduated to strict once the last
+  // deprecation-cycle row adapters were deleted — an allow() on it now
+  // marks a dead grace period, not an exemption.
+  static const std::vector<RuleInfo> kRules = {
+      {"alloc-in-hot-loop", "hotpath",
+       "heap allocation inside a loop on a GPUVAR_HOT path", false},
+      {"bare-assert", "style",
+       "assert() in library code; use GPUVAR_CHECK so release builds "
+       "keep the invariant", false},
+      {"cout-in-library", "style",
+       "std::cout/std::cerr in src/ library code; report through the "
+       "caller or obs sinks", false},
+      {"dangling-span", "lifetime",
+       "span/string_view bound to storage that dies with the call "
+       "(local, temporary, or view parameter stored past return)",
+       false},
+      {"dead-symbol", "deadcode",
+       "namespace-scope symbol in a src/ header no other TU references",
+       false},
+      {"float-sort-key", "determinism",
+       "std::sort comparator on floating-point keys without a "
+       "tie-breaker; ties make the order platform-dependent", false},
+      {"forward-declarable", "include",
+       "header included for a type used only by pointer/reference; a "
+       "forward declaration suffices", false},
+      {"include-cycle", "layering",
+       "include cycle among src/ modules", false},
+      {"io-in-hot-path", "hotpath",
+       "stream/stdio IO reachable on a GPUVAR_HOT path", false},
+      {"locale-format", "interchange",
+       "locale-dependent number formatting in interchange code; use "
+       "numfmt", false},
+      {"lock-cycle", "lockorder",
+       "two locks acquired in opposite orders on different paths; a "
+       "deadlock window once both run concurrently", false},
+      {"lock-held-across-wait", "lockorder",
+       "lock held across ThreadPool submit/wait_idle/parallel_for; "
+       "workers that need the lock deadlock the pool", false},
+      {"lock-in-hot-path", "hotpath",
+       "mutex acquisition inside a GPUVAR_HOT function or a helper it "
+       "calls", false},
+      {"missing-direct-include", "include",
+       "symbol used but its header reached only transitively; include "
+       "it directly", false},
+      {"parallel-accum", "determinism",
+       "compound assignment to a captured accumulator inside "
+       "parallel_for; reduction order is nondeterministic", false},
+      {"pragma-once", "style",
+       "header missing #pragma once", false},
+      {"raw-double-quantity", "style",
+       "bare double for a physical quantity in a public header; use "
+       "the unit-named aliases", false},
+      {"raw-rng", "style",
+       "rand()/srand()/random_device in library code; use the seeded "
+       "gpuvar RNG", false},
+      {"raw-std-mutex", "thread",
+       "std::mutex/std::lock_guard directly; use gpuvar::Mutex / "
+       "MutexLock so clang -Wthread-safety sees a capability", false},
+      {"raw-trace-api", "obs",
+       "trace-layer internals used outside src/obs; use the "
+       "GPUVAR_TRACE_* macros", false},
+      {"row-record-param", "interchange",
+       "row-oriented RunRecord bulk interface in a core/telemetry "
+       "header; the data plane is const RecordFrame&", true},
+      {"string-format-in-hot-loop", "hotpath",
+       "string formatting inside a loop on a GPUVAR_HOT path", false},
+      {"unguarded-mutex", "thread",
+       "Mutex member not named by any GPUVAR_GUARDED_BY/REQUIRES/"
+       "ACQUIRE annotation in its file", false},
+      {"unknown-module", "layering",
+       "src/ directory not registered in the layer DAG", false},
+      {"unknown-rule", "meta",
+       "gpuvar-lint: allow() names a rule that does not exist", true},
+      {"unordered-iteration", "determinism",
+       "iteration over an unordered container where order can reach "
+       "output", false},
+      {"unused-include", "include",
+       "direct include whose export closure contributes no referenced "
+       "symbol", false},
+      {"upward-include", "layering",
+       "src/ module includes a higher-ranked module", false},
+      {"wall-clock", "determinism",
+       "wall-clock time in result-affecting code; clocks are injected",
+       false},
+  };
   return kRules;
 }
 
-/// Rules that cannot be suppressed with an inline allow(). unknown-rule
-/// is structurally strict (a suppression must never hide a typo'd
-/// suppression); row-record-param graduated to strict once the last
-/// deprecation-cycle row adapters were deleted — an allow() on it now
-/// marks a dead grace period, not an exemption.
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kIds = [] {
+    std::set<std::string> ids;
+    for (const auto& r : rules()) ids.insert(r.id);
+    return ids;
+  }();
+  return kIds;
+}
+
 bool strict_rule(const std::string& rule) {
-  static const std::set<std::string> kStrict = {"unknown-rule",
-                                                "row-record-param"};
+  static const std::set<std::string> kStrict = [] {
+    std::set<std::string> ids;
+    for (const auto& r : rules()) {
+      if (r.strict) ids.insert(r.id);
+    }
+    return ids;
+  }();
   return kStrict.count(rule) != 0;
 }
 
 void sort_findings(std::vector<Finding>& findings) {
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule, a.message) <
-                     std::tie(b.file, b.line, b.rule, b.message);
+              return std::tie(a.file, a.line, a.rule, a.message, a.symbol) <
+                     std::tie(b.file, b.line, b.rule, b.message, b.symbol);
             });
 }
 
@@ -327,17 +402,22 @@ void write_json(const std::vector<Finding>& findings,
     out << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(fd.file)
         << "\", \"line\": " << fd.line << ", \"rule\": \""
         << json_escape(fd.rule) << "\", \"message\": \""
-        << json_escape(fd.message) << "\"}";
+        << json_escape(fd.message) << "\"";
+    if (!fd.symbol.empty()) {
+      out << ", \"symbol\": \"" << json_escape(fd.symbol) << "\"";
+    }
+    out << "}";
   }
   out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
 }
 
 void write_sarif(const std::vector<Finding>& findings, std::ostream& out) {
-  // Rule index for SARIF's ruleIndex cross-references.
+  // Rule index for SARIF's ruleIndex cross-references. rules() is
+  // sorted by id, so indexes are stable across runs.
   std::map<std::string, std::size_t> rule_index;
-  for (const auto& rule : known_rules()) {
+  for (const auto& rule : rules()) {
     const std::size_t n = rule_index.size();
-    rule_index[rule] = n;
+    rule_index[rule.id] = n;
   }
   out << "{\n"
          "  \"$schema\": "
@@ -352,10 +432,12 @@ void write_sarif(const std::vector<Finding>& findings, std::ostream& out) {
          "\"https://example.invalid/gpuvar-analyzer\",\n"
          "          \"rules\": [";
   bool first = true;
-  for (const auto& [rule, _] : rule_index) {
+  for (const auto& rule : rules()) {
     out << (first ? "" : ",") << "\n            {\"id\": \""
-        << json_escape(rule)
-        << "\", \"defaultConfiguration\": {\"level\": \"error\"}}";
+        << json_escape(rule.id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rule.description)
+        << "\"}, \"defaultConfiguration\": {\"level\": \"error\"}}";
     first = false;
   }
   out << "\n          ]\n"

@@ -35,7 +35,33 @@ struct Finding {
   int line = 0;
   std::string rule;
   std::string message;
+  /// The symbol the finding is about (function, lock pair, member...).
+  /// Part of the baseline fingerprint (rule + file + symbol) so the
+  /// ratchet is line-number independent; empty for token-level rules.
+  std::string symbol;
+
+  Finding() = default;
+  Finding(std::string f, int l, std::string r, std::string m,
+          std::string s = {})
+      : file(std::move(f)),
+        line(l),
+        rule(std::move(r)),
+        message(std::move(m)),
+        symbol(std::move(s)) {}
 };
+
+/// One registered rule. The registry (rules()) is the single authority:
+/// known_rules(), strict_rule(), --list-rules, docs/rules.md, and the
+/// SARIF rule table all derive from it.
+struct RuleInfo {
+  std::string id;
+  std::string pass;         ///< owning pass name, as in --stats
+  std::string description;  ///< one line, for --list-rules and SARIF
+  bool strict = false;      ///< not suppressible via allow()
+};
+
+/// All rules, sorted by id.
+const std::vector<RuleInfo>& rules();
 
 /// One identifier/keyword token plus enough context for the rules: its
 /// line, its byte offset in the stripped code (for balanced-delimiter
@@ -94,7 +120,8 @@ std::size_t matching_paren_end(const std::string& code, std::size_t open);
 bool load_source_file(const std::filesystem::path& path,
                       const std::string& rel, SourceFile& out);
 
-/// Every rule any pass can emit (authority for unknown-rule checking).
+/// Every rule id any pass can emit (derived from rules(); kept as a
+/// set for unknown-rule checking).
 const std::set<std::string>& known_rules();
 
 /// True for rules an inline allow() cannot suppress (unknown-rule, and

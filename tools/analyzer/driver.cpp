@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <tuple>
 
+#include "analyzer_version.hpp"
 #include "common/thread_pool.hpp"
+#include "flow.hpp"
 #include "passes.hpp"
 #include "core.hpp"
 #include "fix.hpp"
@@ -20,7 +23,9 @@ namespace {
 
 /// Bump when the FileSummary serialization or the scanner's semantics
 /// change: a stale format must read as a cold cache, never as data.
-constexpr const char* kCacheFormatVersion = "gpuvar-analyzer-cache-v2";
+/// (v3: FlowFunction records, finding symbols, and the analyzer's own
+/// source hash folded into the key — see pass_set_hash.)
+constexpr const char* kCacheFormatVersion = "gpuvar-analyzer-cache-v3";
 
 std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
   for (unsigned char c : s) {
@@ -160,12 +165,68 @@ CacheMap load_cache(const fs::path& path) {
     } else if (op == "P") {
       std::string name;
       while (ls >> name) cur.summary.ptr_ref_only.push_back(dec(name));
+    } else if (op == "FN") {
+      FlowFunction fn;
+      std::string name;
+      int hot = 0, lambda = 0;
+      if (!(ls >> name >> fn.line >> hot >> lambda)) return CacheMap{};
+      fn.name = dec(name);
+      const auto sep = fn.name.rfind("::");
+      fn.bare = sep == std::string::npos ? fn.name : fn.name.substr(sep + 2);
+      fn.hot = hot != 0;
+      fn.is_lambda = lambda != 0;
+      cur.summary.functions.push_back(std::move(fn));
+    } else if (op == "FC" || op == "FK" || op == "FA" || op == "FO" ||
+               op == "FM") {
+      if (cur.summary.functions.empty()) return CacheMap{};
+      FlowFunction& fn = cur.summary.functions.back();
+      int fline = 0, in_loop = 0;
+      if (!(ls >> fline >> in_loop)) return CacheMap{};
+      if (op == "FC") {
+        FlowCall call;
+        int member = 0;
+        std::string callee, locks;
+        if (!(ls >> member >> callee >> locks)) return CacheMap{};
+        call.line = fline;
+        call.in_loop = in_loop != 0;
+        call.member = member != 0;
+        call.callee = dec(callee);
+        std::istringstream lks(dec(locks));
+        std::string lk;
+        while (std::getline(lks, lk, ',')) {
+          if (!lk.empty()) call.locks_held.push_back(lk);
+        }
+        fn.calls.push_back(std::move(call));
+      } else if (op == "FK") {
+        FlowLock lock;
+        std::string id, held;
+        if (!(ls >> id >> held)) return CacheMap{};
+        lock.line = fline;
+        lock.in_loop = in_loop != 0;
+        lock.lock = dec(id);
+        std::istringstream hs(dec(held));
+        std::string h;
+        while (std::getline(hs, h, ',')) {
+          if (!h.empty()) lock.held_before.push_back(h);
+        }
+        fn.locks.push_back(std::move(lock));
+      } else {
+        FlowSite site;
+        std::string what;
+        if (!(ls >> what)) return CacheMap{};
+        site.line = fline;
+        site.in_loop = in_loop != 0;
+        site.what = dec(what);
+        auto& sites = op == "FA" ? fn.allocs : op == "FO" ? fn.io : fn.fmt;
+        sites.push_back(std::move(site));
+      }
     } else if (op == "L") {
       Finding fd;
-      std::string rule, message;
-      if (!(ls >> fd.line >> rule >> message)) return CacheMap{};
+      std::string rule, symbol, message;
+      if (!(ls >> fd.line >> rule >> symbol >> message)) return CacheMap{};
       fd.file = cur.summary.rel;
       fd.rule = dec(rule);
+      fd.symbol = dec(symbol);
       fd.message = dec(message);
       cur.summary.local_findings.push_back(std::move(fd));
     } else if (op == "E") {
@@ -216,9 +277,42 @@ void write_cache(const fs::path& path, const CacheMap& cache) {
       for (const auto& r : s.ptr_ref_only) out << " " << enc(r);
       out << "\n";
     }
+    const auto join = [](const std::vector<std::string>& v) {
+      std::string j;
+      for (const auto& e : v) {
+        if (!j.empty()) j += ',';
+        j += e;
+      }
+      return j;
+    };
+    for (const auto& fn : s.functions) {
+      out << "FN " << enc(fn.name) << " " << fn.line << " "
+          << (fn.hot ? 1 : 0) << " " << (fn.is_lambda ? 1 : 0) << "\n";
+      for (const auto& c : fn.calls) {
+        out << "FC " << c.line << " " << (c.in_loop ? 1 : 0) << " "
+            << (c.member ? 1 : 0) << " " << enc(c.callee) << " "
+            << enc(join(c.locks_held)) << "\n";
+      }
+      for (const auto& lk : fn.locks) {
+        out << "FK " << lk.line << " " << (lk.in_loop ? 1 : 0) << " "
+            << enc(lk.lock) << " " << enc(join(lk.held_before)) << "\n";
+      }
+      for (const auto& a : fn.allocs) {
+        out << "FA " << a.line << " " << (a.in_loop ? 1 : 0) << " "
+            << enc(a.what) << "\n";
+      }
+      for (const auto& io : fn.io) {
+        out << "FO " << io.line << " " << (io.in_loop ? 1 : 0) << " "
+            << enc(io.what) << "\n";
+      }
+      for (const auto& fm : fn.fmt) {
+        out << "FM " << fm.line << " " << (fm.in_loop ? 1 : 0) << " "
+            << enc(fm.what) << "\n";
+      }
+    }
     for (const auto& fd : s.local_findings) {
       out << "L " << fd.line << " " << enc(fd.rule) << " "
-          << enc(fd.message) << "\n";
+          << enc(fd.symbol) << " " << enc(fd.message) << "\n";
     }
     out << "E\n";
   }
@@ -302,14 +396,24 @@ void mark_iwyu_pragmas(const SourceFile& f, FileSummary& out) {
 
 const std::vector<std::string>& pass_names() {
   static const std::vector<std::string> kNames = {
-      "style",       "layering", "thread",  "determinism",
-      "interchange", "obs",      "include", "deadcode"};
+      "style",    "layering", "thread",    "determinism",
+      "interchange", "obs",   "include",   "deadcode",
+      "lockorder",   "hotpath", "lifetime"};
   return kNames;
 }
 
 std::uint64_t pass_set_hash() {
   std::uint64_t h = 14695981039346656037ULL;
   h = fnv1a(h, kCacheFormatVersion);
+  // The analyzer's own source hash (generated at build time): a
+  // rebuilt analyzer with changed pass logic must read every prior
+  // cache as cold, even when the pass/rule lists are unchanged.
+  h = fnv1a(h, kAnalyzerSourceHash);
+  // Test hook: lets the cache tests simulate an analyzer rebuild
+  // without actually recompiling.
+  if (const char* salt = std::getenv("GPUVAR_ANALYZER_CACHE_SALT")) {
+    h = fnv1a(h, salt);
+  }
   for (const auto& name : pass_names()) h = fnv1a(h, name);
   for (const auto& rule : known_rules()) h = fnv1a(h, rule);
   return h;
@@ -334,10 +438,12 @@ bool scan_file(const fs::path& path, const std::string& rel,
   out.allows = f.allows;
   mark_iwyu_pragmas(f, out);
   scan_symbols(f, out);
+  out.functions = scan_flow(f);
 
-  // File-local passes (everything except layering / include hygiene /
-  // dead code is a pure function of one file — that is what makes the
-  // scan cacheable per file).
+  // File-local passes (everything except the tree passes is a pure
+  // function of one file — that is what makes the scan cacheable per
+  // file). The lifetime pass is file-local too: dangling-span needs
+  // only one function body at a time.
   Repo one;
   one.root = path.parent_path();
   one.files.push_back(std::move(f));
@@ -346,6 +452,7 @@ bool scan_file(const fs::path& path, const std::string& rel,
   run_determinism_pass(one, out.local_findings);
   run_interchange_pass(one, out.local_findings);
   run_obs_pass(one, out.local_findings);
+  run_lifetime_pass(one, out.local_findings);
   return true;
 }
 
@@ -478,6 +585,10 @@ AnalysisResult analyze_tree(const Tree& tree) {
   std::vector<FixEdit> edits;
   run_include_pass(tree, idx, findings, &edits);
   run_deadcode_pass(tree, idx, findings);
+  const FlowGraph graph = build_call_graph(tree);
+  result.open_edges = graph.open_edges;
+  run_lockorder_pass(tree, graph, findings);
+  run_hotpath_pass(tree, graph, findings);
   for (const auto& f : tree.files) check_suppression_names(f, findings);
 
   findings = apply_suppressions(tree, std::move(findings));

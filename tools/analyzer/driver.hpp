@@ -12,9 +12,11 @@
 // The cache stores one FileSummary per file keyed by (path, size,
 // mtime, pass-set hash). A warm run re-reads only files whose stat
 // changed; everything else skips loading the file at all. The pass-set
-// hash covers the pass list, the rule registry, and a format version,
-// so adding a pass or changing the serialization invalidates the cache
-// wholesale rather than mixing stale results.
+// hash covers the pass list, the rule registry, a format version, and
+// a build-time hash of the analyzer's own sources, so adding a pass,
+// changing the serialization, or rebuilding the analyzer with edited
+// pass logic invalidates the cache wholesale rather than mixing stale
+// results.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +69,10 @@ std::vector<Finding> apply_suppressions(const Tree& tree,
 struct AnalysisResult {
   std::vector<Finding> findings;  ///< post-suppression, canonical order
   std::vector<FixEdit> edits;     ///< edits whose findings survived
+  /// Call-graph edges that resolved to no known definition
+  /// (sound-by-admission: counted, never traversed). Surfaced by
+  /// --stats so a resolution regression is visible.
+  std::size_t open_edges = 0;
 };
 
 /// Runs every pass over the scanned tree: collects the cached

@@ -1,0 +1,1056 @@
+#include "flow.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core.hpp"
+#include "index.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+bool space_char(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+/// MACRO_LIKE: all caps/digits/underscores with at least one letter.
+bool macro_like(const std::string& s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_alpha = true;
+  }
+  return has_alpha;
+}
+
+/// Tokens that can never be a callee or a declared name.
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "if",        "else",       "for",          "while",
+      "do",        "switch",     "case",         "default",
+      "return",    "break",      "continue",     "goto",
+      "sizeof",    "alignof",    "alignas",      "decltype",
+      "typeid",    "new",        "delete",       "throw",
+      "try",       "catch",      "static_cast",  "dynamic_cast",
+      "const_cast","reinterpret_cast",           "operator",
+      "this",      "true",       "false",        "nullptr",
+      "const",     "constexpr",  "consteval",    "constinit",
+      "static",    "inline",     "extern",       "mutable",
+      "volatile",  "thread_local",               "typename",
+      "template",  "using",      "namespace",    "class",
+      "struct",    "enum",       "union",        "public",
+      "private",   "protected",  "friend",       "virtual",
+      "override",  "final",      "noexcept",     "explicit",
+      "auto",      "void",       "bool",         "char",
+      "short",     "int",        "long",         "float",
+      "double",    "signed",     "unsigned",     "requires",
+      "concept",   "co_await",   "co_return",    "co_yield",
+      "and",       "or",         "not"};
+  return kw;
+}
+
+/// std:: types whose construction owns heap storage. Deliberately the
+/// owning containers only — push_back/reserve on an existing container
+/// is amortized reuse, not a fresh allocation, and must not trip the
+/// hot-loop rule after a scratch-buffer fix.
+const std::set<std::string>& owner_types() {
+  static const std::set<std::string> s = {
+      "vector",        "string",        "wstring",       "basic_string",
+      "map",           "set",           "multimap",      "multiset",
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset",             "deque",         "list",
+      "queue",         "priority_queue","stack",         "function",
+      "stringstream",  "ostringstream", "istringstream"};
+  return s;
+}
+
+const std::set<std::string>& io_tokens() {
+  static const std::set<std::string> s = {
+      "cout",  "cerr",    "clog",  "ofstream", "ifstream", "fstream",
+      "fopen", "fprintf", "fputs", "fwrite",   "fread",    "puts",
+      "printf"};
+  return s;
+}
+
+const std::set<std::string>& fmt_tokens() {
+  static const std::set<std::string> s = {
+      "to_string",     "snprintf",     "sprintf",       "stringstream",
+      "ostringstream", "format_double","format_int"};
+  return s;
+}
+
+bool is_wait_name(const std::string& bare) {
+  return bare == "submit" || bare == "wait_idle" || bare == "parallel_for";
+}
+
+std::string bare_of(const std::string& name) {
+  const auto pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+/// The statement/loop/lock/call scanner. One instance per file; walks
+/// the stripped code character-by-character (like the DeclScanner) with
+/// a scope stack, and records events into FlowFunctions. Anything it
+/// cannot classify it drops — the passes only reason over what is
+/// recorded, so a missed shape weakens coverage but never fabricates a
+/// finding.
+class FlowScanner {
+ public:
+  explicit FlowScanner(const SourceFile& f) : f_(f) {}
+
+  std::vector<FlowFunction> run() {
+    const std::string& code = f_.code;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (c == '\n') {
+        ++line_;
+        ++i;
+        continue;
+      }
+      if (space_char(c)) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {
+        i = directive(i);
+        continue;
+      }
+      if (ident_char(c)) {
+        std::size_t j = i;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        const std::size_t consumed = on_ident(code.substr(i, j - i), i, j);
+        prev2_ = prev_;
+        prev_ = 'a';  // any identifier char
+        i = consumed != 0 ? consumed : j;
+        continue;
+      }
+      i = on_char(c, i);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct Scope {
+    char kind = 'b';  // 'n' ns, 't' type, 'F' function, 'l' loop, 'b' block
+    std::string name;
+    int base_paren = 0;
+    std::size_t locks_at_entry = 0;
+  };
+
+  struct ActiveLock {
+    std::string id;
+    std::string var;
+  };
+
+  /// Per-open-function context the lifetime rules need.
+  struct FnCtx {
+    std::set<std::string> owner_locals;
+    std::set<std::string> view_params;
+    std::set<std::string> owner_params;
+    bool returns_view = false;
+  };
+
+  // ---- scope helpers -------------------------------------------------
+
+  bool in_function() const { return !fn_stack_.empty(); }
+
+  FlowFunction& fn() { return out_[static_cast<std::size_t>(fn_stack_.back())]; }
+  FnCtx& ctx() { return fn_ctx_.back(); }
+
+  int scope_base_paren() const {
+    return scopes_.empty() ? 0 : scopes_.back().base_paren;
+  }
+
+  /// Loop nesting within the innermost function only.
+  bool in_loop() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == 'F') break;
+      if (it->kind == 'l') return true;
+    }
+    return loop_body_pending_ || loop_kw_pending_;
+  }
+
+  /// Locks held by the innermost function (outer functions' textually
+  /// enclosing locks are NOT held when a lambda body later executes).
+  std::vector<std::string> held() const {
+    std::size_t from = 0;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == 'F') {
+        from = it->locks_at_entry;
+        break;
+      }
+    }
+    std::vector<std::string> ids;
+    for (std::size_t k = from; k < locks_.size(); ++k) {
+      ids.push_back(locks_[k].id);
+    }
+    return ids;
+  }
+
+  std::string scope_prefix() const {
+    std::string p;
+    for (const auto& s : scopes_) {
+      if ((s.kind == 'n' || s.kind == 't') && !s.name.empty()) {
+        if (!p.empty()) p += "::";
+        p += s.name;
+      }
+    }
+    return p;
+  }
+
+  /// Canonical id for a lock argument: bare member/global names get the
+  /// owning class (or namespace tail) as a prefix so the same mutex
+  /// unifies across that class's methods; dotted expressions get the
+  /// enclosing (non-lambda) function's qualified name, so two instances
+  /// in one function stay distinct while a lambda and its host agree.
+  std::string lock_id(const std::string& arg) const {
+    std::string owner;
+    for (auto it = fn_stack_.rbegin(); it != fn_stack_.rend(); ++it) {
+      const FlowFunction& f = out_[static_cast<std::size_t>(*it)];
+      if (!f.is_lambda) {
+        owner = f.name;
+        break;
+      }
+    }
+    bool bare = !arg.empty();
+    for (char c : arg) {
+      if (!ident_char(c)) bare = false;
+    }
+    if (!bare) return owner.empty() ? arg : owner + "::" + arg;
+    // Bare name: qualify with the class / namespace component just
+    // above the function name.
+    const auto pos = owner.rfind("::");
+    if (pos == std::string::npos) return arg;
+    const std::string qual = owner.substr(0, pos);
+    const auto pos2 = qual.rfind("::");
+    const std::string tail =
+        pos2 == std::string::npos ? qual : qual.substr(pos2 + 2);
+    return tail.empty() ? arg : tail + "::" + arg;
+  }
+
+  // ---- statement state ----------------------------------------------
+
+  void reset_stmt() {
+    qual_.clear();
+    stmt_idents_ = 0;
+    func_cand_.clear();
+    func_cand_bare_.clear();
+    func_line_ = 0;
+    stmt_hot_ = false;
+    stmt_view_type_ = false;
+    is_namespace_ = false;
+    ns_name_.clear();
+    class_name_.clear();
+    class_kw_ = 0;
+    operator_stmt_ = false;
+    eq_seen_ = false;
+    saw_auto_ = false;
+    pending_lambda_ = false;
+    lambda_name_.clear();
+    pending_mutexlock_ = false;
+    finish_return();
+    assign_stage_ = 0;
+    assign_lhs_.clear();
+    loop_body_pending_ = false;
+    loop_kw_pending_ = false;
+    last_ident_.clear();
+  }
+
+  /// Statement ends inside a function: finalize return / assignment.
+  void end_fn_statement() {
+    if (return_active_) {
+      char kind = 0;
+      std::string name;
+      if (return_idents_ == 1 &&
+          (ctx().owner_locals.count(return_first_) ||
+           ctx().owner_params.count(return_first_))) {
+        kind = ctx().owner_locals.count(return_first_) ? 'l' : 'p';
+        name = return_first_;
+      } else if (return_temp_seen_) {
+        kind = 't';
+        name = return_temp_;
+      }
+      if (kind != 0) {
+        fn().view_returns.push_back({return_line_, kind, name});
+      }
+    }
+    if (assign_stage_ == 1 && assign_rhs_idents_ == 1 &&
+        assign_lhs_member_ && ctx().view_params.count(assign_rhs_)) {
+      fn().view_stores.push_back({assign_line_, assign_lhs_, assign_rhs_});
+    }
+    finish_return();
+    assign_stage_ = 0;
+  }
+
+  void finish_return() {
+    return_active_ = false;
+    return_idents_ = 0;
+    return_first_.clear();
+    return_temp_.clear();
+    return_temp_seen_ = false;
+    return_line_ = 0;
+  }
+
+  // ---- lookahead helpers --------------------------------------------
+
+  char next_sig(std::size_t j) const {
+    const std::string& code = f_.code;
+    while (j < code.size() && space_char(code[j])) ++j;
+    return j < code.size() ? code[j] : '\0';
+  }
+
+  std::size_t next_sig_pos(std::size_t j) const {
+    const std::string& code = f_.code;
+    while (j < code.size() && space_char(code[j])) ++j;
+    return j;
+  }
+
+  /// After an owner-type token ending at `end`: classify the shape.
+  /// Returns 'd' (declaration, `name` = the variable), 't' (temporary
+  /// construction `std::string(...)`), or 0 (a bare type mention).
+  char classify_owner_use(std::size_t end, std::string& name) const {
+    const std::string& code = f_.code;
+    std::size_t i = next_sig_pos(end);
+    if (i < code.size() && code[i] == '<') {
+      int depth = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+        if (code[i] == ';' || code[i] == '{') return 0;
+      }
+    }
+    i = next_sig_pos(i);
+    if (i >= code.size()) return 0;
+    if (code[i] == '(') return 't';
+    if (!ident_char(code[i])) return 0;
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    const std::string word = code.substr(i, j - i);
+    if (word == "const") return classify_owner_use(j, name);
+    const char after = next_sig(j);
+    if (after == '(' || after == '{' || after == '=' || after == ';' ||
+        after == ',' || after == ')') {
+      name = word;
+      return 'd';
+    }
+    return 0;
+  }
+
+  /// Consumes a balanced (...) or {...} region starting at `open`,
+  /// counting lines; returns [content-idents, end-pos].
+  std::size_t consume_region(std::size_t open, std::vector<std::string>* idents) {
+    const std::string& code = f_.code;
+    const char oc = code[open];
+    const char cc = oc == '(' ? ')' : '}';
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < code.size(); ++i) {
+      if (code[i] == '\n') ++line_;
+      if (code[i] == oc) ++depth;
+      if (code[i] == cc && --depth == 0) return i + 1;
+      if (idents != nullptr && ident_char(code[i]) &&
+          (i == 0 || !ident_char(code[i - 1]))) {
+        std::size_t j = i;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        idents->push_back(code.substr(i, j - i));
+      }
+    }
+    return code.size();
+  }
+
+  /// Skips a balanced braced region, counting lines.
+  std::size_t skip_braces(std::size_t open) {
+    return consume_region(open, nullptr);
+  }
+
+  std::size_t directive(std::size_t hash) {
+    const std::string& code = f_.code;
+    std::size_t i = hash + 1;
+    while (i < code.size()) {
+      if (code[i] == '\n') {
+        if (i > 0 && code[i - 1] == '\\') {
+          ++line_;
+          ++i;
+          continue;
+        }
+        break;
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  // ---- identifier handling ------------------------------------------
+
+  /// Returns a new scan position when it consumed beyond the token,
+  /// 0 to continue at the token's end.
+  std::size_t on_ident(const std::string& tok, std::size_t start,
+                       std::size_t end) {
+    const std::size_t sigp = next_sig_pos(end);
+    const char next = sigp < f_.code.size() ? f_.code[sigp] : '\0';
+
+    // Qualifier accumulation: `A::` chains glue onto the next token.
+    if (next == ':' && sigp + 1 < f_.code.size() &&
+        f_.code[sigp + 1] == ':') {
+      qual_ += tok + "::";
+      return sigp + 2;
+    }
+    const std::string full = qual_.empty() ? tok : qual_ + tok;
+    const std::string quals = qual_;
+    qual_.clear();
+
+    if (in_function()) {
+      on_fn_ident(tok, full, quals, start, next, sigp);
+    } else {
+      on_decl_ident(tok, full, next);
+    }
+    last_ident_ = tok;
+    return 0;
+  }
+
+  /// Namespace / class scope: function-definition detection.
+  void on_decl_ident(const std::string& tok, const std::string& full,
+                     char next) {
+    if (tok == "operator") {
+      operator_stmt_ = true;
+      return;
+    }
+    if (tok == "namespace") {
+      is_namespace_ = true;
+      return;
+    }
+    if (is_namespace_) {
+      ns_name_ = full;
+      return;
+    }
+    if (tok == "class" || tok == "struct" || tok == "enum" ||
+        tok == "union") {
+      if (class_kw_ == 0 || tok == "class" || tok == "struct") {
+        class_kw_ = tok[0];
+      }
+      class_name_.clear();
+      return;
+    }
+    if (class_kw_ != 0 && class_name_.empty()) {
+      if (tok != "final" && tok != "alignas" && tok != "class" &&
+          !(macro_like(tok) && next == '(')) {
+        class_name_ = tok;
+      }
+      return;
+    }
+    if (post_sig_) {
+      on_post_sig_ident(tok, next);
+      return;
+    }
+    if (in_params_) {
+      on_param_ident(tok, full);
+      return;
+    }
+    if (tok == "GPUVAR_HOT") {
+      stmt_hot_ = true;
+      ++stmt_idents_;
+      return;
+    }
+    if (tok == "span" || tok == "string_view") stmt_view_type_ = true;
+    const bool ctor_shape =
+        !scopes_.empty() && scopes_.back().kind == 't' &&
+        scopes_.back().name == tok;
+    const bool qual_ctor =
+        full.size() >= tok.size() * 2 + 2 &&
+        full.compare(full.size() - (tok.size() * 2 + 2), tok.size() + 2,
+                     "::" + tok) == 0 &&
+        bare_of(full.substr(0, full.size() - tok.size() - 2)) == tok;
+    if (next == '(' && paren_ == scope_base_paren() && func_cand_.empty() &&
+        !eq_seen_ && !operator_stmt_ && !keywords().count(tok) &&
+        (stmt_idents_ >= 1 || ctor_shape || qual_ctor)) {
+      func_cand_ = full;
+      func_cand_bare_ = tok;
+      func_line_ = line_;
+      in_params_ = true;
+      params_base_paren_ = paren_;
+      angle_ = 0;
+      reset_param();
+      pending_view_params_.clear();
+      pending_owner_params_.clear();
+      pending_view_stores_.clear();
+      return;
+    }
+    ++stmt_idents_;
+  }
+
+  void reset_param() {
+    p_view_ = p_owner_ = p_indirect_ = p_frozen_ = false;
+    p_name_.clear();
+  }
+
+  void finish_param() {
+    if (!p_name_.empty() && !p_indirect_) {
+      if (p_view_) pending_view_params_.insert(p_name_);
+      if (p_owner_) pending_owner_params_.insert(p_name_);
+    }
+    reset_param();
+  }
+
+  void on_param_ident(const std::string& tok, const std::string& full) {
+    if (tok == "span" || tok == "string_view") {
+      p_view_ = true;
+      return;
+    }
+    if (owner_types().count(tok) && full == "std::" + tok) {
+      p_owner_ = true;
+      return;
+    }
+    if (!p_frozen_ && angle_ == 0 && !keywords().count(tok)) p_name_ = tok;
+  }
+
+  void on_post_sig_ident(const std::string& tok, char next) {
+    if (tok == "GPUVAR_HOT") stmt_hot_ = true;
+    if (tok == "span" || tok == "string_view") stmt_view_type_ = true;
+    // Ctor-init list: `member_(param)` / `member_{param}` storing a
+    // view parameter into a member that outlives the call.
+    if (!tok.empty() && tok.back() == '_' && (next == '(' || next == '{')) {
+      pending_init_member_ = tok;
+      pending_init_line_ = line_;
+    } else {
+      pending_init_member_.clear();
+    }
+  }
+
+  /// Function scope: event detection.
+  void on_fn_ident(const std::string& tok, const std::string& full,
+                   const std::string& quals, std::size_t start, char next,
+                   std::size_t sigp) {
+    if (tok == "for" || tok == "while") {
+      loop_kw_pending_ = true;
+      loop_paren_ = paren_;
+      return;
+    }
+    if (tok == "do") {
+      loop_body_pending_ = true;
+      return;
+    }
+    if (tok == "auto") {
+      saw_auto_ = true;
+      return;
+    }
+    if (tok == "return") {
+      if (ctx().returns_view) {
+        return_active_ = true;
+        return_line_ = line_;
+      }
+      return;
+    }
+    if (tok == "MutexLock") {
+      pending_mutexlock_ = true;
+      return;
+    }
+    if (pending_mutexlock_) {
+      // `MutexLock var(expr);` — var is this token, expr follows.
+      pending_mutexlock_ = false;
+      if (next == '(') {
+        const std::size_t close = matching_paren_end(f_.code, sigp);
+        if (close != std::string::npos) {
+          std::string arg;
+          for (std::size_t k = sigp + 1; k + 1 < close; ++k) {
+            if (!space_char(f_.code[k])) arg += f_.code[k];
+          }
+          const std::string id = lock_id(arg);
+          fn().locks.push_back({id, line_, in_loop(), held()});
+          locks_.push_back({id, tok});
+        }
+        return;
+      }
+    }
+    if (tok == "new") {
+      fn().allocs.push_back({"new", line_, in_loop()});
+      return;
+    }
+
+    // Owner-type construction: `std::vector<T> name...` (declaration of
+    // an owning local) or `std::string(...)` (temporary).
+    if (owner_types().count(tok) && quals == "std::") {
+      std::string var;
+      const char use = classify_owner_use(sigp > 0 ? sigp : start, var);
+      // classify from the token's end, not the next-sig position.
+      const char use2 = use;
+      (void)use2;
+      if (use == 'd') {
+        fn().allocs.push_back({"std::" + tok, line_, in_loop()});
+        ctx().owner_locals.insert(var);
+      } else if (use == 't') {
+        fn().allocs.push_back({"std::" + tok, line_, in_loop()});
+        if (return_active_) {
+          return_temp_seen_ = true;
+          if (return_temp_.empty()) return_temp_ = "std::" + tok;
+        }
+      }
+    }
+
+    if (io_tokens().count(tok)) {
+      fn().io.push_back({tok, line_, in_loop()});
+    }
+    if (fmt_tokens().count(tok)) {
+      fn().fmt.push_back({tok, line_, in_loop()});
+      if (return_active_ && tok == "to_string") {
+        return_temp_seen_ = true;
+        if (return_temp_.empty()) return_temp_ = "to_string";
+      }
+    }
+
+    const bool member = prev_is_member_access(start);
+    if (return_active_) {
+      ++return_idents_;
+      if (return_idents_ == 1) return_first_ = tok;
+      if (tok == "substr" && member &&
+          (ctx().owner_locals.count(last_ident_) ||
+           ctx().owner_params.count(last_ident_) ||
+           (!last_ident_.empty() && last_ident_.back() == '_'))) {
+        return_temp_seen_ = true;
+        if (return_temp_.empty()) return_temp_ = last_ident_ + ".substr";
+      }
+    }
+    if (assign_stage_ == 1) {
+      ++assign_rhs_idents_;
+      assign_rhs_ = tok;
+    }
+
+    // Early lock release: `lockvar.unlock()`.
+    if (tok == "unlock" && member && next == '(') {
+      for (std::size_t k = locks_.size(); k > 0; --k) {
+        if (locks_[k - 1].var == last_ident_ && !locks_[k - 1].var.empty()) {
+          locks_.erase(locks_.begin() + static_cast<std::ptrdiff_t>(k - 1));
+          break;
+        }
+      }
+    }
+
+    // Call sites. `Type name(` declarations are excluded by the
+    // preceding-character check; unresolvable callees become open
+    // edges in the graph, so over-recording is harmless.
+    if (next == '(' && !keywords().count(tok) && !macro_like(tok)) {
+      const char p = prev_sig_before(start);
+      bool decl_shape =
+          ident_char(p) || p == '>' || p == '&' || p == '*' ||
+          (p == ':' && !prev_is_scope_colon(start));
+      // `return f(...)`, `else f(...)`, `co_yield f(...)`: the
+      // preceding identifier is a statement keyword in value position,
+      // not a type name — this is a call, not a declaration.
+      static const std::set<std::string> value_kw = {
+          "return", "co_return", "co_yield", "co_await", "throw",
+          "else",   "do",        "case",     "and",      "or",
+          "not"};
+      if (ident_char(p) && value_kw.count(last_ident_)) decl_shape = false;
+      if (member || !decl_shape) {
+        fn().calls.push_back({full, line_, in_loop(), member, held()});
+      }
+    }
+
+    if (!keywords().count(tok)) ++stmt_idents_;
+  }
+
+  char prev_sig_before(std::size_t start) const {
+    std::size_t i = start;
+    while (i > 0 && space_char(f_.code[i - 1])) --i;
+    return i > 0 ? f_.code[i - 1] : '\0';
+  }
+
+  bool prev_is_member_access(std::size_t start) const {
+    std::size_t i = start;
+    while (i > 0 && space_char(f_.code[i - 1])) --i;
+    if (i == 0) return false;
+    if (f_.code[i - 1] == '.') {
+      // Not a float literal like `0.5f`.
+      return !(i >= 2 &&
+               std::isdigit(static_cast<unsigned char>(f_.code[i - 2])));
+    }
+    return i >= 2 && f_.code[i - 2] == '-' && f_.code[i - 1] == '>';
+  }
+
+  bool prev_is_scope_colon(std::size_t start) const {
+    std::size_t i = start;
+    while (i > 0 && space_char(f_.code[i - 1])) --i;
+    return i >= 2 && f_.code[i - 1] == ':' && f_.code[i - 2] == ':';
+  }
+
+  // ---- character handling -------------------------------------------
+
+  std::size_t on_char(char c, std::size_t i) {
+    const std::string& code = f_.code;
+    switch (c) {
+      case '(':
+        if (!in_function() && post_sig_ && !pending_init_member_.empty()) {
+          const std::size_t end = consume_init(i);
+          pending_init_member_.clear();
+          prev2_ = prev_;
+          prev_ = ')';
+          return end;
+        }
+        ++paren_;
+        break;
+      case ')':
+        if (paren_ > 0) --paren_;
+        if (in_params_ && paren_ == params_base_paren_) {
+          finish_param();
+          in_params_ = false;
+          post_sig_ = true;
+          pending_init_member_.clear();
+        }
+        if (loop_kw_pending_ && paren_ == loop_paren_) {
+          loop_kw_pending_ = false;
+          loop_body_pending_ = true;
+        }
+        break;
+      case ',':
+        if (in_params_ && angle_ == 0 &&
+            paren_ == params_base_paren_ + 1) {
+          finish_param();
+        }
+        break;
+      case '<':
+        if (in_params_) ++angle_;
+        break;
+      case '>':
+        if (in_params_ && angle_ > 0) --angle_;
+        break;
+      case '&':
+      case '*':
+        if (in_params_ && angle_ == 0) p_indirect_ = true;
+        break;
+      case '=': {
+        const char pc = i > 0 ? code[i - 1] : '\0';
+        const char nc = i + 1 < code.size() ? code[i + 1] : '\0';
+        const bool compound = pc == '=' || pc == '!' || pc == '<' ||
+                              pc == '>' || pc == '+' || pc == '-' ||
+                              pc == '*' || pc == '/' || pc == '%' ||
+                              pc == '&' || pc == '|' || pc == '^' ||
+                              nc == '=';
+        if (in_params_) {
+          p_frozen_ = true;
+        } else if (!compound && paren_ == scope_base_paren()) {
+          eq_seen_ = true;
+          if (in_function()) {
+            if (saw_auto_ && !last_ident_.empty() &&
+                next_sig(i + 1) == '[') {
+              pending_lambda_ = true;
+              lambda_name_ = last_ident_;
+            }
+            if (assign_stage_ == 0 && !last_ident_.empty() &&
+                !pending_lambda_) {
+              assign_lhs_ = last_ident_;
+              assign_lhs_member_ =
+                  last_ident_.back() == '_' || last_assign_memberish(i);
+              assign_line_ = line_;
+              assign_stage_ = 1;
+              assign_rhs_idents_ = 0;
+              assign_rhs_.clear();
+            }
+          }
+        }
+        break;
+      }
+      case '{':
+        return on_open_brace(i);
+      case '}':
+        if (!scopes_.empty()) {
+          const Scope s = scopes_.back();
+          scopes_.pop_back();
+          paren_ = s.base_paren;
+          if (locks_.size() > s.locks_at_entry) {
+            locks_.resize(s.locks_at_entry);
+          }
+          if (s.kind == 'F') {
+            fn_stack_.pop_back();
+            fn_ctx_.pop_back();
+          }
+        }
+        reset_stmt();
+        break;
+      case ';':
+        if (paren_ == scope_base_paren()) {
+          if (in_function()) end_fn_statement();
+          post_sig_ = false;
+          in_params_ = false;
+          reset_stmt();
+        }
+        break;
+      default:
+        break;
+    }
+    prev2_ = prev_;
+    prev_ = c;
+    return i + 1;
+  }
+
+  /// A ctor-init entry `member_(args)`: consume it, record a view store
+  /// when the argument is exactly one view parameter.
+  std::size_t consume_init(std::size_t open) {
+    std::vector<std::string> idents;
+    const std::size_t end = consume_region(open, &idents);
+    if (idents.size() == 1 && pending_view_params_.count(idents[0])) {
+      pending_view_stores_.push_back(
+          {pending_init_line_, pending_init_member_, idents[0]});
+    }
+    return end;
+  }
+
+  std::size_t on_open_brace(std::size_t i) {
+    // Ctor-init `member_{param}` uses braces.
+    if (!in_function() && post_sig_ && !pending_init_member_.empty()) {
+      const std::size_t end = consume_init(i);
+      pending_init_member_.clear();
+      prev2_ = prev_;
+      prev_ = '}';
+      return end;
+    }
+    if (in_function() && pending_lambda_) {
+      open_function(fn().name + "::" + lambda_name_, lambda_name_, true,
+                    false, {}, {});
+      reset_stmt();
+      prev2_ = prev_;
+      prev_ = '{';
+      return i + 1;
+    }
+    if (!in_function() && post_sig_ && !func_cand_.empty() && !eq_seen_) {
+      const std::string prefix = scope_prefix();
+      const std::string name =
+          prefix.empty() ? func_cand_ : prefix + "::" + func_cand_;
+      open_function(name, func_cand_bare_, false, stmt_hot_,
+                    pending_view_params_, pending_owner_params_);
+      ctx().returns_view = stmt_view_type_;
+      for (const auto& vs : pending_view_stores_) {
+        fn().view_stores.push_back(vs);
+      }
+      post_sig_ = false;
+      reset_stmt();
+      prev2_ = prev_;
+      prev_ = '{';
+      return i + 1;
+    }
+    if (!in_function() && is_namespace_) {
+      push_scope('n', ns_name_);
+    } else if (!in_function() && !class_name_.empty()) {
+      push_scope('t', class_name_);
+    } else if (eq_seen_) {
+      // Braced initializer: skip the balanced region; the statement
+      // continues to ';'.
+      const std::size_t end = skip_braces(i);
+      prev2_ = prev_;
+      prev_ = '}';
+      return end;
+    } else if (in_function() && loop_body_pending_) {
+      loop_body_pending_ = false;
+      push_scope('l', "");
+    } else {
+      push_scope('b', "");
+    }
+    reset_stmt();
+    prev2_ = prev_;
+    prev_ = '{';
+    return i + 1;
+  }
+
+  void push_scope(char kind, const std::string& name) {
+    scopes_.push_back({kind, name, paren_, locks_.size()});
+  }
+
+  void open_function(const std::string& name, const std::string& bare,
+                     bool lambda, bool hot,
+                     const std::set<std::string>& view_params,
+                     const std::set<std::string>& owner_params) {
+    FlowFunction f;
+    f.name = name;
+    f.bare = bare;
+    f.line = lambda ? line_ : func_line_;
+    f.hot = hot;
+    f.is_lambda = lambda;
+    out_.push_back(std::move(f));
+    push_scope('F', "");
+    fn_stack_.push_back(static_cast<int>(out_.size()) - 1);
+    FnCtx c;
+    c.view_params = view_params;
+    c.owner_params = owner_params;
+    fn_ctx_.push_back(std::move(c));
+  }
+
+  /// Whether the token feeding an `=` was a member access (`x.f = ...`).
+  bool last_assign_memberish(std::size_t eq_pos) const {
+    // Walk back over the identifier before '=' and check what precedes.
+    std::size_t i = eq_pos;
+    while (i > 0 && space_char(f_.code[i - 1])) --i;
+    while (i > 0 && ident_char(f_.code[i - 1])) --i;
+    return prev_is_member_access(i);
+  }
+
+  const SourceFile& f_;
+  std::vector<FlowFunction> out_;
+  std::vector<Scope> scopes_;
+  std::vector<int> fn_stack_;
+  std::vector<FnCtx> fn_ctx_;
+  std::vector<ActiveLock> locks_;
+  int line_ = 1;
+  int paren_ = 0;
+  char prev_ = '\0', prev2_ = '\0';
+
+  // Declaration-detection state (outside functions).
+  std::string qual_;
+  int stmt_idents_ = 0;
+  std::string func_cand_, func_cand_bare_;
+  int func_line_ = 0;
+  bool stmt_hot_ = false, stmt_view_type_ = false;
+  bool is_namespace_ = false, operator_stmt_ = false;
+  std::string ns_name_, class_name_;
+  char class_kw_ = 0;
+  bool eq_seen_ = false;
+  bool in_params_ = false, post_sig_ = false;
+  int params_base_paren_ = 0, angle_ = 0;
+  bool p_view_ = false, p_owner_ = false, p_indirect_ = false,
+       p_frozen_ = false;
+  std::string p_name_;
+  std::set<std::string> pending_view_params_, pending_owner_params_;
+  std::vector<FlowViewStore> pending_view_stores_;
+  std::string pending_init_member_;
+  int pending_init_line_ = 0;
+
+  // Function-scope statement state.
+  bool loop_kw_pending_ = false, loop_body_pending_ = false;
+  int loop_paren_ = -1;
+  bool saw_auto_ = false, pending_lambda_ = false;
+  std::string lambda_name_;
+  bool pending_mutexlock_ = false;
+  bool return_active_ = false, return_temp_seen_ = false;
+  int return_line_ = 0, return_idents_ = 0;
+  std::string return_first_, return_temp_;
+  int assign_stage_ = 0, assign_rhs_idents_ = 0, assign_line_ = 0;
+  std::string assign_lhs_, assign_rhs_;
+  bool assign_lhs_member_ = false;
+  std::string last_ident_;
+};
+
+}  // namespace
+
+std::vector<FlowFunction> scan_flow(const SourceFile& f) {
+  return FlowScanner(f).run();
+}
+
+namespace {
+
+bool name_suffix_match(const std::string& qualified,
+                       const std::string& callee) {
+  if (qualified == callee) return true;
+  return qualified.size() > callee.size() + 2 &&
+         qualified.compare(qualified.size() - callee.size() - 2,
+                           callee.size() + 2, "::" + callee) == 0;
+}
+
+}  // namespace
+
+FlowGraph build_call_graph(const Tree& tree) {
+  FlowGraph g;
+  for (const auto& file : tree.files) {
+    for (const auto& fn : file.functions) {
+      g.nodes.push_back({&fn, file.rel});
+    }
+  }
+  const std::size_t n = g.nodes.size();
+
+  std::map<std::string, std::vector<int>> by_bare;
+  for (std::size_t i = 0; i < n; ++i) {
+    by_bare[g.nodes[i].fn->bare].push_back(static_cast<int>(i));
+  }
+
+  g.callee.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowGraph::Node& node = g.nodes[i];
+    for (const auto& call : node.fn->calls) {
+      const std::string bare = bare_of(call.callee);
+      int target = -1;
+      const auto it = by_bare.find(bare);
+      if (it != by_bare.end()) {
+        if (bare != call.callee) {
+          // Qualified: unique suffix match tree-wide.
+          int found = -1;
+          int matches = 0;
+          for (int cand : it->second) {
+            if (name_suffix_match(g.nodes[static_cast<std::size_t>(cand)]
+                                      .fn->name,
+                                  call.callee)) {
+              found = cand;
+              ++matches;
+            }
+          }
+          if (matches == 1) target = found;
+        } else {
+          // Unqualified: the caller's own named lambda first, then a
+          // unique same-file definition, then a unique tree-wide one.
+          int own = -1, own_n = 0, local = -1, local_n = 0;
+          for (int cand : it->second) {
+            const auto& cn = g.nodes[static_cast<std::size_t>(cand)];
+            if (cn.file == node.file) {
+              local = cand;
+              ++local_n;
+              if (cn.fn->name == node.fn->name + "::" + bare) {
+                own = cand;
+                ++own_n;
+              }
+            }
+          }
+          if (own_n == 1) {
+            target = own;
+          } else if (local_n == 1) {
+            target = local;
+          } else if (local_n == 0 && it->second.size() == 1) {
+            target = it->second[0];
+          }
+        }
+      }
+      if (target < 0) ++g.open_edges;
+      g.callee[i].push_back(target);
+    }
+  }
+
+  // Direct effects, then a fixpoint over resolved edges. The iteration
+  // order is index order and the merge is monotone, so the result is
+  // deterministic regardless of graph shape.
+  g.effects.resize(n);
+  std::vector<std::set<std::string>> acq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowFunction& fn = *g.nodes[i].fn;
+    g.effects[i].allocates = !fn.allocs.empty();
+    g.effects[i].formats = !fn.fmt.empty();
+    for (const auto& call : fn.calls) {
+      if (is_wait_name(bare_of(call.callee))) g.effects[i].waits = true;
+    }
+    for (const auto& lk : fn.locks) acq[i].insert(lk.lock);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < g.callee[i].size(); ++c) {
+        const int t = g.callee[i][c];
+        if (t < 0) continue;
+        const auto& te = g.effects[static_cast<std::size_t>(t)];
+        auto& e = g.effects[i];
+        if (te.allocates && !e.allocates) e.allocates = changed = true;
+        if (te.waits && !e.waits) e.waits = changed = true;
+        if (te.formats && !e.formats) e.formats = changed = true;
+        for (const auto& lk : acq[static_cast<std::size_t>(t)]) {
+          if (acq[i].insert(lk).second) changed = true;
+        }
+      }
+    }
+  }
+  g.acquired.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.acquired[i].assign(acq[i].begin(), acq[i].end());
+  }
+  return g;
+}
+
+}  // namespace gpuvar::analyzer

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core.hpp"
+#include "flow.hpp"
 
 namespace gpuvar::analyzer {
 
@@ -89,6 +90,9 @@ struct FileSummary {
   bool declares_operator = false;
   /// Findings from the file-local passes, before suppressions.
   std::vector<Finding> local_findings;
+  /// Function definitions with flow events (scan_flow), serialized
+  /// into the scan cache; input to the tree-level flow passes.
+  std::vector<FlowFunction> functions;
 
   bool in_src() const { return top == "src"; }
 };

@@ -1,0 +1,125 @@
+// Hot-path hygiene: the closure of GPUVAR_HOT functions over resolved
+// call edges (BFS from every annotated definition) must stay cheap.
+//
+//   alloc-in-hot-loop        heap allocation lexically inside a loop,
+//                            or an in-loop call to a helper whose
+//                            transitive effects include allocation
+//   lock-in-hot-path         MutexLock anywhere in the closure
+//   io-in-hot-path           stream/stdio tokens anywhere
+//   string-format-in-hot-loop  formatting inside a loop (directly or
+//                            via an in-loop call to a formatting helper)
+//
+// Open edges are never traversed: a helper the graph cannot resolve is
+// outside the closure, so the pass under-reports rather than guesses.
+#include <string>
+#include <vector>
+
+#include "core.hpp"
+#include "flow.hpp"
+#include "index.hpp"
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+bool src_file(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0;
+}
+
+std::string bare_of(const std::string& name) {
+  const auto pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+}  // namespace
+
+void run_hotpath_pass(const Tree& tree, const FlowGraph& graph,
+                      std::vector<Finding>& findings) {
+  (void)tree;
+  const std::size_t n = graph.nodes.size();
+  std::vector<char> hot(n, 0);
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (graph.nodes[i].fn->hot && src_file(graph.nodes[i].file)) {
+      hot[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t i = queue.back();
+    queue.pop_back();
+    for (const int t : graph.callee[i]) {
+      if (t >= 0 && !hot[static_cast<std::size_t>(t)]) {
+        hot[static_cast<std::size_t>(t)] = 1;
+        queue.push_back(static_cast<std::size_t>(t));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!hot[i] || !src_file(graph.nodes[i].file)) continue;
+    const auto& node = graph.nodes[i];
+    const FlowFunction& fn = *node.fn;
+    const std::string where =
+        fn.hot ? "in hot function '" + fn.name + "'"
+               : "in '" + fn.name +
+                     "' on a hot path (reached from a GPUVAR_HOT "
+                     "function)";
+    const auto emit = [&](int line, const std::string& rule,
+                          const std::string& what,
+                          const std::string& symbol) {
+      Finding fd;
+      fd.file = node.file;
+      fd.line = line;
+      fd.rule = rule;
+      fd.symbol = symbol;
+      fd.message = what + " " + where;
+      findings.push_back(std::move(fd));
+    };
+
+    for (const auto& a : fn.allocs) {
+      if (a.in_loop) {
+        emit(a.line, "alloc-in-hot-loop",
+             "heap allocation (" + a.what + ") inside a loop", fn.name);
+      }
+    }
+    for (const auto& lk : fn.locks) {
+      emit(lk.line, "lock-in-hot-path",
+           "mutex acquisition ('" + lk.lock + "')", fn.name);
+    }
+    for (const auto& io : fn.io) {
+      emit(io.line, "io-in-hot-path", "IO (" + io.what + ")", fn.name);
+    }
+    for (const auto& f : fn.fmt) {
+      if (f.in_loop) {
+        emit(f.line, "string-format-in-hot-loop",
+             "string formatting (" + f.what + ") inside a loop",
+             fn.name);
+      }
+    }
+    // In-loop calls into helpers that allocate / format: the cost is
+    // paid here, once per iteration, so the finding anchors at the
+    // call site.
+    for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+      const FlowCall& call = fn.calls[c];
+      if (!call.in_loop) continue;
+      const int t = graph.callee[i][c];
+      if (t < 0) continue;
+      const auto& eff = graph.effects[static_cast<std::size_t>(t)];
+      const std::string sym = fn.name + "->" + bare_of(call.callee);
+      if (eff.allocates) {
+        emit(call.line, "alloc-in-hot-loop",
+             "call to '" + call.callee + "' (which allocates) inside a "
+             "loop", sym);
+      }
+      if (eff.formats) {
+        emit(call.line, "string-format-in-hot-loop",
+             "call to '" + call.callee + "' (which formats strings) "
+             "inside a loop", sym);
+      }
+    }
+  }
+}
+
+}  // namespace gpuvar::analyzer

@@ -1,0 +1,138 @@
+// Lock discipline over the flow call graph.
+//
+// The order relation is built from two sources, both per call-graph
+// node: (1) a MutexLock site's held_before set — every held lock is
+// ordered before the newly acquired one — and (2) a call made with
+// locks held into a callee whose transitive acquired set is known —
+// every held lock is ordered before every lock the callee can take.
+// Open edges contribute nothing (sound-by-admission): a cycle can be
+// missed through a call the graph cannot resolve, never invented.
+//
+// lock-cycle fires once per unordered lock pair seen in both orders,
+// anchored at the lexicographically-first witness site so the finding
+// is stable across scan order and thread count.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core.hpp"
+#include "flow.hpp"
+#include "index.hpp"
+#include "passes.hpp"
+
+namespace gpuvar::analyzer {
+
+namespace {
+
+bool src_file(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0;
+}
+
+std::string bare_of(const std::string& name) {
+  const auto pos = name.rfind("::");
+  return pos == std::string::npos ? name : name.substr(pos + 2);
+}
+
+bool wait_name(const std::string& bare) {
+  return bare == "submit" || bare == "wait_idle" || bare == "parallel_for";
+}
+
+struct Witness {
+  std::string file;
+  int line = 0;
+  std::string fn;
+};
+
+bool earlier(const Witness& a, const Witness& b) {
+  return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+}
+
+}  // namespace
+
+void run_lockorder_pass(const Tree& tree, const FlowGraph& graph,
+                        std::vector<Finding>& findings) {
+  (void)tree;
+  // (held, acquired) -> first witness.
+  std::map<std::pair<std::string, std::string>, Witness> order;
+  const auto record = [&order](const std::string& held,
+                               const std::string& acquired,
+                               const Witness& w) {
+    if (held == acquired) return;
+    auto [it, inserted] = order.emplace(std::make_pair(held, acquired), w);
+    if (!inserted && earlier(w, it->second)) it->second = w;
+  };
+
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const auto& node = graph.nodes[i];
+    if (!src_file(node.file)) continue;
+    const FlowFunction& fn = *node.fn;
+    for (const auto& lk : fn.locks) {
+      for (const auto& held : lk.held_before) {
+        record(held, lk.lock, {node.file, lk.line, fn.name});
+      }
+    }
+    for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+      const FlowCall& call = fn.calls[c];
+      if (call.locks_held.empty()) continue;
+      const int t = graph.callee[i][c];
+      if (t >= 0) {
+        for (const auto& acq :
+             graph.acquired[static_cast<std::size_t>(t)]) {
+          for (const auto& held : call.locks_held) {
+            record(held, acq, {node.file, call.line, fn.name});
+          }
+        }
+      }
+      // lock-held-across-wait: the callee is a pool wait point, or
+      // transitively reaches one.
+      const bool waits =
+          wait_name(bare_of(call.callee)) ||
+          (t >= 0 && graph.effects[static_cast<std::size_t>(t)].waits);
+      if (waits) {
+        std::string held_list;
+        for (const auto& held : call.locks_held) {
+          if (!held_list.empty()) held_list += ", ";
+          held_list += "'" + held + "'";
+        }
+        Finding fd;
+        fd.file = node.file;
+        fd.line = call.line;
+        fd.rule = "lock-held-across-wait";
+        fd.symbol = fn.name + "->" + bare_of(call.callee);
+        fd.message = "lock " + held_list + " held across '" +
+                     call.callee +
+                     "' — a pool worker that needs it deadlocks the "
+                     "pool (release before dispatching)";
+        findings.push_back(std::move(fd));
+      }
+    }
+  }
+
+  // Inconsistent pairwise order -> one finding per unordered pair.
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const auto& [pair, w] : order) {
+    const auto rev = order.find({pair.second, pair.first});
+    if (rev == order.end()) continue;
+    const std::string a = std::min(pair.first, pair.second);
+    const std::string b = std::max(pair.first, pair.second);
+    if (!reported.insert({a, b}).second) continue;
+    const Witness& first = earlier(w, rev->second) ? w : rev->second;
+    const Witness& other = earlier(w, rev->second) ? rev->second : w;
+    Finding fd;
+    fd.file = first.file;
+    fd.line = first.line;
+    fd.rule = "lock-cycle";
+    fd.symbol = a + "<->" + b;
+    fd.message = "locks '" + a + "' and '" + b +
+                 "' are acquired in both orders (here in '" + first.fn +
+                 "', opposite order in '" + other.fn + "' at " +
+                 other.file + ":" + std::to_string(other.line) +
+                 ") — a deadlock window once both paths run concurrently";
+    findings.push_back(std::move(fd));
+  }
+}
+
+}  // namespace gpuvar::analyzer

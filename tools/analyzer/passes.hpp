@@ -18,7 +18,7 @@
 
 #include "core.hpp"
 #include "fix.hpp"
-namespace gpuvar::analyzer { struct SymbolIndex; struct Tree; }  // was: #include "index.hpp"
+namespace gpuvar::analyzer { struct SymbolIndex; struct Tree; struct FlowGraph; }  // was: #include "index.hpp"
 
 namespace gpuvar::analyzer {
 
@@ -73,6 +73,31 @@ void run_include_pass(const Tree& tree, const SymbolIndex& index,
 /// for downstream users) is allowlisted in pass_deadcode.cpp.
 void run_deadcode_pass(const Tree& tree, const SymbolIndex& index,
                        std::vector<Finding>& findings);
+
+/// Lock discipline over the flow call graph (src/ only): lock-cycle
+/// (two locks acquired in opposite orders on different paths — the
+/// per-function held_before sets plus transitive acquired sets of
+/// callees yield the pairwise order relation) and lock-held-across-wait
+/// (a call made with a lock held whose callee is — or transitively
+/// reaches — ThreadPool::submit/wait_idle/parallel_for).
+void run_lockorder_pass(const Tree& tree, const FlowGraph& graph,
+                        std::vector<Finding>& findings);
+
+/// Hot-path hygiene (src/ only): the closure of GPUVAR_HOT functions
+/// over resolved call edges must not allocate in loops
+/// (alloc-in-hot-loop — directly or by calling an allocating helper
+/// from a loop), take locks (lock-in-hot-path), do stream/stdio IO
+/// (io-in-hot-path), or format strings in loops
+/// (string-format-in-hot-loop).
+void run_hotpath_pass(const Tree& tree, const FlowGraph& graph,
+                      std::vector<Finding>& findings);
+
+/// Intraprocedural span/string_view lifetime (src/ only, file-local —
+/// runs during the scan and caches like any file-local pass):
+/// dangling-span on returning a view bound to an owning local,
+/// by-value owner parameter, or temporary, and on storing a view
+/// parameter into a member (`name_ = p`, ctor-init `name_(p)`).
+void run_lifetime_pass(const Repo& repo, std::vector<Finding>& findings);
 
 /// DOT dump of the module-level include graph (for DESIGN.md). Nodes
 /// and edges are emitted from explicitly sorted vectors so the output

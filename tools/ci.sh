@@ -12,6 +12,9 @@
 #   tools/ci.sh bench-smoke    micro_frame_bench smoke run (records/sec for
 #                              column extraction, per-GPU aggregation, and
 #                              frame build); archives BENCH_frame.json
+#   tools/ci.sh bench-guard    rerun the micro benches and compare against
+#                              the committed bench/BENCH_*.json reference
+#                              at a ~2x tolerance
 #   tools/ci.sh obs-smoke      end-to-end observability check: a small
 #                              `gpuvar simulate --trace --metrics` campaign,
 #                              JSON validation, artifacts archived under
@@ -66,13 +69,16 @@ job_tsan() {
 }
 
 job_analyzer() {
-  echo "=== job: analyzer (gpuvar-analyzer, JSON + SARIF + DOT archived) ==="
+  echo "=== job: analyzer (gpuvar-analyzer, ratchet + JSON/SARIF/DOT) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target gpuvar_analyzer
   rm -f build-ci/analyzer-cache.txt
   local t0 t1 t2
   t0=$(date +%s%N)
+  # The findings ratchet: any fingerprint not in the committed baseline
+  # fails the run, so the debt can only shrink.
   ./build-ci/tools/gpuvar-analyzer . \
+    --baseline docs/analyzer_baseline.json \
     --json build-ci/gpuvar-analyzer.json \
     --sarif build-ci/gpuvar-analyzer.sarif \
     --dot build-ci/include_graph.dot \
@@ -81,12 +87,21 @@ job_analyzer() {
   # Warm second run through the scan cache: findings must be
   # byte-identical, and the cache should make it visibly faster.
   ./build-ci/tools/gpuvar-analyzer . \
+    --baseline docs/analyzer_baseline.json \
     --json build-ci/gpuvar-analyzer.warm.json \
     --sarif build-ci/gpuvar-analyzer.warm.sarif \
     --cache build-ci/analyzer-cache.txt
   t2=$(date +%s%N)
   cmp build-ci/gpuvar-analyzer.json build-ci/gpuvar-analyzer.warm.json
   cmp build-ci/gpuvar-analyzer.sarif build-ci/gpuvar-analyzer.warm.sarif
+  # A fixed finding auto-shrinks the baseline file; the shrunk version
+  # must be committed, not left dirty on the CI checkout.
+  if command -v git > /dev/null 2>&1 && [ -d .git ]; then
+    git diff --exit-code -- docs/analyzer_baseline.json || {
+      echo "baseline shrank: commit the updated docs/analyzer_baseline.json"
+      return 1
+    }
+  fi
   echo "analyzer cache: cold $(( (t1 - t0) / 1000000 ))ms," \
        "warm $(( (t2 - t1) / 1000000 ))ms, findings byte-identical"
   echo "analyzer report: build-ci/gpuvar-analyzer.json (+ .sarif)"
@@ -108,6 +123,61 @@ job_bench_smoke() {
     --benchmark_out_format=json
   echo "frame bench report: build-ci/BENCH_frame.json"
   echo "analyzer bench report: build-ci/BENCH_analyzer.json"
+}
+
+job_bench_guard() {
+  echo "=== job: bench-guard (fresh micro benches vs committed reference) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
+    --target micro_analyzer_bench
+  if ! command -v python3 > /dev/null 2>&1; then
+    echo "python3 unavailable; skipping bench comparison"
+    return 0
+  fi
+  ./build-ci/bench/micro_frame_bench \
+    --benchmark_out=build-ci/BENCH_frame.guard.json \
+    --benchmark_out_format=json
+  ./build-ci/bench/micro_analyzer_bench \
+    --benchmark_out=build-ci/BENCH_analyzer.guard.json \
+    --benchmark_out_format=json
+  # Coarse regression tripwire, not a tuned perf gate: a fresh run more
+  # than ~2x slower than the committed reference on any benchmark fails.
+  # CI hosts vary, so the tolerance is wide; refresh the reference with
+  #   tools/ci.sh bench-smoke && cp build-ci/BENCH_*.json bench/
+  python3 - \
+    bench/BENCH_frame.json build-ci/BENCH_frame.guard.json \
+    bench/BENCH_analyzer.json build-ci/BENCH_analyzer.guard.json <<'EOF'
+import json
+import sys
+
+TOLERANCE = 2.0
+failed = False
+for ref_path, fresh_path in zip(sys.argv[1::2], sys.argv[2::2]):
+    with open(ref_path) as f:
+        ref = {b["name"]: b for b in json.load(f)["benchmarks"]}
+    with open(fresh_path) as f:
+        fresh = {b["name"]: b for b in json.load(f)["benchmarks"]}
+    missing = sorted(set(ref) - set(fresh))
+    if missing:
+        print(f"FAIL {fresh_path}: benchmarks gone: {', '.join(missing)}")
+        failed = True
+    common = sorted(set(ref) & set(fresh))
+    if not common:
+        print(f"FAIL {fresh_path}: no benchmarks in common with {ref_path}")
+        failed = True
+    for name in common:
+        r, g = ref[name]["real_time"], fresh[name]["real_time"]
+        ratio = g / r if r > 0 else float("inf")
+        if ratio > TOLERANCE:
+            print(f"FAIL {name}: {g:.0f}ns vs reference {r:.0f}ns "
+                  f"({ratio:.2f}x > {TOLERANCE}x)")
+            failed = True
+        elif ratio < 1.0 / TOLERANCE:
+            print(f"note {name}: {ratio:.2f}x of reference — "
+                  f"consider refreshing bench/{ref_path.split('/')[-1]}")
+sys.exit(1 if failed else 0)
+EOF
+  echo "bench-guard: all benchmarks within tolerance of bench/BENCH_*.json"
 }
 
 job_obs_smoke() {
@@ -164,12 +234,14 @@ case "${1:-all}" in
   tsan) job_tsan ;;
   analyzer) job_analyzer ;;
   bench-smoke) job_bench_smoke ;;
+  bench-guard) job_bench_guard ;;
   obs-smoke) job_obs_smoke ;;
   thread-safety) job_thread_safety ;;
   all)
     job_build
     job_analyzer
     job_bench_smoke
+    job_bench_guard
     job_obs_smoke
     job_thread_safety
     job_asan
@@ -177,7 +249,7 @@ case "${1:-all}" in
     echo "=== all CI jobs passed ==="
     ;;
   *)
-    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|obs-smoke|thread-safety|all]" >&2
+    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|bench-guard|obs-smoke|thread-safety|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,48 @@
+// Hotpath-pass fixture: one GPUVAR_HOT function with every hot-path
+// sin, plus a helper it calls so the alloc effect must propagate over
+// the call graph. cold_reduce() is the decoy: it repeats every pattern
+// without the annotation and must stay silent, as must the fn-scope
+// (non-loop) allocation in sorted_total and the string below naming
+// GPUVAR_HOT.
+namespace gpuvar {
+namespace {
+
+double sorted_total(std::span<const double> xs) {
+  std::vector<double> copy(xs.begin(), xs.end());  // fn scope: no finding
+  copy.push_back(0.0);  // decoy: reuse, not an allocation trigger
+  return copy.empty() ? 0.0 : copy.front();
+}
+
+}  // namespace
+
+GPUVAR_HOT double hot_reduce(std::span<const double> xs) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<double> scratch;  // firing 1: alloc-in-hot-loop (direct)
+    total = total + sorted_total(xs);  // firing 2: callee allocates
+    scratch.push_back(total);
+  }
+  MutexLock lock(stats_mu);  // firing 3: lock-in-hot-path
+  printf("%f", total);       // firing 4: io-in-hot-path
+  for (int i = 0; i < 3; ++i) {
+    track(std::to_string(i));  // firing 5: string-format-in-hot-loop
+  }
+  return total;
+}
+
+double cold_reduce(std::span<const double> xs) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<double> scratch;  // decoy: not on a hot path
+    total = total + sorted_total(xs);
+    scratch.push_back(total);
+  }
+  MutexLock lock(stats_mu);
+  printf("%f", total);
+  for (int i = 0; i < 3; ++i) {
+    track(std::to_string(i));
+  }
+  return total + 0.0;  // "GPUVAR_HOT in a string is not an annotation"
+}
+
+}  // namespace gpuvar

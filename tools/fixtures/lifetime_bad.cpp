@@ -1,0 +1,40 @@
+// Lifetime-pass fixture: four dangling-span firings — a view bound to
+// an owning local, to a by-value owner parameter, to a temporary, and
+// a view parameter stored into a member via a ctor-init. The decoys
+// must stay silent: passing a view through unchanged, viewing an
+// owner taken by reference (the caller's storage), and returning a
+// long-lived member.
+namespace gpuvar {
+
+std::string_view leak_local() {
+  std::string s = build_name();
+  return s;  // firing 1: local owner dies at return
+}
+
+std::string_view leak_param(std::string text) {
+  return text;  // firing 2: by-value owner parameter dies at return
+}
+
+std::string_view leak_temp() {
+  return std::to_string(42);  // firing 3: temporary dies with the statement
+}
+
+class Label {
+ public:
+  explicit Label(std::string_view text) : text_(text) {}  // firing 4: stored view param
+
+  std::string_view text() const { return text_; }  // decoy: member outlives us
+
+ private:
+  std::string_view text_;
+};
+
+std::string_view pass_through(std::string_view v) {
+  return v;  // decoy: a view in, a view out — caller owns the storage
+}
+
+std::span<const double> view_of(const std::vector<double>& xs) {
+  return xs;  // decoy: by-reference owner — the caller's storage
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,18 @@
+// The dispatch helper registry.cpp calls while holding a lock: it
+// reaches ThreadPool::wait_idle, so the lockorder pass must propagate
+// the waits effect across this TU boundary. safe_dispatch() is a
+// decoy: it takes and releases its own lock before waiting.
+namespace gpuvar {
+
+void run_tasks(ThreadPool& pool) {
+  pool.wait_idle();
+}
+
+void safe_dispatch(ThreadPool& pool, Mutex& m) {
+  {
+    MutexLock guard(m);
+  }
+  pool.wait_idle();  // decoy: no lock held here
+}
+
+}  // namespace gpuvar

@@ -1,0 +1,61 @@
+// Lockorder-pass fixture: one deliberate lock-order inversion and one
+// lock held across a pool dispatch (through a helper in pool_util.cpp,
+// so the finding needs the cross-TU call graph). Everything else is a
+// decoy that must NOT fire:
+//   * tally() repeats add()'s acquisition order — consistent, no cycle;
+//   * flush_unlocked() releases before dispatching;
+//   * the words lock-cycle and MutexLock appear in comments and the
+//     string below, where stripping must hide them.
+namespace gpuvar {
+
+class Registry {
+ public:
+  void add(int v);
+  void drain();
+  void tally();
+  void flush();
+  void flush_unlocked();
+
+ private:
+  int items_ GPUVAR_GUARDED_BY(mu_a_);
+  int count_ GPUVAR_GUARDED_BY(mu_b_);
+  Mutex mu_a_;
+  Mutex mu_b_;
+  ThreadPool pool_;
+};
+
+void Registry::add(int v) {
+  MutexLock a(mu_a_);
+  MutexLock b(mu_b_);  // order here: mu_a_ before mu_b_
+  items_ = v;
+  count_ = v;
+}
+
+void Registry::drain() {
+  MutexLock b(mu_b_);
+  MutexLock a(mu_a_);  // firing 1: opposite order -> lock-cycle
+  items_ = count_;
+}
+
+void Registry::tally() {
+  MutexLock a(mu_a_);
+  MutexLock b(mu_b_);  // decoy: same order as add(), no new cycle
+  count_ = items_;
+}
+
+void Registry::flush() {
+  MutexLock a(mu_a_);
+  run_tasks(pool_);  // firing 2: helper reaches wait_idle -> held-across-wait
+}
+
+void Registry::flush_unlocked() {
+  MutexLock a(mu_a_);
+  a.unlock();        // decoy: released before the dispatch
+  run_tasks(pool_);
+}
+
+const char* registry_doc() {
+  return "MutexLock a(mu_b_); MutexLock b(mu_a_); // string decoy";
+}
+
+}  // namespace gpuvar

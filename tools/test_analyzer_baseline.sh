@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Findings-ratchet contract, on a one-file tree built from the hotpath
+# fixture:
+#   no baseline:    findings fail the run (absent file = empty baseline)
+#   --baseline-write: records fingerprints, exits 0
+#   warm:           same findings are all baselined, exits 0
+#   fix a sin:      the disappeared fingerprint auto-shrinks the file
+#   add a sin:      a fingerprint not in the baseline fails the run
+# Fingerprints are rule+file+symbol, so the added sin must be a new
+# function (new symbol), and pure line shifts must NOT trip the ratchet.
+# Usage: test_analyzer_baseline.sh <analyzer> <hotpath_fixture> <work_dir>
+set -euo pipefail
+
+BIN=$1
+FIXTURE=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK/src/core"
+cp "$FIXTURE" "$WORK/src/core/hotpath_bad.cpp"
+BASE="$WORK/baseline.json"
+
+fail() {
+  echo "FAIL: $1"
+  exit 1
+}
+
+# 1. Absent baseline file = empty baseline: every finding is new.
+"$BIN" "$WORK" --baseline "$BASE" > /dev/null && \
+  fail "new findings against an empty baseline must exit 1"
+[ ! -e "$BASE" ] || fail "a failing ratchet run must not create the baseline"
+
+# 2. Record the current findings.
+"$BIN" "$WORK" --baseline "$BASE" --baseline-write > /dev/null || \
+  fail "--baseline-write must exit 0"
+[ -s "$BASE" ] || fail "--baseline-write must create the baseline file"
+grep -q '"io-in-hot-path"' "$BASE" || fail "baseline records io-in-hot-path"
+
+# 3. Same tree, same baseline: nothing new.
+"$BIN" "$WORK" --baseline "$BASE" > /dev/null || \
+  fail "baselined findings must exit 0"
+
+# 4. Pure line shift: prepend a comment block. Fingerprints are
+#    line-independent, so the ratchet must stay green without rewrite.
+sed -i '1i // shifted\n// shifted again' "$WORK/src/core/hotpath_bad.cpp"
+"$BIN" "$WORK" --baseline "$BASE" > /dev/null || \
+  fail "a pure line shift must not trip the ratchet"
+
+# 5. Fix a sin: drop the printf. Its fingerprint disappears and the
+#    baseline auto-shrinks so the debt can never silently come back.
+sed -i '/printf/d' "$WORK/src/core/hotpath_bad.cpp"
+"$BIN" "$WORK" --baseline "$BASE" > /dev/null || \
+  fail "fixing a baselined finding must exit 0"
+grep -q '"io-in-hot-path"' "$BASE" && \
+  fail "fixed fingerprint must be auto-removed from the baseline"
+
+# 6. Reintroducing the fixed sin is now a new finding again.
+cat >> "$WORK/src/core/hotpath_bad.cpp" <<'SRC'
+namespace gpuvar {
+GPUVAR_HOT void hot_log(double v) {
+  printf("%f", v);
+}
+}  // namespace gpuvar
+SRC
+"$BIN" "$WORK" --baseline "$BASE" > /dev/null && \
+  fail "a new fingerprint must exit 1"
+
+echo "baseline ratchet OK"

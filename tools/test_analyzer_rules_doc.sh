@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# docs/rules.md is generated from the rule registry; this keeps the
+# committed copy in lockstep with the binary so the docs can never
+# describe a rule set the analyzer doesn't enforce.
+# Usage: test_analyzer_rules_doc.sh <analyzer> <rules_md> <work_dir>
+set -euo pipefail
+
+BIN=$1
+DOC=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$BIN" --list-rules > "$WORK/rules.txt" || \
+  { echo "FAIL: --list-rules must exit 0"; exit 1; }
+grep -q 'lock-cycle' "$WORK/rules.txt" || \
+  { echo "FAIL: --list-rules lists lock-cycle"; exit 1; }
+
+"$BIN" --list-rules --markdown > "$WORK/rules.md" || \
+  { echo "FAIL: --list-rules --markdown must exit 0"; exit 1; }
+
+if ! cmp -s "$WORK/rules.md" "$DOC"; then
+  echo "FAIL: $DOC is stale — regenerate with:"
+  echo "  gpuvar-analyzer --list-rules --markdown > docs/rules.md"
+  diff -u "$DOC" "$WORK/rules.md" | head -20 || true
+  exit 1
+fi
+
+echo "rules doc OK"

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# SARIF 2.1.0 shape contract: the --sarif report must parse as JSON and
+# carry the structure CI annotators rely on — schema/version header, a
+# driver with a rule table covering every registered rule (including
+# the flow-aware passes'), and results whose ruleId/ruleIndex point
+# back into that table with 1-based line numbers. Runs against a tree
+# assembled from the lockorder/hotpath/lifetime fixtures so results
+# from all three new passes are present.
+# Usage: test_analyzer_sarif.sh <analyzer> <repo_src_dir> <work_dir>
+set -euo pipefail
+
+BIN=$1
+SRC=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK/src/core"
+cp "$SRC/tools/fixtures/hotpath_bad.cpp" "$WORK/src/core/"
+cp "$SRC/tools/fixtures/lifetime_bad.cpp" "$WORK/src/core/"
+cp "$SRC"/tools/fixtures/lockorder_bad/src/core/*.cpp "$WORK/src/core/"
+
+# Findings are the point here: exit 1 is expected, the report is not.
+"$BIN" "$WORK" --sarif "$WORK/out.sarif" > /dev/null && {
+  echo "FAIL: fixture tree produced no findings"
+  exit 1
+}
+
+python3 - "$WORK/out.sarif" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def need(cond, what):
+    if not cond:
+        print(f"FAIL: {what}")
+        sys.exit(1)
+
+need("sarif-2.1.0" in doc.get("$schema", ""), "$schema names sarif-2.1.0")
+need(doc.get("version") == "2.1.0", "version is 2.1.0")
+runs = doc.get("runs")
+need(isinstance(runs, list) and len(runs) == 1, "exactly one run")
+driver = runs[0]["tool"]["driver"]
+need(driver.get("name") == "gpuvar-analyzer", "driver name")
+
+rules = driver.get("rules")
+need(isinstance(rules, list) and rules, "driver.rules present")
+ids = [r["id"] for r in rules]
+need(len(ids) == len(set(ids)), "rule ids unique")
+need(ids == sorted(ids), "rule table sorted by id")
+for r in rules:
+    need(r.get("shortDescription", {}).get("text"),
+         f"rule {r['id']} has a shortDescription")
+for rule in ("lock-cycle", "lock-held-across-wait", "alloc-in-hot-loop",
+             "lock-in-hot-path", "io-in-hot-path",
+             "string-format-in-hot-loop", "dangling-span"):
+    need(rule in ids, f"rule table includes {rule}")
+
+results = runs[0].get("results")
+need(isinstance(results, list) and results, "results present")
+fired = set()
+for res in results:
+    rid = res.get("ruleId")
+    need(rid in ids, f"result ruleId {rid} registered")
+    need(res.get("ruleIndex") == ids.index(rid),
+         f"ruleIndex consistent for {rid}")
+    need(res.get("level") in ("warning", "error", "note"),
+         f"result level valid for {rid}")
+    need(res.get("message", {}).get("text"), f"result message for {rid}")
+    locs = res.get("locations")
+    need(isinstance(locs, list) and len(locs) == 1, "one location per result")
+    phys = locs[0]["physicalLocation"]
+    need(phys["artifactLocation"]["uri"].startswith("src/"),
+         "artifact uri is repo-relative")
+    need(phys["region"]["startLine"] >= 1, "startLine is 1-based")
+    fired.add(rid)
+for rule in ("lock-cycle", "lock-held-across-wait", "alloc-in-hot-loop",
+             "dangling-span"):
+    need(rule in fired, f"results include {rule}")
+
+print(f"SARIF shape OK: {len(results)} result(s), {len(ids)} rule(s)")
+EOF
