@@ -3,7 +3,9 @@
 #include <string>
 
 #include "cluster/allocator.hpp"
+#include "common/mutex.hpp"
 #include "common/require.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -15,6 +17,17 @@
 #include "workloads/workload.hpp"
 
 namespace gpuvar {
+
+namespace {
+
+/// Shared by the node jobs: the guarded counter behind
+/// ExperimentConfig::progress.
+struct ProgressState {
+  Mutex mu;
+  std::size_t done GPUVAR_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
 
 ExperimentConfig default_config(const Cluster& cluster, WorkloadSpec workload,
                                 int runs_per_gpu) {
@@ -55,6 +68,10 @@ ExperimentResult run_experiment(const Cluster& cluster,
   // stream is identical whatever the pool size or schedule.
   FrameBuilder builder(allocations.size());
   ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
+  // Progress accounting shared with the node jobs; hold the guard so
+  // the counter stays stable while the jobs launch.
+  ProgressState prog;
+  MutexLock progress_guard(prog.mu);
   pool.parallel_for(allocations.size(), [&](std::size_t ai) {
     const auto& alloc = allocations[ai];
     obs::LaneScope job_lane(static_cast<std::uint32_t>(ai) + 1,
@@ -68,6 +85,11 @@ ExperimentResult run_experiment(const Cluster& cluster,
       for (const auto& res : results) {
         bucket.append_row(to_record(cluster, res, config.day_of_week));
       }
+    }
+    if (config.progress != nullptr) {
+      MutexLock lock(prog.mu);
+      ++prog.done;
+      config.progress(prog.done, allocations.size());
     }
   });
 

@@ -8,6 +8,8 @@
 // path, run index), never by scheduling order.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
@@ -17,6 +19,12 @@ namespace gpuvar { class ThreadPool; }  // was: #include "common/thread_pool.hpp
 #include "workloads/workload.hpp"
 
 namespace gpuvar {
+
+/// Campaign progress callback: (node jobs completed, node jobs total).
+/// Invoked from pool worker threads as each node job finishes, so it
+/// must be cheap and must not touch the pool (no submit/wait from
+/// inside the callback).
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 
 struct ExperimentConfig {
   WorkloadSpec workload;
@@ -29,6 +37,9 @@ struct ExperimentConfig {
   int day_of_week = -1;
   /// Extra salt for independent repetitions of the same campaign.
   std::uint64_t salt = 0;
+  /// Called as node jobs complete (long campaigns: summit is 27k GPUs).
+  /// Null = no reporting. Calls are serialized; counts are monotone.
+  ProgressFn progress;
   /// Pool to parallelize node jobs on; null = the process-global pool.
   /// Results are byte-identical for any pool size (the determinism_replay
   /// test pins this): records land in per-node buckets concatenated in
