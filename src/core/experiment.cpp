@@ -68,10 +68,11 @@ ExperimentResult run_experiment(const Cluster& cluster,
   // stream is identical whatever the pool size or schedule.
   FrameBuilder builder(allocations.size());
   ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
-  // Progress accounting shared with the node jobs; hold the guard so
-  // the counter stays stable while the jobs launch.
+  // Progress accounting shared with the node jobs. The workers take
+  // prog.mu per completion; nothing may hold it across the dispatch
+  // below or a worker would deadlock the pool (the lockorder pass's
+  // lock-held-across-wait flagged the original launch guard here).
   ProgressState prog;
-  MutexLock progress_guard(prog.mu);
   pool.parallel_for(allocations.size(), [&](std::size_t ai) {
     const auto& alloc = allocations[ai];
     obs::LaneScope job_lane(static_cast<std::uint32_t>(ai) + 1,

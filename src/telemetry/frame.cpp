@@ -223,7 +223,11 @@ GPUVAR_HOT std::vector<GpuAggregate> per_gpu_medians(const RecordFrame& frame) {
     scratch.clear();
     scratch.reserve(rows.size());
     for (std::size_t row : rows) scratch.push_back(column[row]);
-    return stats::median(scratch);
+    // Sort in place and take the quantile directly: stats::median would
+    // sort a fresh copy per call, i.e. an allocation per GPU x metric
+    // (the hotpath pass's alloc-in-hot-loop caught exactly that here).
+    std::sort(scratch.begin(), scratch.end());
+    return stats::quantile_sorted(scratch, 0.5);
   };
   for (std::uint32_t id : groups.order) {
     const std::span<const std::size_t> rows{

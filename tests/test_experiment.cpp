@@ -1,10 +1,12 @@
 #include "core/experiment.hpp"
 #include "cluster/cluster.hpp"
+#include "common/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 namespace gpuvar {
 namespace {
@@ -78,6 +80,27 @@ TEST_F(ExperimentTest, MultiGpuWorkloadOneJobPerNode) {
     gpus.insert(result.frame.gpu_index(i));
   }
   EXPECT_EQ(gpus.size(), 12u);
+}
+
+TEST_F(ExperimentTest, ProgressReportsEveryNodeJob) {
+  // A real worker pool, not the inline fallback: the callback path
+  // must complete (not deadlock) while workers take the progress lock
+  // mid-dispatch — the regression the lockorder pass's
+  // lock-held-across-wait finding guards against.
+  ThreadPool pool(4);
+  auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 2);
+  cfg.pool = &pool;
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  cfg.progress = [&](std::size_t done, std::size_t total) {
+    seen.emplace_back(done, total);  // serialized under the progress lock
+  };
+  const auto result = run_experiment(cluster_, cfg);
+  ASSERT_EQ(seen.size(), result.nodes_measured);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    // Counts are monotone 1..N whatever order the jobs finish in.
+    EXPECT_EQ(seen[i].first, i + 1);
+    EXPECT_EQ(seen[i].second, result.nodes_measured);
+  }
 }
 
 TEST_F(ExperimentTest, RejectsBadConfig) {
