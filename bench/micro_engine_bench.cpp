@@ -1,0 +1,141 @@
+// Micro-benchmarks for the campaign engine's durability plane
+// (google-benchmark): FrameShard serialize/parse throughput — the cost
+// a spilled bucket pays on the way out and back in — plus whole-campaign
+// comparisons of the in-memory path against spill-everything and
+// resume-everything runs on a small cluster. The spill overhead is the
+// price of the bounded-memory contract; these numbers keep it honest.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "gpuvar.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using gpuvar::RecordFrame;
+using gpuvar::RunRecord;
+
+/// Synthetic bucket shaped like one node job's worth of records.
+RecordFrame synth_bucket(std::size_t rows) {
+  gpuvar::Rng rng(0xBE9C);
+  RecordFrame frame;
+  frame.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    RunRecord r;
+    r.gpu_index = i % 8;
+    r.loc.node = 3;
+    r.loc.gpu = static_cast<int>(i % 8);
+    r.loc.cabinet = 1;
+    r.loc.name = "c1-3-gpu" + std::to_string(i % 8);
+    r.run_index = static_cast<int>(i / 8);
+    r.day_of_week = static_cast<int>(i % 7);
+    r.perf_ms = rng.normal(2500.0, 40.0);
+    r.freq_mhz = rng.normal(1390.0, 12.0);
+    r.power_w = rng.normal(300.0, 5.0);
+    r.temp_c = rng.normal(62.0, 4.0);
+    r.counters.fu_util = rng.uniform(0.4, 0.9);
+    r.counters.dram_util = rng.uniform(0.1, 0.6);
+    r.counters.mem_stall_frac = rng.uniform(0.05, 0.3);
+    r.counters.exec_stall_frac = rng.uniform(0.05, 0.3);
+    frame.append_row(r);
+  }
+  return frame;
+}
+
+// --- shard codec ----------------------------------------------------------
+
+void BM_ShardSerialize(benchmark::State& state) {
+  const RecordFrame bucket =
+      synth_bucket(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string s = gpuvar::serialize_frame_shard(bucket, 0);
+    bytes = s.size();
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bucket.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ShardSerialize)->Arg(10000)->Arg(100000);
+
+void BM_ShardParse(benchmark::State& state) {
+  const RecordFrame bucket =
+      synth_bucket(static_cast<std::size_t>(state.range(0)));
+  const std::string bytes = gpuvar::serialize_frame_shard(bucket, 0);
+  for (auto _ : state) {
+    const gpuvar::FrameShard shard =
+        gpuvar::parse_frame_shard(bytes, "bench");
+    benchmark::DoNotOptimize(shard.frame.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bucket.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_ShardParse)->Arg(10000)->Arg(100000);
+
+// --- whole campaigns ------------------------------------------------------
+
+gpuvar::ExperimentConfig bench_config(const gpuvar::Cluster& cluster) {
+  return gpuvar::default_config(cluster, gpuvar::sgemm_workload(16384, 2), 2);
+}
+
+void BM_CampaignInMemory(benchmark::State& state) {
+  const gpuvar::Cluster cluster(gpuvar::cloudlab_spec());
+  const auto cfg = bench_config(cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpuvar::run_campaign(cluster, cfg).frame.size());
+  }
+}
+BENCHMARK(BM_CampaignInMemory);
+
+void BM_CampaignSpillAll(benchmark::State& state) {
+  // Budget 0: every bucket is serialized, written, evicted, and read
+  // back at merge. The delta vs BM_CampaignInMemory is the full price
+  // of the bounded-memory contract on this campaign size.
+  const gpuvar::Cluster cluster(gpuvar::cloudlab_spec());
+  const auto cfg = bench_config(cluster);
+  const fs::path dir = fs::temp_directory_path() / "gpuvar_engine_bench";
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    state.ResumeTiming();
+    gpuvar::CampaignOptions opts;
+    opts.checkpoint_dir = dir.string();
+    opts.shard_budget_bytes = 0;
+    benchmark::DoNotOptimize(
+        gpuvar::run_campaign(cluster, cfg, opts).frame.size());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CampaignSpillAll);
+
+void BM_CampaignResume(benchmark::State& state) {
+  // Resume of a finished campaign: the manifest scan re-validates and
+  // restores every shard without running a single node job — the cost
+  // of picking a killed campaign back up, minus the missing buckets.
+  const gpuvar::Cluster cluster(gpuvar::cloudlab_spec());
+  const auto cfg = bench_config(cluster);
+  const fs::path dir = fs::temp_directory_path() / "gpuvar_engine_bench_rs";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  gpuvar::CampaignOptions opts;
+  opts.checkpoint_dir = dir.string();
+  gpuvar::run_campaign(cluster, cfg, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gpuvar::run_campaign(cluster, cfg, opts).frame.size());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CampaignResume);
+
+}  // namespace
+
+BENCHMARK_MAIN();

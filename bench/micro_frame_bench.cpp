@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <ostream>
+#include <streambuf>
 
 #include "gpuvar.hpp"
 
@@ -169,6 +171,49 @@ void BM_FrameBuild(benchmark::State& state) {
                           static_cast<std::int64_t>(records.size()));
 }
 BENCHMARK(BM_FrameBuild)->Arg(100000)->Arg(400000);
+
+// --- CSV export -----------------------------------------------------------
+
+/// Swallows every byte while counting them: the export benchmark
+/// measures formatting + buffering, not filesystem throughput.
+class CountingNullBuf : public std::streambuf {
+ public:
+  std::size_t bytes() const { return bytes_; }
+
+ protected:
+  int overflow(int c) override {
+    ++bytes_;
+    return c;
+  }
+  std::streamsize xsputn(const char* /*s*/, std::streamsize n) override {
+    bytes_ += static_cast<std::size_t>(n);
+    return n;
+  }
+
+ private:
+  std::size_t bytes_ = 0;
+};
+
+void BM_ExportFrameCsv(benchmark::State& state) {
+  // The campaign artifact path: every cell goes through the buffered
+  // CsvWriter (to_chars straight into its 16 KiB buffer, flushed in
+  // chunks), so throughput here is the cost of streaming a merged
+  // frame to disk minus the disk.
+  const auto frame = frame_from(synth_records(gpus_for(state), kRuns));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    CountingNullBuf sink;
+    std::ostream out(&sink);
+    gpuvar::export_frame_csv(out, "bench", frame);
+    bytes = sink.bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ExportFrameCsv)->Arg(100000)->Arg(400000);
 
 // --- memory footprint (reported as bytes/record counters) -----------------
 

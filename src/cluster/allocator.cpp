@@ -40,8 +40,11 @@ std::vector<NodeAllocation> ExclusiveAllocator::sample_nodes(
 
 std::vector<NodeAllocation> ExclusiveAllocator::sample_coverage(
     double coverage) const {
-  GPUVAR_REQUIRE(coverage > 0.0 && coverage <= 1.0);
+  GPUVAR_REQUIRE(coverage >= 0.0 && coverage <= 1.0);
   const auto n = static_cast<std::size_t>(cluster_->node_count());
+  // Zero coverage (or an empty cluster) is a valid degenerate campaign:
+  // nothing to measure, so no allocations.
+  if (coverage == 0.0 || n == 0) return {};
   const auto count = static_cast<std::size_t>(
       std::ceil(coverage * static_cast<double>(n)));
   return sample_nodes(std::max<std::size_t>(1, count));

@@ -13,8 +13,11 @@ int ClusterLayout::cabinets() const {
 }
 
 void ClusterLayout::validate() const {
-  GPUVAR_REQUIRE(nodes > 0);
+  // Zero nodes is a legal (empty) cluster: the campaign engine returns
+  // an empty frame for it instead of refusing to construct.
+  GPUVAR_REQUIRE(nodes >= 0);
   GPUVAR_REQUIRE(gpus_per_node > 0);
+  if (nodes == 0) return;
   if (is_row_layout()) {
     GPUVAR_REQUIRE(columns > 0 && nodes_per_column > 0);
     GPUVAR_REQUIRE_MSG(nodes == rows * columns * nodes_per_column,

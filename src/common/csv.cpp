@@ -25,35 +25,48 @@ void CsvWriter::header(const std::vector<std::string>& columns) {
   GPUVAR_REQUIRE_MSG(rows_ == 0, "header must precede rows");
   GPUVAR_REQUIRE(!columns.empty());
   for (std::size_t i = 0; i < columns.size(); ++i) {
-    if (i) *out_ << ',';
-    *out_ << csv_escape(columns[i]);
+    if (i) buf_.push_back(',');
+    buf_ += csv_escape(columns[i]);
   }
-  *out_ << '\n';
+  buf_.push_back('\n');
   header_written_ = true;
   column_count_ = columns.size();
 }
 
-void CsvWriter::put(std::string_view field) {
-  if (fields_in_row_) *out_ << ',';
-  *out_ << csv_escape(field);
+void CsvWriter::begin_field() {
+  if (fields_in_row_) buf_.push_back(',');
   ++fields_in_row_;
   row_started_ = true;
 }
 
 CsvWriter& CsvWriter::add(std::string_view field) {
-  put(field);
+  begin_field();
+  // Escape straight into the buffer (csv_escape would allocate a
+  // temporary per field, which the frame export pays per cell).
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    buf_.append(field);
+  } else {
+    buf_.push_back('"');
+    for (char c : field) {
+      if (c == '"') buf_.push_back('"');
+      buf_.push_back(c);
+    }
+    buf_.push_back('"');
+  }
   return *this;
 }
 
 CsvWriter& CsvWriter::add(double value) {
   // std::to_chars, not printf: %g consults LC_NUMERIC, so a European
   // locale would turn "3.14" into "3,14" and corrupt the CSV.
-  put(format_double(value));
+  begin_field();
+  append_double(buf_, value);
   return *this;
 }
 
 CsvWriter& CsvWriter::add(long long value) {
-  put(format_int(value));
+  begin_field();
+  append_int(buf_, value);
   return *this;
 }
 
@@ -63,16 +76,23 @@ void CsvWriter::end_row() {
     GPUVAR_REQUIRE_MSG(fields_in_row_ == column_count_,
                        "row width does not match header");
   }
-  *out_ << '\n';
+  buf_.push_back('\n');
   row_started_ = false;
   fields_in_row_ = 0;
   ++rows_;
+  if (buf_.size() >= kFlushBytes) flush();
 }
 
 void CsvWriter::row(const std::vector<std::string>& fields) {
   GPUVAR_REQUIRE(!fields.empty());
   for (const auto& f : fields) add(f);
   end_row();
+}
+
+void CsvWriter::flush() {
+  if (buf_.empty()) return;
+  out_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
 }
 
 }  // namespace gpuvar

@@ -6,19 +6,37 @@
 
 namespace gpuvar {
 
-std::string format_double(double value, int precision) {
-  if (std::isnan(value)) return "nan";
-  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+void append_double(std::string& out, double value, int precision) {
+  if (std::isnan(value)) {
+    out += "nan";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "inf" : "-inf";
+    return;
+  }
   char buf[64];
   const auto res = std::to_chars(buf, buf + sizeof(buf), value,
                                  std::chars_format::general, precision);
-  return std::string(buf, res.ptr);
+  out.append(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+
+void append_int(std::string& out, long long value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+
+std::string format_double(double value, int precision) {
+  std::string out;
+  append_double(out, value, precision);
+  return out;
 }
 
 std::string format_int(long long value) {
-  char buf[32];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
-  return std::string(buf, res.ptr);
+  std::string out;
+  append_int(out, value);
+  return out;
 }
 
 namespace {

@@ -20,6 +20,13 @@ std::string format_double(double value, int precision = 10);
 /// Locale-independent integer formatting.
 std::string format_int(long long value);
 
+/// Appends format_double's exact bytes to `out` without a temporary
+/// string — the per-cell path of the buffered CSV writer.
+void append_double(std::string& out, double value, int precision = 10);
+
+/// Appends format_int's exact bytes to `out` without a temporary.
+void append_int(std::string& out, long long value);
+
 /// Parses a complete double ("inf"/"nan" accepted, optional leading '+').
 /// Returns false if `s` is empty, trails garbage, or overflows.
 bool parse_double(std::string_view s, double& out);

@@ -7,6 +7,7 @@
 
 #include "common/numfmt.hpp"
 #include "common/require.hpp"
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/flagging.hpp"
 #include "core/compare.hpp"
@@ -144,6 +145,11 @@ void usage(std::ostream& err) {
          "  gpuvar simulate --cluster NAME --workload NAME [--runs N]\n"
          "                  [--reps N] [--coverage F] [--power-limit W]\n"
          "                  [--out FILE] [--trace FILE] [--metrics FILE]\n"
+         "  gpuvar run --cluster NAME --workload NAME [--runs N] [--reps N]\n"
+         "             [--coverage F] [--checkpoint DIR]\n"
+         "             [--shard-budget BYTES[K|M|G]|unlimited]\n"
+         "             [--sweep day|power] [--power-caps W1,W2,...]\n"
+         "             [--out FILE.csv] [--report FILE.md] [--summary FILE]\n"
          "  gpuvar analyze FILE.csv [--group cabinet|node|row]\n"
          "  gpuvar flag FILE.csv [--slowdown-temp T]\n"
          "  gpuvar project FILE.csv --target N\n"
@@ -224,6 +230,158 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
     export_results_csv(file, cluster.name(), cluster.locations(), rows);
     out << "wrote " << rows.size() << " rows to " << out_path << "\n";
   }
+  return 0;
+}
+
+/// Parses a --shard-budget value: "unlimited", or a byte count with an
+/// optional K/M/G (binary) suffix, e.g. "4M".
+std::uint64_t parse_shard_budget(const std::string& text) {
+  if (text == "unlimited") return kUnlimitedShardBudget;
+  std::string digits = text;
+  std::uint64_t scale = 1;
+  if (!digits.empty()) {
+    const char suffix = digits.back();
+    if (suffix == 'K' || suffix == 'k') scale = 1ull << 10;
+    if (suffix == 'M' || suffix == 'm') scale = 1ull << 20;
+    if (suffix == 'G' || suffix == 'g') scale = 1ull << 30;
+    if (scale != 1) digits.pop_back();
+  }
+  long long value = 0;
+  GPUVAR_REQUIRE_MSG(parse_int(digits, value) && value >= 0,
+                     "bad --shard-budget '" + text +
+                         "' (want BYTES, BYTES with K/M/G, or 'unlimited')");
+  return static_cast<std::uint64_t>(value) * scale;
+}
+
+/// "out.csv" + job "day-3" -> "out-day-3.csv" (sweep artifact naming).
+std::string job_artifact_path(const std::string& path,
+                              const std::string& job) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "-" + job;
+  }
+  return path.substr(0, dot) + "-" + job + path.substr(dot);
+}
+
+void write_campaign_artifacts(const ParsedArgs& args, std::ostream& out,
+                              const std::string& cluster_name,
+                              const CampaignResult& result,
+                              const std::string& job) {
+  const auto open_artifact = [&](const std::string& key,
+                                 std::ofstream& file) {
+    std::string path = args.get(key, "");
+    if (path.empty()) return path;
+    if (!job.empty()) path = job_artifact_path(path, job);
+    file.open(path);
+    GPUVAR_REQUIRE_MSG(file.good(), "cannot write " + path);
+    return path;
+  };
+  std::ofstream csv_file;
+  const std::string csv_path = open_artifact("out", csv_file);
+  if (!csv_path.empty()) {
+    export_frame_csv(csv_file, cluster_name, result.frame);
+    out << "wrote " << result.frame.size() << " rows to " << csv_path
+        << "\n";
+  }
+  std::ofstream report_file;
+  const std::string report_path = open_artifact("report", report_file);
+  if (!report_path.empty()) {
+    MarkdownReportOptions opts;
+    opts.title = args.get("title", "Variability campaign report");
+    write_markdown_report(report_file, result.frame, opts);
+    out << "report -> " << report_path << "\n";
+  }
+  std::ofstream summary_file;
+  const std::string summary_path = open_artifact("summary", summary_file);
+  if (!summary_path.empty()) {
+    write_campaign_summary(summary_file, result);
+    out << "summary -> " << summary_path << "\n";
+  }
+}
+
+int cmd_run(const ParsedArgs& args, std::ostream& out) {
+  const std::string cluster_name = args.get("cluster", "cloudlab");
+  std::string workload_name = args.get("workload", "sgemm");
+  Cluster cluster(cluster_by_name(cluster_name));
+  if (workload_name == "sgemm" && cluster.sku().vendor == Vendor::kAmd) {
+    workload_name = "sgemm-amd";
+  }
+  const int reps = static_cast<int>(args.get_num("reps", 0));
+  auto workload = workload_by_name(workload_name, reps);
+
+  ExperimentConfig cfg = default_config(
+      cluster, workload, static_cast<int>(args.get_num("runs", 2)));
+  cfg.node_coverage = args.get_num("coverage", 1.0);
+
+  CampaignOptions options;
+  options.checkpoint_dir = args.get("checkpoint", "");
+  options.shard_budget_bytes =
+      parse_shard_budget(args.get("shard-budget", "unlimited"));
+
+  const std::string sweep = args.get("sweep", "");
+  if (!sweep.empty()) {
+    std::vector<CampaignJob> jobs;
+    if (sweep == "day") {
+      jobs = day_of_week_sweep(cfg);
+    } else if (sweep == "power") {
+      std::vector<double> caps;
+      const std::string caps_text = args.get("power-caps", "");
+      GPUVAR_REQUIRE_MSG(!caps_text.empty(),
+                         "--sweep power needs --power-caps W1,W2,...");
+      std::size_t start = 0;
+      while (start <= caps_text.size()) {
+        const std::size_t comma = caps_text.find(',', start);
+        const std::string item =
+            caps_text.substr(start, comma == std::string::npos
+                                        ? std::string::npos
+                                        : comma - start);
+        double w = 0.0;
+        GPUVAR_REQUIRE_MSG(parse_double(item, w),
+                           "bad power cap '" + item + "' in --power-caps");
+        caps.push_back(w);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      jobs = power_cap_sweep(cfg, caps);
+    } else {
+      throw std::invalid_argument("unknown --sweep '" + sweep +
+                                  "', try day or power");
+    }
+    out << "sweep: " << jobs.size() << " campaigns of " << workload.name
+        << " on " << cluster.name() << "\n";
+    const auto results = run_campaign_sweep(cluster, jobs, options);
+    for (const auto& r : results) {
+      out << "  " << r.name << ": " << r.result.frame.size() << " rows, "
+          << r.result.gpus_measured << " GPUs";
+      if (r.result.stats.buckets_restored > 0) {
+        out << " (" << r.result.stats.buckets_restored
+            << " buckets restored from checkpoint)";
+      }
+      out << "\n";
+      write_campaign_artifacts(args, out, cluster.name(), r.result, r.name);
+    }
+    return 0;
+  }
+
+  out << "campaign: " << workload.name << " on " << cluster.name() << " ("
+      << cluster.size() << " GPUs)\n";
+  const auto result = run_campaign(cluster, cfg, options);
+  out << "rows " << result.frame.size() << ", gpus "
+      << result.gpus_measured << ", nodes " << result.nodes_measured
+      << "\n";
+  if (result.stats.buckets_restored > 0) {
+    out << "resumed: " << result.stats.buckets_restored << " of "
+        << result.stats.buckets_total << " buckets restored, "
+        << result.stats.buckets_run << " run";
+    if (result.stats.buckets_rerun_stale > 0) {
+      out << " (" << result.stats.buckets_rerun_stale
+          << " stale shards re-run)";
+    }
+    out << "\n";
+  }
+  write_campaign_artifacts(args, out, cluster.name(), result, "");
   return 0;
 }
 
@@ -355,6 +513,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     }
     if (cmd == "simulate") return cmd_simulate(parsed, out);
+    if (cmd == "run") return cmd_run(parsed, out);
     if (cmd == "analyze") return cmd_analyze(parsed, out);
     if (cmd == "flag") return cmd_flag(parsed, out);
     if (cmd == "project") return cmd_project(parsed, out);

@@ -1,0 +1,561 @@
+#include "core/engine.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/allocator.hpp"
+#include "cluster/cluster.hpp"
+#include "common/binio.hpp"
+#include "common/mutex.hpp"
+#include "common/numfmt.hpp"
+#include "common/require.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "core/experiment.hpp"
+#include "core/record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/shard.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestName = "manifest.txt";
+constexpr const char* kMarkerName = "IN_PROGRESS";
+constexpr const char* kManifestMagic = "gpuvar-campaign-manifest v1";
+
+std::string format_hex(std::uint64_t v) {
+  char buf[17];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v, 16);
+  return std::string(buf, res.ptr);
+}
+
+bool parse_hex(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out, 16);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+/// "bucket-000042.shard": fixed width so a directory listing sorts in
+/// bucket order.
+std::string shard_file_name(std::size_t bucket_index) {
+  std::string digits = format_int(static_cast<long long>(bucket_index));
+  while (digits.size() < 6) digits.insert(digits.begin(), '0');
+  return "bucket-" + digits + ".shard";
+}
+
+struct ManifestEntry {
+  FrameShardInfo info;
+};
+
+struct Manifest {
+  bool exists = false;
+  std::uint64_t config_hash = 0;
+  bool done = false;
+  /// bucket index -> recorded shard facts (last entry wins, so an
+  /// append-crash duplicate resolves to the freshest record).
+  std::map<std::uint64_t, ManifestEntry> entries;
+};
+
+/// Splits on single spaces (manifest fields never contain spaces).
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t sp = line.find(' ', start);
+    if (sp == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, sp - start));
+    start = sp + 1;
+  }
+  return out;
+}
+
+/// Reads and parses the manifest. A missing file is a fresh campaign; a
+/// present file whose first line is not the manifest magic is refused
+/// (the directory holds something that is not ours to overwrite).
+/// Unparseable entry lines — e.g. the torn tail of an append that died
+/// mid-write — are skipped: the durable prefix is what counts.
+Manifest read_manifest(const fs::path& path) {
+  Manifest m;
+  std::ifstream in(path);
+  if (!in.good()) return m;
+  m.exists = true;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      if (line != kManifestMagic) {
+        throw std::runtime_error(path.string() +
+                                 ": not a gpuvar campaign manifest");
+      }
+      first = false;
+      continue;
+    }
+    const auto f = split_fields(line);
+    if (f.size() == 2 && f[0] == "config") {
+      parse_hex(f[1], m.config_hash);
+    } else if (f.size() == 1 && f[0] == "done") {
+      m.done = true;
+    } else if (f.size() == 8 && f[0] == "bucket" && f[2] == "rows" &&
+               f[4] == "payload" && f[6] == "hash") {
+      long long idx = 0;
+      long long rows = 0;
+      long long payload = 0;
+      std::uint64_t hash = 0;
+      if (parse_int(f[1], idx) && parse_int(f[3], rows) &&
+          parse_int(f[5], payload) && parse_hex(f[7], hash) && idx >= 0 &&
+          rows >= 0 && payload >= 0) {
+        ManifestEntry e;
+        e.info.bucket_index = static_cast<std::uint64_t>(idx);
+        e.info.rows = static_cast<std::uint64_t>(rows);
+        e.info.payload_bytes = static_cast<std::uint64_t>(payload);
+        e.info.payload_hash = hash;
+        m.entries[e.info.bucket_index] = e;
+      }
+    }
+    // Anything else: a torn line. Skip it.
+  }
+  if (first) m.exists = false;  // empty file == fresh campaign
+  return m;
+}
+
+std::string manifest_entry_line(const FrameShardInfo& info) {
+  return "bucket " + format_int(static_cast<long long>(info.bucket_index)) +
+         " rows " + format_int(static_cast<long long>(info.rows)) +
+         " payload " + format_int(static_cast<long long>(info.payload_bytes)) +
+         " hash " + format_hex(info.payload_hash);
+}
+
+/// Atomically replaces the manifest (write a sibling, then rename) with
+/// the given entries in bucket order.
+void rewrite_manifest(const fs::path& dir, std::uint64_t config_hash,
+                      const std::map<std::uint64_t, ManifestEntry>& entries,
+                      bool done) {
+  const fs::path tmp = dir / (std::string(kManifestName) + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) {
+      throw std::runtime_error("cannot write " + tmp.string());
+    }
+    out << kManifestMagic << "\nconfig " << format_hex(config_hash) << "\n";
+    for (const auto& [idx, e] : entries) {
+      out << manifest_entry_line(e.info) << "\n";
+    }
+    if (done) out << "done\n";
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("write failed: " + tmp.string());
+    }
+  }
+  fs::rename(tmp, dir / kManifestName);
+}
+
+/// Serializes one bucket and writes it to its shard file via a
+/// temporary sibling + rename, so a crash mid-write can never leave a
+/// plausible-looking half shard under the final name.
+FrameShardInfo persist_shard(const fs::path& dir, std::size_t bucket_index,
+                             const RecordFrame& bucket,
+                             std::uint64_t& bytes_written) {
+  const fs::path path = dir / shard_file_name(bucket_index);
+  const fs::path tmp = path.string() + ".tmp";
+  FrameShardInfo info;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw std::runtime_error("cannot write " + tmp.string());
+    }
+    info = write_frame_shard(out, bucket,
+                             static_cast<std::uint64_t>(bucket_index));
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("write failed: " + tmp.string());
+    }
+  }
+  fs::rename(tmp, path);
+  bytes_written = info.payload_bytes + kFrameShardHeaderBytes;
+  return info;
+}
+
+/// Loads and fully validates one shard; any defect (missing file,
+/// truncation, bad magic/version, hash mismatch) surfaces as
+/// std::runtime_error naming the file.
+FrameShard load_shard(const fs::path& dir, std::size_t bucket_index) {
+  const fs::path path = dir / shard_file_name(bucket_index);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  return read_frame_shard(in, path.string());
+}
+
+/// Shared mutable state of the execute stage. Buckets themselves are
+/// NOT guarded: a running bucket is owned by exactly one worker (the
+/// FrameBuilder discipline), and a completed bucket is only touched —
+/// for eviction or merge — under mu or after the pool has joined.
+struct EngineState {
+  Mutex mu;
+  std::ofstream manifest GPUVAR_GUARDED_BY(mu);
+  std::map<std::uint64_t, ManifestEntry> entries GPUVAR_GUARDED_BY(mu);
+  std::vector<std::uint64_t> bucket_bytes GPUVAR_GUARDED_BY(mu);
+  std::vector<char> resident GPUVAR_GUARDED_BY(mu);
+  std::uint64_t resident_bytes GPUVAR_GUARDED_BY(mu) = 0;
+  std::uint64_t resident_peak GPUVAR_GUARDED_BY(mu) = 0;
+  std::uint64_t bucket_max GPUVAR_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_bytes GPUVAR_GUARDED_BY(mu) = 0;
+  std::size_t spilled GPUVAR_GUARDED_BY(mu) = 0;
+  std::size_t done GPUVAR_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+std::uint64_t campaign_config_hash(const Cluster& cluster,
+                                   const ExperimentConfig& config) {
+  // Canonical key=value string over every field that changes what the
+  // campaign measures. Formatting goes through numfmt, so the hash is
+  // locale- and platform-stable.
+  std::string key;
+  key += "cluster=" + cluster.name();
+  key += ";seed=" + format_int(static_cast<long long>(cluster.spec().seed));
+  key += ";nodes=" + format_int(cluster.node_count());
+  key += ";gpus_per_node=" + format_int(cluster.gpus_per_node());
+  key += ";workload=" + config.workload.name;
+  key += ";runs=" + format_int(config.runs_per_gpu);
+  key += ";coverage=" + format_double(config.node_coverage, 17);
+  key += ";day=" + format_int(config.day_of_week);
+  key += ";salt=" + format_int(static_cast<long long>(config.salt));
+  key += ";power=" +
+         format_double(config.run_options.power_limit_override.value(), 17);
+  return binio::fnv1a64(key);
+}
+
+CampaignResult run_campaign(const Cluster& cluster,
+                            const ExperimentConfig& config,
+                            const CampaignOptions& options) {
+  config.workload.validate();
+  GPUVAR_REQUIRE(config.runs_per_gpu >= 1);
+  const bool durable = !options.checkpoint_dir.empty();
+  const bool bounded = options.shard_budget_bytes != kUnlimitedShardBudget;
+  GPUVAR_REQUIRE_MSG(durable || !bounded,
+                     "a bounded shard budget needs a checkpoint directory "
+                     "to spill into (set CampaignOptions::checkpoint_dir)");
+
+  obs::LaneScope campaign_lane(0, "campaign");
+
+  // --- plan -------------------------------------------------------------
+  ExclusiveAllocator allocator(cluster);
+  const auto allocations = allocator.sample_coverage(config.node_coverage);
+
+  CampaignResult out;
+  out.config_hash = campaign_config_hash(cluster, config);
+  out.stats.buckets_total = allocations.size();
+  out.nodes_measured = allocations.size();
+  // Degenerate campaign (zero coverage / empty cluster): empty frame,
+  // no checkpoint machinery, and config.progress is never invoked.
+  if (allocations.empty()) return out;
+
+  GPUVAR_TRACE_SPAN("engine", "run_campaign", "buckets",
+                    static_cast<std::int64_t>(allocations.size()));
+  GPUVAR_METRIC_MAX("experiment.nodes", allocations.size());
+  GPUVAR_METRIC_MAX("experiment.runs_per_gpu", config.runs_per_gpu);
+
+  RunOptions opts = config.run_options;
+  // Fold the day tag into seeds so Monday's transients differ from
+  // Tuesday's while the hardware population stays identical.
+  opts.run_salt = config.salt * 101 +
+                  (config.day_of_week >= 0
+                       ? static_cast<std::uint64_t>(config.day_of_week) + 1
+                       : 0);
+
+  // --- resume scan ------------------------------------------------------
+  const fs::path dir(options.checkpoint_dir);
+  std::vector<char> done_before(allocations.size(), 0);
+  EngineState st;
+  {
+    MutexLock lock(st.mu);
+    st.bucket_bytes.assign(allocations.size(), 0);
+    st.resident.assign(allocations.size(), 0);
+  }
+  if (durable) {
+    GPUVAR_TRACE_SPAN("engine", "resume_scan");
+    fs::create_directories(dir);
+    Manifest m = read_manifest(dir / kManifestName);
+    if (m.exists && m.config_hash != out.config_hash) {
+      throw std::runtime_error(
+          options.checkpoint_dir +
+          ": checkpoint belongs to a different campaign (config hash " +
+          format_hex(m.config_hash) + ", this campaign is " +
+          format_hex(out.config_hash) + ")");
+    }
+    std::map<std::uint64_t, ManifestEntry> valid;
+    for (const auto& [idx, e] : m.entries) {
+      if (idx >= allocations.size()) {
+        ++out.stats.buckets_rerun_stale;
+        continue;
+      }
+      // Trust nothing: the shard must parse end to end and agree with
+      // the manifest's row count and payload hash. Anything less and
+      // the bucket re-runs from its seed path.
+      bool ok = false;
+      try {
+        const FrameShard s = load_shard(dir, static_cast<std::size_t>(idx));
+        ok = s.info.bucket_index == idx && s.info.rows == e.info.rows &&
+             s.info.payload_hash == e.info.payload_hash;
+      } catch (const std::runtime_error&) {
+        ok = false;
+      }
+      if (ok) {
+        valid[idx] = e;
+        done_before[static_cast<std::size_t>(idx)] = 1;
+      } else {
+        ++out.stats.buckets_rerun_stale;
+      }
+    }
+    // Rewrite the manifest down to the entries that survived, then mark
+    // the campaign in progress and reopen the manifest for appending.
+    rewrite_manifest(dir, out.config_hash, valid, /*done=*/false);
+    {
+      std::ofstream marker(dir / kMarkerName, std::ios::trunc);
+      marker << "campaign in progress\n";
+    }
+    MutexLock lock(st.mu);
+    st.entries = std::move(valid);
+    st.manifest.open(dir / kManifestName, std::ios::app);
+    if (!st.manifest.good()) {
+      throw std::runtime_error("cannot append to " +
+                               (dir / kManifestName).string());
+    }
+  }
+  if (durable) {
+    GPUVAR_METRIC_ADD("engine.buckets_rerun_stale",
+                      out.stats.buckets_rerun_stale);
+  }
+
+  // --- execute ----------------------------------------------------------
+  // Restored buckets count toward progress first (in index order), so
+  // the callback still sees a monotone 1..total sequence on resume.
+  std::vector<RecordFrame> buckets(allocations.size());
+  const std::size_t total = allocations.size();
+  for (std::size_t ai = 0; ai < total; ++ai) {
+    if (!done_before[ai]) continue;
+    ++out.stats.buckets_restored;
+    if (config.progress != nullptr) {
+      MutexLock lock(st.mu);
+      ++st.done;
+      config.progress(st.done, total);
+    }
+  }
+  if (durable) {
+    GPUVAR_METRIC_ADD("engine.buckets_restored", out.stats.buckets_restored);
+  }
+
+  ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
+  {
+    GPUVAR_TRACE_SPAN("engine", "execute", "buckets",
+                      static_cast<std::int64_t>(total -
+                                                out.stats.buckets_restored));
+    // Workers take st.mu per completion; nothing holds it across the
+    // dispatch below (the lockorder pass's lock-held-across-wait rule).
+    pool.parallel_for(total, [&](std::size_t ai) {
+      if (done_before[ai]) return;
+      const auto& alloc = allocations[ai];
+      obs::LaneScope job_lane(static_cast<std::uint32_t>(ai) + 1,
+                              "node " + std::to_string(alloc.node));
+      GPUVAR_TRACE_SPAN("engine", "node_job", "node", alloc.node);
+      GPUVAR_METRIC_COUNT("experiment.node_jobs");
+      RecordFrame& bucket = buckets[ai];
+      for (int run = 0; run < config.runs_per_gpu; ++run) {
+        const auto results =
+            run_on_node(cluster, alloc.node, config.workload, run, opts);
+        for (const auto& res : results) {
+          bucket.append_row(to_record(cluster, res, config.day_of_week));
+        }
+      }
+
+      // Durability first: once the shard and its manifest line are on
+      // disk, a crash anywhere later never re-runs this bucket.
+      FrameShardInfo info;
+      std::uint64_t file_bytes = 0;
+      if (durable) {
+        info = persist_shard(dir, ai, bucket, file_bytes);
+        GPUVAR_METRIC_COUNT("engine.shards_written");
+        GPUVAR_METRIC_ADD("engine.shard_bytes_written", file_bytes);
+      }
+
+      const std::uint64_t bytes = bucket.memory_bytes();
+      MutexLock lock(st.mu);
+      if (durable) {
+        st.manifest << manifest_entry_line(info) << "\n";
+        st.manifest.flush();
+        if (!st.manifest.good()) {
+          throw std::runtime_error("manifest append failed in " +
+                                   dir.string());
+        }
+        st.entries[info.bucket_index] = ManifestEntry{info};
+        st.shard_bytes += file_bytes;
+      }
+      // Residency accounting: the fresh bucket is counted before any
+      // eviction, which is exactly why the peak is bounded by
+      // budget + one bucket rather than by the budget alone.
+      st.bucket_bytes[ai] = bytes;
+      st.resident[ai] = 1;
+      st.resident_bytes += bytes;
+      if (bytes > st.bucket_max) st.bucket_max = bytes;
+      if (st.resident_bytes > st.resident_peak) {
+        st.resident_peak = st.resident_bytes;
+      }
+      GPUVAR_METRIC_MAX("engine.resident_bytes_peak", st.resident_bytes);
+      GPUVAR_METRIC_MAX("engine.bucket_bytes_max", bytes);
+      while (bounded && st.resident_bytes > options.shard_budget_bytes) {
+        // Largest resident bucket first; ties go to the higher index so
+        // the choice is deterministic for a fixed completion state.
+        std::size_t victim = total;
+        std::uint64_t victim_bytes = 0;
+        for (std::size_t j = 0; j < total; ++j) {
+          if (st.resident[j] == 0) continue;
+          if (victim == total || st.bucket_bytes[j] >= victim_bytes) {
+            victim = j;
+            victim_bytes = st.bucket_bytes[j];
+          }
+        }
+        if (victim == total) break;  // nothing left to evict
+        buckets[victim] = RecordFrame();
+        st.resident[victim] = 0;
+        st.resident_bytes -= victim_bytes;
+        ++st.spilled;
+        GPUVAR_METRIC_COUNT("engine.buckets_spilled");
+      }
+      ++st.done;
+      if (config.progress != nullptr) config.progress(st.done, total);
+    });
+  }
+
+  // The pool has joined: st is ours alone again.
+  {
+    MutexLock lock(st.mu);
+    out.stats.buckets_run = total - out.stats.buckets_restored;
+    out.stats.buckets_spilled = st.spilled;
+    out.stats.shard_bytes_written = st.shard_bytes;
+    out.stats.resident_bytes_peak = st.resident_peak;
+    out.stats.bucket_bytes_max = st.bucket_max;
+    if (durable) st.manifest.close();
+  }
+
+  // --- merge ------------------------------------------------------------
+  {
+    GPUVAR_TRACE_SPAN("engine", "merge", "buckets",
+                      static_cast<std::int64_t>(total));
+    MutexLock lock(st.mu);
+    for (std::size_t ai = 0; ai < total; ++ai) {
+      if (st.resident[ai] != 0) {
+        out.frame.append(buckets[ai]);
+        buckets[ai] = RecordFrame();
+      } else {
+        // Restored or evicted: read it back. load_shard re-validates
+        // the whole file, so a shard corrupted since the scan fails
+        // loudly here instead of merging garbage.
+        const FrameShard s = load_shard(dir, ai);
+        out.frame.append(s.frame);
+      }
+    }
+  }
+
+  if (durable) {
+    MutexLock lock(st.mu);
+    rewrite_manifest(dir, out.config_hash, st.entries, /*done=*/true);
+    fs::remove(dir / kMarkerName);
+  }
+
+  out.gpus_measured = out.frame.gpu_count();
+  GPUVAR_METRIC_ADD("experiment.records", out.frame.size());
+  return out;
+}
+
+void write_campaign_summary(std::ostream& out, const CampaignResult& result) {
+  // Only facts that are pure functions of (cluster, config) appear
+  // here — never whether buckets were restored, spilled, or re-run —
+  // so the bytes match between an uninterrupted campaign and any
+  // interrupted-then-resumed replay of it.
+  const std::string serialized = serialize_frame_shard(result.frame, 0);
+  out << "gpuvar-campaign-summary v1\n";
+  out << "buckets " << format_int(static_cast<long long>(
+                           result.stats.buckets_total)) << "\n";
+  out << "config " << format_hex(result.config_hash) << "\n";
+  out << "frame_hash " << format_hex(binio::fnv1a64(serialized)) << "\n";
+  out << "gpus " << format_int(static_cast<long long>(result.gpus_measured))
+      << "\n";
+  out << "nodes " << format_int(static_cast<long long>(result.nodes_measured))
+      << "\n";
+  out << "rows " << format_int(static_cast<long long>(result.frame.size()))
+      << "\n";
+}
+
+std::vector<CampaignJob> day_of_week_sweep(const ExperimentConfig& base) {
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(7);
+  for (int day = 0; day < 7; ++day) {
+    CampaignJob job;
+    job.name = "day-" + format_int(day);
+    job.config = base;
+    job.config.day_of_week = day;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<CampaignJob> power_cap_sweep(const ExperimentConfig& base,
+                                         const std::vector<double>& caps_w) {
+  GPUVAR_REQUIRE_MSG(!caps_w.empty(), "power-cap sweep needs at least one cap");
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(caps_w.size());
+  for (double cap : caps_w) {
+    GPUVAR_REQUIRE_MSG(cap >= 0.0, "power cap must be >= 0 W");
+    CampaignJob job;
+    job.name = "cap-" + format_int(static_cast<long long>(cap)) + "w";
+    job.config = base;
+    job.config.run_options.power_limit_override = Watts{cap};
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<SweepJobResult> run_campaign_sweep(
+    const Cluster& cluster, const std::vector<CampaignJob>& jobs,
+    const CampaignOptions& options) {
+  std::vector<SweepJobResult> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    GPUVAR_REQUIRE_MSG(!job.name.empty(), "sweep job needs a name");
+    for (char c : job.name) {
+      GPUVAR_REQUIRE_MSG(
+          (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-',
+          "sweep job name must be [a-z0-9-]: " + job.name);
+    }
+    CampaignOptions job_options = options;
+    if (!options.checkpoint_dir.empty()) {
+      job_options.checkpoint_dir =
+          (fs::path(options.checkpoint_dir) / job.name).string();
+    }
+    SweepJobResult r;
+    r.name = job.name;
+    r.result = run_campaign(cluster, job.config, job_options);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace gpuvar

@@ -1,33 +1,13 @@
 #include "core/experiment.hpp"
 
-#include <string>
+#include <utility>
 
-#include "cluster/allocator.hpp"
-#include "common/mutex.hpp"
-#include "common/require.hpp"
-#include "common/thread_annotations.hpp"
-#include "common/thread_pool.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "cluster/cluster.hpp"
-#include "cluster/faults.hpp"
-#include "core/record.hpp"
-#include "telemetry/frame.hpp"
+#include "core/engine.hpp"
 #include "workloads/runner.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpuvar {
-
-namespace {
-
-/// Shared by the node jobs: the guarded counter behind
-/// ExperimentConfig::progress.
-struct ProgressState {
-  Mutex mu;
-  std::size_t done GPUVAR_GUARDED_BY(mu) = 0;
-};
-
-}  // namespace
 
 ExperimentConfig default_config(const Cluster& cluster, WorkloadSpec workload,
                                 int runs_per_gpu) {
@@ -40,66 +20,16 @@ ExperimentConfig default_config(const Cluster& cluster, WorkloadSpec workload,
 
 ExperimentResult run_experiment(const Cluster& cluster,
                                 const ExperimentConfig& config) {
-  config.workload.validate();
-  GPUVAR_REQUIRE(config.runs_per_gpu >= 1);
-
-  ExclusiveAllocator allocator(cluster);
-  const auto allocations = allocator.sample_coverage(config.node_coverage);
-
-  RunOptions opts = config.run_options;
-  // Fold the day tag into seeds so Monday's transients differ from
-  // Tuesday's while the hardware population stays identical.
-  opts.run_salt = config.salt * 101 +
-                  (config.day_of_week >= 0
-                       ? static_cast<std::uint64_t>(config.day_of_week) + 1
-                       : 0);
-
-  // Lane 0 is the campaign timeline; each node job owns lane ai+1, so
-  // the trace (like the frame) is a deterministic merge of per-job
-  // streams whatever the pool size.
-  obs::LaneScope campaign_lane(0, "campaign");
-  GPUVAR_TRACE_SPAN("experiment", "run_experiment", "nodes",
-                    static_cast<std::int64_t>(allocations.size()));
-  GPUVAR_METRIC_MAX("experiment.nodes", allocations.size());
-  GPUVAR_METRIC_MAX("experiment.runs_per_gpu", config.runs_per_gpu);
-
-  // One frame bucket per node job: threads never share a bucket, and
-  // finish() merges the buckets in allocation order, so the frame's row
-  // stream is identical whatever the pool size or schedule.
-  FrameBuilder builder(allocations.size());
-  ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
-  // Progress accounting shared with the node jobs. The workers take
-  // prog.mu per completion; nothing may hold it across the dispatch
-  // below or a worker would deadlock the pool (the lockorder pass's
-  // lock-held-across-wait flagged the original launch guard here).
-  ProgressState prog;
-  pool.parallel_for(allocations.size(), [&](std::size_t ai) {
-    const auto& alloc = allocations[ai];
-    obs::LaneScope job_lane(static_cast<std::uint32_t>(ai) + 1,
-                            "node " + std::to_string(alloc.node));
-    GPUVAR_TRACE_SPAN("experiment", "node_job", "node", alloc.node);
-    GPUVAR_METRIC_COUNT("experiment.node_jobs");
-    auto& bucket = builder.bucket(ai);
-    for (int run = 0; run < config.runs_per_gpu; ++run) {
-      const auto results =
-          run_on_node(cluster, alloc.node, config.workload, run, opts);
-      for (const auto& res : results) {
-        bucket.append_row(to_record(cluster, res, config.day_of_week));
-      }
-    }
-    if (config.progress != nullptr) {
-      MutexLock lock(prog.mu);
-      ++prog.done;
-      config.progress(prog.done, allocations.size());
-    }
-  });
-
+  // One cycle through the campaign engine with no checkpoint directory
+  // and an unlimited shard budget: every bucket stays resident, nothing
+  // touches disk, and the merged frame is byte-for-byte the engine's
+  // in-memory path — run_experiment is now a name for that special
+  // case, not a second implementation.
+  CampaignResult r = run_campaign(cluster, config, CampaignOptions{});
   ExperimentResult out;
-  out.nodes_measured = allocations.size();
-  out.frame = builder.finish();
-  // Distinct-GPU count straight off the interned pool — no aggregation.
-  out.gpus_measured = out.frame.gpu_count();
-  GPUVAR_METRIC_ADD("experiment.records", out.frame.size());
+  out.frame = std::move(r.frame);
+  out.gpus_measured = r.gpus_measured;
+  out.nodes_measured = r.nodes_measured;
   return out;
 }
 

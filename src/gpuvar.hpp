@@ -27,6 +27,7 @@
 #include "core/classify.hpp"       // IWYU pragma: export
 #include "core/compare.hpp"        // IWYU pragma: export
 #include "core/correlate.hpp"      // IWYU pragma: export
+#include "core/engine.hpp"         // IWYU pragma: export
 #include "core/experiment.hpp"     // IWYU pragma: export
 #include "core/drift.hpp"          // IWYU pragma: export
 #include "core/flagging.hpp"       // IWYU pragma: export
@@ -65,6 +66,7 @@
 #include "stats/sampling.hpp"      // IWYU pragma: export
 #include "telemetry/counters.hpp"  // IWYU pragma: export
 #include "telemetry/frame.hpp"     // IWYU pragma: export
+#include "telemetry/shard.hpp"     // IWYU pragma: export
 #include "telemetry/record.hpp"    // IWYU pragma: export
 #include "telemetry/run_result.hpp" // IWYU pragma: export
 #include "telemetry/export.hpp"    // IWYU pragma: export

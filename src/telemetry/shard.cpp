@@ -1,0 +1,218 @@
+#include "telemetry/shard.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/binio.hpp"
+#include "common/require.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+
+namespace gpuvar {
+
+namespace {
+
+/// "GVSH" little-endian: the first four bytes of every shard file.
+constexpr std::uint32_t kShardMagic = 0x48535647u;
+
+/// Header fields after the magic+version, in order. Kept as a helper
+/// struct so writer and reader cannot drift apart field-by-field.
+struct ShardHeader {
+  std::uint64_t bucket_index = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t pool = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_hash = 0;
+};
+
+void append_header(std::string& out, const ShardHeader& h) {
+  binio::append_u32(out, kShardMagic);
+  binio::append_u16(out, kFrameShardVersion);
+  binio::append_u64(out, h.bucket_index);
+  binio::append_u64(out, h.rows);
+  binio::append_u64(out, h.pool);
+  binio::append_u64(out, h.payload_bytes);
+  binio::append_u64(out, h.payload_hash);
+}
+
+ShardHeader read_header(binio::ByteReader& r, const std::string& label) {
+  const std::uint32_t magic = r.read_u32();
+  if (magic != kShardMagic) {
+    throw std::runtime_error(label + ": not a gpuvar frame shard (bad magic)");
+  }
+  const std::uint16_t version = r.read_u16();
+  if (version != kFrameShardVersion) {
+    throw std::runtime_error(label + ": unsupported shard version " +
+                             std::to_string(version) + " (this build reads " +
+                             std::to_string(kFrameShardVersion) + ")");
+  }
+  ShardHeader h;
+  h.bucket_index = r.read_u64();
+  h.rows = r.read_u64();
+  h.pool = r.read_u64();
+  h.payload_bytes = r.read_u64();
+  h.payload_hash = r.read_u64();
+  return h;
+}
+
+void append_column(std::string& out, std::span<const double> col) {
+  for (double v : col) binio::append_f64(out, v);
+}
+
+std::string serialize_with_info(const RecordFrame& frame,
+                                std::uint64_t bucket_index,
+                                FrameShardInfo& info) {
+  // Payload first: the header stores its size and hash.
+  std::string payload;
+  // Rough pre-size: pool entries plus eleven columns.
+  payload.reserve(frame.gpus().size() * 64 + frame.size() * 74);
+  for (const GpuRef& g : frame.gpus()) {
+    binio::append_u64(payload, static_cast<std::uint64_t>(g.gpu_index));
+    binio::append_i32(payload, g.loc.node);
+    binio::append_i32(payload, g.loc.gpu);
+    binio::append_i32(payload, g.loc.cabinet);
+    binio::append_i32(payload, g.loc.row);
+    binio::append_i32(payload, g.loc.column);
+    binio::append_i32(payload, g.loc.node_in_group);
+    binio::append_bytes(payload, g.loc.name);
+  }
+  for (std::uint32_t id : frame.gpu_ids()) binio::append_u32(payload, id);
+  for (std::int32_t run : frame.run_indices()) binio::append_i32(payload, run);
+  for (std::int16_t day : frame.days_of_week()) binio::append_i16(payload, day);
+  append_column(payload, frame.perf_ms());
+  append_column(payload, frame.freq_mhz());
+  append_column(payload, frame.power_w());
+  append_column(payload, frame.temp_c());
+  append_column(payload, frame.fu_util());
+  append_column(payload, frame.dram_util());
+  append_column(payload, frame.mem_stall_frac());
+  append_column(payload, frame.exec_stall_frac());
+
+  ShardHeader h;
+  h.bucket_index = bucket_index;
+  h.rows = frame.size();
+  h.pool = frame.gpus().size();
+  h.payload_bytes = payload.size();
+  h.payload_hash = binio::fnv1a64(payload);
+
+  info.bucket_index = bucket_index;
+  info.rows = h.rows;
+  info.payload_bytes = h.payload_bytes;
+  info.payload_hash = h.payload_hash;
+
+  std::string out;
+  out.reserve(payload.size() + kFrameShardHeaderBytes);
+  append_header(out, h);
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_frame_shard(const RecordFrame& frame,
+                                  std::uint64_t bucket_index) {
+  FrameShardInfo info;
+  return serialize_with_info(frame, bucket_index, info);
+}
+
+FrameShard parse_frame_shard(std::string_view bytes, std::string label) {
+  binio::ByteReader r(bytes, label);
+  const ShardHeader h = read_header(r, label);
+  if (r.remaining() != h.payload_bytes) {
+    throw std::runtime_error(
+        label + ": truncated or oversized shard (header promises " +
+        std::to_string(h.payload_bytes) + " payload bytes, file holds " +
+        std::to_string(r.remaining()) + ")");
+  }
+  const std::string_view payload = bytes.substr(bytes.size() - r.remaining());
+  const std::uint64_t hash = binio::fnv1a64(payload);
+  if (hash != h.payload_hash) {
+    throw std::runtime_error(label +
+                             ": payload corrupt (content hash mismatch)");
+  }
+
+  // Pool snapshot, in the frame's first-appearance id order.
+  std::vector<GpuRef> pool;
+  pool.reserve(h.pool);
+  for (std::uint64_t i = 0; i < h.pool; ++i) {
+    GpuRef g;
+    g.gpu_index = static_cast<std::size_t>(r.read_u64());
+    g.loc.node = r.read_i32();
+    g.loc.gpu = r.read_i32();
+    g.loc.cabinet = r.read_i32();
+    g.loc.row = r.read_i32();
+    g.loc.column = r.read_i32();
+    g.loc.node_in_group = r.read_i32();
+    g.loc.name = std::string(r.read_bytes());
+    pool.push_back(std::move(g));
+  }
+
+  const auto rows = static_cast<std::size_t>(h.rows);
+  std::vector<std::uint32_t> ids(rows);
+  for (auto& id : ids) {
+    id = r.read_u32();
+    if (id >= pool.size()) {
+      throw std::runtime_error(label + ": row references pool id " +
+                               std::to_string(id) + " outside the " +
+                               std::to_string(pool.size()) + "-entry pool");
+    }
+  }
+  std::vector<std::int32_t> runs(rows);
+  for (auto& run : runs) run = r.read_i32();
+  std::vector<std::int16_t> days(rows);
+  for (auto& day : days) day = r.read_i16();
+  std::vector<std::vector<double>> cols(8, std::vector<double>(rows));
+  for (auto& col : cols) {
+    for (auto& v : col) v = r.read_f64();
+  }
+  GPUVAR_ASSERT(r.at_end());
+
+  // Rebuild through the streaming append API: rows re-intern in the
+  // same first-appearance order they were written, so pool ids (and
+  // every column byte) match the frame that was serialized.
+  FrameShard out;
+  out.info.bucket_index = h.bucket_index;
+  out.info.rows = h.rows;
+  out.info.payload_bytes = h.payload_bytes;
+  out.info.payload_hash = h.payload_hash;
+  out.frame.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const GpuRef& g = pool[ids[i]];
+    RunRecord rec;
+    rec.gpu_index = g.gpu_index;
+    rec.loc = g.loc;
+    rec.run_index = runs[i];
+    rec.day_of_week = days[i];
+    rec.perf_ms = cols[0][i];
+    rec.freq_mhz = cols[1][i];
+    rec.power_w = cols[2][i];
+    rec.temp_c = cols[3][i];
+    rec.counters.fu_util = cols[4][i];
+    rec.counters.dram_util = cols[5][i];
+    rec.counters.mem_stall_frac = cols[6][i];
+    rec.counters.exec_stall_frac = cols[7][i];
+    out.frame.append_row(rec);
+  }
+  return out;
+}
+
+FrameShardInfo write_frame_shard(std::ostream& out, const RecordFrame& frame,
+                                 std::uint64_t bucket_index) {
+  FrameShardInfo info;
+  const std::string bytes = serialize_with_info(frame, bucket_index, info);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return info;
+}
+
+FrameShard read_frame_shard(std::istream& in, std::string label) {
+  std::string bytes;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    bytes.append(buf, static_cast<std::size_t>(in.gcount()));
+  }
+  return parse_frame_shard(bytes, std::move(label));
+}
+
+}  // namespace gpuvar

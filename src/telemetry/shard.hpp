@@ -1,0 +1,77 @@
+// FrameShard: the self-describing binary spill format for one campaign
+// bucket.
+//
+// The campaign engine (core/engine.hpp) streams each node bucket into a
+// RecordFrame and — when resident bytes exceed the shard budget, or a
+// checkpoint directory is recording the campaign — serializes the
+// bucket to one shard file. A shard is a complete, standalone frame:
+// header (magic, version, bucket index, row/pool counts, payload size
+// and hash) followed by a payload holding the interned GPU pool
+// snapshot and the raw columns. Doubles travel as IEEE-754 bit
+// patterns (common/binio.hpp), so write -> read -> merge produces a
+// frame byte-identical to one that never left memory — the property
+// the engine's "any spill threshold, same output" contract rests on.
+//
+// Robustness contract: a reader never trusts the file. Bad magic, an
+// unsupported version, a header that promises more payload than the
+// file holds, or a payload whose hash disagrees with the header all
+// throw std::runtime_error naming the shard and the defect — the
+// engine treats any of these as "bucket missing" and re-runs it from
+// its seed path rather than merging garbage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "telemetry/frame.hpp"
+
+namespace gpuvar {
+
+/// Format version written by this build; readers reject anything else.
+inline constexpr std::uint16_t kFrameShardVersion = 1;
+
+/// Serialized header size: u32 magic + u16 version + five u64 fields
+/// (bucket index, rows, pool, payload bytes, payload hash). A shard
+/// file is exactly this many bytes plus its payload.
+inline constexpr std::size_t kFrameShardHeaderBytes = 4 + 2 + 5 * 8;
+
+/// What a completed shard write looks like from the outside — the facts
+/// the campaign manifest records per bucket.
+struct FrameShardInfo {
+  std::uint64_t bucket_index = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t payload_bytes = 0;
+  /// FNV-1a of the payload: the manifest's staleness check. A manifest
+  /// entry whose hash disagrees with the shard on disk forces that
+  /// bucket to re-run.
+  std::uint64_t payload_hash = 0;
+};
+
+/// One bucket read back from a shard.
+struct FrameShard {
+  FrameShardInfo info;
+  RecordFrame frame;
+};
+
+/// Serializes `frame` as bucket `bucket_index` into a byte buffer
+/// (header + payload, ready to be written as one file).
+std::string serialize_frame_shard(const RecordFrame& frame,
+                                  std::uint64_t bucket_index);
+
+/// Parses a serialized shard. `label` names the source (e.g. the file
+/// path) in error messages. Throws std::runtime_error on truncation,
+/// bad magic, version mismatch, or payload hash mismatch.
+FrameShard parse_frame_shard(std::string_view bytes, std::string label);
+
+/// Writes `frame` as one shard to `out`; returns the facts the
+/// manifest records. The stream receives a single write.
+FrameShardInfo write_frame_shard(std::ostream& out, const RecordFrame& frame,
+                                 std::uint64_t bucket_index);
+
+/// Reads one shard from `in` (consumes the whole stream). Same error
+/// contract as parse_frame_shard.
+FrameShard read_frame_shard(std::istream& in, std::string label);
+
+}  // namespace gpuvar

@@ -50,8 +50,14 @@ TEST(Allocator, CoverageFraction) {
 TEST(Allocator, CoverageRejectsBadFractions) {
   Cluster c(cloudlab_spec());
   ExclusiveAllocator alloc(c);
-  EXPECT_THROW(alloc.sample_coverage(0.0), std::invalid_argument);
+  EXPECT_THROW(alloc.sample_coverage(-0.1), std::invalid_argument);
   EXPECT_THROW(alloc.sample_coverage(1.5), std::invalid_argument);
+}
+
+TEST(Allocator, ZeroCoverageIsAnEmptyCampaign) {
+  Cluster c(cloudlab_spec());
+  ExclusiveAllocator alloc(c);
+  EXPECT_TRUE(alloc.sample_coverage(0.0).empty());
 }
 
 TEST(Allocator, AllocationsExposeNodeGpus) {

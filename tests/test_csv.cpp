@@ -30,6 +30,7 @@ TEST(CsvWriter, WritesHeaderAndRows) {
   csv.header({"x", "y"});
   csv.add(1.5).add("foo");
   csv.end_row();
+  csv.flush();
   EXPECT_EQ(out.str(), "x,y\n1.5,foo\n");
   EXPECT_EQ(csv.rows_written(), 1u);
 }
@@ -54,6 +55,7 @@ TEST(CsvWriter, WorksWithoutHeader) {
   CsvWriter csv(out);
   csv.row({"p", "q"});
   csv.row({"r"});  // width unchecked without a header
+  csv.flush();
   EXPECT_EQ(out.str(), "p,q\nr\n");
 }
 
@@ -62,6 +64,7 @@ TEST(CsvWriter, FormatsIntegers) {
   CsvWriter csv(out);
   csv.add(42).add(static_cast<long long>(-7)).add(std::size_t{9});
   csv.end_row();
+  csv.flush();
   EXPECT_EQ(out.str(), "42,-7,9\n");
 }
 
@@ -71,7 +74,19 @@ TEST(CsvWriter, FormatsNonFiniteDoubles) {
   csv.add(std::numeric_limits<double>::quiet_NaN())
       .add(std::numeric_limits<double>::infinity());
   csv.end_row();
+  csv.flush();
   EXPECT_EQ(out.str(), "nan,inf\n");
+}
+
+TEST(CsvWriter, DestructorFlushesBufferedRows) {
+  std::ostringstream out;
+  {
+    CsvWriter csv(out);
+    csv.add("a").add("b");
+    csv.end_row();
+    // Small rows stay buffered until flush()/destruction.
+  }
+  EXPECT_EQ(out.str(), "a,b\n");
 }
 
 TEST(CsvWriter, EndRowWithoutFieldsThrows) {

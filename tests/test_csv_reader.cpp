@@ -85,6 +85,7 @@ TEST(CsvReader, RoundTripsWriterOutput) {
   writer.header({"name", "value"});
   writer.add("weird,\"name\"").add(3.25);
   writer.end_row();
+  writer.flush();
   std::istringstream in(out.str());
   CsvReader csv(in);
   EXPECT_EQ(csv.field(0, "name"), "weird,\"name\"");

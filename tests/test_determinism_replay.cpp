@@ -7,12 +7,14 @@
 // formatting all have to hold for these byte comparisons to pass.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/markdown_report.hpp"
 #include "obs/export.hpp"
@@ -133,6 +135,50 @@ TEST(DeterminismReplay, ByteIdenticalAcrossPoolSizes) {
   EXPECT_EQ(one.metrics_text, eight.metrics_text)
       << "metrics dump differs between 1 and 8 threads: a metric merge "
          "is not commutative";
+}
+
+TEST(DeterminismReplay, SpillThresholdNeverChangesArtifactBytes) {
+  // The engine's spill path (serialize each bucket to a shard, evict,
+  // read it back at merge) must be invisible in the output: a campaign
+  // that spilled every bucket and one that spilled none produce the
+  // same CSV, report, and summary bytes at every pool size.
+  const Cluster cluster{cloudlab_spec()};
+  const auto spill_dir =
+      std::filesystem::path(::testing::TempDir()) / "gpuvar_replay_spill";
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    auto cfg = default_config(cluster, sgemm_workload(16384, 2), 2);
+    cfg.pool = &pool;
+
+    const CampaignResult in_memory = run_campaign(cluster, cfg);
+
+    std::filesystem::remove_all(spill_dir);
+    std::filesystem::create_directories(spill_dir);
+    CampaignOptions spill_all;
+    spill_all.checkpoint_dir = spill_dir.string();
+    spill_all.shard_budget_bytes = 0;
+    const CampaignResult spilled = run_campaign(cluster, cfg, spill_all);
+    EXPECT_EQ(spilled.stats.buckets_spilled, spilled.stats.buckets_run)
+        << "budget 0 must spill every bucket";
+
+    MarkdownReportOptions md_opts;
+    md_opts.bootstrap_resamples = 50;
+    std::ostringstream csv_a, csv_b, md_a, md_b, sum_a, sum_b;
+    export_frame_csv(csv_a, cluster.name(), in_memory.frame);
+    export_frame_csv(csv_b, cluster.name(), spilled.frame);
+    write_markdown_report(md_a, in_memory.frame, md_opts);
+    write_markdown_report(md_b, spilled.frame, md_opts);
+    write_campaign_summary(sum_a, in_memory);
+    write_campaign_summary(sum_b, spilled);
+    EXPECT_EQ(csv_a.str(), csv_b.str())
+        << threads << " threads: spill threshold leaked into the CSV";
+    EXPECT_EQ(md_a.str(), md_b.str())
+        << threads << " threads: spill threshold leaked into the report";
+    EXPECT_EQ(sum_a.str(), sum_b.str())
+        << threads << " threads: spill threshold leaked into the summary";
+  }
+  std::filesystem::remove_all(spill_dir);
 }
 
 TEST(DeterminismReplay, RepeatOnSamePoolIsIdentical) {

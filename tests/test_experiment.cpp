@@ -108,5 +108,32 @@ TEST_F(ExperimentTest, RejectsBadConfig) {
   EXPECT_THROW(run_experiment(cluster_, cfg), std::invalid_argument);
 }
 
+TEST_F(ExperimentTest, ZeroCoverageIsAnEmptyResultNotAnError) {
+  // Degenerate edge of a coverage sweep: measure nothing, report
+  // nothing — and never invoke the progress callback with total 0.
+  auto cfg = default_config(cluster_, sgemm_workload(16384, 2), 1);
+  cfg.node_coverage = 0.0;
+  bool progress_called = false;
+  cfg.progress = [&](std::size_t, std::size_t) { progress_called = true; };
+  const auto result = run_experiment(cluster_, cfg);
+  EXPECT_EQ(result.frame.size(), 0u);
+  EXPECT_EQ(result.gpus_measured, 0u);
+  EXPECT_EQ(result.nodes_measured, 0u);
+  EXPECT_FALSE(progress_called);
+}
+
+TEST_F(ExperimentTest, EmptyClusterIsAnEmptyResultNotAnError) {
+  ClusterSpec spec = cloudlab_spec();
+  spec.layout.nodes = 0;
+  const Cluster empty(spec);
+  auto cfg = default_config(empty, sgemm_workload(16384, 2), 1);
+  bool progress_called = false;
+  cfg.progress = [&](std::size_t, std::size_t) { progress_called = true; };
+  const auto result = run_experiment(empty, cfg);
+  EXPECT_EQ(result.frame.size(), 0u);
+  EXPECT_EQ(result.nodes_measured, 0u);
+  EXPECT_FALSE(progress_called);
+}
+
 }  // namespace
 }  // namespace gpuvar

@@ -1,0 +1,172 @@
+// FrameShard is the engine's durability format: every checkpointed
+// bucket round-trips through it, so "bit-identical" here is load-bearing
+// for the campaign determinism contract — a resumed campaign merges
+// shard-restored buckets next to freshly-run ones and the output must
+// not betray which was which.
+#include "telemetry/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/binio.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+
+namespace gpuvar {
+namespace {
+
+/// A frame with enough variety to exercise the whole payload: several
+/// interned GPUs (revisited out of order), negative and sentinel field
+/// values, non-finite doubles, and a name that needs CSV-style care.
+RecordFrame varied_frame() {
+  RecordFrame frame;
+  for (int i = 0; i < 6; ++i) {
+    RunRecord r;
+    r.gpu_index = static_cast<std::size_t>(100 + i % 3);  // 3 GPUs, revisited
+    r.loc.node = i % 3;
+    r.loc.gpu = i % 2;
+    r.loc.cabinet = 7;
+    r.loc.row = -1;
+    r.loc.column = 42;
+    r.loc.node_in_group = i;
+    r.loc.name = "node" + std::to_string(i % 3) + "-gpu,weird\"name";
+    r.run_index = i;
+    r.day_of_week = (i % 2 == 0) ? -1 : 3;
+    r.perf_ms = 123.456 + i;
+    r.freq_mhz = 1410.0 - i * 0.25;
+    r.power_w = (i == 4) ? 0.0 : 287.5;
+    r.temp_c = 65.0 + i;
+    r.counters.fu_util = 0.5;
+    r.counters.dram_util = (i == 5) ? -0.0 : 0.25;
+    r.counters.mem_stall_frac = 1.0 / 3.0;
+    r.counters.exec_stall_frac = 1e-300;
+    frame.append_row(r);
+  }
+  return frame;
+}
+
+TEST(FrameShard, RoundTripIsBitIdentical) {
+  const RecordFrame frame = varied_frame();
+  const std::string bytes = serialize_frame_shard(frame, 42);
+  const FrameShard parsed = parse_frame_shard(bytes, "test");
+
+  EXPECT_EQ(parsed.info.bucket_index, 42u);
+  EXPECT_EQ(parsed.info.rows, frame.size());
+  ASSERT_EQ(parsed.frame.size(), frame.size());
+  ASSERT_EQ(parsed.frame.gpu_count(), frame.gpu_count());
+
+  // The decisive check: re-serializing the parsed frame reproduces the
+  // original shard byte for byte (pool order, ids, every f64 bit).
+  EXPECT_EQ(serialize_frame_shard(parsed.frame, 42), bytes);
+
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(parsed.frame.gpu_index(i), frame.gpu_index(i));
+    EXPECT_EQ(parsed.frame.loc(i).name, frame.loc(i).name);
+    EXPECT_EQ(parsed.frame.run_index(i), frame.run_index(i));
+    EXPECT_EQ(parsed.frame.day_of_week(i), frame.day_of_week(i));
+  }
+}
+
+TEST(FrameShard, EmptyFrameRoundTrips) {
+  const RecordFrame empty;
+  const std::string bytes = serialize_frame_shard(empty, 0);
+  EXPECT_EQ(bytes.size(), kFrameShardHeaderBytes);
+  const FrameShard parsed = parse_frame_shard(bytes, "empty");
+  EXPECT_EQ(parsed.frame.size(), 0u);
+  EXPECT_EQ(parsed.info.payload_bytes, 0u);
+}
+
+TEST(FrameShard, StreamRoundTripReportsInfo) {
+  const RecordFrame frame = varied_frame();
+  std::stringstream stream;
+  const FrameShardInfo info = write_frame_shard(stream, frame, 7);
+  EXPECT_EQ(info.bucket_index, 7u);
+  EXPECT_EQ(info.rows, frame.size());
+  EXPECT_EQ(stream.str().size(), info.payload_bytes + kFrameShardHeaderBytes);
+
+  const FrameShard parsed = read_frame_shard(stream, "stream");
+  EXPECT_EQ(parsed.info.payload_hash, info.payload_hash);
+  EXPECT_EQ(serialize_frame_shard(parsed.frame, 7), stream.str());
+}
+
+TEST(FrameShard, TruncatedShardIsRejectedWithClearError) {
+  const std::string bytes = serialize_frame_shard(varied_frame(), 1);
+  // Every strict prefix must fail loudly, never parse as a smaller
+  // frame: a half-written spill file cannot masquerade as data.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3},
+                          kFrameShardHeaderBytes - 1, kFrameShardHeaderBytes,
+                          bytes.size() - 1}) {
+    EXPECT_THROW(parse_frame_shard(std::string_view(bytes).substr(0, cut),
+                                   "trunc"),
+                 std::runtime_error)
+        << "prefix of " << cut << " bytes parsed";
+  }
+  try {
+    parse_frame_shard(std::string_view(bytes).substr(0, bytes.size() - 1),
+                      "bucket-000001.shard");
+    FAIL() << "truncated shard parsed";
+  } catch (const std::runtime_error& e) {
+    // The error names the file and says what is wrong with it.
+    EXPECT_NE(std::string(e.what()).find("bucket-000001.shard"),
+              std::string::npos);
+  }
+}
+
+TEST(FrameShard, BadMagicIsRejected) {
+  std::string bytes = serialize_frame_shard(varied_frame(), 0);
+  bytes[0] = 'X';
+  try {
+    parse_frame_shard(bytes, "notashard");
+    FAIL() << "bad magic parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+}
+
+TEST(FrameShard, UnsupportedVersionIsRejected) {
+  std::string bytes = serialize_frame_shard(varied_frame(), 0);
+  bytes[4] = static_cast<char>(kFrameShardVersion + 1);  // version u16 LE
+  try {
+    parse_frame_shard(bytes, "future");
+    FAIL() << "future version parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(FrameShard, CorruptPayloadFailsTheHashCheck) {
+  std::string bytes = serialize_frame_shard(varied_frame(), 0);
+  // Flip one payload byte; the header's FNV-1a hash must catch it.
+  bytes[bytes.size() - 1] = static_cast<char>(bytes.back() ^ 0x01);
+  try {
+    parse_frame_shard(bytes, "corrupt");
+    FAIL() << "corrupt payload parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hash"), std::string::npos);
+  }
+}
+
+TEST(FrameShard, HeaderLengthLieIsRejected) {
+  const RecordFrame frame = varied_frame();
+  std::string bytes = serialize_frame_shard(frame, 0);
+  // Understate payload_bytes in the header (offset 4+2+8+8+8 = 30,
+  // little-endian u64): the size cross-check fires before any decode.
+  bytes[30] = static_cast<char>(bytes[30] ^ 0x01);
+  EXPECT_THROW(parse_frame_shard(bytes, "lying-header"), std::runtime_error);
+}
+
+TEST(FrameShard, SerializationIsDeterministic) {
+  // Two serializations of equal frames are equal bytes — the property
+  // the manifest's recorded payload hash depends on.
+  const std::string a = serialize_frame_shard(varied_frame(), 3);
+  const std::string b = serialize_frame_shard(varied_frame(), 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(binio::fnv1a64(a), binio::fnv1a64(b));
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -9,9 +9,10 @@
 #   tools/ci.sh tsan           ThreadSanitizer job (ThreadPool-heavy tests)
 #   tools/ci.sh analyzer       full gpuvar-analyzer run; archives the JSON
 #                              report and layering DOT under build-ci/
-#   tools/ci.sh bench-smoke    micro_frame_bench smoke run (records/sec for
-#                              column extraction, per-GPU aggregation, and
-#                              frame build); archives BENCH_frame.json
+#   tools/ci.sh bench-smoke    micro bench smoke run (frame column ops, CSV
+#                              export, shard codec, campaign engine);
+#                              archives BENCH_frame.json, BENCH_engine.json
+#                              and BENCH_analyzer.json
 #   tools/ci.sh bench-guard    rerun the micro benches and compare against
 #                              the committed bench/BENCH_*.json reference
 #                              at a ~2x tolerance
@@ -19,6 +20,11 @@
 #                              `gpuvar simulate --trace --metrics` campaign,
 #                              JSON validation, artifacts archived under
 #                              build-ci/
+#   tools/ci.sh resume-smoke   kill-and-resume check of the campaign
+#                              engine: run a checkpointed campaign, delete
+#                              half its shards and the done marker, resume,
+#                              and byte-compare every artifact against the
+#                              uninterrupted run
 #   tools/ci.sh thread-safety  clang -Werror=thread-safety syntax-only
 #                              compile of src/** (skipped when clang++ is
 #                              not installed — the GPUVAR_* annotations
@@ -108,20 +114,24 @@ job_analyzer() {
 }
 
 job_bench_smoke() {
-  echo "=== job: bench-smoke (micro_frame_bench + micro_analyzer_bench) ==="
+  echo "=== job: bench-smoke (micro frame/engine/analyzer benches) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
-    --target micro_analyzer_bench
+    --target micro_engine_bench --target micro_analyzer_bench
   # Smoke cadence, not a tuned perf run: one repetition per benchmark,
-  # JSON archived so regressions in the columnar data plane and the
-  # analyzer's scan driver are diffable.
+  # JSON archived so regressions in the columnar data plane, the shard
+  # codec / campaign engine, and the analyzer's scan driver are diffable.
   ./build-ci/bench/micro_frame_bench \
     --benchmark_out=build-ci/BENCH_frame.json \
+    --benchmark_out_format=json
+  ./build-ci/bench/micro_engine_bench \
+    --benchmark_out=build-ci/BENCH_engine.json \
     --benchmark_out_format=json
   ./build-ci/bench/micro_analyzer_bench \
     --benchmark_out=build-ci/BENCH_analyzer.json \
     --benchmark_out_format=json
   echo "frame bench report: build-ci/BENCH_frame.json"
+  echo "engine bench report: build-ci/BENCH_engine.json"
   echo "analyzer bench report: build-ci/BENCH_analyzer.json"
 }
 
@@ -129,13 +139,16 @@ job_bench_guard() {
   echo "=== job: bench-guard (fresh micro benches vs committed reference) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
-    --target micro_analyzer_bench
+    --target micro_engine_bench --target micro_analyzer_bench
   if ! command -v python3 > /dev/null 2>&1; then
     echo "python3 unavailable; skipping bench comparison"
     return 0
   fi
   ./build-ci/bench/micro_frame_bench \
     --benchmark_out=build-ci/BENCH_frame.guard.json \
+    --benchmark_out_format=json
+  ./build-ci/bench/micro_engine_bench \
+    --benchmark_out=build-ci/BENCH_engine.guard.json \
     --benchmark_out_format=json
   ./build-ci/bench/micro_analyzer_bench \
     --benchmark_out=build-ci/BENCH_analyzer.guard.json \
@@ -146,6 +159,7 @@ job_bench_guard() {
   #   tools/ci.sh bench-smoke && cp build-ci/BENCH_*.json bench/
   python3 - \
     bench/BENCH_frame.json build-ci/BENCH_frame.guard.json \
+    bench/BENCH_engine.json build-ci/BENCH_engine.guard.json \
     bench/BENCH_analyzer.json build-ci/BENCH_analyzer.guard.json <<'EOF'
 import json
 import sys
@@ -210,6 +224,46 @@ EOF
   echo "obs artifacts: build-ci/OBS_trace.json build-ci/OBS_metrics.txt"
 }
 
+job_resume_smoke() {
+  echo "=== job: resume-smoke (campaign kill + resume, byte-compare) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  cmake --build build-ci -j "$JOBS" --target gpuvar_cli
+  local ck=build-ci/RESUME_ck
+  rm -rf "$ck" build-ci/RESUME_*.csv build-ci/RESUME_*.md build-ci/RESUME_*.sum
+
+  # Uninterrupted reference: a checkpointed, spill-everything campaign.
+  ./build-ci/tools/gpuvar run --cluster cloudlab --workload sgemm \
+    --reps 4 --runs 2 --checkpoint "$ck" --shard-budget 0 \
+    --out build-ci/RESUME_ref.csv --report build-ci/RESUME_ref.md \
+    --summary build-ci/RESUME_ref.sum
+
+  # Simulate a mid-campaign kill: delete every other shard, strip the
+  # manifest's done line, and put the in-progress marker back — the
+  # on-disk state a SIGKILL between bucket completions leaves behind.
+  local n=0
+  for shard in "$ck"/bucket-*.shard; do
+    if [ $((n % 2)) -eq 0 ]; then rm "$shard"; fi
+    n=$((n + 1))
+  done
+  grep -v '^done$' "$ck/manifest.txt" > "$ck/manifest.txt.tmp"
+  mv "$ck/manifest.txt.tmp" "$ck/manifest.txt"
+  echo "campaign in progress" > "$ck/IN_PROGRESS"
+
+  # Resume: only the missing buckets re-run (the CLI reports how many
+  # were restored), then every artifact must match the reference byte
+  # for byte.
+  ./build-ci/tools/gpuvar run --cluster cloudlab --workload sgemm \
+    --reps 4 --runs 2 --checkpoint "$ck" --shard-budget 0 \
+    --out build-ci/RESUME_got.csv --report build-ci/RESUME_got.md \
+    --summary build-ci/RESUME_got.sum | tee build-ci/RESUME_log.txt
+  grep -q 'buckets restored' build-ci/RESUME_log.txt
+  cmp build-ci/RESUME_ref.csv build-ci/RESUME_got.csv
+  cmp build-ci/RESUME_ref.md build-ci/RESUME_got.md
+  cmp build-ci/RESUME_ref.sum build-ci/RESUME_got.sum
+  [ ! -e "$ck/IN_PROGRESS" ]
+  echo "resume-smoke: resumed campaign artifacts byte-identical"
+}
+
 job_thread_safety() {
   echo "=== job: thread-safety (clang -Werror=thread-safety) ==="
   if ! command -v clang++ > /dev/null 2>&1; then
@@ -236,6 +290,7 @@ case "${1:-all}" in
   bench-smoke) job_bench_smoke ;;
   bench-guard) job_bench_guard ;;
   obs-smoke) job_obs_smoke ;;
+  resume-smoke) job_resume_smoke ;;
   thread-safety) job_thread_safety ;;
   all)
     job_build
@@ -243,13 +298,14 @@ case "${1:-all}" in
     job_bench_smoke
     job_bench_guard
     job_obs_smoke
+    job_resume_smoke
     job_thread_safety
     job_asan
     job_tsan
     echo "=== all CI jobs passed ==="
     ;;
   *)
-    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|bench-guard|obs-smoke|thread-safety|all]" >&2
+    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|bench-guard|obs-smoke|resume-smoke|thread-safety|all]" >&2
     exit 2
     ;;
 esac
