@@ -41,12 +41,18 @@ void append_bytes(std::string& out, std::string_view bytes) {
 }
 
 std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
+  Fnv1a64 h;
+  h.update(bytes);
+  return h.digest();
+}
+
+void Fnv1a64::update(std::string_view bytes) {
+  std::uint64_t h = state_;
   for (char c : bytes) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ull;
   }
-  return h;
+  state_ = h;
 }
 
 ByteReader::ByteReader(std::string_view data, std::string label)

@@ -35,6 +35,19 @@ void append_bytes(std::string& out, std::string_view bytes);
 /// headers and manifests (content fingerprint, not cryptographic).
 std::uint64_t fnv1a64(std::string_view bytes);
 
+/// Incremental FNV-1a: feed bytes in any chunking; digest() equals
+/// fnv1a64 over the concatenation. Lets callers fingerprint large
+/// serializations (a whole merged campaign frame) without ever
+/// materializing the serialized bytes.
+class Fnv1a64 {
+ public:
+  void update(std::string_view bytes);
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
 /// Cursor over a serialized byte buffer. Every read checks the
 /// remaining length and throws std::runtime_error mentioning `label`
 /// (e.g. the file name) on overrun, so truncation surfaces as a clear

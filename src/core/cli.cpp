@@ -250,6 +250,13 @@ std::uint64_t parse_shard_budget(const std::string& text) {
   GPUVAR_REQUIRE_MSG(parse_int(digits, value) && value >= 0,
                      "bad --shard-budget '" + text +
                          "' (want BYTES, BYTES with K/M/G, or 'unlimited')");
+  // The scaled product must fit in 64 bits: a wrapped value would
+  // silently become an arbitrary small (or effectively unlimited)
+  // budget instead of the error the user needs to see.
+  GPUVAR_REQUIRE_MSG(static_cast<std::uint64_t>(value) <=
+                         ~std::uint64_t{0} / scale,
+                     "--shard-budget '" + text +
+                         "' overflows a 64-bit byte count");
   return static_cast<std::uint64_t>(value) * scale;
 }
 

@@ -223,6 +223,43 @@ struct EngineState {
 
 }  // namespace
 
+namespace {
+
+/// Appends a canonical rendering of every WorkloadSpec field that
+/// changes what a run measures. The name alone is not an identity:
+/// `gpuvar run --reps N` rebuilds the spec with different iteration
+/// counts under the same name, and a checkpoint recorded under one
+/// reps value must refuse to merge shards measured under another.
+void append_workload_identity(std::string& key, const WorkloadSpec& w) {
+  key += ";workload=" + w.name;
+  key += ";metric=" + to_string(w.metric);
+  key += ";gpus_per_job=" + format_int(w.gpus_per_job);
+  key += ";iterations=" + format_int(w.iterations);
+  key += ";warmup=" + format_int(w.warmup_iterations);
+  key += ";gap=" + format_double(w.inter_kernel_gap.value(), 17);
+  key += ";allreduce=" + format_double(w.allreduce_seconds.value(), 17);
+  key += ";gpu_sigma=" + format_double(w.gpu_sensitivity_sigma, 17);
+  key += ";power_sigma=" + format_double(w.power_jitter_sigma, 17);
+  for (const KernelStep& s : w.iteration) {
+    key += ";step=" + s.kernel.name;
+    key += ",count=" + format_int(s.count);
+    key += ",long=";
+    key += s.long_kernel ? '1' : '0';
+    key += ",flops=" + format_double(s.kernel.flops, 17);
+    key += ",bytes=" + format_double(s.kernel.bytes, 17);
+    key += ",ce=" + format_double(s.kernel.compute_efficiency, 17);
+    key += ",be=" + format_double(s.kernel.bw_efficiency, 17);
+    key += ",act=" + format_double(s.kernel.activity, 17);
+    key += ",floor=" + format_double(s.kernel.stall_activity_floor, 17);
+    key += ",fu=" + format_double(s.kernel.fu_util, 17);
+    key += ",dram=" + format_double(s.kernel.dram_util, 17);
+    key += ",mstall=" + format_double(s.kernel.mem_stall_frac, 17);
+    key += ",estall=" + format_double(s.kernel.exec_stall_frac, 17);
+  }
+}
+
+}  // namespace
+
 std::uint64_t campaign_config_hash(const Cluster& cluster,
                                    const ExperimentConfig& config) {
   // Canonical key=value string over every field that changes what the
@@ -233,7 +270,7 @@ std::uint64_t campaign_config_hash(const Cluster& cluster,
   key += ";seed=" + format_int(static_cast<long long>(cluster.spec().seed));
   key += ";nodes=" + format_int(cluster.node_count());
   key += ";gpus_per_node=" + format_int(cluster.gpus_per_node());
-  key += ";workload=" + config.workload.name;
+  append_workload_identity(key, config.workload);
   key += ";runs=" + format_int(config.runs_per_gpu);
   key += ";coverage=" + format_double(config.node_coverage, 17);
   key += ";day=" + format_int(config.day_of_week);
@@ -489,13 +526,17 @@ void write_campaign_summary(std::ostream& out, const CampaignResult& result) {
   // Only facts that are pure functions of (cluster, config) appear
   // here — never whether buckets were restored, spilled, or re-run —
   // so the bytes match between an uninterrupted campaign and any
-  // interrupted-then-resumed replay of it.
-  const std::string serialized = serialize_frame_shard(result.frame, 0);
+  // interrupted-then-resumed replay of it. The content hash streams
+  // over the merged frame (hash_frame_shard) rather than serializing
+  // it: the frame can be far larger than any shard budget, and a full
+  // serialized copy would double peak memory exactly where the
+  // bounded-budget engine promises not to.
   out << "gpuvar-campaign-summary v1\n";
   out << "buckets " << format_int(static_cast<long long>(
                            result.stats.buckets_total)) << "\n";
   out << "config " << format_hex(result.config_hash) << "\n";
-  out << "frame_hash " << format_hex(binio::fnv1a64(serialized)) << "\n";
+  out << "frame_hash " << format_hex(hash_frame_shard(result.frame, 0))
+      << "\n";
   out << "gpus " << format_int(static_cast<long long>(result.gpus_measured))
       << "\n";
   out << "nodes " << format_int(static_cast<long long>(result.nodes_measured))

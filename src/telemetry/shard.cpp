@@ -6,7 +6,6 @@
 #include <utility>
 
 #include "common/binio.hpp"
-#include "common/require.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/record.hpp"
 
@@ -57,8 +56,58 @@ ShardHeader read_header(binio::ByteReader& r, const std::string& label) {
   return h;
 }
 
-void append_column(std::string& out, std::span<const double> col) {
-  for (double v : col) binio::append_f64(out, v);
+/// Streams the payload bytes to `sink(std::string_view)` in bounded
+/// chunks. Both the serializer and the streaming hasher consume this
+/// one emitter, so the bytes they see can never drift apart.
+template <typename Sink>
+void emit_payload(const RecordFrame& frame, Sink&& sink) {
+  constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+  std::string buf;
+  buf.reserve(kChunkBytes + 512);
+  const auto flush_if_full = [&] {
+    if (buf.size() >= kChunkBytes) {
+      sink(std::string_view(buf));
+      buf.clear();
+    }
+  };
+  const auto emit_column = [&](std::span<const double> col) {
+    for (double v : col) {
+      binio::append_f64(buf, v);
+      flush_if_full();
+    }
+  };
+  for (const GpuRef& g : frame.gpus()) {
+    binio::append_u64(buf, static_cast<std::uint64_t>(g.gpu_index));
+    binio::append_i32(buf, g.loc.node);
+    binio::append_i32(buf, g.loc.gpu);
+    binio::append_i32(buf, g.loc.cabinet);
+    binio::append_i32(buf, g.loc.row);
+    binio::append_i32(buf, g.loc.column);
+    binio::append_i32(buf, g.loc.node_in_group);
+    binio::append_bytes(buf, g.loc.name);
+    flush_if_full();
+  }
+  for (std::uint32_t id : frame.gpu_ids()) {
+    binio::append_u32(buf, id);
+    flush_if_full();
+  }
+  for (std::int32_t run : frame.run_indices()) {
+    binio::append_i32(buf, run);
+    flush_if_full();
+  }
+  for (std::int16_t day : frame.days_of_week()) {
+    binio::append_i16(buf, day);
+    flush_if_full();
+  }
+  emit_column(frame.perf_ms());
+  emit_column(frame.freq_mhz());
+  emit_column(frame.power_w());
+  emit_column(frame.temp_c());
+  emit_column(frame.fu_util());
+  emit_column(frame.dram_util());
+  emit_column(frame.mem_stall_frac());
+  emit_column(frame.exec_stall_frac());
+  if (!buf.empty()) sink(std::string_view(buf));
 }
 
 std::string serialize_with_info(const RecordFrame& frame,
@@ -68,27 +117,7 @@ std::string serialize_with_info(const RecordFrame& frame,
   std::string payload;
   // Rough pre-size: pool entries plus eleven columns.
   payload.reserve(frame.gpus().size() * 64 + frame.size() * 74);
-  for (const GpuRef& g : frame.gpus()) {
-    binio::append_u64(payload, static_cast<std::uint64_t>(g.gpu_index));
-    binio::append_i32(payload, g.loc.node);
-    binio::append_i32(payload, g.loc.gpu);
-    binio::append_i32(payload, g.loc.cabinet);
-    binio::append_i32(payload, g.loc.row);
-    binio::append_i32(payload, g.loc.column);
-    binio::append_i32(payload, g.loc.node_in_group);
-    binio::append_bytes(payload, g.loc.name);
-  }
-  for (std::uint32_t id : frame.gpu_ids()) binio::append_u32(payload, id);
-  for (std::int32_t run : frame.run_indices()) binio::append_i32(payload, run);
-  for (std::int16_t day : frame.days_of_week()) binio::append_i16(payload, day);
-  append_column(payload, frame.perf_ms());
-  append_column(payload, frame.freq_mhz());
-  append_column(payload, frame.power_w());
-  append_column(payload, frame.temp_c());
-  append_column(payload, frame.fu_util());
-  append_column(payload, frame.dram_util());
-  append_column(payload, frame.mem_stall_frac());
-  append_column(payload, frame.exec_stall_frac());
+  emit_payload(frame, [&](std::string_view chunk) { payload.append(chunk); });
 
   ShardHeader h;
   h.bucket_index = bucket_index;
@@ -115,6 +144,33 @@ std::string serialize_frame_shard(const RecordFrame& frame,
                                   std::uint64_t bucket_index) {
   FrameShardInfo info;
   return serialize_with_info(frame, bucket_index, info);
+}
+
+std::uint64_t hash_frame_shard(const RecordFrame& frame,
+                               std::uint64_t bucket_index) {
+  // Pass 1: payload size and hash, which the header embeds.
+  binio::Fnv1a64 payload_hash;
+  std::uint64_t payload_bytes = 0;
+  emit_payload(frame, [&](std::string_view chunk) {
+    payload_hash.update(chunk);
+    payload_bytes += chunk.size();
+  });
+
+  ShardHeader h;
+  h.bucket_index = bucket_index;
+  h.rows = frame.size();
+  h.pool = frame.gpus().size();
+  h.payload_bytes = payload_bytes;
+  h.payload_hash = payload_hash.digest();
+  std::string header;
+  header.reserve(kFrameShardHeaderBytes);
+  append_header(header, h);
+
+  // Pass 2: the whole-shard hash is header bytes then payload bytes.
+  binio::Fnv1a64 hash;
+  hash.update(header);
+  emit_payload(frame, [&](std::string_view chunk) { hash.update(chunk); });
+  return hash.digest();
 }
 
 FrameShard parse_frame_shard(std::string_view bytes, std::string label) {
@@ -167,7 +223,17 @@ FrameShard parse_frame_shard(std::string_view bytes, std::string label) {
   for (auto& col : cols) {
     for (auto& v : col) v = r.read_f64();
   }
-  GPUVAR_ASSERT(r.at_end());
+  // Payload size and hash cover only the payload bytes, so a header
+  // whose rows/pool counts understate the content passes both checks
+  // and leaves unread bytes here. That is file corruption, not a
+  // library bug: it must surface as std::runtime_error so the engine's
+  // resume scan demotes the bucket to re-run instead of aborting.
+  if (!r.at_end()) {
+    throw std::runtime_error(
+        label + ": " + std::to_string(r.remaining()) +
+        " trailing payload bytes (header row/pool counts disagree with "
+        "the payload)");
+  }
 
   // Rebuild through the streaming append API: rows re-intern in the
   // same first-appearance order they were written, so pool ids (and

@@ -60,6 +60,14 @@ struct FrameShard {
 std::string serialize_frame_shard(const RecordFrame& frame,
                                   std::uint64_t bucket_index);
 
+/// FNV-1a of serialize_frame_shard(frame, bucket_index), computed by
+/// streaming the serialization through the hash in bounded chunks —
+/// the content fingerprint of a merged campaign frame (which can be
+/// orders of magnitude larger than any shard budget) without ever
+/// materializing a second copy of it.
+std::uint64_t hash_frame_shard(const RecordFrame& frame,
+                               std::uint64_t bucket_index);
+
 /// Parses a serialized shard. `label` names the source (e.g. the file
 /// path) in error messages. Throws std::runtime_error on truncation,
 /// bad magic, version mismatch, or payload hash mismatch.

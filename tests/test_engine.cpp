@@ -15,6 +15,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/thread_pool.hpp"
+#include "common/units.hpp"
 #include "core/experiment.hpp"
 #include "core/markdown_report.hpp"
 #include "obs/export.hpp"
@@ -226,6 +227,18 @@ TEST_F(EngineTest, CheckpointOfDifferentCampaignIsRefused) {
     EXPECT_NE(std::string(e.what()).find("different campaign"),
               std::string::npos);
   }
+
+  // Same name, different reps: the workload spec (not just its name)
+  // is part of the checkpoint identity.
+  auto reps_cfg = config(/*runs=*/1);
+  reps_cfg.workload = sgemm_workload(16384, 3);
+  try {
+    run_campaign(cluster_, reps_cfg, opts);
+    FAIL() << "resumed under a different workload spec";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different campaign"),
+              std::string::npos);
+  }
 }
 
 TEST_F(EngineTest, ForeignManifestFileIsRefused) {
@@ -316,6 +329,26 @@ TEST_F(EngineTest, ConfigHashSeparatesCampaigns) {
   auto coverage = base;
   coverage.node_coverage = 0.5;
   EXPECT_NE(campaign_config_hash(cluster_, coverage), h);
+
+  // Workload *parameters* are identity too, not just the name:
+  // `--reps` rebuilds the spec under the same name, and a checkpoint
+  // measured under different reps must not pass as the same campaign.
+  auto reps = base;
+  reps.workload = sgemm_workload(16384, 3);
+  ASSERT_EQ(reps.workload.name, base.workload.name);
+  EXPECT_NE(campaign_config_hash(cluster_, reps), h);
+  auto metric = base;
+  metric.workload.metric = PerfMetric::kLongKernelSum;
+  EXPECT_NE(campaign_config_hash(cluster_, metric), h);
+  auto warmup = base;
+  warmup.workload.warmup_iterations += 1;
+  EXPECT_NE(campaign_config_hash(cluster_, warmup), h);
+  auto kernel = base;
+  kernel.workload.iteration.front().kernel.flops *= 2.0;
+  EXPECT_NE(campaign_config_hash(cluster_, kernel), h);
+  auto cap = base;
+  cap.run_options.power_limit_override = Watts{150.0};
+  EXPECT_NE(campaign_config_hash(cluster_, cap), h);
 }
 
 TEST_F(EngineTest, SweepBuildersNameJobsAfterTheirVariation) {

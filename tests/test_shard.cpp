@@ -159,6 +159,45 @@ TEST(FrameShard, HeaderLengthLieIsRejected) {
   EXPECT_THROW(parse_frame_shard(bytes, "lying-header"), std::runtime_error);
 }
 
+TEST(FrameShard, HeaderRowCountLieIsRejectedAsRuntimeError) {
+  // Understate the header's row count (u64 at offset 4+2+8 = 14). The
+  // payload size and hash checks still pass — they cover only the
+  // payload — so the only defense is the trailing-bytes check after
+  // the last column. It must throw std::runtime_error (never
+  // std::logic_error): the engine's resume scan demotes runtime_error
+  // to "re-run this bucket", while anything else aborts the campaign.
+  std::string bytes = serialize_frame_shard(varied_frame(), 0);
+  ASSERT_EQ(static_cast<unsigned char>(bytes[14]), 6u);  // rows == 6
+  bytes[14] = 2;
+  try {
+    parse_frame_shard(bytes, "rows-lie");
+    FAIL() << "row-count lie parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rows-lie"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+}
+
+TEST(FrameShard, StreamingHashMatchesSerializedBytes) {
+  // hash_frame_shard must equal hashing the materialized serialization
+  // — the guard that keeps the streaming emitter and the serializer
+  // from drifting apart field by field.
+  const RecordFrame frame = varied_frame();
+  EXPECT_EQ(hash_frame_shard(frame, 42),
+            binio::fnv1a64(serialize_frame_shard(frame, 42)));
+  EXPECT_NE(hash_frame_shard(frame, 42), hash_frame_shard(frame, 43));
+  const RecordFrame empty;
+  EXPECT_EQ(hash_frame_shard(empty, 0),
+            binio::fnv1a64(serialize_frame_shard(empty, 0)));
+
+  // And the incremental hasher itself is chunking-independent.
+  const std::string bytes = serialize_frame_shard(frame, 42);
+  binio::Fnv1a64 pieces;
+  pieces.update(std::string_view(bytes).substr(0, 7));
+  pieces.update(std::string_view(bytes).substr(7));
+  EXPECT_EQ(pieces.digest(), binio::fnv1a64(bytes));
+}
+
 TEST(FrameShard, SerializationIsDeterministic) {
   // Two serializations of equal frames are equal bytes — the property
   // the manifest's recorded payload hash depends on.
