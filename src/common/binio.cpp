@@ -31,6 +31,10 @@ void append_i32(std::string& out, std::int32_t v) {
   append_le(out, static_cast<std::uint32_t>(v), 4);
 }
 
+void append_i64(std::string& out, std::int64_t v) {
+  append_le(out, static_cast<std::uint64_t>(v), 8);
+}
+
 void append_f64(std::string& out, double v) {
   append_u64(out, std::bit_cast<std::uint64_t>(v));
 }
@@ -97,7 +101,13 @@ std::int32_t ByteReader::read_i32() {
   return static_cast<std::int32_t>(read_u32());
 }
 
+std::int64_t ByteReader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
 double ByteReader::read_f64() { return std::bit_cast<double>(read_u64()); }
+
+void ByteReader::skip(std::size_t n) { take(n); }
 
 std::string_view ByteReader::read_bytes() {
   const std::uint32_t n = read_u32();

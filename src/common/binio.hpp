@@ -25,6 +25,7 @@ void append_u32(std::string& out, std::uint32_t v);
 void append_u64(std::string& out, std::uint64_t v);
 void append_i16(std::string& out, std::int16_t v);
 void append_i32(std::string& out, std::int32_t v);
+void append_i64(std::string& out, std::int64_t v);
 /// Raw IEEE-754 bit pattern, little-endian: bit-exact round trip,
 /// including negative zero, infinities and NaN payloads.
 void append_f64(std::string& out, double v);
@@ -62,9 +63,14 @@ class ByteReader {
   std::int16_t read_i16();
   std::int32_t read_i32();
   double read_f64();
+  std::int64_t read_i64();
   /// Reads a u32 length prefix, then that many bytes (a view into the
   /// underlying buffer — valid while the buffer lives).
   std::string_view read_bytes();
+  /// Advances past `n` bytes without decoding them; same overrun
+  /// contract as the reads. Lets a column-pruned shard decode step
+  /// over fixed-width columns it was not asked for.
+  void skip(std::size_t n);
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return pos_ == data_.size(); }

@@ -64,4 +64,16 @@ bool parse_int(std::string_view s, long long& out) {
   return res.ec == std::errc{} && res.ptr == s.data() + s.size();
 }
 
+std::string format_hex(std::uint64_t v) {
+  char buf[17];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v, 16);
+  return std::string(buf, res.ptr);
+}
+
+bool parse_hex(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out, 16);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
 }  // namespace gpuvar

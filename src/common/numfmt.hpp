@@ -8,6 +8,7 @@
 // identical in every environment.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -33,5 +34,13 @@ bool parse_double(std::string_view s, double& out);
 
 /// Parses a complete base-10 integer. Same contract as parse_double.
 bool parse_int(std::string_view s, long long& out);
+
+/// Lowercase hex with no prefix or padding — the rendering of content
+/// hashes in manifests and campaign summaries.
+std::string format_hex(std::uint64_t v);
+
+/// Parses a complete hex integer (no prefix). Same contract as
+/// parse_int.
+bool parse_hex(std::string_view s, std::uint64_t& out);
 
 }  // namespace gpuvar

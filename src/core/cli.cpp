@@ -5,8 +5,10 @@
 #include <optional>
 #include <sstream>
 
+#include "common/bytesize.hpp"
 #include "common/numfmt.hpp"
 #include "common/require.hpp"
+#include "common/thread_pool.hpp"
 #include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/flagging.hpp"
@@ -24,7 +26,10 @@
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
 #include "core/correlate.hpp"
+#include "core/user_impact.hpp"
 #include "gpu/sku.hpp"
+#include "query/dataset.hpp"
+#include "query/source.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/record.hpp"
 #include "telemetry/run_result.hpp"
@@ -107,10 +112,79 @@ WorkloadSpec workload_by_name(const std::string& name, int iterations) {
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Per-command flag tables. Every flag a command accepts appears here
+// exactly once; parse() rejects anything else with a suggestion list
+// and usage() renders these same rows, so the tables cannot drift from
+// the behavior.
+
+constexpr FlagSpec kSimulateFlags[] = {
+    {"cluster", "NAME", "cluster model (default cloudlab)"},
+    {"workload", "NAME", "workload model (default sgemm)"},
+    {"runs", "N", "runs per GPU"},
+    {"reps", "N", "iteration/repetition override"},
+    {"coverage", "F", "fraction of nodes measured"},
+    {"power-limit", "W", "power cap override"},
+    {"out", "FILE", "write a results CSV"},
+    {"trace", "FILE", "write a Chrome trace"},
+    {"metrics", "FILE", "write a metrics dump"},
+};
+
+constexpr FlagSpec kRunFlags[] = {
+    {"cluster", "NAME", "cluster model (default cloudlab)"},
+    {"workload", "NAME", "workload model (default sgemm)"},
+    {"runs", "N", "runs per GPU"},
+    {"reps", "N", "iteration/repetition override"},
+    {"coverage", "F", "fraction of nodes measured"},
+    {"checkpoint", "DIR", "checkpoint/resume campaign state here"},
+    {"shard-budget", "BYTES[K|M|G]|unlimited",
+     "in-memory frame budget before spilling"},
+    {"sweep", "day|power", "run a campaign sweep"},
+    {"power-caps", "W1,W2,...", "cap list for --sweep power"},
+    {"out", "FILE.csv", "write a results CSV"},
+    {"report", "FILE.md", "write a markdown report"},
+    {"summary", "FILE", "write a campaign summary"},
+    {"title", "T", "report title"},
+};
+
+constexpr FlagSpec kAnalyzeFlags[] = {
+    {"group", "cabinet|node|row", "breakdown grouping (default cabinet)"},
+};
+
+constexpr FlagSpec kFlagFlags[] = {
+    {"slowdown-temp", "T", "SKU thermal-slowdown threshold, Celsius"},
+};
+
+constexpr FlagSpec kProjectFlags[] = {
+    {"target", "N", "projected cluster size (required)"},
+};
+
+constexpr FlagSpec kReportFlags[] = {
+    {"title", "T", "report title"},
+    {"slowdown-temp", "T", "SKU thermal-slowdown threshold, Celsius"},
+};
+
+constexpr FlagSpec kQueryFlags[] = {
+    {"analysis", "NAME",
+     "variability|correlate|flags|drift|impact|compare (default variability)"},
+    {"where", "F=LO..HI,...",
+     "row filter on node/gpu/day/cabinet/row/col ranges"},
+    {"cache-budget", "BYTES[K|M|G]|unlimited",
+     "decoded-shard cache budget (default unlimited)"},
+    {"threads", "N", "scan threads (default: shared pool)"},
+    {"no-pushdown", nullptr, "scan every shard (disable header pushdown)"},
+    {"materialize", nullptr,
+     "merge the full frame first (reference path for byte-comparison)"},
+    {"against", "DIR", "second checkpoint for --analysis compare"},
+};
+
 struct ParsedArgs {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
 
+  bool has(const std::string& key) const {
+    return options.find(key) != options.end();
+  }
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
@@ -125,43 +199,99 @@ struct ParsedArgs {
   }
 };
 
-ParsedArgs parse(const std::vector<std::string>& args, std::size_t from) {
-  ParsedArgs out;
-  for (std::size_t i = from; i < args.size(); ++i) {
-    const std::string& a = args[i];
-    if (a.rfind("--", 0) == 0) {
-      GPUVAR_REQUIRE_MSG(i + 1 < args.size(), "missing value for " + a);
-      out.options[a.substr(2)] = args[++i];
-    } else {
-      out.positional.push_back(a);
-    }
+/// ", try one of --a, --b" over a command's flag table; a takes-no-flags
+/// note when the table is empty.
+std::string try_one_of_flags(const CommandSpec& cmd) {
+  if (cmd.flags.empty()) {
+    return std::string("; '") + cmd.name + "' takes no flags";
+  }
+  std::string out = ", try one of ";
+  bool first = true;
+  for (const auto& f : cmd.flags) {
+    if (!first) out += ", ";
+    out += "--";
+    out += f.name;
+    first = false;
   }
   return out;
 }
 
+/// Splits argv after the command name into positionals and flags,
+/// validated against the command's flag table.
+ParsedArgs parse(const std::vector<std::string>& args, std::size_t from,
+                 const CommandSpec& cmd) {
+  ParsedArgs out;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      out.positional.push_back(a);
+      continue;
+    }
+    const std::string key = a.substr(2);
+    const FlagSpec* spec = nullptr;
+    for (const auto& f : cmd.flags) {
+      if (key == f.name) spec = &f;
+    }
+    if (spec == nullptr) {
+      throw std::invalid_argument("unknown flag: " + a + " for '" +
+                                  cmd.name + "'" + try_one_of_flags(cmd));
+    }
+    if (spec->value_hint == nullptr) {
+      out.options[key] = "";
+      continue;
+    }
+    GPUVAR_REQUIRE_MSG(i + 1 < args.size(), "missing value for " + a);
+    out.options[key] = args[++i];
+  }
+  return out;
+}
+
+/// Renders the usage text from the command table: one wrapped line per
+/// command, flags in table order.
 void usage(std::ostream& err) {
-  err << "usage:\n"
-         "  gpuvar clusters | workloads\n"
-         "  gpuvar simulate --cluster NAME --workload NAME [--runs N]\n"
-         "                  [--reps N] [--coverage F] [--power-limit W]\n"
-         "                  [--out FILE] [--trace FILE] [--metrics FILE]\n"
-         "  gpuvar run --cluster NAME --workload NAME [--runs N] [--reps N]\n"
-         "             [--coverage F] [--checkpoint DIR]\n"
-         "             [--shard-budget BYTES[K|M|G]|unlimited]\n"
-         "             [--sweep day|power] [--power-caps W1,W2,...]\n"
-         "             [--out FILE.csv] [--report FILE.md] [--summary FILE]\n"
-         "  gpuvar analyze FILE.csv [--group cabinet|node|row]\n"
-         "  gpuvar flag FILE.csv [--slowdown-temp T]\n"
-         "  gpuvar project FILE.csv --target N\n"
-         "  gpuvar report FILE.csv [--title T] [--slowdown-temp T]\n"
-         "  gpuvar compare BEFORE.csv AFTER.csv\n"
-         "  gpuvar drift FILE.csv\n";
+  err << "usage:\n";
+  for (const auto& cmd : command_registry()) {
+    std::string line = std::string("  gpuvar ") + cmd.name;
+    if (cmd.args_hint[0] != '\0') {
+      line += ' ';
+      line += cmd.args_hint;
+    }
+    const std::string indent(line.size() > 24 ? 14 : line.size() + 1, ' ');
+    for (const auto& f : cmd.flags) {
+      std::string item = std::string(" [--") + f.name;
+      if (f.value_hint != nullptr) {
+        item += ' ';
+        item += f.value_hint;
+      }
+      item += ']';
+      if (line.size() + item.size() > 78) {
+        err << line << "\n";
+        line = indent;
+      }
+      line += item;
+    }
+    err << line << "\n";
+  }
 }
 
 RecordFrame load_frame(const std::string& path) {
   std::ifstream in(path);
   GPUVAR_REQUIRE_MSG(in.good(), "cannot open " + path);
   return import_results_frame(in);
+}
+
+int cmd_clusters(const ParsedArgs&, std::ostream& out) {
+  for (const auto& e : cluster_registry()) {
+    if (!e.hidden) out << e.name << "\t" << e.description << "\n";
+  }
+  return 0;
+}
+
+int cmd_workloads(const ParsedArgs&, std::ostream& out) {
+  for (const auto& e : workload_registry()) {
+    if (!e.hidden) out << e.name << "\t" << e.description << "\n";
+  }
+  return 0;
 }
 
 int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
@@ -233,33 +363,6 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& out) {
   return 0;
 }
 
-/// Parses a --shard-budget value: "unlimited", or a byte count with an
-/// optional K/M/G (binary) suffix, e.g. "4M".
-std::uint64_t parse_shard_budget(const std::string& text) {
-  if (text == "unlimited") return kUnlimitedShardBudget;
-  std::string digits = text;
-  std::uint64_t scale = 1;
-  if (!digits.empty()) {
-    const char suffix = digits.back();
-    if (suffix == 'K' || suffix == 'k') scale = 1ull << 10;
-    if (suffix == 'M' || suffix == 'm') scale = 1ull << 20;
-    if (suffix == 'G' || suffix == 'g') scale = 1ull << 30;
-    if (scale != 1) digits.pop_back();
-  }
-  long long value = 0;
-  GPUVAR_REQUIRE_MSG(parse_int(digits, value) && value >= 0,
-                     "bad --shard-budget '" + text +
-                         "' (want BYTES, BYTES with K/M/G, or 'unlimited')");
-  // The scaled product must fit in 64 bits: a wrapped value would
-  // silently become an arbitrary small (or effectively unlimited)
-  // budget instead of the error the user needs to see.
-  GPUVAR_REQUIRE_MSG(static_cast<std::uint64_t>(value) <=
-                         ~std::uint64_t{0} / scale,
-                     "--shard-budget '" + text +
-                         "' overflows a 64-bit byte count");
-  return static_cast<std::uint64_t>(value) * scale;
-}
-
 /// "out.csv" + job "day-3" -> "out-day-3.csv" (sweep artifact naming).
 std::string job_artifact_path(const std::string& path,
                               const std::string& job) {
@@ -325,7 +428,7 @@ int cmd_run(const ParsedArgs& args, std::ostream& out) {
   CampaignOptions options;
   options.checkpoint_dir = args.get("checkpoint", "");
   options.shard_budget_bytes =
-      parse_shard_budget(args.get("shard-budget", "unlimited"));
+      parse_byte_size(args.get("shard-budget", "unlimited"), "--shard-budget");
 
   const std::string sweep = args.get("sweep", "");
   if (!sweep.empty()) {
@@ -444,12 +547,7 @@ int cmd_report(const ParsedArgs& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_compare(const ParsedArgs& args, std::ostream& out) {
-  GPUVAR_REQUIRE_MSG(args.positional.size() >= 2,
-                     "compare needs BEFORE.csv AFTER.csv");
-  const auto before = load_frame(args.positional[0]);
-  const auto after = load_frame(args.positional[1]);
-  const auto cmp = compare_campaigns(before, after);
+void print_comparison(std::ostream& out, const CampaignComparison& cmp) {
   out << "matched " << cmp.matched_gpus << " GPUs (" << cmp.only_before
       << " only-before, " << cmp.only_after << " only-after)\n"
       << "population shift: " << cmp.median_delta_pct << "% (noise floor "
@@ -467,22 +565,19 @@ int cmd_compare(const ParsedArgs& args, std::ostream& out) {
                   d.after_temp_c);
     out << buf;
   }
-  return 0;
 }
 
-int cmd_drift(const ParsedArgs& args, std::ostream& out) {
-  GPUVAR_REQUIRE_MSG(!args.positional.empty(), "drift needs a CSV path");
-  const auto frame = load_frame(args.positional.front());
+void print_drift(std::ostream& out, const query::Source& source) {
   // Drift needs a history: at least one GPU with multiple runs.
   bool has_history = false;
-  const auto groups = group_rows_by_gpu(frame);
+  const auto groups = query::group_rows_by_gpu(source);
   for (std::uint32_t id : groups.order) {
     if (groups.offsets[id + 1] - groups.offsets[id] >= 2) has_history = true;
   }
   GPUVAR_REQUIRE_MSG(has_history,
                      "drift needs repeated runs per GPU (a history)");
-  out << "run noise sigma: " << estimate_run_noise_ms(frame) << " ms\n";
-  const auto flags = detect_performance_drift(frame);
+  out << "run noise sigma: " << estimate_run_noise_ms(source) << " ms\n";
+  const auto flags = analyze_drift(source);
   if (flags.empty()) {
     out << "no drift detected\n";
   }
@@ -493,10 +588,234 @@ int cmd_drift(const ParsedArgs& args, std::ostream& out) {
                   f.name.c_str(), f.drift_pct, f.runs, f.noise_sigmas);
     out << buf;
   }
+}
+
+int cmd_compare(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(args.positional.size() >= 2,
+                     "compare needs BEFORE.csv AFTER.csv");
+  const auto before = load_frame(args.positional[0]);
+  const auto after = load_frame(args.positional[1]);
+  print_comparison(out, compare_campaigns(before, after));
   return 0;
 }
 
+int cmd_drift(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(!args.positional.empty(), "drift needs a CSV path");
+  const auto frame = load_frame(args.positional.front());
+  print_drift(out, query::Source(frame));
+  return 0;
+}
+
+/// Parses a --where value: comma-separated FIELD=RANGE terms, RANGE
+/// being "N", "LO..HI", "LO.." or "..HI" (inclusive bounds).
+query::Predicate parse_predicate(const std::string& text) {
+  query::Predicate where;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string term =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    const std::size_t eq = term.find('=');
+    GPUVAR_REQUIRE_MSG(eq != std::string::npos,
+                       "bad --where term '" + term + "' (want FIELD=LO..HI)");
+    const std::string field = term.substr(0, eq);
+    const std::string range = term.substr(eq + 1);
+    query::FieldRange* r = nullptr;
+    if (field == "node") r = &where.node;
+    if (field == "gpu") r = &where.gpu_index;
+    if (field == "day") r = &where.day;
+    if (field == "cabinet") r = &where.cabinet;
+    if (field == "row") r = &where.row;
+    if (field == "col") r = &where.column;
+    GPUVAR_REQUIRE_MSG(r != nullptr,
+                       "unknown --where field '" + field +
+                           "', try one of node, gpu, day, cabinet, row, col");
+    const auto bound = [&](const std::string& s) {
+      long long v = 0;
+      GPUVAR_REQUIRE_MSG(parse_int(s, v),
+                         "bad --where range '" + range + "' for " + field);
+      return static_cast<std::int64_t>(v);
+    };
+    const std::size_t dots = range.find("..");
+    if (dots == std::string::npos) {
+      r->lo = r->hi = bound(range);
+    } else {
+      const std::string lo = range.substr(0, dots);
+      const std::string hi = range.substr(dots + 2);
+      if (!lo.empty()) r->lo = bound(lo);
+      if (!hi.empty()) r->hi = bound(hi);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return where;
+}
+
+/// The --materialize reference path: merge the whole store into one
+/// frame, then apply the predicate row-by-row with frame.select. The
+/// streaming path must be byte-identical to this (ci.sh query-smoke
+/// compares the two outputs verbatim).
+RecordFrame materialize_where(const query::Dataset& dataset,
+                              const query::Predicate& where) {
+  RecordFrame frame = dataset.materialize();
+  if (where.is_all()) return frame;
+  const auto ids = frame.gpu_ids();
+  const auto days = frame.days_of_week();
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (where.matches(frame.gpu(ids[i]), days[i])) rows.push_back(i);
+  }
+  return frame.select(rows);
+}
+
+void run_query_analysis(const ParsedArgs& args, std::ostream& out,
+                        const query::Source& source,
+                        const query::Source* against) {
+  const std::string analysis = args.get("analysis", "variability");
+  GPUVAR_REQUIRE_MSG(!source.empty(), "no rows match the --where filter");
+  out << "rows matched: " << source.size() << "\n";
+  if (analysis == "variability") {
+    print_section(out, "variability");
+    print_variability_table(out, analyze_variability(source));
+    return;
+  }
+  if (analysis == "correlate") {
+    print_section(out, "correlations");
+    print_correlation_table(out, analyze_correlation(source));
+    return;
+  }
+  if (analysis == "flags") {
+    print_section(out, "operator early-warning report");
+    print_flags(out, analyze_flags(source));
+    return;
+  }
+  if (analysis == "drift") {
+    print_drift(out, source);
+    return;
+  }
+  if (analysis == "impact") {
+    print_section(out, "user impact");
+    for (const auto& ji : analyze_user_impact(source)) {
+      char buf[120];
+      std::snprintf(buf, sizeof(buf),
+                    "  %2d-GPU jobs: expected %.3fx, p95 %.3fx, "
+                    "P(any slow) %.2f\n",
+                    ji.gpus_per_job, ji.expected_slowdown, ji.p95_slowdown,
+                    ji.p_any_slow);
+      out << buf;
+    }
+    return;
+  }
+  if (analysis == "compare") {
+    GPUVAR_REQUIRE_MSG(against != nullptr,
+                       "--analysis compare needs --against DIR");
+    GPUVAR_REQUIRE_MSG(!against->empty(),
+                       "no rows match the --where filter in --against");
+    print_comparison(out, analyze_compare(source, *against));
+    return;
+  }
+  throw std::invalid_argument("unknown --analysis '" + analysis +
+                              "', try one of variability, correlate, flags, "
+                              "drift, impact, compare");
+}
+
+int cmd_query(const ParsedArgs& args, std::ostream& out) {
+  GPUVAR_REQUIRE_MSG(!args.positional.empty(),
+                     "query needs a checkpoint directory");
+  query::DatasetOptions dopts;
+  dopts.cache_budget_bytes =
+      parse_byte_size(args.get("cache-budget", "unlimited"), "--cache-budget");
+  dopts.pushdown = !args.has("no-pushdown");
+  std::optional<ThreadPool> pool;
+  const int threads = static_cast<int>(args.get_num("threads", 0));
+  if (threads > 0) {
+    pool.emplace(static_cast<std::size_t>(threads));
+    dopts.pool = &*pool;
+  }
+  const query::Predicate where = parse_predicate(args.get("where", ""));
+
+  const auto dataset = query::Dataset::open(args.positional.front(), dopts);
+  out << "dataset: " << dataset.shards().size() << " shards, "
+      << dataset.total_rows() << " rows"
+      << (dataset.complete() ? "" : " (incomplete campaign)") << "\n";
+
+  std::optional<query::Dataset> against_ds;
+  const std::string against_dir = args.get("against", "");
+  if (!against_dir.empty()) {
+    against_ds.emplace(query::Dataset::open(against_dir, dopts));
+  }
+
+  // The streaming path and the --materialize reference path must print
+  // byte-identical analysis output; only the source construction
+  // differs.
+  if (args.has("materialize")) {
+    const RecordFrame frame = materialize_where(dataset, where);
+    std::optional<RecordFrame> against_frame;
+    std::optional<query::Source> against_src;
+    if (against_ds) {
+      against_frame.emplace(materialize_where(*against_ds, where));
+      against_src.emplace(*against_frame);
+    }
+    run_query_analysis(args, out, query::Source(frame),
+                       against_src ? &*against_src : nullptr);
+    return 0;
+  }
+  std::optional<query::Source> against_src;
+  if (against_ds) against_src.emplace(*against_ds, where);
+  run_query_analysis(args, out, query::Source(dataset, where),
+                     against_src ? &*against_src : nullptr);
+  return 0;
+}
+
+/// The command registry: one row per subcommand, handlers bound to the
+/// same specs the usage text and flag validation render from.
+struct CommandEntry {
+  CommandSpec spec;
+  int (*run)(const ParsedArgs&, std::ostream&);
+};
+
+constexpr CommandEntry kCommands[] = {
+    {{"clusters", "", "list the built-in cluster models", {}}, cmd_clusters},
+    {{"workloads", "", "list the built-in workload models", {}},
+     cmd_workloads},
+    {{"simulate", "", "run one experiment and summarize it", kSimulateFlags},
+     cmd_simulate},
+    {{"run", "", "run a checkpointable campaign (sweeps, artifacts)",
+      kRunFlags},
+     cmd_run},
+    {{"analyze", "FILE.csv", "variability + correlation report",
+      kAnalyzeFlags},
+     cmd_analyze},
+    {{"flag", "FILE.csv", "operator early-warning report", kFlagFlags},
+     cmd_flag},
+    {{"project", "FILE.csv", "scaled-normal cluster-size projection",
+      kProjectFlags},
+     cmd_project},
+    {{"report", "FILE.csv", "markdown campaign report", kReportFlags},
+     cmd_report},
+    {{"compare", "BEFORE.csv AFTER.csv", "before/after-maintenance deltas",
+      {}},
+     cmd_compare},
+    {{"drift", "FILE.csv", "per-GPU temporal drift detection", {}},
+     cmd_drift},
+    {{"query", "DIR", "stream an analysis off a checkpointed campaign store",
+      kQueryFlags},
+     cmd_query},
+};
+
+/// Spec-only view of kCommands, materialized once at startup so
+/// command_registry can hand out a span over stable storage.
+const std::vector<CommandSpec> kCommandSpecs = [] {
+  std::vector<CommandSpec> out;
+  out.reserve(std::size(kCommands));
+  for (const auto& c : kCommands) out.push_back(c.spec);
+  return out;
+}();
+
 }  // namespace
+
+std::span<const CommandSpec> command_registry() { return kCommandSpecs; }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
@@ -506,27 +825,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return 2;
     }
     const std::string& cmd = args.front();
-    const auto parsed = parse(args, 1);
-    if (cmd == "clusters") {
-      for (const auto& e : cluster_registry()) {
-        if (!e.hidden) out << e.name << "\t" << e.description << "\n";
-      }
-      return 0;
+    for (const auto& c : kCommands) {
+      if (cmd == c.spec.name) return c.run(parse(args, 1, c.spec), out);
     }
-    if (cmd == "workloads") {
-      for (const auto& e : workload_registry()) {
-        if (!e.hidden) out << e.name << "\t" << e.description << "\n";
-      }
-      return 0;
-    }
-    if (cmd == "simulate") return cmd_simulate(parsed, out);
-    if (cmd == "run") return cmd_run(parsed, out);
-    if (cmd == "analyze") return cmd_analyze(parsed, out);
-    if (cmd == "flag") return cmd_flag(parsed, out);
-    if (cmd == "project") return cmd_project(parsed, out);
-    if (cmd == "report") return cmd_report(parsed, out);
-    if (cmd == "compare") return cmd_compare(parsed, out);
-    if (cmd == "drift") return cmd_drift(parsed, out);
     err << "unknown command: " << cmd << "\n";
     usage(err);
     return 2;

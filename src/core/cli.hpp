@@ -11,6 +11,9 @@
 //   flag      FILE.csv [--slowdown-temp T]
 //                                    operator early-warning report
 //   project   FILE.csv --target N    scaled-normal cluster-size projection
+//   query     DIR [--analysis A] [--where F=LO..HI,...]
+//                                    stream an analysis straight off a
+//                                    checkpointed campaign store
 //
 // `analyze`, `flag` and `project` consume any CSV with the results schema
 // — including ones collected on real hardware — so the suite works as a
@@ -48,9 +51,29 @@ struct WorkloadEntry {
   WorkloadSpec (*make)(int iterations);
 };
 
+/// One flag a subcommand accepts. A null value_hint marks a boolean
+/// flag (present/absent, no value token follows it).
+struct FlagSpec {
+  const char* name;        ///< without the leading "--"
+  const char* value_hint;  ///< e.g. "N", "FILE"; nullptr = boolean
+  const char* description;
+};
+
+/// One subcommand row: the same single-table discipline as
+/// ClusterEntry/WorkloadEntry, extended to the command plane. The table
+/// drives dispatch, the usage renderer, and unknown-flag suggestions —
+/// adding a command or flag is one row, never three hand-kept lists.
+struct CommandSpec {
+  const char* name;
+  const char* args_hint;  ///< positional args, e.g. "FILE.csv"; "" if none
+  const char* description;
+  std::span<const FlagSpec> flags;
+};
+
 /// The full registries, hidden entries included.
 std::span<const ClusterEntry> cluster_registry();
 std::span<const WorkloadEntry> workload_registry();
+std::span<const CommandSpec> command_registry();
 
 /// Builds a spec by name; throws std::invalid_argument on unknown names,
 /// listing the valid ones.

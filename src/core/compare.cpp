@@ -6,15 +6,16 @@
 
 #include "common/require.hpp"
 #include "core/drift.hpp"
+#include "query/source.hpp"
 #include "stats/quantile.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/record.hpp"
 
 namespace gpuvar {
 
-CampaignComparison compare_campaigns(const RecordFrame& before,
-                                     const RecordFrame& after,
-                                     const CompareOptions& options) {
+CampaignComparison analyze_compare(const query::Source& before,
+                                   const query::Source& after,
+                                   const CompareOptions& options) {
   GPUVAR_REQUIRE(!before.empty() && !after.empty());
   GPUVAR_REQUIRE(options.significance_sigmas > 0.0);
 
@@ -28,9 +29,9 @@ CampaignComparison compare_campaigns(const RecordFrame& before,
   // Noise floor: run-to-run noise of whichever campaign has repeats;
   // fall back to the other, then to zero (single-run campaigns).
   double noise_ms = 0.0;
-  for (const auto& campaign : {before, after}) {
+  for (const query::Source* campaign : {&before, &after}) {
     try {
-      noise_ms = std::max(noise_ms, estimate_run_noise_ms(campaign));
+      noise_ms = std::max(noise_ms, estimate_run_noise_ms(*campaign));
     } catch (const std::invalid_argument&) {
       // single-run campaign: no successive differences available
     }
@@ -89,6 +90,12 @@ CampaignComparison compare_campaigns(const RecordFrame& before,
               return ka != kb ? ka > kb : a.name < b.name;
             });
   return cmp;
+}
+
+CampaignComparison compare_campaigns(const RecordFrame& before,
+                                     const RecordFrame& after,
+                                     const CompareOptions& options) {
+  return analyze_compare(query::Source(before), query::Source(after), options);
 }
 
 }  // namespace gpuvar

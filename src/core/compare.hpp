@@ -11,6 +11,7 @@
 #include <vector>
 
 namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
+namespace gpuvar::query { class Source; }  // was: #include "query/source.hpp"
 
 namespace gpuvar {
 
@@ -46,6 +47,12 @@ struct CompareOptions {
 
 /// Matches records by GPU name. Requires each campaign to be non-empty
 /// and at least one GPU to appear in both.
+CampaignComparison analyze_compare(const query::Source& before,
+                                   const query::Source& after,
+                                   const CompareOptions& options = {});
+
+/// Forwarding shim (one deprecation cycle): prefer analyze_compare.
+// gpuvar-lint: allow(analysis-signature)
 CampaignComparison compare_campaigns(const RecordFrame& before,
                                      const RecordFrame& after,
                                      const CompareOptions& options = {});

@@ -6,6 +6,7 @@
 
 #include "telemetry/record.hpp"
 namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
+namespace gpuvar::query { class Source; }  // was: #include "query/source.hpp"
 
 namespace gpuvar {
 
@@ -30,9 +31,20 @@ struct CorrelationReport {
   }
 };
 
-/// Correlates two metric columns of the frame (zero-copy span views).
+/// Tunables for analyze_correlation. No knobs yet; exists for the
+/// unified analyze_*(source, options) signature shape.
+struct CorrelateOptions {};
+
+/// Correlates two metric columns (zero-copy for a frame-backed source).
+MetricCorrelation correlate_pair(const query::Source& source, Metric x,
+                                 Metric y);
 MetricCorrelation correlate_pair(const RecordFrame& frame, Metric x, Metric y);
 
+CorrelationReport analyze_correlation(const query::Source& source,
+                                      const CorrelateOptions& options = {});
+
+/// Forwarding shim (one deprecation cycle): prefer analyze_correlation.
+// gpuvar-lint: allow(analysis-signature)
 CorrelationReport correlate_metrics(const RecordFrame& frame);
 
 }  // namespace gpuvar

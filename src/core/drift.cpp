@@ -5,22 +5,22 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "query/source.hpp"
 #include "stats/quantile.hpp"
 #include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
 
 namespace gpuvar {
 
 namespace {
 
 /// One GPU's (run_index, perf_ms) history in chronological order,
-/// gathered from the frame's grouped row indices. Sorting the pairs
+/// gathered from the grouped row indices. Sorting the pairs
 /// lexicographically matches the legacy row path exactly (ties on
 /// run_index fall back to perf).
-std::vector<std::pair<int, double>> gpu_history(const RecordFrame& frame,
-                                                const GpuRowGroups& groups,
-                                                std::uint32_t id) {
-  const auto perf = frame.perf_ms();
-  const auto run = frame.run_indices();
+std::vector<std::pair<int, double>> gpu_history(
+    std::span<const double> perf, std::span<const std::int32_t> run,
+    const GpuRowGroups& groups, std::uint32_t id) {
   std::vector<std::pair<int, double>> out;
   const std::size_t begin = groups.offsets[id];
   const std::size_t end = groups.offsets[id + 1];
@@ -35,11 +35,13 @@ std::vector<std::pair<int, double>> gpu_history(const RecordFrame& frame,
 
 }  // namespace
 
-double estimate_run_noise_ms(const RecordFrame& frame) {
-  const auto groups = group_rows_by_gpu(frame);
+double estimate_run_noise_ms(const query::Source& source) {
+  const auto groups = group_rows_by_gpu(source);
+  const auto perf = source.metric(Metric::kPerf);
+  const auto run = source.run_indices();
   std::vector<double> abs_diffs;
   for (std::uint32_t id : groups.order) {
-    const auto runs = gpu_history(frame, groups, id);
+    const auto runs = gpu_history(perf, run, groups, id);
     for (std::size_t i = 1; i < runs.size(); ++i) {
       abs_diffs.push_back(std::abs(runs[i].second - runs[i - 1].second));
     }
@@ -51,19 +53,25 @@ double estimate_run_noise_ms(const RecordFrame& frame) {
   return stats::median(abs_diffs) * 1.4826 / std::sqrt(2.0);
 }
 
-std::vector<DriftFlag> detect_performance_drift(const RecordFrame& frame,
-                                                const DriftOptions& options) {
-  GPUVAR_REQUIRE(!frame.empty());
+double estimate_run_noise_ms(const RecordFrame& frame) {
+  return estimate_run_noise_ms(query::Source(frame));
+}
+
+std::vector<DriftFlag> analyze_drift(const query::Source& source,
+                                     const DriftOptions& options) {
+  GPUVAR_REQUIRE(!source.empty());
   GPUVAR_REQUIRE(options.ewma_alpha > 0.0 && options.ewma_alpha <= 1.0);
   GPUVAR_REQUIRE(options.baseline_runs >= 1);
   GPUVAR_REQUIRE(options.min_runs > options.baseline_runs);
 
-  const double noise_sigma = estimate_run_noise_ms(frame);
-  const auto groups = group_rows_by_gpu(frame);
+  const double noise_sigma = estimate_run_noise_ms(source);
+  const auto groups = group_rows_by_gpu(source);
+  const auto perf = source.metric(Metric::kPerf);
+  const auto run = source.run_indices();
 
   std::vector<DriftFlag> flags;
   for (std::uint32_t id : groups.order) {
-    const auto runs = gpu_history(frame, groups, id);
+    const auto runs = gpu_history(perf, run, groups, id);
     if (static_cast<int>(runs.size()) < options.min_runs) continue;
 
     std::vector<double> early;
@@ -88,7 +96,7 @@ std::vector<DriftFlag> detect_performance_drift(const RecordFrame& frame,
                               : (drift == 0.0 ? 0.0 : 1e18);
     if (sigmas >= options.threshold_sigmas &&
         std::abs(drift) / baseline >= options.min_drift_fraction) {
-      const GpuRef& g = frame.gpu(id);
+      const GpuRef& g = source.gpu(id);
       DriftFlag f;
       f.gpu_index = g.gpu_index;
       f.name = g.loc.name;
@@ -108,6 +116,11 @@ std::vector<DriftFlag> detect_performance_drift(const RecordFrame& frame,
               return ka != kb ? ka > kb : a.gpu_index < b.gpu_index;
             });
   return flags;
+}
+
+std::vector<DriftFlag> detect_performance_drift(const RecordFrame& frame,
+                                                const DriftOptions& options) {
+  return analyze_drift(query::Source(frame), options);
 }
 
 }  // namespace gpuvar

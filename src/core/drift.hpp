@@ -15,6 +15,7 @@
 #include <vector>
 
 namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
+namespace gpuvar::query { class Source; }  // was: #include "query/source.hpp"
 
 namespace gpuvar {
 
@@ -40,10 +41,16 @@ struct DriftFlag {
 
 /// Population run-to-run noise estimate: median absolute successive
 /// difference of per-GPU runs, scaled to a sigma (MAD * 1.4826 / sqrt 2).
+double estimate_run_noise_ms(const query::Source& source);
 double estimate_run_noise_ms(const RecordFrame& frame);
 
 /// Detects sustained performance drift per GPU; returns flags sorted by
 /// |drift| descending. Positive drift_pct = getting slower.
+std::vector<DriftFlag> analyze_drift(const query::Source& source,
+                                     const DriftOptions& options = {});
+
+/// Forwarding shim (one deprecation cycle): prefer analyze_drift.
+// gpuvar-lint: allow(analysis-signature)
 std::vector<DriftFlag> detect_performance_drift(
     const RecordFrame& frame, const DriftOptions& options = {});
 

@@ -1,6 +1,5 @@
 #include "core/engine.hpp"
 
-#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -22,6 +21,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "telemetry/frame.hpp"
+#include "telemetry/manifest.hpp"
 #include "telemetry/shard.hpp"
 #include "workloads/runner.hpp"
 #include "workloads/workload.hpp"
@@ -32,138 +32,13 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr const char* kManifestName = "manifest.txt";
-constexpr const char* kMarkerName = "IN_PROGRESS";
-constexpr const char* kManifestMagic = "gpuvar-campaign-manifest v1";
-
-std::string format_hex(std::uint64_t v) {
-  char buf[17];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v, 16);
-  return std::string(buf, res.ptr);
-}
-
-bool parse_hex(std::string_view s, std::uint64_t& out) {
-  if (s.empty()) return false;
-  const auto res = std::from_chars(s.data(), s.data() + s.size(), out, 16);
-  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
-}
-
-/// "bucket-000042.shard": fixed width so a directory listing sorts in
-/// bucket order.
-std::string shard_file_name(std::size_t bucket_index) {
-  std::string digits = format_int(static_cast<long long>(bucket_index));
-  while (digits.size() < 6) digits.insert(digits.begin(), '0');
-  return "bucket-" + digits + ".shard";
-}
-
-struct ManifestEntry {
-  FrameShardInfo info;
-};
-
-struct Manifest {
-  bool exists = false;
-  std::uint64_t config_hash = 0;
-  bool done = false;
-  /// bucket index -> recorded shard facts (last entry wins, so an
-  /// append-crash duplicate resolves to the freshest record).
-  std::map<std::uint64_t, ManifestEntry> entries;
-};
-
-/// Splits on single spaces (manifest fields never contain spaces).
-std::vector<std::string> split_fields(const std::string& line) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= line.size()) {
-    const std::size_t sp = line.find(' ', start);
-    if (sp == std::string::npos) {
-      out.push_back(line.substr(start));
-      break;
-    }
-    out.push_back(line.substr(start, sp - start));
-    start = sp + 1;
-  }
-  return out;
-}
-
-/// Reads and parses the manifest. A missing file is a fresh campaign; a
-/// present file whose first line is not the manifest magic is refused
-/// (the directory holds something that is not ours to overwrite).
-/// Unparseable entry lines — e.g. the torn tail of an append that died
-/// mid-write — are skipped: the durable prefix is what counts.
-Manifest read_manifest(const fs::path& path) {
-  Manifest m;
-  std::ifstream in(path);
-  if (!in.good()) return m;
-  m.exists = true;
-  std::string line;
-  bool first = true;
-  while (std::getline(in, line)) {
-    if (first) {
-      if (line != kManifestMagic) {
-        throw std::runtime_error(path.string() +
-                                 ": not a gpuvar campaign manifest");
-      }
-      first = false;
-      continue;
-    }
-    const auto f = split_fields(line);
-    if (f.size() == 2 && f[0] == "config") {
-      parse_hex(f[1], m.config_hash);
-    } else if (f.size() == 1 && f[0] == "done") {
-      m.done = true;
-    } else if (f.size() == 8 && f[0] == "bucket" && f[2] == "rows" &&
-               f[4] == "payload" && f[6] == "hash") {
-      long long idx = 0;
-      long long rows = 0;
-      long long payload = 0;
-      std::uint64_t hash = 0;
-      if (parse_int(f[1], idx) && parse_int(f[3], rows) &&
-          parse_int(f[5], payload) && parse_hex(f[7], hash) && idx >= 0 &&
-          rows >= 0 && payload >= 0) {
-        ManifestEntry e;
-        e.info.bucket_index = static_cast<std::uint64_t>(idx);
-        e.info.rows = static_cast<std::uint64_t>(rows);
-        e.info.payload_bytes = static_cast<std::uint64_t>(payload);
-        e.info.payload_hash = hash;
-        m.entries[e.info.bucket_index] = e;
-      }
-    }
-    // Anything else: a torn line. Skip it.
-  }
-  if (first) m.exists = false;  // empty file == fresh campaign
-  return m;
-}
-
-std::string manifest_entry_line(const FrameShardInfo& info) {
-  return "bucket " + format_int(static_cast<long long>(info.bucket_index)) +
-         " rows " + format_int(static_cast<long long>(info.rows)) +
-         " payload " + format_int(static_cast<long long>(info.payload_bytes)) +
-         " hash " + format_hex(info.payload_hash);
-}
-
-/// Atomically replaces the manifest (write a sibling, then rename) with
-/// the given entries in bucket order.
-void rewrite_manifest(const fs::path& dir, std::uint64_t config_hash,
-                      const std::map<std::uint64_t, ManifestEntry>& entries,
-                      bool done) {
-  const fs::path tmp = dir / (std::string(kManifestName) + ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.good()) {
-      throw std::runtime_error("cannot write " + tmp.string());
-    }
-    out << kManifestMagic << "\nconfig " << format_hex(config_hash) << "\n";
-    for (const auto& [idx, e] : entries) {
-      out << manifest_entry_line(e.info) << "\n";
-    }
-    if (done) out << "done\n";
-    out.flush();
-    if (!out.good()) {
-      throw std::runtime_error("write failed: " + tmp.string());
-    }
-  }
-  fs::rename(tmp, dir / kManifestName);
-}
+// Manifest parsing/rendering lives in telemetry/manifest.hpp, shared
+// with the read-only query plane; these aliases keep the engine's
+// write-path code in its established vocabulary.
+using Manifest = CampaignManifest;
+using ManifestEntry = CampaignManifestEntry;
+constexpr const char* kManifestName = kCampaignManifestName;
+constexpr const char* kMarkerName = kCampaignMarkerName;
 
 /// Serializes one bucket and writes it to its shard file via a
 /// temporary sibling + rename, so a crash mid-write can never leave a
@@ -171,7 +46,7 @@ void rewrite_manifest(const fs::path& dir, std::uint64_t config_hash,
 FrameShardInfo persist_shard(const fs::path& dir, std::size_t bucket_index,
                              const RecordFrame& bucket,
                              std::uint64_t& bytes_written) {
-  const fs::path path = dir / shard_file_name(bucket_index);
+  const fs::path path = dir / campaign_shard_file_name(bucket_index);
   const fs::path tmp = path.string() + ".tmp";
   FrameShardInfo info;
   {
@@ -195,7 +70,7 @@ FrameShardInfo persist_shard(const fs::path& dir, std::size_t bucket_index,
 /// truncation, bad magic/version, hash mismatch) surfaces as
 /// std::runtime_error naming the file.
 FrameShard load_shard(const fs::path& dir, std::size_t bucket_index) {
-  const fs::path path = dir / shard_file_name(bucket_index);
+  const fs::path path = dir / campaign_shard_file_name(bucket_index);
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     throw std::runtime_error("cannot open " + path.string());
@@ -330,7 +205,7 @@ CampaignResult run_campaign(const Cluster& cluster,
   if (durable) {
     GPUVAR_TRACE_SPAN("engine", "resume_scan");
     fs::create_directories(dir);
-    Manifest m = read_manifest(dir / kManifestName);
+    Manifest m = read_campaign_manifest(dir / kManifestName);
     if (m.exists && m.config_hash != out.config_hash) {
       throw std::runtime_error(
           options.checkpoint_dir +
@@ -364,7 +239,7 @@ CampaignResult run_campaign(const Cluster& cluster,
     }
     // Rewrite the manifest down to the entries that survived, then mark
     // the campaign in progress and reopen the manifest for appending.
-    rewrite_manifest(dir, out.config_hash, valid, /*done=*/false);
+    rewrite_campaign_manifest(dir, out.config_hash, valid, /*done=*/false);
     {
       std::ofstream marker(dir / kMarkerName, std::ios::trunc);
       marker << "campaign in progress\n";
@@ -436,7 +311,7 @@ CampaignResult run_campaign(const Cluster& cluster,
       const std::uint64_t bytes = bucket.memory_bytes();
       MutexLock lock(st.mu);
       if (durable) {
-        st.manifest << manifest_entry_line(info) << "\n";
+        st.manifest << campaign_manifest_entry_line(info) << "\n";
         st.manifest.flush();
         if (!st.manifest.good()) {
           throw std::runtime_error("manifest append failed in " +
@@ -513,7 +388,7 @@ CampaignResult run_campaign(const Cluster& cluster,
 
   if (durable) {
     MutexLock lock(st.mu);
-    rewrite_manifest(dir, out.config_hash, st.entries, /*done=*/true);
+    rewrite_campaign_manifest(dir, out.config_hash, st.entries, /*done=*/true);
     fs::remove(dir / kMarkerName);
   }
 

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/require.hpp"
+#include "query/source.hpp"
 #include "stats/boxplot.hpp"
 #include "cluster/cluster.hpp"
 #include "telemetry/frame.hpp"
@@ -42,10 +43,10 @@ double outside_distance(const stats::BoxSummary& box, double x) {
 
 }  // namespace
 
-FlagReport flag_anomalies(const RecordFrame& frame,
-                          const FlagOptions& options) {
-  GPUVAR_REQUIRE(!frame.empty());
-  const auto gpus = per_gpu_medians(frame);
+FlagReport analyze_flags(const query::Source& source,
+                         const FlagOptions& options) {
+  GPUVAR_REQUIRE(!source.empty());
+  const auto gpus = per_gpu_medians(source);
 
   std::vector<double> perf, power, temp;
   perf.reserve(gpus.size());
@@ -125,6 +126,11 @@ FlagReport flag_anomalies(const RecordFrame& frame,
     }
   }
   return report;
+}
+
+FlagReport flag_anomalies(const RecordFrame& frame,
+                          const FlagOptions& options) {
+  return analyze_flags(query::Source(frame), options);
 }
 
 std::vector<GpuFlag> repeat_offenders(std::span<const FlagReport> reports,

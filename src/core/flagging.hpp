@@ -24,6 +24,7 @@
 #include "common/units.hpp"
 namespace gpuvar { class Cluster; }  // was: #include "cluster/cluster.hpp"
 namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
+namespace gpuvar::query { class Source; }  // was: #include "query/source.hpp"
 
 namespace gpuvar {
 
@@ -64,7 +65,13 @@ struct FlagOptions {
   Celsius slowdown_temp{1e9};
 };
 
-/// Flags anomalies within one experiment's frame.
+/// Flags anomalies within one experiment's data (frame- or
+/// dataset-backed source).
+FlagReport analyze_flags(const query::Source& source,
+                         const FlagOptions& options = {});
+
+/// Forwarding shim (one deprecation cycle): prefer analyze_flags.
+// gpuvar-lint: allow(analysis-signature)
 FlagReport flag_anomalies(const RecordFrame& frame,
                           const FlagOptions& options = {});
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "query/source.hpp"
 #include "stats/quantile.hpp"
 #include "telemetry/frame.hpp"
 
@@ -27,11 +28,11 @@ std::vector<double> prefix_containment(std::size_t n, std::size_t k) {
 
 }  // namespace
 
-JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
+JobImpact job_impact(const query::Source& source, int gpus_per_job,
                      double slow_threshold) {
   GPUVAR_REQUIRE(gpus_per_job >= 1);
   GPUVAR_REQUIRE(slow_threshold > 0.0);
-  const auto gpus = per_gpu_medians(frame);
+  const auto gpus = per_gpu_medians(source);
   const auto n = gpus.size();
   GPUVAR_REQUIRE_MSG(static_cast<std::size_t>(gpus_per_job) <= n,
                      "job wider than the measured population");
@@ -74,14 +75,27 @@ JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
   return impact;
 }
 
-std::vector<JobImpact> impact_table(const RecordFrame& frame, int max_width,
-                                    double slow_threshold) {
-  GPUVAR_REQUIRE(max_width >= 1);
+JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
+                     double slow_threshold) {
+  return job_impact(query::Source(frame), gpus_per_job, slow_threshold);
+}
+
+std::vector<JobImpact> analyze_user_impact(const query::Source& source,
+                                           const UserImpactOptions& options) {
+  GPUVAR_REQUIRE(options.max_width >= 1);
   std::vector<JobImpact> table;
-  for (int k = 1; k <= max_width; k *= 2) {
-    table.push_back(job_impact(frame, k, slow_threshold));
+  for (int k = 1; k <= options.max_width; k *= 2) {
+    table.push_back(job_impact(source, k, options.slow_threshold));
   }
   return table;
+}
+
+std::vector<JobImpact> impact_table(const RecordFrame& frame, int max_width,
+                                    double slow_threshold) {
+  UserImpactOptions options;
+  options.max_width = max_width;
+  options.slow_threshold = slow_threshold;
+  return analyze_user_impact(query::Source(frame), options);
 }
 
 }  // namespace gpuvar

@@ -10,6 +10,7 @@
 #include <vector>
 
 namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
+namespace gpuvar::query { class Source; }  // was: #include "query/source.hpp"
 
 namespace gpuvar {
 
@@ -25,13 +26,28 @@ struct JobImpact {
   double p_any_slow = 0.0;
 };
 
+struct UserImpactOptions {
+  /// Largest job width in the table (widths double: 1, 2, 4 ...).
+  int max_width = 8;
+  /// "Slow" means more than this fraction above the median GPU.
+  double slow_threshold = 0.06;
+};
+
+/// Impact table for several job widths (1, 2, 4, 8 ... up to
+/// options.max_width), over a frame- or dataset-backed source.
+std::vector<JobImpact> analyze_user_impact(
+    const query::Source& source, const UserImpactOptions& options = {});
+
 /// Exact expected/quantile slowdown for a k-GPU job assigned uniformly at
 /// random without replacement, computed from per-GPU median runtimes via
 /// order statistics on the empirical distribution.
+JobImpact job_impact(const query::Source& source, int gpus_per_job,
+                     double slow_threshold = 0.06);
 JobImpact job_impact(const RecordFrame& frame, int gpus_per_job,
                      double slow_threshold = 0.06);
 
-/// Impact table for several job widths (1, 2, 4, 8 ... up to max_width).
+/// Forwarding shim (one deprecation cycle): prefer analyze_user_impact.
+// gpuvar-lint: allow(analysis-signature)
 std::vector<JobImpact> impact_table(const RecordFrame& frame,
                                     int max_width = 8,
                                     double slow_threshold = 0.06);

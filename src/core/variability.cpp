@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/require.hpp"
+#include "query/source.hpp"
 #include "stats/quantile.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/boxplot.hpp"
@@ -16,9 +17,9 @@ namespace gpuvar {
 
 namespace {
 
-MetricVariability analyze_metric(const RecordFrame& frame, Metric m) {
+MetricVariability analyze_metric(std::span<const double> column) {
   MetricVariability out;
-  out.box = stats::box_summary(frame.metric(m));
+  out.box = stats::box_summary(column);
   out.variation_pct =
       out.box.median != 0.0 ? out.box.variation() * 100.0 : 0.0;
   return out;
@@ -26,16 +27,21 @@ MetricVariability analyze_metric(const RecordFrame& frame, Metric m) {
 
 }  // namespace
 
-VariabilityReport analyze_variability(const RecordFrame& frame) {
-  GPUVAR_REQUIRE(!frame.empty());
+VariabilityReport analyze_variability(const query::Source& source,
+                                      const VariabilityOptions&) {
+  GPUVAR_REQUIRE(!source.empty());
   VariabilityReport r;
-  r.perf = analyze_metric(frame, Metric::kPerf);
-  r.freq = analyze_metric(frame, Metric::kFreq);
-  r.power = analyze_metric(frame, Metric::kPower);
-  r.temp = analyze_metric(frame, Metric::kTemp);
-  r.records = frame.size();
-  r.gpus = frame.gpu_count();
+  r.perf = analyze_metric(source.metric(Metric::kPerf));
+  r.freq = analyze_metric(source.metric(Metric::kFreq));
+  r.power = analyze_metric(source.metric(Metric::kPower));
+  r.temp = analyze_metric(source.metric(Metric::kTemp));
+  r.records = source.size();
+  r.gpus = source.gpu_count();
   return r;
+}
+
+VariabilityReport analyze_variability(const RecordFrame& frame) {
+  return analyze_variability(query::Source(frame));
 }
 
 int group_key(const RunRecord& r, GroupBy g) {

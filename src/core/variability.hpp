@@ -2,8 +2,11 @@
 // metric, per-group breakdowns (cabinet / row / column / day), and the
 // per-GPU run-to-run repeatability of Figure 8.
 //
-// Every entry point takes the columnar RecordFrame (the row-adapter
-// overloads completed their deprecation cycle and are gone).
+// The main entry point follows the unified analysis signature:
+// analyze_variability(source, options) over a query::Source, so the
+// same analysis runs on an in-memory RecordFrame or streamed from a
+// checkpointed campaign store. The RecordFrame overload is a
+// forwarding shim kept for one deprecation cycle.
 #pragma once
 
 #include <map>
@@ -14,6 +17,7 @@
 #include "stats/boxplot.hpp"
 #include "telemetry/record.hpp"
 namespace gpuvar { class RecordFrame; }  // was: #include "telemetry/frame.hpp"
+namespace gpuvar::query { class Source; }  // was: #include "query/source.hpp"
 
 namespace gpuvar {
 
@@ -32,7 +36,17 @@ struct VariabilityReport {
   std::size_t gpus = 0;
 };
 
-/// Full-population variability across all rows of the frame.
+/// Tunables for analyze_variability. No knobs yet; the struct exists
+/// so every analysis shares the analyze_*(source, options) signature
+/// and can grow options without breaking call sites.
+struct VariabilityOptions {};
+
+/// Full-population variability across all rows of the source.
+VariabilityReport analyze_variability(const query::Source& source,
+                                      const VariabilityOptions& options = {});
+
+/// Forwarding shim (one deprecation cycle): prefer the Source overload.
+// gpuvar-lint: allow(analysis-signature)
 VariabilityReport analyze_variability(const RecordFrame& frame);
 
 /// Grouping keys for breakdowns.

@@ -10,6 +10,10 @@
 //   auto cfg = gpuvar::default_config(cluster, gpuvar::sgemm_workload());
 //   auto result = gpuvar::run_experiment(cluster, cfg);
 //   auto report = gpuvar::analyze_variability(result.frame);
+//
+// Checkpointed campaigns can also be analyzed without materializing:
+//   auto dataset = gpuvar::query::Dataset::open(dir);
+//   auto report = gpuvar::analyze_variability(gpuvar::query::Source(dataset));
 #pragma once
 
 #include "cluster/allocator.hpp"   // IWYU pragma: export
@@ -49,6 +53,8 @@
 #include "obs/export.hpp"          // IWYU pragma: export
 #include "obs/metrics.hpp"         // IWYU pragma: export
 #include "obs/trace.hpp"           // IWYU pragma: export
+#include "query/dataset.hpp"       // IWYU pragma: export
+#include "query/source.hpp"        // IWYU pragma: export
 #include "hostbench/host_device.hpp"  // IWYU pragma: export
 #include "hostbench/matrix.hpp"       // IWYU pragma: export
 #include "hostbench/pagerank_cpu.hpp" // IWYU pragma: export

@@ -1,0 +1,192 @@
+#include "query/dataset.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/shard.hpp"
+
+namespace gpuvar::query {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    bytes.append(buf, static_cast<std::size_t>(in.gcount()));
+  }
+  return bytes;
+}
+
+/// Reads at most the fixed-size header prefix — the whole point of the
+/// v2 stats block is that planning a query costs header bytes, not
+/// payload bytes. A shorter file yields fewer bytes and the header
+/// parser reports the truncation.
+std::string read_header_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  std::string bytes(kFrameShardHeaderBytes, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  bytes.resize(static_cast<std::size_t>(in.gcount()));
+  return bytes;
+}
+
+}  // namespace
+
+Dataset Dataset::open(const std::string& dir, const DatasetOptions& options) {
+  GPUVAR_TRACE_SPAN("query", "open");
+  Dataset ds;
+  ds.dir_ = dir;
+  ds.options_ = options;
+  ds.cache_ = std::make_unique<Cache>();
+
+  const fs::path d(dir);
+  const CampaignManifest m =
+      read_campaign_manifest(d / kCampaignManifestName);
+  if (!m.exists) {
+    throw std::runtime_error(dir +
+                             ": no campaign manifest (not a checkpoint "
+                             "directory)");
+  }
+  ds.config_hash_ = m.config_hash;
+  ds.complete_ = m.done && !fs::exists(d / kCampaignMarkerName);
+
+  ds.shards_.reserve(m.entries.size());
+  for (const auto& [idx, e] : m.entries) {
+    DatasetShard s;
+    s.path = d / campaign_shard_file_name(static_cast<std::size_t>(idx));
+    s.header = parse_frame_shard_header(read_header_bytes(s.path),
+                                        s.path.string());
+    const FrameShardInfo& h = s.header.info;
+    if (h.bucket_index != e.info.bucket_index || h.rows != e.info.rows ||
+        h.payload_bytes != e.info.payload_bytes ||
+        h.payload_hash != e.info.payload_hash) {
+      throw std::runtime_error(
+          s.path.string() +
+          ": shard header disagrees with the campaign manifest (stale or "
+          "foreign shard)");
+    }
+    ds.total_rows_ += h.rows;
+    ds.shards_.push_back(std::move(s));
+  }
+  {
+    MutexLock lock(ds.cache_->mu);
+    ds.cache_->entries.resize(ds.shards_.size());
+  }
+  GPUVAR_METRIC_COUNT("query.datasets_opened");
+  return ds;
+}
+
+ThreadPool& Dataset::scan_pool() const {
+  return options_.pool != nullptr ? *options_.pool : ThreadPool::global();
+}
+
+std::shared_ptr<const DecodedShardColumns> Dataset::fetch(
+    std::size_t i, unsigned columns) const {
+  columns &= kShardColsAll;
+  {
+    MutexLock lock(cache_->mu);
+    CacheEntry& e = cache_->entries[i];
+    if (e.data != nullptr && (columns & ~e.data->columns) == 0) {
+      e.last_use = ++cache_->tick;
+      GPUVAR_METRIC_COUNT("query.cache_hits");
+      return e.data;
+    }
+    // Replacement keeps what the old entry already paid for: the new
+    // decode carries the union of old and requested columns.
+    if (e.data != nullptr) columns |= e.data->columns;
+  }
+  GPUVAR_METRIC_COUNT("query.cache_misses");
+  const DatasetShard& shard = shards_[i];
+  GPUVAR_TRACE_SPAN(
+      "query", "decode_shard", "bucket",
+      static_cast<std::int64_t>(shard.header.info.bucket_index));
+  // Decode outside the lock: two threads may race to decode the same
+  // shard (wasted work, not wrong results — the file is immutable and
+  // last insert wins).
+  const std::string bytes = read_file_bytes(shard.path);
+  auto decoded = std::make_shared<const DecodedShardColumns>(
+      decode_frame_shard_columns(bytes, shard.path.string(), columns));
+
+  const auto cost = static_cast<std::uint64_t>(decoded->memory_bytes());
+  MutexLock lock(cache_->mu);
+  CacheEntry& e = cache_->entries[i];
+  if (e.data != nullptr) cache_->resident_bytes -= e.bytes;
+  e.data = decoded;
+  e.bytes = cost;
+  e.last_use = ++cache_->tick;
+  cache_->resident_bytes += cost;
+  // High-water is recorded before eviction restores the budget: the
+  // honest bound is budget + one decoded shard, and the property tests
+  // assert exactly that.
+  GPUVAR_METRIC_MAX("query.cache_bytes_peak", cache_->resident_bytes);
+  while (cache_->resident_bytes > options_.cache_budget_bytes) {
+    std::size_t victim = cache_->entries.size();
+    for (std::size_t j = 0; j < cache_->entries.size(); ++j) {
+      const CacheEntry& c = cache_->entries[j];
+      if (c.data == nullptr) continue;
+      if (victim == cache_->entries.size() ||
+          c.last_use < cache_->entries[victim].last_use) {
+        victim = j;
+      }
+    }
+    if (victim == cache_->entries.size()) break;  // nothing left to evict
+    cache_->resident_bytes -= cache_->entries[victim].bytes;
+    cache_->entries[victim] = CacheEntry{};
+    GPUVAR_METRIC_COUNT("query.cache_evictions");
+  }
+  return decoded;
+}
+
+RecordFrame Dataset::materialize() const {
+  GPUVAR_TRACE_SPAN("query", "materialize", "shards",
+                    static_cast<std::int64_t>(shards_.size()));
+  std::vector<std::shared_ptr<const DecodedShardColumns>> decoded(
+      shards_.size());
+  scan_pool().parallel_for(shards_.size(), [&](std::size_t i) {
+    decoded[i] = fetch(i, kShardColsAll);
+  });
+  // Bucket-index order (shards_ is manifest order, which is bucket
+  // order); rows re-intern in first-appearance order exactly as the
+  // engine's merge stage did when it wrote the checkpoint.
+  RecordFrame out;
+  out.reserve(static_cast<std::size_t>(total_rows_));
+  for (const auto& d : decoded) {
+    const std::size_t rows = d->gpu_ids.size();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const GpuRef& g = d->pool[d->gpu_ids[r]];
+      RunRecord rec;
+      rec.gpu_index = g.gpu_index;
+      rec.loc = g.loc;
+      rec.run_index = d->runs[r];
+      rec.day_of_week = d->days[r];
+      rec.perf_ms = d->metric_cols[0][r];
+      rec.freq_mhz = d->metric_cols[1][r];
+      rec.power_w = d->metric_cols[2][r];
+      rec.temp_c = d->metric_cols[3][r];
+      rec.counters.fu_util = d->metric_cols[4][r];
+      rec.counters.dram_util = d->metric_cols[5][r];
+      rec.counters.mem_stall_frac = d->metric_cols[6][r];
+      rec.counters.exec_stall_frac = d->metric_cols[7][r];
+      out.append_row(rec);
+    }
+  }
+  return out;
+}
+
+}  // namespace gpuvar::query

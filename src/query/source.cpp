@@ -1,0 +1,233 @@
+#include "query/source.hpp"
+
+#include <map>
+#include <utility>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"  // gpuvar-lint: allow(unused-include)
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "query/dataset.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/shard.hpp"
+
+namespace gpuvar::query {
+
+Source::Source(const RecordFrame& frame) : frame_(&frame) {}
+
+Source::Source(const Dataset& dataset, Predicate where)
+    : dataset_(&dataset), where_(std::move(where)) {}
+
+void Source::ensure_plan() const {
+  if (planned_) return;
+  planned_ = true;
+  const auto& shards = dataset_->shards();
+  GPUVAR_TRACE_SPAN("query", "plan", "shards",
+                    static_cast<std::int64_t>(shards.size()));
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (dataset_->pushdown_enabled() &&
+        !where_.may_match(shards[i].header.stats)) {
+      // Pushdown: the header ranges prove no row can match, so the
+      // payload of this shard is never read.
+      ++skipped;
+      continue;
+    }
+    picked_.push_back(i);
+  }
+  GPUVAR_METRIC_ADD("query.shards_skipped", skipped);
+  GPUVAR_METRIC_ADD("query.shards_scanned", picked_.size());
+
+  filtered_ = !where_.is_all();
+  if (!filtered_) {
+    rows_ = 0;
+    for (std::size_t i : picked_) {
+      rows_ += static_cast<std::size_t>(shards[i].header.info.rows);
+    }
+    return;
+  }
+
+  // Row-level filter: needs only the always-decoded id/run/day columns
+  // and the pool snapshot (column mask 0).
+  const auto decoded = scan(0);
+  match_rows_.resize(picked_.size());
+  rows_ = 0;
+  for (std::size_t j = 0; j < picked_.size(); ++j) {
+    const DecodedShardColumns& d = *decoded[j];
+    std::vector<char> gpu_ok(d.pool.size(), 0);
+    for (std::size_t id = 0; id < d.pool.size(); ++id) {
+      gpu_ok[id] = where_.matches_gpu(d.pool[id]) ? 1 : 0;
+    }
+    auto& rows = match_rows_[j];
+    for (std::size_t r = 0; r < d.gpu_ids.size(); ++r) {
+      if (gpu_ok[d.gpu_ids[r]] != 0 && where_.day.contains(d.days[r])) {
+        rows.push_back(static_cast<std::uint32_t>(r));
+      }
+    }
+    rows_ += rows.size();
+  }
+  // Shards the row filter emptied out contribute nothing; drop them so
+  // later column scans stop paying their decode.
+  std::size_t keep = 0;
+  for (std::size_t j = 0; j < picked_.size(); ++j) {
+    if (match_rows_[j].empty()) continue;
+    if (keep != j) {  // guard the self-move when nothing was dropped
+      picked_[keep] = picked_[j];
+      match_rows_[keep] = std::move(match_rows_[j]);
+    }
+    ++keep;
+  }
+  picked_.resize(keep);
+  match_rows_.resize(keep);
+  GPUVAR_METRIC_ADD("query.rows_matched", rows_);
+}
+
+std::vector<std::shared_ptr<const DecodedShardColumns>> Source::scan(
+    unsigned columns) const {
+  GPUVAR_TRACE_SPAN("query", "scan", "shards",
+                    static_cast<std::int64_t>(picked_.size()));
+  std::vector<std::shared_ptr<const DecodedShardColumns>> out(picked_.size());
+  dataset_->scan_pool().parallel_for(picked_.size(), [&](std::size_t j) {
+    out[j] = dataset_->fetch(picked_[j], columns);
+  });
+  return out;
+}
+
+void Source::ensure_identity() const {
+  ensure_plan();
+  if (identity_done_) return;
+  identity_done_ = true;
+  const auto decoded = scan(0);
+  ids_.reserve(rows_);
+  // First-appearance interning keyed by gpu_index across the ordered
+  // merge — RecordFrame::append_row's exact id-assignment rule, which
+  // is what makes gpu_ids()/gpus() byte-identical to the materialized
+  // frame's.
+  std::map<std::size_t, std::uint32_t> id_by_gpu_index;
+  for (std::size_t j = 0; j < decoded.size(); ++j) {
+    const DecodedShardColumns& d = *decoded[j];
+    const auto emit = [&](std::size_t r) {
+      const GpuRef& g = d.pool[d.gpu_ids[r]];
+      const auto [it, inserted] = id_by_gpu_index.try_emplace(
+          g.gpu_index, static_cast<std::uint32_t>(pool_.size()));
+      if (inserted) pool_.push_back(g);
+      ids_.push_back(it->second);
+    };
+    if (filtered_) {
+      for (std::uint32_t r : match_rows_[j]) emit(r);
+    } else {
+      for (std::size_t r = 0; r < d.gpu_ids.size(); ++r) emit(r);
+    }
+  }
+}
+
+void Source::ensure_runs() const {
+  ensure_plan();
+  if (runs_done_) return;
+  runs_done_ = true;
+  const auto decoded = scan(0);
+  runs_.reserve(rows_);
+  for (std::size_t j = 0; j < decoded.size(); ++j) {
+    const DecodedShardColumns& d = *decoded[j];
+    if (filtered_) {
+      for (std::uint32_t r : match_rows_[j]) runs_.push_back(d.runs[r]);
+    } else {
+      runs_.insert(runs_.end(), d.runs.begin(), d.runs.end());
+    }
+  }
+}
+
+void Source::ensure_days() const {
+  ensure_plan();
+  if (days_done_) return;
+  days_done_ = true;
+  const auto decoded = scan(0);
+  days_.reserve(rows_);
+  for (std::size_t j = 0; j < decoded.size(); ++j) {
+    const DecodedShardColumns& d = *decoded[j];
+    if (filtered_) {
+      for (std::uint32_t r : match_rows_[j]) days_.push_back(d.days[r]);
+    } else {
+      days_.insert(days_.end(), d.days.begin(), d.days.end());
+    }
+  }
+}
+
+void Source::ensure_metric(std::size_t k) const {
+  ensure_plan();
+  if (metric_done_[k]) return;
+  metric_done_[k] = true;
+  const auto decoded = scan(1u << k);
+  auto& col = metric_cols_[k];
+  col.reserve(rows_);
+  for (std::size_t j = 0; j < decoded.size(); ++j) {
+    const std::vector<double>& src = decoded[j]->metric_cols[k];
+    if (filtered_) {
+      for (std::uint32_t r : match_rows_[j]) col.push_back(src[r]);
+    } else {
+      col.insert(col.end(), src.begin(), src.end());
+    }
+  }
+}
+
+std::size_t Source::size() const {
+  if (frame_ != nullptr) return frame_->size();
+  ensure_plan();
+  return rows_;
+}
+
+std::size_t Source::gpu_count() const {
+  if (frame_ != nullptr) return frame_->gpu_count();
+  ensure_identity();
+  return pool_.size();
+}
+
+std::span<const double> Source::metric(Metric m) const {
+  if (frame_ != nullptr) return frame_->metric(m);
+  // Metric enumerators (kPerf, kFreq, kPower, kTemp) match the first
+  // four shard column bits in serialized order.
+  const auto k = static_cast<std::size_t>(m);
+  ensure_metric(k);
+  return metric_cols_[k];
+}
+
+std::span<const std::uint32_t> Source::gpu_ids() const {
+  if (frame_ != nullptr) return frame_->gpu_ids();
+  ensure_identity();
+  return ids_;
+}
+
+std::span<const GpuRef> Source::gpus() const {
+  if (frame_ != nullptr) return frame_->gpus();
+  ensure_identity();
+  return pool_;
+}
+
+std::span<const std::int32_t> Source::run_indices() const {
+  if (frame_ != nullptr) return frame_->run_indices();
+  ensure_runs();
+  return runs_;
+}
+
+std::span<const std::int16_t> Source::days_of_week() const {
+  if (frame_ != nullptr) return frame_->days_of_week();
+  ensure_days();
+  return days_;
+}
+
+GpuRowGroups group_rows_by_gpu(const Source& source) {
+  return group_rows_by_ids(source.gpu_ids(), source.gpus());
+}
+
+std::vector<GpuAggregate> per_gpu_medians(const Source& source) {
+  GPUVAR_REQUIRE(!source.empty());
+  const auto groups = group_rows_by_gpu(source);
+  return per_gpu_medians_grouped(groups, source.gpus(),
+                                 source.metric(Metric::kPerf),
+                                 source.metric(Metric::kFreq),
+                                 source.metric(Metric::kPower),
+                                 source.metric(Metric::kTemp));
+}
+
+}  // namespace gpuvar::query

@@ -1,0 +1,104 @@
+// The accessor seam between analyses and their data.
+//
+// Every core analysis (variability, flagging, drift, compare,
+// user_impact, correlate) reads columns through a Source instead of a
+// concrete RecordFrame. A frame-backed Source is a zero-cost borrow:
+// every accessor returns the frame's own spans. A dataset-backed
+// Source evaluates the query lazily: predicate pushdown picks the
+// shards, and each column is assembled — through the Dataset's decoded
+// -shard cache, surviving shards merged in bucket-index order — the
+// first time an analysis touches it. Column pruning therefore falls
+// out of the analyses themselves: an analysis that never reads
+// temperatures never decodes the temperature column.
+//
+// Determinism: assembled columns and pool-id assignment are pure
+// functions of (manifest order, predicate) — shard decodes are
+// parallel but the merge is ordered and interning is first-appearance,
+// exactly RecordFrame's contract. Analyses over a Source are therefore
+// byte-identical to the same analyses over the materialized frame
+// (frame.select of the matching rows), at any thread count and cache
+// budget. The property tests in test_query.cpp pin this.
+//
+// Threading: a Source is confined to one thread (lazy assembly mutates
+// under const); the parallelism lives inside the scans it issues.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "query/dataset.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/shard.hpp"
+
+namespace gpuvar::query {
+
+class Source {
+ public:
+  /// Borrows a materialized frame (implicit: analysis call sites keep
+  /// accepting a RecordFrame transparently). The frame must outlive
+  /// the Source.
+  Source(const RecordFrame& frame);  // NOLINT(runtime/explicit)
+
+  /// Streams from a checkpoint Dataset, restricted to rows matching
+  /// `where`. The Dataset must outlive the Source.
+  explicit Source(const Dataset& dataset, Predicate where = {});
+
+  /// Rows (after the predicate, for a dataset-backed source).
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t gpu_count() const;
+
+  /// The column for one analysis metric; assembled on first touch for
+  /// a dataset-backed source, zero-copy for a frame-backed one.
+  std::span<const double> metric(Metric m) const;
+  std::span<const std::uint32_t> gpu_ids() const;
+  std::span<const GpuRef> gpus() const;
+  const GpuRef& gpu(std::uint32_t id) const { return gpus()[id]; }
+  std::span<const std::int32_t> run_indices() const;
+  std::span<const std::int16_t> days_of_week() const;
+
+ private:
+  void ensure_plan() const;
+  void ensure_identity() const;
+  void ensure_runs() const;
+  void ensure_days() const;
+  void ensure_metric(std::size_t k) const;
+  /// Parallel fetch of every picked shard with the given column mask.
+  std::vector<std::shared_ptr<const DecodedShardColumns>> scan(
+      unsigned columns) const;
+
+  const RecordFrame* frame_ = nullptr;
+  const Dataset* dataset_ = nullptr;
+  Predicate where_;
+
+  // Lazy dataset-backed assembly (single-thread confined, see header
+  // comment).
+  mutable bool planned_ = false;
+  mutable bool filtered_ = false;
+  mutable std::size_t rows_ = 0;
+  mutable std::vector<std::size_t> picked_;
+  /// Per picked shard: matching row indices. Parallel to picked_; only
+  /// populated when the predicate filters rows.
+  mutable std::vector<std::vector<std::uint32_t>> match_rows_;
+  mutable bool identity_done_ = false;
+  mutable bool runs_done_ = false;
+  mutable bool days_done_ = false;
+  mutable std::vector<std::uint32_t> ids_;
+  mutable std::vector<GpuRef> pool_;
+  mutable std::vector<std::int32_t> runs_;
+  mutable std::vector<std::int16_t> days_;
+  mutable std::array<std::vector<double>, 4> metric_cols_;
+  mutable std::array<bool, 4> metric_done_{};
+};
+
+/// group_rows_by_gpu / per_gpu_medians over the seam: same shared
+/// column cores as the RecordFrame overloads (telemetry/frame.hpp), so
+/// grouping a Source is bit-identical to grouping the equivalent frame.
+GpuRowGroups group_rows_by_gpu(const Source& source);
+std::vector<GpuAggregate> per_gpu_medians(const Source& source);
+
+}  // namespace gpuvar::query

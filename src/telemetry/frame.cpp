@@ -179,9 +179,13 @@ RecordFrame FrameBuilder::finish() {
 }
 
 GPUVAR_HOT GpuRowGroups group_rows_by_gpu(const RecordFrame& frame) {
-  const std::size_t n = frame.size();
-  const std::size_t k = frame.gpu_count();
-  const auto ids = frame.gpu_ids();
+  return group_rows_by_ids(frame.gpu_ids(), frame.gpus());
+}
+
+GPUVAR_HOT GpuRowGroups group_rows_by_ids(std::span<const std::uint32_t> ids,
+                                          std::span<const GpuRef> gpus) {
+  const std::size_t n = ids.size();
+  const std::size_t k = gpus.size();
 
   GpuRowGroups g;
   g.offsets.assign(k + 1, 0);
@@ -196,7 +200,6 @@ GPUVAR_HOT GpuRowGroups group_rows_by_gpu(const RecordFrame& frame) {
   for (std::size_t id = 0; id < k; ++id) {
     g.order[id] = static_cast<std::uint32_t>(id);
   }
-  const auto gpus = frame.gpus();
   std::sort(g.order.begin(), g.order.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               // gpu_index is unique per pool entry; the id tie-break can
@@ -208,15 +211,20 @@ GPUVAR_HOT GpuRowGroups group_rows_by_gpu(const RecordFrame& frame) {
 }
 
 GPUVAR_HOT std::vector<GpuAggregate> per_gpu_medians(const RecordFrame& frame) {
-  GPUVAR_REQUIRE(!frame.empty());
   const auto groups = group_rows_by_gpu(frame);
-  const auto perf = frame.perf_ms();
-  const auto freq = frame.freq_mhz();
-  const auto power = frame.power_w();
-  const auto temp = frame.temp_c();
+  return per_gpu_medians_grouped(groups, frame.gpus(), frame.perf_ms(),
+                                 frame.freq_mhz(), frame.power_w(),
+                                 frame.temp_c());
+}
+
+GPUVAR_HOT std::vector<GpuAggregate> per_gpu_medians_grouped(
+    const GpuRowGroups& groups, std::span<const GpuRef> gpus,
+    std::span<const double> perf_ms, std::span<const double> freq_mhz,
+    std::span<const double> power_w, std::span<const double> temp_c) {
+  GPUVAR_REQUIRE(!perf_ms.empty());
 
   std::vector<GpuAggregate> out;
-  out.reserve(frame.gpu_count());
+  out.reserve(gpus.size());
   std::vector<double> scratch;
   const auto median_of = [&](std::span<const double> column,
                              std::span<const std::size_t> rows) {
@@ -233,15 +241,15 @@ GPUVAR_HOT std::vector<GpuAggregate> per_gpu_medians(const RecordFrame& frame) {
     const std::span<const std::size_t> rows{
         groups.rows.data() + groups.offsets[id],
         groups.offsets[id + 1] - groups.offsets[id]};
-    const GpuRef& g = frame.gpu(id);
+    const GpuRef& g = gpus[id];
     GpuAggregate agg;
     agg.gpu_index = g.gpu_index;
     agg.loc = g.loc;
     agg.runs = static_cast<int>(rows.size());
-    agg.perf_ms = median_of(perf, rows);
-    agg.freq_mhz = median_of(freq, rows);
-    agg.power_w = median_of(power, rows);
-    agg.temp_c = median_of(temp, rows);
+    agg.perf_ms = median_of(perf_ms, rows);
+    agg.freq_mhz = median_of(freq_mhz, rows);
+    agg.power_w = median_of(power_w, rows);
+    agg.temp_c = median_of(temp_c, rows);
     out.push_back(std::move(agg));
   }
   return out;

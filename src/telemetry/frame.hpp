@@ -157,10 +157,25 @@ struct GpuRowGroups {
 
 GpuRowGroups group_rows_by_gpu(const RecordFrame& frame);
 
+/// Shared core of group_rows_by_gpu over raw columns: groups any id
+/// column against any interned pool. The streaming query plane feeds
+/// its assembled columns through this same code, which is what makes
+/// "Dataset analysis == frame analysis" a structural fact rather than
+/// a numerical coincidence.
+GpuRowGroups group_rows_by_ids(std::span<const std::uint32_t> ids,
+                               std::span<const GpuRef> gpus);
+
 /// Collapses the frame to one aggregate per GPU (ordered by gpu_index),
 /// bit-identical to per_gpu_medians over the equivalent record rows but
 /// via a dense counting sort instead of a per-row map.
 std::vector<GpuAggregate> per_gpu_medians(const RecordFrame& frame);
+
+/// Shared core of per_gpu_medians over raw columns + precomputed
+/// groups. Requires a non-empty row set.
+std::vector<GpuAggregate> per_gpu_medians_grouped(
+    const GpuRowGroups& groups, std::span<const GpuRef> gpus,
+    std::span<const double> perf_ms, std::span<const double> freq_mhz,
+    std::span<const double> power_w, std::span<const double> temp_c);
 
 /// Zero-copy counterpart of the allocating metric_column overload.
 std::span<const double> metric_column(const RecordFrame& frame, Metric m);

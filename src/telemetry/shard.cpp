@@ -1,5 +1,6 @@
 #include "telemetry/shard.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -16,27 +17,23 @@ namespace {
 /// "GVSH" little-endian: the first four bytes of every shard file.
 constexpr std::uint32_t kShardMagic = 0x48535647u;
 
-/// Header fields after the magic+version, in order. Kept as a helper
-/// struct so writer and reader cannot drift apart field-by-field.
-struct ShardHeader {
-  std::uint64_t bucket_index = 0;
-  std::uint64_t rows = 0;
-  std::uint64_t pool = 0;
-  std::uint64_t payload_bytes = 0;
-  std::uint64_t payload_hash = 0;
-};
-
-void append_header(std::string& out, const ShardHeader& h) {
+void append_header(std::string& out, const FrameShardHeader& h) {
   binio::append_u32(out, kShardMagic);
   binio::append_u16(out, kFrameShardVersion);
-  binio::append_u64(out, h.bucket_index);
-  binio::append_u64(out, h.rows);
+  binio::append_u64(out, h.info.bucket_index);
+  binio::append_u64(out, h.info.rows);
   binio::append_u64(out, h.pool);
-  binio::append_u64(out, h.payload_bytes);
-  binio::append_u64(out, h.payload_hash);
+  binio::append_u64(out, h.info.payload_bytes);
+  binio::append_u64(out, h.info.payload_hash);
+  binio::append_i64(out, h.stats.node_min);
+  binio::append_i64(out, h.stats.node_max);
+  binio::append_i64(out, h.stats.gpu_index_min);
+  binio::append_i64(out, h.stats.gpu_index_max);
+  binio::append_i64(out, h.stats.day_min);
+  binio::append_i64(out, h.stats.day_max);
 }
 
-ShardHeader read_header(binio::ByteReader& r, const std::string& label) {
+FrameShardHeader read_header(binio::ByteReader& r, const std::string& label) {
   const std::uint32_t magic = r.read_u32();
   if (magic != kShardMagic) {
     throw std::runtime_error(label + ": not a gpuvar frame shard (bad magic)");
@@ -47,12 +44,18 @@ ShardHeader read_header(binio::ByteReader& r, const std::string& label) {
                              std::to_string(version) + " (this build reads " +
                              std::to_string(kFrameShardVersion) + ")");
   }
-  ShardHeader h;
-  h.bucket_index = r.read_u64();
-  h.rows = r.read_u64();
+  FrameShardHeader h;
+  h.info.bucket_index = r.read_u64();
+  h.info.rows = r.read_u64();
   h.pool = r.read_u64();
-  h.payload_bytes = r.read_u64();
-  h.payload_hash = r.read_u64();
+  h.info.payload_bytes = r.read_u64();
+  h.info.payload_hash = r.read_u64();
+  h.stats.node_min = r.read_i64();
+  h.stats.node_max = r.read_i64();
+  h.stats.gpu_index_min = r.read_i64();
+  h.stats.gpu_index_max = r.read_i64();
+  h.stats.day_min = r.read_i64();
+  h.stats.day_max = r.read_i64();
   return h;
 }
 
@@ -119,17 +122,15 @@ std::string serialize_with_info(const RecordFrame& frame,
   payload.reserve(frame.gpus().size() * 64 + frame.size() * 74);
   emit_payload(frame, [&](std::string_view chunk) { payload.append(chunk); });
 
-  ShardHeader h;
-  h.bucket_index = bucket_index;
-  h.rows = frame.size();
+  FrameShardHeader h;
+  h.info.bucket_index = bucket_index;
+  h.info.rows = frame.size();
   h.pool = frame.gpus().size();
-  h.payload_bytes = payload.size();
-  h.payload_hash = binio::fnv1a64(payload);
+  h.info.payload_bytes = payload.size();
+  h.info.payload_hash = binio::fnv1a64(payload);
+  h.stats = frame_shard_stats(frame);
 
-  info.bucket_index = bucket_index;
-  info.rows = h.rows;
-  info.payload_bytes = h.payload_bytes;
-  info.payload_hash = h.payload_hash;
+  info = h.info;
 
   std::string out;
   out.reserve(payload.size() + kFrameShardHeaderBytes);
@@ -139,6 +140,41 @@ std::string serialize_with_info(const RecordFrame& frame,
 }
 
 }  // namespace
+
+FrameShardStats frame_shard_stats(const RecordFrame& frame) {
+  FrameShardStats s;
+  // Every pool entry is referenced by at least one row (interning
+  // happens on append), so pool mins/maxes are row mins/maxes.
+  for (const GpuRef& g : frame.gpus()) {
+    const auto node = static_cast<std::int64_t>(g.loc.node);
+    const auto gpu = static_cast<std::int64_t>(g.gpu_index);
+    if (s.node_min > s.node_max) {
+      s.node_min = s.node_max = node;
+      s.gpu_index_min = s.gpu_index_max = gpu;
+      continue;
+    }
+    s.node_min = std::min(s.node_min, node);
+    s.node_max = std::max(s.node_max, node);
+    s.gpu_index_min = std::min(s.gpu_index_min, gpu);
+    s.gpu_index_max = std::max(s.gpu_index_max, gpu);
+  }
+  for (std::int16_t day : frame.days_of_week()) {
+    const auto d = static_cast<std::int64_t>(day);
+    if (s.day_min > s.day_max) {
+      s.day_min = s.day_max = d;
+      continue;
+    }
+    s.day_min = std::min(s.day_min, d);
+    s.day_max = std::max(s.day_max, d);
+  }
+  return s;
+}
+
+FrameShardHeader parse_frame_shard_header(std::string_view bytes,
+                                          const std::string& label) {
+  binio::ByteReader r(bytes.substr(0, kFrameShardHeaderBytes), label);
+  return read_header(r, label);
+}
 
 std::string serialize_frame_shard(const RecordFrame& frame,
                                   std::uint64_t bucket_index) {
@@ -156,12 +192,13 @@ std::uint64_t hash_frame_shard(const RecordFrame& frame,
     payload_bytes += chunk.size();
   });
 
-  ShardHeader h;
-  h.bucket_index = bucket_index;
-  h.rows = frame.size();
+  FrameShardHeader h;
+  h.info.bucket_index = bucket_index;
+  h.info.rows = frame.size();
   h.pool = frame.gpus().size();
-  h.payload_bytes = payload_bytes;
-  h.payload_hash = payload_hash.digest();
+  h.info.payload_bytes = payload_bytes;
+  h.info.payload_hash = payload_hash.digest();
+  h.stats = frame_shard_stats(frame);
   std::string header;
   header.reserve(kFrameShardHeaderBytes);
   append_header(header, h);
@@ -173,25 +210,30 @@ std::uint64_t hash_frame_shard(const RecordFrame& frame,
   return hash.digest();
 }
 
-FrameShard parse_frame_shard(std::string_view bytes, std::string label) {
+DecodedShardColumns decode_frame_shard_columns(std::string_view bytes,
+                                               std::string label,
+                                               unsigned columns) {
   binio::ByteReader r(bytes, label);
-  const ShardHeader h = read_header(r, label);
-  if (r.remaining() != h.payload_bytes) {
+  const FrameShardHeader h = read_header(r, label);
+  if (r.remaining() != h.info.payload_bytes) {
     throw std::runtime_error(
         label + ": truncated or oversized shard (header promises " +
-        std::to_string(h.payload_bytes) + " payload bytes, file holds " +
+        std::to_string(h.info.payload_bytes) + " payload bytes, file holds " +
         std::to_string(r.remaining()) + ")");
   }
   const std::string_view payload = bytes.substr(bytes.size() - r.remaining());
   const std::uint64_t hash = binio::fnv1a64(payload);
-  if (hash != h.payload_hash) {
+  if (hash != h.info.payload_hash) {
     throw std::runtime_error(label +
                              ": payload corrupt (content hash mismatch)");
   }
 
+  DecodedShardColumns out;
+  out.header = h;
+  out.columns = columns & kShardColsAll;
+
   // Pool snapshot, in the frame's first-appearance id order.
-  std::vector<GpuRef> pool;
-  pool.reserve(h.pool);
+  out.pool.reserve(h.pool);
   for (std::uint64_t i = 0; i < h.pool; ++i) {
     GpuRef g;
     g.gpu_index = static_cast<std::size_t>(r.read_u64());
@@ -202,25 +244,33 @@ FrameShard parse_frame_shard(std::string_view bytes, std::string label) {
     g.loc.column = r.read_i32();
     g.loc.node_in_group = r.read_i32();
     g.loc.name = std::string(r.read_bytes());
-    pool.push_back(std::move(g));
+    out.pool.push_back(std::move(g));
   }
 
-  const auto rows = static_cast<std::size_t>(h.rows);
-  std::vector<std::uint32_t> ids(rows);
-  for (auto& id : ids) {
+  const auto rows = static_cast<std::size_t>(h.info.rows);
+  out.gpu_ids.resize(rows);
+  for (auto& id : out.gpu_ids) {
     id = r.read_u32();
-    if (id >= pool.size()) {
+    if (id >= out.pool.size()) {
       throw std::runtime_error(label + ": row references pool id " +
                                std::to_string(id) + " outside the " +
-                               std::to_string(pool.size()) + "-entry pool");
+                               std::to_string(out.pool.size()) +
+                               "-entry pool");
     }
   }
-  std::vector<std::int32_t> runs(rows);
-  for (auto& run : runs) run = r.read_i32();
-  std::vector<std::int16_t> days(rows);
-  for (auto& day : days) day = r.read_i16();
-  std::vector<std::vector<double>> cols(8, std::vector<double>(rows));
-  for (auto& col : cols) {
+  out.runs.resize(rows);
+  for (auto& run : out.runs) run = r.read_i32();
+  out.days.resize(rows);
+  for (auto& day : out.days) day = r.read_i16();
+  for (std::size_t k = 0; k < kShardMetricColumns; ++k) {
+    if ((out.columns & (1u << k)) == 0) {
+      // Column pruning: the metric columns are fixed-width, so an
+      // unrequested one is a seek, not a decode.
+      r.skip(rows * 8);
+      continue;
+    }
+    auto& col = out.metric_cols[k];
+    col.resize(rows);
     for (auto& v : col) v = r.read_f64();
   }
   // Payload size and hash cover only the payload bytes, so a header
@@ -234,31 +284,45 @@ FrameShard parse_frame_shard(std::string_view bytes, std::string label) {
         " trailing payload bytes (header row/pool counts disagree with "
         "the payload)");
   }
+  return out;
+}
+
+std::size_t DecodedShardColumns::memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const GpuRef& g : pool) total += sizeof(GpuRef) + g.loc.name.size();
+  total += gpu_ids.capacity() * sizeof(std::uint32_t);
+  total += runs.capacity() * sizeof(std::int32_t);
+  total += days.capacity() * sizeof(std::int16_t);
+  for (const auto& col : metric_cols) total += col.capacity() * sizeof(double);
+  return total;
+}
+
+FrameShard parse_frame_shard(std::string_view bytes, std::string label) {
+  DecodedShardColumns d =
+      decode_frame_shard_columns(bytes, std::move(label), kShardColsAll);
 
   // Rebuild through the streaming append API: rows re-intern in the
   // same first-appearance order they were written, so pool ids (and
   // every column byte) match the frame that was serialized.
   FrameShard out;
-  out.info.bucket_index = h.bucket_index;
-  out.info.rows = h.rows;
-  out.info.payload_bytes = h.payload_bytes;
-  out.info.payload_hash = h.payload_hash;
+  out.info = d.header.info;
+  const auto rows = static_cast<std::size_t>(d.header.info.rows);
   out.frame.reserve(rows);
   for (std::size_t i = 0; i < rows; ++i) {
-    const GpuRef& g = pool[ids[i]];
+    const GpuRef& g = d.pool[d.gpu_ids[i]];
     RunRecord rec;
     rec.gpu_index = g.gpu_index;
     rec.loc = g.loc;
-    rec.run_index = runs[i];
-    rec.day_of_week = days[i];
-    rec.perf_ms = cols[0][i];
-    rec.freq_mhz = cols[1][i];
-    rec.power_w = cols[2][i];
-    rec.temp_c = cols[3][i];
-    rec.counters.fu_util = cols[4][i];
-    rec.counters.dram_util = cols[5][i];
-    rec.counters.mem_stall_frac = cols[6][i];
-    rec.counters.exec_stall_frac = cols[7][i];
+    rec.run_index = d.runs[i];
+    rec.day_of_week = d.days[i];
+    rec.perf_ms = d.metric_cols[0][i];
+    rec.freq_mhz = d.metric_cols[1][i];
+    rec.power_w = d.metric_cols[2][i];
+    rec.temp_c = d.metric_cols[3][i];
+    rec.counters.fu_util = d.metric_cols[4][i];
+    rec.counters.dram_util = d.metric_cols[5][i];
+    rec.counters.mem_stall_frac = d.metric_cols[6][i];
+    rec.counters.exec_stall_frac = d.metric_cols[7][i];
     out.frame.append_row(rec);
   }
   return out;

@@ -20,22 +20,44 @@
 // its seed path rather than merging garbage.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/frame.hpp"
 
 namespace gpuvar {
 
 /// Format version written by this build; readers reject anything else.
-inline constexpr std::uint16_t kFrameShardVersion = 1;
+/// v2 appended the field-range stats block to the header so query
+/// predicate pushdown can skip a shard from header bytes alone.
+inline constexpr std::uint16_t kFrameShardVersion = 2;
 
 /// Serialized header size: u32 magic + u16 version + five u64 fields
-/// (bucket index, rows, pool, payload bytes, payload hash). A shard
-/// file is exactly this many bytes plus its payload.
-inline constexpr std::size_t kFrameShardHeaderBytes = 4 + 2 + 5 * 8;
+/// (bucket index, rows, pool, payload bytes, payload hash) + six i64
+/// stats fields (node/gpu-index/day min-max). A shard file is exactly
+/// this many bytes plus its payload.
+inline constexpr std::size_t kFrameShardHeaderBytes = 4 + 2 + 5 * 8 + 6 * 8;
+
+/// Inclusive per-shard value ranges for the fields query predicates
+/// can push down. A default-constructed block (min > max) means "no
+/// rows", so every range test reads as empty. These live in the header
+/// — before the payload — precisely so a reader can rule a shard out
+/// without touching, let alone decoding, its payload.
+struct FrameShardStats {
+  std::int64_t node_min = 0;
+  std::int64_t node_max = -1;
+  std::int64_t gpu_index_min = 0;
+  std::int64_t gpu_index_max = -1;
+  std::int64_t day_min = 0;
+  std::int64_t day_max = -1;
+};
+
+/// Computes the stats block serialize_frame_shard embeds for `frame`.
+FrameShardStats frame_shard_stats(const RecordFrame& frame);
 
 /// What a completed shard write looks like from the outside — the facts
 /// the campaign manifest records per bucket.
@@ -48,6 +70,22 @@ struct FrameShardInfo {
   /// bucket to re-run.
   std::uint64_t payload_hash = 0;
 };
+
+/// Everything the fixed-size header records, including the fields the
+/// manifest does not mirror (pool size, stats block).
+struct FrameShardHeader {
+  FrameShardInfo info;
+  std::uint64_t pool = 0;
+  FrameShardStats stats;
+};
+
+/// Parses just the header from `bytes` (a whole shard file or any
+/// prefix holding at least kFrameShardHeaderBytes). Validates magic
+/// and version only — the payload need not be present, which is what
+/// lets a query planner scan a checkpoint directory by reading
+/// kFrameShardHeaderBytes per shard.
+FrameShardHeader parse_frame_shard_header(std::string_view bytes,
+                                          const std::string& label);
 
 /// One bucket read back from a shard.
 struct FrameShard {
@@ -81,5 +119,49 @@ FrameShardInfo write_frame_shard(std::ostream& out, const RecordFrame& frame,
 /// Reads one shard from `in` (consumes the whole stream). Same error
 /// contract as parse_frame_shard.
 FrameShard read_frame_shard(std::istream& in, std::string label);
+
+/// Bit flags naming the eight metric columns of the payload, in their
+/// serialized order. The pool snapshot and the id/run/day columns are
+/// always decoded (they are small and every query needs them); the
+/// mask selects which 8-byte metric columns get decoded vs skipped.
+enum : unsigned {
+  kShardColPerf = 1u << 0,
+  kShardColFreq = 1u << 1,
+  kShardColPower = 1u << 2,
+  kShardColTemp = 1u << 3,
+  kShardColFuUtil = 1u << 4,
+  kShardColDramUtil = 1u << 5,
+  kShardColMemStall = 1u << 6,
+  kShardColExecStall = 1u << 7,
+  kShardColsAll = 0xffu,
+};
+inline constexpr std::size_t kShardMetricColumns = 8;
+
+/// A shard decoded column-by-column instead of rebuilt into a
+/// RecordFrame. metric_cols[k] is empty unless bit k of the request
+/// mask was set; pool/ids/runs/days are always populated. Values are
+/// bit-identical to the frame that was serialized.
+struct DecodedShardColumns {
+  FrameShardHeader header;
+  std::vector<GpuRef> pool;
+  std::vector<std::uint32_t> gpu_ids;
+  std::vector<std::int32_t> runs;
+  std::vector<std::int16_t> days;
+  std::array<std::vector<double>, kShardMetricColumns> metric_cols;
+  /// Which metric columns are decoded (the request mask).
+  unsigned columns = 0;
+  /// Resident bytes of the decoded vectors — what a decoded-shard
+  /// cache charges against its byte budget.
+  std::size_t memory_bytes() const;
+};
+
+/// Streaming per-column decode: verifies the whole payload hash (a
+/// reader never trusts the file), then decodes the pool and the
+/// id/run/day columns plus only the metric columns in `columns`,
+/// stepping over the rest without materializing them. Same error
+/// contract as parse_frame_shard.
+DecodedShardColumns decode_frame_shard_columns(std::string_view bytes,
+                                               std::string label,
+                                               unsigned columns);
 
 }  // namespace gpuvar

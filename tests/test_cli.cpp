@@ -139,20 +139,8 @@ TEST_F(CliTest, MissingOptionValueFails) {
   EXPECT_NE(err.find("missing value"), std::string::npos);
 }
 
-TEST_F(CliTest, ShardBudgetOverflowFailsLoudly) {
-  // A value that wraps uint64 when scaled must be an error, never a
-  // silently tiny (or accidentally unlimited) budget.
-  std::string err;
-  EXPECT_EQ(run({"run", "--cluster", "cloudlab", "--shard-budget",
-                 "99999999999G"},
-                nullptr, &err),
-            1);
-  EXPECT_NE(err.find("overflows"), std::string::npos);
-  EXPECT_EQ(run({"run", "--cluster", "cloudlab", "--shard-budget", "4X"},
-                nullptr, &err),
-            1);
-  EXPECT_NE(err.find("bad --shard-budget"), std::string::npos);
-}
+// Byte-budget grammar and overflow tests live in test_bytesize.cpp,
+// next to the shared parse_byte_size every budget flag routes through.
 
 TEST_F(CliTest, SimulateSwitchesToAmdGemmOnCorona) {
   // Simulating SGEMM on corona must pick the 24576 AMD input size without

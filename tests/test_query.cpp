@@ -1,0 +1,370 @@
+// Query-plane property tests: every migrated analysis over a
+// dataset-backed Source must be byte-identical to the same analysis
+// over the materialized frame, across thread counts, cache budgets,
+// and pushdown on/off; pushdown must demonstrably skip shards on
+// header facts; and the decoded-shard cache must respect its byte
+// budget up to the one-shard high-water slack the design promises.
+#include "query/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/bytesize.hpp"
+#include "common/thread_pool.hpp"
+#include "core/cli.hpp"
+#include "core/compare.hpp"
+#include "core/correlate.hpp"
+#include "core/drift.hpp"
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "core/flagging.hpp"
+#include "core/user_impact.hpp"
+#include "core/variability.hpp"
+#include "obs/metrics.hpp"
+#include "query/dataset.hpp"
+#include "stats/boxplot.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/shard.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvar {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- report fingerprints ---------------------------------------------
+// Hexfloat round-trips doubles exactly: two fingerprints are equal iff
+// every numeric field is bit-identical (modulo -0.0 == 0.0, which the
+// analyses never distinguish).
+
+void put(std::ostream& o, double v) { o << std::hexfloat << v << ','; }
+
+void put_box(std::ostream& o, const stats::BoxSummary& b) {
+  o << b.count << ',';
+  put(o, b.q1);
+  put(o, b.median);
+  put(o, b.q3);
+  put(o, b.lo_whisker);
+  put(o, b.hi_whisker);
+  put(o, b.min);
+  put(o, b.max);
+  o << b.outlier_indices.size() << ';';
+}
+
+std::string fp(const VariabilityReport& r) {
+  std::ostringstream o;
+  o << r.records << ',' << r.gpus << ';';
+  for (const MetricVariability* m : {&r.perf, &r.freq, &r.power, &r.temp}) {
+    put_box(o, m->box);
+    put(o, m->variation_pct);
+  }
+  return o.str();
+}
+
+std::string fp(const FlagReport& r) {
+  std::ostringstream o;
+  for (const GpuFlag& g : r.gpus) {
+    o << g.gpu_index << ',' << g.name << ',' << g.reasons.size() << ',';
+    put(o, g.severity);
+    o << ';';
+  }
+  for (const CabinetFlag& c : r.cabinets) o << c.cabinet << ',' << c.note << ';';
+  return o.str();
+}
+
+std::string fp(const std::vector<DriftFlag>& v) {
+  std::ostringstream o;
+  for (const DriftFlag& d : v) {
+    o << d.gpu_index << ',' << d.name << ',' << d.runs << ',';
+    put(o, d.baseline_ms);
+    put(o, d.recent_ewma_ms);
+    put(o, d.drift_pct);
+    put(o, d.noise_sigmas);
+    o << ';';
+  }
+  return o.str();
+}
+
+std::string fp(const CampaignComparison& c) {
+  std::ostringstream o;
+  o << c.matched_gpus << ',' << c.only_before << ',' << c.only_after << ',';
+  put(o, c.median_delta_pct);
+  put(o, c.noise_floor_pct);
+  o << c.significant.size() << ';';
+  for (const GpuDelta& d : c.all) {
+    o << d.name << ',';
+    put(o, d.before_ms);
+    put(o, d.after_ms);
+    put(o, d.delta_pct);
+    o << ';';
+  }
+  return o.str();
+}
+
+std::string fp(const std::vector<JobImpact>& v) {
+  std::ostringstream o;
+  for (const JobImpact& j : v) {
+    o << j.gpus_per_job << ',';
+    put(o, j.expected_slowdown);
+    put(o, j.p95_slowdown);
+    put(o, j.p_any_slow);
+    o << ';';
+  }
+  return o.str();
+}
+
+std::string fp(const CorrelationReport& r) {
+  std::ostringstream o;
+  for (const MetricCorrelation* m : r.all()) {
+    put(o, m->rho);
+    put(o, m->spearman);
+    o << m->strength << ';';
+  }
+  return o.str();
+}
+
+/// Every analysis, fingerprinted over one source. `compare` runs the
+/// source against itself — a degenerate but fully deterministic
+/// pairing. `impact_width` caps the impact table's widest job for
+/// sources filtered down to small populations.
+std::string fp_all(const query::Source& s, int impact_width = 8) {
+  UserImpactOptions impact;
+  impact.max_width = impact_width;
+  return fp(analyze_variability(s)) + '|' + fp(analyze_flags(s)) + '|' +
+         fp(analyze_drift(s)) + '|' + fp(analyze_compare(s, s)) + '|' +
+         fp(analyze_user_impact(s, impact)) + '|' + fp(analyze_correlation(s));
+}
+
+// ---- fixture ---------------------------------------------------------
+
+/// One checkpointed campaign, written once and shared by every test in
+/// the suite (Dataset opens are cheap; the campaign run is not).
+class QueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::path(::testing::TempDir()) / "gpuvar_query");
+    fs::remove_all(*dir_);
+    fs::create_directories(*dir_);
+    const Cluster cluster{cloudlab_spec()};
+    const auto cfg = default_config(cluster, sgemm_workload(16384, 2), 2);
+    CampaignOptions opts;
+    opts.checkpoint_dir = dir_->string();
+    frame_ = new RecordFrame(run_campaign(cluster, cfg, opts).frame);
+  }
+  static void TearDownTestSuite() {
+    delete frame_;
+    fs::remove_all(*dir_);
+    delete dir_;
+    frame_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static std::string dir() { return dir_->string(); }
+  static const RecordFrame& frame() { return *frame_; }
+
+  /// Full decode size of the largest shard: the cache's high-water
+  /// slack, and a budget that can hold one shard but not two.
+  static std::uint64_t max_shard_bytes(const query::Dataset& d) {
+    std::uint64_t hi = 0;
+    for (std::size_t i = 0; i < d.shards().size(); ++i) {
+      hi = std::max<std::uint64_t>(hi,
+                                   d.fetch(i, kShardColsAll)->memory_bytes());
+    }
+    return hi;
+  }
+
+ private:
+  static fs::path* dir_;
+  static RecordFrame* frame_;
+};
+
+fs::path* QueryTest::dir_ = nullptr;
+RecordFrame* QueryTest::frame_ = nullptr;
+
+// ---- tests -----------------------------------------------------------
+
+TEST_F(QueryTest, OpenSeesCompleteCampaign) {
+  const query::Dataset d = query::Dataset::open(dir());
+  EXPECT_TRUE(d.complete());
+  EXPECT_GE(d.shards().size(), 2u) << "pushdown tests need several shards";
+  EXPECT_EQ(d.total_rows(), frame().size());
+}
+
+TEST_F(QueryTest, MaterializeRebuildsEngineFrameByteForByte) {
+  const query::Dataset d = query::Dataset::open(dir());
+  const RecordFrame rebuilt = d.materialize();
+  EXPECT_EQ(serialize_frame_shard(rebuilt, 0), serialize_frame_shard(frame(), 0))
+      << "materialize() diverged from the frame the engine merged";
+}
+
+TEST_F(QueryTest, AnalysesByteIdenticalAcrossThreadsBudgetsAndPushdown) {
+  const std::string want = fp_all(query::Source(frame()));
+  const std::uint64_t one_shard = max_shard_bytes(query::Dataset::open(dir()));
+  ASSERT_GT(one_shard, 0u);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    for (std::uint64_t budget : {std::uint64_t{0}, one_shard, kUnlimitedBytes}) {
+      for (bool pushdown : {false, true}) {
+        query::DatasetOptions opts;
+        opts.cache_budget_bytes = budget;
+        opts.pushdown = pushdown;
+        opts.pool = &pool;
+        const query::Dataset d = query::Dataset::open(dir(), opts);
+        const query::Source s(d);
+        EXPECT_EQ(fp_all(s), want)
+            << "threads=" << threads << " budget=" << budget
+            << " pushdown=" << pushdown;
+      }
+    }
+  }
+}
+
+TEST_F(QueryTest, PredicateMatchesFrameSelectByteForByte) {
+  // Restrict to the first shard's node range: a filter that keeps some
+  // rows and (on a multi-shard store) drops others.
+  const query::Dataset d = query::Dataset::open(dir());
+  const FrameShardStats s0 = d.shards().front().header.stats;
+  query::Predicate where;
+  where.node.lo = s0.node_min;
+  where.node.hi = s0.node_max;
+
+  // Reference: the frame rows the predicate matches, via frame.select.
+  const RecordFrame& f = frame();
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (where.matches(f.gpus()[f.gpu_ids()[i]], f.days_of_week()[i])) {
+      rows.push_back(i);
+    }
+  }
+  ASSERT_FALSE(rows.empty());
+  ASSERT_LT(rows.size(), f.size()) << "predicate must actually filter";
+  const RecordFrame selected = f.select(rows);
+
+  const query::Source streamed(d, where);
+  ASSERT_EQ(streamed.size(), selected.size());
+  // The filtered population can be narrower than the default 8-GPU
+  // impact table; cap the width to what it can answer (both sides see
+  // the same cap, so byte-identity is still pinned).
+  const int width =
+      static_cast<int>(std::min<std::size_t>(4, selected.gpu_count()));
+  ASSERT_GE(width, 1);
+  EXPECT_EQ(fp_all(streamed, width), fp_all(query::Source(selected), width));
+}
+
+TEST_F(QueryTest, PushdownSkipsShardsOnHeaderFactsAlone) {
+  const query::Dataset probe = query::Dataset::open(dir());
+  const auto& shards = probe.shards();
+  // Target one node from the first shard; any shard whose header range
+  // excludes it must be skipped without a read.
+  const std::int64_t node = shards.front().header.stats.node_min;
+  query::Predicate where;
+  where.node.lo = node;
+  where.node.hi = node;
+  std::uint64_t expect_scanned = 0;
+  for (const auto& sh : shards) {
+    if (where.may_match(sh.header.stats)) ++expect_scanned;
+  }
+  ASSERT_LT(expect_scanned, shards.size())
+      << "every shard overlaps one node; bucketing must have changed";
+
+  obs::Registry reg;
+  {
+    obs::ScopedMetrics guard(&reg);
+    const query::Dataset d = query::Dataset::open(dir());
+    const query::Source s(d, where);
+    EXPECT_GT(s.size(), 0u);
+  }
+  EXPECT_EQ(reg.counter("query.shards_scanned").value(), expect_scanned);
+  EXPECT_EQ(reg.counter("query.shards_skipped").value(),
+            shards.size() - expect_scanned);
+
+  // With pushdown disabled every shard is scanned — and (per the matrix
+  // test) the result bytes do not change.
+  obs::Registry reg_off;
+  {
+    obs::ScopedMetrics guard(&reg_off);
+    query::DatasetOptions opts;
+    opts.pushdown = false;
+    const query::Dataset d = query::Dataset::open(dir(), opts);
+    const query::Source s(d, where);
+    EXPECT_GT(s.size(), 0u);
+  }
+  EXPECT_EQ(reg_off.counter("query.shards_skipped").value(), 0u);
+  EXPECT_EQ(reg_off.counter("query.shards_scanned").value(), shards.size());
+}
+
+TEST_F(QueryTest, CachePeakStaysWithinBudgetPlusOneShard) {
+  const std::uint64_t one_shard = max_shard_bytes(query::Dataset::open(dir()));
+  obs::Registry reg;
+  {
+    obs::ScopedMetrics guard(&reg);
+    query::DatasetOptions opts;
+    opts.cache_budget_bytes = one_shard;  // holds one shard, never two
+    const query::Dataset d = query::Dataset::open(dir(), opts);
+    (void)d.materialize();  // touches every shard, full column mask
+    (void)d.materialize();  // second pass: eviction-heavy, zero retention wins
+  }
+  ASSERT_TRUE(reg.gauge("query.cache_bytes_peak").has_value());
+  // The documented bound: the peak is recorded after insert, before
+  // eviction, so it may exceed the budget by at most one decoded shard.
+  EXPECT_LE(reg.gauge("query.cache_bytes_peak").value(), one_shard + one_shard);
+  EXPECT_GT(reg.counter("query.cache_evictions").value(), 0u);
+}
+
+TEST_F(QueryTest, UnlimitedCacheServesRepeatScansFromMemory) {
+  obs::Registry reg;
+  {
+    obs::ScopedMetrics guard(&reg);
+    const query::Dataset d = query::Dataset::open(dir());  // unlimited budget
+    (void)d.materialize();
+    const std::uint64_t misses_cold =
+        reg.counter("query.cache_misses").value();
+    EXPECT_EQ(misses_cold, d.shards().size());
+    (void)d.materialize();
+    EXPECT_EQ(reg.counter("query.cache_misses").value(), misses_cold)
+        << "warm pass must not re-decode";
+    EXPECT_GE(reg.counter("query.cache_hits").value(), d.shards().size());
+    EXPECT_EQ(reg.counter("query.cache_evictions").value(), 0u);
+  }
+}
+
+TEST_F(QueryTest, ZeroBudgetRetainsNothing) {
+  obs::Registry reg;
+  {
+    obs::ScopedMetrics guard(&reg);
+    query::DatasetOptions opts;
+    opts.cache_budget_bytes = 0;
+    const query::Dataset d = query::Dataset::open(dir(), opts);
+    (void)d.materialize();
+    (void)d.materialize();
+  }
+  EXPECT_EQ(reg.counter("query.cache_hits").value(), 0u);
+}
+
+TEST_F(QueryTest, CliQueryMatchesMaterializedOutputByteForByte) {
+  for (const char* analysis :
+       {"variability", "correlate", "flags", "drift", "impact"}) {
+    std::ostringstream streamed, materialized, err;
+    ASSERT_EQ(cli::run_cli({"query", dir(), "--analysis", analysis}, streamed,
+                           err),
+              0)
+        << err.str();
+    ASSERT_EQ(cli::run_cli(
+                  {"query", dir(), "--analysis", analysis, "--materialize"},
+                  materialized, err),
+              0)
+        << err.str();
+    EXPECT_EQ(streamed.str(), materialized.str()) << analysis;
+  }
+}
+
+}  // namespace
+}  // namespace gpuvar

@@ -250,6 +250,10 @@ const std::vector<RuleInfo>& rules() {
   static const std::vector<RuleInfo> kRules = {
       {"alloc-in-hot-loop", "hotpath",
        "heap allocation inside a loop on a GPUVAR_HOT path", false},
+      {"analysis-signature", "analysis",
+       "analysis entry point in a core header off the unified "
+       "analyze_*(source, const ...Options&) shape, or a deprecated "
+       "pre-redesign spelling kept outside an allow()'d shim", false},
       {"bare-assert", "style",
        "assert() in library code; use GPUVAR_CHECK so release builds "
        "keep the invariant", false},

@@ -398,7 +398,7 @@ const std::vector<std::string>& pass_names() {
   static const std::vector<std::string> kNames = {
       "style",    "layering", "thread",    "determinism",
       "interchange", "obs",   "include",   "deadcode",
-      "lockorder",   "hotpath", "lifetime"};
+      "lockorder",   "hotpath", "lifetime", "analysis"};
   return kNames;
 }
 
@@ -453,6 +453,7 @@ bool scan_file(const fs::path& path, const std::string& rel,
   run_interchange_pass(one, out.local_findings);
   run_obs_pass(one, out.local_findings);
   run_lifetime_pass(one, out.local_findings);
+  run_analysis_pass(one, out.local_findings);
   return true;
 }
 

@@ -5,7 +5,8 @@
 //   rank 1  obs         tracing + metrics (instrumentable from any layer)
 //   rank 2  gpu, thermal, hostbench   device models + host benchmarks
 //   rank 3  telemetry   sampling, counters, export (plain-data API)
-//   rank 4  cluster, workloads        populations and campaigns
+//   rank 4  cluster, workloads, query  populations, campaigns, and the
+//                                      streaming query plane over stores
 //   rank 5  core        experiment runner, reports, CLI
 //
 // A file may include same-rank or lower-rank modules only; same-rank
@@ -30,7 +31,7 @@ const std::map<std::string, int>& module_ranks() {
       {"common", 0},   {"stats", 1},   {"obs", 1},
       {"gpu", 2},      {"thermal", 2}, {"hostbench", 2},
       {"telemetry", 3}, {"cluster", 4}, {"workloads", 4},
-      {"core", 5}};
+      {"query", 4},    {"core", 5}};
   return kRanks;
 }
 

@@ -53,7 +53,7 @@ void run_obs_pass(const Repo& repo, std::vector<Finding>& findings);
 /// unknown-module. The layer DAG (rank grows upward, same-rank groups
 /// may depend one-way on each other but never cyclically):
 ///   common(0) -> stats/obs(1) -> {gpu, thermal, hostbench}(2)
-///     -> telemetry(3) -> {cluster, workloads}(4) -> core(5)
+///     -> telemetry(3) -> {cluster, workloads, query}(4) -> core(5)
 /// Files directly under src/ (the gpuvar.hpp umbrella) sit above core.
 void run_layering_pass(const Tree& tree, std::vector<Finding>& findings);
 
@@ -91,6 +91,13 @@ void run_lockorder_pass(const Tree& tree, const FlowGraph& graph,
 /// (string-format-in-hot-loop).
 void run_hotpath_pass(const Tree& tree, const FlowGraph& graph,
                       std::vector<Finding>& findings);
+
+/// Analysis-plane surface: analysis-signature (in src/core headers,
+/// analyze_* entry points must end in a `const <X>Options&` parameter,
+/// and the pre-redesign entry-point spellings are findings by name —
+/// forwarding shims survive one deprecation cycle behind inline
+/// allow()s).
+void run_analysis_pass(const Repo& repo, std::vector<Finding>& findings);
 
 /// Intraprocedural span/string_view lifetime (src/ only, file-local —
 /// runs during the scan and caches like any file-local pass):

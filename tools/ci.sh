@@ -10,9 +10,10 @@
 #   tools/ci.sh analyzer       full gpuvar-analyzer run; archives the JSON
 #                              report and layering DOT under build-ci/
 #   tools/ci.sh bench-smoke    micro bench smoke run (frame column ops, CSV
-#                              export, shard codec, campaign engine);
-#                              archives BENCH_frame.json, BENCH_engine.json
-#                              and BENCH_analyzer.json
+#                              export, shard codec, campaign engine, query
+#                              plane); archives BENCH_frame.json,
+#                              BENCH_engine.json, BENCH_query.json and
+#                              BENCH_analyzer.json
 #   tools/ci.sh bench-guard    rerun the micro benches and compare against
 #                              the committed bench/BENCH_*.json reference
 #                              at a ~2x tolerance
@@ -25,6 +26,11 @@
 #                              half its shards and the done marker, resume,
 #                              and byte-compare every artifact against the
 #                              uninterrupted run
+#   tools/ci.sh query-smoke    streaming query plane check: run a
+#                              checkpointed campaign, then byte-compare
+#                              `gpuvar query` streaming output against its
+#                              --materialize reference path for every
+#                              analysis, filtered and compare forms included
 #   tools/ci.sh thread-safety  clang -Werror=thread-safety syntax-only
 #                              compile of src/** (skipped when clang++ is
 #                              not installed — the GPUVAR_* annotations
@@ -114,24 +120,30 @@ job_analyzer() {
 }
 
 job_bench_smoke() {
-  echo "=== job: bench-smoke (micro frame/engine/analyzer benches) ==="
+  echo "=== job: bench-smoke (micro frame/engine/query/analyzer benches) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
-    --target micro_engine_bench --target micro_analyzer_bench
+    --target micro_engine_bench --target micro_query_bench \
+    --target micro_analyzer_bench
   # Smoke cadence, not a tuned perf run: one repetition per benchmark,
   # JSON archived so regressions in the columnar data plane, the shard
-  # codec / campaign engine, and the analyzer's scan driver are diffable.
+  # codec / campaign engine, the streaming query plane, and the
+  # analyzer's scan driver are diffable.
   ./build-ci/bench/micro_frame_bench \
     --benchmark_out=build-ci/BENCH_frame.json \
     --benchmark_out_format=json
   ./build-ci/bench/micro_engine_bench \
     --benchmark_out=build-ci/BENCH_engine.json \
     --benchmark_out_format=json
+  ./build-ci/bench/micro_query_bench \
+    --benchmark_out=build-ci/BENCH_query.json \
+    --benchmark_out_format=json
   ./build-ci/bench/micro_analyzer_bench \
     --benchmark_out=build-ci/BENCH_analyzer.json \
     --benchmark_out_format=json
   echo "frame bench report: build-ci/BENCH_frame.json"
   echo "engine bench report: build-ci/BENCH_engine.json"
+  echo "query bench report: build-ci/BENCH_query.json"
   echo "analyzer bench report: build-ci/BENCH_analyzer.json"
 }
 
@@ -139,7 +151,8 @@ job_bench_guard() {
   echo "=== job: bench-guard (fresh micro benches vs committed reference) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
-    --target micro_engine_bench --target micro_analyzer_bench
+    --target micro_engine_bench --target micro_query_bench \
+    --target micro_analyzer_bench
   if ! command -v python3 > /dev/null 2>&1; then
     echo "python3 unavailable; skipping bench comparison"
     return 0
@@ -149,6 +162,9 @@ job_bench_guard() {
     --benchmark_out_format=json
   ./build-ci/bench/micro_engine_bench \
     --benchmark_out=build-ci/BENCH_engine.guard.json \
+    --benchmark_out_format=json
+  ./build-ci/bench/micro_query_bench \
+    --benchmark_out=build-ci/BENCH_query.guard.json \
     --benchmark_out_format=json
   ./build-ci/bench/micro_analyzer_bench \
     --benchmark_out=build-ci/BENCH_analyzer.guard.json \
@@ -160,6 +176,7 @@ job_bench_guard() {
   python3 - \
     bench/BENCH_frame.json build-ci/BENCH_frame.guard.json \
     bench/BENCH_engine.json build-ci/BENCH_engine.guard.json \
+    bench/BENCH_query.json build-ci/BENCH_query.guard.json \
     bench/BENCH_analyzer.json build-ci/BENCH_analyzer.guard.json <<'EOF'
 import json
 import sys
@@ -264,6 +281,50 @@ job_resume_smoke() {
   echo "resume-smoke: resumed campaign artifacts byte-identical"
 }
 
+job_query_smoke() {
+  echo "=== job: query-smoke (streaming query vs --materialize) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  cmake --build build-ci -j "$JOBS" --target gpuvar_cli
+  local ck=build-ci/QUERY_ck
+  rm -rf "$ck" build-ci/QUERY_*.txt
+
+  # The store under query: a checkpointed, spill-everything campaign,
+  # one shard per node bucket.
+  ./build-ci/tools/gpuvar run --cluster cloudlab --workload sgemm \
+    --reps 4 --runs 2 --checkpoint "$ck" --shard-budget 0 \
+    --out build-ci/QUERY_ref.csv > /dev/null
+
+  # The query plane's core contract: every analysis prints byte-identical
+  # output whether it streams shards (here with a custom pool and a
+  # cache budget small enough to evict) or runs over the materialized
+  # frame.
+  local a
+  for a in variability correlate flags drift impact; do
+    ./build-ci/tools/gpuvar query "$ck" --analysis "$a" \
+      --threads 4 --cache-budget 4K > "build-ci/QUERY_${a}_stream.txt"
+    ./build-ci/tools/gpuvar query "$ck" --analysis "$a" \
+      --materialize > "build-ci/QUERY_${a}_mat.txt"
+    cmp "build-ci/QUERY_${a}_stream.txt" "build-ci/QUERY_${a}_mat.txt"
+  done
+
+  # Filtered form: a --where predicate that pushdown resolves to a
+  # strict shard subset (two of cloudlab's three node buckets) takes
+  # the same byte-identity bar.
+  ./build-ci/tools/gpuvar query "$ck" --where node=0..1 \
+    --analysis variability > build-ci/QUERY_where_stream.txt
+  ./build-ci/tools/gpuvar query "$ck" --where node=0..1 \
+    --analysis variability --materialize > build-ci/QUERY_where_mat.txt
+  cmp build-ci/QUERY_where_stream.txt build-ci/QUERY_where_mat.txt
+
+  # Two-store comparison (a store against itself: no significant deltas).
+  ./build-ci/tools/gpuvar query "$ck" --against "$ck" \
+    --analysis compare > build-ci/QUERY_compare_stream.txt
+  ./build-ci/tools/gpuvar query "$ck" --against "$ck" \
+    --analysis compare --materialize > build-ci/QUERY_compare_mat.txt
+  cmp build-ci/QUERY_compare_stream.txt build-ci/QUERY_compare_mat.txt
+  echo "query-smoke: streaming output byte-identical to --materialize"
+}
+
 job_thread_safety() {
   echo "=== job: thread-safety (clang -Werror=thread-safety) ==="
   if ! command -v clang++ > /dev/null 2>&1; then
@@ -291,6 +352,7 @@ case "${1:-all}" in
   bench-guard) job_bench_guard ;;
   obs-smoke) job_obs_smoke ;;
   resume-smoke) job_resume_smoke ;;
+  query-smoke) job_query_smoke ;;
   thread-safety) job_thread_safety ;;
   all)
     job_build
@@ -299,13 +361,14 @@ case "${1:-all}" in
     job_bench_guard
     job_obs_smoke
     job_resume_smoke
+    job_query_smoke
     job_thread_safety
     job_asan
     job_tsan
     echo "=== all CI jobs passed ==="
     ;;
   *)
-    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|bench-guard|obs-smoke|resume-smoke|thread-safety|all]" >&2
+    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|bench-guard|obs-smoke|resume-smoke|query-smoke|thread-safety|all]" >&2
     exit 2
     ;;
 esac

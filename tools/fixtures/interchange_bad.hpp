@@ -20,8 +20,10 @@ struct Report {};
 // Single-record uses are fine — the rule targets bulk interchange.
 double metric_value_ok(const RunRecord& r);
 
-// Firing 1: row-oriented bulk parameter.
-Report analyze_rows(const std::vector<RunRecord>& records);
+// Firing 1: row-oriented bulk parameter. (Named summarize_rows, not
+// analyze_*, so the analysis pass's signature rule stays out of this
+// fixture's expectations.)
+Report summarize_rows(const std::vector<RunRecord>& records);
 
 // Firing 2: span-of-rows bulk parameter.
 Report flag_rows(std::span<const RunRecord> records);
