@@ -7,7 +7,7 @@
 #include "common/require.hpp"
 #include "core/drift.hpp"
 #include "query/source.hpp"
-#include "stats/quantile.hpp"
+#include "stats/kernels.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/record.hpp"
 
@@ -63,13 +63,12 @@ CampaignComparison analyze_compare(const query::Source& before,
   GPUVAR_REQUIRE_MSG(cmp.matched_gpus > 0,
                      "campaigns share no GPU names");
 
-  cmp.median_delta_pct = stats::median(deltas);
-  const double median_before =
-      stats::median([&] {
-        std::vector<double> v;
-        for (const auto& d : cmp.all) v.push_back(d.before_ms);
-        return v;
-      }());
+  // Both inputs are scratch vectors, so select the medians in place.
+  cmp.median_delta_pct = stats::kernels::median_inplace(deltas);
+  std::vector<double> before_ms;
+  before_ms.reserve(cmp.all.size());
+  for (const auto& d : cmp.all) before_ms.push_back(d.before_ms);
+  const double median_before = stats::kernels::median_inplace(before_ms);
   cmp.noise_floor_pct =
       median_before > 0.0 ? noise_ms / median_before * 100.0 : 0.0;
 

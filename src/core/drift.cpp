@@ -6,7 +6,7 @@
 
 #include "common/require.hpp"
 #include "query/source.hpp"
-#include "stats/quantile.hpp"
+#include "stats/kernels.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/record.hpp"
 
@@ -49,8 +49,9 @@ double estimate_run_noise_ms(const query::Source& source) {
   GPUVAR_REQUIRE_MSG(!abs_diffs.empty(),
                      "need at least one GPU with two runs");
   // MAD of successive differences -> sigma: each diff is N(0, sqrt(2)·σ),
-  // and median(|N(0,s)|) = s / 1.4826.
-  return stats::median(abs_diffs) * 1.4826 / std::sqrt(2.0);
+  // and median(|N(0,s)|) = s / 1.4826. abs_diffs is scratch, so select
+  // the median in place instead of sorting a copy.
+  return stats::kernels::median_inplace(abs_diffs) * 1.4826 / std::sqrt(2.0);
 }
 
 double estimate_run_noise_ms(const RecordFrame& frame) {
@@ -78,7 +79,7 @@ std::vector<DriftFlag> analyze_drift(const query::Source& source,
     for (int i = 0; i < options.baseline_runs; ++i) {
       early.push_back(runs[static_cast<std::size_t>(i)].second);
     }
-    const double baseline = stats::median(early);
+    const double baseline = stats::kernels::median_inplace(early);
     GPUVAR_ASSERT(baseline > 0.0);
 
     double ewma = baseline;

@@ -7,7 +7,7 @@
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "stats/quantile.hpp"
+#include "stats/kernels.hpp"
 #include "telemetry/counters.hpp"
 #include "workloads/runner.hpp"
 #include "cluster/cluster.hpp"
@@ -49,8 +49,9 @@ std::vector<NodeQuality> profile_node_quality(const Cluster& cluster,
       freq.push_back(r.telemetry.freq.median);
       perf.push_back(r.perf_ms);
     }
-    quality[ni] =
-        NodeQuality{node, MegaHertz{stats::median(freq)}, stats::median(perf)};
+    quality[ni] = NodeQuality{node,
+                              MegaHertz{stats::kernels::median_inplace(freq)},
+                              stats::kernels::median_inplace(perf)};
   });
   return quality;
 }
@@ -182,8 +183,7 @@ ScheduleOutcome simulate_schedule(const Cluster& cluster,
       const auto run = run_on_node(cluster, node, fj.job->workload,
                                    static_cast<int>(pos), opts);
       // Wall-clock of the job = sum of its iteration durations.
-      double wall = 0.0;
-      for (double ms : run.front().iteration_ms) wall += ms;
+      const double wall = stats::kernels::sum(run.front().iteration_ms);
       results[qi].push_back(
           PlacedJob{fj.job->name, node, fj.cls, wall});
     }

@@ -41,7 +41,8 @@ JobImpact job_impact(const query::Source& source, int gpus_per_job,
   perf.reserve(n);
   for (const auto& g : gpus) perf.push_back(g.perf_ms);
   std::sort(perf.begin(), perf.end());
-  const double med = stats::median(perf);
+  // perf was just sorted for the prefix analysis below; cut directly.
+  const double med = stats::quantile_sorted(perf, 0.5);
   GPUVAR_REQUIRE(med > 0.0);
 
   const auto k = static_cast<std::size_t>(gpus_per_job);

@@ -6,7 +6,7 @@
 
 #include "common/require.hpp"
 #include "query/source.hpp"
-#include "stats/quantile.hpp"
+#include "stats/kernels.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/boxplot.hpp"
 #include "telemetry/frame.hpp"
@@ -122,11 +122,24 @@ std::vector<stats::NamedSeries> series_by_group(const RecordFrame& frame,
 
 std::map<int, VariabilityReport> variability_by_group(const RecordFrame& frame,
                                                       GroupBy group) {
+  std::map<int, VariabilityReport> out;
+  if (group == GroupBy::kDayOfWeek) {
+    // The day split keys off a dense int16 column, so each group is
+    // one vectorized range-mask + mask-select instead of a per-row
+    // std::map of row-index lists.
+    const auto days = frame.days_of_week();
+    std::vector<std::uint8_t> mask(days.size());
+    for (int day = 0; day < 7; ++day) {
+      stats::kernels::mask_range_i16(days, day, day, mask);
+      if (stats::kernels::mask_count(mask) == 0) continue;
+      out.emplace(day, analyze_variability(frame.select(mask)));
+    }
+    return out;
+  }
   std::map<int, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < frame.size(); ++i) {
     groups[group_key(frame, i, group)].push_back(i);
   }
-  std::map<int, VariabilityReport> out;
   for (const auto& [key, rows] : groups) {
     out.emplace(key, analyze_variability(frame.select(rows)));
   }
@@ -153,11 +166,12 @@ std::vector<GpuRepeatability> per_gpu_repeatability(const RecordFrame& frame) {
     rep.gpu_index = g.gpu_index;
     rep.name = g.loc.name;
     rep.runs = static_cast<int>(perf.size());
-    rep.median_perf_ms = stats::median(perf);
-    const double lo = *std::min_element(perf.begin(), perf.end());
-    const double hi = *std::max_element(perf.begin(), perf.end());
+    // min/max sweep before the median: median_inplace permutes the
+    // scratch (that is what saves the per-GPU sorted copy).
+    const stats::kernels::MinMax mm = stats::kernels::min_max(perf);
+    rep.median_perf_ms = stats::kernels::median_inplace(perf);
     GPUVAR_ASSERT(rep.median_perf_ms > 0.0);
-    rep.variation_pct = (hi - lo) / rep.median_perf_ms * 100.0;
+    rep.variation_pct = (mm.max - mm.min) / rep.median_perf_ms * 100.0;
     out.push_back(std::move(rep));
   }
   return out;
@@ -172,7 +186,9 @@ double slow_assignment_probability(const RecordFrame& frame, int gpus_per_job,
   std::vector<double> perf;
   perf.reserve(gpus.size());
   for (const auto& g : gpus) perf.push_back(g.perf_ms);
-  const double med = stats::median(perf);
+  // In-place selection: the count below only reads values, so the
+  // permutation is harmless.
+  const double med = stats::kernels::median_inplace(perf);
   std::size_t slow = 0;
   for (double p : perf) {
     if (p > med * (1.0 + slowdown_threshold)) ++slow;

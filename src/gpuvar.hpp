@@ -67,6 +67,7 @@
 #include "stats/correlation.hpp"   // IWYU pragma: export
 #include "stats/descriptive.hpp"   // IWYU pragma: export
 #include "stats/histogram.hpp"     // IWYU pragma: export
+#include "stats/kernels.hpp"       // IWYU pragma: export
 #include "stats/normal.hpp"        // IWYU pragma: export
 #include "stats/quantile.hpp"      // IWYU pragma: export
 #include "stats/sampling.hpp"      // IWYU pragma: export

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "query/dataset.hpp"
+#include "stats/kernels.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/record.hpp"
 #include "telemetry/shard.hpp"
@@ -55,17 +56,25 @@ void Source::ensure_plan() const {
   rows_ = 0;
   for (std::size_t j = 0; j < picked_.size(); ++j) {
     const DecodedShardColumns& d = *decoded[j];
-    std::vector<char> gpu_ok(d.pool.size(), 0);
+    // One location-match verdict per pool entry (the only part that
+    // inspects strings), then vectorized per-row mask kernels: gather
+    // the verdict through the id column, AND in the day-range mask,
+    // and emit the surviving row indices in one pass each.
+    std::vector<std::uint8_t> gpu_ok(d.pool.size(), 0);
     for (std::size_t id = 0; id < d.pool.size(); ++id) {
-      gpu_ok[id] = where_.matches_gpu(d.pool[id]) ? 1 : 0;
+      gpu_ok[id] = where_.matches_gpu(d.pool[id]) ? std::uint8_t{1}
+                                                  : std::uint8_t{0};
     }
-    auto& rows = match_rows_[j];
-    for (std::size_t r = 0; r < d.gpu_ids.size(); ++r) {
-      if (gpu_ok[d.gpu_ids[r]] != 0 && where_.day.contains(d.days[r])) {
-        rows.push_back(static_cast<std::uint32_t>(r));
-      }
+    std::vector<std::uint8_t> mask(d.gpu_ids.size());
+    stats::kernels::mask_gather_u32(d.gpu_ids, gpu_ok, mask);
+    if (!where_.day.is_all()) {
+      std::vector<std::uint8_t> day_mask(d.days.size());
+      stats::kernels::mask_range_i16(d.days, where_.day.lo, where_.day.hi,
+                                     day_mask);
+      stats::kernels::mask_and(mask, day_mask, mask);
     }
-    rows_ += rows.size();
+    stats::kernels::mask_to_indices(mask, match_rows_[j]);
+    rows_ += match_rows_[j].size();
   }
   // Shards the row filter emptied out contribute nothing; drop them so
   // later column scans stop paying their decode.

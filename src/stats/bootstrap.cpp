@@ -6,7 +6,7 @@
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "stats/boxplot.hpp"
-#include "stats/quantile.hpp"
+#include "stats/kernels.hpp"
 
 namespace gpuvar::stats {
 
@@ -34,8 +34,10 @@ BootstrapCI bootstrap_ci(std::span<const double> xs,
     estimates.push_back(statistic(resample));
   }
   const double alpha = (1.0 - confidence) / 2.0;
-  ci.lo = quantile(estimates, alpha);
-  ci.hi = quantile(estimates, 1.0 - alpha);
+  // estimates is dead after the cuts, so select in place: no copy, no
+  // sort, and the second cut reuses the first one's partial ordering.
+  ci.lo = kernels::quantile_inplace(estimates, alpha);
+  ci.hi = kernels::quantile_inplace(estimates, 1.0 - alpha);
   return ci;
 }
 

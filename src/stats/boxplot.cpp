@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
-#include "stats/quantile.hpp"
+#include "stats/kernels.hpp"
 
 namespace gpuvar::stats {
 
@@ -15,19 +15,23 @@ double BoxSummary::variation() const {
 
 BoxSummary box_summary(std::span<const double> xs) {
   GPUVAR_REQUIRE(!xs.empty());
-  const auto sorted = sorted_copy(xs);
+  // One scratch copy feeds all three quartile selections; min/max come
+  // from the fused vectorized sweep over the untouched input. Replaces
+  // the previous sorted_copy (O(n log n)) with O(n) work.
+  std::vector<double> scratch(xs.begin(), xs.end());
 
   BoxSummary b;
   b.count = xs.size();
-  b.q1 = quantile_sorted(sorted, 0.25);
-  b.median = quantile_sorted(sorted, 0.5);
-  b.q3 = quantile_sorted(sorted, 0.75);
+  b.q1 = kernels::quantile_inplace(scratch, 0.25);
+  b.median = kernels::quantile_inplace(scratch, 0.5);
+  b.q3 = kernels::quantile_inplace(scratch, 0.75);
   b.iqr = b.q3 - b.q1;
   b.lo_whisker = b.q1 - 1.5 * b.iqr;
   b.hi_whisker = b.q3 + 1.5 * b.iqr;
   b.range = b.hi_whisker - b.lo_whisker;
-  b.min = sorted.front();
-  b.max = sorted.back();
+  const kernels::MinMax mm = kernels::min_max(xs);
+  b.min = mm.min;
+  b.max = mm.max;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     if (b.is_outlier_value(xs[i])) b.outlier_indices.push_back(i);
   }

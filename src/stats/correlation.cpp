@@ -7,6 +7,7 @@
 
 #include "common/hot.hpp"
 #include "common/require.hpp"
+#include "stats/kernels.hpp"
 
 namespace gpuvar::stats {
 
@@ -14,23 +15,12 @@ GPUVAR_HOT double pearson(std::span<const double> xs, std::span<const double> ys
   GPUVAR_REQUIRE(xs.size() == ys.size());
   GPUVAR_REQUIRE(xs.size() >= 2);
   const std::size_t n = xs.size();
-  double mx = 0.0, my = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    mx += xs[i];
-    my += ys[i];
-  }
-  mx /= static_cast<double>(n);
-  my /= static_cast<double>(n);
-  double sxy = 0.0, sxx = 0.0, syy = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double dx = xs[i] - mx;
-    const double dy = ys[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
-  }
-  if (sxx == 0.0 || syy == 0.0) return 0.0;
-  const double rho = sxy / std::sqrt(sxx * syy);
+  const double mx = kernels::sum(xs) / static_cast<double>(n);
+  const double my = kernels::sum(ys) / static_cast<double>(n);
+  // Fused dot/sum-of-products kernel: sxy, sxx, syy in one sweep.
+  const kernels::CenteredProducts cp = kernels::centered_products(xs, ys, mx, my);
+  if (cp.sxx == 0.0 || cp.syy == 0.0) return 0.0;
+  const double rho = cp.sxy / std::sqrt(cp.sxx * cp.syy);
   // Guard against floating point drift just past ±1.
   return std::clamp(rho, -1.0, 1.0);
 }

@@ -1,0 +1,388 @@
+#include "stats/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "common/hot.hpp"
+#include "common/require.hpp"
+#include "stats/kernels_table.hpp"
+
+namespace gpuvar::stats::kernels {
+
+namespace {
+
+// Vector width rank used when an env-requested backend is unavailable:
+// the override clamps down to the widest available backend that is no
+// wider than the request (so GPUVAR_SIMD=avx2 on an SSE2-only host runs
+// SSE2, never scalar).
+int backend_width(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return 0;
+    case Backend::kSse2:
+    case Backend::kNeon:
+      return 1;
+    case Backend::kAvx2:
+      return 2;
+  }
+  return 0;
+}
+
+Backend detect() {
+#if defined(__aarch64__)
+  return Backend::kNeon;
+#elif defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+#endif
+  return Backend::kSse2;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+Backend clamp_to_available(Backend req) {
+  if (backend_available(req)) return req;
+  constexpr Backend kByWidth[] = {Backend::kAvx2, Backend::kNeon,
+                                  Backend::kSse2, Backend::kScalar};
+  for (Backend b : kByWidth) {
+    if (backend_width(b) <= backend_width(req) && backend_available(b)) {
+      return b;
+    }
+  }
+  return Backend::kScalar;
+}
+
+// GPUVAR_SIMD is read exactly once, at first kernel use. Unknown values
+// mean "auto" (the detected widest backend); known-but-unsupported
+// values clamp down, so the variable can never select a backend the
+// host cannot execute.
+Backend initial_backend() {
+  const Backend detected = detect();
+  const char* env = std::getenv("GPUVAR_SIMD");
+  if (env == nullptr) return detected;
+  const std::string_view v(env);
+  Backend req = detected;  // "auto" and anything unrecognized
+  if (v == "scalar") {
+    req = Backend::kScalar;
+  } else if (v == "sse2") {
+    req = Backend::kSse2;
+  } else if (v == "avx2") {
+    req = Backend::kAvx2;
+  } else if (v == "neon") {
+    req = Backend::kNeon;
+  }
+  return clamp_to_available(req);
+}
+
+std::atomic<Backend>& active_slot() {
+  static std::atomic<Backend> slot{initial_backend()};
+  return slot;
+}
+
+const detail::KernelTable& table_for(Backend b) {
+  switch (b) {
+    case Backend::kSse2:
+      return detail::sse2_table();
+    case Backend::kAvx2:
+      return detail::avx2_table();
+    case Backend::kNeon:
+      return detail::neon_table();
+    case Backend::kScalar:
+      break;
+  }
+  return detail::scalar_table();
+}
+
+const detail::KernelTable& active_table() {
+  return table_for(active_slot().load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+Backend active_backend() {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+bool backend_available(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2,
+                    Backend::kNeon}) {
+    if (backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+Backend set_backend(Backend b) {
+  GPUVAR_REQUIRE(backend_available(b));
+  return active_slot().exchange(b);
+}
+
+// --- fused reductions ---------------------------------------------------
+
+GPUVAR_HOT Sweep describe_sweep(std::span<const double> xs) {
+  GPUVAR_REQUIRE(!xs.empty());
+  return active_table().describe_sweep(xs);
+}
+
+GPUVAR_HOT double sum(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return active_table().sum(xs);
+}
+
+GPUVAR_HOT double centered_sumsq(std::span<const double> xs, double mean) {
+  if (xs.empty()) return 0.0;
+  return active_table().centered_sumsq(xs, mean);
+}
+
+GPUVAR_HOT CenteredProducts centered_products(std::span<const double> xs,
+                                              std::span<const double> ys,
+                                              double mx, double my) {
+  GPUVAR_REQUIRE(xs.size() == ys.size());
+  if (xs.empty()) return {};
+  return active_table().centered_products(xs, ys, mx, my);
+}
+
+GPUVAR_HOT MinMax min_max(std::span<const double> xs) {
+  GPUVAR_REQUIRE(!xs.empty());
+  return active_table().min_max(xs);
+}
+
+// --- selection ----------------------------------------------------------
+// Shared exact code: a selected order statistic is a value fact about
+// the multiset, so no per-backend variants exist and the dispatch table
+// is not involved. Deterministic pivots (median-of-3, ninther above 128
+// elements), three-way partitioning so constant columns finish in one
+// pass, and bounds-checked scans so a NaN cannot walk a cursor off the
+// span — NaNs land in the pivot's "unordered" band, which keeps the
+// result deterministic (and identical across backends by construction)
+// even though NaN ordering is unspecified.
+
+namespace {
+
+constexpr std::size_t kInsertionThreshold = 16;
+
+void insertion_sort(double* a, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double x = a[i];
+    std::size_t j = i;
+    while (j > lo && x < a[j - 1]) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = x;
+  }
+}
+
+std::size_t med3(const double* a, std::size_t i, std::size_t j,
+                 std::size_t k) {
+  if (a[i] < a[j]) {
+    if (a[j] < a[k]) return j;
+    return a[i] < a[k] ? k : i;
+  }
+  if (a[i] < a[k]) return i;
+  return a[j] < a[k] ? k : j;
+}
+
+}  // namespace
+
+GPUVAR_HOT void nth_inplace(std::span<double> xs, std::size_t k) {
+  GPUVAR_REQUIRE(k < xs.size());
+  double* a = xs.data();
+  std::size_t lo = 0;
+  std::size_t hi = xs.size();
+  while (hi - lo > kInsertionThreshold) {
+    const std::size_t n = hi - lo;
+    const std::size_t mid = lo + n / 2;
+    std::size_t pidx;
+    if (n > 128) {
+      const std::size_t eighth = n / 8;
+      const std::size_t p1 = med3(a, lo, lo + eighth, lo + 2 * eighth);
+      const std::size_t p2 = med3(a, mid - eighth, mid, mid + eighth);
+      const std::size_t p3 =
+          med3(a, hi - 1 - 2 * eighth, hi - 1 - eighth, hi - 1);
+      pidx = med3(a, p1, p2, p3);
+    } else {
+      pidx = med3(a, lo, mid, hi - 1);
+    }
+    const double p = a[pidx];
+    // Three-way partition of [lo, hi): [lo, lt) < p, [lt, gt) neither
+    // < nor > p (equal values, plus NaNs), [gt, hi) > p. The pivot
+    // element itself always lands in the middle band, so both
+    // recursion candidates are strictly smaller and the loop
+    // terminates even when p is NaN (then the whole range is "equal"
+    // and we return immediately).
+    std::size_t lt = lo;
+    std::size_t gt = hi;
+    std::size_t i = lo;
+    while (i < gt) {
+      if (a[i] < p) {
+        std::swap(a[i], a[lt]);
+        ++lt;
+        ++i;
+      } else if (p < a[i]) {
+        --gt;
+        std::swap(a[i], a[gt]);
+      } else {
+        ++i;
+      }
+    }
+    if (k < lt) {
+      hi = lt;
+    } else if (k >= gt) {
+      lo = gt;
+    } else {
+      return;  // a[k] sits in the pivot band
+    }
+  }
+  insertion_sort(a, lo, hi);
+}
+
+GPUVAR_HOT double quantile_inplace(std::span<double> xs, double q) {
+  GPUVAR_REQUIRE(!xs.empty());
+  GPUVAR_REQUIRE(q >= 0.0 && q <= 1.0);
+  const std::size_t n = xs.size();
+  if (n == 1) return xs[0];
+  const double h = static_cast<double>(n - 1) * q;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const double frac = h - std::floor(h);
+  nth_inplace(xs, lo);
+  const double vlo = xs[lo];
+  // The upper interpolation point is the minimum of the right
+  // partition — the (lo+1)-th order statistic, without finishing the
+  // sort. When lo is the last index the sorted path collapses hi onto
+  // lo; mirror that.
+  double vhi = vlo;
+  if (lo + 1 < n) {
+    vhi = xs[lo + 1];
+    for (std::size_t i = lo + 2; i < n; ++i) {
+      if (xs[i] < vhi) vhi = xs[i];
+    }
+  }
+  // Exactly quantile_sorted's expression, frac == 0 included, so the
+  // two paths agree bit-for-bit (e.g. -0.0 + 0.0*0.0 is +0.0 in both).
+  return vlo + frac * (vhi - vlo);
+}
+
+GPUVAR_HOT double median_inplace(std::span<double> xs) {
+  return quantile_inplace(xs, 0.5);
+}
+
+// --- predicate masks ----------------------------------------------------
+
+GPUVAR_HOT void mask_range_i16(std::span<const std::int16_t> xs,
+                               std::int64_t lo, std::int64_t hi,
+                               std::span<std::uint8_t> out) {
+  GPUVAR_REQUIRE(out.size() == xs.size());
+  constexpr std::int64_t kI16Min = std::numeric_limits<std::int16_t>::min();
+  constexpr std::int64_t kI16Max = std::numeric_limits<std::int16_t>::max();
+  if (lo > hi || lo > kI16Max || hi < kI16Min) {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
+  const auto clo = static_cast<std::int16_t>(std::max(lo, kI16Min));
+  const auto chi = static_cast<std::int16_t>(std::min(hi, kI16Max));
+  active_table().mask_range_i16(xs, clo, chi, out);
+}
+
+GPUVAR_HOT void mask_gather_u32(std::span<const std::uint32_t> ids,
+                                std::span<const std::uint8_t> table,
+                                std::span<std::uint8_t> out) {
+  GPUVAR_REQUIRE(out.size() == ids.size());
+  if (ids.empty()) return;
+  active_table().mask_gather_u32(ids, table, out);
+}
+
+GPUVAR_HOT void mask_and(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b,
+                         std::span<std::uint8_t> out) {
+  GPUVAR_REQUIRE(a.size() == b.size());
+  GPUVAR_REQUIRE(out.size() == a.size());
+  if (a.empty()) return;
+  active_table().mask_and(a, b, out);
+}
+
+GPUVAR_HOT std::size_t mask_count(std::span<const std::uint8_t> mask) {
+  if (mask.empty()) return 0;
+  return active_table().mask_count(mask);
+}
+
+// The index emitters size the output once (one pad slot keeps the
+// branch-free write in bounds on the final iteration) and fill with an
+// unconditional store — no per-row branch, no per-row growth.
+
+GPUVAR_HOT void mask_to_indices(std::span<const std::uint8_t> mask,
+                                std::vector<std::uint32_t>& out) {
+  const std::size_t count = mask_count(mask);
+  out.resize(count + 1);
+  const std::uint8_t* p = mask.data();
+  const std::size_t n = mask.size();
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[w] = static_cast<std::uint32_t>(i);
+    w += p[i];
+  }
+  out.resize(count);
+}
+
+GPUVAR_HOT void mask_to_rows(std::span<const std::uint8_t> mask,
+                             std::vector<std::size_t>& out) {
+  const std::size_t count = mask_count(mask);
+  out.resize(count + 1);
+  const std::uint8_t* p = mask.data();
+  const std::size_t n = mask.size();
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[w] = i;
+    w += p[i];
+  }
+  out.resize(count);
+}
+
+}  // namespace gpuvar::stats::kernels

@@ -1,0 +1,16 @@
+// AVX2 backend: one 256-bit register per 4-lane batch. Built with
+// -mavx2 (see src/CMakeLists.txt); when that flag is absent — a
+// non-GNU compiler, or clang's syntax-only thread-safety sweep — the
+// TU degrades to the scalar Batch4 so avx2_table() still links and
+// still returns bit-identical results, just without the speedup.
+#define GPUVAR_SIMD_NS avx2
+#if defined(__AVX2__)
+#define GPUVAR_SIMD_IMPL_AVX2 1
+#endif
+#include "stats/kernels_impl.hpp"  // gpuvar-lint: allow(unused-include)
+
+#include "stats/kernels_table.hpp"
+
+namespace gpuvar::stats::kernels::detail {
+const KernelTable& avx2_table() { return kernels::avx2::table_impl(); }
+}  // namespace gpuvar::stats::kernels::detail

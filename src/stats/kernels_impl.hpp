@@ -1,0 +1,245 @@
+// Generic kernel bodies over the 4-lane Batch4 abstraction, compiled
+// once per backend. Each backend translation unit defines
+// GPUVAR_SIMD_NS (and at most one GPUVAR_SIMD_IMPL_* macro) and then
+// includes this header, which instantiates every kernel in
+// gpuvar::stats::kernels::<backend> and exports the <backend>_table()
+// getter kernels.cpp dispatches through.
+//
+// The determinism discipline, spelled out once here and inherited by
+// every backend:
+//  - element i accumulates into lane i % 4: the main loop consumes
+//    full 4-blocks through Batch4, the ragged tail folds into the
+//    extracted lanes with the identical per-lane formula;
+//  - lanes combine in one pinned order: (l0 op l1) op (l2 op l3);
+//  - no FMA anywhere (mul and add are separate Batch4 ops, and the
+//    kernel TUs build with -ffp-contract=off so the compiler cannot
+//    re-fuse them).
+// The scalar backend's Batch4 performs the same four-wide arithmetic
+// in plain doubles, which is what makes scalar-vs-SIMD bit-identity a
+// testable property instead of a tolerance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "common/hot.hpp"
+#include "stats/kernels.hpp"
+#include "stats/kernels_table.hpp"
+#include "stats/simd.hpp"
+
+namespace gpuvar::stats::kernels {
+namespace GPUVAR_SIMD_NS {
+
+using simd::GPUVAR_SIMD_NS::Batch4;
+
+namespace {
+
+// Per-lane scalar formulas, identical to the Batch4 ops (minpd/maxpd
+// semantics) — used for the ragged tail and the pinned lane combine.
+inline double lane_min(double a, double b) { return a < b ? a : b; }
+inline double lane_max(double a, double b) { return a > b ? a : b; }
+
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+GPUVAR_HOT Sweep describe_sweep_impl(std::span<const double> xs) {
+  const double* p = xs.data();
+  const std::size_t n = xs.size();
+  const std::size_t blocks = n / 4;
+
+  Batch4 acc_sum = Batch4::broadcast(0.0);
+  Batch4 acc_sq = Batch4::broadcast(0.0);
+  Batch4 acc_min = Batch4::broadcast(kPosInf);
+  Batch4 acc_max = Batch4::broadcast(-kPosInf);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Batch4 x = Batch4::load(p + 4 * b);
+    acc_sum = acc_sum.add(x);
+    acc_sq = acc_sq.add(x.mul(x));
+    acc_min = acc_min.min(x);
+    acc_max = acc_max.max(x);
+  }
+
+  double lsum[4], lsq[4], lmin[4], lmax[4];
+  acc_sum.store(lsum);
+  acc_sq.store(lsq);
+  acc_min.store(lmin);
+  acc_max.store(lmax);
+  for (std::size_t i = 4 * blocks; i < n; ++i) {
+    const double x = p[i];
+    const std::size_t lane = i % 4;
+    lsum[lane] += x;
+    lsq[lane] += x * x;
+    lmin[lane] = lane_min(lmin[lane], x);
+    lmax[lane] = lane_max(lmax[lane], x);
+  }
+
+  Sweep s;
+  s.sum = (lsum[0] + lsum[1]) + (lsum[2] + lsum[3]);
+  s.sumsq = (lsq[0] + lsq[1]) + (lsq[2] + lsq[3]);
+  s.min = lane_min(lane_min(lmin[0], lmin[1]), lane_min(lmin[2], lmin[3]));
+  s.max = lane_max(lane_max(lmax[0], lmax[1]), lane_max(lmax[2], lmax[3]));
+  return s;
+}
+
+GPUVAR_HOT double sum_impl(std::span<const double> xs) {
+  const double* p = xs.data();
+  const std::size_t n = xs.size();
+  const std::size_t blocks = n / 4;
+
+  Batch4 acc = Batch4::broadcast(0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    acc = acc.add(Batch4::load(p + 4 * b));
+  }
+  double lanes[4];
+  acc.store(lanes);
+  for (std::size_t i = 4 * blocks; i < n; ++i) lanes[i % 4] += p[i];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+GPUVAR_HOT double centered_sumsq_impl(std::span<const double> xs, double mean) {
+  const double* p = xs.data();
+  const std::size_t n = xs.size();
+  const std::size_t blocks = n / 4;
+
+  const Batch4 m = Batch4::broadcast(mean);
+  Batch4 acc = Batch4::broadcast(0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Batch4 d = Batch4::load(p + 4 * b).sub(m);
+    acc = acc.add(d.mul(d));
+  }
+  double lanes[4];
+  acc.store(lanes);
+  for (std::size_t i = 4 * blocks; i < n; ++i) {
+    const double d = p[i] - mean;
+    lanes[i % 4] += d * d;
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+GPUVAR_HOT CenteredProducts centered_products_impl(std::span<const double> xs,
+                                                   std::span<const double> ys,
+                                                   double mx, double my) {
+  const double* px = xs.data();
+  const double* py = ys.data();
+  const std::size_t n = xs.size();
+  const std::size_t blocks = n / 4;
+
+  const Batch4 bmx = Batch4::broadcast(mx);
+  const Batch4 bmy = Batch4::broadcast(my);
+  Batch4 acc_xy = Batch4::broadcast(0.0);
+  Batch4 acc_xx = Batch4::broadcast(0.0);
+  Batch4 acc_yy = Batch4::broadcast(0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Batch4 dx = Batch4::load(px + 4 * b).sub(bmx);
+    const Batch4 dy = Batch4::load(py + 4 * b).sub(bmy);
+    acc_xy = acc_xy.add(dx.mul(dy));
+    acc_xx = acc_xx.add(dx.mul(dx));
+    acc_yy = acc_yy.add(dy.mul(dy));
+  }
+  double lxy[4], lxx[4], lyy[4];
+  acc_xy.store(lxy);
+  acc_xx.store(lxx);
+  acc_yy.store(lyy);
+  for (std::size_t i = 4 * blocks; i < n; ++i) {
+    const double dx = px[i] - mx;
+    const double dy = py[i] - my;
+    const std::size_t lane = i % 4;
+    lxy[lane] += dx * dy;
+    lxx[lane] += dx * dx;
+    lyy[lane] += dy * dy;
+  }
+  CenteredProducts cp;
+  cp.sxy = (lxy[0] + lxy[1]) + (lxy[2] + lxy[3]);
+  cp.sxx = (lxx[0] + lxx[1]) + (lxx[2] + lxx[3]);
+  cp.syy = (lyy[0] + lyy[1]) + (lyy[2] + lyy[3]);
+  return cp;
+}
+
+GPUVAR_HOT MinMax min_max_impl(std::span<const double> xs) {
+  const double* p = xs.data();
+  const std::size_t n = xs.size();
+  const std::size_t blocks = n / 4;
+
+  Batch4 acc_min = Batch4::broadcast(kPosInf);
+  Batch4 acc_max = Batch4::broadcast(-kPosInf);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Batch4 x = Batch4::load(p + 4 * b);
+    acc_min = acc_min.min(x);
+    acc_max = acc_max.max(x);
+  }
+  double lmin[4], lmax[4];
+  acc_min.store(lmin);
+  acc_max.store(lmax);
+  for (std::size_t i = 4 * blocks; i < n; ++i) {
+    const std::size_t lane = i % 4;
+    lmin[lane] = lane_min(lmin[lane], p[i]);
+    lmax[lane] = lane_max(lmax[lane], p[i]);
+  }
+  MinMax mm;
+  mm.min = lane_min(lane_min(lmin[0], lmin[1]), lane_min(lmin[2], lmin[3]));
+  mm.max = lane_max(lane_max(lmax[0], lmax[1]), lane_max(lmax[2], lmax[3]));
+  return mm;
+}
+
+// Integer predicate masks: exact value operations, so the backends are
+// trivially bit-identical; compiling one copy per backend TU lets the
+// autovectorizer use that TU's ISA (the loops below are written
+// branch-free for exactly that reason).
+
+GPUVAR_HOT void mask_range_i16_impl(std::span<const std::int16_t> xs,
+                                    std::int16_t lo, std::int16_t hi,
+                                    std::span<std::uint8_t> out) {
+  const std::int16_t* p = xs.data();
+  std::uint8_t* o = out.data();
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    o[i] = static_cast<std::uint8_t>(p[i] >= lo && p[i] <= hi);
+  }
+}
+
+GPUVAR_HOT void mask_gather_u32_impl(std::span<const std::uint32_t> ids,
+                                     std::span<const std::uint8_t> table,
+                                     std::span<std::uint8_t> out) {
+  const std::uint32_t* p = ids.data();
+  const std::uint8_t* t = table.data();
+  std::uint8_t* o = out.data();
+  const std::size_t n = ids.size();
+  for (std::size_t i = 0; i < n; ++i) o[i] = t[p[i]];
+}
+
+GPUVAR_HOT void mask_and_impl(std::span<const std::uint8_t> a,
+                              std::span<const std::uint8_t> b,
+                              std::span<std::uint8_t> out) {
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  std::uint8_t* o = out.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    o[i] = static_cast<std::uint8_t>(pa[i] & pb[i]);
+  }
+}
+
+GPUVAR_HOT std::size_t mask_count_impl(std::span<const std::uint8_t> mask) {
+  const std::uint8_t* p = mask.data();
+  const std::size_t n = mask.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += p[i];
+  return count;
+}
+
+// This namespace's dispatch table; the backend TU forwards its
+// detail::<backend>_table() getter here after the include.
+inline const detail::KernelTable& table_impl() {
+  static const detail::KernelTable kTable = {
+      &describe_sweep_impl, &sum_impl,         &centered_sumsq_impl,
+      &centered_products_impl, &min_max_impl,  &mask_range_i16_impl,
+      &mask_gather_u32_impl, &mask_and_impl,   &mask_count_impl,
+  };
+  return kTable;
+}
+
+}  // namespace GPUVAR_SIMD_NS
+}  // namespace gpuvar::stats::kernels

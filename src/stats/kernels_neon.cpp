@@ -1,0 +1,17 @@
+// NEON backend: two float64x2_t registers per 4-lane batch (aarch64
+// baseline, so no extra flags). min/max are emulated with
+// compare+select to match minpd semantics exactly — see simd.hpp. On
+// non-ARM targets the TU degrades to the scalar Batch4 so
+// neon_table() always links (kernels.cpp only dispatches to it on
+// aarch64).
+#define GPUVAR_SIMD_NS neon
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define GPUVAR_SIMD_IMPL_NEON 1
+#endif
+#include "stats/kernels_impl.hpp"  // gpuvar-lint: allow(unused-include)
+
+#include "stats/kernels_table.hpp"
+
+namespace gpuvar::stats::kernels::detail {
+const KernelTable& neon_table() { return kernels::neon::table_impl(); }
+}  // namespace gpuvar::stats::kernels::detail

@@ -1,0 +1,12 @@
+// Scalar backend: the determinism reference every vector backend must
+// match bit-for-bit. Batch4 here is a plain double[4]; the kernel
+// bodies in kernels_impl.hpp are shared with every other backend, so
+// the arithmetic order is identical by construction.
+#define GPUVAR_SIMD_NS scalar
+#include "stats/kernels_impl.hpp"  // gpuvar-lint: allow(unused-include)
+
+#include "stats/kernels_table.hpp"
+
+namespace gpuvar::stats::kernels::detail {
+const KernelTable& scalar_table() { return kernels::scalar::table_impl(); }
+}  // namespace gpuvar::stats::kernels::detail

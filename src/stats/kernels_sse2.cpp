@@ -1,0 +1,15 @@
+// SSE2 backend: two 128-bit registers per 4-lane batch. __SSE2__ is
+// the x86-64 baseline; on other targets (or a syntax-only pass without
+// the flag) this TU falls back to the scalar Batch4 — still
+// bit-identical, just not vectorized — so sse2_table() always links.
+#define GPUVAR_SIMD_NS sse2
+#if defined(__SSE2__)
+#define GPUVAR_SIMD_IMPL_SSE2 1
+#endif
+#include "stats/kernels_impl.hpp"  // gpuvar-lint: allow(unused-include)
+
+#include "stats/kernels_table.hpp"
+
+namespace gpuvar::stats::kernels::detail {
+const KernelTable& sse2_table() { return kernels::sse2::table_impl(); }
+}  // namespace gpuvar::stats::kernels::detail

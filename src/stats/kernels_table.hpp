@@ -1,0 +1,45 @@
+// Internal dispatch table between stats/kernels.cpp and the per-backend
+// translation units (kernels_scalar.cpp, kernels_sse2.cpp,
+// kernels_avx2.cpp, kernels_neon.cpp). Each backend TU instantiates
+// kernels_impl.hpp in its own namespace and exports exactly one of the
+// *_table() getters below; kernels.cpp picks one at startup (cpuid +
+// GPUVAR_SIMD) and forwards every public kernel through it.
+//
+// Selection (nth_inplace & friends) and the index-emitting mask helpers
+// are not in the table: they are exact value operations implemented
+// once in kernels.cpp, identical for every backend by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "stats/kernels.hpp"
+
+namespace gpuvar::stats::kernels::detail {
+
+struct KernelTable {
+  Sweep (*describe_sweep)(std::span<const double>) = nullptr;
+  double (*sum)(std::span<const double>) = nullptr;
+  double (*centered_sumsq)(std::span<const double>, double) = nullptr;
+  CenteredProducts (*centered_products)(std::span<const double>,
+                                        std::span<const double>, double,
+                                        double) = nullptr;
+  MinMax (*min_max)(std::span<const double>) = nullptr;
+  void (*mask_range_i16)(std::span<const std::int16_t>, std::int16_t,
+                         std::int16_t, std::span<std::uint8_t>) = nullptr;
+  void (*mask_gather_u32)(std::span<const std::uint32_t>,
+                          std::span<const std::uint8_t>,
+                          std::span<std::uint8_t>) = nullptr;
+  void (*mask_and)(std::span<const std::uint8_t>,
+                   std::span<const std::uint8_t>,
+                   std::span<std::uint8_t>) = nullptr;
+  std::size_t (*mask_count)(std::span<const std::uint8_t>) = nullptr;
+};
+
+const KernelTable& scalar_table();
+const KernelTable& sse2_table();
+const KernelTable& avx2_table();
+const KernelTable& neon_table();
+
+}  // namespace gpuvar::stats::kernels::detail

@@ -5,6 +5,7 @@
 
 #include "common/hot.hpp"
 #include "common/require.hpp"
+#include "stats/kernels.hpp"
 
 namespace gpuvar::stats {
 
@@ -28,16 +29,23 @@ GPUVAR_HOT std::vector<double> sorted_copy(std::span<const double> xs) {
 }
 
 GPUVAR_HOT double quantile(std::span<const double> xs, double q) {
-  const auto v = sorted_copy(xs);
-  return quantile_sorted(v, q);
+  // One scratch copy, then O(n) selection instead of an O(n log n)
+  // copy-sort; kernels::quantile_inplace reproduces quantile_sorted's
+  // interpolation bit-for-bit (the k-th order statistic is a value
+  // fact, independent of how the rest of the scratch ends up ordered).
+  std::vector<double> scratch(xs.begin(), xs.end());
+  return kernels::quantile_inplace(scratch, q);
 }
 
 GPUVAR_HOT std::vector<double> quantiles(std::span<const double> xs,
                               std::span<const double> qs) {
-  const auto v = sorted_copy(xs);
+  // One scratch copy shared across all cuts. Each selection partially
+  // orders the scratch, which only makes the next selection cheaper —
+  // the results do not depend on cut order.
+  std::vector<double> scratch(xs.begin(), xs.end());
   std::vector<double> out;
   out.reserve(qs.size());
-  for (double q : qs) out.push_back(quantile_sorted(v, q));
+  for (double q : qs) out.push_back(kernels::quantile_inplace(scratch, q));
   return out;
 }
 

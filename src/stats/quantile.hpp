@@ -10,10 +10,13 @@ namespace gpuvar::stats {
 /// Quantile of an *already sorted* sample; q in [0, 1].
 double quantile_sorted(std::span<const double> sorted, double q);
 
-/// Quantile of an unsorted sample (copies and sorts internally).
+/// Quantile of an unsorted sample: one scratch copy, then O(n)
+/// selection (kernels::quantile_inplace) — bit-identical to sorting
+/// the copy and calling quantile_sorted, without the O(n log n) sort.
 double quantile(std::span<const double> xs, double q);
 
-/// Several quantiles of one sample with a single sort.
+/// Several quantiles of one sample sharing a single scratch copy;
+/// results are independent of cut order.
 std::vector<double> quantiles(std::span<const double> xs,
                               std::span<const double> qs);
 

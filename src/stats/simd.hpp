@@ -1,0 +1,171 @@
+// Portable 4-lane double batch: the one SIMD abstraction every compute
+// kernel is written against.
+//
+// A Batch4 is always exactly four doubles, whatever the hardware — one
+// 256-bit register on AVX2, two 128-bit registers on SSE2/NEON, a plain
+// double[4] in the scalar backend. Fixing the lane count (rather than
+// using each ISA's natural width) is what makes the determinism
+// contract checkable: every reduction in kernels_impl.hpp assigns
+// element i to lane i%4 and combines lanes in one pinned order, so the
+// scalar backend performs bit-for-bit the same double arithmetic as the
+// widest vector unit (see DESIGN.md §11).
+//
+// min/max are pinned to x86 minpd/maxpd semantics — lane-wise
+// `(a < b) ? a : b` / `(a > b) ? a : b` — which every backend
+// reproduces exactly (NEON's native vminq propagates NaN differently,
+// so the NEON backend emulates with compare+select).
+//
+// Backend selection is a compile-time property of the including TU:
+// exactly one of GPUVAR_SIMD_IMPL_{AVX2,SSE2,NEON} may be defined
+// before inclusion; none means the scalar implementation. Each backend
+// translation unit (kernels_scalar.cpp, kernels_sse2.cpp, ...) wraps
+// its instantiation in a distinct namespace, so the four definitions
+// never collide.
+#pragma once
+
+#if defined(GPUVAR_SIMD_IMPL_AVX2) || defined(GPUVAR_SIMD_IMPL_SSE2)
+#include <immintrin.h>
+#elif defined(GPUVAR_SIMD_IMPL_NEON)
+#include <arm_neon.h>
+#endif
+
+// The including TU names its backend namespace (scalar/sse2/avx2/neon)
+// so the four Batch4 definitions are distinct types — no ODR overlap
+// between backend translation units.
+#ifndef GPUVAR_SIMD_NS
+#define GPUVAR_SIMD_NS scalar
+#endif
+
+namespace gpuvar::stats::simd {
+namespace GPUVAR_SIMD_NS {
+
+#if defined(GPUVAR_SIMD_IMPL_AVX2)
+
+/// AVX2 backend: one 256-bit register holds all four lanes.
+struct Batch4 {
+  __m256d v;
+
+  static Batch4 broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static Batch4 load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  Batch4 add(Batch4 o) const { return {_mm256_add_pd(v, o.v)}; }
+  Batch4 sub(Batch4 o) const { return {_mm256_sub_pd(v, o.v)}; }
+  Batch4 mul(Batch4 o) const { return {_mm256_mul_pd(v, o.v)}; }
+  Batch4 min(Batch4 o) const { return {_mm256_min_pd(v, o.v)}; }
+  Batch4 max(Batch4 o) const { return {_mm256_max_pd(v, o.v)}; }
+};
+
+#elif defined(GPUVAR_SIMD_IMPL_SSE2)
+
+/// SSE2 backend: lanes 0-1 and 2-3 in two 128-bit registers.
+struct Batch4 {
+  __m128d lo;
+  __m128d hi;
+
+  static Batch4 broadcast(double x) {
+    return {_mm_set1_pd(x), _mm_set1_pd(x)};
+  }
+  static Batch4 load(const double* p) {
+    return {_mm_loadu_pd(p), _mm_loadu_pd(p + 2)};
+  }
+  void store(double* p) const {
+    _mm_storeu_pd(p, lo);
+    _mm_storeu_pd(p + 2, hi);
+  }
+
+  Batch4 add(Batch4 o) const {
+    return {_mm_add_pd(lo, o.lo), _mm_add_pd(hi, o.hi)};
+  }
+  Batch4 sub(Batch4 o) const {
+    return {_mm_sub_pd(lo, o.lo), _mm_sub_pd(hi, o.hi)};
+  }
+  Batch4 mul(Batch4 o) const {
+    return {_mm_mul_pd(lo, o.lo), _mm_mul_pd(hi, o.hi)};
+  }
+  Batch4 min(Batch4 o) const {
+    return {_mm_min_pd(lo, o.lo), _mm_min_pd(hi, o.hi)};
+  }
+  Batch4 max(Batch4 o) const {
+    return {_mm_max_pd(lo, o.lo), _mm_max_pd(hi, o.hi)};
+  }
+};
+
+#elif defined(GPUVAR_SIMD_IMPL_NEON)
+
+/// NEON backend: two float64x2_t registers. vminq/vmaxq propagate NaN
+/// from either operand, which does not match minpd; the compare+select
+/// forms below reproduce `(a < b) ? a : b` exactly.
+struct Batch4 {
+  float64x2_t lo;
+  float64x2_t hi;
+
+  static Batch4 broadcast(double x) {
+    return {vdupq_n_f64(x), vdupq_n_f64(x)};
+  }
+  static Batch4 load(const double* p) {
+    return {vld1q_f64(p), vld1q_f64(p + 2)};
+  }
+  void store(double* p) const {
+    vst1q_f64(p, lo);
+    vst1q_f64(p + 2, hi);
+  }
+
+  Batch4 add(Batch4 o) const {
+    return {vaddq_f64(lo, o.lo), vaddq_f64(hi, o.hi)};
+  }
+  Batch4 sub(Batch4 o) const {
+    return {vsubq_f64(lo, o.lo), vsubq_f64(hi, o.hi)};
+  }
+  Batch4 mul(Batch4 o) const {
+    return {vmulq_f64(lo, o.lo), vmulq_f64(hi, o.hi)};
+  }
+  Batch4 min(Batch4 o) const {
+    return {vbslq_f64(vcltq_f64(lo, o.lo), lo, o.lo),
+            vbslq_f64(vcltq_f64(hi, o.hi), hi, o.hi)};
+  }
+  Batch4 max(Batch4 o) const {
+    return {vbslq_f64(vcgtq_f64(lo, o.lo), lo, o.lo),
+            vbslq_f64(vcgtq_f64(hi, o.hi), hi, o.hi)};
+  }
+};
+
+#else
+
+/// Scalar backend: the determinism reference. Every op spells out the
+/// exact lane-wise formula the vector backends execute in hardware.
+struct Batch4 {
+  double v[4];
+
+  static Batch4 broadcast(double x) { return {{x, x, x, x}}; }
+  static Batch4 load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  void store(double* p) const {
+    p[0] = v[0];
+    p[1] = v[1];
+    p[2] = v[2];
+    p[3] = v[3];
+  }
+
+  Batch4 add(Batch4 o) const {
+    return {{v[0] + o.v[0], v[1] + o.v[1], v[2] + o.v[2], v[3] + o.v[3]}};
+  }
+  Batch4 sub(Batch4 o) const {
+    return {{v[0] - o.v[0], v[1] - o.v[1], v[2] - o.v[2], v[3] - o.v[3]}};
+  }
+  Batch4 mul(Batch4 o) const {
+    return {{v[0] * o.v[0], v[1] * o.v[1], v[2] * o.v[2], v[3] * o.v[3]}};
+  }
+  Batch4 min(Batch4 o) const {
+    return {{v[0] < o.v[0] ? v[0] : o.v[0], v[1] < o.v[1] ? v[1] : o.v[1],
+             v[2] < o.v[2] ? v[2] : o.v[2], v[3] < o.v[3] ? v[3] : o.v[3]}};
+  }
+  Batch4 max(Batch4 o) const {
+    return {{v[0] > o.v[0] ? v[0] : o.v[0], v[1] > o.v[1] ? v[1] : o.v[1],
+             v[2] > o.v[2] ? v[2] : o.v[2], v[3] > o.v[3] ? v[3] : o.v[3]}};
+  }
+};
+
+#endif
+
+}  // namespace GPUVAR_SIMD_NS
+}  // namespace gpuvar::stats::simd

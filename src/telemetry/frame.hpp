@@ -103,6 +103,12 @@ class RecordFrame {
   void append(const RecordFrame& chunk);
   /// New frame holding exactly the given rows (in the given order).
   RecordFrame select(std::span<const std::size_t> rows) const;
+  /// Mask overload: keeps the rows whose mask byte is set (1 = keep),
+  /// in frame order. The mask convention matches the vectorized
+  /// predicate kernels in stats/kernels.hpp, so a filter can go from
+  /// predicate to sub-frame without materializing a row-index list at
+  /// the call site. Requires mask.size() == size().
+  RecordFrame select(std::span<const std::uint8_t> mask) const;
 
   /// Approximate heap + inline footprint in bytes (for the memory story
   /// in micro_frame_bench; counts columns plus the interned pool).

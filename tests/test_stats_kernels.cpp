@@ -1,0 +1,317 @@
+#include "stats/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/quantile.hpp"
+
+namespace gpuvar::stats {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Pins a backend for one scope and restores the previous one on exit,
+/// so test order never leaks a backend into later tests.
+class BackendGuard {
+ public:
+  explicit BackendGuard(kernels::Backend b) : prev_(kernels::set_backend(b)) {}
+  ~BackendGuard() { kernels::set_backend(prev_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  kernels::Backend prev_;
+};
+
+std::vector<double> sample(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.normal(2500.0, 40.0));
+  return xs;
+}
+
+// The lengths cover: one partial block, exactly one block, block+tail
+// of every phase, and sizes big enough for the ninther pivot path.
+const std::size_t kLengths[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1003};
+
+TEST(StatsKernels, ScalarBackendAlwaysAvailable) {
+  EXPECT_TRUE(kernels::backend_available(kernels::Backend::kScalar));
+  const auto all = kernels::available_backends();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front(), kernels::Backend::kScalar);
+  for (auto b : all) EXPECT_TRUE(kernels::backend_available(b));
+}
+
+TEST(StatsKernels, SetBackendReturnsPrevious) {
+  const auto before = kernels::active_backend();
+  const auto prev = kernels::set_backend(kernels::Backend::kScalar);
+  EXPECT_EQ(prev, before);
+  EXPECT_EQ(kernels::active_backend(), kernels::Backend::kScalar);
+  kernels::set_backend(before);
+  EXPECT_STRNE(kernels::backend_name(before), "");
+}
+
+TEST(StatsKernels, SetBackendRejectsUnavailable) {
+#if !defined(__aarch64__)
+  EXPECT_THROW(kernels::set_backend(kernels::Backend::kNeon),
+               std::invalid_argument);
+#else
+  EXPECT_THROW(kernels::set_backend(kernels::Backend::kSse2),
+               std::invalid_argument);
+#endif
+}
+
+TEST(StatsKernels, ReductionsBitIdenticalAcrossBackends) {
+  for (std::size_t n : kLengths) {
+    const auto xs = sample(n, 7 + n);
+    const auto ys = sample(n, 900 + n);
+
+    BackendGuard pin(kernels::Backend::kScalar);
+    const auto ref_sweep = kernels::describe_sweep(xs);
+    const double ref_sum = kernels::sum(xs);
+    const double ref_css = kernels::centered_sumsq(xs, 2500.0);
+    const auto ref_cp = kernels::centered_products(xs, ys, 2500.0, 2500.0);
+    const auto ref_mm = kernels::min_max(xs);
+
+    for (auto b : kernels::available_backends()) {
+      kernels::set_backend(b);
+      const auto s = kernels::describe_sweep(xs);
+      EXPECT_EQ(bits(s.sum), bits(ref_sweep.sum)) << n << kernels::backend_name(b);
+      EXPECT_EQ(bits(s.sumsq), bits(ref_sweep.sumsq));
+      EXPECT_EQ(bits(s.min), bits(ref_sweep.min));
+      EXPECT_EQ(bits(s.max), bits(ref_sweep.max));
+      EXPECT_EQ(bits(kernels::sum(xs)), bits(ref_sum));
+      EXPECT_EQ(bits(kernels::centered_sumsq(xs, 2500.0)), bits(ref_css));
+      const auto cp = kernels::centered_products(xs, ys, 2500.0, 2500.0);
+      EXPECT_EQ(bits(cp.sxy), bits(ref_cp.sxy));
+      EXPECT_EQ(bits(cp.sxx), bits(ref_cp.sxx));
+      EXPECT_EQ(bits(cp.syy), bits(ref_cp.syy));
+      const auto mm = kernels::min_max(xs);
+      EXPECT_EQ(bits(mm.min), bits(ref_mm.min));
+      EXPECT_EQ(bits(mm.max), bits(ref_mm.max));
+    }
+  }
+}
+
+TEST(StatsKernels, UnalignedSpanHeadsBitIdentical) {
+  // Vector loads are unaligned by contract; slicing 1..3 elements off
+  // the head of a buffer must not change any backend's answer.
+  const auto base = sample(256 + 3, 42);
+  for (std::size_t off = 0; off <= 3; ++off) {
+    const std::span<const double> xs(base.data() + off, 253);
+    BackendGuard pin(kernels::Backend::kScalar);
+    const auto ref = kernels::describe_sweep(xs);
+    for (auto b : kernels::available_backends()) {
+      kernels::set_backend(b);
+      const auto s = kernels::describe_sweep(xs);
+      EXPECT_EQ(bits(s.sum), bits(ref.sum)) << "offset " << off;
+      EXPECT_EQ(bits(s.sumsq), bits(ref.sumsq));
+      EXPECT_EQ(bits(s.min), bits(ref.min));
+      EXPECT_EQ(bits(s.max), bits(ref.max));
+    }
+  }
+}
+
+TEST(StatsKernels, NanAndInfPropagateIdenticallyAcrossBackends) {
+  // Exact NaN/Inf semantics follow the lane formulas (minpd-style
+  // compare-select); what the contract pins is that every backend
+  // produces the same bits, wherever the special lands.
+  auto xs = sample(37, 3);
+  for (std::size_t poison : {std::size_t{0}, std::size_t{13}, std::size_t{36}}) {
+    for (double special : {kNan, kInf, -kInf}) {
+      xs[poison] = special;
+      BackendGuard pin(kernels::Backend::kScalar);
+      const auto ref = kernels::describe_sweep(xs);
+      const double ref_css = kernels::centered_sumsq(xs, 2500.0);
+      for (auto b : kernels::available_backends()) {
+        kernels::set_backend(b);
+        const auto s = kernels::describe_sweep(xs);
+        EXPECT_EQ(bits(s.sum), bits(ref.sum))
+            << kernels::backend_name(b) << " poison@" << poison;
+        EXPECT_EQ(bits(s.sumsq), bits(ref.sumsq));
+        EXPECT_EQ(bits(s.min), bits(ref.min));
+        EXPECT_EQ(bits(s.max), bits(ref.max));
+        EXPECT_EQ(bits(kernels::centered_sumsq(xs, 2500.0)), bits(ref_css));
+      }
+    }
+    xs = sample(37, 3);
+  }
+}
+
+TEST(StatsKernels, InfSumsStayInfWithMatchingSign) {
+  std::vector<double> xs = {1.0, kInf, 2.0, 3.0, 4.0};
+  EXPECT_EQ(kernels::sum(xs), kInf);
+  const auto mm = kernels::min_max(xs);
+  EXPECT_EQ(mm.max, kInf);
+  EXPECT_EQ(mm.min, 1.0);
+  xs[1] = -kInf;
+  EXPECT_EQ(kernels::sum(xs), -kInf);
+  EXPECT_EQ(kernels::min_max(xs).min, -kInf);
+}
+
+TEST(StatsKernels, EmptyAndSingleElementContracts) {
+  const std::vector<double> empty;
+  EXPECT_EQ(kernels::sum(empty), 0.0);
+  EXPECT_EQ(kernels::centered_sumsq(empty, 5.0), 0.0);
+  EXPECT_THROW(kernels::describe_sweep(empty), std::invalid_argument);
+  EXPECT_THROW(kernels::min_max(empty), std::invalid_argument);
+
+  const std::vector<double> one = {42.5};
+  const auto s = kernels::describe_sweep(one);
+  EXPECT_EQ(s.sum, 42.5);
+  EXPECT_EQ(s.min, 42.5);
+  EXPECT_EQ(s.max, 42.5);
+  EXPECT_EQ(s.sumsq, 42.5 * 42.5);
+  std::vector<double> scratch = one;
+  EXPECT_EQ(kernels::quantile_inplace(scratch, 0.75), 42.5);
+}
+
+TEST(StatsKernels, SelectionMatchesSortedQuantilesBitForBit) {
+  for (std::size_t n : kLengths) {
+    const auto xs = sample(n, 1000 + n);
+    const auto sorted = sorted_copy(xs);
+    for (double q : {0.0, 0.05, 0.25, 0.5, 0.731, 0.75, 0.95, 1.0}) {
+      std::vector<double> scratch = xs;
+      EXPECT_EQ(bits(kernels::quantile_inplace(scratch, q)),
+                bits(quantile_sorted(sorted, q)))
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(StatsKernels, SelectionHandlesDuplicateHeavyAndConstantColumns) {
+  // Constant and few-distinct-value columns are the worst case for a
+  // two-way partition; the three-way partition must stay O(n).
+  std::vector<double> constant(100000, 3.25);
+  std::vector<double> scratch = constant;
+  EXPECT_EQ(kernels::median_inplace(scratch), 3.25);
+
+  Rng rng(11);
+  std::vector<double> coarse;
+  for (int i = 0; i < 9999; ++i) {
+    coarse.push_back(static_cast<double>(rng.uniform_index(4)));
+  }
+  const auto sorted = sorted_copy(coarse);
+  for (double q : {0.1, 0.5, 0.9}) {
+    scratch = coarse;
+    EXPECT_EQ(bits(kernels::quantile_inplace(scratch, q)),
+              bits(quantile_sorted(sorted, q)));
+  }
+}
+
+TEST(StatsKernels, NthInplacePartitionsAroundK) {
+  auto xs = sample(501, 77);
+  const auto sorted = sorted_copy(xs);
+  for (std::size_t k : {std::size_t{0}, std::size_t{250}, std::size_t{500}}) {
+    std::vector<double> scratch = xs;
+    kernels::nth_inplace(scratch, k);
+    EXPECT_EQ(scratch[k], sorted[k]);
+    for (std::size_t i = 0; i < k; ++i) EXPECT_LE(scratch[i], scratch[k]);
+    for (std::size_t i = k + 1; i < scratch.size(); ++i) {
+      EXPECT_GE(scratch[i], scratch[k]);
+    }
+  }
+  EXPECT_THROW(kernels::nth_inplace(xs, xs.size()), std::invalid_argument);
+}
+
+TEST(StatsKernels, QuantileInplaceRejectsBadArguments) {
+  std::vector<double> empty;
+  EXPECT_THROW(kernels::quantile_inplace(empty, 0.5), std::invalid_argument);
+  std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(kernels::quantile_inplace(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(kernels::quantile_inplace(xs, 1.1), std::invalid_argument);
+}
+
+TEST(StatsKernels, MaskRangeMatchesReferenceLoopIncludingClamps) {
+  std::vector<std::int16_t> days;
+  Rng rng(5);
+  for (int i = 0; i < 1003; ++i) {
+    days.push_back(static_cast<std::int16_t>(rng.uniform_index(7)));
+  }
+  const auto check = [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<std::uint8_t> mask(days.size());
+    kernels::mask_range_i16(days, lo, hi, mask);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < days.size(); ++i) {
+      const bool want = lo <= days[i] && days[i] <= hi;
+      EXPECT_EQ(mask[i], want ? 1 : 0) << i;
+      expected += want ? 1u : 0u;
+    }
+    EXPECT_EQ(kernels::mask_count(mask), expected);
+  };
+  check(2, 4);
+  check(3, 3);
+  check(5, 2);   // empty range
+  check(std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max());  // is_all clamps
+  check(40000, 50000);    // both above int16
+  check(-50000, -40000);  // both below int16
+  check(-50000, 3);       // lo clamps
+}
+
+TEST(StatsKernels, MaskGatherAndAndMatchReference) {
+  Rng rng(9);
+  std::vector<std::uint8_t> verdicts;
+  for (int i = 0; i < 29; ++i) {
+    verdicts.push_back(rng.uniform_index(2) == 0 ? std::uint8_t{0}
+                                                 : std::uint8_t{1});
+  }
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 1003; ++i) {
+    ids.push_back(static_cast<std::uint32_t>(rng.uniform_index(29)));
+  }
+  std::vector<std::uint8_t> gathered(ids.size());
+  kernels::mask_gather_u32(ids, verdicts, gathered);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(gathered[i], verdicts[ids[i]]);
+  }
+
+  std::vector<std::uint8_t> other(ids.size());
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    other[i] = (i % 3 == 0) ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  std::vector<std::uint8_t> expect(ids.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect[i] = gathered[i] & other[i];
+  }
+  // out aliases the first operand — the documented in-place use.
+  kernels::mask_and(gathered, other, gathered);
+  EXPECT_EQ(gathered, expect);
+}
+
+TEST(StatsKernels, MaskToIndicesAndRowsEmitSetPositionsAscending) {
+  const std::vector<std::uint8_t> mask = {0, 1, 1, 0, 0, 1, 0, 1};
+  std::vector<std::uint32_t> idx;
+  kernels::mask_to_indices(mask, idx);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{1, 2, 5, 7}));
+  std::vector<std::size_t> rows;
+  kernels::mask_to_rows(mask, rows);
+  EXPECT_EQ(rows, (std::vector<std::size_t>{1, 2, 5, 7}));
+
+  const std::vector<std::uint8_t> none(9, 0);
+  kernels::mask_to_indices(none, idx);
+  EXPECT_TRUE(idx.empty());
+  const std::vector<std::uint8_t> all(9, 1);
+  kernels::mask_to_rows(all, rows);
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_EQ(rows.back(), 8u);
+
+  const std::vector<std::uint8_t> empty;
+  kernels::mask_to_indices(empty, idx);
+  EXPECT_TRUE(idx.empty());
+}
+
+}  // namespace
+}  // namespace gpuvar::stats

@@ -300,6 +300,10 @@ const std::vector<RuleInfo>& rules() {
       {"raw-double-quantity", "style",
        "bare double for a physical quantity in a public header; use "
        "the unit-named aliases", false},
+      {"raw-loop-reduction", "reduction",
+       "serial double reduction (range-for '+=' or a <numeric> "
+       "algorithm) in src/core or src/query; use the stats::kernels "
+       "reductions, which pin the lane order", false},
       {"raw-rng", "style",
        "rand()/srand()/random_device in library code; use the seeded "
        "gpuvar RNG", false},

@@ -398,7 +398,8 @@ const std::vector<std::string>& pass_names() {
   static const std::vector<std::string> kNames = {
       "style",    "layering", "thread",    "determinism",
       "interchange", "obs",   "include",   "deadcode",
-      "lockorder",   "hotpath", "lifetime", "analysis"};
+      "lockorder",   "hotpath", "lifetime", "analysis",
+      "reduction"};
   return kNames;
 }
 
@@ -454,6 +455,7 @@ bool scan_file(const fs::path& path, const std::string& rel,
   run_obs_pass(one, out.local_findings);
   run_lifetime_pass(one, out.local_findings);
   run_analysis_pass(one, out.local_findings);
+  run_reduction_pass(one, out.local_findings);
   return true;
 }
 

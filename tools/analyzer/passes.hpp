@@ -43,6 +43,12 @@ void run_determinism_pass(const Repo& repo, std::vector<Finding>& findings);
 /// suppressible (core.cpp strict_rule keeps it on the strict list).
 void run_interchange_pass(const Repo& repo, std::vector<Finding>& findings);
 
+/// Reduction hygiene (src/core, src/query): raw-loop-reduction — a
+/// serial `+=` fold over a double range, or a <numeric> reduction
+/// algorithm, outside the kernel layer; stats/kernels.hpp owns the
+/// SIMD dispatch and the pinned lane order these bypass.
+void run_reduction_pass(const Repo& repo, std::vector<Finding>& findings);
+
 /// Observability surface: raw-trace-api (trace-layer internals —
 /// current_lane, TraceSpan, trace_instant — stay inside src/obs;
 /// instrumented code uses the GPUVAR_TRACE_* macros and installs sinks

@@ -11,9 +11,10 @@
 #                              report and layering DOT under build-ci/
 #   tools/ci.sh bench-smoke    micro bench smoke run (frame column ops, CSV
 #                              export, shard codec, campaign engine, query
-#                              plane); archives BENCH_frame.json,
-#                              BENCH_engine.json, BENCH_query.json and
-#                              BENCH_analyzer.json
+#                              plane, stats kernels); archives
+#                              BENCH_frame.json, BENCH_engine.json,
+#                              BENCH_query.json, BENCH_analyzer.json and
+#                              BENCH_stats.json
 #   tools/ci.sh bench-guard    rerun the micro benches and compare against
 #                              the committed bench/BENCH_*.json reference
 #                              at a ~2x tolerance
@@ -31,6 +32,12 @@
 #                              `gpuvar query` streaming output against its
 #                              --materialize reference path for every
 #                              analysis, filtered and compare forms included
+#   tools/ci.sh simd-matrix    SIMD determinism matrix: re-run the stats /
+#                              query / determinism ctest subset and a
+#                              campaign + query CLI pass under both
+#                              GPUVAR_SIMD=scalar and GPUVAR_SIMD=auto,
+#                              then byte-compare every exported artifact
+#                              between the two backends
 #   tools/ci.sh thread-safety  clang -Werror=thread-safety syntax-only
 #                              compile of src/** (skipped when clang++ is
 #                              not installed — the GPUVAR_* annotations
@@ -120,15 +127,15 @@ job_analyzer() {
 }
 
 job_bench_smoke() {
-  echo "=== job: bench-smoke (micro frame/engine/query/analyzer benches) ==="
+  echo "=== job: bench-smoke (micro frame/engine/query/analyzer/stats benches) ==="
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
     --target micro_engine_bench --target micro_query_bench \
-    --target micro_analyzer_bench
+    --target micro_analyzer_bench --target micro_stats_bench
   # Smoke cadence, not a tuned perf run: one repetition per benchmark,
   # JSON archived so regressions in the columnar data plane, the shard
-  # codec / campaign engine, the streaming query plane, and the
-  # analyzer's scan driver are diffable.
+  # codec / campaign engine, the streaming query plane, the analyzer's
+  # scan driver, and the SIMD stats kernels are diffable.
   ./build-ci/bench/micro_frame_bench \
     --benchmark_out=build-ci/BENCH_frame.json \
     --benchmark_out_format=json
@@ -141,10 +148,14 @@ job_bench_smoke() {
   ./build-ci/bench/micro_analyzer_bench \
     --benchmark_out=build-ci/BENCH_analyzer.json \
     --benchmark_out_format=json
+  ./build-ci/bench/micro_stats_bench \
+    --benchmark_out=build-ci/BENCH_stats.json \
+    --benchmark_out_format=json
   echo "frame bench report: build-ci/BENCH_frame.json"
   echo "engine bench report: build-ci/BENCH_engine.json"
   echo "query bench report: build-ci/BENCH_query.json"
   echo "analyzer bench report: build-ci/BENCH_analyzer.json"
+  echo "stats bench report: build-ci/BENCH_stats.json"
 }
 
 job_bench_guard() {
@@ -152,7 +163,7 @@ job_bench_guard() {
   cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
   cmake --build build-ci -j "$JOBS" --target micro_frame_bench \
     --target micro_engine_bench --target micro_query_bench \
-    --target micro_analyzer_bench
+    --target micro_analyzer_bench --target micro_stats_bench
   if ! command -v python3 > /dev/null 2>&1; then
     echo "python3 unavailable; skipping bench comparison"
     return 0
@@ -169,6 +180,9 @@ job_bench_guard() {
   ./build-ci/bench/micro_analyzer_bench \
     --benchmark_out=build-ci/BENCH_analyzer.guard.json \
     --benchmark_out_format=json
+  ./build-ci/bench/micro_stats_bench \
+    --benchmark_out=build-ci/BENCH_stats.guard.json \
+    --benchmark_out_format=json
   # Coarse regression tripwire, not a tuned perf gate: a fresh run more
   # than ~2x slower than the committed reference on any benchmark fails.
   # CI hosts vary, so the tolerance is wide; refresh the reference with
@@ -177,7 +191,8 @@ job_bench_guard() {
     bench/BENCH_frame.json build-ci/BENCH_frame.guard.json \
     bench/BENCH_engine.json build-ci/BENCH_engine.guard.json \
     bench/BENCH_query.json build-ci/BENCH_query.guard.json \
-    bench/BENCH_analyzer.json build-ci/BENCH_analyzer.guard.json <<'EOF'
+    bench/BENCH_analyzer.json build-ci/BENCH_analyzer.guard.json \
+    bench/BENCH_stats.json build-ci/BENCH_stats.guard.json <<'EOF'
 import json
 import sys
 
@@ -325,6 +340,52 @@ job_query_smoke() {
   echo "query-smoke: streaming output byte-identical to --materialize"
 }
 
+job_simd_matrix() {
+  echo "=== job: simd-matrix (GPUVAR_SIMD=scalar vs =auto, byte-compare) ==="
+  cmake -B build-ci -S . -DGPUVAR_WERROR=ON > /dev/null
+  cmake --build build-ci -j "$JOBS" --target gpuvar_tests --target gpuvar_cli
+
+  # The determinism contract under test: every kernel consumer must be
+  # bit-identical whichever backend dispatch picks, so the stats /
+  # query / determinism ctest subset has to pass with the SIMD layer
+  # pinned to scalar and again with runtime auto-detection.
+  local simd_tests='StatsKernels|Descriptive|Quantile|Boxplot|Correlation'
+  simd_tests+='|Bootstrap|Frame|QueryTest|Variability|Drift|Compare'
+  simd_tests+='|Scheduler|UserImpact|DeterminismReplay'
+  local mode
+  for mode in scalar auto; do
+    echo "--- ctest subset under GPUVAR_SIMD=$mode ---"
+    (cd build-ci && GPUVAR_SIMD="$mode" \
+      ctest --output-on-failure -R "$simd_tests")
+  done
+
+  # End to end: a checkpointed campaign plus every query analysis, run
+  # once per backend setting; each exported artifact must match byte
+  # for byte.
+  local a
+  for mode in scalar auto; do
+    local ck="build-ci/SIMD_${mode}_ck"
+    rm -rf "$ck"
+    GPUVAR_SIMD="$mode" ./build-ci/tools/gpuvar run \
+      --cluster cloudlab --workload sgemm \
+      --reps 4 --runs 2 --checkpoint "$ck" --shard-budget 0 \
+      --out "build-ci/SIMD_${mode}.csv" \
+      --report "build-ci/SIMD_${mode}.md" \
+      --summary "build-ci/SIMD_${mode}.sum" > /dev/null
+    for a in variability correlate flags drift impact; do
+      GPUVAR_SIMD="$mode" ./build-ci/tools/gpuvar query "$ck" \
+        --analysis "$a" > "build-ci/SIMD_${mode}_${a}.txt"
+    done
+  done
+  cmp build-ci/SIMD_scalar.csv build-ci/SIMD_auto.csv
+  cmp build-ci/SIMD_scalar.md build-ci/SIMD_auto.md
+  cmp build-ci/SIMD_scalar.sum build-ci/SIMD_auto.sum
+  for a in variability correlate flags drift impact; do
+    cmp "build-ci/SIMD_scalar_${a}.txt" "build-ci/SIMD_auto_${a}.txt"
+  done
+  echo "simd-matrix: scalar and auto backends byte-identical end to end"
+}
+
 job_thread_safety() {
   echo "=== job: thread-safety (clang -Werror=thread-safety) ==="
   if ! command -v clang++ > /dev/null 2>&1; then
@@ -353,6 +414,7 @@ case "${1:-all}" in
   obs-smoke) job_obs_smoke ;;
   resume-smoke) job_resume_smoke ;;
   query-smoke) job_query_smoke ;;
+  simd-matrix) job_simd_matrix ;;
   thread-safety) job_thread_safety ;;
   all)
     job_build
@@ -362,13 +424,14 @@ case "${1:-all}" in
     job_obs_smoke
     job_resume_smoke
     job_query_smoke
+    job_simd_matrix
     job_thread_safety
     job_asan
     job_tsan
     echo "=== all CI jobs passed ==="
     ;;
   *)
-    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|bench-guard|obs-smoke|resume-smoke|query-smoke|thread-safety|all]" >&2
+    echo "usage: tools/ci.sh [build|asan|tsan|analyzer|bench-smoke|bench-guard|obs-smoke|resume-smoke|query-smoke|simd-matrix|thread-safety|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,36 @@
+// Reduction-pass fixture: serial double folds that belong in the
+// stats::kernels layer. The integer loop, the non-accumulating double
+// loop, and the spelling of std::accumulate in this comment are the
+// decoys — only the four marked lines may fire raw-loop-reduction.
+namespace gpuvar {
+
+double fold_column(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;  // firing 1: range-for '+=' fold
+  double sq = 0.0;
+  for (const double& x : xs) {
+    sq += x * x;  // firing 2: reference-declared element, same fold
+  }
+  return total + sq;
+}
+
+double fold_algorithms(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  // firing 3: iterator-order fold outside the kernel layer
+  const double s = std::accumulate(xs.begin(), xs.end(), 0.0);
+  // firing 4: dot product the kernels' centered_products replaces
+  return s + std::inner_product(xs.begin(), xs.end(), ys.begin(), 0.0);
+}
+
+std::size_t count_slow(const std::vector<double>& perf, double cutoff) {
+  std::size_t slow = 0;
+  // decoy: integer accumulation — order cannot change the result
+  for (std::size_t i = 0; i < perf.size(); ++i) slow += perf[i] > cutoff;
+  std::vector<double> kept;
+  for (double p : perf) {
+    if (p > cutoff) kept.push_back(p);  // decoy: double loop, no fold
+  }
+  return slow + kept.size();
+}
+
+}  // namespace gpuvar
